@@ -1,0 +1,56 @@
+// Ablation — the statement-skeleton corpus's contribution to loop synthesis.
+//
+// §3.4 extracts 7,823 statement skeletons from JVM test suites so that synthesized loop
+// bodies are diverse enough to "trigger varied optimization passes", while also noting the
+// skeletons "are not a must" — a bare counting loop already changes the compilation choice.
+// This ablation quantifies both halves of that claim: the same campaign with statement holes
+// disabled (stmts_per_hole = 0 → loop bodies carry only the mutator's own placeholder
+// content), with the default two skeletons per hole, and with four.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void RunSetting(const char* label, int stmts_per_hole, int seeds) {
+  const jaguar::VmConfig vm = jaguar::OpenJadeConfig();
+  artemis::CampaignParams params = benchutil::PaperCampaignParams(vm, seeds);
+  params.validator.jonm.synth.stmts_per_hole = stmts_per_hole;
+  const artemis::CampaignStats stats = artemis::RunCampaign(vm, params);
+  std::printf("%-22s seeds-with-discrepancy=%-4d reports=%-4d confirmed-causes=%-4d "
+              "new-trace-mutants=%d/%d\n",
+              label, stats.seeds_with_discrepancy, stats.Reported(), stats.Confirmed(),
+              stats.mutants_new_trace, stats.mutants_generated);
+}
+
+void PrintAblation() {
+  const int seeds = benchutil::SeedCount(12);
+  std::printf("Ablation — statement-skeleton corpus on/off (OpenJade, %d seeds each)\n", seeds);
+  benchutil::PrintRule();
+  RunSetting("no skeletons (0/hole)", 0, seeds);
+  RunSetting("default (2/hole)", 2, seeds);
+  RunSetting("rich (4/hole)", 4, seeds);
+  benchutil::PrintRule();
+  std::printf(
+      "Expected shape (§3.4): bare counting loops already flip compilation choices\n"
+      "(skeletons 'are not a must'), but skeleton-filled bodies exercise more passes\n"
+      "and confirm at least as many distinct root causes.\n\n");
+}
+
+void BM_Anchor(benchmark::State& state) {
+  benchmark::DoNotOptimize(state.max_iterations);
+  for (auto _ : state) {
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_Anchor)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation — coverage-guided CSE vs the paper's stochastic sampling (§4.5 future work).
+//
+// The paper proposes recording compilation-space coverage (via the VM's logging options) and
+// steering Artemis toward uncovered JIT compilations. This bench measures what that guidance
+// buys on our substrate: with the same per-seed mutation budget, how much of the compilation
+// space gets covered (methods driven to the top tier / seen deoptimizing), and how many
+// discrepancy-triggering seeds each mode finds on a defective vendor.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/artemis/coverage/coverage.h"
+#include "src/artemis/fuzzer/generator.h"
+#include "src/jaguar/bytecode/compiler.h"
+
+namespace {
+
+struct ModeResult {
+  double top_tier_coverage = 0;  // mean fraction of methods reaching the top tier
+  double deopt_coverage = 0;     // mean fraction of methods observed deoptimizing
+  int seeds_with_discrepancy = 0;
+  int seeds = 0;
+};
+
+ModeResult RunMode(bool guided, int num_seeds) {
+  jaguar::VmConfig vendor = jaguar::OpenJadeConfig();
+  vendor.step_budget = 60'000'000;
+
+  artemis::ValidatorParams params;
+  params.max_iter = 8;
+  params.jonm.synth.min_bound = 5'000;
+  params.jonm.synth.max_bound = 10'000;
+
+  artemis::FuzzConfig fuzz;
+  ModeResult result;
+  for (int s = 0; s < num_seeds; ++s) {
+    const uint64_t seed_id = 90'000 + static_cast<uint64_t>(s);
+    jaguar::Program seed = artemis::GenerateProgram(fuzz, seed_id);
+    const jaguar::BcProgram bc = jaguar::CompileProgram(seed);
+    artemis::SpaceCoverage coverage;
+    jaguar::Rng rng(seed_id * 17 + 5);
+
+    artemis::ValidationReport report;
+    if (guided) {
+      report = artemis::GuidedValidate(seed, vendor, params, rng, &coverage);
+    } else {
+      artemis::ValidatorParams plain = params;
+      plain.on_mutant = [&](const artemis::MutantVerdict& verdict) {
+        if (verdict.outcome.full_trace != nullptr) {
+          coverage.Observe(bc, *verdict.outcome.full_trace);
+        }
+      };
+      jaguar::VmConfig traced = vendor;
+      traced.record_full_trace = true;
+      report = artemis::Validate(seed, traced, plain, rng);
+    }
+    if (!report.seed_usable) {
+      continue;
+    }
+    ++result.seeds;
+    result.top_tier_coverage += coverage.FractionAtLevel(bc, 2);
+    result.deopt_coverage += coverage.FractionDeopted(bc);
+    result.seeds_with_discrepancy += report.FoundAny() ? 1 : 0;
+  }
+  if (result.seeds > 0) {
+    result.top_tier_coverage /= result.seeds;
+    result.deopt_coverage /= result.seeds;
+  }
+  return result;
+}
+
+void PrintAblation() {
+  const int seeds = benchutil::SeedCount(10);
+  std::printf("Ablation — coverage-guided CSE vs stochastic JoNM (OpenJade, %d seeds, "
+              "MAX_ITER=8)\n",
+              seeds);
+  benchutil::PrintRule();
+  std::printf("%-12s %-22s %-18s %-10s\n", "mode", "top-tier coverage", "deopt coverage",
+              "seeds-hit");
+  const ModeResult stochastic = RunMode(false, seeds);
+  std::printf("%-12s %-22.3f %-18.3f %d/%d\n", "stochastic", stochastic.top_tier_coverage,
+              stochastic.deopt_coverage, stochastic.seeds_with_discrepancy, stochastic.seeds);
+  const ModeResult guided = RunMode(true, seeds);
+  std::printf("%-12s %-22.3f %-18.3f %d/%d\n", "guided", guided.top_tier_coverage,
+              guided.deopt_coverage, guided.seeds_with_discrepancy, guided.seeds);
+  benchutil::PrintRule();
+  std::printf("Expected shape: guidance covers at least as much of the compilation space for\n"
+              "the same budget — the §4.5 hypothesis that coverage feedback 'may help expose\n"
+              "JIT-compiler bugs in early mutations'.\n\n");
+}
+
+void BM_Anchor(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_Anchor)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

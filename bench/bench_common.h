@@ -1,0 +1,52 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper (DESIGN.md §3) and also
+// registers a google-benchmark timing of its core operation. Campaign sizes default to values
+// that finish in a few minutes on a laptop; set JAG_BENCH_SEEDS to scale them up (the paper's
+// own campaign ran for 7 days on 16 cores — shape, not scale, is what these reproduce).
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/jaguar/vm/config.h"
+
+namespace benchutil {
+
+inline int SeedCount(int default_count) {
+  const char* env = std::getenv("JAG_BENCH_SEEDS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  return default_count;
+}
+
+// Campaign parameters matching the paper's §4.1 setup: MAX_ITER = 8; MIN/MAX = 5,000/10,000
+// for the HotSpot/OpenJ9-like configs and 20,000/50,000 for the ART-like one; random STEP.
+inline artemis::CampaignParams PaperCampaignParams(const jaguar::VmConfig& vm,
+                                                   int num_seeds) {
+  artemis::CampaignParams params;
+  params.num_seeds = num_seeds;
+  params.validator.max_iter = 8;
+  if (vm.name == "Artree") {
+    params.validator.jonm.synth.min_bound = 20'000;
+    params.validator.jonm.synth.max_bound = 50'000;
+  } else {
+    params.validator.jonm.synth.min_bound = 5'000;
+    params.validator.jonm.synth.max_bound = 10'000;
+  }
+  return params;
+}
+
+inline void PrintRule() { std::printf("%s\n", std::string(76, '-').c_str()); }
+
+}  // namespace benchutil
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,89 @@
+// Figure 1 — the compilation space of a simple program.
+//
+// The paper's Figure 1 shows a program with 4 method calls whose compilation space consists
+// of 2^4 = 16 JIT compilation choices, every one of which must return 3 from main. This bench
+// enumerates exactly that space with the forced compilation controller (the "ideal
+// realization" of CSE, §3.2) and prints all 16 choices; it also times the enumeration and a
+// single forced run.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/artemis/space/compilation_space.h"
+#include "src/jaguar/bytecode/compiler.h"
+
+namespace {
+
+// The Figure 1 program: main → foo → { bar, baz }; every choice must print 3.
+constexpr const char* kFigure1Program = R"(
+int baz() { return 1; }
+int bar() { return 2; }
+int foo() { return bar() + baz(); }
+int main() { print(foo()); return 0; }
+)";
+
+jaguar::VmConfig Vendor() { return jaguar::HotSniffConfig().WithoutBugs(); }
+
+void PrintFigure1() {
+  const jaguar::BcProgram bc = jaguar::CompileSource(kFigure1Program);
+  const artemis::SpaceExploration space =
+      artemis::ExploreCompilationSpace(bc, Vendor(), /*max_call_sites=*/4);
+
+  std::printf("Figure 1 — compilation space of a 4-call program (VM: %s)\n", "HotSniff");
+  benchutil::PrintRule();
+  std::printf("%-4s", "#");
+  for (const auto& site : space.call_sites) {
+    std::printf("  %-10s", bc.functions[static_cast<size_t>(site.func)].name.c_str());
+  }
+  std::printf("  %-8s\n", "output");
+  benchutil::PrintRule();
+  for (const auto& point : space.points) {
+    std::printf("%-4llu", static_cast<unsigned long long>(point.mask + 1));
+    for (size_t i = 0; i < space.call_sites.size(); ++i) {
+      std::printf("  %-10s", ((point.mask >> i) & 1) ? "compiled" : "interp");
+    }
+    std::string out = point.outcome.output;
+    while (!out.empty() && out.back() == '\n') {
+      out.pop_back();
+    }
+    std::printf("  %-8s\n", out.c_str());
+  }
+  benchutil::PrintRule();
+  std::printf("call sites: %zu   points: %zu   all outputs agree: %s   (paper: all 16 print 3)\n\n",
+              space.call_sites.size(), space.points.size(),
+              space.all_agree ? "YES" : "NO — JIT BUG WITNESSED");
+}
+
+void BM_ExploreCompilationSpace16(benchmark::State& state) {
+  const jaguar::BcProgram bc = jaguar::CompileSource(kFigure1Program);
+  const jaguar::VmConfig vendor = Vendor();
+  for (auto _ : state) {
+    auto space = artemis::ExploreCompilationSpace(bc, vendor, 4);
+    benchmark::DoNotOptimize(space.all_agree);
+  }
+}
+BENCHMARK(BM_ExploreCompilationSpace16)->Unit(benchmark::kMillisecond);
+
+void BM_SingleForcedRun(benchmark::State& state) {
+  const jaguar::BcProgram bc = jaguar::CompileSource(kFigure1Program);
+  const jaguar::VmConfig vendor = Vendor();
+  auto sites = artemis::DiscoverCallSequence(bc, vendor, 4);
+  std::map<artemis::CallSite, int> levels;
+  for (const auto& site : sites) {
+    levels[site] = 2;
+  }
+  for (auto _ : state) {
+    auto outcome = artemis::RunWithForcedDecisions(bc, vendor, levels);
+    benchmark::DoNotOptimize(outcome.status);
+  }
+}
+BENCHMARK(BM_SingleForcedRun)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Figure 2 / §2.2 — the JDK-8288975 case study.
+//
+// The paper's running example: a JavaFuzzer seed whose methods are all interpreted until it
+// exits, plus an Artemis MI mutation that (1) pre-invokes a method thousands of times under a
+// control flag, driving C1→C2 compilation and a speculation on the flag, and (2) heats an
+// inner loop into OSR compilation — after which HotSpot's Global Code Motion pass moves a
+// memory-writing instruction into a deeper loop and the mutant prints a different value of
+// the field than the seed.
+//
+// Our simulated HotSniff carries the same defect (kGcmStoreSinkIntoDeeperLoop); this bench
+// runs a faithfully shaped seed/mutant pair and shows the divergence, the deoptimization on
+// the flag flip, and the OSR compilation — then times the whole detection cycle.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace {
+
+// The seed, shaped like Figure 2's: T.g() updates field l under a switch inside a loop;
+// T.p() calls o() a handful of times; nothing ever reaches a compilation threshold.
+constexpr const char* kSeed = R"(
+boolean z = false;
+int l = 0;
+int[] k = new int[] {72, 3, 82, 21, 14, 10, 7, 5, 9, 2};
+
+void g() {
+  for (int mi = 0; mi < k.length; mi += 1) {
+    int m = k[mi];
+    switch ((m >>> 1) % 10 + 36) {
+      case 36:
+        l = m % 5;
+        for (int w = 0; w < 3; w += 1) {
+          l += 2;
+        }
+      case 40:
+        break;
+      case 41:
+        k[1] = 9;
+    }
+  }
+}
+void o() { if (z) { return; } g(); }
+void p() {
+  for (int q = 2; q < 5; q += 1) {
+    o();
+  }
+  print(l);
+}
+int main() { p(); p(); return 0; }
+)";
+
+// The mutant with the highlighted code of Figure 2: (1) an MI-style pre-invocation loop under
+// the control flag z before o()'s real call (o()'s `if (z) return;` prologue is the paper's
+// synthesized early return), which drives o() through tier-1 and tier-2 compilation with a
+// speculation on z; and (2) the plain `for (w = -2967; w < 4342; w += 4);` loop inserted into
+// g(), which OSR-compiles g()'s loop nest at the top tier — the compilation choice under
+// which the buggy GCM pass moves the field store into the deeper loop.
+constexpr const char* kMutant = R"(
+boolean z = false;
+int l = 0;
+int[] k = new int[] {72, 3, 82, 21, 14, 10, 7, 5, 9, 2};
+
+void g() {
+  for (int mi = 0; mi < k.length; mi += 1) {
+    int m = k[mi];
+    switch ((m >>> 1) % 10 + 36) {
+      case 36:
+        l = m % 5;
+        for (int w = -2967; w < 4342; w += 4) {
+        }
+        for (int w2 = 0; w2 < 3; w2 += 1) {
+          l += 2;
+        }
+      case 40:
+        break;
+      case 41:
+        k[1] = 9;
+    }
+  }
+}
+void o() { if (z) { return; } g(); }
+void p() {
+  for (int q = 2; q < 5; q += 1) {
+    z = true;
+    for (int u = 0; u < 9676; u += 1) {
+      o();
+    }
+    z = false;
+    o();
+  }
+  print(l);
+}
+int main() { p(); p(); return 0; }
+)";
+
+void PrintCaseStudy() {
+  // The case study isolates the JDK-8288975 model: with the vendor's full defect set, a
+  // second latent defect (the register-allocator one) can mask the GCM divergence on this
+  // particular program — much like real JVM bugs can shadow one another.
+  jaguar::VmConfig vm = jaguar::HotSniffConfig().WithoutBugs();
+  vm.bugs = {jaguar::BugId::kGcmStoreSinkIntoDeeperLoop};
+
+  const jaguar::BcProgram seed_bc = jaguar::CompileSource(kSeed);
+  const jaguar::BcProgram mutant_bc = jaguar::CompileSource(kMutant);
+
+  const jaguar::RunOutcome seed_run = jaguar::RunProgram(seed_bc, vm);
+  const jaguar::RunOutcome mutant_run = jaguar::RunProgram(mutant_bc, vm);
+  const jaguar::RunOutcome mutant_interp =
+      jaguar::RunProgram(mutant_bc, jaguar::InterpreterOnlyConfig());
+
+  std::printf("Figure 2 / JDK-8288975 case study (VM: %s, defect: GCM store sinking)\n",
+              vm.name.c_str());
+  benchutil::PrintRule();
+  auto show = [](const char* label, const jaguar::RunOutcome& run) {
+    std::string out = run.output;
+    for (auto& c : out) {
+      if (c == '\n') {
+        c = ' ';
+      }
+    }
+    std::printf("%-22s status=%-8s output=[%s]\n", label, RunStatusName(run.status),
+                out.c_str());
+    std::printf("%-22s %s\n", "", run.trace.ToString().c_str());
+  };
+  show("seed (default trace)", seed_run);
+  show("mutant (default)", mutant_run);
+  show("mutant (interp)", mutant_interp);
+  benchutil::PrintRule();
+  const bool neutral = mutant_interp.output == seed_run.output;
+  const bool diverged = mutant_run.output != seed_run.output;
+  std::printf("mutation is semantics-preserving under interpretation: %s\n",
+              neutral ? "yes" : "NO (tool bug)");
+  std::printf("mutant diverges under the JIT:                         %s%s\n",
+              diverged ? "YES — mis-compilation detected" : "no",
+              diverged ? " (the paper's JDK-8288975 behaviour)" : "");
+
+  jaguar::VmConfig fixed = vm.WithoutBugs();
+  const jaguar::RunOutcome fixed_run = jaguar::RunProgram(mutant_bc, fixed);
+  std::printf("after the fix (defect disabled) the mutant agrees:     %s\n\n",
+              fixed_run.output == seed_run.output ? "yes" : "NO");
+}
+
+void BM_CaseStudyDetection(benchmark::State& state) {
+  jaguar::VmConfig vm = jaguar::HotSniffConfig().WithoutBugs();
+  vm.bugs = {jaguar::BugId::kGcmStoreSinkIntoDeeperLoop};
+  const jaguar::BcProgram seed_bc = jaguar::CompileSource(kSeed);
+  const jaguar::BcProgram mutant_bc = jaguar::CompileSource(kMutant);
+  for (auto _ : state) {
+    const auto seed_run = jaguar::RunProgram(seed_bc, vm);
+    const auto mutant_run = jaguar::RunProgram(mutant_bc, vm);
+    benchmark::DoNotOptimize(seed_run.output == mutant_run.output);
+  }
+}
+BENCHMARK(BM_CaseStudyDetection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCaseStudy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

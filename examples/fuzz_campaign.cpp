@@ -1,0 +1,53 @@
+// A miniature validation campaign from the command line.
+//
+//   ./fuzz_campaign [num_seeds] [vendor]
+//
+// vendor ∈ {hotsniff, openjade, artree} (default: all three). Prints a live-ish report of
+// what Artemis finds — the CLI equivalent of the paper's testing campaign.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/artemis/campaign/campaign.h"
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 20;
+  const char* vendor_filter = argc > 2 ? argv[2] : nullptr;
+
+  for (const jaguar::VmConfig& vm : jaguar::AllVendors()) {
+    if (vendor_filter != nullptr) {
+      std::string lower = vm.name;
+      for (auto& c : lower) {
+        c = static_cast<char>(std::tolower(c));
+      }
+      if (lower != vendor_filter) {
+        continue;
+      }
+    }
+
+    artemis::CampaignParams params;
+    params.num_seeds = seeds;
+    params.validator.max_iter = 8;
+    if (vm.name == "Artree") {
+      params.validator.jonm.synth.min_bound = 20'000;
+      params.validator.jonm.synth.max_bound = 50'000;
+    } else {
+      params.validator.jonm.synth.min_bound = 5'000;
+      params.validator.jonm.synth.max_bound = 10'000;
+    }
+
+    const artemis::CampaignStats stats = artemis::RunCampaign(vm, params);
+    std::printf("%s\n", stats.ToString().c_str());
+    for (const auto& report : stats.reports) {
+      std::printf("  [%s]%s seed=%llu %s\n", DiscrepancyName(report.kind),
+                  report.duplicate ? " (duplicate)" : "",
+                  static_cast<unsigned long long>(report.seed_id), report.detail.c_str());
+      for (jaguar::BugId bug : report.root_causes) {
+        std::printf("      cause: %s\n", jaguar::BugName(bug));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+// jaguar_cli — the standalone driver for the Jaguar toolchain.
+//
+//   jaguar_cli run <file.jag> [vendor]        execute a program (default vendor: reference)
+//   jaguar_cli trace <file.jag> [vendor]      execute and print the JIT-trace summary +
+//                                             the first temperature vectors (§3.1)
+//   jaguar_cli disasm <file.jag>              type-check and print the bytecode
+//   jaguar_cli ir <file.jag> <function> <tier>  print the optimized HIR of one function
+//   jaguar_cli validate <file.jag> [vendor]   treat the file as a seed: run Algorithm 1
+//                                             against the (defective) vendor VM
+//
+// vendor ∈ {interp, reference, hotsniff, openjade, artree}.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/artemis/validate/validator.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/bytecode/disasm.h"
+#include "src/jaguar/jit/pipeline.h"
+#include "src/jaguar/lang/lexer.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace {
+
+std::string ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+jaguar::VmConfig VendorByName(const std::string& name) {
+  if (name == "interp") {
+    return jaguar::InterpreterOnlyConfig();
+  }
+  if (name == "hotsniff") {
+    return jaguar::HotSniffConfig();
+  }
+  if (name == "openjade") {
+    return jaguar::OpenJadeConfig();
+  }
+  if (name == "artree") {
+    return jaguar::ArtreeConfig();
+  }
+  if (name == "reference") {
+    return jaguar::ReferenceJitConfig();
+  }
+  std::fprintf(stderr, "unknown vendor '%s' (interp|reference|hotsniff|openjade|artree)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+void PrintOutcome(const jaguar::RunOutcome& out) {
+  std::fputs(out.output.c_str(), stdout);
+  std::fprintf(stderr, "-- status: %s, steps: %llu\n", RunStatusName(out.status),
+               static_cast<unsigned long long>(out.steps));
+  if (out.status == jaguar::RunStatus::kVmCrash) {
+    std::fprintf(stderr, "-- VM CRASH in %s (%s): %s\n",
+                 jaguar::ComponentName(out.crash_component), out.crash_kind.c_str(),
+                 out.crash_message.c_str());
+  }
+  for (jaguar::BugId bug : out.fired_bugs) {
+    std::fprintf(stderr, "-- defect fired: %s\n", jaguar::BugName(bug));
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: jaguar_cli run|trace|disasm|validate <file.jag> [vendor]\n"
+               "       jaguar_cli ir <file.jag> <function> <tier>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string mode = argv[1];
+  const std::string source = ReadFile(argv[2]);
+
+  try {
+    jaguar::Program program = jaguar::ParseProgram(source);
+    jaguar::Check(program);
+    const jaguar::BcProgram bytecode = jaguar::CompileProgram(program);
+
+    if (mode == "disasm") {
+      std::fputs(jaguar::Disassemble(bytecode).c_str(), stdout);
+      return 0;
+    }
+
+    if (mode == "ir") {
+      if (argc < 5) {
+        return Usage();
+      }
+      const int fn = [&] {
+        for (size_t i = 0; i < bytecode.functions.size(); ++i) {
+          if (bytecode.functions[i].name == argv[3]) {
+            return static_cast<int>(i);
+          }
+        }
+        std::fprintf(stderr, "no function named '%s'\n", argv[3]);
+        std::exit(2);
+      }();
+      const int tier = std::atoi(argv[4]);
+      const jaguar::VmConfig config = jaguar::ReferenceJitConfig();
+      jaguar::IrFunction ir =
+          jaguar::CompileToIr(bytecode, fn, tier, -1, config, nullptr, nullptr, nullptr);
+      std::fputs(jaguar::IrToString(ir).c_str(), stdout);
+      return 0;
+    }
+
+    const std::string vendor_name = argc > 3 ? argv[3] : "reference";
+    jaguar::VmConfig vendor = VendorByName(vendor_name);
+
+    if (mode == "run") {
+      PrintOutcome(jaguar::RunProgram(bytecode, vendor));
+      return 0;
+    }
+
+    if (mode == "trace") {
+      vendor.record_full_trace = true;
+      const jaguar::RunOutcome out = jaguar::RunProgram(bytecode, vendor);
+      PrintOutcome(out);
+      std::fprintf(stderr, "-- %s\n", out.trace.ToString().c_str());
+      if (out.full_trace != nullptr) {
+        const size_t show = out.full_trace->vectors.size() < 40
+                                ? out.full_trace->vectors.size()
+                                : static_cast<size_t>(40);
+        for (size_t i = 0; i < show; ++i) {
+          const auto& v = out.full_trace->vectors[i];
+          const std::string& name =
+              bytecode.functions[static_cast<size_t>(v.func)].name;
+          std::fprintf(stderr, "   %s\n", v.ToString(name).c_str());
+        }
+        if (out.full_trace->vectors.size() > show) {
+          std::fprintf(stderr, "   ... %zu more calls\n",
+                       out.full_trace->vectors.size() - show);
+        }
+      }
+      return 0;
+    }
+
+    if (mode == "validate") {
+      artemis::ValidatorParams params;
+      params.max_iter = 8;
+      if (vendor_name == "artree") {
+        params.jonm.synth.min_bound = 20'000;
+        params.jonm.synth.max_bound = 50'000;
+      } else {
+        params.jonm.synth.min_bound = 5'000;
+        params.jonm.synth.max_bound = 10'000;
+      }
+      jaguar::Rng rng(20'26);
+      const artemis::ValidationReport report =
+          artemis::Validate(program, vendor, params, rng);
+      if (!report.seed_usable) {
+        std::fprintf(stderr, "seed unusable: %s\n", report.seed_unusable_reason.c_str());
+        return 1;
+      }
+      std::printf("seed ok; %zu mutants, %d discrepancies\n", report.mutants.size(),
+                  report.Discrepancies());
+      for (size_t i = 0; i < report.mutants.size(); ++i) {
+        const auto& verdict = report.mutants[i];
+        if (verdict.kind == artemis::DiscrepancyKind::kNone) {
+          continue;
+        }
+        std::printf("mutant %zu: %s — %s\n", i + 1, DiscrepancyName(verdict.kind),
+                    verdict.detail.c_str());
+        for (jaguar::BugId bug : verdict.suspected_bugs) {
+          std::printf("  root cause: %s\n", jaguar::BugName(bug));
+        }
+      }
+      return report.FoundAny() ? 3 : 0;
+    }
+  } catch (const jaguar::SyntaxError& e) {
+    std::fprintf(stderr, "syntax error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,35 @@
+#include "src/artemis/baseline/option_fuzzer.h"
+
+namespace artemis {
+
+OptionFuzzResult OptionFuzzValidate(const jaguar::BcProgram& program,
+                                    const jaguar::VmConfig& config, int attempts,
+                                    jaguar::Rng& rng) {
+  OptionFuzzResult result;
+  const jaguar::RunOutcome reference = jaguar::RunProgram(program, config);
+  if (reference.status == jaguar::RunStatus::kTimeout) {
+    result.usable = false;
+    return result;
+  }
+
+  for (int i = 0; i < attempts; ++i) {
+    jaguar::VmConfig option_config = config;
+    for (auto& tier : option_config.tiers) {
+      // The options a real VM exposes: compile thresholds and OSR thresholds.
+      tier.invoke_threshold = rng.NextBelow(20'000);
+      if (tier.osr_threshold != 0) {
+        tier.osr_threshold = 1 + rng.NextBelow(20'000);
+      }
+    }
+    option_config.osr_enabled = rng.Chance(4, 5);
+    const jaguar::RunOutcome run = jaguar::RunProgram(program, option_config);
+    if (run.status == jaguar::RunStatus::kTimeout) {
+      continue;
+    }
+    ++result.runs;
+    result.discrepancies += run.SameObservable(reference) ? 0 : 1;
+  }
+  return result;
+}
+
+}  // namespace artemis

@@ -1,0 +1,29 @@
+// The option-fuzzing realization of CSE the paper experimented with and abandoned (§3.2):
+// "randomly choosing compilation thresholds for every test program" — a JOpFuzzer-flavoured
+// baseline whose exploration capability is bounded by what the exposed VM options can express.
+
+#ifndef SRC_ARTEMIS_BASELINE_OPTION_FUZZER_H_
+#define SRC_ARTEMIS_BASELINE_OPTION_FUZZER_H_
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/support/rng.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+
+struct OptionFuzzResult {
+  int runs = 0;
+  int discrepancies = 0;  // option combinations whose output diverged from the default run
+  bool usable = true;
+};
+
+// Runs `program` under `attempts` random threshold/OSR-option combinations and compares each
+// against the default run.
+OptionFuzzResult OptionFuzzValidate(const jaguar::BcProgram& program,
+                                    const jaguar::VmConfig& config, int attempts,
+                                    jaguar::Rng& rng);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_BASELINE_OPTION_FUZZER_H_

@@ -1,0 +1,30 @@
+#include "src/artemis/baseline/traditional.h"
+
+namespace artemis {
+
+jaguar::VmConfig CountZeroConfig(const jaguar::VmConfig& config) {
+  jaguar::VmConfig out = config;
+  for (auto& tier : out.tiers) {
+    tier.invoke_threshold = 0;
+  }
+  // With zero thresholds every method runs compiled at the top tier immediately — no warm-up
+  // profile exists, so speculation never has one-sided branch data to act on, exactly like an
+  // ahead-of-time use of the JIT.
+  return out;
+}
+
+TraditionalResult TraditionalValidate(const jaguar::BcProgram& program,
+                                      const jaguar::VmConfig& config) {
+  TraditionalResult result;
+  result.default_run = jaguar::RunProgram(program, config);
+  result.compiled_run = jaguar::RunProgram(program, CountZeroConfig(config));
+  if (result.default_run.status == jaguar::RunStatus::kTimeout ||
+      result.compiled_run.status == jaguar::RunStatus::kTimeout) {
+    result.usable = false;
+    return result;
+  }
+  result.discrepancy = !result.compiled_run.SameObservable(result.default_run);
+  return result;
+}
+
+}  // namespace artemis

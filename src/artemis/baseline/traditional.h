@@ -1,0 +1,30 @@
+// The traditional JIT-testing approach (paper §4.3): treat the JIT compiler as a *static*
+// compiler — force every method to be compiled before its first call (the `-Xjit:count=0`
+// analogue) and compare that single fully-compiled JIT-trace against the default one. This is
+// the two-point testing space (choices #1 and #16 of Figure 1) that CSE generalizes.
+
+#ifndef SRC_ARTEMIS_BASELINE_TRADITIONAL_H_
+#define SRC_ARTEMIS_BASELINE_TRADITIONAL_H_
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+
+struct TraditionalResult {
+  jaguar::RunOutcome default_run;   // the program's default JIT-trace
+  jaguar::RunOutcome compiled_run;  // everything compiled at the top tier from call one
+  bool usable = true;               // false if either run timed out
+  bool discrepancy = false;
+};
+
+// Returns a copy of `config` with all invocation thresholds forced to zero (compile-always).
+jaguar::VmConfig CountZeroConfig(const jaguar::VmConfig& config);
+
+TraditionalResult TraditionalValidate(const jaguar::BcProgram& program,
+                                      const jaguar::VmConfig& config);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_BASELINE_TRADITIONAL_H_

@@ -1,0 +1,197 @@
+#include "src/artemis/campaign/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/jaguar/support/check.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BugId;
+
+// Deduplication signature: sorted root causes + symptom. Two discrepancies with the same
+// signature are one report (the paper ensured "all reported bugs behave with different
+// symptoms" before filing).
+std::string SignatureOf(const BugReport& report) {
+  std::vector<int> causes;
+  for (BugId b : report.root_causes) {
+    causes.push_back(static_cast<int>(b));
+  }
+  std::sort(causes.begin(), causes.end());
+  std::string sig = std::to_string(static_cast<int>(report.kind)) + "/" +
+                    std::to_string(static_cast<int>(report.crash_component)) + ":";
+  for (int c : causes) {
+    sig += std::to_string(c) + ",";
+  }
+  return sig;
+}
+
+}  // namespace
+
+int CampaignStats::Duplicates() const {
+  int n = 0;
+  for (const auto& report : reports) {
+    n += report.duplicate ? 1 : 0;
+  }
+  return n;
+}
+
+std::set<BugId> CampaignStats::DistinctRootCauses() const {
+  std::set<BugId> out;
+  for (const auto& report : reports) {
+    out.insert(report.root_causes.begin(), report.root_causes.end());
+  }
+  return out;
+}
+
+int CampaignStats::Confirmed() const { return static_cast<int>(DistinctRootCauses().size()); }
+
+int CampaignStats::MisCompilations() const {
+  // Type rows count every filed report, duplicates included, like the paper's Table 1
+  // (whose type split sums to the Reported row).
+  int n = 0;
+  for (const auto& report : reports) {
+    n += report.kind == DiscrepancyKind::kMisCompilation ? 1 : 0;
+  }
+  return n;
+}
+
+int CampaignStats::Crashes() const {
+  int n = 0;
+  for (const auto& report : reports) {
+    n += report.kind == DiscrepancyKind::kCrash ? 1 : 0;
+  }
+  return n;
+}
+
+int CampaignStats::PerformanceIssues() const {
+  int n = 0;
+  for (const auto& report : reports) {
+    n += report.kind == DiscrepancyKind::kPerformance ? 1 : 0;
+  }
+  return n;
+}
+
+std::map<jaguar::VmComponent, int> CampaignStats::CrashComponents() const {
+  std::map<jaguar::VmComponent, int> out;
+  for (const auto& report : reports) {
+    if (report.kind == DiscrepancyKind::kCrash) {
+      ++out[report.crash_component];
+    }
+  }
+  return out;
+}
+
+std::string CampaignStats::ToString() const {
+  std::string out = "campaign[" + vm_name + "]: seeds=" + std::to_string(seeds_run) +
+                    " (discarded " + std::to_string(seeds_discarded) + ")" +
+                    " mutants=" + std::to_string(mutants_generated) + " (discarded " +
+                    std::to_string(mutants_discarded) + ", non-neutral " +
+                    std::to_string(mutants_non_neutral) + ", new-trace " +
+                    std::to_string(mutants_new_trace) + ")\n";
+  out += "  reported=" + std::to_string(Reported()) +
+         " duplicate=" + std::to_string(Duplicates()) +
+         " confirmed=" + std::to_string(Confirmed()) +
+         " | mis-comp=" + std::to_string(MisCompilations()) +
+         " crash=" + std::to_string(Crashes()) +
+         " perf=" + std::to_string(PerformanceIssues()) + "\n";
+  out += "  invocations=" + std::to_string(vm_invocations) + " in " +
+         std::to_string(wall_seconds) + "s";
+  if (wall_seconds > 0) {
+    out += " (" + std::to_string(static_cast<double>(vm_invocations) / wall_seconds) +
+           " invocations/s)";
+  }
+  return out;
+}
+
+CampaignStats RunCampaign(const jaguar::VmConfig& vm_config, const CampaignParams& params) {
+  CampaignStats stats;
+  stats.vm_name = vm_config.name;
+
+  jaguar::VmConfig config = vm_config;
+  config.step_budget = params.step_budget;
+
+  std::set<std::string> seen_signatures;
+  std::set<BugId> seen_causes;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int s = 0; s < params.num_seeds; ++s) {
+    const uint64_t seed_id = params.base_seed + static_cast<uint64_t>(s);
+    jaguar::Rng rng(seed_id * 0x9E3779B97F4A7C15ULL + 1);
+    jaguar::Program seed = GenerateProgram(params.fuzz, seed_id);
+
+    ValidationReport report = Validate(seed, config, params.validator, rng);
+    ++stats.seeds_run;
+    // Every mutant costs one interpreter + one JIT invocation; the seed costs two more.
+    stats.vm_invocations += 2;
+    if (!report.seed_usable) {
+      ++stats.seeds_discarded;
+      continue;
+    }
+
+    bool seed_found = false;
+    // A seed that already diverges between interpretation and its default JIT-trace is a bug
+    // the traditional approaches would also see; file it like the paper's duplicates of bugs
+    // "that common users actually encounter in development".
+    if (report.seed_self_discrepancy) {
+      BugReport bug;
+      bug.seed_id = seed_id;
+      bug.kind = report.seed_jit.status == jaguar::RunStatus::kVmCrash
+                     ? DiscrepancyKind::kCrash
+                     : DiscrepancyKind::kMisCompilation;
+      bug.root_causes = report.seed_jit.fired_bugs;
+      bug.crash_component = report.seed_jit.crash_component;
+      bug.crash_kind = report.seed_jit.crash_kind;
+      bug.detail = "seed diverges between interpreter and default JIT-trace";
+      const std::string signature = SignatureOf(bug);
+      if (seen_signatures.count(signature) == 0) {
+        seen_signatures.insert(signature);
+        bug.duplicate = !bug.root_causes.empty() &&
+                        std::all_of(bug.root_causes.begin(), bug.root_causes.end(),
+                                    [&](BugId b) { return seen_causes.count(b) != 0; });
+        seen_causes.insert(bug.root_causes.begin(), bug.root_causes.end());
+        stats.reports.push_back(std::move(bug));
+        seed_found = true;
+      }
+    }
+    for (const auto& verdict : report.mutants) {
+      ++stats.mutants_generated;
+      stats.vm_invocations += verdict.discarded && !verdict.non_neutral ? 1 : 2;
+      stats.mutants_discarded += verdict.discarded ? 1 : 0;
+      stats.mutants_non_neutral += verdict.non_neutral ? 1 : 0;
+      stats.mutants_new_trace += verdict.explored_new_trace ? 1 : 0;
+      if (verdict.kind == DiscrepancyKind::kNone) {
+        continue;
+      }
+      seed_found = true;
+
+      BugReport bug;
+      bug.seed_id = seed_id;
+      bug.kind = verdict.kind;
+      bug.root_causes = verdict.suspected_bugs;
+      bug.crash_component = verdict.outcome.crash_component;
+      bug.crash_kind = verdict.outcome.crash_kind;
+      bug.detail = verdict.detail;
+
+      // File at most one report per signature; later hits of an already-covered root cause
+      // count as duplicates (reported but recognized as the same underlying defect).
+      const std::string signature = SignatureOf(bug);
+      if (seen_signatures.count(signature) != 0) {
+        continue;  // identical symptom — we would not file it again at all
+      }
+      seen_signatures.insert(signature);
+      bug.duplicate = !bug.root_causes.empty() &&
+                      std::all_of(bug.root_causes.begin(), bug.root_causes.end(),
+                                  [&](BugId b) { return seen_causes.count(b) != 0; });
+      seen_causes.insert(bug.root_causes.begin(), bug.root_causes.end());
+      stats.reports.push_back(std::move(bug));
+    }
+    stats.seeds_with_discrepancy += seed_found ? 1 : 0;
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stats;
+}
+
+}  // namespace artemis

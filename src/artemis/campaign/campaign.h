@@ -1,0 +1,89 @@
+// Campaign driver: many seeds × one VM configuration, with the aggregate statistics the
+// paper's evaluation reports (Tables 1, 2 and the §4.3 throughput measurement).
+//
+// Report bookkeeping mirrors the paper's process. Every discrepancy would be "filed" as a bug
+// report; reports that share a root cause are duplicates of one another. Because our defects
+// are injected, root causes are ground truth (fired-bug telemetry), so the campaign can
+// compute exactly:
+//   - Reported   — distinct (root-cause set, symptom) report signatures filed;
+//   - Duplicate  — reports whose root cause was already covered by an earlier signature
+//     (the paper: "two bugs for ART and five for OpenJ9 still stem from the same root causes");
+//   - Confirmed  — distinct root-cause defects actually found ("developers can reproduce");
+//   - the symptom split (mis-compilation / crash / performance) and the affected-component
+//     histogram over crashes (Table 2).
+// "Fixed" is not reproducible in a simulation (it depends on vendor action) and is reported
+// as a dash by the benches.
+
+#ifndef SRC_ARTEMIS_CAMPAIGN_CAMPAIGN_H_
+#define SRC_ARTEMIS_CAMPAIGN_CAMPAIGN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/artemis/fuzzer/generator.h"
+#include "src/artemis/validate/validator.h"
+#include "src/jaguar/vm/config.h"
+
+namespace artemis {
+
+struct CampaignParams {
+  int num_seeds = 60;
+  uint64_t base_seed = 20260707;
+  FuzzConfig fuzz;
+  ValidatorParams validator;
+  // Step budget applied to every VM run in the campaign (keeps runaway mutants bounded, like
+  // the paper's 2-minute cutoff).
+  uint64_t step_budget = 60'000'000;
+};
+
+// One would-be bug report: a discrepancy with its ground-truth root causes.
+struct BugReport {
+  uint64_t seed_id = 0;
+  DiscrepancyKind kind = DiscrepancyKind::kNone;
+  std::vector<jaguar::BugId> root_causes;  // may be empty (cause outside the injected set)
+  jaguar::VmComponent crash_component = jaguar::VmComponent::kNone;
+  std::string crash_kind;
+  std::string detail;
+  bool duplicate = false;  // a previous report already covered every root cause
+};
+
+struct CampaignStats {
+  std::string vm_name;
+
+  int seeds_run = 0;
+  int seeds_discarded = 0;        // timed out / unusable
+  int mutants_generated = 0;
+  int mutants_discarded = 0;
+  int mutants_non_neutral = 0;    // tool-defect guard firings (should be ~0)
+  int mutants_new_trace = 0;      // mutants whose JIT-trace differed from the seed's
+
+  int seeds_with_discrepancy = 0;
+  std::vector<BugReport> reports;
+
+  // Table 1 rows.
+  int Reported() const { return static_cast<int>(reports.size()); }
+  int Duplicates() const;
+  int Confirmed() const;  // distinct root-cause defects
+  int MisCompilations() const;
+  int Crashes() const;
+  int PerformanceIssues() const;
+
+  // Table 2: crash counts per affected component.
+  std::map<jaguar::VmComponent, int> CrashComponents() const;
+
+  std::set<jaguar::BugId> DistinctRootCauses() const;
+
+  // §4.3 throughput.
+  uint64_t vm_invocations = 0;  // engine runs (seeds + mutants, interp + JIT)
+  double wall_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+CampaignStats RunCampaign(const jaguar::VmConfig& vm_config, const CampaignParams& params);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_CAMPAIGN_CAMPAIGN_H_

@@ -1,0 +1,104 @@
+#include "src/artemis/coverage/coverage.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/support/check.h"
+
+namespace artemis {
+
+void SpaceCoverage::Observe(const jaguar::BcProgram& program, const jaguar::JitTrace& trace) {
+  for (const jaguar::TemperatureVector& v : trace.vectors) {
+    if (v.func < 0 || static_cast<size_t>(v.func) >= program.functions.size()) {
+      continue;
+    }
+    MethodCoverage& cov = per_method_[program.functions[static_cast<size_t>(v.func)].name];
+    if (!v.temps.empty()) {
+      cov.max_entry_level = std::max(cov.max_entry_level, v.temps.front());
+    }
+    for (size_t i = 1; i < v.temps.size(); ++i) {
+      if (v.temps[i] > v.temps[i - 1]) {
+        cov.max_midcall_level = std::max(cov.max_midcall_level, v.temps[i]);
+      } else if (v.temps[i] < v.temps[i - 1]) {
+        cov.deopted = true;  // a temperature drop is a deoptimization
+      }
+    }
+  }
+}
+
+std::vector<std::string> SpaceCoverage::MethodsBelowLevel(const jaguar::BcProgram& program,
+                                                          int level) const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < program.functions.size(); ++i) {
+    if (static_cast<int>(i) == program.ginit_index) {
+      continue;
+    }
+    const std::string& name = program.functions[i].name;
+    auto it = per_method_.find(name);
+    if (it == per_method_.end() || it->second.MaxLevel() < level) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+double SpaceCoverage::FractionAtLevel(const jaguar::BcProgram& program, int level) const {
+  int total = 0;
+  int covered = 0;
+  for (size_t i = 0; i < program.functions.size(); ++i) {
+    if (static_cast<int>(i) == program.ginit_index) {
+      continue;
+    }
+    ++total;
+    auto it = per_method_.find(program.functions[i].name);
+    covered += (it != per_method_.end() && it->second.MaxLevel() >= level) ? 1 : 0;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(covered) / total;
+}
+
+double SpaceCoverage::FractionDeopted(const jaguar::BcProgram& program) const {
+  int total = 0;
+  int covered = 0;
+  for (size_t i = 0; i < program.functions.size(); ++i) {
+    if (static_cast<int>(i) == program.ginit_index) {
+      continue;
+    }
+    ++total;
+    auto it = per_method_.find(program.functions[i].name);
+    covered += (it != per_method_.end() && it->second.deopted) ? 1 : 0;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(covered) / total;
+}
+
+ValidationReport GuidedValidate(const jaguar::Program& seed,
+                                const jaguar::VmConfig& vm_config,
+                                const ValidatorParams& params, jaguar::Rng& rng,
+                                SpaceCoverage* coverage) {
+  JAG_CHECK(coverage != nullptr);
+
+  jaguar::VmConfig config = vm_config;
+  config.record_full_trace = true;  // the "JVM logging options" of §4.5
+  const int top_level = static_cast<int>(config.tiers.size());
+  const jaguar::BcProgram seed_bc = jaguar::CompileProgram(seed);
+
+  ValidatorParams guided = params;
+  // Before each mutant: aim the mutators at methods the campaign has not yet driven to the
+  // top tier. After each mutant: fold its JIT-trace into the coverage map.
+  guided.tune_iteration = [&](int /*iteration*/, JonmParams& jonm) {
+    jonm.prioritized_methods = coverage->MethodsBelowLevel(seed_bc, top_level);
+  };
+  guided.on_mutant = [&](const MutantVerdict& verdict) {
+    if (verdict.outcome.full_trace != nullptr) {
+      coverage->Observe(seed_bc, *verdict.outcome.full_trace);
+    }
+  };
+
+  ValidationReport report = Validate(seed, config, guided, rng);
+  if (report.seed_usable && report.seed_jit.full_trace != nullptr) {
+    coverage->Observe(seed_bc, *report.seed_jit.full_trace);
+  }
+  return report;
+}
+
+}  // namespace artemis

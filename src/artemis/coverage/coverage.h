@@ -1,0 +1,68 @@
+// Compilation-space coverage — the paper's §4.5 future-work direction, implemented:
+// "we can record the coverage of the compilation space and guide Artemis to generate
+// uncovered JIT-compilations ... by leveraging the logging options of the JVM".
+//
+// Our VM's full JIT-trace (vm/trace.h) plays the role of those logging options: from the
+// temperature vectors of a run we derive, per method, which execution modes the campaign has
+// already witnessed — entered compiled at level k, got compiled/OSR'd to level k mid-call,
+// deoptimized. GuidedValidate() then biases each JoNM iteration toward the methods whose
+// top-tier modes are still uncovered, instead of sampling methods uniformly.
+
+#ifndef SRC_ARTEMIS_COVERAGE_COVERAGE_H_
+#define SRC_ARTEMIS_COVERAGE_COVERAGE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/artemis/validate/validator.h"
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/vm/trace.h"
+
+namespace artemis {
+
+struct MethodCoverage {
+  int max_entry_level = 0;    // hottest tier a call of this method *started* in
+  int max_midcall_level = 0;  // hottest tier reached during a call (JIT/OSR compilation)
+  bool deopted = false;       // a temperature drop was observed (deoptimization)
+
+  int MaxLevel() const {
+    return max_entry_level > max_midcall_level ? max_entry_level : max_midcall_level;
+  }
+};
+
+// Accumulates coverage over runs (typically: over all mutants of one seed).
+class SpaceCoverage {
+ public:
+  // Folds one run's full JIT-trace into the map. `program` resolves function indices to
+  // names (coverage is keyed by method name, so it survives re-compilation of mutants,
+  // whose function indices match the seed's by construction).
+  void Observe(const jaguar::BcProgram& program, const jaguar::JitTrace& trace);
+
+  const std::map<std::string, MethodCoverage>& per_method() const { return per_method_; }
+
+  // Methods of `program` (JoNM's mutation targets, <ginit> excluded) that have not reached
+  // `level` in any observed run — the uncovered compilation choices to aim for next.
+  std::vector<std::string> MethodsBelowLevel(const jaguar::BcProgram& program,
+                                             int level) const;
+
+  // Fraction of methods that reached `level`, and that deoptimized at least once.
+  double FractionAtLevel(const jaguar::BcProgram& program, int level) const;
+  double FractionDeopted(const jaguar::BcProgram& program) const;
+
+ private:
+  std::map<std::string, MethodCoverage> per_method_;
+};
+
+// Algorithm 1 with coverage guidance: identical protocol to Validate() (same oracle, same
+// MAX_ITER, same discards), but every iteration after the first prioritizes mutating the
+// methods that previous iterations have not yet driven to the VM's top tier. `coverage`
+// accumulates across the call and may be shared across seeds for reporting.
+ValidationReport GuidedValidate(const jaguar::Program& seed,
+                                const jaguar::VmConfig& vm_config,
+                                const ValidatorParams& params, jaguar::Rng& rng,
+                                SpaceCoverage* coverage);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_COVERAGE_COVERAGE_H_

@@ -1,0 +1,558 @@
+#include "src/artemis/fuzzer/generator.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/support/check.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::AssignOp;
+using jaguar::BinOp;
+using jaguar::Expr;
+using jaguar::ExprPtr;
+using jaguar::FuncDecl;
+using jaguar::GlobalDecl;
+using jaguar::Program;
+using jaguar::Rng;
+using jaguar::Stmt;
+using jaguar::StmtPtr;
+using jaguar::Type;
+using jaguar::TypeKind;
+using jaguar::UnOp;
+
+// All generated arrays have exactly this length, so constant and `x % kArrayLen` indexing is
+// always in bounds by construction.
+constexpr int kArrayLen = 10;
+
+struct GenVar {
+  std::string name;
+  Type type;
+  bool mutable_var = true;   // loop counters are frozen inside their own bodies
+  bool nonneg = false;       // loop induction variables (safe as `v % kArrayLen` indices)
+};
+
+class Generator {
+ public:
+  Generator(const FuzzConfig& config, uint64_t seed) : config_(config), rng_(seed) {}
+
+  Program Generate() {
+    const int num_globals = rng_.NextInt(config_.min_globals, config_.max_globals);
+    for (int i = 0; i < num_globals; ++i) {
+      EmitGlobal(i);
+    }
+    const int num_functions = rng_.NextInt(config_.min_functions, config_.max_functions);
+    for (int i = 0; i < num_functions; ++i) {
+      EmitFunction(i);
+    }
+    EmitMain();
+    jaguar::Check(program_);
+    return std::move(program_);
+  }
+
+ private:
+  // --- Declarations ---------------------------------------------------------------------------
+
+  Type RandomPrimitive() {
+    switch (rng_.NextInt(0, 3)) {
+      case 0: return Type::Int();
+      case 1: return Type::Int();  // int-biased, like typical fuzzed Java
+      case 2: return Type::Long();
+      default: return Type::Bool();
+    }
+  }
+
+  void EmitGlobal(int index) {
+    GlobalDecl g;
+    g.name = "g" + std::to_string(index);
+    if (rng_.Chance(1, 5)) {
+      g.type = Type::ArrayOf(TypeKind::kInt);
+      std::vector<ExprPtr> elems;
+      for (int i = 0; i < kArrayLen; ++i) {
+        elems.push_back(jaguar::MakeIntLit(rng_.NextInt(-20, 20)));
+      }
+      g.init = jaguar::MakeNewArrayInit(TypeKind::kInt, std::move(elems));
+    } else {
+      g.type = RandomPrimitive();
+      g.init = LiteralOf(g.type);
+    }
+    globals_.push_back(GenVar{g.name, g.type, true, false});
+    program_.globals.push_back(std::move(g));
+  }
+
+  void EmitFunction(int index) {
+    auto f = std::make_unique<FuncDecl>();
+    f->name = "f" + std::to_string(index);
+    switch (rng_.NextInt(0, 3)) {
+      case 0: f->ret = Type::Void(); break;
+      case 1: f->ret = Type::Int(); break;
+      case 2: f->ret = Type::Long(); break;
+      default: f->ret = Type::Bool(); break;
+    }
+    const int nparams = rng_.NextInt(0, config_.max_params);
+    for (int p = 0; p < nparams; ++p) {
+      f->params.push_back(jaguar::Param{RandomPrimitive(), "p" + std::to_string(p)});
+    }
+
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (const auto& p : f->params) {
+      scopes_.back().push_back(GenVar{p.name, p.type, true, false});
+    }
+    callable_limit_ = index;  // may call f0..f(index-1): the call graph stays acyclic
+    current_cost_ = 0;
+    cost_multiplier_ = 1;
+
+    std::vector<StmtPtr> body = GenBlockStmts(config_.max_stmt_depth);
+    if (!f->ret.IsVoid()) {
+      body.push_back(jaguar::MakeReturn(GenExpr(f->ret, config_.max_expr_depth)));
+    }
+    f->body = jaguar::MakeBlock(std::move(body));
+    est_cost_.push_back(current_cost_ + 10);
+    program_.functions.push_back(std::move(f));
+  }
+
+  void EmitMain() {
+    auto f = std::make_unique<FuncDecl>();
+    f->name = "main";
+    f->ret = Type::Int();
+    scopes_.clear();
+    scopes_.emplace_back();
+    callable_limit_ = static_cast<int>(program_.functions.size());
+    current_cost_ = 0;
+    cost_multiplier_ = 1;
+
+    std::vector<StmtPtr> body = GenBlockStmts(config_.max_stmt_depth);
+    // A few extra direct calls so every function is reachable even if GenBlockStmts missed it
+    // (the paper's seeds call each method a handful of times).
+    for (int i = 0; i < callable_limit_; ++i) {
+      const int times = rng_.NextInt(1, 2);
+      for (int t = 0; t < times; ++t) {
+        body.push_back(jaguar::MakeExprStmt(GenCallTo(i)));
+      }
+    }
+    // Observability: print every global at the end.
+    for (const auto& g : globals_) {
+      if (g.type.IsArray()) {
+        for (int k = 0; k < 3; ++k) {
+          body.push_back(jaguar::MakePrint(jaguar::MakeIndex(
+              jaguar::MakeVarRef(g.name), jaguar::MakeIntLit(rng_.NextInt(0, kArrayLen - 1)))));
+        }
+      } else {
+        body.push_back(jaguar::MakePrint(jaguar::MakeVarRef(g.name)));
+      }
+    }
+    body.push_back(jaguar::MakeReturn(jaguar::MakeIntLit(0)));
+    f->body = jaguar::MakeBlock(std::move(body));
+    program_.functions.push_back(std::move(f));
+  }
+
+  // --- Scope helpers --------------------------------------------------------------------------
+
+  std::vector<const GenVar*> VisibleVars(Type type, bool need_mutable) const {
+    std::vector<const GenVar*> out;
+    for (const auto& scope : scopes_) {
+      for (const auto& v : scope) {
+        if (v.type == type && (!need_mutable || v.mutable_var)) {
+          out.push_back(&v);
+        }
+      }
+    }
+    for (const auto& g : globals_) {
+      if (g.type == type) {
+        out.push_back(&g);
+      }
+    }
+    return out;
+  }
+
+  std::vector<const GenVar*> NonNegVars() const {
+    std::vector<const GenVar*> out;
+    for (const auto& scope : scopes_) {
+      for (const auto& v : scope) {
+        if (v.nonneg) {
+          out.push_back(&v);
+        }
+      }
+    }
+    return out;
+  }
+
+  std::string FreshName(const char* prefix) {
+    return std::string(prefix) + std::to_string(next_name_++);
+  }
+
+  // --- Expressions ----------------------------------------------------------------------------
+
+  ExprPtr LiteralOf(Type t) {
+    if (t.IsBool()) {
+      return jaguar::MakeBoolLit(rng_.FlipCoin());
+    }
+    if (t.IsLong()) {
+      if (rng_.Chance(static_cast<uint32_t>(config_.interesting_literal_pct), 100)) {
+        static const int64_t kInteresting[] = {0,       1,          -1,         63,
+                                               64,      4294967296, -4294967296, INT64_MAX / 2,
+                                               1 << 20, -(1 << 20)};
+        return jaguar::MakeLongLit(
+            kInteresting[rng_.PickIndex(sizeof(kInteresting) / sizeof(int64_t))]);
+      }
+      return jaguar::MakeLongLit(rng_.NextInRange(-64, 64));
+    }
+    if (rng_.Chance(static_cast<uint32_t>(config_.interesting_literal_pct), 100)) {
+      // Shift-range values 32/33/63 are deliberately absent: JoNM's synthesized expressions
+      // supply them (@SH holes), keeping the shift-fold defect out of raw seeds.
+      static const int64_t kInteresting[] = {0,  1,   -1,  2,    7,     8,     16,        31,
+                                             64, 100, 255, 256,  1024,  -8,    -32,       -128,
+                                             -255, 4096, 65535, 2147483647, -2147483647};
+      return jaguar::MakeIntLit(
+          kInteresting[rng_.PickIndex(sizeof(kInteresting) / sizeof(int64_t))]);
+    }
+    return jaguar::MakeIntLit(rng_.NextInRange(-32, 32));
+  }
+
+  // A small nonzero divisor (keeps most seeds trap-free; traps still possible via variables).
+  ExprPtr NonZeroDivisor(Type t) {
+    // No power-of-two divisors: strength reduction of division stays a mutation-only
+    // trigger (the @P2 skeleton holes provide them).
+    static const int64_t kDivisors[] = {1, 3, 5, 7, 9, 11, -3, -5, 100};
+    const int64_t d = kDivisors[rng_.PickIndex(sizeof(kDivisors) / sizeof(int64_t))];
+    return t.IsLong() ? jaguar::MakeLongLit(d) : jaguar::MakeIntLit(d);
+  }
+
+  ExprPtr VarOrLiteral(Type t) {
+    auto vars = VisibleVars(t, /*need_mutable=*/false);
+    if (!vars.empty() && rng_.Chance(3, 5)) {
+      return jaguar::MakeVarRef(vars[rng_.PickIndex(vars.size())]->name);
+    }
+    return LiteralOf(t);
+  }
+
+  // In-bounds read of a random int array element, if any array is visible.
+  ExprPtr MaybeArrayRead() {
+    auto arrays = VisibleVars(Type::ArrayOf(TypeKind::kInt), false);
+    if (arrays.empty()) {
+      return nullptr;
+    }
+    return jaguar::MakeIndex(jaguar::MakeVarRef(arrays[rng_.PickIndex(arrays.size())]->name),
+                             GenIndexExpr());
+  }
+
+  // An index expression guaranteed in [0, kArrayLen).
+  ExprPtr GenIndexExpr() {
+    auto nonneg = NonNegVars();
+    if (!nonneg.empty() && rng_.FlipCoin()) {
+      return jaguar::MakeBinary(BinOp::kRem,
+                                jaguar::MakeVarRef(nonneg[rng_.PickIndex(nonneg.size())]->name),
+                                jaguar::MakeIntLit(kArrayLen));
+    }
+    return jaguar::MakeIntLit(rng_.NextInt(0, kArrayLen - 1));
+  }
+
+  ExprPtr GenCallTo(int func_index) {
+    const FuncDecl& callee = *program_.functions[static_cast<size_t>(func_index)];
+    std::vector<ExprPtr> args;
+    for (const auto& p : callee.params) {
+      args.push_back(GenExpr(p.type, 1));
+    }
+    return jaguar::MakeCall(callee.name, std::move(args));
+  }
+
+  ExprPtr GenNumeric(Type t, int depth) {
+    switch (rng_.NextInt(0, 9)) {
+      case 0:
+      case 1: {
+        BinOp op;
+        switch (rng_.NextInt(0, 4)) {
+          case 0: op = BinOp::kAdd; break;
+          case 1: op = BinOp::kSub; break;
+          case 2: op = BinOp::kMul; break;
+          case 3: op = BinOp::kBitXor; break;
+          default: op = BinOp::kBitAnd; break;
+        }
+        return jaguar::MakeBinary(op, GenExpr(t, depth - 1), GenExpr(t, depth - 1));
+      }
+      case 2: {
+        const BinOp op = rng_.FlipCoin() ? BinOp::kDiv : BinOp::kRem;
+        return jaguar::MakeBinary(op, GenExpr(t, depth - 1), NonZeroDivisor(t));
+      }
+      case 3: {
+        BinOp op;
+        switch (rng_.NextInt(0, 2)) {
+          case 0: op = BinOp::kShl; break;
+          case 1: op = BinOp::kShr; break;
+          default: op = BinOp::kUshr; break;
+        }
+        return jaguar::MakeBinary(op, GenExpr(t, depth - 1), GenExpr(Type::Int(), depth - 1));
+      }
+      case 4:
+        return jaguar::MakeUnary(rng_.FlipCoin() ? UnOp::kNeg : UnOp::kBitNot,
+                                 GenExpr(t, depth - 1));
+      case 5:
+        return jaguar::MakeTernary(GenExpr(Type::Bool(), depth - 1), GenExpr(t, depth - 1),
+                                   GenExpr(t, depth - 1));
+      case 6: {
+        // Numeric cast (long <-> int).
+        if (t.IsInt()) {
+          return jaguar::MakeCast(Type::Int(), GenExpr(Type::Long(), depth - 1));
+        }
+        return jaguar::MakeCast(Type::Long(), GenExpr(Type::Int(), depth - 1));
+      }
+      case 7: {
+        if (t.IsInt()) {
+          ExprPtr read = MaybeArrayRead();
+          if (read != nullptr) {
+            return read;
+          }
+        }
+        return VarOrLiteral(t);
+      }
+      case 8: {
+        // Call to an already-defined function with a matching return type.
+        for (int tries = 0; tries < 3 && callable_limit_ > 0; ++tries) {
+          const int idx = rng_.NextInt(0, callable_limit_ - 1);
+          if (program_.functions[static_cast<size_t>(idx)]->ret == t &&
+              CallAffordable(idx)) {
+            current_cost_ += est_cost_[static_cast<size_t>(idx)] * cost_multiplier_;
+            return GenCallTo(idx);
+          }
+        }
+        return VarOrLiteral(t);
+      }
+      default:
+        return VarOrLiteral(t);
+    }
+  }
+
+  ExprPtr GenBool(int depth) {
+    switch (rng_.NextInt(0, 5)) {
+      case 0:
+      case 1: {
+        const Type t = rng_.FlipCoin() ? Type::Int() : Type::Long();
+        BinOp op;
+        switch (rng_.NextInt(0, 5)) {
+          case 0: op = BinOp::kLt; break;
+          case 1: op = BinOp::kLe; break;
+          case 2: op = BinOp::kGt; break;
+          case 3: op = BinOp::kGe; break;
+          case 4: op = BinOp::kEq; break;
+          default: op = BinOp::kNe; break;
+        }
+        return jaguar::MakeBinary(op, GenExpr(t, depth - 1), GenExpr(t, depth - 1));
+      }
+      case 2:
+        return jaguar::MakeBinary(rng_.FlipCoin() ? BinOp::kLogAnd : BinOp::kLogOr,
+                                  GenExpr(Type::Bool(), depth - 1),
+                                  GenExpr(Type::Bool(), depth - 1));
+      case 3:
+        return jaguar::MakeUnary(UnOp::kNot, GenExpr(Type::Bool(), depth - 1));
+      default:
+        return VarOrLiteral(Type::Bool());
+    }
+  }
+
+  ExprPtr GenExpr(Type t, int depth) {
+    if (depth <= 0) {
+      return VarOrLiteral(t);
+    }
+    if (t.IsBool()) {
+      return GenBool(depth);
+    }
+    JAG_CHECK(t.IsNumeric());
+    return GenNumeric(t, depth);
+  }
+
+  // --- Statements -----------------------------------------------------------------------------
+
+  std::vector<StmtPtr> GenBlockStmts(int depth) {
+    std::vector<StmtPtr> out;
+    const int count = rng_.NextInt(2, config_.max_block_stmts);
+    scopes_.emplace_back();
+    for (int i = 0; i < count; ++i) {
+      out.push_back(GenStmt(depth));
+    }
+    scopes_.pop_back();
+    return out;
+  }
+
+  // True if calling function `idx` here keeps the cost estimate acceptable.
+  bool CallAffordable(int idx) const {
+    return est_cost_[static_cast<size_t>(idx)] * cost_multiplier_ <= 20'000 &&
+           current_cost_ <= 300'000;
+  }
+
+  StmtPtr GenStmt(int depth) {
+    current_cost_ += 2 * cost_multiplier_;
+    const int kind = depth > 0 ? rng_.NextInt(0, 11) : rng_.NextInt(0, 5);
+    switch (kind) {
+      case 0: {  // declaration
+        if (rng_.Chance(1, 6)) {
+          const std::string name = FreshName("a");
+          scopes_.back().push_back(GenVar{name, Type::ArrayOf(TypeKind::kInt), true, false});
+          return jaguar::MakeVarDecl(Type::ArrayOf(TypeKind::kInt), name,
+                                     jaguar::MakeNewArray(TypeKind::kInt,
+                                                          jaguar::MakeIntLit(kArrayLen)));
+        }
+        const Type t = RandomPrimitive();
+        const std::string name = FreshName("v");
+        // The initializer must not see the variable being declared.
+        ExprPtr init = GenExpr(t, config_.max_expr_depth);
+        scopes_.back().push_back(GenVar{name, t, true, false});
+        return jaguar::MakeVarDecl(t, name, std::move(init));
+      }
+      case 1:
+      case 2: {  // assignment (plain or compound)
+        const Type t = RandomPrimitive();
+        auto vars = VisibleVars(t, /*need_mutable=*/true);
+        if (vars.empty()) {
+          return GenStmt(0);
+        }
+        ExprPtr lv = jaguar::MakeVarRef(vars[rng_.PickIndex(vars.size())]->name);
+        if (t.IsBool() || rng_.Chance(2, 5)) {
+          return jaguar::MakeAssign(AssignOp::kAssign, std::move(lv),
+                                    GenExpr(t, config_.max_expr_depth));
+        }
+        static const AssignOp kCompound[] = {AssignOp::kAddAssign, AssignOp::kSubAssign,
+                                             AssignOp::kMulAssign, AssignOp::kXorAssign,
+                                             AssignOp::kShlAssign, AssignOp::kOrAssign};
+        return jaguar::MakeAssign(kCompound[rng_.PickIndex(6)], std::move(lv),
+                                  GenExpr(t, 2));
+      }
+      case 3: {  // array element store
+        auto arrays = VisibleVars(Type::ArrayOf(TypeKind::kInt), false);
+        if (arrays.empty()) {
+          return GenStmt(0);
+        }
+        ExprPtr lv = jaguar::MakeIndex(
+            jaguar::MakeVarRef(arrays[rng_.PickIndex(arrays.size())]->name), GenIndexExpr());
+        return jaguar::MakeAssign(rng_.FlipCoin() ? AssignOp::kAssign : AssignOp::kAddAssign,
+                                  std::move(lv), GenExpr(Type::Int(), 2));
+      }
+      case 4:  // print a visible value
+        return jaguar::MakePrint(VarOrLiteral(RandomPrimitive()));
+      case 5: {  // call statement
+        if (callable_limit_ == 0) {
+          return GenStmt(0);
+        }
+        const int idx = rng_.NextInt(0, callable_limit_ - 1);
+        if (!CallAffordable(idx)) {
+          return GenStmt(0);
+        }
+        current_cost_ += est_cost_[static_cast<size_t>(idx)] * cost_multiplier_;
+        return jaguar::MakeExprStmt(GenCallTo(idx));
+      }
+      case 6:
+      case 7: {  // if / if-else
+        ExprPtr cond = GenExpr(Type::Bool(), config_.max_expr_depth);
+        StmtPtr then_s = jaguar::MakeBlock(GenBlockStmts(depth - 1));
+        StmtPtr else_s;
+        if (rng_.FlipCoin()) {
+          else_s = jaguar::MakeBlock(GenBlockStmts(depth - 1));
+        }
+        return jaguar::MakeIf(std::move(cond), std::move(then_s), std::move(else_s));
+      }
+      case 8:
+      case 9: {  // bounded counted for-loop (nesting capped at 2: depth-3 nests are left to
+                 // the mutators, keeping the LICM deep-nest defect out of raw seeds)
+        if (loop_nesting_ >= 2) {
+          return GenStmt(0);
+        }
+        const std::string iv = FreshName("i");
+        const int trip = rng_.NextInt(2, config_.max_loop_trip);
+        scopes_.emplace_back();
+        scopes_.back().push_back(GenVar{iv, Type::Int(), /*mutable_var=*/false,
+                                        /*nonneg=*/true});
+        cost_multiplier_ *= trip;
+        ++loop_nesting_;
+        StmtPtr body = jaguar::MakeBlock(GenBlockStmts(depth - 1));
+        --loop_nesting_;
+        cost_multiplier_ /= trip;
+        scopes_.pop_back();
+        return jaguar::MakeFor(
+            jaguar::MakeVarDecl(Type::Int(), iv, jaguar::MakeIntLit(0)),
+            jaguar::MakeBinary(BinOp::kLt, jaguar::MakeVarRef(iv), jaguar::MakeIntLit(trip)),
+            jaguar::MakeAssign(AssignOp::kAddAssign, jaguar::MakeVarRef(iv),
+                               jaguar::MakeIntLit(1)),
+            std::move(body));
+      }
+      case 10: {  // switch with fall-through
+        const int ncases = rng_.NextInt(2, config_.max_switch_cases);
+        auto sw = jaguar::MakeBlock({});  // placeholder; build manually
+        auto s = std::make_unique<Stmt>();
+        s->kind = jaguar::StmtKind::kSwitch;
+        s->exprs.push_back(jaguar::MakeBinary(
+            BinOp::kRem,
+            jaguar::MakeUnary(UnOp::kNeg,
+                              jaguar::MakeUnary(UnOp::kNeg, GenExpr(Type::Int(), 2))),
+            jaguar::MakeIntLit(ncases + 1)));
+        for (int c = 0; c < ncases; ++c) {
+          jaguar::SwitchArm arm;
+          arm.value = c;
+          scopes_.emplace_back();
+          const int arm_stmts = rng_.NextInt(1, 2);
+          for (int k = 0; k < arm_stmts; ++k) {
+            arm.stmts.push_back(GenStmt(0));
+          }
+          scopes_.pop_back();
+          if (rng_.Chance(7, 10)) {
+            arm.stmts.push_back(jaguar::MakeBreak());
+          }
+          s->arms.push_back(std::move(arm));
+        }
+        if (rng_.FlipCoin()) {
+          jaguar::SwitchArm def;
+          def.is_default = true;
+          scopes_.emplace_back();
+          def.stmts.push_back(GenStmt(0));
+          scopes_.pop_back();
+          s->arms.push_back(std::move(def));
+        }
+        (void)sw;
+        return s;
+      }
+      default: {  // try/catch around a risky division
+        const Type t = Type::Int();
+        auto vars = VisibleVars(t, /*need_mutable=*/true);
+        if (vars.empty()) {
+          return GenStmt(0);
+        }
+        const std::string target = vars[rng_.PickIndex(vars.size())]->name;
+        std::vector<StmtPtr> risky;
+        risky.push_back(jaguar::MakeAssign(
+            AssignOp::kAssign, jaguar::MakeVarRef(target),
+            jaguar::MakeBinary(BinOp::kDiv, GenExpr(t, 2), GenExpr(t, 1))));
+        std::vector<StmtPtr> handler;
+        handler.push_back(jaguar::MakeAssign(AssignOp::kAssign, jaguar::MakeVarRef(target),
+                                             jaguar::MakeIntLit(rng_.NextInt(-9, 9))));
+        return jaguar::MakeTryCatch(jaguar::MakeBlock(std::move(risky)),
+                                    jaguar::MakeBlock(std::move(handler)));
+      }
+    }
+  }
+
+  const FuzzConfig& config_;
+  Rng rng_;
+  Program program_;
+  std::vector<GenVar> globals_;
+  std::vector<std::vector<GenVar>> scopes_;
+  int callable_limit_ = 0;
+  int next_name_ = 0;
+  // Rough step-cost estimation: keeps the whole program's interpreted cost bounded so seeds
+  // terminate quickly (the call graph is acyclic but loops would otherwise multiply call
+  // costs exponentially across the function chain).
+  std::vector<int64_t> est_cost_;     // per-call cost estimate of each generated function
+  int64_t current_cost_ = 0;          // accumulated estimate of the function being generated
+  int64_t cost_multiplier_ = 1;       // product of enclosing generated-loop trip counts
+  int loop_nesting_ = 0;              // current generated-loop nesting depth
+};
+
+}  // namespace
+
+Program GenerateProgram(const FuzzConfig& config, uint64_t seed) {
+  Generator gen(config, seed);
+  return gen.Generate();
+}
+
+}  // namespace artemis

@@ -1,0 +1,43 @@
+// JagFuzz — the seed-program generator (the JavaFuzzer substitute, DESIGN.md §1).
+//
+// Generates random, well-typed, *terminating* Jaguar programs. Like JavaFuzzer (paper §2.2),
+// the generator intentionally avoids long loops: seeds alone rarely reach any compilation
+// threshold, so their default JIT-trace is cold — which is exactly the situation JoNM's
+// mutations then change. Termination is by construction: loops are bounded counted loops whose
+// induction variable is not written in the body, and the call graph is acyclic.
+//
+// Every program prints all of its globals at the end of main, giving the differential oracle
+// a rich observable state.
+
+#ifndef SRC_ARTEMIS_FUZZER_GENERATOR_H_
+#define SRC_ARTEMIS_FUZZER_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/jaguar/lang/ast.h"
+#include "src/jaguar/support/rng.h"
+
+namespace artemis {
+
+struct FuzzConfig {
+  int min_globals = 3;
+  int max_globals = 7;
+  int min_functions = 2;   // besides main
+  int max_functions = 6;
+  int max_params = 3;
+  int max_block_stmts = 7;
+  int max_stmt_depth = 3;  // nesting of if/for/while/switch
+  int max_expr_depth = 3;
+  int max_loop_trip = 8;   // small trips: seeds must stay cold (see file comment)
+  int max_switch_cases = 10;
+  // Chance (out of 100) that an int literal is drawn from the "interesting" set
+  // (powers of two, shift-range values, negatives) rather than a small uniform value.
+  int interesting_literal_pct = 30;
+};
+
+// Generates a checked program (jaguar::Check already run). Deterministic in (config, seed).
+jaguar::Program GenerateProgram(const FuzzConfig& config, uint64_t seed);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_FUZZER_GENERATOR_H_

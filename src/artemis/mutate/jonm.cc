@@ -1,0 +1,412 @@
+#include "src/artemis/mutate/jonm.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/printer.h"
+#include "src/jaguar/lang/scope.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/support/check.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::Expr;
+using jaguar::FuncDecl;
+using jaguar::InsertionPoint;
+using jaguar::Program;
+using jaguar::Rng;
+using jaguar::Stmt;
+using jaguar::StmtKind;
+using jaguar::StmtPtr;
+using jaguar::Type;
+using jaguar::VarInfo;
+
+std::vector<VarInfo> GlobalVarInfos(const Program& p) {
+  std::vector<VarInfo> out;
+  for (const auto& g : p.globals) {
+    out.push_back(VarInfo{g.name, g.type, /*is_global=*/true});
+  }
+  return out;
+}
+
+bool ContainsReturn(const Stmt& s);
+bool ContainsLoopContinue(const Stmt& s);
+
+// Collects the names of variables (locals or globals) directly assigned anywhere in `s`, and
+// sets *has_calls when `s` contains any call (whose callee may write arbitrary globals).
+void CollectWrites(const Stmt& s, std::set<std::string>* written, bool* has_calls);
+
+void CollectCallsInExprTree(const jaguar::Expr& e, bool* has_calls) {
+  if (e.kind == jaguar::ExprKind::kCall) {
+    *has_calls = true;
+  }
+  for (const auto& c : e.children) {
+    CollectCallsInExprTree(*c, has_calls);
+  }
+}
+
+void CollectWrites(const Stmt& s, std::set<std::string>* written, bool* has_calls) {
+  if (s.kind == StmtKind::kAssign && s.exprs[0]->kind == jaguar::ExprKind::kVarRef) {
+    written->insert(s.exprs[0]->name);
+  }
+  for (const auto& e : s.exprs) {
+    CollectCallsInExprTree(*e, has_calls);
+  }
+  for (const auto& child : s.stmts) {
+    CollectWrites(*child, written, has_calls);
+  }
+  for (const auto& arm : s.arms) {
+    for (const auto& child : arm.stmts) {
+      CollectWrites(*child, written, has_calls);
+    }
+  }
+}
+
+// True if `s` contains a break/continue that would re-bind to the synthesized loop when the
+// statement is moved inside it, or a return (which would leave the mute scope unbalanced).
+// Breaks inside s's own loops/switches are fine.
+bool UnsafeToWrap(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kReturn:
+      return true;
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+      return true;
+    case StmtKind::kWhile:
+    case StmtKind::kFor:
+      // Their breaks/continues bind inside — but a `return` anywhere is still unsafe.
+      for (const auto& child : s.stmts) {
+        if (ContainsReturn(*child)) {
+          return true;
+        }
+      }
+      return false;
+    case StmtKind::kSwitch:
+      for (const auto& arm : s.arms) {
+        for (const auto& child : arm.stmts) {
+          if (ContainsReturn(*child) || ContainsLoopContinue(*child)) {
+            return true;
+          }
+        }
+      }
+      return false;
+    default:
+      for (const auto& child : s.stmts) {
+        if (UnsafeToWrap(*child)) {
+          return true;
+        }
+      }
+      for (const auto& arm : s.arms) {
+        for (const auto& child : arm.stmts) {
+          if (UnsafeToWrap(*child)) {
+            return true;
+          }
+        }
+      }
+      return false;
+  }
+}
+
+bool ContainsReturn(const Stmt& s) {
+  if (s.kind == StmtKind::kReturn) {
+    return true;
+  }
+  for (const auto& child : s.stmts) {
+    if (ContainsReturn(*child)) {
+      return true;
+    }
+  }
+  for (const auto& arm : s.arms) {
+    for (const auto& child : arm.stmts) {
+      if (ContainsReturn(*child)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// A `continue` in a switch arm binds to an *enclosing loop*; moving the switch into the
+// synthesized loop re-binds it there.
+bool ContainsLoopContinue(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kContinue:
+      return true;
+    case StmtKind::kWhile:
+    case StmtKind::kFor:
+      return false;  // binds inside
+    default:
+      for (const auto& child : s.stmts) {
+        if (ContainsLoopContinue(*child)) {
+          return true;
+        }
+      }
+      for (const auto& arm : s.arms) {
+        for (const auto& child : arm.stmts) {
+          if (ContainsLoopContinue(*child)) {
+            return true;
+          }
+        }
+      }
+      return false;
+  }
+}
+
+class Mutator {
+ public:
+  Mutator(Program& program, const JonmParams& params, Rng& rng)
+      : program_(program), params_(params), rng_(rng), globals_(GlobalVarInfos(program)) {}
+
+  bool MutateMethod(FuncDecl& f) {
+    JAG_CHECK(!params_.mutators.empty());
+    MutatorKind kind = params_.mutators[rng_.PickIndex(params_.mutators.size())];
+
+    auto points = jaguar::CollectInsertionPoints(f);
+    JAG_CHECK(!points.empty());
+    const InsertionPoint& rho = points[rng_.PickIndex(points.size())];
+
+    switch (kind) {
+      case MutatorKind::kMethodInvocator:
+        if (ApplyMi(f)) {
+          last_applied_ = MutatorKind::kMethodInvocator;
+          return true;
+        }
+        // No call site for this method — fall back to LI at ρ (the paper's mutator choice is
+        // "random from LI, SW, MI"; an inapplicable MI degrades to the simplest mutator).
+        ApplyLi(rho);
+        last_applied_ = MutatorKind::kLoopInserter;
+        return true;
+      case MutatorKind::kStatementWrapper:
+        if (ApplySw(rho)) {
+          last_applied_ = MutatorKind::kStatementWrapper;
+          return true;
+        }
+        ApplyLi(rho);
+        last_applied_ = MutatorKind::kLoopInserter;
+        return true;
+      case MutatorKind::kLoopInserter:
+      default:
+        ApplyLi(rho);
+        last_applied_ = MutatorKind::kLoopInserter;
+        return true;
+    }
+  }
+
+  MutatorKind last_applied() const { return last_applied_; }
+
+ private:
+  LoopSynthesizer MakeSynth(const std::vector<VarInfo>& visible) {
+    return LoopSynthesizer(rng_, params_.synth, visible, globals_, &name_counter_);
+  }
+
+  // --- LI: insert the synthesized loop at ρ. --------------------------------------------------
+  void ApplyLi(const InsertionPoint& rho) {
+    LoopSynthesizer synth = MakeSynth(rho.visible);
+    StmtPtr loop = synth.BuildWrappedLoop("");
+    loop->synthesized = true;
+    rho.block->stmts.insert(rho.block->stmts.begin() + static_cast<ptrdiff_t>(rho.index),
+                            std::move(loop));
+  }
+
+  // --- SW: wrap the statement right after ρ into the loop, executed once under a flag. --------
+  bool ApplySw(const InsertionPoint& rho) {
+    if (rho.index >= rho.block->stmts.size()) {
+      return false;  // ρ is at the end of a block: nothing to wrap
+    }
+    Stmt& target = *rho.block->stmts[rho.index];
+    if (target.kind == StmtKind::kVarDecl || UnsafeToWrap(target)) {
+      // Wrapping a declaration would hide it from later statements; wrapping a statement with
+      // escaping control flow would re-bind it to the synthesized loop.
+      return false;
+    }
+
+    // Soundness of the neutrality wrapper: the restore epilogue must not clobber the wrapped
+    // statement's own writes, so anything `target` assigns — and every global, when it makes
+    // calls — is removed from the synthesizer's variable pool (never reused, never in V′).
+    // Placing the wrapped statement first in the body additionally guarantees it executes in
+    // a pre-synthesis (clean) state on the first iteration.
+    std::set<std::string> written;
+    bool has_calls = false;
+    CollectWrites(target, &written, &has_calls);
+    std::vector<VarInfo> filtered_visible;
+    for (const auto& v : rho.visible) {
+      if (written.count(v.name) == 0) {
+        filtered_visible.push_back(v);
+      }
+    }
+    std::vector<VarInfo> filtered_globals;
+    if (!has_calls) {
+      for (const auto& g : globals_) {
+        if (written.count(g.name) == 0) {
+          filtered_globals.push_back(g);
+        }
+      }
+    }
+    LoopSynthesizer synth(rng_, params_.synth, filtered_visible, filtered_globals,
+                          &name_counter_);
+    const std::string exec_flag = synth.FreshName();
+    // The wrapped statement runs exactly once, un-muted (it belongs to the seed's semantics).
+    std::string middle = "if (!" + exec_flag + ") {\nmute(false);\n";
+    middle += jaguar::PrintStmt(target);
+    middle += "mute(true);\n" + exec_flag + " = true;\n}\n";
+
+    StmtPtr wrapper = synth.BuildWrappedLoop(middle, {}, /*middle_first=*/true);
+    // Splice: { boolean exec = false; <wrapper> } replaces the wrapped statement. The outer
+    // block is marked synthesized as a whole — the wrapped seed statement inside it is
+    // already exercised through the loop and is off-limits for further mutations.
+    std::vector<StmtPtr> spliced;
+    spliced.push_back(jaguar::MakeVarDecl(Type::Bool(), exec_flag, jaguar::MakeBoolLit(false)));
+    spliced.push_back(std::move(wrapper));
+    StmtPtr outer = jaguar::MakeBlock(std::move(spliced));
+    outer->synthesized = true;
+    rho.block->stmts[rho.index] = std::move(outer);
+    return true;
+  }
+
+  // --- MI: pre-invoke method m under a fresh control flag before one of its real calls. -------
+  bool ApplyMi(FuncDecl& m) {
+    if (m.name == "main") {
+      return false;
+    }
+    // Find every statement position that contains a call to m; the loop is inserted there.
+    std::vector<InsertionPoint> sites;
+    for (auto& f : program_.functions) {
+      auto points = jaguar::CollectInsertionPoints(*f);
+      for (auto& p : points) {
+        if (p.index >= p.block->stmts.size()) {
+          continue;
+        }
+        std::vector<Expr*> calls;
+        jaguar::CollectCalls(*p.block->stmts[p.index], m.name, calls);
+        if (!calls.empty()) {
+          sites.push_back(std::move(p));
+        }
+      }
+    }
+    if (sites.empty()) {
+      return false;
+    }
+    const InsertionPoint& site = sites[rng_.PickIndex(sites.size())];
+
+    // The control flag is a new global (the paper's `P.m_ctrl` class field).
+    const std::string flag = "jnctl" + std::to_string(name_counter_++);
+    jaguar::GlobalDecl flag_decl;
+    flag_decl.type = Type::Bool();
+    flag_decl.name = flag;
+    flag_decl.init = jaguar::MakeBoolLit(false);
+    program_.globals.push_back(std::move(flag_decl));
+    globals_.push_back(VarInfo{flag, Type::Bool(), true});
+
+    // Early-return prologue at m's entry, synthesized with m's own scope (params + globals).
+    // Its reused *globals* join the caller-side V′ (Algorithm 2's shared backup set);
+    // parameter writes die with each pre-invocation frame and need no restore.
+    std::vector<VarInfo> m_scope;
+    for (const auto& p : m.params) {
+      m_scope.push_back(VarInfo{p.name, p.type, false});
+    }
+    LoopSynthesizer prologue_synth = MakeSynth(m_scope);
+    std::string prologue = "if (" + flag + ") {\n";
+    if (params_.synth.stmts_per_hole > 0) {
+      prologue += prologue_synth.SynStmtsText();
+    }
+    prologue += m.ret.IsVoid() ? "return;\n"
+                               : "return " + prologue_synth.SynExprText(m.ret) + ";\n";
+    prologue += "}\n";
+    std::vector<StmtPtr> prologue_stmts = jaguar::ParseStatements(prologue);
+    JAG_CHECK(prologue_stmts.size() == 1);
+
+    std::map<std::string, Type> prologue_globals;
+    // The control flag itself must be restored by the wrapper: a trap escaping a
+    // pre-invocation would otherwise skip the `flag = false` reset and leave the real call
+    // taking the prologue's early return — changing the seed's semantics.
+    prologue_globals[flag] = Type::Bool();
+    for (const auto& [name, type] : prologue_synth.reused()) {
+      bool is_global = false;
+      for (const auto& g : globals_) {
+        is_global |= g.name == name;
+      }
+      if (is_global) {
+        prologue_globals[name] = type;
+      }
+    }
+
+    // The pre-invocation loop: flag on, call m with synthesized arguments, flag off.
+    LoopSynthesizer call_synth = MakeSynth(site.visible);
+    std::string call = flag + " = true;\n" + m.name + "(";
+    for (size_t i = 0; i < m.params.size(); ++i) {
+      if (i > 0) {
+        call += ", ";
+      }
+      call += call_synth.SynExprText(m.params[i].type);
+    }
+    call += ");\n" + flag + " = false;\n";
+
+    StmtPtr wrapper = call_synth.BuildWrappedLoop(call, prologue_globals);
+    wrapper->synthesized = true;
+    site.block->stmts.insert(site.block->stmts.begin() + static_cast<ptrdiff_t>(site.index),
+                             std::move(wrapper));
+    // Insert the prologue last: if the chosen site is inside m's own body block, the insert
+    // above already happened at a stable index.
+    prologue_stmts[0]->synthesized = true;
+    m.body->stmts.insert(m.body->stmts.begin(), std::move(prologue_stmts[0]));
+    return true;
+  }
+
+  Program& program_;
+  const JonmParams& params_;
+  Rng& rng_;
+  std::vector<VarInfo> globals_;
+  int name_counter_ = 0;
+  MutatorKind last_applied_ = MutatorKind::kLoopInserter;
+};
+
+}  // namespace
+
+const char* MutatorName(MutatorKind kind) {
+  switch (kind) {
+    case MutatorKind::kLoopInserter: return "LI";
+    case MutatorKind::kStatementWrapper: return "SW";
+    case MutatorKind::kMethodInvocator: return "MI";
+  }
+  return "?";
+}
+
+MutationResult JoNM(const jaguar::Program& seed, const JonmParams& params, Rng& rng) {
+  MutationResult result;
+  result.mutant = seed.Clone();
+  Mutator mutator(result.mutant, params, rng);
+
+  // Algorithm 1, lines 10–15: coin-flip selection over the program's exclusive methods. The
+  // function list may grow via MI side effects only (it does not), so a snapshot of the
+  // original count is iterated.
+  const size_t original_count = result.mutant.functions.size();
+  for (size_t i = 0; i < original_count; ++i) {
+    const std::string& fname = result.mutant.functions[i]->name;
+    const bool prioritized =
+        std::find(params.prioritized_methods.begin(), params.prioritized_methods.end(),
+                  fname) != params.prioritized_methods.end();
+    if (!prioritized && !rng.Chance(params.select_numerator, params.select_denominator)) {
+      continue;
+    }
+    FuncDecl& f = *result.mutant.functions[i];
+    if (mutator.MutateMethod(f)) {
+      result.applied.push_back(MutationRecord{mutator.last_applied(), f.name});
+    }
+  }
+  if (result.applied.empty()) {
+    // Guarantee at least one mutation (an unchanged mutant cannot explore a new JIT-trace).
+    const size_t pick = rng.PickIndex(original_count);
+    FuncDecl& f = *result.mutant.functions[pick];
+    if (mutator.MutateMethod(f)) {
+      result.applied.push_back(MutationRecord{mutator.last_applied(), f.name});
+    }
+  }
+
+  jaguar::Check(result.mutant);
+  return result;
+}
+
+}  // namespace artemis

@@ -1,0 +1,75 @@
+// JIT-Op Neutral Mutation — the paper's §3.3/§3.4 and the JoNM function of Algorithm 1.
+//
+// Given a seed program, JoNM stochastically selects methods and splices a synthesized,
+// semantics-preserving loop into each at a random program point ρ, using one of three
+// mutators (paper Figure 3):
+//
+//   LI (Loop Inserter)      — inserts the synthesized loop at ρ. Heats the containing method's
+//                             back-edge counters: OSR compilation, possibly at several levels.
+//   SW (Statement Wrapper)  — additionally moves the statement right after ρ *into* the loop,
+//                             executed exactly once under an `exec` control flag: the wrapped
+//                             statement and the loop are compiled together, driving different
+//                             control/data-flow through the optimizer than LI.
+//   MI (Method Invocator)   — picks an existing call to method m, inserts a loop right before
+//                             it that pre-invokes m thousands of times under a fresh control
+//                             flag (a new global), and plants an early-return prologue
+//                             `if (flag) { <stmts>; return <expr>; }` at m's entry. m gets
+//                             method-JIT-compiled — and speculatively optimized against the
+//                             biased flag — before its real call, which then deoptimizes:
+//                             exactly the JDK-8288975 scenario of the paper's Figure 2.
+//
+// Every mutation is neutral by construction: reused variables are backed up/restored, output
+// is muted around the loop, traps are caught and discarded, and synthesized names are fresh.
+// Mutants therefore (1) drive a different JIT-trace than the seed while (2) preserving its
+// output — any observable divergence under the same VM is a JIT-compiler bug.
+
+#ifndef SRC_ARTEMIS_MUTATE_JONM_H_
+#define SRC_ARTEMIS_MUTATE_JONM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/artemis/synth/synthesis.h"
+#include "src/jaguar/lang/ast.h"
+#include "src/jaguar/support/rng.h"
+
+namespace artemis {
+
+enum class MutatorKind : uint8_t { kLoopInserter, kStatementWrapper, kMethodInvocator };
+
+const char* MutatorName(MutatorKind kind);
+
+struct JonmParams {
+  SynthParams synth;
+  // Per-method selection probability (Algorithm 1 line 11's FlipCoin).
+  uint32_t select_numerator = 1;
+  uint32_t select_denominator = 2;
+  // Enabled mutators (ablation hook); empty is invalid.
+  std::vector<MutatorKind> mutators = {MutatorKind::kLoopInserter,
+                                       MutatorKind::kStatementWrapper,
+                                       MutatorKind::kMethodInvocator};
+
+  // Coverage guidance (the paper's §4.5 future-work direction): methods in this list are
+  // always selected for mutation; the rest keep the stochastic coin flip. Empty = pure
+  // stochastic sampling (the paper's Artemis).
+  std::vector<std::string> prioritized_methods;
+};
+
+struct MutationRecord {
+  MutatorKind kind;
+  std::string method;  // the method whose JIT-ops were mutated
+};
+
+struct MutationResult {
+  jaguar::Program mutant;  // type-checked and ready to compile
+  std::vector<MutationRecord> applied;
+};
+
+// JoNM(P): derives one neutral mutant of `seed` (paper Algorithm 1, lines 8–16). At least one
+// mutation is always applied (a mutant identical to the seed would waste a VM invocation).
+// Throws jaguar::SyntaxError/InternalError only on internal tool bugs.
+MutationResult JoNM(const jaguar::Program& seed, const JonmParams& params, jaguar::Rng& rng);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_MUTATE_JONM_H_

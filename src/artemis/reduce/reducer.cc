@@ -1,0 +1,207 @@
+#include "src/artemis/reduce/reducer.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/support/check.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::Program;
+using jaguar::Stmt;
+using jaguar::StmtKind;
+
+void CountInStmt(const Stmt& s, size_t* n) {
+  ++*n;
+  for (const auto& child : s.stmts) {
+    CountInStmt(*child, n);
+  }
+  for (const auto& arm : s.arms) {
+    for (const auto& child : arm.stmts) {
+      CountInStmt(*child, n);
+    }
+  }
+}
+
+// Collects every deletable statement slot: a pointer to the owning vector plus an index.
+struct Slot {
+  std::vector<jaguar::StmtPtr>* list;
+  size_t index;
+};
+
+void CollectSlots(std::vector<jaguar::StmtPtr>& list, std::vector<Slot>& out) {
+  for (size_t i = 0; i < list.size(); ++i) {
+    out.push_back(Slot{&list, i});
+    Stmt& s = *list[i];
+    for (auto& child : s.stmts) {
+      if (child->kind == StmtKind::kBlock) {
+        CollectSlots(child->stmts, out);
+      }
+    }
+    if (s.kind == StmtKind::kBlock) {
+      // Already covered by the child loop above only for nested blocks; cover s itself.
+    }
+    for (auto& arm : s.arms) {
+      CollectSlots(arm.stmts, out);
+    }
+  }
+}
+
+bool IsReferenced(const Program& p, const std::string& name) {
+  // Conservative textual scan over the AST: any VarRef/Call with this name counts.
+  std::function<bool(const jaguar::Expr&)> expr_refs = [&](const jaguar::Expr& e) {
+    if ((e.kind == jaguar::ExprKind::kVarRef || e.kind == jaguar::ExprKind::kCall) &&
+        e.name == name) {
+      return true;
+    }
+    for (const auto& c : e.children) {
+      if (expr_refs(*c)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::function<bool(const Stmt&)> stmt_refs = [&](const Stmt& s) {
+    for (const auto& e : s.exprs) {
+      if (expr_refs(*e)) {
+        return true;
+      }
+    }
+    for (const auto& child : s.stmts) {
+      if (stmt_refs(*child)) {
+        return true;
+      }
+    }
+    for (const auto& arm : s.arms) {
+      for (const auto& child : arm.stmts) {
+        if (stmt_refs(*child)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  for (const auto& g : p.globals) {
+    if (g.init != nullptr && expr_refs(*g.init)) {
+      return true;
+    }
+  }
+  for (const auto& f : p.functions) {
+    if (stmt_refs(*f->body)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Checks a clone; returns false if it does not even type-check.
+bool CheckedPredicate(Program candidate, const ReductionPredicate& keep) {
+  try {
+    jaguar::Check(candidate);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return keep(candidate);
+}
+
+}  // namespace
+
+size_t CountStatements(const Program& program) {
+  size_t n = 0;
+  for (const auto& f : program.functions) {
+    CountInStmt(*f->body, &n);
+  }
+  return n;
+}
+
+Program ReduceProgram(const Program& program, const ReductionPredicate& keep,
+                      ReductionStats* stats, int max_rounds) {
+  Program current = program.Clone();
+  ReductionStats local;
+  local.initial_statements = CountStatements(current);
+
+  bool changed = true;
+  while (changed && local.rounds < max_rounds) {
+    changed = false;
+    ++local.rounds;
+
+    // 1. Statement deletion, back to front so earlier indices stay valid.
+    std::vector<Slot> slots;
+    for (auto& f : current.functions) {
+      CollectSlots(f->body->stmts, slots);
+    }
+    for (size_t k = slots.size(); k-- > 0;) {
+      Slot slot = slots[k];
+      if (slot.index >= slot.list->size()) {
+        continue;  // invalidated by an earlier deletion in the same list
+      }
+      Program candidate = current.Clone();
+      // Re-resolve the slot in the clone by replaying the collection walk.
+      std::vector<Slot> clone_slots;
+      for (auto& f : candidate.functions) {
+        CollectSlots(f->body->stmts, clone_slots);
+      }
+      if (k >= clone_slots.size()) {
+        continue;
+      }
+      Slot clone_slot = clone_slots[k];
+      clone_slot.list->erase(clone_slot.list->begin() +
+                             static_cast<ptrdiff_t>(clone_slot.index));
+      ++local.candidates_tried;
+      if (CheckedPredicate(candidate.Clone(), keep)) {
+        current = std::move(candidate);
+        ++local.deletions_kept;
+        changed = true;
+        // Slot indices into `current` are stale now; restart this pass.
+        slots.clear();
+        for (auto& f : current.functions) {
+          CollectSlots(f->body->stmts, slots);
+        }
+        k = slots.size();
+      }
+    }
+
+    // 2. Unreferenced functions (never main).
+    for (size_t i = current.functions.size(); i-- > 0;) {
+      const std::string name = current.functions[i]->name;
+      if (name == "main" || IsReferenced(current, name)) {
+        continue;
+      }
+      Program candidate = current.Clone();
+      candidate.functions.erase(candidate.functions.begin() + static_cast<ptrdiff_t>(i));
+      ++local.candidates_tried;
+      if (CheckedPredicate(candidate.Clone(), keep)) {
+        current = std::move(candidate);
+        ++local.deletions_kept;
+        changed = true;
+      }
+    }
+
+    // 3. Unreferenced globals.
+    for (size_t i = current.globals.size(); i-- > 0;) {
+      const std::string name = current.globals[i].name;
+      if (IsReferenced(current, name)) {
+        continue;
+      }
+      Program candidate = current.Clone();
+      candidate.globals.erase(candidate.globals.begin() + static_cast<ptrdiff_t>(i));
+      ++local.candidates_tried;
+      if (CheckedPredicate(candidate.Clone(), keep)) {
+        current = std::move(candidate);
+        ++local.deletions_kept;
+        changed = true;
+      }
+    }
+  }
+
+  local.final_statements = CountStatements(current);
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  jaguar::Check(current);
+  return current;
+}
+
+}  // namespace artemis

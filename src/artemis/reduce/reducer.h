@@ -1,0 +1,38 @@
+// Test-case reducer — the Perses/C-Reduce stand-in (paper §2.2 reduces its Figure 2 case with
+// both before manual cleanup). A simple fixpoint delta reducer over Jaguar ASTs: it repeatedly
+// tries to delete statements, switch arms, unreferenced functions, and unreferenced globals,
+// keeping a deletion only when the reduced program still type-checks and still satisfies the
+// caller's predicate (e.g. "this mutant still diverges from the seed on HotSniff").
+
+#ifndef SRC_ARTEMIS_REDUCE_REDUCER_H_
+#define SRC_ARTEMIS_REDUCE_REDUCER_H_
+
+#include <functional>
+
+#include "src/jaguar/lang/ast.h"
+
+namespace artemis {
+
+// Returns true when the candidate still exhibits the behaviour of interest. The callback
+// receives a *checked* program.
+using ReductionPredicate = std::function<bool(const jaguar::Program&)>;
+
+struct ReductionStats {
+  int rounds = 0;
+  int candidates_tried = 0;
+  int deletions_kept = 0;
+  size_t initial_statements = 0;
+  size_t final_statements = 0;
+};
+
+// Reduces `program` (which must satisfy `keep`) to a smaller program that still satisfies it.
+// Deterministic; terminates at a fixpoint or after `max_rounds`.
+jaguar::Program ReduceProgram(const jaguar::Program& program, const ReductionPredicate& keep,
+                              ReductionStats* stats = nullptr, int max_rounds = 16);
+
+// Total statement count of a program (reduction progress metric).
+size_t CountStatements(const jaguar::Program& program);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_REDUCE_REDUCER_H_

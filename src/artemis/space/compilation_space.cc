@@ -1,0 +1,98 @@
+#include "src/artemis/space/compilation_space.h"
+
+#include "src/jaguar/jit/pipeline.h"
+#include "src/jaguar/support/check.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BcProgram;
+using jaguar::RunOutcome;
+using jaguar::Vm;
+using jaguar::VmConfig;
+
+// Interprets everything while recording the dynamic call order.
+class RecordingController : public jaguar::CompilationController {
+ public:
+  RecordingController(std::vector<CallSite>& out, size_t max_calls, int ginit_index)
+      : out_(out), max_calls_(max_calls), ginit_index_(ginit_index) {}
+
+  int PickEntryLevel(Vm& vm, int func) override {
+    if (func != ginit_index_ && out_.size() < max_calls_) {
+      out_.push_back(CallSite{func, vm.runtime(func).invocation_count});
+    }
+    return 0;
+  }
+  int PickOsrLevel(Vm& vm, int func, int32_t header_pc) override { return 0; }
+
+ private:
+  std::vector<CallSite>& out_;
+  size_t max_calls_;
+  int ginit_index_;
+};
+
+}  // namespace
+
+int ForcedController::PickEntryLevel(Vm& vm, int func) {
+  auto it = levels_.find(CallSite{func, vm.runtime(func).invocation_count});
+  return it == levels_.end() ? 0 : it->second;
+}
+
+int ForcedController::PickOsrLevel(Vm& vm, int func, int32_t header_pc) {
+  return 0;  // forced exploration controls method-grain decisions only
+}
+
+std::vector<CallSite> DiscoverCallSequence(const BcProgram& program, const VmConfig& config,
+                                           size_t max_calls) {
+  std::vector<CallSite> calls;
+  auto controller =
+      std::make_unique<RecordingController>(calls, max_calls, program.ginit_index);
+  Vm vm(program, config, jaguar::MakeTieredJitCompiler(), std::move(controller));
+  vm.Run();
+  return calls;
+}
+
+RunOutcome RunWithForcedDecisions(const BcProgram& program, const VmConfig& config,
+                                  const std::map<CallSite, int>& levels) {
+  Vm vm(program, config, jaguar::MakeTieredJitCompiler(),
+        std::make_unique<ForcedController>(levels));
+  return vm.Run();
+}
+
+SpaceExploration ExploreCompilationSpace(const BcProgram& program, const VmConfig& config,
+                                         size_t max_call_sites) {
+  JAG_CHECK_MSG(max_call_sites <= 16, "compilation space enumeration capped at 2^16 points");
+  SpaceExploration result;
+  result.call_sites = DiscoverCallSequence(program, config, max_call_sites);
+
+  const int top_tier = static_cast<int>(config.tiers.size());
+  JAG_CHECK_MSG(top_tier >= 1, "config has no JIT tiers to force");
+
+  const size_t n = result.call_sites.size();
+  const uint64_t total = uint64_t{1} << n;
+  result.points.reserve(total);
+
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    std::map<CallSite, int> levels;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        levels[result.call_sites[i]] = top_tier;
+      }
+    }
+    SpacePoint point;
+    point.mask = mask;
+    point.outcome = RunWithForcedDecisions(program, config, levels);
+    result.points.push_back(std::move(point));
+  }
+
+  result.reference_output = result.points[0].outcome.output;
+  for (const auto& point : result.points) {
+    if (!point.outcome.SameObservable(result.points[0].outcome)) {
+      result.all_agree = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace artemis

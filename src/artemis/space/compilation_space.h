@@ -1,0 +1,84 @@
+// Compilation-space exploration with full VM control — the paper's "ideal realization" of CSE
+// (§3.2), which is feasible here because we own the LVM: a ForcedController replays an
+// explicit per-call decision vector (interpret vs. compile-at-tier for the i-th invocation of
+// each method), so the 2^n JIT compilation choices of a program with n method calls (Figure 1)
+// can be enumerated and cross-validated directly.
+//
+// Artemis itself does NOT rely on this (the whole point of JoNM is approximating CSE without
+// VM control); this module exists to (a) regenerate Figure 1, (b) provide ground truth for
+// property tests ("every point of the space yields the same output on a bug-free VM"), and
+// (c) demonstrate what the paper argues is impractical for production VMs.
+
+#ifndef SRC_ARTEMIS_SPACE_COMPILATION_SPACE_H_
+#define SRC_ARTEMIS_SPACE_COMPILATION_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+
+// One method invocation as a controllable unit: the call_index-th call (1-based) of func.
+struct CallSite {
+  int func = -1;
+  uint64_t call_index = 0;
+
+  bool operator<(const CallSite& other) const {
+    return std::tie(func, call_index) < std::tie(other.func, other.call_index);
+  }
+};
+
+// Forces per-invocation decisions: levels[site] = tier to run that invocation at (0 =
+// interpret). Unlisted invocations are interpreted, and OSR is disabled — execution follows
+// exactly the requested JIT compilation choice.
+class ForcedController : public jaguar::CompilationController {
+ public:
+  explicit ForcedController(std::map<CallSite, int> levels) : levels_(std::move(levels)) {}
+
+  int PickEntryLevel(jaguar::Vm& vm, int func) override;
+  int PickOsrLevel(jaguar::Vm& vm, int func, int32_t header_pc) override;
+
+ private:
+  std::map<CallSite, int> levels_;
+};
+
+// Runs `program` once, interpreting everything, and returns its dynamic call sequence in
+// execution order (<ginit> excluded), truncated to `max_calls`.
+std::vector<CallSite> DiscoverCallSequence(const jaguar::BcProgram& program,
+                                           const jaguar::VmConfig& config, size_t max_calls);
+
+// Runs `program` under `config` with the given forced decision vector.
+jaguar::RunOutcome RunWithForcedDecisions(const jaguar::BcProgram& program,
+                                          const jaguar::VmConfig& config,
+                                          const std::map<CallSite, int>& levels);
+
+struct SpacePoint {
+  uint64_t mask = 0;  // bit i set = call_sites[i] runs compiled at the top tier
+  jaguar::RunOutcome outcome;
+};
+
+struct SpaceExploration {
+  std::vector<CallSite> call_sites;
+  std::vector<SpacePoint> points;  // all 2^n decision vectors, in mask order
+  bool all_agree = true;           // every point produced the same observable behaviour
+  std::string reference_output;    // output of the fully-interpreted point (#1 in Figure 1)
+};
+
+// Enumerates the full compilation space over the first `max_call_sites` dynamic calls
+// (capped at 16 sites = 65536 points). On a correct VM all points agree (the paper's test
+// oracle); on a buggy one, `all_agree` is false — a JIT bug witnessed without any reference
+// implementation.
+SpaceExploration ExploreCompilationSpace(const jaguar::BcProgram& program,
+                                         const jaguar::VmConfig& config,
+                                         size_t max_call_sites);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_SPACE_COMPILATION_SPACE_H_

@@ -1,0 +1,164 @@
+#include "src/artemis/synth/skeleton_corpus.h"
+
+namespace artemis {
+
+const std::vector<std::string>& StatementSkeletons() {
+  static const auto* corpus = new std::vector<std::string>{
+      // --- Plain arithmetic chains (fodder for folding / GVN / DCE) -------------------------
+      "int @v0 = @I * 3 + @I;",
+      "int @v0 = (@I ^ @I) + (@I & 255);",
+      "long @v0 = (long) @I * (long) @I;",
+      "int @v0 = @I; int @v1 = @v0 + @I; @v0 = @v1 - @v0;",
+      "int @v0 = @I + @I; int @v1 = @I + @I; int @v2 = @v0 ^ @v1;",
+      "long @v0 = @L + @L; long @v1 = @v0 * 3L; @v0 = @v1 % 1000L;",
+
+      // --- Redundant subexpressions (GVN pressure; many commons per compile) -----------------
+      "int @v0 = (@XI * 31 + 7) ^ (@XI * 31 + 7); @XI += @v0;",
+      "int @v0 = @XI + 1; int @v1 = @XI + 1; int @v2 = @XI + 1; @XI = @v0 + @v1 + @v2;",
+      "long @v0 = (@XL >> 3) + (@XL >> 3); @XL = @v0 + (@XL >> 3);",
+
+      // --- Global read/write shapes (GVN load commoning, store sinking / GCM) ----------------
+      "int @v0 = @XI; @XI = @v0 + @I; int @v1 = @XI; @XI = @v1 + @v0;",
+      "@XI = @XI + @I;",
+      "@XI = @I; for (int @v0 = 0; @v0 < @K; @v0 += 1) { @XI += 2; }",
+      "@XL = @XL + (long) @I;",
+
+      // --- Power-of-two division / multiplication (strength reduction) -----------------------
+      "int @v0 = (@I - 150) / @P2; @XI += @v0;",
+      "int @v0 = @XI / @P2 + @XI / 4; @XI = @v0;",
+      "int @v0 = @I * @P2; @XI ^= @v0;",
+      "long @v0 = (@L - 1000L) / 8L; @XL += @v0;",
+
+      // --- Shift folding (constant shift amounts, including >= width) ------------------------
+      "int @v0 = @I + (1 << @SH); @XI += @v0;",
+      "int @v0 = (7 << @SH) ^ @I;",
+      "long @v0 = (1L << @SH) + @L;",
+
+      // --- Counted array loops (range-check elimination; <= variant is the off-by-one bait) --
+      "int[] @v0 = new int[@K + 4]; for (int @v1 = 0; @v1 < @v0.length; @v1 += 1) { "
+      "@v0[@v1] = @I; } @XI += @v0[0];",
+      "int[] @v0 = new int[@K + 2]; for (int @v1 = 0; @v1 <= @v0.length; @v1 += 1) { "
+      "@v0[@v1] = @I; } @XI += @v0[1];",
+      "int[] @v0 = new int[] {@I, @I, @I, @I}; int @v1 = 0; "
+      "for (int @v2 = 0; @v2 < @v0.length; @v2 += 1) { @v1 += @v0[@v2]; } @XI ^= @v1;",
+      "long[] @v0 = new long[@K + 1]; for (int @v1 = 0; @v1 < @v0.length; @v1 += 1) { "
+      "@v0[@v1] = @L; }",
+
+      // --- Nested loops (LICM depth triggers, GCM inner-loop bait, loop peeling) --------------
+      "for (int @v0 = 0; @v0 < @K; @v0 += 1) { for (int @v1 = 0; @v1 < 3; @v1 += 1) { "
+      "@XI += @v0 + @v1; } }",
+      "@XI = @I; for (int @v0 = 0; @v0 < 3; @v0 += 1) { @XI += 2; } @XI -= 1;",
+      "int @v0 = 0; for (int @v1 = 0; @v1 < @K; @v1 += 1) { @v0 += @XI * 2; } @XI = @v0;",
+      "for (int @v0 = 0; @v0 < @K; @v0 += 1) { for (int @v1 = 0; @v1 < @K; @v1 += 1) { "
+      "for (int @v2 = 0; @v2 < 2; @v2 += 1) { @XI ^= @v0 + @v1 + @v2; } } }",
+
+      // --- Conditionally-executed global stores (LICM hoist-past-guard bait) ------------------
+      "for (int @v0 = 0; @v0 < @K; @v0 += 1) { if (@B) { @XI = @I; } }",
+      "if (@B) { @XI = @XI + 1; } else { @XI = @XI - 1; }",
+
+      // --- Branches biased one way (speculation fodder) ---------------------------------------
+      "if (@I > 2000000) { @XI = 0 - @XI; }",
+      "boolean @v0 = @B; if (@v0 && @v0) { @XI += 1; }",
+      "int @v0 = @I; if (@v0 == @v0) { @XI += 2; } else { @XI -= 2; }",
+
+      // --- Switches (IR-builder stress, jump tables) -------------------------------------------
+      "switch ((@I & 7)) { case 0: @XI += 1; break; case 1: @XI += 2; case 2: @XI += 3; "
+      "break; case 3: @XI -= 1; break; default: @XI ^= 1; }",
+      "switch ((@I & 15)) { case 0: @XI += 1; break; case 1: @XI += 2; break; "
+      "case 2: @XI += 3; break; case 3: @XI += 4; break; case 4: @XI += 5; break; "
+      "case 5: @XI += 6; break; case 6: @XI += 7; break; case 7: @XI += 8; break; "
+      "case 8: @XI += 9; break; default: @XI -= 1; }",
+
+      // --- Trapping operations inside try/catch (deopt-at-trap, handler dispatch) -------------
+      "try { int @v0 = @I / (@I & 3); @XI += @v0; } catch { @XI -= 1; }",
+      "int[] @v0 = new int[3]; try { @v0[@I & 7] = 1; } catch { @XI += 1; } @XI += @v0[0];",
+      "try { long @v0 = @L % (@L & 1L); @XL += @v0; } catch { @XL ^= 1L; }",
+
+      // --- Two-argument helper-call shapes (inlining fodder when a helper exists) -------------
+      "int @v0 = @I - @I * 2; @XI += @v0;",
+      "int @v0 = @I; int @v1 = @I; @XI += (@v0 - @v1 * 2);",
+
+      // --- Long/int mixing (width-conversion coverage) ----------------------------------------
+      "long @v0 = (long) @I << 20; int @v1 = (int) (@v0 >> 4); @XI += @v1;",
+      "int @v0 = (int) (@L / 3L); @XI ^= @v0;",
+      "@XL = (long) @XI * 2654435761L;",
+
+      // --- Boolean flag dances (uncommon-trap prologues, like MI's control flag) ---------------
+      "boolean @v0 = @B; boolean @v1 = !@v0; if (@v1 | @v0) { @XI += 1; }",
+      "@XB = !@XB; if (@XB) { @XI += 1; } @XB = !@XB;",
+
+      // --- Deep recursion fodder is intentionally absent (Artemis does not synthesize calls to
+      //     arbitrary methods; MI handles calls with its control-flag protocol). ----------------
+
+      // --- Print under mute (exercises kSetMute interleaving with output) ----------------------
+      "print(@I);",
+      "print(@B); print(@L);",
+
+      // --- Long-dominated arithmetic (width-conversion and 64-bit operator coverage) -----------
+      "long @v0 = @L; long @v1 = (@v0 >>> @SH) | (@v0 << 7); @XL ^= @v1;",
+      "long @v0 = (@L * 2654435761L) % 4294967291L; @XL += @v0;",
+      "long @v0 = @L & (-1L >>> 16); long @v1 = @v0 * @v0; @XL ^= (@v1 >> 3);",
+
+      // --- Boolean algebra chains (short-circuit lowering, branch fodder) ----------------------
+      "boolean @v0 = (@I < @I) || (@L >= @L); boolean @v1 = @v0 && (@B || !@v0); "
+      "if (@v1) { @XI += 1; } else { @XI -= 1; }",
+      "boolean @v0 = !(@B && @B); if (@v0 ^ @B) { @XI ^= 3; }",
+
+      // --- While-loops with explicit counters (non-`for` loop shapes) --------------------------
+      "int @v0 = @K + 2; while (@v0 > 0) { @XI += @v0; @v0 -= 1; }",
+      "int @v0 = 0; while (@v0 < @K * 2) { if ((@v0 & 1) == 0) { @XI += 1; } @v0 += 1; }",
+
+      // --- Early-exit loops (break/continue control flow through the optimizer) ----------------
+      "for (int @v0 = 0; @v0 < @K + 6; @v0 += 1) { if (@v0 == @K) { break; } @XI += @v0; }",
+      "for (int @v0 = 0; @v0 < @K + 4; @v0 += 1) { if ((@v0 & 1) == 1) { continue; } "
+      "@XI ^= @v0; }",
+
+      // --- Ternary pyramids (select-style data flow) --------------------------------------------
+      "int @v0 = (@B ? @I : @I); int @v1 = ((@v0 > 0) ? (@v0 / 3) : (0 - @v0)); @XI += @v1;",
+      "long @v0 = (@B ? @L : (@B ? @L : @L)); @XL ^= @v0;",
+
+      // --- Nested try/catch (handler-table and deopt-dispatch stress) ---------------------------
+      "try { try { int @v0 = @I / (@I & 1); @XI += @v0; } catch { @XI += 10; "
+      "int @v1 = @I % (@I & 1); @XI += @v1; } } catch { @XI -= 10; }",
+      "int[] @v0 = new int[2]; try { @v0[@K] = 1; @XI += @v0[@K]; } catch { @XI ^= 5; }",
+
+      // --- Dense redundancy under branches (dominator-scoped GVN) -------------------------------
+      "int @v0 = @XI * 17 + 5; if (@B) { @XI += (@XI * 17 + 5) - @v0; } else { "
+      "@XI -= (@XI * 17 + 5) - @v0; }",
+
+      // --- Array shuffles on fresh arrays (alias-free memory traffic) ---------------------------
+      "int[] @v0 = new int[] {@I, @I, @I, @I, @I, @I}; int @v1 = @v0[0]; "
+      "for (int @v2 = 1; @v2 < @v0.length; @v2 += 1) { @v0[@v2 - 1] = @v0[@v2]; } "
+      "@v0[@v0.length - 1] = @v1; @XI += @v0[2];",
+      "long[] @v0 = new long[@K + 1]; for (int @v1 = 0; @v1 < @v0.length; @v1 += 1) { "
+      "@v0[@v1] = (long) (@v1 * @v1); } @XL += @v0[@K];",
+
+      // --- Two-phase accumulators (sub with dying rhs: two-address-form codegen fodder) ---------
+      "int @v0 = @XI + @I; int @v1 = @I + 3; int @v2 = @v0 - @v1; @XI = @v2;",
+      "int @v0 = @I; int @v1 = @I; int @v2 = @I; int @v3 = @I; int @v4 = @I; "
+      "int @v5 = ((@v0 + @v1) + (@v2 + @v3)) - @v4; @XI ^= @v5;",
+
+      // --- Register-pressure blocks (spill-path and interval-extension fodder) ------------------
+      "int @v0 = @I; int @v1 = @I + 1; int @v2 = @I + 2; int @v3 = @I + 3; int @v4 = @I + 4; "
+      "for (int @v5 = 0; @v5 < @K + 2; @v5 += 1) { "
+      "@XI += ((@v0 ^ @v1) + (@v2 - @v3)) * (@v4 | 1) + (@v5 * 3) - (@v0 & @v2) + "
+      "(@v1 % 7) + (@v3 << 1) - (@v4 >>> 2); }",
+
+      // --- Switch driven by loop induction (jump tables inside hot loops) -----------------------
+      "for (int @v0 = 0; @v0 < @K + 3; @v0 += 1) { switch (@v0 & 3) { "
+      "case 0: @XI += 1; break; case 1: @XI -= 1; break; case 2: @XI ^= 2; break; "
+      "default: @XI <<= 1; } }",
+
+      // --- Mixed compute blocks (general optimizer food) ---------------------------------------
+      "int @v0 = @I; int @v1 = @I; for (int @v2 = 0; @v2 < @K; @v2 += 1) { "
+      "@v0 = @v0 + @v1; @v1 = @v0 - @v1; } @XI ^= @v0;",
+      "int @v0 = 0; int @v1 = 1; for (int @v2 = 0; @v2 < @K + 3; @v2 += 1) { "
+      "int @v3 = @v0 + @v1; @v0 = @v1; @v1 = @v3; } @XI += @v1;",
+      "long @v0 = 1L; for (int @v1 = 0; @v1 < @K; @v1 += 1) { @v0 *= 3L; @v0 %= 1000003L; } "
+      "@XL ^= @v0;",
+      "int @v0 = @I; @v0 = (@v0 << 13) ^ @v0; @v0 = (@v0 >>> 17) ^ @v0; @XI += @v0;",
+  };
+  return *corpus;
+}
+
+}  // namespace artemis

@@ -1,0 +1,36 @@
+// The statement-skeleton corpus.
+//
+// The paper extracts 7,823 statement skeletons from the HotSpot/OpenJ9/ART test suites —
+// "sequences of consecutive Java statements with <expr> holes only" (§3.4) — so that the
+// synthesized loop bodies are diverse in control- and data-flow and can "trigger varied
+// optimization passes in JIT compilers". We cannot ship those suites; instead this corpus is
+// hand-written with the same intent: each entry is a Jaguar statement sequence with typed
+// holes, and the set deliberately covers the optimization patterns our simulated JITs
+// implement (redundant subexpressions for GVN, power-of-two divisions for strength reduction,
+// counted array loops for range-check elimination, nested loops for LICM/GCM, switches,
+// try/catch, shift-by-constant folding, and so on).
+//
+// Hole markers (substituted textually by the synthesizer before parsing):
+//   @I / @L / @B   expression hole of type int / long / boolean (SynExpr fills it)
+//   @XI / @XL / @XB  name of an existing writable variable of that type (recorded in V′ and
+//                    backed up/restored by the neutrality wrapper); instantiation of the
+//                    skeleton fails if none is visible
+//   @v0 .. @v4     fresh local variable names (consistent within one instantiation)
+//   @K             small positive trip-count literal (1..8)
+//   @P2            power-of-two literal (2, 4, 8, 16, 32)
+//   @SH            shift-amount literal, sometimes >= the operand width (31..34, 63)
+
+#ifndef SRC_ARTEMIS_SYNTH_SKELETON_CORPUS_H_
+#define SRC_ARTEMIS_SYNTH_SKELETON_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+namespace artemis {
+
+// All statement skeletons. Stable order (index into this vector identifies a skeleton).
+const std::vector<std::string>& StatementSkeletons();
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_SYNTH_SKELETON_CORPUS_H_

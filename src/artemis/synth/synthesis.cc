@@ -1,0 +1,239 @@
+#include "src/artemis/synth/synthesis.h"
+
+#include <utility>
+
+#include "src/artemis/synth/skeleton_corpus.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/support/text.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::Type;
+using jaguar::TypeKind;
+using jaguar::VarInfo;
+
+}  // namespace
+
+LoopSynthesizer::LoopSynthesizer(jaguar::Rng& rng, const SynthParams& params,
+                                 std::vector<VarInfo> visible, std::vector<VarInfo> globals,
+                                 int* name_counter)
+    : rng_(rng),
+      params_(params),
+      visible_(std::move(visible)),
+      globals_(std::move(globals)),
+      name_counter_(name_counter) {}
+
+std::string LoopSynthesizer::FreshName() { return "jn" + std::to_string((*name_counter_)++); }
+
+std::string LoopSynthesizer::LiteralText(Type t) {
+  if (t.IsBool()) {
+    return rng_.FlipCoin() ? "true" : "false";
+  }
+  if (t.IsLong()) {
+    if (rng_.Chance(1, 4)) {
+      static const int64_t kInteresting[] = {0, 1, -1, 63, 64, 4294967296, -4294967296};
+      const int64_t v = kInteresting[rng_.PickIndex(7)];
+      return v < 0 ? "(" + std::to_string(v) + "L)" : std::to_string(v) + "L";
+    }
+    const int64_t v = rng_.NextInRange(-256, 256);
+    return v < 0 ? "(" + std::to_string(v) + "L)" : std::to_string(v) + "L";
+  }
+  if (rng_.Chance(1, 4)) {
+    static const int64_t kInteresting[] = {0,  1,  -1, 2,   7,    8,     16,  31,
+                                           32, 33, 64, 255, 4096, -4096, -255};
+    const int64_t v = kInteresting[rng_.PickIndex(15)];
+    return v < 0 ? "(" + std::to_string(v) + ")" : std::to_string(v);
+  }
+  const int64_t v = rng_.NextInRange(-256, 256);
+  return v < 0 ? "(" + std::to_string(v) + ")" : std::to_string(v);
+}
+
+const VarInfo* LoopSynthesizer::PickVar(Type t) {
+  std::vector<const VarInfo*> candidates;
+  for (const auto& v : visible_) {
+    if (v.type == t) {
+      candidates.push_back(&v);
+    }
+  }
+  for (const auto& g : globals_) {
+    if (g.type == t) {
+      candidates.push_back(&g);
+    }
+  }
+  if (candidates.empty()) {
+    return nullptr;
+  }
+  return candidates[rng_.PickIndex(candidates.size())];
+}
+
+std::string LoopSynthesizer::SynExprText(Type t) {
+  JAG_CHECK(t.IsPrimitive());
+  // Rule 2 (reuse a visible variable) with probability 1/2 when one exists; Rule 1 otherwise.
+  if (rng_.FlipCoin()) {
+    const VarInfo* var = PickVar(t);
+    if (var != nullptr) {
+      reused_[var->name] = var->type;  // V′ ← {v} ∪ V′
+      return var->name;
+    }
+  }
+  return LiteralText(t);
+}
+
+bool LoopSynthesizer::InstantiateSkeleton(std::string* out) {
+  const auto& corpus = StatementSkeletons();
+  std::string text = corpus[rng_.PickIndex(corpus.size())];
+
+  // Fresh names first (plain textual markers; longest first so @v10-style never bites).
+  for (int i = 9; i >= 0; --i) {
+    const std::string marker = "@v" + std::to_string(i);
+    if (text.find(marker) != std::string::npos) {
+      text = jaguar::ReplaceAll(text, marker, FreshName());
+    }
+  }
+
+  // Existing-variable holes; instantiation fails if the scope has no matching variable.
+  struct XHole {
+    const char* marker;
+    Type type;
+  };
+  static const XHole kXHoles[] = {
+      {"@XI", Type::Int()},
+      {"@XL", Type::Long()},
+      {"@XB", Type::Bool()},
+  };
+  for (const auto& hole : kXHoles) {
+    while (text.find(hole.marker) != std::string::npos) {
+      const VarInfo* var = PickVar(hole.type);
+      if (var == nullptr) {
+        return false;
+      }
+      reused_[var->name] = var->type;  // written by the skeleton → must be restored
+      // Replace one occurrence at a time so different occurrences *may* pick the same
+      // variable (they do here, by design: read-modify-write shapes need that).
+      const size_t at = text.find(hole.marker);
+      text = text.substr(0, at) + var->name + text.substr(at + 3);
+    }
+  }
+
+  // Literal holes.
+  while (text.find("@K") != std::string::npos) {
+    const size_t at = text.find("@K");
+    text = text.substr(0, at) + std::to_string(rng_.NextInt(1, 8)) + text.substr(at + 2);
+  }
+  while (text.find("@P2") != std::string::npos) {
+    static const int kP2[] = {2, 4, 8, 16, 32};
+    const size_t at = text.find("@P2");
+    text = text.substr(0, at) + std::to_string(kP2[rng_.PickIndex(5)]) + text.substr(at + 3);
+  }
+  while (text.find("@SH") != std::string::npos) {
+    static const int kShifts[] = {1, 3, 5, 31, 32, 33, 34, 63};
+    const size_t at = text.find("@SH");
+    text = text.substr(0, at) + std::to_string(kShifts[rng_.PickIndex(8)]) + text.substr(at + 3);
+  }
+
+  // Expression holes (checked longest-marker-first: @I/@L/@B are single letters).
+  while (text.find("@L") != std::string::npos) {
+    const size_t at = text.find("@L");
+    text = text.substr(0, at) + SynExprText(Type::Long()) + text.substr(at + 2);
+  }
+  while (text.find("@B") != std::string::npos) {
+    const size_t at = text.find("@B");
+    text = text.substr(0, at) + SynExprText(Type::Bool()) + text.substr(at + 2);
+  }
+  while (text.find("@I") != std::string::npos) {
+    const size_t at = text.find("@I");
+    text = text.substr(0, at) + SynExprText(Type::Int()) + text.substr(at + 2);
+  }
+
+  *out = text;
+  return true;
+}
+
+std::string LoopSynthesizer::SynStmtsText() {
+  std::string out;
+  for (int i = 0; i < params_.stmts_per_hole; ++i) {
+    std::string stmt;
+    for (int tries = 0; tries < 6; ++tries) {
+      if (InstantiateSkeleton(&stmt)) {
+        break;
+      }
+      stmt.clear();
+    }
+    if (stmt.empty()) {
+      // Degenerate scope (no variables at all): fall back to a self-contained statement.
+      stmt = "int " + FreshName() + " = " + LiteralText(Type::Int()) + ";";
+    }
+    out += stmt;
+    out += "\n";
+  }
+  return out;
+}
+
+jaguar::StmtPtr LoopSynthesizer::BuildWrappedLoop(
+    const std::string& middle_text, const std::map<std::string, Type>& extra_reused,
+    bool middle_first) {
+  // Synthesize the loop pieces first — V′ must be complete before backups are emitted.
+  const std::string iv = FreshName();
+  const std::string bound_lo = SynExprText(Type::Int());
+  const std::string bound_hi = SynExprText(Type::Int());
+  // STEP biased toward 1 so thresholds are actually crossed often (see SynthParams).
+  const int step = rng_.Chance(1, 2) ? 1 : rng_.NextInt(1, params_.max_step);
+  const std::string pre = SynStmtsText();
+  const std::string post = SynStmtsText();
+
+  std::map<std::string, Type> all_reused = reused_;
+  for (const auto& [name, type] : extra_reused) {
+    all_reused[name] = type;
+  }
+
+  const std::string min_s = std::to_string(params_.min_bound);
+  const std::string max_s = std::to_string(params_.max_bound);
+
+  std::string text = "{\n";
+  // Backups (Algorithm 2 lines 9–10): L ← Backup v; L; Restore v.
+  std::vector<std::pair<std::string, std::string>> restores;  // (var, backup)
+  for (const auto& [name, type] : all_reused) {
+    const std::string bk = FreshName();
+    text += jaguar::TypeName(type) + " " + bk + " = " + name + ";\n";
+    restores.emplace_back(name, bk);
+  }
+  text += "mute(true);\n";
+  // min(MIN, e) / max(MAX, e) of the Figure 3 skeletons, hoisted into locals: a reused
+  // variable in the bound could be mutated by the loop body (it is restored only after the
+  // loop), and a bound that keeps growing would never terminate. Java's `for` re-evaluates
+  // the condition each iteration — Artemis-for-JVM leaned on its 2-minute timeout there; we
+  // guarantee termination instead and keep the same first-entry semantics.
+  const std::string lo_var = FreshName();
+  const std::string hi_var = FreshName();
+  text += "int " + lo_var + " = ((" + bound_lo + ") < (" + min_s + ") ? (" + bound_lo +
+          ") : (" + min_s + "));\n";
+  text += "int " + hi_var + " = ((" + bound_hi + ") > (" + max_s + ") ? (" + bound_hi +
+          ") : (" + max_s + "));\n";
+  text += "try {\n";
+  text += "for (int " + iv + " = " + lo_var + "; " + iv + " < " + hi_var + "; " + iv +
+          " += " + std::to_string(step) + ") {\n";
+  std::string middle = middle_text;
+  if (!middle.empty() && middle.back() != '\n') {
+    middle += "\n";
+  }
+  if (middle_first) {
+    text += middle + pre + post;
+  } else {
+    text += pre + middle + post;
+  }
+  text += "}\n";
+  text += "} catch {\n}\n";
+  text += "mute(false);\n";
+  for (const auto& [name, bk] : restores) {
+    text += name + " = " + bk + ";\n";
+  }
+  text += "}\n";
+
+  std::vector<jaguar::StmtPtr> parsed = jaguar::ParseStatements(text);
+  JAG_CHECK_MSG(parsed.size() == 1, "wrapped loop must parse to a single block");
+  return std::move(parsed[0]);
+}
+
+}  // namespace artemis

@@ -1,0 +1,96 @@
+// Loop synthesis — the paper's Algorithm 2 (SynLoop / SynExpr / SynStmts).
+//
+// Synthesis is programming-by-sketch: a loop skeleton with MIN/MAX/STEP hyper-parameters and
+// `<expr>` / `<stmts>` holes (paper Figure 3) is instantiated at a program point ρ using the
+// variables visible there. Following the paper:
+//   - SynExpr fills an expression hole with a random literal of the hole's type or a reused
+//     visible variable (Rule 1 / Rule 2); reused variables are recorded in V′;
+//   - SynStmts fills a statement hole by instantiating skeletons from the corpus
+//     (skeleton_corpus.h) and fusing SynExpr results into their holes;
+//   - the final loop is made neutral: every variable in V′ is backed up before and restored
+//     after the loop, output is muted around it, and all traps it may raise are caught and
+//     discarded (§3.4 "Other considerations").
+//
+// Synthesis works textually (holes are substituted into Jaguar source text, then parsed with
+// the real parser), which mirrors how Artemis instantiates Spoon templates, and guarantees by
+// construction that the output is syntactically valid.
+
+#ifndef SRC_ARTEMIS_SYNTH_SYNTHESIS_H_
+#define SRC_ARTEMIS_SYNTH_SYNTHESIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/lang/ast.h"
+#include "src/jaguar/lang/scope.h"
+#include "src/jaguar/support/rng.h"
+
+namespace artemis {
+
+struct SynthParams {
+  // MIN / MAX / STEP of the loop skeletons (paper §4.1: 5,000/10,000 for HotSpot/OpenJ9-like
+  // thresholds, 20,000/50,000 for ART-like ones). STEP is drawn from 1..max_step with a bias
+  // toward 1 so pre-invocation counts actually cross thresholds often enough.
+  int64_t min_bound = 5'000;
+  int64_t max_bound = 10'000;
+  int max_step = 10;
+
+  // Statement skeletons instantiated per <stmts> hole. 0 disables statement holes entirely —
+  // the §3.4 ablation ("<stmts> and statement skeletons are not a must").
+  int stmts_per_hole = 2;
+};
+
+// One synthesis session, scoped to a program point. Not reusable across points.
+class LoopSynthesizer {
+ public:
+  // `visible`: locals/params in scope at ρ. `globals`: the program's globals ("fields").
+  // `name_counter`: shared fresh-name counter for the whole mutant (names are "jnN").
+  LoopSynthesizer(jaguar::Rng& rng, const SynthParams& params,
+                  std::vector<jaguar::VarInfo> visible, std::vector<jaguar::VarInfo> globals,
+                  int* name_counter);
+
+  // SynExpr (Algorithm 2): an expression of type `t` as source text.
+  std::string SynExprText(jaguar::Type t);
+
+  // SynStmts: `params.stmts_per_hole` instantiated skeletons as source text.
+  std::string SynStmtsText();
+
+  std::string FreshName();
+
+  // Builds the complete, neutrality-wrapped loop block:
+  //   { backups; mute(true); try { for (jnI = min(MIN,e); jnI < max(MAX,e'); jnI += STEP)
+  //     { <stmts>; MIDDLE; <stmts>; } } catch { } mute(false); restores; }
+  // `middle_text` is the mutator-specific placeholder content (empty for LI).
+  // `extra_reused` adds variables synthesized elsewhere (MI's prologue) to V′ so the wrapper
+  // backs them up too — the shared-V′ rule of Algorithm 2 line 4.
+  // `middle_first` places MIDDLE at the top of the body instead of between the two <stmts>
+  // holes — SW needs the wrapped seed statement to execute in a clean (pre-synthesis) state
+  // on the first iteration.
+  jaguar::StmtPtr BuildWrappedLoop(const std::string& middle_text,
+                                   const std::map<std::string, jaguar::Type>& extra_reused = {},
+                                   bool middle_first = false);
+
+  // V′: variables reused by SynExpr in this session (name → type).
+  const std::map<std::string, jaguar::Type>& reused() const { return reused_; }
+
+  // Exposed for MI's prologue and for tests: instantiates one random corpus skeleton; returns
+  // false when no visible variable satisfies an @X hole.
+  bool InstantiateSkeleton(std::string* out);
+
+ private:
+  std::string LiteralText(jaguar::Type t);
+  const jaguar::VarInfo* PickVar(jaguar::Type t);
+
+  jaguar::Rng& rng_;
+  const SynthParams& params_;
+  std::vector<jaguar::VarInfo> visible_;
+  std::vector<jaguar::VarInfo> globals_;
+  int* name_counter_;
+  std::map<std::string, jaguar::Type> reused_;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_SYNTH_SYNTHESIS_H_

@@ -1,0 +1,159 @@
+#include "src/artemis/validate/validator.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/support/check.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BcProgram;
+using jaguar::BugId;
+using jaguar::RunOutcome;
+using jaguar::RunStatus;
+using jaguar::VmConfig;
+
+std::vector<BugId> NewlyFired(const RunOutcome& mutant, const RunOutcome& seed) {
+  std::set<BugId> seed_fired(seed.fired_bugs.begin(), seed.fired_bugs.end());
+  std::vector<BugId> out;
+  for (BugId bug : mutant.fired_bugs) {
+    if (seed_fired.count(bug) == 0) {
+      out.push_back(bug);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* DiscrepancyName(DiscrepancyKind kind) {
+  switch (kind) {
+    case DiscrepancyKind::kNone: return "none";
+    case DiscrepancyKind::kMisCompilation: return "mis-compilation";
+    case DiscrepancyKind::kCrash: return "crash";
+    case DiscrepancyKind::kPerformance: return "performance";
+  }
+  return "?";
+}
+
+int ValidationReport::Discrepancies() const {
+  int n = 0;
+  for (const auto& verdict : mutants) {
+    n += verdict.kind != DiscrepancyKind::kNone ? 1 : 0;
+  }
+  return n;
+}
+
+ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config,
+                          const ValidatorParams& params, jaguar::Rng& rng) {
+  ValidationReport report;
+
+  const BcProgram seed_bc = jaguar::CompileProgram(seed);
+  report.seed_interp = jaguar::RunProgram(seed_bc, jaguar::InterpreterOnlyConfig());
+  report.seed_jit = jaguar::RunProgram(seed_bc, vm_config);  // R ← LVM(P), default JIT-trace
+
+  if (report.seed_interp.status == RunStatus::kTimeout ||
+      report.seed_jit.status == RunStatus::kTimeout) {
+    report.seed_usable = false;
+    report.seed_unusable_reason = "seed exceeded the step budget";
+    return report;
+  }
+  // A seed that already crashes/diverges under its default JIT-trace is a bug the traditional
+  // fully-default run would also witness; Artemis still mutates it (the paper reports several
+  // duplicates of user-visible bugs), but we record the fact for the comparative study.
+  report.seed_self_discrepancy = !report.seed_jit.SameObservable(report.seed_interp);
+
+  JonmParams jonm = params.jonm;
+  // Pushes the verdict and notifies the guidance hook immediately — coverage-guided
+  // exploration needs each mutant's trace before tuning the next iteration.
+  auto finish = [&](MutantVerdict verdict) {
+    report.mutants.push_back(std::move(verdict));
+    if (params.on_mutant) {
+      params.on_mutant(report.mutants.back());
+    }
+  };
+  for (int i = 0; i < params.max_iter; ++i) {
+    if (params.tune_iteration) {
+      params.tune_iteration(i, jonm);
+    }
+    MutantVerdict verdict;
+    MutationResult mutation = JoNM(seed, jonm, rng);
+    verdict.mutations = mutation.applied;
+
+    const BcProgram mutant_bc = jaguar::CompileProgram(mutation.mutant);
+
+    RunOutcome mutant_interp;
+    if (params.neutrality_check || params.perf_ratio > 0) {
+      mutant_interp = jaguar::RunProgram(mutant_bc, jaguar::InterpreterOnlyConfig());
+      if (mutant_interp.status == RunStatus::kTimeout) {
+        verdict.discarded = true;
+        verdict.detail = "mutant exceeded the step budget under interpretation";
+        finish(std::move(verdict));
+        continue;
+      }
+      if (params.neutrality_check &&
+          !mutant_interp.SameObservable(report.seed_interp)) {
+        verdict.discarded = true;
+        verdict.non_neutral = true;
+        verdict.detail = "mutation was not semantics-preserving (tool defect, not a VM bug)";
+        finish(std::move(verdict));
+        continue;
+      }
+    }
+
+    verdict.outcome = jaguar::RunProgram(mutant_bc, vm_config);  // R′ ← LVM(P′)
+    const RunOutcome& mutant_jit = verdict.outcome;
+    verdict.explored_new_trace = !mutant_jit.trace.SameShape(report.seed_jit.trace);
+    verdict.suspected_bugs = NewlyFired(mutant_jit, report.seed_jit);
+
+    if (mutant_jit.status == RunStatus::kTimeout) {
+      // The paper discards runs over its 2-minute cutoff — unless the interpreter finished
+      // comfortably, in which case the JIT itself is pathologically slow (our analogue of the
+      // "process finally killed by the operating system" performance bug, §4.2).
+      if (mutant_interp.status == RunStatus::kOk &&
+          mutant_interp.steps * 4 < mutant_jit.steps) {
+        verdict.kind = DiscrepancyKind::kPerformance;
+        verdict.detail = "JIT execution exhausted the budget; interpretation finished in " +
+                         std::to_string(mutant_interp.steps) + " steps";
+      } else {
+        verdict.discarded = true;
+        verdict.detail = "mutant exceeded the step budget";
+      }
+      finish(std::move(verdict));
+      continue;
+    }
+
+    if (!mutant_jit.SameObservable(report.seed_jit)) {  // R′ ≠ R → JIT-compiler bug
+      // Note the comparison is against the *seed's* run on the same VM (Algorithm 1), not an
+      // interpreter: a crash that the seed already exhibits identically is one behaviour, not
+      // a mutant-revealed discrepancy.
+      if (mutant_jit.status == RunStatus::kVmCrash ||
+          report.seed_jit.status == RunStatus::kVmCrash) {
+        verdict.kind = DiscrepancyKind::kCrash;
+        verdict.detail = std::string(jaguar::ComponentName(mutant_jit.crash_component)) +
+                         " (" + mutant_jit.crash_kind + "): " + mutant_jit.crash_message;
+      } else {
+        verdict.kind = DiscrepancyKind::kMisCompilation;
+        verdict.detail = "output diverged from the seed's default JIT-trace run";
+      }
+      finish(std::move(verdict));
+      continue;
+    }
+
+    // Performance pathology: same answer, wildly more work under the JIT than interpreted.
+    if (params.perf_ratio > 0 && mutant_interp.status == RunStatus::kOk &&
+        mutant_jit.steps > params.perf_ratio * mutant_interp.steps &&
+        mutant_jit.steps > mutant_interp.steps + params.perf_floor) {
+      verdict.kind = DiscrepancyKind::kPerformance;
+      verdict.detail = "JIT used " + std::to_string(mutant_jit.steps) + " steps vs " +
+                       std::to_string(mutant_interp.steps) + " interpreted";
+    }
+    finish(std::move(verdict));
+  }
+  return report;
+}
+
+}  // namespace artemis

@@ -1,0 +1,85 @@
+// The Artemis validation loop — the paper's Algorithm 1.
+//
+//   Validate(LVM, P):
+//     R ← LVM(P)                      // seed with its default JIT-trace
+//     for i ← 1..MAX_ITER:
+//       P′ ← JoNM(P)
+//       R′ ← LVM(P′)                  // mutant with its default JIT-trace
+//       if R′ ≠ R: ReportJITCompilerBug(P′)
+//
+// The oracle is metamorphic: both runs execute on the *same* VM with the JIT enabled; no
+// reference implementation is consulted. Discrepancies are classified into the paper's three
+// bug types (§4.2): mis-compilation (different output), crash (simulated VM crash), and
+// performance issue (pathologically more work under the JIT than under interpretation).
+//
+// Engineering guards beyond the paper (both use the interpreter, which Artemis-for-JVM could
+// not invoke cheaply): a *neutrality pre-check* runs each mutant interpreter-only and discards
+// it if the mutation itself changed semantics (a tool bug, never a VM bug), and runs that
+// exhaust the step budget are discarded like the paper's 2-minute timeout discards.
+
+#ifndef SRC_ARTEMIS_VALIDATE_VALIDATOR_H_
+#define SRC_ARTEMIS_VALIDATE_VALIDATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/artemis/mutate/jonm.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+
+enum class DiscrepancyKind : uint8_t { kNone, kMisCompilation, kCrash, kPerformance };
+
+const char* DiscrepancyName(DiscrepancyKind kind);
+
+struct MutantVerdict {
+  DiscrepancyKind kind = DiscrepancyKind::kNone;
+  bool discarded = false;        // timeout, or the neutrality pre-check failed
+  bool non_neutral = false;      // subset of discarded: the mutation changed semantics
+  std::string detail;
+  std::vector<MutationRecord> mutations;
+  jaguar::RunOutcome outcome;    // the mutant's run under the tested VM
+  // Ground-truth root causes: defects that fired in the mutant's run but not the seed's.
+  std::vector<jaguar::BugId> suspected_bugs;
+  bool explored_new_trace = false;  // mutant's JIT-trace summary differs from the seed's
+};
+
+struct ValidationReport {
+  bool seed_usable = true;       // seed compiled and ran (no timeout) under the VM
+  std::string seed_unusable_reason;
+  // True when the *unmutated* seed already diverges between interpreter and JIT — a bug the
+  // traditional approaches would also see; recorded for the Table 4 comparison.
+  bool seed_self_discrepancy = false;
+  jaguar::RunOutcome seed_interp;
+  jaguar::RunOutcome seed_jit;
+  std::vector<MutantVerdict> mutants;
+
+  int Discrepancies() const;
+  bool FoundAny() const { return Discrepancies() > 0; }
+};
+
+struct ValidatorParams {
+  JonmParams jonm;
+  int max_iter = 8;              // the paper's MAX_ITER (§4.1: eight mutants per seed)
+  bool neutrality_check = true;
+
+  // Optional hooks for guided exploration (src/artemis/coverage): `tune_iteration` may adjust
+  // the JoNM parameters before each mutant is derived; `on_mutant` observes every verdict
+  // (including discarded ones) right after its runs complete.
+  std::function<void(int iteration, JonmParams&)> tune_iteration;
+  std::function<void(const MutantVerdict&)> on_mutant;
+  // Performance-issue detection: JIT-on steps must exceed both `perf_ratio` × interpreter
+  // steps and interpreter steps + `perf_floor` to count (filters ordinary compile overhead).
+  uint64_t perf_ratio = 4;
+  uint64_t perf_floor = 2'000'000;
+};
+
+// Runs Algorithm 1 for one seed program against one VM configuration.
+ValidationReport Validate(const jaguar::Program& seed, const jaguar::VmConfig& vm_config,
+                          const ValidatorParams& params, jaguar::Rng& rng);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_VALIDATE_VALIDATOR_H_

@@ -1,0 +1,591 @@
+#include "src/jaguar/bytecode/compiler.h"
+
+#include <utility>
+
+#include "src/jaguar/bytecode/verifier.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+uint8_t WidthOf(Type t) { return t.IsLong() ? 1 : 0; }
+
+class FunctionCompiler {
+ public:
+  FunctionCompiler(const Program& program, BcFunction& out) : program_(program), out_(out) {}
+
+  void CompileBody(const FuncDecl& f) {
+    CompileStmt(*f.body);
+    // Safety net: a trailing return. For non-void functions the checker proved every path
+    // returns, so the epilogue is unreachable; for void functions it is the normal exit.
+    if (f.ret.IsVoid()) {
+      Emit(Op::kRetVoid);
+    } else {
+      Emit(Op::kConst, WidthOf(f.ret), 0, 0);
+      Emit(Op::kRet);
+    }
+    PatchLabels();
+  }
+
+  void CompileGlobalInit(const std::vector<GlobalDecl>& globals) {
+    for (size_t i = 0; i < globals.size(); ++i) {
+      const GlobalDecl& g = globals[i];
+      if (g.init != nullptr) {
+        CompileExprWiden(*g.init, g.type);
+      } else if (g.type.IsArray()) {
+        Emit(Op::kConst, 0, 0, 0);
+        Emit(Op::kNewArray, 0, static_cast<int32_t>(g.type.elem));
+      } else {
+        Emit(Op::kConst, WidthOf(g.type), 0, 0);
+      }
+      Emit(Op::kGStore, 0, static_cast<int32_t>(i));
+    }
+    Emit(Op::kRetVoid);
+    PatchLabels();
+  }
+
+ private:
+  // --- Emission helpers ----------------------------------------------------------------------
+
+  int32_t Pc() const { return static_cast<int32_t>(out_.code.size()); }
+
+  void Emit(Op op, uint8_t w = 0, int32_t a = 0, int64_t imm = 0) {
+    out_.code.push_back(Instr::Make(op, w, a, imm));
+  }
+
+  int NewLabel() {
+    labels_.push_back(-1);
+    return static_cast<int>(labels_.size()) - 1;
+  }
+
+  void Bind(int label) {
+    JAG_CHECK(labels_[static_cast<size_t>(label)] == -1);
+    labels_[static_cast<size_t>(label)] = Pc();
+  }
+
+  // Emits a branch whose target is a yet-unbound label; fixed up by PatchLabels().
+  void EmitBranch(Op op, int label) {
+    fixups_.push_back({Pc(), label});
+    Emit(op, 0, -1);
+  }
+
+  void PatchLabels() {
+    for (const auto& [pc, label] : fixups_) {
+      const int32_t target = labels_[static_cast<size_t>(label)];
+      JAG_CHECK_MSG(target >= 0, "branch to unbound label");
+      out_.code[static_cast<size_t>(pc)].a = target;
+    }
+    for (auto& table : out_.switch_tables) {
+      for (auto& [value, target] : table.cases) {
+        target = labels_[static_cast<size_t>(target)];
+        JAG_CHECK(target >= 0);
+      }
+      table.default_target = labels_[static_cast<size_t>(table.default_target)];
+      JAG_CHECK(table.default_target >= 0);
+    }
+    for (auto& region : pending_regions_) {
+      TryRegion r;
+      r.start = labels_[static_cast<size_t>(region.start_label)];
+      r.end = labels_[static_cast<size_t>(region.end_label)];
+      r.handler = labels_[static_cast<size_t>(region.handler_label)];
+      JAG_CHECK(r.start >= 0 && r.end >= r.start && r.handler >= 0);
+      out_.try_regions.push_back(r);
+    }
+  }
+
+  // --- Expressions ---------------------------------------------------------------------------
+
+  void CompileExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kBoolLit:
+        Emit(Op::kConst, 0, 0, e.int_value);
+        break;
+      case ExprKind::kLongLit:
+        Emit(Op::kConst, 1, 0, e.int_value);
+        break;
+      case ExprKind::kVarRef:
+        if (e.binding == VarBinding::kLocal) {
+          Emit(Op::kLoad, WidthOf(e.type), e.binding_index);
+        } else {
+          JAG_CHECK_MSG(e.binding == VarBinding::kGlobal, "unresolved variable " + e.name);
+          Emit(Op::kGLoad, WidthOf(e.type), e.binding_index);
+        }
+        break;
+      case ExprKind::kBinary:
+        CompileBinary(e);
+        break;
+      case ExprKind::kUnary:
+        CompileExpr(*e.children[0]);
+        switch (e.un_op) {
+          case UnOp::kNeg: Emit(Op::kNeg, WidthOf(e.type)); break;
+          case UnOp::kBitNot: Emit(Op::kBitNot, WidthOf(e.type)); break;
+          case UnOp::kNot: Emit(Op::kNot); break;
+        }
+        break;
+      case ExprKind::kTernary: {
+        const int l_else = NewLabel();
+        const int l_end = NewLabel();
+        CompileExpr(*e.children[0]);
+        EmitBranch(Op::kJmpIfFalse, l_else);
+        CompileExprWiden(*e.children[1], e.type);
+        EmitBranch(Op::kJmp, l_end);
+        Bind(l_else);
+        CompileExprWiden(*e.children[2], e.type);
+        Bind(l_end);
+        break;
+      }
+      case ExprKind::kCall: {
+        JAG_CHECK_MSG(e.binding_index >= 0, "unresolved call to " + e.name);
+        const FuncDecl& callee = *program_.functions[static_cast<size_t>(e.binding_index)];
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          CompileExprWiden(*e.children[i], callee.params[i].type);
+        }
+        Emit(Op::kCall, 0, e.binding_index);
+        break;
+      }
+      case ExprKind::kIndex:
+        CompileExpr(*e.children[0]);
+        CompileExpr(*e.children[1]);
+        Emit(Op::kALoad, WidthOf(e.type));
+        break;
+      case ExprKind::kLength:
+        CompileExpr(*e.children[0]);
+        Emit(Op::kALen);
+        break;
+      case ExprKind::kNewArray:
+        CompileExpr(*e.children[0]);
+        Emit(Op::kNewArray, 0, static_cast<int32_t>(e.type_operand.elem));
+        break;
+      case ExprKind::kNewArrayInit: {
+        const Type elem = e.type_operand.ElementType();
+        Emit(Op::kConst, 0, 0, static_cast<int64_t>(e.children.size()));
+        Emit(Op::kNewArray, 0, static_cast<int32_t>(e.type_operand.elem));
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          Emit(Op::kDup);
+          Emit(Op::kConst, 0, 0, static_cast<int64_t>(i));
+          CompileExprWiden(*e.children[i], elem);
+          Emit(Op::kAStore, 0, static_cast<int32_t>(e.type_operand.elem));
+        }
+        break;
+      }
+      case ExprKind::kCast: {
+        const Expr& operand = *e.children[0];
+        CompileExpr(operand);
+        if (e.type_operand.IsInt() && operand.type.IsLong()) {
+          Emit(Op::kL2I);
+        } else if (e.type_operand.IsLong() && operand.type.IsInt()) {
+          Emit(Op::kI2L);
+        }
+        break;
+      }
+    }
+  }
+
+  // Compiles `e` and widens int → long when `target` is long.
+  void CompileExprWiden(const Expr& e, Type target) {
+    CompileExpr(e);
+    if (target.IsLong() && e.type.IsInt()) {
+      Emit(Op::kI2L);
+    }
+  }
+
+  void CompileBinary(const Expr& e) {
+    const Expr& lhs = *e.children[0];
+    const Expr& rhs = *e.children[1];
+    switch (e.bin_op) {
+      case BinOp::kLogAnd: {
+        const int l_false = NewLabel();
+        const int l_end = NewLabel();
+        CompileExpr(lhs);
+        EmitBranch(Op::kJmpIfFalse, l_false);
+        CompileExpr(rhs);
+        EmitBranch(Op::kJmp, l_end);
+        Bind(l_false);
+        Emit(Op::kConst, 0, 0, 0);
+        Bind(l_end);
+        return;
+      }
+      case BinOp::kLogOr: {
+        const int l_true = NewLabel();
+        const int l_end = NewLabel();
+        CompileExpr(lhs);
+        EmitBranch(Op::kJmpIfTrue, l_true);
+        CompileExpr(rhs);
+        EmitBranch(Op::kJmp, l_end);
+        Bind(l_true);
+        Emit(Op::kConst, 0, 0, 1);
+        Bind(l_end);
+        return;
+      }
+      case BinOp::kShl:
+      case BinOp::kShr:
+      case BinOp::kUshr: {
+        CompileExpr(lhs);
+        CompileExpr(rhs);
+        if (rhs.type.IsLong()) {
+          Emit(Op::kL2I);  // shift count is consumed as int; masking happens in the VM
+        }
+        Op op = e.bin_op == BinOp::kShl ? Op::kShl
+                : e.bin_op == BinOp::kShr ? Op::kShr
+                                          : Op::kUshr;
+        Emit(op, WidthOf(lhs.type));
+        return;
+      }
+      default:
+        break;
+    }
+
+    // Remaining operators evaluate both sides at a common width.
+    Type common;
+    if (lhs.type.IsBool()) {
+      common = Type::Bool();
+    } else {
+      common = PromoteNumeric(lhs.type, rhs.type);
+    }
+    CompileExprWiden(lhs, common);
+    CompileExprWiden(rhs, common);
+    const uint8_t w = WidthOf(common);
+    switch (e.bin_op) {
+      case BinOp::kAdd: Emit(Op::kAdd, w); break;
+      case BinOp::kSub: Emit(Op::kSub, w); break;
+      case BinOp::kMul: Emit(Op::kMul, w); break;
+      case BinOp::kDiv: Emit(Op::kDiv, w); break;
+      case BinOp::kRem: Emit(Op::kRem, w); break;
+      case BinOp::kBitAnd: Emit(Op::kAnd, w); break;
+      case BinOp::kBitOr: Emit(Op::kOr, w); break;
+      case BinOp::kBitXor: Emit(Op::kXor, w); break;
+      case BinOp::kEq: Emit(Op::kCmpEq, w); break;
+      case BinOp::kNe: Emit(Op::kCmpNe, w); break;
+      case BinOp::kLt: Emit(Op::kCmpLt, w); break;
+      case BinOp::kLe: Emit(Op::kCmpLe, w); break;
+      case BinOp::kGt: Emit(Op::kCmpGt, w); break;
+      case BinOp::kGe: Emit(Op::kCmpGe, w); break;
+      default:
+        JAG_CHECK_MSG(false, "unexpected binary operator");
+    }
+  }
+
+  // --- Statements ----------------------------------------------------------------------------
+
+  struct LoopCtx {
+    int break_label;
+    int continue_label;  // -1 for switch contexts (no continue target)
+  };
+
+  void CompileStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kVarDecl: {
+        JAG_CHECK_MSG(s.local_id >= 0, "unresolved local " + s.name);
+        if (!s.exprs.empty()) {
+          CompileExprWiden(*s.exprs[0], s.decl_type);
+        } else {
+          Emit(Op::kConst, WidthOf(s.decl_type), 0, 0);
+        }
+        Emit(Op::kStore, WidthOf(s.decl_type), s.local_id);
+        break;
+      }
+      case StmtKind::kAssign:
+        CompileAssign(s);
+        break;
+      case StmtKind::kExprStmt: {
+        const Expr& call = *s.exprs[0];
+        CompileExpr(call);
+        if (!call.type.IsVoid()) {
+          Emit(Op::kPop);
+        }
+        break;
+      }
+      case StmtKind::kIf: {
+        const int l_end = NewLabel();
+        CompileExpr(*s.exprs[0]);
+        if (s.stmts.size() > 1) {
+          const int l_else = NewLabel();
+          EmitBranch(Op::kJmpIfFalse, l_else);
+          CompileStmt(*s.stmts[0]);
+          EmitBranch(Op::kJmp, l_end);
+          Bind(l_else);
+          CompileStmt(*s.stmts[1]);
+        } else {
+          EmitBranch(Op::kJmpIfFalse, l_end);
+          CompileStmt(*s.stmts[0]);
+        }
+        Bind(l_end);
+        break;
+      }
+      case StmtKind::kWhile: {
+        const int l_cond = NewLabel();
+        const int l_end = NewLabel();
+        Bind(l_cond);
+        CompileExpr(*s.exprs[0]);
+        EmitBranch(Op::kJmpIfFalse, l_end);
+        loops_.push_back({l_end, l_cond});
+        CompileStmt(*s.stmts[0]);
+        loops_.pop_back();
+        EmitBranch(Op::kJmp, l_cond);
+        Bind(l_end);
+        break;
+      }
+      case StmtKind::kFor: {
+        const int l_cond = NewLabel();
+        const int l_cont = NewLabel();
+        const int l_end = NewLabel();
+        if (s.has_for_init) {
+          CompileStmt(*s.ForInit());
+        }
+        Bind(l_cond);
+        if (!s.exprs.empty()) {
+          CompileExpr(*s.exprs[0]);
+          EmitBranch(Op::kJmpIfFalse, l_end);
+        }
+        loops_.push_back({l_end, l_cont});
+        CompileStmt(*s.ForBody());
+        loops_.pop_back();
+        Bind(l_cont);
+        if (s.has_for_update) {
+          CompileStmt(*s.ForUpdate());
+        }
+        EmitBranch(Op::kJmp, l_cond);
+        Bind(l_end);
+        break;
+      }
+      case StmtKind::kSwitch: {
+        const int l_end = NewLabel();
+        CompileExpr(*s.exprs[0]);
+        SwitchTable table;
+        std::vector<int> arm_labels;
+        arm_labels.reserve(s.arms.size());
+        int default_label = l_end;
+        for (const auto& arm : s.arms) {
+          const int label = NewLabel();
+          arm_labels.push_back(label);
+          if (arm.is_default) {
+            default_label = label;
+          } else {
+            // Case/default labels are recorded as *label ids* and rewritten to pcs in
+            // PatchLabels().
+            table.cases.emplace_back(static_cast<int32_t>(arm.value), label);
+          }
+        }
+        table.default_target = default_label;
+        const int32_t table_index = static_cast<int32_t>(out_.switch_tables.size());
+        out_.switch_tables.push_back(std::move(table));
+        Emit(Op::kSwitch, 0, table_index);
+        loops_.push_back({l_end, -1});
+        for (size_t i = 0; i < s.arms.size(); ++i) {
+          Bind(arm_labels[i]);
+          for (const auto& child : s.arms[i].stmts) {
+            CompileStmt(*child);
+          }
+          // No jump: Java fall-through into the next arm.
+        }
+        loops_.pop_back();
+        Bind(l_end);
+        break;
+      }
+      case StmtKind::kBreak: {
+        JAG_CHECK(!loops_.empty());
+        EmitBranch(Op::kJmp, loops_.back().break_label);
+        break;
+      }
+      case StmtKind::kContinue: {
+        int target = -1;
+        for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+          if (it->continue_label >= 0) {
+            target = it->continue_label;
+            break;
+          }
+        }
+        JAG_CHECK_MSG(target >= 0, "continue outside loop");
+        EmitBranch(Op::kJmp, target);
+        break;
+      }
+      case StmtKind::kReturn:
+        if (s.exprs.empty()) {
+          Emit(Op::kRetVoid);
+        } else {
+          CompileExprWiden(*s.exprs[0], out_.ret);
+          Emit(Op::kRet);
+        }
+        break;
+      case StmtKind::kBlock:
+        for (const auto& child : s.stmts) {
+          CompileStmt(*child);
+        }
+        break;
+      case StmtKind::kPrint: {
+        const Expr& value = *s.exprs[0];
+        CompileExpr(value);
+        Emit(Op::kPrint, WidthOf(value.type), static_cast<int32_t>(value.type.kind));
+        break;
+      }
+      case StmtKind::kMute:
+        Emit(Op::kSetMute, 0, s.local_id != 0 ? 1 : 0);
+        break;
+      case StmtKind::kTryCatch: {
+        const int l_start = NewLabel();
+        const int l_end_try = NewLabel();
+        const int l_handler = NewLabel();
+        const int l_after = NewLabel();
+        Bind(l_start);
+        CompileStmt(*s.stmts[0]);
+        Bind(l_end_try);
+        EmitBranch(Op::kJmp, l_after);
+        Bind(l_handler);
+        CompileStmt(*s.stmts[1]);
+        Bind(l_after);
+        pending_regions_.push_back({l_start, l_end_try, l_handler});
+        break;
+      }
+    }
+  }
+
+  void CompileAssign(const Stmt& s) {
+    const Expr& lv = *s.exprs[0];
+    const Expr& value = *s.exprs[1];
+    const Type target = lv.type;
+
+    if (s.assign_op == AssignOp::kAssign) {
+      if (lv.kind == ExprKind::kVarRef) {
+        CompileExprWiden(value, target);
+        EmitStoreVar(lv);
+      } else {
+        CompileExpr(*lv.children[0]);
+        CompileExpr(*lv.children[1]);
+        CompileExprWiden(value, target);
+        Emit(Op::kAStore, 0, static_cast<int32_t>(lv.children[0]->type.elem));
+      }
+      return;
+    }
+
+    // Compound assignment: read-modify-write with Java's implicit narrowing back-cast.
+    const bool is_shift = s.assign_op == AssignOp::kShlAssign ||
+                          s.assign_op == AssignOp::kShrAssign ||
+                          s.assign_op == AssignOp::kUshrAssign;
+    Type op_width;  // width the operation executes at
+    if (target.IsBool()) {
+      op_width = Type::Bool();
+    } else if (is_shift) {
+      op_width = target;  // shift result has the target's width
+    } else {
+      op_width = PromoteNumeric(target, value.type.IsBool() ? Type::Int() : value.type);
+    }
+
+    auto emit_rhs_and_op = [&] {
+      if (is_shift) {
+        CompileExpr(value);
+        if (value.type.IsLong()) {
+          Emit(Op::kL2I);
+        }
+      } else {
+        CompileExprWiden(value, op_width);
+      }
+      const uint8_t w = WidthOf(op_width);
+      switch (s.assign_op) {
+        case AssignOp::kAddAssign: Emit(Op::kAdd, w); break;
+        case AssignOp::kSubAssign: Emit(Op::kSub, w); break;
+        case AssignOp::kMulAssign: Emit(Op::kMul, w); break;
+        case AssignOp::kDivAssign: Emit(Op::kDiv, w); break;
+        case AssignOp::kRemAssign: Emit(Op::kRem, w); break;
+        case AssignOp::kAndAssign: Emit(Op::kAnd, w); break;
+        case AssignOp::kOrAssign: Emit(Op::kOr, w); break;
+        case AssignOp::kXorAssign: Emit(Op::kXor, w); break;
+        case AssignOp::kShlAssign: Emit(Op::kShl, w); break;
+        case AssignOp::kShrAssign: Emit(Op::kShr, w); break;
+        case AssignOp::kUshrAssign: Emit(Op::kUshr, w); break;
+        case AssignOp::kAssign: JAG_CHECK(false); break;
+      }
+      if (target.IsInt() && op_width.IsLong()) {
+        Emit(Op::kL2I);  // Java: i op= l narrows the result back to int
+      }
+    };
+
+    if (lv.kind == ExprKind::kVarRef) {
+      CompileExpr(lv);  // current value
+      if (!is_shift && target.IsInt() && op_width.IsLong()) {
+        Emit(Op::kI2L);
+      }
+      emit_rhs_and_op();
+      EmitStoreVar(lv);
+    } else {
+      CompileExpr(*lv.children[0]);
+      CompileExpr(*lv.children[1]);
+      Emit(Op::kDup2);
+      Emit(Op::kALoad, WidthOf(target));
+      if (!is_shift && target.IsInt() && op_width.IsLong()) {
+        Emit(Op::kI2L);
+      }
+      emit_rhs_and_op();
+      Emit(Op::kAStore, 0, static_cast<int32_t>(lv.children[0]->type.elem));
+    }
+  }
+
+  void EmitStoreVar(const Expr& lv) {
+    if (lv.binding == VarBinding::kLocal) {
+      Emit(Op::kStore, WidthOf(lv.type), lv.binding_index);
+    } else {
+      JAG_CHECK(lv.binding == VarBinding::kGlobal);
+      Emit(Op::kGStore, WidthOf(lv.type), lv.binding_index);
+    }
+  }
+
+  struct PendingRegion {
+    int start_label;
+    int end_label;
+    int handler_label;
+  };
+
+  const Program& program_;
+  BcFunction& out_;
+  std::vector<int32_t> labels_;
+  std::vector<std::pair<int32_t, int>> fixups_;  // (pc, label)
+  std::vector<LoopCtx> loops_;
+  std::vector<PendingRegion> pending_regions_;
+};
+
+}  // namespace
+
+BcProgram CompileProgram(const Program& program) {
+  BcProgram out;
+  out.globals.reserve(program.globals.size());
+  for (const auto& g : program.globals) {
+    out.globals.push_back(GlobalSlot{g.type, g.name});
+  }
+
+  for (const auto& f : program.functions) {
+    BcFunction bf;
+    bf.name = f->name;
+    bf.ret = f->ret;
+    for (const auto& p : f->params) {
+      bf.params.push_back(p.type);
+    }
+    bf.num_locals = f->num_locals;
+    FunctionCompiler fc(program, bf);
+    fc.CompileBody(*f);
+    out.functions.push_back(std::move(bf));
+  }
+  out.main_index = program.FunctionIndex("main");
+  JAG_CHECK_MSG(out.main_index >= 0, "program has no main (was Check() run?)");
+
+  BcFunction ginit;
+  ginit.name = "<ginit>";
+  ginit.ret = Type::Void();
+  ginit.num_locals = 0;
+  FunctionCompiler gc(program, ginit);
+  gc.CompileGlobalInit(program.globals);
+  out.ginit_index = static_cast<int>(out.functions.size());
+  out.functions.push_back(std::move(ginit));
+
+  Verify(out);
+  return out;
+}
+
+BcProgram CompileSource(const std::string& source) {
+  Program p = ParseProgram(source);
+  Check(p);
+  return CompileProgram(p);
+}
+
+}  // namespace jaguar

@@ -1,0 +1,24 @@
+// AST → bytecode compiler (the "javac" of the Jaguar toolchain).
+//
+// Requires a checked program (typecheck.h): expression types and name bindings must already be
+// annotated. Produces a verified-ready BcProgram including a synthesized `<ginit>` function
+// that evaluates global initializers before `main` runs.
+
+#ifndef SRC_JAGUAR_BYTECODE_COMPILER_H_
+#define SRC_JAGUAR_BYTECODE_COMPILER_H_
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/lang/ast.h"
+
+namespace jaguar {
+
+// Compiles a checked program. Throws InternalError if annotations are missing (i.e. Check()
+// was not run or the AST was mutated afterwards without re-checking).
+BcProgram CompileProgram(const Program& program);
+
+// Convenience: parse + check + compile + verify.
+BcProgram CompileSource(const std::string& source);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_BYTECODE_COMPILER_H_

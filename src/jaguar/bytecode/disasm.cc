@@ -1,0 +1,87 @@
+#include "src/jaguar/bytecode/disasm.h"
+
+#include "src/jaguar/support/text.h"
+
+namespace jaguar {
+
+std::string Disassemble(const BcFunction& f) {
+  std::string out = TypeName(f.ret) + " " + f.name + "(";
+  for (size_t i = 0; i < f.params.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += TypeName(f.params[i]);
+  }
+  out += ")  locals=" + std::to_string(f.num_locals) + "\n";
+  for (size_t pc = 0; pc < f.code.size(); ++pc) {
+    const Instr& instr = f.code[pc];
+    out += "  " + std::to_string(pc) + ": " + OpName(instr.op);
+    if (instr.w != 0) {
+      out += ".l";
+    }
+    switch (instr.op) {
+      case Op::kConst:
+        out += " " + std::to_string(instr.imm);
+        break;
+      case Op::kLoad:
+      case Op::kStore:
+        out += " $" + std::to_string(instr.a);
+        break;
+      case Op::kGLoad:
+      case Op::kGStore:
+        out += " @" + std::to_string(instr.a);
+        break;
+      case Op::kJmp:
+      case Op::kJmpIfTrue:
+      case Op::kJmpIfFalse:
+        out += " ->" + std::to_string(instr.a);
+        break;
+      case Op::kSwitch: {
+        const auto& table = f.switch_tables[static_cast<size_t>(instr.a)];
+        out += " {";
+        for (const auto& [value, target] : table.cases) {
+          out += std::to_string(value) + "->" + std::to_string(target) + " ";
+        }
+        out += "default->" + std::to_string(table.default_target) + "}";
+        break;
+      }
+      case Op::kCall:
+        out += " fn#" + std::to_string(instr.a);
+        break;
+      case Op::kNewArray:
+      case Op::kAStore:
+        out += " elem=" + std::to_string(instr.a);
+        break;
+      case Op::kSetMute:
+        out += instr.a != 0 ? " on" : " off";
+        break;
+      default:
+        break;
+    }
+    if (f.IsOsrHeader(static_cast<int32_t>(pc))) {
+      out += "   ; osr-header";
+    }
+    out += "\n";
+  }
+  for (const auto& region : f.try_regions) {
+    out += "  try [" + std::to_string(region.start) + "," + std::to_string(region.end) +
+           ") -> handler " + std::to_string(region.handler) + "\n";
+  }
+  return out;
+}
+
+std::string Disassemble(const BcProgram& program) {
+  std::string out;
+  for (size_t i = 0; i < program.globals.size(); ++i) {
+    out += "global @" + std::to_string(i) + ": " + TypeName(program.globals[i].type) + " " +
+           program.globals[i].name + "\n";
+  }
+  for (size_t i = 0; i < program.functions.size(); ++i) {
+    out += "fn#" + std::to_string(i) + " ";
+    out += Disassemble(program.functions[i]);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,17 @@
+// Bytecode disassembler for debugging and tests.
+
+#ifndef SRC_JAGUAR_BYTECODE_DISASM_H_
+#define SRC_JAGUAR_BYTECODE_DISASM_H_
+
+#include <string>
+
+#include "src/jaguar/bytecode/module.h"
+
+namespace jaguar {
+
+std::string Disassemble(const BcFunction& f);
+std::string Disassemble(const BcProgram& program);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_BYTECODE_DISASM_H_

@@ -1,0 +1,31 @@
+#include "src/jaguar/bytecode/module.h"
+
+#include <algorithm>
+
+namespace jaguar {
+
+int32_t SwitchTable::TargetFor(int32_t value) const {
+  for (const auto& [v, target] : cases) {
+    if (v == value) {
+      return target;
+    }
+  }
+  return default_target;
+}
+
+int32_t BcFunction::HandlerFor(int32_t pc) const {
+  // Regions are appended when their try statement finishes compiling, so an inner (nested)
+  // region always precedes its enclosing one: the first match is the innermost handler.
+  for (const TryRegion& region : try_regions) {
+    if (pc >= region.start && pc < region.end) {
+      return region.handler;
+    }
+  }
+  return -1;
+}
+
+bool BcFunction::IsOsrHeader(int32_t pc) const {
+  return std::find(osr_headers.begin(), osr_headers.end(), pc) != osr_headers.end();
+}
+
+}  // namespace jaguar

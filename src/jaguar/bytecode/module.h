@@ -1,0 +1,69 @@
+// Bytecode containers: functions and whole programs.
+
+#ifndef SRC_JAGUAR_BYTECODE_MODULE_H_
+#define SRC_JAGUAR_BYTECODE_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/jaguar/bytecode/opcode.h"
+#include "src/jaguar/lang/types.h"
+
+namespace jaguar {
+
+// Dense jump table for `switch`: case values are unique; default_target always valid.
+struct SwitchTable {
+  std::vector<std::pair<int32_t, int32_t>> cases;  // (value, target pc)
+  int32_t default_target = 0;
+
+  int32_t TargetFor(int32_t value) const;
+};
+
+// Catch-all exception handler covering pcs in [start, end). Regions are appended when their
+// try statement finishes compiling (innermost-first); the *first* region containing a pc is
+// the innermost handler.
+struct TryRegion {
+  int32_t start = 0;
+  int32_t end = 0;
+  int32_t handler = 0;
+};
+
+struct BcFunction {
+  std::string name;
+  Type ret = Type::Void();
+  std::vector<Type> params;
+  int num_locals = 0;  // includes parameter slots 0..params.size()-1
+  std::vector<Instr> code;
+  std::vector<SwitchTable> switch_tables;
+  std::vector<TryRegion> try_regions;
+
+  // Filled by Verify(): operand-stack depth on entry to each pc (-1 if unreachable) and the
+  // loop-header pcs that are eligible for on-stack replacement (reached by a back edge with
+  // an empty operand stack).
+  std::vector<int16_t> stack_depth;
+  std::vector<int32_t> osr_headers;
+
+  // Innermost handler for a trap at `pc`, or -1.
+  int32_t HandlerFor(int32_t pc) const;
+
+  bool IsOsrHeader(int32_t pc) const;
+};
+
+struct GlobalSlot {
+  Type type;
+  std::string name;
+};
+
+struct BcProgram {
+  std::vector<GlobalSlot> globals;
+  std::vector<BcFunction> functions;
+  int main_index = -1;
+  int ginit_index = -1;  // synthesized global-initializer function; runs before main
+
+  const BcFunction& Main() const { return functions[static_cast<size_t>(main_index)]; }
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_BYTECODE_MODULE_H_

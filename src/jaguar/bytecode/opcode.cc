@@ -1,0 +1,78 @@
+#include "src/jaguar/bytecode/opcode.h"
+
+namespace jaguar {
+
+bool IsTerminator(Op op) {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kSwitch:
+    case Op::kRet:
+    case Op::kRetVoid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBranch(Op op) {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kJmpIfTrue:
+    case Op::kJmpIfFalse:
+    case Op::kSwitch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string OpName(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kGLoad: return "gload";
+    case Op::kGStore: return "gstore";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kRem: return "rem";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kUshr: return "ushr";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNeg: return "neg";
+    case Op::kBitNot: return "bitnot";
+    case Op::kNot: return "not";
+    case Op::kCmpEq: return "cmpeq";
+    case Op::kCmpNe: return "cmpne";
+    case Op::kCmpLt: return "cmplt";
+    case Op::kCmpLe: return "cmple";
+    case Op::kCmpGt: return "cmpgt";
+    case Op::kCmpGe: return "cmpge";
+    case Op::kI2L: return "i2l";
+    case Op::kL2I: return "l2i";
+    case Op::kJmp: return "jmp";
+    case Op::kJmpIfTrue: return "jmpif";
+    case Op::kJmpIfFalse: return "jmpifnot";
+    case Op::kSwitch: return "switch";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kRetVoid: return "retvoid";
+    case Op::kNewArray: return "newarray";
+    case Op::kALoad: return "aload";
+    case Op::kAStore: return "astore";
+    case Op::kALen: return "alen";
+    case Op::kPrint: return "print";
+    case Op::kPop: return "pop";
+    case Op::kDup: return "dup";
+    case Op::kDup2: return "dup2";
+    case Op::kSetMute: return "setmute";
+  }
+  return "<bad op>";
+}
+
+}  // namespace jaguar

@@ -1,0 +1,81 @@
+// The Jaguar stack-bytecode instruction set.
+//
+// Jaguar bytecode mirrors JVM bytecode in spirit: a typed operand stack, numbered local slots,
+// global ("static field") slots, direct calls, and per-function exception-handler tables.
+// Values on the stack are 64-bit; `int` values are kept sign-extended 32-bit quantities and
+// re-truncated by every int-typed operation, exactly as HotSpot's interpreter does.
+
+#ifndef SRC_JAGUAR_BYTECODE_OPCODE_H_
+#define SRC_JAGUAR_BYTECODE_OPCODE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jaguar {
+
+enum class Op : uint8_t {
+  kConst,   // push imm (w: 0 int/bool, 1 long)
+  kLoad,    // push locals[a]
+  kStore,   // locals[a] = pop
+  kGLoad,   // push globals[a]
+  kGStore,  // globals[a] = pop
+
+  // Binary arithmetic: pops rhs then lhs, pushes result. w selects int (0) / long (1)
+  // semantics: wrap-around two's complement, division traps on zero divisor.
+  kAdd, kSub, kMul, kDiv, kRem,
+  kShl, kShr, kUshr,  // shift count always popped as int; masked by 31 (w=0) or 63 (w=1)
+  kAnd, kOr, kXor,
+
+  kNeg, kBitNot,  // unary numeric (w)
+  kNot,           // boolean negation
+
+  // Comparisons: pop two operands of width w, push boolean.
+  kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,
+
+  kI2L,  // sign-extend (no-op on our representation; kept for fidelity and IR typing)
+  kL2I,  // truncate to 32 bits
+
+  kJmp,         // a = target pc
+  kJmpIfTrue,   // pop bool; a = target pc
+  kJmpIfFalse,  // pop bool; a = target pc
+  kSwitch,      // pop int subject; a = index into BcFunction::switch_tables
+
+  kCall,     // a = callee function index; pops args (right to left), pushes result if any
+  kRet,      // pop return value, leave function
+  kRetVoid,  // leave function
+
+  kNewArray,  // a = element TypeKind; pops non-negative size, pushes reference
+  kALoad,     // pops index, ref; pushes element
+  kAStore,    // pops value, index, ref; stores (truncating to the element width, a = elem kind)
+  kALen,      // pops ref, pushes length
+
+  kPrint,    // pop value, append to program output (a = TypeKind of value)
+  kPop,      // drop top
+  kDup,      // duplicate top
+  kDup2,     // duplicate top two values (for compound array assignment)
+  kSetMute,  // a != 0 mutes program output, a == 0 restores it (JoNM neutrality wrapper)
+};
+
+struct Instr {
+  Op op = Op::kConst;
+  uint8_t w = 0;    // width flag: 0 = int, 1 = long (where applicable)
+  int32_t a = 0;    // pc target / slot / table index / function index / type kind
+  int64_t imm = 0;  // kConst payload
+
+  static Instr Make(Op op, uint8_t w = 0, int32_t a = 0, int64_t imm = 0) {
+    return Instr{op, w, a, imm};
+  }
+};
+
+// True for instructions that transfer control unconditionally (no fall-through).
+bool IsTerminator(Op op);
+
+// True for conditional or unconditional branches (kJmp, kJmpIf*, kSwitch).
+bool IsBranch(Op op);
+
+// Mnemonic for disassembly.
+std::string OpName(Op op);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_BYTECODE_OPCODE_H_

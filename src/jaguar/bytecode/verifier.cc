@@ -1,0 +1,205 @@
+#include "src/jaguar/bytecode/verifier.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+struct Effect {
+  int pops;
+  int pushes;
+};
+
+Effect EffectOf(const BcProgram& program, const Instr& instr) {
+  switch (instr.op) {
+    case Op::kConst: return {0, 1};
+    case Op::kLoad: return {0, 1};
+    case Op::kStore: return {1, 0};
+    case Op::kGLoad: return {0, 1};
+    case Op::kGStore: return {1, 0};
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kRem:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kUshr:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kCmpEq:
+    case Op::kCmpNe:
+    case Op::kCmpLt:
+    case Op::kCmpLe:
+    case Op::kCmpGt:
+    case Op::kCmpGe:
+      return {2, 1};
+    case Op::kNeg:
+    case Op::kBitNot:
+    case Op::kNot:
+    case Op::kI2L:
+    case Op::kL2I:
+      return {1, 1};
+    case Op::kJmp: return {0, 0};
+    case Op::kJmpIfTrue:
+    case Op::kJmpIfFalse:
+    case Op::kSwitch:
+      return {1, 0};
+    case Op::kCall: {
+      const auto& callee = program.functions[static_cast<size_t>(instr.a)];
+      return {static_cast<int>(callee.params.size()), callee.ret.IsVoid() ? 0 : 1};
+    }
+    case Op::kRet: return {1, 0};
+    case Op::kRetVoid: return {0, 0};
+    case Op::kNewArray: return {1, 1};
+    case Op::kALoad: return {2, 1};
+    case Op::kAStore: return {3, 0};
+    case Op::kALen: return {1, 1};
+    case Op::kPrint: return {1, 0};
+    case Op::kPop: return {1, 0};
+    case Op::kDup: return {1, 2};
+    case Op::kDup2: return {2, 4};
+    case Op::kSetMute: return {0, 0};
+  }
+  JAG_CHECK(false);
+  return {0, 0};
+}
+
+void VerifyFunction(const BcProgram& program, BcFunction& f) {
+  const int32_t n = static_cast<int32_t>(f.code.size());
+  JAG_CHECK_MSG(n > 0, "empty function " + f.name);
+  JAG_CHECK_MSG(static_cast<size_t>(f.num_locals) >= f.params.size(),
+                "fewer locals than parameters in " + f.name);
+
+  f.stack_depth.assign(static_cast<size_t>(n), -1);
+  f.osr_headers.clear();
+
+  auto check_target = [&](int32_t target) {
+    JAG_CHECK_MSG(target >= 0 && target < n, "branch target out of range in " + f.name);
+  };
+
+  std::deque<int32_t> worklist;
+  auto merge_into = [&](int32_t pc, int depth) {
+    check_target(pc);
+    int16_t& slot = f.stack_depth[static_cast<size_t>(pc)];
+    if (slot == -1) {
+      slot = static_cast<int16_t>(depth);
+      worklist.push_back(pc);
+    } else {
+      JAG_CHECK_MSG(slot == depth, "inconsistent stack depth at pc " + std::to_string(pc) +
+                                       " in " + f.name);
+    }
+  };
+
+  merge_into(0, 0);
+  for (const auto& region : f.try_regions) {
+    JAG_CHECK_MSG(region.start >= 0 && region.end <= n && region.start <= region.end,
+                  "malformed try region in " + f.name);
+    // Handlers enter with an empty operand stack (the interpreter unwinds before jumping).
+    merge_into(region.handler, 0);
+  }
+
+  while (!worklist.empty()) {
+    const int32_t pc = worklist.front();
+    worklist.pop_front();
+    const Instr& instr = f.code[static_cast<size_t>(pc)];
+    const int depth_in = f.stack_depth[static_cast<size_t>(pc)];
+    const Effect eff = EffectOf(program, instr);
+    JAG_CHECK_MSG(depth_in >= eff.pops, "stack underflow at pc " + std::to_string(pc) +
+                                            " in " + f.name);
+    const int depth_out = depth_in - eff.pops + eff.pushes;
+    JAG_CHECK_MSG(depth_out <= 4096, "operand stack too deep in " + f.name);
+
+    if (instr.op == Op::kLoad || instr.op == Op::kStore) {
+      JAG_CHECK_MSG(instr.a >= 0 && instr.a < f.num_locals,
+                    "local slot out of range in " + f.name);
+    }
+    if (instr.op == Op::kGLoad || instr.op == Op::kGStore) {
+      JAG_CHECK_MSG(instr.a >= 0 && static_cast<size_t>(instr.a) < program.globals.size(),
+                    "global slot out of range in " + f.name);
+    }
+    if (instr.op == Op::kCall) {
+      JAG_CHECK_MSG(instr.a >= 0 && static_cast<size_t>(instr.a) < program.functions.size(),
+                    "callee index out of range in " + f.name);
+    }
+
+    switch (instr.op) {
+      case Op::kJmp:
+        merge_into(instr.a, depth_out);
+        break;
+      case Op::kJmpIfTrue:
+      case Op::kJmpIfFalse:
+        merge_into(instr.a, depth_out);
+        merge_into(pc + 1, depth_out);
+        break;
+      case Op::kSwitch: {
+        JAG_CHECK_MSG(instr.a >= 0 && static_cast<size_t>(instr.a) < f.switch_tables.size(),
+                      "switch table out of range in " + f.name);
+        const auto& table = f.switch_tables[static_cast<size_t>(instr.a)];
+        for (const auto& [value, target] : table.cases) {
+          merge_into(target, depth_out);
+        }
+        merge_into(table.default_target, depth_out);
+        break;
+      }
+      case Op::kRet:
+        JAG_CHECK_MSG(!f.ret.IsVoid(), "ret in void function " + f.name);
+        break;
+      case Op::kRetVoid:
+        // A non-void function may still contain kRetVoid only in the unreachable epilogue;
+        // reaching one here under a non-void signature is a compiler bug.
+        JAG_CHECK_MSG(f.ret.IsVoid(), "retvoid in non-void function " + f.name);
+        break;
+      default:
+        JAG_CHECK_MSG(pc + 1 < n, "control falls off the end of " + f.name);
+        merge_into(pc + 1, depth_out);
+        break;
+    }
+  }
+
+  // Back edges: a branch at `src` to `target <= src`. When the target is reachable with an
+  // empty operand stack it is an OSR-eligible loop header.
+  for (int32_t pc = 0; pc < n; ++pc) {
+    if (f.stack_depth[static_cast<size_t>(pc)] == -1) {
+      continue;
+    }
+    const Instr& instr = f.code[static_cast<size_t>(pc)];
+    auto consider = [&](int32_t target) {
+      if (target <= pc && f.stack_depth[static_cast<size_t>(target)] == 0 &&
+          !f.IsOsrHeader(target)) {
+        f.osr_headers.push_back(target);
+      }
+    };
+    if (instr.op == Op::kJmp || instr.op == Op::kJmpIfTrue || instr.op == Op::kJmpIfFalse) {
+      consider(instr.a);
+    } else if (instr.op == Op::kSwitch) {
+      const auto& table = f.switch_tables[static_cast<size_t>(instr.a)];
+      for (const auto& [value, target] : table.cases) {
+        consider(target);
+      }
+      consider(table.default_target);
+    }
+  }
+  std::sort(f.osr_headers.begin(), f.osr_headers.end());
+}
+
+}  // namespace
+
+int StackEffect(const BcProgram& program, const Instr& instr) {
+  const Effect e = EffectOf(program, instr);
+  return e.pushes - e.pops;
+}
+
+void Verify(BcProgram& program) {
+  JAG_CHECK(program.main_index >= 0 &&
+            static_cast<size_t>(program.main_index) < program.functions.size());
+  for (auto& f : program.functions) {
+    VerifyFunction(program, f);
+  }
+}
+
+}  // namespace jaguar

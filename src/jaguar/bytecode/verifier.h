@@ -1,0 +1,27 @@
+// Bytecode verifier.
+//
+// Verify() performs a worklist dataflow over every function, checking structural soundness
+// (jump targets in range, consistent operand-stack depth at every merge point, local slots in
+// bounds, terminated code paths) and annotating each function with:
+//   - stack_depth[pc]: operand-stack depth on entry to pc (-1 = unreachable);
+//   - osr_headers: loop-header pcs reached by a back edge with an empty operand stack, i.e.
+//     the points where on-stack replacement may enter compiled code.
+// The execution engine and the JIT's IR builder both rely on these annotations.
+
+#ifndef SRC_JAGUAR_BYTECODE_VERIFIER_H_
+#define SRC_JAGUAR_BYTECODE_VERIFIER_H_
+
+#include "src/jaguar/bytecode/module.h"
+
+namespace jaguar {
+
+// Verifies and annotates all functions in place. Throws InternalError on malformed bytecode
+// (which would indicate a bug in this repository's compiler, not in the simulated VM).
+void Verify(BcProgram& program);
+
+// Net stack effect (pushes - pops) of one instruction. kCall requires the program for arity.
+int StackEffect(const BcProgram& program, const Instr& instr);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_BYTECODE_VERIFIER_H_

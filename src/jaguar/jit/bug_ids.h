@@ -1,0 +1,74 @@
+// Identifiers of the injected JIT-compiler defects.
+//
+// We cannot ship HotSpot's real bugs, so the simulated VM plants individually switchable,
+// realistic defects in its optimization pipeline (DESIGN.md §1, "Injected-defect registry").
+// Each defect mimics a documented bug class: its component, symptom (mis-compilation, crash,
+// or performance), and trigger conditions (tier, speculation state, loop shape) match the
+// kinds of bugs the paper reports. A VM configuration enables a subset (vm/config.h), playing
+// the role of one "vendor" with its particular latent bugs.
+
+#ifndef SRC_JAGUAR_JIT_BUG_IDS_H_
+#define SRC_JAGUAR_JIT_BUG_IDS_H_
+
+#include <cstdint>
+
+namespace jaguar {
+
+enum class BugId : uint8_t {
+  // --- Mis-compilations -----------------------------------------------------------------
+  // Global code motion sinks a global store into a deeper loop when the estimated block
+  // frequencies are equal — a faithful model of HotSpot JDK-8288975 (paper §2.2).
+  kGcmStoreSinkIntoDeeperLoop,
+  // LICM hoists a conditionally-executed global store out of its guarding branch.
+  kLicmHoistStorePastGuard,
+  // GVN reuses a global load across an intervening store to the same global.
+  kGvnLoadAcrossStore,
+  // The constant folder forgets to mask the shift amount (e.g. folds `x << 33` as 0).
+  kFoldShiftUnmasked,
+  // Strength reduction rewrites division by a power of two as an arithmetic shift without
+  // the negative-dividend rounding fix-up.
+  kStrengthReduceNegDiv,
+  // The inliner binds arguments in reverse order for two-parameter callees.
+  kInlineSwappedArgs,
+  // Loop unrolling emits one extra copy of the body for short constant trip counts.
+  kUnrollExtraIteration,
+  // Deopt metadata resumes one bytecode too late, skipping the instruction at the trap pc.
+  kDeoptResumeSkipsInstr,
+  // OSR entry fails to transfer the highest-numbered local into compiled code.
+  kOsrDropsHighestLocal,
+  // The register allocator frees an interval one position early under high pressure.
+  kRegAllocEarlyFree,
+  // Lowering swaps subtraction operands when the destination register aliases the rhs and
+  // the lhs lives in a spill slot (a two-address memory-operand rewrite bug).
+  kLowerSwappedSubOperands,
+
+  // --- Crashes ----------------------------------------------------------------------------
+  // IR builder assertion failure on switches with many cases inside deep loops.
+  kIrBuilderSwitchAssert,
+  // GVN hash-bucket assertion on a specific operand pattern.
+  kGvnBucketAssert,
+  // LICM crashes when loops nest three deep or more.
+  kLicmDeepNestAssert,
+  // Speculation bookkeeping crash when a method re-speculates after a failed guard.
+  kSpeculationRetryCrash,
+  // Compiled array stores write the element one slot past the end when the index equals the
+  // length and range-check elimination removed the check; the heap verifier discovers the
+  // corrupted neighbour header at the next GC — a JIT bug crashing the garbage collector,
+  // exactly the OpenJ9 behaviour discussed in the paper's §4.2.
+  kRceOffByOneHeapCorruption,
+  // Executing compiled calls crashes at deep recursion (bad frame-size accounting).
+  kCodeExecDeepCallCrash,
+
+  // --- Performance ---------------------------------------------------------------------
+  // Recompilation at the top tier keeps deoptimizing and re-entering compilation
+  // (deopt/recompile cycling), making compiled execution pathologically slow.
+  kRecompileCycling,
+
+  kNumBugs,
+};
+
+const char* BugName(BugId id);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_BUG_IDS_H_

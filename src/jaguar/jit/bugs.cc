@@ -1,0 +1,104 @@
+#include "src/jaguar/jit/bugs.h"
+
+#include <array>
+
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/outcome.h"
+
+namespace jaguar {
+namespace {
+
+constexpr uint8_t C(VmComponent c) { return static_cast<uint8_t>(c); }
+
+const std::array<BugInfo, static_cast<size_t>(BugId::kNumBugs)>& BugTable() {
+  static const std::array<BugInfo, static_cast<size_t>(BugId::kNumBugs)> table = {{
+      {BugId::kGcmStoreSinkIntoDeeperLoop, BugSymptom::kMisCompilation,
+       C(VmComponent::kLoopOptimization),
+       "GCM sinks a global store into a deeper loop when frequencies tie (JDK-8288975 model)"},
+      {BugId::kLicmHoistStorePastGuard, BugSymptom::kMisCompilation,
+       C(VmComponent::kLoopOptimization),
+       "LICM hoists a conditionally-executed global store out of its guard"},
+      {BugId::kGvnLoadAcrossStore, BugSymptom::kMisCompilation, C(VmComponent::kGvn),
+       "GVN reuses a global load across an intervening store"},
+      {BugId::kFoldShiftUnmasked, BugSymptom::kMisCompilation,
+       C(VmComponent::kConstantPropagation),
+       "constant folder does not mask shift amounts >= width"},
+      {BugId::kStrengthReduceNegDiv, BugSymptom::kMisCompilation,
+       C(VmComponent::kConstantPropagation),
+       "div-by-power-of-two becomes a shift without the negative-dividend fix-up"},
+      {BugId::kInlineSwappedArgs, BugSymptom::kMisCompilation, C(VmComponent::kInlining),
+       "inliner binds two same-typed arguments in reverse order"},
+      {BugId::kUnrollExtraIteration, BugSymptom::kMisCompilation,
+       C(VmComponent::kLoopOptimization),
+       "loop unrolling emits one extra body copy for short constant trip counts"},
+      {BugId::kDeoptResumeSkipsInstr, BugSymptom::kMisCompilation,
+       C(VmComponent::kDeoptimization),
+       "deopt metadata resumes one bytecode past the trap pc"},
+      {BugId::kOsrDropsHighestLocal, BugSymptom::kMisCompilation,
+       C(VmComponent::kIrBuilding),
+       "OSR entry does not transfer the highest-numbered local"},
+      {BugId::kRegAllocEarlyFree, BugSymptom::kMisCompilation,
+       C(VmComponent::kRegisterAllocation),
+       "linear scan frees an interval one position early under pressure"},
+      {BugId::kLowerSwappedSubOperands, BugSymptom::kMisCompilation,
+       C(VmComponent::kCodeGeneration),
+       "lowering swaps subtraction operands when the result aliases the rhs register and the lhs is spilled"},
+      {BugId::kIrBuilderSwitchAssert, BugSymptom::kCrash, C(VmComponent::kIrBuilding),
+       "IR builder assertion on many-case switches inside deep loops"},
+      {BugId::kGvnBucketAssert, BugSymptom::kCrash, C(VmComponent::kGvn),
+       "GVN hash-bucket assertion on a specific operand pattern"},
+      {BugId::kLicmDeepNestAssert, BugSymptom::kCrash, C(VmComponent::kLoopOptimization),
+       "LICM crashes on loops nested three deep or more"},
+      {BugId::kSpeculationRetryCrash, BugSymptom::kCrash, C(VmComponent::kSpeculation),
+       "re-speculation after a failed guard crashes the compiler"},
+      {BugId::kRceOffByOneHeapCorruption, BugSymptom::kCrash,
+       C(VmComponent::kGarbageCollection),
+       "RCE off-by-one lets compiled stores corrupt the neighbour heap header; GC crashes"},
+      {BugId::kCodeExecDeepCallCrash, BugSymptom::kCrash, C(VmComponent::kCodeExecution),
+       "compiled calls crash at deep recursion (frame-size accounting)"},
+      {BugId::kRecompileCycling, BugSymptom::kPerformance, C(VmComponent::kRecompilation),
+       "deopt/recompile cycling makes compiled execution pathologically slow"},
+  }};
+  return table;
+}
+
+}  // namespace
+
+const char* BugName(BugId id) { return GetBugInfo(id).description; }
+
+const BugInfo& GetBugInfo(BugId id) {
+  const auto& table = BugTable();
+  const size_t index = static_cast<size_t>(id);
+  JAG_CHECK(index < table.size());
+  const BugInfo& info = table[index];
+  JAG_CHECK(info.id == id);  // table order must match the enum
+  return info;
+}
+
+BugRegistry::BugRegistry(const std::vector<BugId>& enabled) {
+  for (BugId id : enabled) {
+    Enable(id);
+  }
+}
+
+std::vector<BugId> BugRegistry::FiredBugs() const {
+  std::vector<BugId> out;
+  for (size_t i = 0; i < fired_.size(); ++i) {
+    if (fired_.test(i)) {
+      out.push_back(static_cast<BugId>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<BugId> BugRegistry::EnabledBugs() const {
+  std::vector<BugId> out;
+  for (size_t i = 0; i < enabled_.size(); ++i) {
+    if (enabled_.test(i)) {
+      out.push_back(static_cast<BugId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace jaguar

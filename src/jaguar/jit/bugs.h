@@ -1,0 +1,54 @@
+// Injected-defect registry: which defects a VM instance carries, plus fired-bug telemetry.
+
+#ifndef SRC_JAGUAR_JIT_BUGS_H_
+#define SRC_JAGUAR_JIT_BUGS_H_
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/jit/bug_ids.h"
+
+namespace jaguar {
+
+enum class BugSymptom : uint8_t { kMisCompilation, kCrash, kPerformance };
+
+struct BugInfo {
+  BugId id;
+  BugSymptom symptom;
+  // Component is declared in vm/outcome.h; stored here as its underlying value to keep the
+  // header dependency one-way (outcome.h includes bug_ids.h).
+  uint8_t component;
+  const char* description;
+};
+
+// Static metadata for every defect.
+const BugInfo& GetBugInfo(BugId id);
+
+// Per-VM-instance defect switchboard and telemetry. Passes query Enabled() at the site of the
+// planted defect; when the buggy path actually changes behaviour they call Fire(), which is
+// recorded as ground truth for root-cause attribution in the campaign reports.
+class BugRegistry {
+ public:
+  BugRegistry() = default;
+  explicit BugRegistry(const std::vector<BugId>& enabled);
+
+  void Enable(BugId id) { enabled_.set(static_cast<size_t>(id)); }
+  bool Enabled(BugId id) const { return enabled_.test(static_cast<size_t>(id)); }
+
+  void Fire(BugId id) { fired_.set(static_cast<size_t>(id)); }
+  bool Fired(BugId id) const { return fired_.test(static_cast<size_t>(id)); }
+  void ResetFired() { fired_.reset(); }
+
+  std::vector<BugId> FiredBugs() const;
+  std::vector<BugId> EnabledBugs() const;
+
+ private:
+  std::bitset<static_cast<size_t>(BugId::kNumBugs)> enabled_;
+  std::bitset<static_cast<size_t>(BugId::kNumBugs)> fired_;
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_BUGS_H_

@@ -1,0 +1,198 @@
+#include "src/jaguar/jit/ir.h"
+
+#include <unordered_set>
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+bool IsPure(const IrInstr& instr) {
+  switch (instr.op) {
+    case IrOp::kConst:
+    case IrOp::kUnary:
+    case IrOp::kALen:
+      return true;
+    case IrOp::kBinary:
+      // Division and remainder can trap (deopt) — not freely movable/removable.
+      return instr.bc_op != Op::kDiv && instr.bc_op != Op::kRem;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+const char* IrOpName(IrOp op) {
+  switch (op) {
+    case IrOp::kConst: return "const";
+    case IrOp::kBinary: return "bin";
+    case IrOp::kUnary: return "un";
+    case IrOp::kGLoad: return "gload";
+    case IrOp::kGStore: return "gstore";
+    case IrOp::kNewArray: return "newarray";
+    case IrOp::kALoad: return "aload";
+    case IrOp::kAStore: return "astore";
+    case IrOp::kALoadUnchecked: return "aload.u";
+    case IrOp::kAStoreUnchecked: return "astore.u";
+    case IrOp::kALen: return "alen";
+    case IrOp::kCall: return "call";
+    case IrOp::kPrint: return "print";
+    case IrOp::kSetMute: return "setmute";
+    case IrOp::kGuard: return "guard";
+  }
+  return "?";
+}
+
+std::string V(IrId id) { return id == kNoValue ? "_" : "v" + std::to_string(id); }
+
+}  // namespace
+
+std::string IrToString(const IrFunction& f) {
+  std::string out = "ir fn#" + std::to_string(f.func_index) + " level=" +
+                    std::to_string(f.level);
+  if (f.osr_pc >= 0) {
+    out += " osr@" + std::to_string(f.osr_pc);
+  }
+  out += "\n";
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrBlock& block = f.blocks[b];
+    out += "b" + std::to_string(b) + "(";
+    for (size_t i = 0; i < block.params.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += V(block.params[i]);
+    }
+    out += "):\n";
+    for (const auto& instr : block.instrs) {
+      out += "  ";
+      if (instr.HasDest()) {
+        out += V(instr.dest) + " = ";
+      }
+      out += IrOpName(instr.op);
+      if (instr.op == IrOp::kBinary || instr.op == IrOp::kUnary) {
+        out += "." + OpName(instr.bc_op);
+      }
+      if (instr.w != 0) {
+        out += ".l";
+      }
+      if (instr.op == IrOp::kConst) {
+        out += " " + std::to_string(instr.imm);
+      }
+      for (IrId arg : instr.args) {
+        out += " " + V(arg);
+      }
+      if (instr.op == IrOp::kGLoad || instr.op == IrOp::kGStore ||
+          instr.op == IrOp::kCall || instr.op == IrOp::kGuard) {
+        out += " #" + std::to_string(instr.a);
+      }
+      if (instr.deopt_index >= 0) {
+        out += " !deopt@" +
+               std::to_string(f.deopts[static_cast<size_t>(instr.deopt_index)].bc_pc);
+      }
+      out += "\n";
+    }
+    const IrTerminator& t = block.term;
+    out += "  ";
+    switch (t.kind) {
+      case TermKind::kJmp: out += "jmp"; break;
+      case TermKind::kBr: out += "br " + V(t.value); break;
+      case TermKind::kSwitch: out += "switch " + V(t.value); break;
+      case TermKind::kRet: out += "ret " + V(t.value); break;
+      case TermKind::kRetVoid: out += "ret"; break;
+    }
+    for (const auto& succ : t.succs) {
+      out += " ->b" + std::to_string(succ.block) + "(";
+      for (size_t i = 0; i < succ.args.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += V(succ.args[i]);
+      }
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void ValidateIr(const IrFunction& f) {
+  JAG_CHECK_MSG(!f.blocks.empty(), "IR function has no blocks");
+  JAG_CHECK(f.blocks[0].params.size() == f.EntryArgCount());
+
+  std::unordered_set<IrId> defined;
+  auto define = [&](IrId id) {
+    JAG_CHECK_MSG(id >= 0 && id < f.next_value, "value id out of range");
+    JAG_CHECK_MSG(defined.insert(id).second, "value v" + std::to_string(id) +
+                                                 " defined more than once");
+  };
+  for (const auto& block : f.blocks) {
+    for (IrId p : block.params) {
+      define(p);
+    }
+    for (const auto& instr : block.instrs) {
+      if (instr.HasDest()) {
+        define(instr.dest);
+      }
+    }
+  }
+
+  auto check_use = [&](IrId id, const char* what) {
+    JAG_CHECK_MSG(id != kNoValue && defined.count(id) != 0,
+                  std::string("use of undefined value v") + std::to_string(id) + " in " + what);
+  };
+  auto check_deopt = [&](int index) {
+    if (index < 0) {
+      return;
+    }
+    JAG_CHECK(static_cast<size_t>(index) < f.deopts.size());
+    const DeoptInfo& info = f.deopts[static_cast<size_t>(index)];
+    for (IrId id : info.locals) {
+      check_use(id, "deopt locals");
+    }
+    for (IrId id : info.stack) {
+      check_use(id, "deopt stack");
+    }
+  };
+
+  for (const auto& block : f.blocks) {
+    for (const auto& instr : block.instrs) {
+      for (IrId arg : instr.args) {
+        check_use(arg, "instruction operands");
+      }
+      check_deopt(instr.deopt_index);
+    }
+    const IrTerminator& t = block.term;
+    if (t.kind == TermKind::kBr || t.kind == TermKind::kSwitch || t.kind == TermKind::kRet) {
+      check_use(t.value, "terminator");
+    }
+    check_deopt(t.deopt_index);
+    switch (t.kind) {
+      case TermKind::kJmp:
+        JAG_CHECK(t.succs.size() == 1);
+        break;
+      case TermKind::kBr:
+        JAG_CHECK(t.succs.size() == 2);
+        break;
+      case TermKind::kSwitch:
+        JAG_CHECK(t.succs.size() == t.switch_values.size() + 1);
+        break;
+      case TermKind::kRet:
+      case TermKind::kRetVoid:
+        JAG_CHECK(t.succs.empty());
+        break;
+    }
+    for (const auto& succ : t.succs) {
+      JAG_CHECK_MSG(succ.block >= 0 && static_cast<size_t>(succ.block) < f.blocks.size(),
+                    "successor block out of range");
+      const IrBlock& target = f.blocks[static_cast<size_t>(succ.block)];
+      JAG_CHECK_MSG(succ.args.size() == target.params.size(),
+                    "edge argument count does not match target parameters");
+      for (IrId arg : succ.args) {
+        check_use(arg, "edge arguments");
+      }
+    }
+  }
+}
+
+}  // namespace jaguar

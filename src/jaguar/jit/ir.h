@@ -1,0 +1,139 @@
+// The JIT's high-level IR (HIR): a control-flow graph in block-parameter SSA form.
+//
+// Instead of phi nodes, every basic block declares parameters and every incoming edge passes
+// arguments (the Cranelift/MLIR style, which is much easier to keep consistent under heavy
+// rewriting than classic phis). The bytecode→IR builder gives *every* block one parameter per
+// local slot plus one per operand-stack slot at its entry depth; copy propagation and DCE then
+// strip the redundant ones.
+//
+// Deoptimization metadata: every potentially-trapping instruction, every call, and every
+// conditional branch carries a DeoptInfo snapshot — the bytecode pc plus the SSA values that
+// reconstruct the interpreter frame (locals + operand stack) *before* that bytecode executes.
+// Guards and genuinely-trapping instructions use it to transfer execution back to the
+// interpreter; this is the mechanism that makes uncommon traps, OSR exits, and the paper's
+// compilation-space interleavings real.
+
+#ifndef SRC_JAGUAR_JIT_IR_H_
+#define SRC_JAGUAR_JIT_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/bytecode/opcode.h"
+#include "src/jaguar/jit/bug_ids.h"
+
+namespace jaguar {
+
+using IrId = int32_t;
+constexpr IrId kNoValue = -1;
+
+enum class IrOp : uint8_t {
+  kConst,   // dest = imm
+  kBinary,  // dest = bc_op(args[0], args[1]); div/rem carry deopt info (trap → deopt)
+  kUnary,   // dest = bc_op(args[0])
+  kGLoad,   // dest = globals[a]
+  kGStore,  // globals[a] = args[0]
+  kNewArray,          // dest = allocate(elem kind a, size args[0]); deopt on bad size
+  kALoad,             // dest = args[0][args[1]], bounds-checked; deopt on OOB
+  kAStore,            // args[0][args[1]] = args[2], bounds-checked; deopt on OOB
+  kALoadUnchecked,    // after range-check elimination
+  kAStoreUnchecked,
+  kALen,    // dest = length(args[0])
+  kCall,    // dest = call fn a with args; deopt info used for pending-trap unwind
+  kPrint,   // print(kind a, args[0])
+  kSetMute, // a != 0 on / 0 off
+  kGuard,   // speculation guard: deopt unless (args[0] != 0) == (a != 0)
+};
+
+// Interpreter-frame snapshot *before* the bytecode at bc_pc executes.
+struct DeoptInfo {
+  int32_t bc_pc = 0;
+  std::vector<IrId> locals;
+  std::vector<IrId> stack;
+};
+
+struct IrInstr {
+  IrOp op = IrOp::kConst;
+  Op bc_op = Op::kConst;  // kBinary/kUnary: which operator
+  uint8_t w = 0;          // width flag (0 int, 1 long)
+  int32_t a = 0;          // global index / elem kind / callee index / guard expectation
+  int64_t imm = 0;        // kConst payload
+  IrId dest = kNoValue;
+  std::vector<IrId> args;
+  int deopt_index = -1;   // into IrFunction::deopts; -1 = none
+  int32_t bc_pc = -1;     // origin bytecode pc (profiling, guards, debugging)
+
+  // Injected-defect tag: when non-zero (BugId value + 1) the executor applies/fires the
+  // corresponding defect behaviour at this instruction (e.g. the RCE off-by-one store).
+  uint8_t bug_tag = 0;
+
+  bool HasDest() const { return dest != kNoValue; }
+};
+
+enum class TermKind : uint8_t { kJmp, kBr, kSwitch, kRet, kRetVoid };
+
+struct SuccEdge {
+  int32_t block = -1;
+  std::vector<IrId> args;  // one per target-block parameter
+};
+
+struct IrTerminator {
+  TermKind kind = TermKind::kRetVoid;
+  IrId value = kNoValue;  // kBr/kSwitch condition or kRet value
+  // kJmp: succs[0]. kBr: succs[0] = true edge, succs[1] = false edge.
+  // kSwitch: succs[i] per case (switch_values[i]), succs.back() = default.
+  std::vector<SuccEdge> succs;
+  std::vector<int32_t> switch_values;
+  int deopt_index = -1;   // kBr: snapshot before the branch (used by the speculation pass)
+  int32_t bc_pc = -1;
+};
+
+struct IrBlock {
+  std::vector<IrId> params;
+  std::vector<IrInstr> instrs;
+  IrTerminator term;
+  // Bytecode pc this block was translated from (-1 for synthetic blocks). Used by the
+  // executor to maintain back-edge counters in profiled tiers.
+  int32_t origin_pc = -1;
+};
+
+struct IrFunction {
+  int func_index = -1;
+  int level = 1;
+  int32_t osr_pc = -1;        // -1 = normal entry
+  int num_locals = 0;
+  int num_params = 0;         // source-function parameter count
+  bool returns_value = false;
+  std::vector<IrBlock> blocks;  // blocks[0] is the entry
+  std::vector<DeoptInfo> deopts;
+  IrId next_value = 0;
+  // Tier-1 ("C1"-like) code keeps maintaining the method's back-edge counters so that hot
+  // methods continue climbing toward the optimizing tier — without this, a method that gets
+  // quick-compiled early would freeze below the top tier forever.
+  bool profile_backedges = false;
+
+  IrId NewValue() { return next_value++; }
+  size_t NumBlocks() const { return blocks.size(); }
+
+  // Entry-block parameter convention: a normal entry takes `num_params` values (the call
+  // arguments); an OSR entry takes `num_locals` values (the live frame at the loop header).
+  size_t EntryArgCount() const {
+    return osr_pc >= 0 ? static_cast<size_t>(num_locals) : static_cast<size_t>(num_params);
+  }
+};
+
+// Debug dump.
+std::string IrToString(const IrFunction& f);
+
+// Structural well-formedness check (edge/param arity, operand defined-ness modulo ordering,
+// successor indices in range). Throws InternalError on violation; used by tests and after
+// every pass in debug pipelines.
+void ValidateIr(const IrFunction& f);
+
+// True for instructions with no side effects and no deopt behaviour (safe to GVN/hoist/DCE).
+bool IsPure(const IrInstr& instr);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_IR_H_

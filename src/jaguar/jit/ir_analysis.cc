@@ -1,0 +1,289 @@
+#include "src/jaguar/jit/ir_analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+bool Cfg::Dominates(int32_t a, int32_t b) const {
+  JAG_CHECK(Reachable(a) && Reachable(b));
+  int32_t runner = b;
+  for (;;) {
+    if (runner == a) {
+      return true;
+    }
+    const int32_t up = idom[static_cast<size_t>(runner)];
+    if (up == runner) {
+      return false;  // reached the entry without meeting a
+    }
+    runner = up;
+  }
+}
+
+bool LoopInfo::Contains(int32_t b) const {
+  return std::find(blocks.begin(), blocks.end(), b) != blocks.end();
+}
+
+Cfg AnalyzeCfg(const IrFunction& f) {
+  const size_t n = f.blocks.size();
+  Cfg cfg;
+  cfg.preds.resize(n);
+  cfg.succs.resize(n);
+  cfg.rpo_index.assign(n, -1);
+  cfg.idom.assign(n, -1);
+
+  for (size_t b = 0; b < n; ++b) {
+    for (const auto& succ : f.blocks[b].term.succs) {
+      cfg.succs[b].push_back(succ.block);
+      cfg.preds[static_cast<size_t>(succ.block)].push_back(static_cast<int32_t>(b));
+    }
+  }
+
+  // Iterative postorder DFS from the entry.
+  std::vector<int32_t> postorder;
+  std::vector<uint8_t> state(n, 0);  // 0 unseen, 1 on stack, 2 done
+  std::vector<std::pair<int32_t, size_t>> stack;
+  stack.emplace_back(0, 0);
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [block, next] = stack.back();
+    if (next < cfg.succs[static_cast<size_t>(block)].size()) {
+      const int32_t succ = cfg.succs[static_cast<size_t>(block)][next++];
+      if (state[static_cast<size_t>(succ)] == 0) {
+        state[static_cast<size_t>(succ)] = 1;
+        stack.emplace_back(succ, 0);
+      }
+    } else {
+      state[static_cast<size_t>(block)] = 2;
+      postorder.push_back(block);
+      stack.pop_back();
+    }
+  }
+  cfg.rpo.assign(postorder.rbegin(), postorder.rend());
+  for (size_t i = 0; i < cfg.rpo.size(); ++i) {
+    cfg.rpo_index[static_cast<size_t>(cfg.rpo[i])] = static_cast<int32_t>(i);
+  }
+
+  // Cooper–Harvey–Kennedy iterative dominators.
+  auto intersect = [&](int32_t a, int32_t b) {
+    while (a != b) {
+      while (cfg.rpo_index[static_cast<size_t>(a)] > cfg.rpo_index[static_cast<size_t>(b)]) {
+        a = cfg.idom[static_cast<size_t>(a)];
+      }
+      while (cfg.rpo_index[static_cast<size_t>(b)] > cfg.rpo_index[static_cast<size_t>(a)]) {
+        b = cfg.idom[static_cast<size_t>(b)];
+      }
+    }
+    return a;
+  };
+  cfg.idom[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 1; i < cfg.rpo.size(); ++i) {
+      const int32_t b = cfg.rpo[i];
+      int32_t new_idom = -1;
+      for (int32_t p : cfg.preds[static_cast<size_t>(b)]) {
+        if (cfg.idom[static_cast<size_t>(p)] < 0) {
+          continue;  // pred not processed yet / unreachable
+        }
+        new_idom = new_idom < 0 ? p : intersect(new_idom, p);
+      }
+      JAG_CHECK(new_idom >= 0);
+      if (cfg.idom[static_cast<size_t>(b)] != new_idom) {
+        cfg.idom[static_cast<size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return cfg;
+}
+
+LoopForest FindLoops(const IrFunction& f, const Cfg& cfg) {
+  LoopForest forest;
+  forest.innermost.assign(f.blocks.size(), -1);
+
+  // Natural loops from back edges u -> h where h dominates u.
+  for (int32_t h : cfg.rpo) {
+    std::vector<int32_t> latches;
+    for (int32_t p : cfg.preds[static_cast<size_t>(h)]) {
+      if (cfg.Reachable(p) && cfg.Dominates(h, p)) {
+        latches.push_back(p);
+      }
+    }
+    if (latches.empty()) {
+      continue;
+    }
+    LoopInfo loop;
+    loop.header = h;
+    loop.latches = latches;
+    // Collect the natural loop: everything that reaches a latch without passing the header.
+    std::vector<int32_t> work = latches;
+    std::vector<uint8_t> in_loop(f.blocks.size(), 0);
+    in_loop[static_cast<size_t>(h)] = 1;
+    loop.blocks.push_back(h);
+    while (!work.empty()) {
+      const int32_t b = work.back();
+      work.pop_back();
+      if (in_loop[static_cast<size_t>(b)]) {
+        continue;
+      }
+      in_loop[static_cast<size_t>(b)] = 1;
+      loop.blocks.push_back(b);
+      for (int32_t p : cfg.preds[static_cast<size_t>(b)]) {
+        if (cfg.Reachable(p)) {
+          work.push_back(p);
+        }
+      }
+    }
+    std::sort(loop.blocks.begin(), loop.blocks.end());
+    forest.loops.push_back(std::move(loop));
+  }
+
+  // Nesting: loop A is inside loop B iff B contains A's header (and A != B). Depth and
+  // parent follow from the smallest enclosing loop.
+  for (size_t i = 0; i < forest.loops.size(); ++i) {
+    size_t best = SIZE_MAX;
+    for (size_t j = 0; j < forest.loops.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      if (forest.loops[j].Contains(forest.loops[i].header) &&
+          forest.loops[j].header != forest.loops[i].header) {
+        if (best == SIZE_MAX ||
+            forest.loops[j].blocks.size() < forest.loops[best].blocks.size()) {
+          best = j;
+        }
+      }
+    }
+    forest.loops[i].parent = best == SIZE_MAX ? -1 : static_cast<int>(best);
+  }
+  // Depths by walking parent chains (loops are few; quadratic is fine).
+  for (auto& loop : forest.loops) {
+    int depth = 1;
+    int parent = loop.parent;
+    while (parent >= 0) {
+      ++depth;
+      parent = forest.loops[static_cast<size_t>(parent)].parent;
+    }
+    loop.depth = depth;
+  }
+  // Innermost loop per block = containing loop with the greatest depth.
+  for (size_t l = 0; l < forest.loops.size(); ++l) {
+    for (int32_t b : forest.loops[l].blocks) {
+      const int cur = forest.innermost[static_cast<size_t>(b)];
+      if (cur < 0 ||
+          forest.loops[static_cast<size_t>(cur)].depth < forest.loops[l].depth) {
+        forest.innermost[static_cast<size_t>(b)] = static_cast<int>(l);
+      }
+    }
+  }
+  return forest;
+}
+
+const IrInstr* FindDef(const IrFunction& f, IrId id) {
+  for (const auto& block : f.blocks) {
+    for (const auto& instr : block.instrs) {
+      if (instr.dest == id) {
+        return &instr;
+      }
+    }
+  }
+  return nullptr;
+}
+
+int32_t DefBlock(const IrFunction& f, IrId id) {
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    for (IrId p : f.blocks[b].params) {
+      if (p == id) {
+        return static_cast<int32_t>(b);
+      }
+    }
+    for (const auto& instr : f.blocks[b].instrs) {
+      if (instr.dest == id) {
+        return static_cast<int32_t>(b);
+      }
+    }
+  }
+  return -1;
+}
+
+int32_t LoopPreheader(const Cfg& cfg, const LoopInfo& loop) {
+  int32_t preheader = -1;
+  for (int32_t p : cfg.preds[static_cast<size_t>(loop.header)]) {
+    if (!cfg.Reachable(p) || loop.Contains(p)) {
+      continue;
+    }
+    if (preheader >= 0) {
+      return -1;  // multiple outside predecessors
+    }
+    preheader = p;
+  }
+  return preheader;
+}
+
+std::vector<BasicInduction> FindBasicInductions(const IrFunction& f, const Cfg& cfg,
+                                                const LoopInfo& loop) {
+  std::vector<BasicInduction> out;
+  if (loop.latches.size() != 1) {
+    return out;
+  }
+  const int32_t preheader = LoopPreheader(cfg, loop);
+  if (preheader < 0) {
+    return out;
+  }
+  const int32_t latch = loop.latches[0];
+  const IrBlock& header = f.blocks[static_cast<size_t>(loop.header)];
+
+  // Locate the latch's and preheader's edges into the header.
+  auto find_edge = [&](int32_t from) -> const SuccEdge* {
+    for (const auto& succ : f.blocks[static_cast<size_t>(from)].term.succs) {
+      if (succ.block == loop.header) {
+        return &succ;
+      }
+    }
+    return nullptr;
+  };
+  const SuccEdge* latch_edge = find_edge(latch);
+  const SuccEdge* entry_edge = find_edge(preheader);
+  if (latch_edge == nullptr || entry_edge == nullptr) {
+    return out;
+  }
+
+  for (size_t i = 0; i < header.params.size(); ++i) {
+    const IrId param = header.params[i];
+    const IrId updated = latch_edge->args[i];
+    const IrInstr* def = FindDef(f, updated);
+    if (def == nullptr || def->op != IrOp::kBinary || def->bc_op != Op::kAdd) {
+      continue;
+    }
+    // param + const (either operand order).
+    IrId other = kNoValue;
+    if (def->args[0] == param) {
+      other = def->args[1];
+    } else if (def->args[1] == param) {
+      other = def->args[0];
+    } else {
+      continue;
+    }
+    const IrInstr* step_def = FindDef(f, other);
+    if (step_def == nullptr || step_def->op != IrOp::kConst || step_def->imm == 0) {
+      continue;
+    }
+    BasicInduction ind;
+    ind.param_index = i;
+    ind.param = param;
+    ind.step = step_def->imm;
+    const IrInstr* init_def = FindDef(f, entry_edge->args[i]);
+    if (init_def != nullptr && init_def->op == IrOp::kConst) {
+      ind.has_const_init = true;
+      ind.init = init_def->imm;
+    }
+    out.push_back(ind);
+  }
+  return out;
+}
+
+}  // namespace jaguar

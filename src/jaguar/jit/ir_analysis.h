@@ -1,0 +1,78 @@
+// CFG analyses shared by the optimization passes: predecessors, reverse postorder,
+// dominators (Cooper–Harvey–Kennedy), natural loops with nesting depth, and basic
+// induction-variable recognition for the loop passes.
+
+#ifndef SRC_JAGUAR_JIT_IR_ANALYSIS_H_
+#define SRC_JAGUAR_JIT_IR_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/jaguar/jit/ir.h"
+
+namespace jaguar {
+
+struct Cfg {
+  std::vector<std::vector<int32_t>> preds;
+  std::vector<std::vector<int32_t>> succs;
+  std::vector<int32_t> rpo;        // reachable blocks in reverse postorder (rpo[0] = entry)
+  std::vector<int32_t> rpo_index;  // block -> position in rpo, -1 if unreachable
+  std::vector<int32_t> idom;       // immediate dominator; entry's idom is itself; -1 unreachable
+
+  bool Reachable(int32_t b) const { return rpo_index[static_cast<size_t>(b)] >= 0; }
+  // True if a dominates b (reflexive). Both must be reachable.
+  bool Dominates(int32_t a, int32_t b) const;
+};
+
+Cfg AnalyzeCfg(const IrFunction& f);
+
+struct LoopInfo {
+  int32_t header = -1;
+  std::vector<int32_t> latches;  // blocks with a back edge to header
+  std::vector<int32_t> blocks;   // natural-loop members, header included
+  int depth = 1;                 // 1 = outermost
+  int parent = -1;               // enclosing loop's index in LoopForest::loops, -1 if none
+
+  bool Contains(int32_t b) const;
+};
+
+struct LoopForest {
+  std::vector<LoopInfo> loops;
+  std::vector<int> innermost;  // block -> index of innermost containing loop, -1 if none
+
+  int DepthOf(int32_t block) const {
+    const int l = innermost[static_cast<size_t>(block)];
+    return l < 0 ? 0 : loops[static_cast<size_t>(l)].depth;
+  }
+};
+
+LoopForest FindLoops(const IrFunction& f, const Cfg& cfg);
+
+// A basic induction variable of a loop: header parameter `param` (at `param_index`) whose
+// sole latch update is param + step (step a nonzero constant), with a known constant initial
+// value when `has_const_init`.
+struct BasicInduction {
+  size_t param_index = 0;
+  IrId param = kNoValue;
+  int64_t step = 0;
+  bool has_const_init = false;
+  int64_t init = 0;
+};
+
+// Recognizes basic inductions of `loop`. Requires a single latch and a single non-latch
+// predecessor of the header; returns empty otherwise.
+std::vector<BasicInduction> FindBasicInductions(const IrFunction& f, const Cfg& cfg,
+                                                const LoopInfo& loop);
+
+// The single predecessor of `loop.header` outside the loop, or -1 if there are several.
+int32_t LoopPreheader(const Cfg& cfg, const LoopInfo& loop);
+
+// Finds the defining instruction of `id` (nullptr for block params).
+const IrInstr* FindDef(const IrFunction& f, IrId id);
+
+// Block that defines `id` (via param or instruction); -1 if not found.
+int32_t DefBlock(const IrFunction& f, IrId id);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_IR_ANALYSIS_H_

@@ -1,0 +1,448 @@
+#include "src/jaguar/jit/ir_builder.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/outcome.h"
+
+namespace jaguar {
+namespace {
+
+class Builder {
+ public:
+  Builder(const BcProgram& program, int func, int level, int32_t osr_pc, BugRegistry* bugs)
+      : program_(program),
+        bc_(program.functions[static_cast<size_t>(func)]),
+        bugs_(bugs) {
+    ir_.func_index = func;
+    ir_.level = level;
+    ir_.osr_pc = osr_pc;
+    ir_.num_locals = bc_.num_locals;
+    ir_.num_params = static_cast<int>(bc_.params.size());
+    ir_.returns_value = !bc_.ret.IsVoid();
+  }
+
+  IrFunction Build() {
+    const int32_t entry_pc = ir_.osr_pc >= 0 ? ir_.osr_pc : 0;
+    JAG_CHECK_MSG(DepthAt(entry_pc) == 0, "IR entry must have an empty operand stack");
+
+    // Precompute block leaders so translation splits blocks at every branch target even when
+    // the branch itself has not been visited yet (prevents tail duplication of loop bodies).
+    for (size_t pc = 0; pc < bc_.code.size(); ++pc) {
+      const Instr& instr = bc_.code[pc];
+      if (instr.op == Op::kJmp || instr.op == Op::kJmpIfTrue || instr.op == Op::kJmpIfFalse) {
+        leaders_.insert(instr.a);
+        leaders_.insert(static_cast<int32_t>(pc) + 1);
+      } else if (instr.op == Op::kSwitch) {
+        const auto& table = bc_.switch_tables[static_cast<size_t>(instr.a)];
+        for (const auto& [value, target] : table.cases) {
+          leaders_.insert(target);
+        }
+        leaders_.insert(table.default_target);
+        leaders_.insert(static_cast<int32_t>(pc) + 1);
+      }
+    }
+
+    // Synthetic entry block: binds call arguments (normal) or the live frame (OSR) and
+    // zero-initializes the remaining locals.
+    ir_.blocks.emplace_back();
+    IrBlock& entry = ir_.blocks[0];
+    for (size_t i = 0; i < ir_.EntryArgCount(); ++i) {
+      entry.params.push_back(ir_.NewValue());
+    }
+    std::vector<IrId> entry_locals;
+    if (ir_.osr_pc >= 0) {
+      entry_locals = entry.params;
+      if (bugs_ != nullptr && bugs_->Enabled(BugId::kOsrDropsHighestLocal) &&
+          ir_.num_locals >= 10) {
+        // Injected defect: the last local is "transferred" as zero instead of its live value.
+        IrInstr zero;
+        zero.op = IrOp::kConst;
+        zero.imm = 0;
+        zero.dest = ir_.NewValue();
+        entry.instrs.push_back(zero);
+        entry_locals.back() = entry.instrs.back().dest;
+        bugs_->Fire(BugId::kOsrDropsHighestLocal);
+      }
+    } else {
+      entry_locals = entry.params;
+      for (int i = ir_.num_params; i < ir_.num_locals; ++i) {
+        IrInstr zero;
+        zero.op = IrOp::kConst;
+        zero.imm = 0;
+        zero.dest = ir_.NewValue();
+        entry.instrs.push_back(zero);
+        entry_locals.push_back(entry.instrs.back().dest);
+      }
+    }
+    const int32_t first_block = BlockFor(entry_pc);  // may reallocate ir_.blocks
+    IrBlock& entry_ref = ir_.blocks[0];
+    entry_ref.term.kind = TermKind::kJmp;
+    entry_ref.term.succs.push_back(SuccEdge{first_block, std::move(entry_locals)});
+
+    while (!worklist_.empty()) {
+      const int32_t pc = worklist_.back();
+      worklist_.pop_back();
+      TranslateBlock(pc);
+    }
+    ValidateIr(ir_);
+    return std::move(ir_);
+  }
+
+ private:
+  int16_t DepthAt(int32_t pc) const {
+    const int16_t d = bc_.stack_depth[static_cast<size_t>(pc)];
+    JAG_CHECK_MSG(d >= 0, "translating unreachable bytecode");
+    return d;
+  }
+
+  // Returns the IR block for the bytecode block starting at `pc`, creating it (with params
+  // for every local and stack slot) and queueing it for translation on first request.
+  int32_t BlockFor(int32_t pc) {
+    auto it = block_of_pc_.find(pc);
+    if (it != block_of_pc_.end()) {
+      return it->second;
+    }
+    const int32_t id = static_cast<int32_t>(ir_.blocks.size());
+    ir_.blocks.emplace_back();
+    IrBlock& block = ir_.blocks.back();
+    block.origin_pc = pc;
+    const size_t nparams = static_cast<size_t>(ir_.num_locals) + static_cast<size_t>(DepthAt(pc));
+    for (size_t i = 0; i < nparams; ++i) {
+      block.params.push_back(ir_.NewValue());
+    }
+    block_of_pc_.emplace(pc, id);
+    worklist_.push_back(pc);
+    return id;
+  }
+
+  std::vector<IrId> EdgeArgs() const {
+    std::vector<IrId> args = locals_;
+    args.insert(args.end(), stack_.begin(), stack_.end());
+    return args;
+  }
+
+  int MakeDeopt(int32_t pc) {
+    DeoptInfo info;
+    info.bc_pc = pc;
+    info.locals = locals_;
+    info.stack = stack_;
+    ir_.deopts.push_back(std::move(info));
+    return static_cast<int>(ir_.deopts.size()) - 1;
+  }
+
+  IrId Pop() {
+    JAG_CHECK(!stack_.empty());
+    const IrId v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+  void Push(IrId v) { stack_.push_back(v); }
+
+  IrInstr& Emit(IrOp op) {
+    current_->instrs.emplace_back();
+    current_->instrs.back().op = op;
+    return current_->instrs.back();
+  }
+
+  IrId EmitWithDest(IrInstr&& instr) {
+    instr.dest = ir_.NewValue();
+    current_->instrs.push_back(std::move(instr));
+    return current_->instrs.back().dest;
+  }
+
+  void TranslateBlock(int32_t start_pc) {
+    const int32_t block_id = block_of_pc_.at(start_pc);
+    current_ = &ir_.blocks[static_cast<size_t>(block_id)];
+    // Re-derive the abstract frame from the block's params.
+    locals_.assign(current_->params.begin(),
+                   current_->params.begin() + ir_.num_locals);
+    stack_.assign(current_->params.begin() + ir_.num_locals, current_->params.end());
+
+    int32_t pc = start_pc;
+    for (;;) {
+      // A leader starting here ends the block with a fallthrough edge. (The entry pc of this
+      // very block does not count.)
+      if (pc != start_pc && leaders_.count(pc) != 0) {
+        const int32_t target_block = BlockFor(pc);  // may reallocate ir_.blocks
+        IrBlock& blk = ir_.blocks[static_cast<size_t>(block_id)];
+        blk.term.kind = TermKind::kJmp;
+        blk.term.succs.push_back(SuccEdge{target_block, EdgeArgs()});
+        return;
+      }
+      const Instr& instr = bc_.code[static_cast<size_t>(pc)];
+      // `current_` may be invalidated by ir_.blocks growth inside BlockFor; translate
+      // terminators carefully (BlockFor first, then touch the terminator through index).
+      switch (instr.op) {
+        case Op::kConst: {
+          IrInstr c;
+          c.op = IrOp::kConst;
+          c.imm = instr.imm;
+          c.bc_pc = pc;
+          Push(EmitWithDest(std::move(c)));
+          break;
+        }
+        case Op::kLoad:
+          Push(locals_[static_cast<size_t>(instr.a)]);
+          break;
+        case Op::kStore:
+          locals_[static_cast<size_t>(instr.a)] = Pop();
+          break;
+        case Op::kGLoad: {
+          IrInstr g;
+          g.op = IrOp::kGLoad;
+          g.a = instr.a;
+          g.w = instr.w;
+          g.bc_pc = pc;
+          Push(EmitWithDest(std::move(g)));
+          break;
+        }
+        case Op::kGStore: {
+          IrInstr& g = Emit(IrOp::kGStore);
+          g.a = instr.a;
+          g.bc_pc = pc;
+          g.args.push_back(Pop());
+          break;
+        }
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kDiv:
+        case Op::kRem:
+        case Op::kShl:
+        case Op::kShr:
+        case Op::kUshr:
+        case Op::kAnd:
+        case Op::kOr:
+        case Op::kXor:
+        case Op::kCmpEq:
+        case Op::kCmpNe:
+        case Op::kCmpLt:
+        case Op::kCmpLe:
+        case Op::kCmpGt:
+        case Op::kCmpGe: {
+          const int deopt = (instr.op == Op::kDiv || instr.op == Op::kRem) ? MakeDeopt(pc) : -1;
+          const IrId rhs = Pop();
+          const IrId lhs = Pop();
+          IrInstr b;
+          b.op = IrOp::kBinary;
+          b.bc_op = instr.op;
+          b.w = instr.w;
+          b.bc_pc = pc;
+          b.deopt_index = deopt;
+          b.args = {lhs, rhs};
+          Push(EmitWithDest(std::move(b)));
+          break;
+        }
+        case Op::kNeg:
+        case Op::kBitNot:
+        case Op::kNot:
+        case Op::kI2L:
+        case Op::kL2I: {
+          IrInstr u;
+          u.op = IrOp::kUnary;
+          u.bc_op = instr.op;
+          u.w = instr.w;
+          u.bc_pc = pc;
+          u.args = {Pop()};
+          Push(EmitWithDest(std::move(u)));
+          break;
+        }
+        case Op::kJmp: {
+          // Back edges carry a deopt snapshot so profiled-tier code can transfer to the
+          // interpreter when a loop becomes eligible for a higher-tier OSR compilation.
+          const int deopt = instr.a <= pc ? MakeDeopt(pc) : -1;
+          const int32_t target_block = BlockFor(instr.a);
+          IrBlock& blk = ir_.blocks[static_cast<size_t>(block_id)];
+          blk.term.kind = TermKind::kJmp;
+          blk.term.bc_pc = pc;
+          blk.term.deopt_index = deopt;
+          blk.term.succs.push_back(SuccEdge{target_block, EdgeArgs()});
+          return;
+        }
+        case Op::kJmpIfTrue:
+        case Op::kJmpIfFalse: {
+          const int deopt = MakeDeopt(pc);  // snapshot with the condition still on the stack
+          const IrId cond = Pop();
+          const int32_t taken_block = BlockFor(instr.a);
+          const int32_t fall_block = BlockFor(pc + 1);
+          IrBlock& blk = ir_.blocks[static_cast<size_t>(block_id)];
+          blk.term.kind = TermKind::kBr;
+          blk.term.value = cond;
+          blk.term.bc_pc = pc;
+          blk.term.deopt_index = deopt;
+          const std::vector<IrId> args = EdgeArgs();
+          if (instr.op == Op::kJmpIfTrue) {
+            blk.term.succs.push_back(SuccEdge{taken_block, args});
+            blk.term.succs.push_back(SuccEdge{fall_block, args});
+          } else {
+            blk.term.succs.push_back(SuccEdge{fall_block, args});
+            blk.term.succs.push_back(SuccEdge{taken_block, args});
+          }
+          return;
+        }
+        case Op::kSwitch: {
+          const auto& table = bc_.switch_tables[static_cast<size_t>(instr.a)];
+          if (bugs_ != nullptr && bugs_->Enabled(BugId::kIrBuilderSwitchAssert) &&
+              table.cases.size() >= 8 && bc_.osr_headers.size() >= 2) {
+            bugs_->Fire(BugId::kIrBuilderSwitchAssert);
+            throw VmCrash(VmComponent::kIrBuilding, "assert",
+                          "IR builder: switch lowering exceeded jump-table budget in " +
+                              bc_.name);
+          }
+          const IrId subject = Pop();
+          const std::vector<IrId> args = EdgeArgs();
+          std::vector<SuccEdge> succs;
+          std::vector<int32_t> values;
+          for (const auto& [value, target] : table.cases) {
+            values.push_back(value);
+            succs.push_back(SuccEdge{BlockFor(target), args});
+          }
+          succs.push_back(SuccEdge{BlockFor(table.default_target), args});
+          IrBlock& blk = ir_.blocks[static_cast<size_t>(block_id)];
+          blk.term.kind = TermKind::kSwitch;
+          blk.term.value = subject;
+          blk.term.bc_pc = pc;
+          blk.term.switch_values = std::move(values);
+          blk.term.succs = std::move(succs);
+          return;
+        }
+        case Op::kCall: {
+          const int deopt = MakeDeopt(pc);
+          const auto& callee = program_.functions[static_cast<size_t>(instr.a)];
+          const size_t argc = callee.params.size();
+          std::vector<IrId> args(argc);
+          for (size_t i = 0; i < argc; ++i) {
+            args[argc - 1 - i] = Pop();
+          }
+          IrInstr call;
+          call.op = IrOp::kCall;
+          call.a = instr.a;
+          call.bc_pc = pc;
+          call.deopt_index = deopt;
+          call.args = std::move(args);
+          if (callee.ret.IsVoid()) {
+            current_->instrs.push_back(std::move(call));
+          } else {
+            Push(EmitWithDest(std::move(call)));
+          }
+          break;
+        }
+        case Op::kRet: {
+          IrBlock& blk = ir_.blocks[static_cast<size_t>(block_id)];
+          blk.term.kind = TermKind::kRet;
+          blk.term.value = Pop();
+          blk.term.bc_pc = pc;
+          return;
+        }
+        case Op::kRetVoid: {
+          IrBlock& blk = ir_.blocks[static_cast<size_t>(block_id)];
+          blk.term.kind = TermKind::kRetVoid;
+          blk.term.bc_pc = pc;
+          return;
+        }
+        case Op::kNewArray: {
+          const int deopt = MakeDeopt(pc);
+          IrInstr n;
+          n.op = IrOp::kNewArray;
+          n.a = instr.a;
+          n.bc_pc = pc;
+          n.deopt_index = deopt;
+          n.args = {Pop()};
+          Push(EmitWithDest(std::move(n)));
+          break;
+        }
+        case Op::kALoad: {
+          const int deopt = MakeDeopt(pc);
+          const IrId index = Pop();
+          const IrId ref = Pop();
+          IrInstr l;
+          l.op = IrOp::kALoad;
+          l.bc_pc = pc;
+          l.deopt_index = deopt;
+          l.args = {ref, index};
+          Push(EmitWithDest(std::move(l)));
+          break;
+        }
+        case Op::kAStore: {
+          const int deopt = MakeDeopt(pc);
+          const IrId value = Pop();
+          const IrId index = Pop();
+          const IrId ref = Pop();
+          IrInstr& s = Emit(IrOp::kAStore);
+          s.a = instr.a;
+          s.bc_pc = pc;
+          s.deopt_index = deopt;
+          s.args = {ref, index, value};
+          break;
+        }
+        case Op::kALen: {
+          IrInstr l;
+          l.op = IrOp::kALen;
+          l.bc_pc = pc;
+          l.args = {Pop()};
+          Push(EmitWithDest(std::move(l)));
+          break;
+        }
+        case Op::kPrint: {
+          IrInstr& p = Emit(IrOp::kPrint);
+          p.a = instr.a;
+          p.w = instr.w;
+          p.bc_pc = pc;
+          p.args.push_back(Pop());
+          break;
+        }
+        case Op::kPop:
+          Pop();
+          break;
+        case Op::kDup: {
+          const IrId v = Pop();
+          Push(v);
+          Push(v);
+          break;
+        }
+        case Op::kDup2: {
+          const IrId b = Pop();
+          const IrId a = Pop();
+          Push(a);
+          Push(b);
+          Push(a);
+          Push(b);
+          break;
+        }
+        case Op::kSetMute: {
+          IrInstr& m = Emit(IrOp::kSetMute);
+          m.a = instr.a;
+          m.bc_pc = pc;
+          break;
+        }
+      }
+      ++pc;
+      // BlockFor may have reallocated ir_.blocks (it appends); refresh current_.
+      current_ = &ir_.blocks[static_cast<size_t>(block_id)];
+    }
+  }
+
+  const BcProgram& program_;
+  const BcFunction& bc_;
+  BugRegistry* bugs_;
+  IrFunction ir_;
+  std::set<int32_t> leaders_;
+  std::map<int32_t, int32_t> block_of_pc_;
+  std::vector<int32_t> worklist_;
+  IrBlock* current_ = nullptr;
+  std::vector<IrId> locals_;
+  std::vector<IrId> stack_;
+};
+
+}  // namespace
+
+IrFunction BuildIr(const BcProgram& program, int func, int level, int32_t osr_pc,
+                   BugRegistry* bugs) {
+  Builder builder(program, func, level, osr_pc, bugs);
+  return builder.Build();
+}
+
+}  // namespace jaguar

@@ -1,0 +1,31 @@
+// Bytecode → HIR translation by abstract interpretation of the operand stack.
+//
+// Locals and stack slots are symbolically tracked as SSA values; every block receives one
+// parameter per local plus one per operand-stack slot at its entry depth (the verifier's
+// stack_depth annotation), and every edge passes the full frame. This uniform convention makes
+// the translation trivially correct at merges and loop headers; later passes strip the
+// redundancy. Exception-handler blocks are intentionally *not* translated: compiled code never
+// branches to a handler — traps deoptimize to the interpreter, which dispatches them
+// (vm/interpreter.h), exactly the HotSpot strategy for uncommon exceptions.
+//
+// OSR entries: BuildIr with osr_pc >= 0 produces a function whose entry takes the full local
+// array at the loop header and starts execution there — the compiled continuation that
+// on-stack replacement transfers a live interpreter frame into.
+
+#ifndef SRC_JAGUAR_JIT_IR_BUILDER_H_
+#define SRC_JAGUAR_JIT_IR_BUILDER_H_
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/jit/ir.h"
+
+namespace jaguar {
+
+// Translates `func` (at `level`, entering at `osr_pc` if >= 0, which must be an OSR header).
+// `bugs` may be null (no injected defects). Throws VmCrash for injected build-time defects.
+IrFunction BuildIr(const BcProgram& program, int func, int level, int32_t osr_pc,
+                   BugRegistry* bugs);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_IR_BUILDER_H_

@@ -1,0 +1,280 @@
+#include "src/jaguar/jit/ir_exec.h"
+
+#include <utility>
+
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/engine.h"
+#include "src/jaguar/vm/value.h"
+
+namespace jaguar {
+namespace {
+
+constexpr int64_t kMaxArrayLength = 1 << 20;  // must match the engine's limit
+
+class Executor {
+ public:
+  Executor(Vm& vm, const IrFunction& f) : vm_(vm), f_(f), values_(f.next_value, 0) {}
+
+  CompiledExecResult Run(std::vector<int64_t> entry_args) {
+    const IrBlock& entry = f_.blocks[0];
+    JAG_CHECK(entry_args.size() == entry.params.size());
+    for (size_t i = 0; i < entry_args.size(); ++i) {
+      values_[static_cast<size_t>(entry.params[i])] = entry_args[i];
+    }
+
+    Vm::FrameGuard frame(vm_, &values_, nullptr);
+
+    const BcFunction& bc = vm_.program().functions[static_cast<size_t>(f_.func_index)];
+    int32_t block_id = 0;
+    for (;;) {
+      const IrBlock& block = f_.blocks[static_cast<size_t>(block_id)];
+      const int32_t block_origin = block.origin_pc;
+      for (const IrInstr& instr : block.instrs) {
+        vm_.AddSteps(1);
+        CompiledExecResult deopt;
+        if (ExecInstr(instr, &deopt)) {
+          return deopt;
+        }
+      }
+      vm_.AddSteps(1);
+      const IrTerminator& term = block.term;
+      const SuccEdge* edge = nullptr;
+      switch (term.kind) {
+        case TermKind::kRet:
+          return CompiledExecResult::Return(Get(term.value));
+        case TermKind::kRetVoid:
+          return CompiledExecResult::Return(0);
+        case TermKind::kJmp:
+          edge = &term.succs[0];
+          break;
+        case TermKind::kBr:
+          edge = Get(term.value) != 0 ? &term.succs[0] : &term.succs[1];
+          break;
+        case TermKind::kSwitch: {
+          const int32_t subject = static_cast<int32_t>(Get(term.value));
+          size_t pick = term.succs.size() - 1;  // default
+          for (size_t i = 0; i < term.switch_values.size(); ++i) {
+            if (term.switch_values[i] == subject) {
+              pick = i;
+              break;
+            }
+          }
+          edge = &term.succs[pick];
+          break;
+        }
+      }
+      if (f_.profile_backedges) {
+        // A transfer to a block originating at an earlier bytecode pc is a back edge:
+        // profiled-tier code keeps the loop counters warm (see IrFunction::profile_backedges).
+        const int32_t next_origin = f_.blocks[static_cast<size_t>(edge->block)].origin_pc;
+        if (next_origin >= 0 && block_origin >= 0 && next_origin <= block_origin &&
+            bc.IsOsrHeader(next_origin)) {
+          const uint64_t count = ++vm_.runtime(f_.func_index).backedge_counts[next_origin];
+          // Counter overflow toward a higher tier's OSR threshold: transfer to the
+          // interpreter (a plain deopt — the code stays entrant), whose next back edge then
+          // OSR-enters the recompiled higher-tier artifact. This is how tier-1 loops climb
+          // to the optimizing tier mid-execution, like HotSpot's C1→C2 OSR transition.
+          // The deopt snapshot MUST be materialized before TakeEdge: taking the edge writes
+          // the target block's parameters, which the snapshot may reference.
+          const auto& tiers = vm_.config().tiers;
+          int target = 0;
+          for (size_t j = static_cast<size_t>(f_.level); j < tiers.size(); ++j) {
+            if (tiers[j].osr_threshold != 0 && count >= tiers[j].osr_threshold) {
+              target = static_cast<int>(j) + 1;
+            }
+          }
+          if (target > f_.level && term.deopt_index >= 0) {
+            return MakeDeopt(term.deopt_index, -1, "");
+          }
+        }
+      }
+      block_id = TakeEdge(*edge);
+    }
+  }
+
+ private:
+  int64_t Get(IrId id) const { return values_[static_cast<size_t>(id)]; }
+  void Set(IrId id, int64_t v) { values_[static_cast<size_t>(id)] = v; }
+
+  int32_t TakeEdge(const SuccEdge& edge) {
+    const IrBlock& target = f_.blocks[static_cast<size_t>(edge.block)];
+    JAG_CHECK(edge.args.size() == target.params.size());
+    // Read all arguments before writing any parameter (values may alias).
+    scratch_.clear();
+    for (IrId arg : edge.args) {
+      scratch_.push_back(Get(arg));
+    }
+    for (size_t i = 0; i < scratch_.size(); ++i) {
+      Set(target.params[i], scratch_[i]);
+    }
+    return edge.block;
+  }
+
+  CompiledExecResult MakeDeopt(int deopt_index, int32_t failed_guard_pc,
+                               std::string pending_trap, int32_t resume_pc_bias = 0) {
+    JAG_CHECK(deopt_index >= 0);
+    const DeoptInfo& info = f_.deopts[static_cast<size_t>(deopt_index)];
+    DeoptState state;
+    state.resume_pc = info.bc_pc + resume_pc_bias;
+    state.failed_guard_pc = failed_guard_pc;
+    state.pending_trap = std::move(pending_trap);
+    state.locals.reserve(info.locals.size());
+    for (IrId id : info.locals) {
+      state.locals.push_back(Get(id));
+    }
+    state.stack.reserve(info.stack.size());
+    for (IrId id : info.stack) {
+      state.stack.push_back(Get(id));
+    }
+    return CompiledExecResult::Deopt(std::move(state));
+  }
+
+  // Executes one instruction. Returns true when execution must leave compiled code, filling
+  // `*out` with the deopt result.
+  bool ExecInstr(const IrInstr& instr, CompiledExecResult* out) {
+    switch (instr.op) {
+      case IrOp::kConst:
+        Set(instr.dest, instr.imm);
+        return false;
+      case IrOp::kBinary: {
+        const int64_t lhs = Get(instr.args[0]);
+        const int64_t rhs = Get(instr.args[1]);
+        bool div_by_zero = false;
+        const int64_t result = EvalBinaryOp(instr.bc_op, instr.w != 0, lhs, rhs, &div_by_zero);
+        if (div_by_zero) {
+          // Genuine trap: transfer to the interpreter, which re-executes and raises it.
+          *out = MakeDeopt(instr.deopt_index, -1, "");
+          return true;
+        }
+        if (instr.bug_tag == static_cast<uint8_t>(BugId::kStrengthReduceNegDiv) + 1 &&
+            lhs < 0) {
+          // The shift result is already wrong for negative dividends; record the firing.
+          vm_.bugs().Fire(BugId::kStrengthReduceNegDiv);
+        }
+        Set(instr.dest, result);
+        return false;
+      }
+      case IrOp::kUnary:
+        Set(instr.dest, EvalUnaryOp(instr.bc_op, instr.w != 0, Get(instr.args[0])));
+        return false;
+      case IrOp::kGLoad:
+        Set(instr.dest, vm_.globals()[static_cast<size_t>(instr.a)]);
+        return false;
+      case IrOp::kGStore:
+        vm_.globals()[static_cast<size_t>(instr.a)] = Get(instr.args[0]);
+        return false;
+      case IrOp::kNewArray: {
+        const int64_t count = Get(instr.args[0]);
+        if (count < 0 || count > kMaxArrayLength) {
+          *out = MakeDeopt(instr.deopt_index, -1, "");
+          return true;
+        }
+        Set(instr.dest, vm_.AllocateArray(static_cast<TypeKind>(instr.a), count));
+        return false;
+      }
+      case IrOp::kALoad: {
+        int64_t value = 0;
+        if (!vm_.heap().Load(Get(instr.args[0]), Get(instr.args[1]), &value)) {
+          *out = MakeDeopt(instr.deopt_index, -1, "");
+          return true;
+        }
+        Set(instr.dest, value);
+        return false;
+      }
+      case IrOp::kAStore: {
+        if (!vm_.heap().Store(Get(instr.args[0]), Get(instr.args[1]), Get(instr.args[2]))) {
+          int32_t bias = 0;
+          if (vm_.bugs().Enabled(BugId::kDeoptResumeSkipsInstr) && f_.level >= 2) {
+            // Injected defect: the deopt resumes *past* the trapping store, so the
+            // interpreter neither performs the store nor raises the exception.
+            vm_.bugs().Fire(BugId::kDeoptResumeSkipsInstr);
+            bias = 1;
+          }
+          *out = MakeDeopt(instr.deopt_index, -1, "", bias);
+          return true;
+        }
+        return false;
+      }
+      case IrOp::kALoadUnchecked:
+        Set(instr.dest, vm_.heap().LoadUnchecked(Get(instr.args[0]), Get(instr.args[1])));
+        return false;
+      case IrOp::kAStoreUnchecked: {
+        const HeapRef ref = Get(instr.args[0]);
+        const int64_t index = Get(instr.args[1]);
+        if (instr.bug_tag == static_cast<uint8_t>(BugId::kRceOffByOneHeapCorruption) + 1) {
+          const int64_t len = vm_.heap().Length(ref);
+          if (index < 0 || index >= len) {
+            // The eliminated range check would have caught this; the unchecked store now
+            // silently corrupts the neighbouring object. The GC discovers it later.
+            vm_.bugs().Fire(BugId::kRceOffByOneHeapCorruption);
+          }
+        }
+        vm_.heap().StoreUnchecked(ref, index, Get(instr.args[2]));
+        return false;
+      }
+      case IrOp::kALen:
+        Set(instr.dest, vm_.heap().Length(Get(instr.args[0])));
+        return false;
+      case IrOp::kCall: {
+        if (vm_.bugs().Enabled(BugId::kCodeExecDeepCallCrash) && f_.level >= 2 &&
+            vm_.call_depth() >= 48) {
+          vm_.bugs().Fire(BugId::kCodeExecDeepCallCrash);
+          throw VmCrash(VmComponent::kCodeExecution, "SIGSEGV",
+                        "compiled frame walker overflowed at deep recursion");
+        }
+        std::vector<int64_t> args;
+        args.reserve(instr.args.size());
+        for (IrId id : instr.args) {
+          args.push_back(Get(id));
+        }
+        try {
+          const int64_t result = vm_.InvokeFunction(instr.a, args);
+          if (instr.HasDest()) {
+            Set(instr.dest, result);
+          }
+        } catch (const TrapException& trap) {
+          const BcFunction& bc = vm_.program().functions[static_cast<size_t>(f_.func_index)];
+          if (bc.HandlerFor(instr.bc_pc) < 0) {
+            throw;  // no handler in this frame — let the caller frame dispatch it
+          }
+          // Deopt with the trap pending: the interpreter dispatches the handler on resume.
+          *out = MakeDeopt(instr.deopt_index, -1, trap.what());
+          return true;
+        }
+        return false;
+      }
+      case IrOp::kPrint:
+        vm_.EmitPrint(static_cast<TypeKind>(instr.a), Get(instr.args[0]));
+        return false;
+      case IrOp::kSetMute:
+        vm_.SetMute(instr.a != 0);
+        return false;
+      case IrOp::kGuard: {
+        const bool actual = Get(instr.args[0]) != 0;
+        const bool expected = instr.a != 0;
+        if (actual != expected) {
+          *out = MakeDeopt(instr.deopt_index, instr.bc_pc, "");
+          out->deopt.failed_guard_expectation = expected;
+          return true;
+        }
+        return false;
+      }
+    }
+    JAG_CHECK(false);
+    return false;
+  }
+
+  Vm& vm_;
+  const IrFunction& f_;
+  std::vector<int64_t> values_;
+  std::vector<int64_t> scratch_;
+};
+
+}  // namespace
+
+CompiledExecResult ExecuteIr(Vm& vm, const IrFunction& f, std::vector<int64_t> entry_args) {
+  Executor executor(vm, f);
+  return executor.Run(std::move(entry_args));
+}
+
+}  // namespace jaguar

@@ -1,0 +1,25 @@
+// The HIR executor: runs optimized IR as "compiled code".
+//
+// This is the execution vehicle of tier 1 (and of tier 2 until lowering): it executes the
+// *optimized* IR, so any unsound transformation produces genuinely different observable
+// behaviour than interpretation — mis-compilations are real output divergences, not
+// simulations. Deoptimization is real too: guards, trapping instructions, and traps unwinding
+// from callees materialize the interpreter frame recorded in DeoptInfo and hand it back to the
+// engine, which resumes bytecode interpretation mid-method.
+
+#ifndef SRC_JAGUAR_JIT_IR_EXEC_H_
+#define SRC_JAGUAR_JIT_IR_EXEC_H_
+
+#include "src/jaguar/jit/ir.h"
+#include "src/jaguar/vm/jit_api.h"
+
+namespace jaguar {
+
+// Executes `f` with the entry-block arguments (call args for normal entry, the live local
+// frame for OSR). Throws VmCrash for injected execution-time defects; TrapException only
+// escapes when the trap has no handler in this frame (the caller frame dispatches it).
+CompiledExecResult ExecuteIr(Vm& vm, const IrFunction& f, std::vector<int64_t> entry_args);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_IR_EXEC_H_

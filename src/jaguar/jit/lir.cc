@@ -1,0 +1,150 @@
+#include "src/jaguar/jit/lir.h"
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+const char* LirOpName(LirOp op) {
+  switch (op) {
+    case LirOp::kConst: return "const";
+    case LirOp::kMove: return "mov";
+    case LirOp::kBinary: return "bin";
+    case LirOp::kUnary: return "un";
+    case LirOp::kGLoad: return "gload";
+    case LirOp::kGStore: return "gstore";
+    case LirOp::kNewArray: return "newarray";
+    case LirOp::kALoad: return "aload";
+    case LirOp::kAStore: return "astore";
+    case LirOp::kALoadUnchecked: return "aload.u";
+    case LirOp::kAStoreUnchecked: return "astore.u";
+    case LirOp::kALen: return "alen";
+    case LirOp::kCall: return "call";
+    case LirOp::kPrint: return "print";
+    case LirOp::kSetMute: return "setmute";
+    case LirOp::kGuard: return "guard";
+    case LirOp::kJmp: return "jmp";
+    case LirOp::kBr: return "br";
+    case LirOp::kSwitch: return "switch";
+    case LirOp::kRet: return "ret";
+    case LirOp::kRetVoid: return "retvoid";
+  }
+  return "?";
+}
+
+std::string LocText(const Loc& loc) {
+  switch (loc.kind) {
+    case Loc::Kind::kReg: return "r" + std::to_string(loc.index);
+    case Loc::Kind::kSpill: return "[sp" + std::to_string(loc.index) + "]";
+    case Loc::Kind::kNone: return "_";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string LirToString(const LirFunction& f) {
+  std::string out = "lir fn#" + std::to_string(f.func_index) +
+                    " level=" + std::to_string(f.level) +
+                    " spills=" + std::to_string(f.num_spills) + "\n";
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const LirInstr& instr = f.code[i];
+    out += "  " + std::to_string(i) + ": ";
+    if (!instr.dest.IsNone()) {
+      out += LocText(instr.dest) + " = ";
+    }
+    out += LirOpName(instr.op);
+    if (instr.op == LirOp::kBinary || instr.op == LirOp::kUnary) {
+      out += "." + OpName(instr.bc_op);
+    }
+    if (instr.w != 0) {
+      out += ".l";
+    }
+    if (instr.op == LirOp::kConst) {
+      out += " " + std::to_string(instr.imm);
+    }
+    for (const Loc& arg : instr.args) {
+      out += " " + LocText(arg);
+    }
+    if (instr.target >= 0) {
+      out += " ->" + std::to_string(instr.target);
+    }
+    if (instr.target2 >= 0) {
+      out += "/" + std::to_string(instr.target2);
+    }
+    if (instr.deopt_index >= 0) {
+      out += " !deopt@" + std::to_string(f.deopts[static_cast<size_t>(instr.deopt_index)].bc_pc);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void ValidateLir(const LirFunction& f) {
+  JAG_CHECK_MSG(!f.code.empty(), "empty LIR function");
+  JAG_CHECK(f.entry_locs.size() == f.entry_arg_count);
+  const int32_t n = static_cast<int32_t>(f.code.size());
+
+  auto check_loc = [&](const Loc& loc) {
+    JAG_CHECK_MSG(!loc.IsNone(), "unallocated location in LIR");
+    if (loc.IsReg()) {
+      JAG_CHECK(loc.index >= 0 && loc.index < kNumLirRegs);
+    } else {
+      JAG_CHECK(loc.index >= 0 && loc.index < f.num_spills);
+    }
+  };
+  auto check_target = [&](int32_t target) {
+    JAG_CHECK_MSG(target >= 0 && target < n, "LIR branch target out of range");
+  };
+
+  for (const Loc& loc : f.entry_locs) {
+    check_loc(loc);
+  }
+  for (const LirInstr& instr : f.code) {
+    if (!instr.dest.IsNone()) {
+      check_loc(instr.dest);
+    }
+    for (const Loc& arg : instr.args) {
+      check_loc(arg);
+    }
+    if (instr.deopt_index >= 0) {
+      JAG_CHECK(static_cast<size_t>(instr.deopt_index) < f.deopts.size());
+    }
+    switch (instr.op) {
+      case LirOp::kJmp:
+        check_target(instr.target);
+        break;
+      case LirOp::kBr:
+        check_target(instr.target);
+        check_target(instr.target2);
+        JAG_CHECK(instr.args.size() == 1);
+        break;
+      case LirOp::kSwitch:
+        check_target(instr.target);
+        for (int32_t target : instr.switch_targets) {
+          check_target(target);
+        }
+        JAG_CHECK(instr.switch_targets.size() == instr.switch_values.size());
+        break;
+      case LirOp::kRet:
+        JAG_CHECK(instr.args.size() == 1);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const LirDeopt& deopt : f.deopts) {
+    for (const Loc& loc : deopt.locals) {
+      check_loc(loc);
+    }
+    for (const Loc& loc : deopt.stack) {
+      check_loc(loc);
+    }
+  }
+  // Execution must never fall off the end.
+  const LirOp last = f.code.back().op;
+  JAG_CHECK_MSG(last == LirOp::kRet || last == LirOp::kRetVoid || last == LirOp::kJmp,
+                "LIR may fall off the end");
+}
+
+}  // namespace jaguar

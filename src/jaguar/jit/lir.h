@@ -1,0 +1,114 @@
+// The low-level IR (LIR): linearized code over physical registers and spill slots.
+//
+// The optimizing tier does not stop at the HIR: after the pass pipeline, the function is
+// linearized (block parameters become explicit parallel-move sequences on edges), run through
+// a linear-scan register allocator onto a small physical register file, and executed by a
+// register-machine interpreter (lir_exec.h). This is the closest analogue of native code
+// generation that stays portable and deterministic: operands live in concrete registers or
+// stack slots, deopt metadata maps interpreter frame slots to *locations*, and the classic
+// code-generation bug classes (operand-order mix-ups, live ranges freed too early) have a
+// faithful home — jit/bug_ids.h plants kLowerSwappedSubOperands and kRegAllocEarlyFree here.
+
+#ifndef SRC_JAGUAR_JIT_LIR_H_
+#define SRC_JAGUAR_JIT_LIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/bytecode/opcode.h"
+#include "src/jaguar/jit/ir.h"
+
+namespace jaguar {
+
+// Physical register file of the simulated target.
+constexpr int kNumLirRegs = 12;
+
+// A concrete value location: a register or a spill slot.
+struct Loc {
+  enum class Kind : uint8_t { kNone, kReg, kSpill };
+  Kind kind = Kind::kNone;
+  int32_t index = -1;
+
+  static Loc Reg(int32_t r) { return Loc{Kind::kReg, r}; }
+  static Loc Spill(int32_t s) { return Loc{Kind::kSpill, s}; }
+  static Loc None() { return Loc{}; }
+
+  bool IsReg() const { return kind == Kind::kReg; }
+  bool IsSpill() const { return kind == Kind::kSpill; }
+  bool IsNone() const { return kind == Kind::kNone; }
+  friend bool operator==(const Loc& a, const Loc& b) {
+    return a.kind == b.kind && a.index == b.index;
+  }
+};
+
+enum class LirOp : uint8_t {
+  kConst,   // dest = imm
+  kMove,    // dest = args[0] (register/spill shuffles from edge argument passing)
+  kBinary,  // dest = bc_op(args[0], args[1])
+  kUnary,
+  kGLoad,
+  kGStore,
+  kNewArray,
+  kALoad,
+  kAStore,
+  kALoadUnchecked,
+  kAStoreUnchecked,
+  kALen,
+  kCall,   // a = callee; args are the arguments (dest optional)
+  kPrint,
+  kSetMute,
+  kGuard,  // deopt unless (args[0] != 0) == (a != 0)
+  kJmp,    // target = code index
+  kBr,     // args[0] cond: true → target, false → target2
+  kSwitch, // args[0] subject; switch_values/switch_targets + target = default
+  kRet,    // args[0] value
+  kRetVoid,
+};
+
+// Deopt metadata with locations instead of SSA ids.
+struct LirDeopt {
+  int32_t bc_pc = 0;
+  std::vector<Loc> locals;
+  std::vector<Loc> stack;
+};
+
+struct LirInstr {
+  LirOp op = LirOp::kConst;
+  Op bc_op = Op::kConst;
+  uint8_t w = 0;
+  int32_t a = 0;
+  int64_t imm = 0;
+  Loc dest = Loc::None();
+  std::vector<Loc> args;
+  int deopt_index = -1;
+  int32_t bc_pc = -1;
+  uint8_t bug_tag = 0;
+  int32_t target = -1;   // kJmp/kBr true/kSwitch default (code index)
+  int32_t target2 = -1;  // kBr false
+  std::vector<int32_t> switch_values;
+  std::vector<int32_t> switch_targets;
+};
+
+struct LirFunction {
+  int func_index = -1;
+  int level = 2;
+  int32_t osr_pc = -1;
+  bool returns_value = false;
+  size_t entry_arg_count = 0;
+  std::vector<Loc> entry_locs;  // where each entry argument is placed on entry
+  std::vector<LirInstr> code;
+  std::vector<LirDeopt> deopts;
+  int32_t num_spills = 0;
+  uint64_t speculative_guards = 0;
+};
+
+// Debug dump.
+std::string LirToString(const LirFunction& f);
+
+// Structural check: targets in range, locations allocated, deopt indices valid.
+void ValidateLir(const LirFunction& f);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_LIR_H_

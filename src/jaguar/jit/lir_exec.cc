@@ -1,0 +1,243 @@
+#include "src/jaguar/jit/lir_exec.h"
+
+#include <utility>
+
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/engine.h"
+#include "src/jaguar/vm/value.h"
+
+namespace jaguar {
+namespace {
+
+constexpr int64_t kMaxArrayLength = 1 << 20;  // must match the engine's limit
+
+class LirExecutor {
+ public:
+  LirExecutor(Vm& vm, const LirFunction& f)
+      : vm_(vm),
+        f_(f),
+        regs_(kNumLirRegs, 0),
+        spills_(static_cast<size_t>(f.num_spills), 0) {}
+
+  CompiledExecResult Run(std::vector<int64_t> entry_args) {
+    JAG_CHECK(entry_args.size() == f_.entry_arg_count);
+    for (size_t i = 0; i < entry_args.size(); ++i) {
+      Write(f_.entry_locs[i], entry_args[i]);
+    }
+    Vm::FrameGuard frame(vm_, &regs_, &spills_);
+
+    int32_t pc = 0;
+    for (;;) {
+      JAG_CHECK(pc >= 0 && static_cast<size_t>(pc) < f_.code.size());
+      const LirInstr& instr = f_.code[static_cast<size_t>(pc)];
+      vm_.AddSteps(1);
+      switch (instr.op) {
+        case LirOp::kConst:
+          Write(instr.dest, instr.imm);
+          ++pc;
+          break;
+        case LirOp::kMove:
+          Write(instr.dest, Read(instr.args[0]));
+          ++pc;
+          break;
+        case LirOp::kBinary: {
+          const int64_t lhs = Read(instr.args[0]);
+          const int64_t rhs = Read(instr.args[1]);
+          bool div_by_zero = false;
+          const int64_t result =
+              EvalBinaryOp(instr.bc_op, instr.w != 0, lhs, rhs, &div_by_zero);
+          if (div_by_zero) {
+            return MakeDeopt(instr.deopt_index, -1, "");
+          }
+          if (instr.bug_tag == static_cast<uint8_t>(BugId::kStrengthReduceNegDiv) + 1 &&
+              lhs < 0) {
+            vm_.bugs().Fire(BugId::kStrengthReduceNegDiv);
+          }
+          Write(instr.dest, result);
+          ++pc;
+          break;
+        }
+        case LirOp::kUnary:
+          Write(instr.dest, EvalUnaryOp(instr.bc_op, instr.w != 0, Read(instr.args[0])));
+          ++pc;
+          break;
+        case LirOp::kGLoad:
+          Write(instr.dest, vm_.globals()[static_cast<size_t>(instr.a)]);
+          ++pc;
+          break;
+        case LirOp::kGStore:
+          vm_.globals()[static_cast<size_t>(instr.a)] = Read(instr.args[0]);
+          ++pc;
+          break;
+        case LirOp::kNewArray: {
+          const int64_t count = Read(instr.args[0]);
+          if (count < 0 || count > kMaxArrayLength) {
+            return MakeDeopt(instr.deopt_index, -1, "");
+          }
+          Write(instr.dest, vm_.AllocateArray(static_cast<TypeKind>(instr.a), count));
+          ++pc;
+          break;
+        }
+        case LirOp::kALoad: {
+          int64_t value = 0;
+          if (!vm_.heap().Load(Read(instr.args[0]), Read(instr.args[1]), &value)) {
+            return MakeDeopt(instr.deopt_index, -1, "");
+          }
+          Write(instr.dest, value);
+          ++pc;
+          break;
+        }
+        case LirOp::kAStore: {
+          if (!vm_.heap().Store(Read(instr.args[0]), Read(instr.args[1]),
+                                Read(instr.args[2]))) {
+            int32_t bias = 0;
+            if (vm_.bugs().Enabled(BugId::kDeoptResumeSkipsInstr) && f_.level >= 2) {
+              vm_.bugs().Fire(BugId::kDeoptResumeSkipsInstr);
+              bias = 1;
+            }
+            return MakeDeopt(instr.deopt_index, -1, "", bias);
+          }
+          ++pc;
+          break;
+        }
+        case LirOp::kALoadUnchecked:
+          Write(instr.dest,
+                vm_.heap().LoadUnchecked(Read(instr.args[0]), Read(instr.args[1])));
+          ++pc;
+          break;
+        case LirOp::kAStoreUnchecked: {
+          const HeapRef ref = Read(instr.args[0]);
+          const int64_t index = Read(instr.args[1]);
+          if (instr.bug_tag == static_cast<uint8_t>(BugId::kRceOffByOneHeapCorruption) + 1) {
+            const int64_t len = vm_.heap().Length(ref);
+            if (index < 0 || index >= len) {
+              vm_.bugs().Fire(BugId::kRceOffByOneHeapCorruption);
+            }
+          }
+          vm_.heap().StoreUnchecked(ref, index, Read(instr.args[2]));
+          ++pc;
+          break;
+        }
+        case LirOp::kALen:
+          Write(instr.dest, vm_.heap().Length(Read(instr.args[0])));
+          ++pc;
+          break;
+        case LirOp::kCall: {
+          if (vm_.bugs().Enabled(BugId::kCodeExecDeepCallCrash) && f_.level >= 2 &&
+              vm_.call_depth() >= 48) {
+            vm_.bugs().Fire(BugId::kCodeExecDeepCallCrash);
+            throw VmCrash(VmComponent::kCodeExecution, "SIGSEGV",
+                          "compiled frame walker overflowed at deep recursion");
+          }
+          std::vector<int64_t> args;
+          args.reserve(instr.args.size());
+          for (const Loc& loc : instr.args) {
+            args.push_back(Read(loc));
+          }
+          try {
+            const int64_t result = vm_.InvokeFunction(instr.a, args);
+            if (!instr.dest.IsNone()) {
+              Write(instr.dest, result);
+            }
+          } catch (const TrapException& trap) {
+            const BcFunction& bc =
+                vm_.program().functions[static_cast<size_t>(f_.func_index)];
+            if (bc.HandlerFor(instr.bc_pc) < 0) {
+              throw;
+            }
+            return MakeDeopt(instr.deopt_index, -1, trap.what());
+          }
+          ++pc;
+          break;
+        }
+        case LirOp::kPrint:
+          vm_.EmitPrint(static_cast<TypeKind>(instr.a), Read(instr.args[0]));
+          ++pc;
+          break;
+        case LirOp::kSetMute:
+          vm_.SetMute(instr.a != 0);
+          ++pc;
+          break;
+        case LirOp::kGuard: {
+          const bool actual = Read(instr.args[0]) != 0;
+          const bool expected = instr.a != 0;
+          if (actual != expected) {
+            CompiledExecResult result = MakeDeopt(instr.deopt_index, instr.bc_pc, "");
+            result.deopt.failed_guard_expectation = expected;
+            return result;
+          }
+          ++pc;
+          break;
+        }
+        case LirOp::kJmp:
+          pc = instr.target;
+          break;
+        case LirOp::kBr:
+          pc = Read(instr.args[0]) != 0 ? instr.target : instr.target2;
+          break;
+        case LirOp::kSwitch: {
+          const int32_t subject = static_cast<int32_t>(Read(instr.args[0]));
+          int32_t next = instr.target;  // default
+          for (size_t i = 0; i < instr.switch_values.size(); ++i) {
+            if (instr.switch_values[i] == subject) {
+              next = instr.switch_targets[i];
+              break;
+            }
+          }
+          pc = next;
+          break;
+        }
+        case LirOp::kRet:
+          return CompiledExecResult::Return(Read(instr.args[0]));
+        case LirOp::kRetVoid:
+          return CompiledExecResult::Return(0);
+      }
+    }
+  }
+
+ private:
+  int64_t Read(const Loc& loc) const {
+    return loc.IsReg() ? regs_[static_cast<size_t>(loc.index)]
+                       : spills_[static_cast<size_t>(loc.index)];
+  }
+  void Write(const Loc& loc, int64_t value) {
+    if (loc.IsReg()) {
+      regs_[static_cast<size_t>(loc.index)] = value;
+    } else {
+      spills_[static_cast<size_t>(loc.index)] = value;
+    }
+  }
+
+  CompiledExecResult MakeDeopt(int deopt_index, int32_t failed_guard_pc,
+                               std::string pending_trap, int32_t resume_pc_bias = 0) {
+    JAG_CHECK(deopt_index >= 0);
+    const LirDeopt& info = f_.deopts[static_cast<size_t>(deopt_index)];
+    DeoptState state;
+    state.resume_pc = info.bc_pc + resume_pc_bias;
+    state.failed_guard_pc = failed_guard_pc;
+    state.pending_trap = std::move(pending_trap);
+    state.locals.reserve(info.locals.size());
+    for (const Loc& loc : info.locals) {
+      state.locals.push_back(Read(loc));
+    }
+    state.stack.reserve(info.stack.size());
+    for (const Loc& loc : info.stack) {
+      state.stack.push_back(Read(loc));
+    }
+    return CompiledExecResult::Deopt(std::move(state));
+  }
+
+  Vm& vm_;
+  const LirFunction& f_;
+  std::vector<int64_t> regs_;
+  std::vector<int64_t> spills_;
+};
+
+}  // namespace
+
+CompiledExecResult ExecuteLir(Vm& vm, const LirFunction& f, std::vector<int64_t> entry_args) {
+  LirExecutor executor(vm, f);
+  return executor.Run(std::move(entry_args));
+}
+
+}  // namespace jaguar

@@ -1,0 +1,21 @@
+// The LIR executor: a register machine running allocated code.
+//
+// Semantically equivalent to the HIR executor (jit/ir_exec.h) — same deopt construction, same
+// injected-defect hooks — but operating on physical registers and spill slots, so register
+// allocation and lowering mistakes change real behaviour.
+
+#ifndef SRC_JAGUAR_JIT_LIR_EXEC_H_
+#define SRC_JAGUAR_JIT_LIR_EXEC_H_
+
+#include "src/jaguar/jit/lir.h"
+#include "src/jaguar/vm/jit_api.h"
+
+namespace jaguar {
+
+// Executes `f` with the entry-block arguments (call args for a normal entry, the live local
+// frame for OSR).
+CompiledExecResult ExecuteLir(Vm& vm, const LirFunction& f, std::vector<int64_t> entry_args);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_LIR_EXEC_H_

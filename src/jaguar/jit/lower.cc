@@ -1,0 +1,369 @@
+#include "src/jaguar/jit/lower.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/regalloc.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+LirOp TranslateOp(IrOp op) {
+  switch (op) {
+    case IrOp::kConst: return LirOp::kConst;
+    case IrOp::kBinary: return LirOp::kBinary;
+    case IrOp::kUnary: return LirOp::kUnary;
+    case IrOp::kGLoad: return LirOp::kGLoad;
+    case IrOp::kGStore: return LirOp::kGStore;
+    case IrOp::kNewArray: return LirOp::kNewArray;
+    case IrOp::kALoad: return LirOp::kALoad;
+    case IrOp::kAStore: return LirOp::kAStore;
+    case IrOp::kALoadUnchecked: return LirOp::kALoadUnchecked;
+    case IrOp::kAStoreUnchecked: return LirOp::kAStoreUnchecked;
+    case IrOp::kALen: return LirOp::kALen;
+    case IrOp::kCall: return LirOp::kCall;
+    case IrOp::kPrint: return LirOp::kPrint;
+    case IrOp::kSetMute: return LirOp::kSetMute;
+    case IrOp::kGuard: return LirOp::kGuard;
+  }
+  JAG_CHECK(false);
+  return LirOp::kConst;
+}
+
+// Virtual-register instruction: LIR shape with vreg operands, pre-allocation.
+struct VInstr {
+  LirInstr templ;            // op/bc_op/w/a/imm/deopt_index/bc_pc/bug_tag/targets
+  int32_t vdest = -1;
+  std::vector<int32_t> vargs;
+};
+
+// Orders the moves {dst_i ← src_i} so no source is clobbered before it is read, breaking
+// cycles with a fresh temporary (the standard parallel-move algorithm).
+std::vector<std::pair<int32_t, int32_t>> ResolveParallelMoves(
+    std::vector<std::pair<int32_t, int32_t>> pending, int32_t* next_vreg) {
+  std::vector<std::pair<int32_t, int32_t>> ordered;
+  // Drop no-op moves.
+  pending.erase(std::remove_if(pending.begin(), pending.end(),
+                               [](const auto& m) { return m.first == m.second; }),
+                pending.end());
+  while (!pending.empty()) {
+    bool emitted = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const int32_t dst = pending[i].first;
+      bool dst_is_pending_src = false;
+      for (const auto& other : pending) {
+        dst_is_pending_src |= other.second == dst;
+      }
+      if (!dst_is_pending_src) {
+        ordered.push_back(pending[i]);
+        pending.erase(pending.begin() + static_cast<ptrdiff_t>(i));
+        emitted = true;
+        break;
+      }
+    }
+    if (!emitted) {
+      // Pure cycle: move one source aside into a temp and retarget its readers.
+      const int32_t temp = (*next_vreg)++;
+      const int32_t victim = pending[0].second;
+      ordered.emplace_back(temp, victim);
+      for (auto& move : pending) {
+        if (move.second == victim) {
+          move.second = temp;
+        }
+      }
+    }
+  }
+  return ordered;
+}
+
+class Lowerer {
+ public:
+  Lowerer(const IrFunction& ir, BugRegistry* bugs) : ir_(ir), bugs_(bugs) {
+    next_vreg_ = ir.next_value;
+  }
+
+  LirFunction Run() {
+    EmitAll();
+    PatchBlockTargets();
+    Allocate();
+    ApplyLocations();
+    LirFunction out = Finish();
+    ValidateLir(out);
+    return out;
+  }
+
+ private:
+  // --- Emission -------------------------------------------------------------------------------
+
+  void EmitMove(int32_t dst, int32_t src) {
+    VInstr move;
+    move.templ.op = LirOp::kMove;
+    move.vdest = dst;
+    move.vargs = {src};
+    code_.push_back(std::move(move));
+  }
+
+  // Emits the moves binding `edge`'s arguments to its target block's parameters, then a jump
+  // whose target is patched from the block id later.
+  void EmitEdge(const SuccEdge& edge) {
+    const IrBlock& target = ir_.blocks[static_cast<size_t>(edge.block)];
+    std::vector<std::pair<int32_t, int32_t>> moves;
+    for (size_t i = 0; i < edge.args.size(); ++i) {
+      moves.emplace_back(target.params[i], edge.args[i]);
+    }
+    for (const auto& [dst, src] : ResolveParallelMoves(std::move(moves), &next_vreg_)) {
+      EmitMove(dst, src);
+    }
+    VInstr jmp;
+    jmp.templ.op = LirOp::kJmp;
+    jmp.templ.target = edge.block;  // block id; patched to a code index later
+    block_target_fixups_.push_back(static_cast<int32_t>(code_.size()));
+    code_.push_back(std::move(jmp));
+  }
+
+  void EmitAll() {
+    const Cfg cfg = AnalyzeCfg(ir_);
+    std::vector<int32_t> order = cfg.rpo;
+    JAG_CHECK(!order.empty() && order[0] == 0);
+
+    label_of_block_.assign(ir_.blocks.size(), -1);
+    for (int32_t b : order) {
+      label_of_block_[static_cast<size_t>(b)] = static_cast<int32_t>(code_.size());
+      const IrBlock& block = ir_.blocks[static_cast<size_t>(b)];
+
+      for (const IrInstr& instr : block.instrs) {
+        VInstr v;
+        v.templ.op = TranslateOp(instr.op);
+        v.templ.bc_op = instr.bc_op;
+        v.templ.w = instr.w;
+        v.templ.a = instr.a;
+        v.templ.imm = instr.imm;
+        v.templ.deopt_index = instr.deopt_index;
+        v.templ.bc_pc = instr.bc_pc;
+        v.templ.bug_tag = instr.bug_tag;
+        v.vdest = instr.dest;
+        v.vargs = instr.args;
+        code_.push_back(std::move(v));
+      }
+
+      const IrTerminator& term = block.term;
+      switch (term.kind) {
+        case TermKind::kRet: {
+          VInstr ret;
+          ret.templ.op = LirOp::kRet;
+          ret.vargs = {term.value};
+          code_.push_back(std::move(ret));
+          break;
+        }
+        case TermKind::kRetVoid: {
+          VInstr ret;
+          ret.templ.op = LirOp::kRetVoid;
+          code_.push_back(std::move(ret));
+          break;
+        }
+        case TermKind::kJmp:
+          EmitEdge(term.succs[0]);
+          break;
+        case TermKind::kBr: {
+          // Conditional branch into two per-edge stubs holding the edge moves.
+          VInstr br;
+          br.templ.op = LirOp::kBr;
+          br.vargs = {term.value};
+          const int32_t br_index = static_cast<int32_t>(code_.size());
+          code_.push_back(std::move(br));
+          const int32_t true_stub = static_cast<int32_t>(code_.size());
+          EmitEdge(term.succs[0]);
+          const int32_t false_stub = static_cast<int32_t>(code_.size());
+          EmitEdge(term.succs[1]);
+          code_[static_cast<size_t>(br_index)].templ.target = true_stub;
+          code_[static_cast<size_t>(br_index)].templ.target2 = false_stub;
+          break;
+        }
+        case TermKind::kSwitch: {
+          VInstr sw;
+          sw.templ.op = LirOp::kSwitch;
+          sw.vargs = {term.value};
+          sw.templ.switch_values = term.switch_values;
+          const int32_t sw_index = static_cast<int32_t>(code_.size());
+          code_.push_back(std::move(sw));
+          std::vector<int32_t> stub_starts;
+          for (const auto& succ : term.succs) {
+            stub_starts.push_back(static_cast<int32_t>(code_.size()));
+            EmitEdge(succ);
+          }
+          VInstr& patched = code_[static_cast<size_t>(sw_index)];
+          patched.templ.switch_targets.assign(stub_starts.begin(), stub_starts.end() - 1);
+          patched.templ.target = stub_starts.back();  // default edge
+          break;
+        }
+      }
+    }
+  }
+
+  void PatchBlockTargets() {
+    for (int32_t index : block_target_fixups_) {
+      VInstr& jmp = code_[static_cast<size_t>(index)];
+      const int32_t label = label_of_block_[static_cast<size_t>(jmp.templ.target)];
+      JAG_CHECK(label >= 0);
+      jmp.templ.target = label;
+    }
+  }
+
+  // --- Liveness + allocation -------------------------------------------------------------------
+
+  void Allocate() {
+    std::vector<LiveInterval> intervals(static_cast<size_t>(next_vreg_));
+    for (int32_t v = 0; v < next_vreg_; ++v) {
+      intervals[static_cast<size_t>(v)].vreg = v;
+    }
+    auto touch = [&](int32_t v, int32_t index) {
+      auto& interval = intervals[static_cast<size_t>(v)];
+      interval.start = std::min(interval.start, index);
+      interval.end = std::max(interval.end, index);
+    };
+
+    // Entry parameters are defined at function entry.
+    for (IrId p : ir_.blocks[0].params) {
+      touch(p, 0);
+    }
+    for (size_t i = 0; i < code_.size(); ++i) {
+      const VInstr& v = code_[i];
+      const int32_t index = static_cast<int32_t>(i);
+      if (v.vdest >= 0) {
+        touch(v.vdest, index);
+      }
+      for (int32_t arg : v.vargs) {
+        touch(arg, index);
+      }
+      if (v.templ.deopt_index >= 0) {
+        const DeoptInfo& info = ir_.deopts[static_cast<size_t>(v.templ.deopt_index)];
+        for (IrId id : info.locals) {
+          touch(id, index);
+        }
+        for (IrId id : info.stack) {
+          touch(id, index);
+        }
+      }
+    }
+
+    // Loop regions: backward control transfers in the linear layout.
+    std::vector<LinearLoop> loops;
+    for (size_t i = 0; i < code_.size(); ++i) {
+      const LirInstr& t = code_[i].templ;
+      auto consider = [&](int32_t target) {
+        if (target >= 0 && target <= static_cast<int32_t>(i)) {
+          loops.push_back(LinearLoop{target, static_cast<int32_t>(i)});
+        }
+      };
+      if (t.op == LirOp::kJmp || t.op == LirOp::kBr) {
+        consider(t.target);
+        consider(t.target2);
+      } else if (t.op == LirOp::kSwitch) {
+        consider(t.target);
+        for (int32_t target : t.switch_targets) {
+          consider(target);
+        }
+      }
+    }
+
+    ExtendIntervalsAcrossLoops(intervals, loops, bugs_);
+    allocation_ = LinearScan(std::move(intervals), next_vreg_);
+  }
+
+  Loc LocOf(int32_t vreg) const {
+    const Loc loc = allocation_.loc_of_vreg[static_cast<size_t>(vreg)];
+    JAG_CHECK_MSG(!loc.IsNone(), "vreg without a location");
+    return loc;
+  }
+
+  void ApplyLocations() {
+    const bool swap_bug = bugs_ != nullptr && bugs_->Enabled(BugId::kLowerSwappedSubOperands);
+    for (VInstr& v : code_) {
+      if (v.vdest >= 0) {
+        v.templ.dest = LocOf(v.vdest);
+      }
+      for (int32_t arg : v.vargs) {
+        v.templ.args.push_back(LocOf(arg));
+      }
+      // Injected defect: when subtraction is emitted in two-address form with the
+      // destination aliasing the right operand's register *and* the left operand living in a
+      // spill slot, the memory-operand rewrite reverses the operands (dst = rhs - lhs).
+      // Spills only appear under register pressure, so the defect hides until code gets big —
+      // which is exactly what JoNM's synthesized loops make it.
+      if (swap_bug && v.templ.op == LirOp::kBinary && v.templ.bc_op == Op::kSub &&
+          v.templ.args.size() == 2 && v.templ.dest == v.templ.args[1] &&
+          v.templ.args[0].IsSpill()) {
+        std::swap(v.templ.args[0], v.templ.args[1]);
+        bugs_->Fire(BugId::kLowerSwappedSubOperands);
+      }
+    }
+  }
+
+  LirFunction Finish() {
+    LirFunction out;
+    out.func_index = ir_.func_index;
+    out.level = ir_.level;
+    out.osr_pc = ir_.osr_pc;
+    out.returns_value = ir_.returns_value;
+    out.entry_arg_count = ir_.EntryArgCount();
+    for (IrId p : ir_.blocks[0].params) {
+      out.entry_locs.push_back(LocOf(p));
+    }
+    out.num_spills = allocation_.num_spills;
+
+    // Deopt tables: same indices as the HIR's, with locations instead of ids. Entries whose
+    // owning instruction was optimized away reference values that never got locations — they
+    // are unreachable through any instruction and stay as empty placeholders.
+    std::vector<bool> deopt_used(ir_.deopts.size(), false);
+    for (const VInstr& v : code_) {
+      if (v.templ.deopt_index >= 0) {
+        deopt_used[static_cast<size_t>(v.templ.deopt_index)] = true;
+      }
+    }
+    out.deopts.reserve(ir_.deopts.size());
+    for (size_t i = 0; i < ir_.deopts.size(); ++i) {
+      LirDeopt d;
+      if (deopt_used[i]) {
+        const DeoptInfo& info = ir_.deopts[i];
+        d.bc_pc = info.bc_pc;
+        for (IrId id : info.locals) {
+          d.locals.push_back(LocOf(id));
+        }
+        for (IrId id : info.stack) {
+          d.stack.push_back(LocOf(id));
+        }
+      }
+      out.deopts.push_back(std::move(d));
+    }
+
+    out.code.reserve(code_.size());
+    for (VInstr& v : code_) {
+      if (v.templ.op == LirOp::kGuard) {
+        ++out.speculative_guards;
+      }
+      out.code.push_back(std::move(v.templ));
+    }
+    return out;
+  }
+
+  const IrFunction& ir_;
+  BugRegistry* bugs_;
+  int32_t next_vreg_ = 0;
+  std::vector<VInstr> code_;
+  std::vector<int32_t> label_of_block_;
+  std::vector<int32_t> block_target_fixups_;
+  AllocationResult allocation_;
+};
+
+}  // namespace
+
+LirFunction LowerToLir(const IrFunction& ir, BugRegistry* bugs) {
+  Lowerer lowerer(ir, bugs);
+  return lowerer.Run();
+}
+
+}  // namespace jaguar

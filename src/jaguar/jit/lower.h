@@ -1,0 +1,19 @@
+// HIR → LIR lowering and register allocation entry point.
+
+#ifndef SRC_JAGUAR_JIT_LOWER_H_
+#define SRC_JAGUAR_JIT_LOWER_H_
+
+#include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/jit/ir.h"
+#include "src/jaguar/jit/lir.h"
+
+namespace jaguar {
+
+// Linearizes `ir` (block parameters become parallel-move sequences on edges), allocates
+// registers by linear scan (regalloc.cc), and emits the final LIR. `bugs` may be null.
+// The input must be validated HIR; the output passes ValidateLir.
+LirFunction LowerToLir(const IrFunction& ir, BugRegistry* bugs);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_LOWER_H_

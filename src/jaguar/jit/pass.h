@@ -1,0 +1,99 @@
+// Pass interface of the tiered JIT pipeline.
+//
+// Each pass is a free function mutating an IrFunction under a PassContext. Tier 1 runs a quick
+// subset (folding, copy propagation, DCE, CFG cleanup); tier 2 runs the full pipeline with
+// inlining, GVN, LICM, profile-guided speculation, global code motion of stores, strength
+// reduction, range-check elimination, and loop peeling — each of which hosts one or more of
+// the injected defects catalogued in jit/bug_ids.h.
+
+#ifndef SRC_JAGUAR_JIT_PASS_H_
+#define SRC_JAGUAR_JIT_PASS_H_
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/jit/ir.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/profile.h"
+
+namespace jaguar {
+
+struct PassContext {
+  const BcProgram* program = nullptr;
+  BugRegistry* bugs = nullptr;           // null → no injected defects
+  const MethodRuntime* runtime = nullptr; // branch profiles & failed speculations (may be null)
+  const VmConfig* config = nullptr;
+  const TierSpec* tier = nullptr;
+
+  bool BugOn(BugId id) const { return bugs != nullptr && bugs->Enabled(id); }
+
+  // True when this compilation sees real warm-up data (method/back-edge counters or branch
+  // profiles). Several injected defects live in profile-guided logic and are gated on this:
+  // a compile-everything-up-front run (the traditional `count=0` oracle) has no warm-up, so
+  // those defects stay dormant there — which is precisely why CSE outperforms the
+  // traditional approach in the paper's Table 4.
+  bool HasWarmProfile() const {
+    return runtime != nullptr &&
+           (runtime->invocation_count > 8 || !runtime->backedge_counts.empty() ||
+            !runtime->branch_profiles.empty());
+  }
+  void FireBug(BugId id) const {
+    if (bugs != nullptr) {
+      bugs->Fire(id);
+    }
+  }
+
+  // Number of speculative guards planted so far in this compilation (set by the speculation
+  // pass, reported on the CompiledMethod).
+  mutable uint64_t guards_planted = 0;
+};
+
+// --- Tier-1 cleanup passes -------------------------------------------------------------------
+
+// Folds constant expressions; simplifies algebraic identities; turns constant branches into
+// jumps. Hosts kFoldShiftUnmasked.
+void ConstantFoldingPass(IrFunction& f, const PassContext& ctx);
+
+// Removes redundant block parameters (all predecessors pass the same value), propagating the
+// unique value — the block-argument analogue of copy propagation / phi elimination.
+void CopyPropagationPass(IrFunction& f, const PassContext& ctx);
+
+// Removes pure instructions whose results are unused.
+void DcePass(IrFunction& f, const PassContext& ctx);
+
+// Prunes unreachable blocks, threads empty forwarding blocks, merges straight-line pairs.
+void SimplifyCfgPass(IrFunction& f, const PassContext& ctx);
+
+// --- Tier-2 optimization passes --------------------------------------------------------------
+
+// Inlines small, straight-line, effect-free callees. Hosts kInlineSwappedArgs.
+void InliningPass(IrFunction& f, const PassContext& ctx);
+
+// Dominator-scoped global value numbering (+ per-block load elimination with memory epochs).
+// Hosts kGvnLoadAcrossStore and kGvnBucketAssert.
+void GvnPass(IrFunction& f, const PassContext& ctx);
+
+// Hoists loop-invariant pure instructions to preheaders. Hosts kLicmHoistStorePastGuard and
+// kLicmDeepNestAssert.
+void LicmPass(IrFunction& f, const PassContext& ctx);
+
+// Profile-guided branch pruning: rewrites never-taken branches into guards + uncommon traps.
+// Hosts kSpeculationRetryCrash (and the speculation half of kRecompileCycling).
+void SpeculationPass(IrFunction& f, const PassContext& ctx);
+
+// Frequency-based placement ("global code motion") of global stores. Hosts the JDK-8288975
+// model kGcmStoreSinkIntoDeeperLoop.
+void StoreSinkPass(IrFunction& f, const PassContext& ctx);
+
+// Multiplication/division by powers of two become shifts. Hosts kStrengthReduceNegDiv.
+void StrengthReductionPass(IrFunction& f, const PassContext& ctx);
+
+// Removes provably-in-bounds array checks on basic induction variables. Hosts
+// kRceOffByOneHeapCorruption.
+void RangeCheckElimPass(IrFunction& f, const PassContext& ctx);
+
+// Peels one iteration of short single-block loops. Hosts kUnrollExtraIteration.
+void LoopPeelPass(IrFunction& f, const PassContext& ctx);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_PASS_H_

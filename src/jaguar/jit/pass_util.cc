@@ -1,0 +1,100 @@
+#include "src/jaguar/jit/pass_util.h"
+
+#include <vector>
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+IrId ValueRenamer::Resolve(IrId id) const {
+  IrId cur = id;
+  // Transitive chains are short in practice; guard against accidental cycles anyway.
+  for (int hops = 0; hops < 1024; ++hops) {
+    auto it = map_.find(cur);
+    if (it == map_.end()) {
+      return cur;
+    }
+    cur = it->second;
+  }
+  JAG_CHECK_MSG(false, "rename cycle detected");
+  return cur;
+}
+
+void ValueRenamer::Apply(IrFunction& f) const {
+  if (map_.empty()) {
+    return;
+  }
+  auto fix = [&](IrId& id) {
+    if (id != kNoValue) {
+      id = Resolve(id);
+    }
+  };
+  for (auto& block : f.blocks) {
+    for (auto& instr : block.instrs) {
+      for (IrId& arg : instr.args) {
+        fix(arg);
+      }
+    }
+    fix(block.term.value);
+    for (auto& succ : block.term.succs) {
+      for (IrId& arg : succ.args) {
+        fix(arg);
+      }
+    }
+  }
+  for (auto& deopt : f.deopts) {
+    for (IrId& id : deopt.locals) {
+      fix(id);
+    }
+    for (IrId& id : deopt.stack) {
+      fix(id);
+    }
+  }
+}
+
+bool PruneUnreachableBlocks(IrFunction& f) {
+  const size_t n = f.blocks.size();
+  std::vector<uint8_t> reachable(n, 0);
+  std::vector<int32_t> work{0};
+  reachable[0] = 1;
+  while (!work.empty()) {
+    const int32_t b = work.back();
+    work.pop_back();
+    for (const auto& succ : f.blocks[static_cast<size_t>(b)].term.succs) {
+      if (!reachable[static_cast<size_t>(succ.block)]) {
+        reachable[static_cast<size_t>(succ.block)] = 1;
+        work.push_back(succ.block);
+      }
+    }
+  }
+
+  bool any_dead = false;
+  for (size_t b = 0; b < n; ++b) {
+    if (!reachable[b]) {
+      any_dead = true;
+      break;
+    }
+  }
+  if (!any_dead) {
+    return false;
+  }
+
+  std::vector<int32_t> remap(n, -1);
+  std::vector<IrBlock> kept;
+  for (size_t b = 0; b < n; ++b) {
+    if (reachable[b]) {
+      remap[b] = static_cast<int32_t>(kept.size());
+      kept.push_back(std::move(f.blocks[b]));
+    }
+  }
+  for (auto& block : kept) {
+    for (auto& succ : block.term.succs) {
+      succ.block = remap[static_cast<size_t>(succ.block)];
+      JAG_CHECK(succ.block >= 0);
+    }
+  }
+  f.blocks = std::move(kept);
+  return true;
+}
+
+}  // namespace jaguar

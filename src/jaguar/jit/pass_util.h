@@ -1,0 +1,34 @@
+// Shared rewriting utilities for IR passes.
+
+#ifndef SRC_JAGUAR_JIT_PASS_UTIL_H_
+#define SRC_JAGUAR_JIT_PASS_UTIL_H_
+
+#include <unordered_map>
+
+#include "src/jaguar/jit/ir.h"
+
+namespace jaguar {
+
+// A value substitution map with transitive resolution (a→b, b→c resolves a→c).
+class ValueRenamer {
+ public:
+  void Map(IrId from, IrId to) { map_[from] = to; }
+  bool Empty() const { return map_.empty(); }
+
+  IrId Resolve(IrId id) const;
+
+  // Applies the substitution to every use site in `f`: instruction operands, deopt infos,
+  // terminator values, and edge arguments. Definitions (dests/params) are untouched.
+  void Apply(IrFunction& f) const;
+
+ private:
+  std::unordered_map<IrId, IrId> map_;
+};
+
+// Recomputes nothing but drops blocks unreachable from the entry, compacting block ids and
+// rewriting successor references. Returns true if anything was removed.
+bool PruneUnreachableBlocks(IrFunction& f);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_PASS_UTIL_H_

@@ -1,0 +1,182 @@
+#include <unordered_map>
+
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+#include "src/jaguar/vm/value.h"
+
+namespace jaguar {
+namespace {
+
+bool IsShift(Op op) { return op == Op::kShl || op == Op::kShr || op == Op::kUshr; }
+
+}  // namespace
+
+void ConstantFoldingPass(IrFunction& f, const PassContext& ctx) {
+  // Map of known-constant values. Built in block order; params are never constant here
+  // (copy propagation may expose them first).
+  std::unordered_map<IrId, int64_t> consts;
+  ValueRenamer renames;
+
+  for (auto& block : f.blocks) {
+    for (auto& instr : block.instrs) {
+      for (IrId& arg : instr.args) {
+        arg = renames.Resolve(arg);
+      }
+      if (instr.op == IrOp::kConst) {
+        consts.emplace(instr.dest, instr.imm);
+        continue;
+      }
+      if (instr.op == IrOp::kUnary) {
+        auto it = consts.find(instr.args[0]);
+        if (it == consts.end()) {
+          continue;
+        }
+        const int64_t folded = EvalUnaryOp(instr.bc_op, instr.w != 0, it->second);
+        const IrId dest = instr.dest;
+        instr = IrInstr{};
+        instr.op = IrOp::kConst;
+        instr.imm = folded;
+        instr.dest = dest;  // reuses the original id, so uses need no rewrite
+        consts.emplace(dest, folded);
+        continue;
+      }
+      if (instr.op != IrOp::kBinary) {
+        continue;
+      }
+
+      auto lhs_it = consts.find(instr.args[0]);
+      auto rhs_it = consts.find(instr.args[1]);
+      const bool lhs_const = lhs_it != consts.end();
+      const bool rhs_const = rhs_it != consts.end();
+
+      if (lhs_const && rhs_const) {
+        bool div_by_zero = false;
+        int64_t folded =
+            EvalBinaryOp(instr.bc_op, instr.w != 0, lhs_it->second, rhs_it->second,
+                         &div_by_zero);
+        if (div_by_zero) {
+          continue;  // keep the trapping division — the exception is the program's semantics
+        }
+        if (IsShift(instr.bc_op) && ctx.BugOn(BugId::kFoldShiftUnmasked)) {
+          // Injected defect: the folder's masking table is short by a few rows — shift
+          // amounts just past the operand width fold to zero instead of wrapping (Java masks
+          // the count by 31/63).
+          const int width = instr.w != 0 ? 64 : 32;
+          const int64_t count = rhs_it->second;
+          if (count >= width && count < width + 9) {
+            folded = 0;
+            ctx.FireBug(BugId::kFoldShiftUnmasked);
+          }
+        }
+        const IrId dest = instr.dest;
+        instr = IrInstr{};
+        instr.op = IrOp::kConst;
+        instr.imm = folded;
+        instr.dest = dest;
+        consts.emplace(dest, folded);
+        continue;
+      }
+
+      // Algebraic identities with one constant operand (sound for Java int/long semantics
+      // because all values are kept width-normalized).
+      auto replace_with = [&](IrId value) { renames.Map(instr.dest, value); };
+      if (rhs_const) {
+        const int64_t c = rhs_it->second;
+        switch (instr.bc_op) {
+          case Op::kAdd:
+          case Op::kSub:
+          case Op::kOr:
+          case Op::kXor:
+            if (c == 0) {
+              replace_with(instr.args[0]);
+            }
+            break;
+          case Op::kMul:
+            if (c == 1) {
+              replace_with(instr.args[0]);
+            }
+            break;
+          case Op::kDiv:
+            if (c == 1) {
+              replace_with(instr.args[0]);
+            }
+            break;
+          case Op::kShl:
+          case Op::kShr:
+          case Op::kUshr:
+            if (c == 0) {
+              replace_with(instr.args[0]);
+            }
+            break;
+          case Op::kAnd:
+            if (c == 0) {
+              // x & 0 == 0: fold to constant.
+              const IrId dest = instr.dest;
+              instr = IrInstr{};
+              instr.op = IrOp::kConst;
+              instr.imm = 0;
+              instr.dest = dest;
+              consts.emplace(dest, 0);
+            }
+            break;
+          default:
+            break;
+        }
+      } else if (lhs_const) {
+        const int64_t c = lhs_it->second;
+        switch (instr.bc_op) {
+          case Op::kAdd:
+          case Op::kOr:
+          case Op::kXor:
+            if (c == 0) {
+              replace_with(instr.args[1]);
+            }
+            break;
+          case Op::kMul:
+            if (c == 1) {
+              replace_with(instr.args[1]);
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+
+    // Constant branch conditions become unconditional jumps.
+    IrTerminator& term = block.term;
+    if (term.kind == TermKind::kBr) {
+      term.value = renames.Resolve(term.value);
+      auto it = consts.find(term.value);
+      if (it != consts.end()) {
+        SuccEdge kept = it->second != 0 ? term.succs[0] : term.succs[1];
+        term.kind = TermKind::kJmp;
+        term.value = kNoValue;
+        term.deopt_index = -1;
+        term.succs = {std::move(kept)};
+      }
+    } else if (term.kind == TermKind::kSwitch) {
+      term.value = renames.Resolve(term.value);
+      auto it = consts.find(term.value);
+      if (it != consts.end()) {
+        const int32_t subject = static_cast<int32_t>(it->second);
+        size_t pick = term.succs.size() - 1;
+        for (size_t i = 0; i < term.switch_values.size(); ++i) {
+          if (term.switch_values[i] == subject) {
+            pick = i;
+            break;
+          }
+        }
+        SuccEdge kept = term.succs[pick];
+        term.kind = TermKind::kJmp;
+        term.value = kNoValue;
+        term.switch_values.clear();
+        term.succs = {std::move(kept)};
+      }
+    }
+  }
+
+  renames.Apply(f);
+}
+
+}  // namespace jaguar

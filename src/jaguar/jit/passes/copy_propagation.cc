@@ -1,0 +1,97 @@
+#include <unordered_set>
+#include <vector>
+
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+// Block-parameter elimination: a parameter that receives the same value along every incoming
+// edge (ignoring self-feeding loop edges) is a copy of that value. Because the builder gives
+// every block a parameter for every local and stack slot, this pass is what turns the naive
+// translation into genuinely global SSA — enabling folding, GVN, and LICM across blocks.
+void CopyPropagationPass(IrFunction& f, const PassContext& ctx) {
+  (void)ctx;
+  PruneUnreachableBlocks(f);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Incoming edges per block.
+    std::vector<std::vector<const SuccEdge*>> in_edges(f.blocks.size());
+    for (const auto& block : f.blocks) {
+      for (const auto& succ : block.term.succs) {
+        in_edges[static_cast<size_t>(succ.block)].push_back(&succ);
+      }
+    }
+
+    ValueRenamer renames;
+    // removal[b] = parameter indices of block b to drop this round.
+    std::vector<std::unordered_set<size_t>> removal(f.blocks.size());
+
+    for (size_t b = 1; b < f.blocks.size(); ++b) {  // entry params are the ABI — keep
+      IrBlock& block = f.blocks[b];
+      for (size_t i = 0; i < block.params.size(); ++i) {
+        const IrId param = block.params[i];
+        IrId unique = kNoValue;
+        bool ok = !in_edges[b].empty();
+        for (const SuccEdge* edge : in_edges[b]) {
+          const IrId arg = edge->args[i];
+          if (arg == param) {
+            continue;  // self-feeding loop edge
+          }
+          if (unique == kNoValue) {
+            unique = arg;
+          } else if (unique != arg) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok && unique != kNoValue) {
+          renames.Map(param, unique);
+          removal[b].insert(i);
+          changed = true;
+        }
+      }
+    }
+
+    if (!changed) {
+      break;
+    }
+
+    // Drop the parameters and the corresponding edge arguments.
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+      if (removal[b].empty()) {
+        continue;
+      }
+      IrBlock& block = f.blocks[b];
+      std::vector<IrId> kept;
+      for (size_t i = 0; i < block.params.size(); ++i) {
+        if (removal[b].count(i) == 0) {
+          kept.push_back(block.params[i]);
+        }
+      }
+      block.params = std::move(kept);
+    }
+    for (auto& block : f.blocks) {
+      for (auto& succ : block.term.succs) {
+        const auto& drop = removal[static_cast<size_t>(succ.block)];
+        if (drop.empty()) {
+          continue;
+        }
+        std::vector<IrId> kept;
+        for (size_t i = 0; i < succ.args.size(); ++i) {
+          if (drop.count(i) == 0) {
+            kept.push_back(succ.args[i]);
+          }
+        }
+        succ.args = std::move(kept);
+      }
+    }
+    renames.Apply(f);
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,69 @@
+#include <unordered_set>
+#include <vector>
+
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+
+namespace jaguar {
+
+void DcePass(IrFunction& f, const PassContext& ctx) {
+  (void)ctx;
+  PruneUnreachableBlocks(f);
+
+  // Liveness: side-effecting/trapping instructions are roots; so is everything referenced by
+  // terminators, edge arguments, and the deopt metadata of *live* instructions.
+  std::unordered_set<IrId> live;
+  bool changed = true;
+  auto mark = [&](IrId id) {
+    if (id != kNoValue && live.insert(id).second) {
+      changed = true;
+    }
+  };
+  auto mark_deopt = [&](int index) {
+    if (index < 0) {
+      return;
+    }
+    const DeoptInfo& info = f.deopts[static_cast<size_t>(index)];
+    for (IrId id : info.locals) {
+      mark(id);
+    }
+    for (IrId id : info.stack) {
+      mark(id);
+    }
+  };
+
+  while (changed) {
+    changed = false;
+    for (const auto& block : f.blocks) {
+      for (const auto& instr : block.instrs) {
+        const bool rooted = !IsPure(instr);
+        if (rooted || (instr.HasDest() && live.count(instr.dest) != 0)) {
+          for (IrId arg : instr.args) {
+            mark(arg);
+          }
+          mark_deopt(instr.deopt_index);
+        }
+      }
+      mark(block.term.value);
+      for (const auto& succ : block.term.succs) {
+        for (IrId arg : succ.args) {
+          mark(arg);
+        }
+      }
+      mark_deopt(block.term.deopt_index);
+    }
+  }
+
+  for (auto& block : f.blocks) {
+    std::vector<IrInstr> kept;
+    kept.reserve(block.instrs.size());
+    for (auto& instr : block.instrs) {
+      if (!IsPure(instr) || !instr.HasDest() || live.count(instr.dest) != 0) {
+        kept.push_back(std::move(instr));
+      }
+    }
+    block.instrs = std::move(kept);
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,172 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+#include "src/jaguar/vm/outcome.h"
+
+namespace jaguar {
+namespace {
+
+bool IsCommutative(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kCmpEq:
+    case Op::kCmpNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Hash key of a pure computation.
+using ValueKey = std::tuple<uint8_t /*IrOp*/, uint8_t /*bc_op*/, uint8_t /*w*/, int64_t /*imm*/,
+                            IrId, IrId>;
+
+ValueKey KeyFor(const IrInstr& instr, const ValueRenamer& renames) {
+  IrId a = instr.args.empty() ? kNoValue : renames.Resolve(instr.args[0]);
+  IrId b = instr.args.size() < 2 ? kNoValue : renames.Resolve(instr.args[1]);
+  if (instr.op == IrOp::kBinary && IsCommutative(instr.bc_op) && a > b) {
+    std::swap(a, b);
+  }
+  return {static_cast<uint8_t>(instr.op), static_cast<uint8_t>(instr.bc_op), instr.w,
+          instr.op == IrOp::kConst ? instr.imm : 0, a, b};
+}
+
+}  // namespace
+
+// Dominator-scoped value numbering for pure computations, plus per-block elimination of
+// redundant global loads separated by no memory effect ("memory epochs"). Injected defects:
+//   kGvnLoadAcrossStore — a store whose stored value is an addition "forgets" to bump the
+//     memory epoch, so a later load of the same global is commoned across it;
+//   kGvnBucketAssert   — the hash table asserts after too many commonings in one compilation.
+void GvnPass(IrFunction& f, const PassContext& ctx) {
+  PruneUnreachableBlocks(f);
+  const Cfg cfg = AnalyzeCfg(f);
+
+  // Dominator-tree children.
+  std::vector<std::vector<int32_t>> dom_children(f.blocks.size());
+  for (int32_t b : cfg.rpo) {
+    if (b != 0) {
+      dom_children[static_cast<size_t>(cfg.idom[static_cast<size_t>(b)])].push_back(b);
+    }
+  }
+
+  ValueRenamer renames;
+  // Scoped table: (key → value id) entries are pushed on entry to a dominator subtree and
+  // popped on exit.
+  std::map<ValueKey, IrId> table;
+  // (global, epoch) keys whose epoch bump was suppressed by the kGvnLoadAcrossStore defect:
+  // commoning a load on such a key is the moment the defect actually changes behaviour.
+  std::set<std::pair<int32_t, uint64_t>> stale_keys;
+  std::vector<std::pair<ValueKey, IrId>> undo;  // (key, previous value or kNoValue)
+  uint64_t commons = 0;
+
+  struct WalkFrame {
+    int32_t block;
+    size_t next_child = 0;
+    size_t undo_mark = 0;
+  };
+  std::vector<WalkFrame> walk;
+  walk.push_back({0, 0, 0});
+
+  auto process_block = [&](int32_t block_id, size_t& undo_mark) {
+    undo_mark = undo.size();
+    IrBlock& block = f.blocks[static_cast<size_t>(block_id)];
+
+    // Per-block load elimination with memory epochs.
+    uint64_t epoch = 0;
+    std::map<std::pair<int32_t, uint64_t>, IrId> loads;
+
+    for (auto& instr : block.instrs) {
+      for (IrId& arg : instr.args) {
+        arg = renames.Resolve(arg);
+      }
+      if (instr.op == IrOp::kGLoad) {
+        auto key = std::make_pair(instr.a, epoch);
+        auto it = loads.find(key);
+        if (it != loads.end()) {
+          renames.Map(instr.dest, it->second);
+          ++commons;
+          if (stale_keys.count(key) != 0) {
+            ctx.FireBug(BugId::kGvnLoadAcrossStore);
+          }
+        } else {
+          loads.emplace(key, instr.dest);
+        }
+        continue;
+      }
+      const bool memory_effect = instr.op == IrOp::kGStore || instr.op == IrOp::kCall ||
+                                 instr.op == IrOp::kAStore ||
+                                 instr.op == IrOp::kAStoreUnchecked ||
+                                 instr.op == IrOp::kNewArray;
+      if (memory_effect) {
+        bool bump = true;
+        if (instr.op == IrOp::kGStore && ctx.BugOn(BugId::kGvnLoadAcrossStore) &&
+            ctx.HasWarmProfile()) {
+          const IrInstr* stored = FindDef(f, instr.args[0]);
+          if (stored != nullptr && stored->op == IrOp::kBinary && stored->bc_op == Op::kAdd) {
+            // Injected defect: this store "cannot alias" (it supposedly writes a freshly
+            // computed sum), so the epoch is left unchanged.
+            bump = false;
+          }
+        }
+        if (bump) {
+          ++epoch;
+        } else {
+          stale_keys.emplace(instr.a, epoch);
+        }
+      }
+      if (!IsPure(instr) || !instr.HasDest()) {
+        continue;
+      }
+      const ValueKey key = KeyFor(instr, renames);
+      auto it = table.find(key);
+      if (it != table.end()) {
+        renames.Map(instr.dest, it->second);
+        ++commons;
+      } else {
+        undo.emplace_back(key, kNoValue);
+        table.emplace(key, instr.dest);
+      }
+    }
+    stale_keys.clear();
+  };
+
+  while (!walk.empty()) {
+    WalkFrame& frame = walk.back();
+    if (frame.next_child == 0) {
+      process_block(frame.block, frame.undo_mark);
+    }
+    if (frame.next_child < dom_children[static_cast<size_t>(frame.block)].size()) {
+      const int32_t child = dom_children[static_cast<size_t>(frame.block)][frame.next_child++];
+      walk.push_back({child, 0, 0});
+      continue;
+    }
+    // Leave the subtree: pop this block's table entries.
+    for (size_t i = undo.size(); i > frame.undo_mark; --i) {
+      table.erase(undo[i - 1].first);
+    }
+    undo.resize(frame.undo_mark);
+    walk.pop_back();
+  }
+
+  if (ctx.BugOn(BugId::kGvnBucketAssert) && commons >= 24) {
+    ctx.FireBug(BugId::kGvnBucketAssert);
+    throw VmCrash(VmComponent::kGvn, "assert",
+                  "GVN: hash bucket overflow (" + std::to_string(commons) +
+                      " redundancies in one compilation)");
+  }
+
+  renames.Apply(f);
+}
+
+}  // namespace jaguar

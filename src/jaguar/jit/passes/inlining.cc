@@ -1,0 +1,133 @@
+#include <utility>
+#include <vector>
+
+#include "src/jaguar/jit/ir_builder.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+// A callee is inlinable when its (tier-agnostic) IR is a single block of pure, deopt-free
+// instructions ending in a return: no calls, no memory effects, no traps. This keeps frame
+// reconstruction trivial — there is nothing to deoptimize inside the inlined body — which is
+// also why real JITs treat tiny accessor-shaped methods as the cheapest inlining class.
+bool InlinableBody(const IrFunction& callee, size_t max_instrs) {
+  // Builder layout: block 0 is the synthetic entry jumping to block 1.
+  if (callee.blocks.size() != 2 || callee.osr_pc >= 0) {
+    return false;
+  }
+  const IrBlock& body = callee.blocks[1];
+  if (body.term.kind != TermKind::kRet && body.term.kind != TermKind::kRetVoid) {
+    return false;
+  }
+  if (body.instrs.size() > max_instrs) {
+    return false;
+  }
+  for (const auto& instr : body.instrs) {
+    if (!IsPure(instr) || instr.deopt_index >= 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// Inlines small straight-line callees at their call sites. Injected defect
+// kInlineSwappedArgs: callees with exactly two parameters get their arguments bound in
+// reverse order.
+void InliningPass(IrFunction& f, const PassContext& ctx) {
+  if (ctx.program == nullptr || ctx.config == nullptr || ctx.config->inline_size_limit <= 0) {
+    return;
+  }
+  const size_t max_instrs = static_cast<size_t>(ctx.config->inline_size_limit);
+  int budget = 6;  // inline sites per compilation
+
+  for (auto& block : f.blocks) {
+    for (size_t i = 0; i < block.instrs.size() && budget > 0; ++i) {
+      IrInstr& call = block.instrs[i];
+      if (call.op != IrOp::kCall || call.a == f.func_index) {
+        continue;
+      }
+      const BcFunction& callee_bc = ctx.program->functions[static_cast<size_t>(call.a)];
+      if (callee_bc.code.size() > max_instrs) {
+        continue;
+      }
+      // Build the callee's IR without defects: the inliner sees the pristine method shape.
+      IrFunction callee = BuildIr(*ctx.program, call.a, 1, -1, nullptr);
+      CopyPropagationPass(callee, ctx);  // no CFG merging: InlinableBody expects entry+body
+      if (!InlinableBody(callee, max_instrs)) {
+        continue;
+      }
+      const IrBlock& body = callee.blocks[1];
+      const IrBlock& centry = callee.blocks[0];
+
+      // Bind callee values: entry params map to the call arguments; the synthetic entry's
+      // zero-initialized locals map to fresh constants appended inline.
+      std::vector<IrId> map(static_cast<size_t>(callee.next_value), kNoValue);
+      std::vector<IrId> call_args = call.args;
+      JAG_CHECK(centry.params.size() == call_args.size());
+      if (call_args.size() == 2 && ctx.BugOn(BugId::kInlineSwappedArgs) &&
+          ctx.HasWarmProfile()) {
+        if (call_args[0] != call_args[1]) {
+          ctx.FireBug(BugId::kInlineSwappedArgs);
+        }
+        std::swap(call_args[0], call_args[1]);
+      }
+      for (size_t p = 0; p < centry.params.size(); ++p) {
+        map[static_cast<size_t>(centry.params[p])] = call_args[p];
+      }
+
+      std::vector<IrInstr> inlined;
+      auto splice_instr = [&](const IrInstr& instr) {
+        IrInstr copy = instr;
+        copy.bc_pc = -1;  // caller profiles do not apply to inlined bytecode
+        for (IrId& arg : copy.args) {
+          JAG_CHECK(map[static_cast<size_t>(arg)] != kNoValue);
+          arg = map[static_cast<size_t>(arg)];
+        }
+        if (copy.HasDest()) {
+          const IrId fresh = f.NewValue();
+          map[static_cast<size_t>(instr.dest)] = fresh;
+          copy.dest = fresh;
+        }
+        inlined.push_back(std::move(copy));
+      };
+      for (const auto& instr : centry.instrs) {
+        splice_instr(instr);  // zero-init constants for non-parameter locals
+      }
+      // The entry's jump passes locals to the body block; map body params through it.
+      const SuccEdge& enter = centry.term.succs[0];
+      for (size_t p = 0; p < body.params.size(); ++p) {
+        const IrId arg = enter.args[p];
+        JAG_CHECK(map[static_cast<size_t>(arg)] != kNoValue);
+        map[static_cast<size_t>(body.params[p])] = map[static_cast<size_t>(arg)];
+      }
+      for (const auto& instr : body.instrs) {
+        splice_instr(instr);
+      }
+
+      // Wire the return value into the call's dest.
+      ValueRenamer ret_rename;
+      if (call.HasDest()) {
+        JAG_CHECK(body.term.kind == TermKind::kRet);
+        const IrId ret = map[static_cast<size_t>(body.term.value)];
+        JAG_CHECK(ret != kNoValue);
+        ret_rename.Map(call.dest, ret);
+      }
+
+      // Replace the call instruction with the inlined body.
+      block.instrs.erase(block.instrs.begin() + static_cast<ptrdiff_t>(i));
+      block.instrs.insert(block.instrs.begin() + static_cast<ptrdiff_t>(i),
+                          std::make_move_iterator(inlined.begin()),
+                          std::make_move_iterator(inlined.end()));
+      ret_rename.Apply(f);
+      i += inlined.size();
+      --budget;
+    }
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,113 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+#include "src/jaguar/vm/outcome.h"
+
+namespace jaguar {
+
+// Loop-invariant code motion: hoists pure instructions whose operands are defined outside the
+// loop into the preheader. Hoisting pure ops speculatively (even from conditionally-executed
+// blocks) is sound — they cannot trap or write memory. Injected defects:
+//   kLicmDeepNestAssert     — compiling a loop nest of depth >= 3 crashes the pass;
+//   kLicmHoistStorePastGuard — the pass also "hoists" a conditionally-executed global store
+//     whose operand is invariant, executing it unconditionally before the loop.
+void LicmPass(IrFunction& f, const PassContext& ctx) {
+  PruneUnreachableBlocks(f);
+  const Cfg cfg = AnalyzeCfg(f);
+  const LoopForest forest = FindLoops(f, cfg);
+
+  for (const LoopInfo& loop : forest.loops) {
+    if (ctx.BugOn(BugId::kLicmDeepNestAssert) && loop.depth >= 3) {
+      ctx.FireBug(BugId::kLicmDeepNestAssert);
+      throw VmCrash(VmComponent::kLoopOptimization, "assert",
+                    "LICM: invariant set iterator exhausted on loop nest of depth " +
+                        std::to_string(loop.depth));
+    }
+  }
+
+  // Hoist from innermost loops outward so invariants bubble up the nest.
+  std::vector<size_t> order(forest.loops.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return forest.loops[a].depth > forest.loops[b].depth;
+  });
+
+  for (size_t loop_index : order) {
+    const LoopInfo& loop = forest.loops[loop_index];
+    const int32_t preheader = LoopPreheader(cfg, loop);
+    if (preheader < 0) {
+      continue;
+    }
+    // The preheader must fall through to the header only — otherwise appended code would
+    // execute on unrelated paths.
+    IrBlock& pre = f.blocks[static_cast<size_t>(preheader)];
+    if (pre.term.kind != TermKind::kJmp) {
+      continue;
+    }
+
+    std::set<int32_t> loop_blocks(loop.blocks.begin(), loop.blocks.end());
+    // Values defined inside the loop (params + instruction dests).
+    std::set<IrId> defined_inside;
+    for (int32_t b : loop.blocks) {
+      const IrBlock& block = f.blocks[static_cast<size_t>(b)];
+      for (IrId p : block.params) {
+        defined_inside.insert(p);
+      }
+      for (const auto& instr : block.instrs) {
+        if (instr.HasDest()) {
+          defined_inside.insert(instr.dest);
+        }
+      }
+    }
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int32_t b : loop.blocks) {
+        IrBlock& block = f.blocks[static_cast<size_t>(b)];
+        for (size_t i = 0; i < block.instrs.size(); ++i) {
+          IrInstr& instr = block.instrs[i];
+          const bool invariant_args =
+              std::all_of(instr.args.begin(), instr.args.end(),
+                          [&](IrId arg) { return defined_inside.count(arg) == 0; });
+          if (!invariant_args) {
+            continue;
+          }
+
+          bool hoist = false;
+          if (IsPure(instr) && instr.HasDest()) {
+            hoist = true;
+          } else if (instr.op == IrOp::kGStore &&
+                     ctx.BugOn(BugId::kLicmHoistStorePastGuard) && ctx.HasWarmProfile() &&
+                     !cfg.Dominates(b, loop.latches[0])) {
+            // (Profile-gated: the defective heuristic treats a "frequently executed" store as
+            // unconditional, and frequency data only exists after warm-up.)
+            // Injected defect: a conditionally-executed store is treated like a pure
+            // invariant and executes unconditionally before the loop.
+            ctx.FireBug(BugId::kLicmHoistStorePastGuard);
+            hoist = true;
+          }
+          if (!hoist) {
+            continue;
+          }
+
+          if (instr.HasDest()) {
+            defined_inside.erase(instr.dest);
+          }
+          f.blocks[static_cast<size_t>(preheader)].instrs.push_back(std::move(instr));
+          block.instrs.erase(block.instrs.begin() + static_cast<ptrdiff_t>(i));
+          --i;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,190 @@
+#include <unordered_map>
+#include <vector>
+
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+// Clones `src` with every value defined inside it (params and dests) given a fresh id.
+// `map` translates old → new ids; values not defined in the cloned set pass through.
+struct Cloner {
+  IrFunction& f;
+  std::unordered_map<IrId, IrId> map;
+
+  IrId Fresh(IrId old) {
+    const IrId fresh = f.NewValue();
+    map[old] = fresh;
+    return fresh;
+  }
+  IrId Translate(IrId old) const {
+    if (old == kNoValue) {
+      return kNoValue;
+    }
+    auto it = map.find(old);
+    return it == map.end() ? old : it->second;
+  }
+
+  int CloneDeopt(int index) {
+    if (index < 0) {
+      return -1;
+    }
+    DeoptInfo copy = f.deopts[static_cast<size_t>(index)];
+    for (IrId& id : copy.locals) {
+      id = Translate(id);
+    }
+    for (IrId& id : copy.stack) {
+      id = Translate(id);
+    }
+    f.deopts.push_back(std::move(copy));
+    return static_cast<int>(f.deopts.size()) - 1;
+  }
+
+  IrBlock CloneBlock(const IrBlock& src) {
+    IrBlock out;
+    for (IrId p : src.params) {
+      out.params.push_back(Fresh(p));
+    }
+    // Two-phase: fresh ids for all dests first so forward refs inside the block resolve.
+    for (const auto& instr : src.instrs) {
+      if (instr.HasDest()) {
+        Fresh(instr.dest);
+      }
+    }
+    for (const auto& instr : src.instrs) {
+      IrInstr copy = instr;
+      copy.dest = Translate(instr.dest);
+      for (IrId& arg : copy.args) {
+        arg = Translate(arg);
+      }
+      copy.deopt_index = CloneDeopt(instr.deopt_index);
+      out.instrs.push_back(std::move(copy));
+    }
+    IrTerminator term = src.term;
+    term.value = Translate(term.value);
+    term.deopt_index = CloneDeopt(src.term.deopt_index);
+    for (auto& succ : term.succs) {
+      for (IrId& arg : succ.args) {
+        arg = Translate(arg);
+      }
+    }
+    out.term = std::move(term);
+    return out;
+  }
+};
+
+}  // namespace
+
+// Loop peeling for short counted loops: one iteration of the loop is cloned in front of it,
+// which lets later passes specialize the first iteration (a standard C2 technique for loops
+// with short constant trip counts). The peel is a guarded clone of {header, body}: the cloned
+// header re-checks the loop condition, so zero-trip loops are unaffected.
+//
+// Injected defect kUnrollExtraIteration: the cloned body jumps back to the original loop with
+// the *pre-iteration* values instead of the updated ones, so the loop re-runs its full trip
+// count — one extra execution of the body's side effects in total.
+void LoopPeelPass(IrFunction& f, const PassContext& ctx) {
+  PruneUnreachableBlocks(f);
+  const Cfg cfg = AnalyzeCfg(f);
+  const LoopForest forest = FindLoops(f, cfg);
+
+  // Collect candidates first; cloning invalidates the analyses.
+  struct Candidate {
+    int32_t header;
+    int32_t body;
+    int32_t preheader;
+  };
+  std::vector<Candidate> candidates;
+  for (const LoopInfo& loop : forest.loops) {
+    if (loop.blocks.size() != 2 || loop.latches.size() != 1) {
+      continue;  // peel only header+body loops
+    }
+    const int32_t body = loop.latches[0];
+    const int32_t preheader = LoopPreheader(cfg, loop);
+    if (preheader < 0 || body == loop.header) {
+      continue;
+    }
+    const IrBlock& header = f.blocks[static_cast<size_t>(loop.header)];
+    const IrBlock& body_block = f.blocks[static_cast<size_t>(body)];
+    if (header.term.kind != TermKind::kBr || body_block.term.kind != TermKind::kJmp) {
+      continue;
+    }
+    if (body_block.instrs.size() > 12 || header.instrs.size() > 4) {
+      continue;  // "short" loops only
+    }
+    // The header may only compute its condition (pure instructions clone safely).
+    bool header_pure = true;
+    for (const auto& instr : header.instrs) {
+      if (!IsPure(instr)) {
+        header_pure = false;
+        break;
+      }
+    }
+    if (!header_pure) {
+      continue;
+    }
+    // Only counted loops with a constant start (the short-constant-trip-count class).
+    const auto inductions = FindBasicInductions(f, cfg, loop);
+    bool counted = false;
+    for (const auto& ind : inductions) {
+      if (ind.has_const_init) {
+        counted = true;
+        break;
+      }
+    }
+    if (!counted) {
+      continue;
+    }
+    candidates.push_back({loop.header, body, preheader});
+  }
+
+  for (const Candidate& c : candidates) {
+    // Re-locate the preheader's edge into the header (indices are stable: we only append).
+    IrBlock& pre = f.blocks[static_cast<size_t>(c.preheader)];
+    SuccEdge* entry_edge = nullptr;
+    for (auto& succ : pre.term.succs) {
+      if (succ.block == c.header) {
+        entry_edge = &succ;
+        break;
+      }
+    }
+    JAG_CHECK(entry_edge != nullptr);
+
+    Cloner cloner{f, {}};
+    IrBlock peeled_header = cloner.CloneBlock(f.blocks[static_cast<size_t>(c.header)]);
+    IrBlock peeled_body = cloner.CloneBlock(f.blocks[static_cast<size_t>(c.body)]);
+
+    const int32_t peeled_header_id = static_cast<int32_t>(f.blocks.size());
+    const int32_t peeled_body_id = peeled_header_id + 1;
+
+    // The peeled header branches into the peeled body (true edge) or to the original exit.
+    const int32_t orig_body = c.body;
+    for (auto& succ : peeled_header.term.succs) {
+      if (succ.block == orig_body) {
+        succ.block = peeled_body_id;
+      }
+      // Exit edges keep their targets (args already translated to peeled values).
+    }
+    // The peeled body jumps to the *original* header with the updated (translated) args —
+    // except under the injected defect, which passes the original entry values again.
+    JAG_CHECK(peeled_body.term.kind == TermKind::kJmp &&
+              peeled_body.term.succs[0].block == c.header);
+    if (ctx.BugOn(BugId::kUnrollExtraIteration) && ctx.HasWarmProfile()) {
+      // (Profile-gated: peeling decisions are hotness-driven; the defective arg wiring sits
+      // in that code path.)
+      peeled_body.term.succs[0].args = entry_edge->args;
+      ctx.FireBug(BugId::kUnrollExtraIteration);
+    }
+
+    // Rewire the preheader into the peeled copy.
+    entry_edge->block = peeled_header_id;
+
+    f.blocks.push_back(std::move(peeled_header));
+    f.blocks.push_back(std::move(peeled_body));
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,92 @@
+#include <set>
+
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+
+namespace jaguar {
+
+// Range-check elimination: inside a counted loop
+//     for (i = C0; i < a.length; i += C1)   with C0 >= 0, C1 > 0
+// accesses a[i] are provably in bounds, so checked loads/stores of that exact (array, index)
+// pair become unchecked — compiled code then accesses the heap without bounds tests, exactly
+// like native JIT output.
+//
+// Injected defect kRceOffByOneHeapCorruption: the pass also accepts `i <= a.length` as the
+// loop condition. The final iteration (i == length) then performs an unchecked store one slot
+// past the end, silently corrupting the neighbouring heap object's header; the crash surfaces
+// later, inside the garbage collector (see vm/heap.h). In the interpreter the same program
+// simply raises ArrayIndexOutOfBoundsException — so the defect is invisible without JIT
+// compilation, like all bugs this repository plants.
+void RangeCheckElimPass(IrFunction& f, const PassContext& ctx) {
+  PruneUnreachableBlocks(f);
+  const Cfg cfg = AnalyzeCfg(f);
+  const LoopForest forest = FindLoops(f, cfg);
+
+  for (const LoopInfo& loop : forest.loops) {
+    const IrBlock& header = f.blocks[static_cast<size_t>(loop.header)];
+    if (header.term.kind != TermKind::kBr) {
+      continue;
+    }
+    // The loop must be entered on the true edge (cond == true stays in the loop).
+    if (!loop.Contains(header.term.succs[0].block)) {
+      continue;
+    }
+    const IrInstr* cond = FindDef(f, header.term.value);
+    if (cond == nullptr || cond->op != IrOp::kBinary) {
+      continue;
+    }
+    const bool lt = cond->bc_op == Op::kCmpLt;
+    const bool le = cond->bc_op == Op::kCmpLe;
+    if (!lt && !(le && ctx.BugOn(BugId::kRceOffByOneHeapCorruption))) {
+      continue;
+    }
+
+    // cond = i < len where len = alen(array) with the array defined outside the loop.
+    const IrInstr* len = FindDef(f, cond->args[1]);
+    if (len == nullptr || len->op != IrOp::kALen) {
+      continue;
+    }
+    const IrId array = len->args[0];
+    const int32_t array_def = DefBlock(f, array);
+    if (array_def < 0 || loop.Contains(array_def)) {
+      continue;
+    }
+
+    // The index must be a non-negative basic induction with positive step.
+    const auto inductions = FindBasicInductions(f, cfg, loop);
+    const BasicInduction* ind = nullptr;
+    for (const auto& candidate : inductions) {
+      if (candidate.param == cond->args[0] && candidate.step > 0 &&
+          candidate.has_const_init && candidate.init >= 0) {
+        ind = &candidate;
+        break;
+      }
+    }
+    if (ind == nullptr) {
+      continue;
+    }
+
+    // Rewrite matching accesses in blocks dominated by the header (where the check held).
+    for (int32_t b : loop.blocks) {
+      if (!cfg.Dominates(loop.header, b)) {
+        continue;
+      }
+      for (auto& instr : f.blocks[static_cast<size_t>(b)].instrs) {
+        const bool checked_access = instr.op == IrOp::kALoad || instr.op == IrOp::kAStore;
+        if (!checked_access || instr.args[0] != array || instr.args[1] != ind->param) {
+          continue;
+        }
+        instr.op = instr.op == IrOp::kALoad ? IrOp::kALoadUnchecked : IrOp::kAStoreUnchecked;
+        instr.deopt_index = -1;
+        if (le) {
+          // The `<=` acceptance is the defect; tag so the executor fires it exactly when an
+          // out-of-bounds slot is actually written.
+          instr.bug_tag = static_cast<uint8_t>(BugId::kRceOffByOneHeapCorruption) + 1;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,198 @@
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+// Threads edges that point at empty forwarding blocks (no instructions, unconditional jump),
+// following whole *chains* of forwarders with a cumulative parameter-to-value substitution.
+//
+// Soundness requires two conditions beyond "the block is empty":
+//   1. A forwarder's parameters are SSA definitions that dominated code may use (e.g. after
+//      constant folding + DCE turn a diamond arm into an empty block whose params feed later
+//      blocks). Such a forwarder must keep receiving control, so only forwarders whose params
+//      are used exclusively by their own outgoing edge are bypassed.
+//   2. A later forwarder's outgoing arguments may reference an earlier forwarder's parameters
+//      (both lie on the dominator chain), so the chain walk keeps a cumulative binding map and
+//      resolves every argument through it.
+bool ThreadForwarders(IrFunction& f) {
+  // Use counts of every value, and separately the uses contributed by each block's own
+  // terminator edges (the only place a bypassable forwarder's params may appear).
+  std::unordered_map<IrId, size_t> uses;
+  auto count = [&](IrId id) {
+    if (id != kNoValue) {
+      ++uses[id];
+    }
+  };
+  for (const auto& block : f.blocks) {
+    for (const auto& instr : block.instrs) {
+      for (IrId arg : instr.args) {
+        count(arg);
+      }
+    }
+    count(block.term.value);
+    for (const auto& succ : block.term.succs) {
+      for (IrId arg : succ.args) {
+        count(arg);
+      }
+    }
+  }
+  for (const auto& deopt : f.deopts) {
+    for (IrId id : deopt.locals) {
+      count(id);
+    }
+    for (IrId id : deopt.stack) {
+      count(id);
+    }
+  }
+
+  // bypassable[b]: empty unconditional block whose params are only used by its own edge.
+  std::vector<uint8_t> bypassable(f.blocks.size(), 0);
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrBlock& mid = f.blocks[b];
+    if (!mid.instrs.empty() || mid.term.kind != TermKind::kJmp ||
+        mid.term.succs[0].block == static_cast<int32_t>(b)) {
+      continue;
+    }
+    std::unordered_map<IrId, size_t> own;
+    for (IrId arg : mid.term.succs[0].args) {
+      if (arg != kNoValue) {
+        ++own[arg];
+      }
+    }
+    bool ok = true;
+    for (IrId param : mid.params) {
+      auto total = uses.find(param);
+      const size_t external =
+          (total == uses.end() ? 0 : total->second) - (own.count(param) ? own[param] : 0);
+      if (external != 0) {
+        ok = false;
+        break;
+      }
+    }
+    bypassable[b] = ok ? 1 : 0;
+  }
+
+  bool changed = false;
+  for (auto& block : f.blocks) {
+    for (auto& succ : block.term.succs) {
+      std::unordered_map<IrId, IrId> binding;  // forwarder param -> resolved incoming value
+      auto resolve = [&](IrId id) {
+        auto it = binding.find(id);
+        return it == binding.end() ? id : it->second;
+      };
+
+      int32_t target = succ.block;
+      std::vector<IrId> args = succ.args;
+      size_t hops = 0;
+      while (bypassable[static_cast<size_t>(target)] && hops <= f.blocks.size()) {
+        ++hops;
+        const IrBlock& mid = f.blocks[static_cast<size_t>(target)];
+        for (size_t i = 0; i < mid.params.size(); ++i) {
+          binding[mid.params[i]] = args[i];
+        }
+        const SuccEdge& onward = mid.term.succs[0];
+        std::vector<IrId> next_args;
+        next_args.reserve(onward.args.size());
+        for (IrId arg : onward.args) {
+          next_args.push_back(resolve(arg));
+        }
+        target = onward.block;
+        args = std::move(next_args);
+      }
+      if (hops > f.blocks.size()) {
+        continue;  // a pure forwarder cycle: leave it alone (the step budget handles it)
+      }
+      if (target != succ.block) {
+        succ.block = target;
+        succ.args = std::move(args);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+// Merges a block with its unique successor when that successor has this block as its unique
+// predecessor: the successor's params become aliases of the edge args, its instructions are
+// appended, and its terminator is taken over.
+bool MergeLinearPairs(IrFunction& f) {
+  bool changed = false;
+  // Predecessor counts.
+  std::vector<int> pred_count(f.blocks.size(), 0);
+  for (const auto& block : f.blocks) {
+    for (const auto& succ : block.term.succs) {
+      ++pred_count[static_cast<size_t>(succ.block)];
+    }
+  }
+  ++pred_count[0];  // the entry has an implicit external predecessor
+
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    for (;;) {
+      IrBlock& block = f.blocks[b];
+      if (block.term.kind != TermKind::kJmp) {
+        break;
+      }
+      const int32_t succ_id = block.term.succs[0].block;
+      if (static_cast<size_t>(succ_id) == b ||
+          pred_count[static_cast<size_t>(succ_id)] != 1) {
+        break;
+      }
+      IrBlock& succ = f.blocks[static_cast<size_t>(succ_id)];
+
+      ValueRenamer renames;
+      JAG_CHECK(block.term.succs[0].args.size() == succ.params.size());
+      for (size_t i = 0; i < succ.params.size(); ++i) {
+        renames.Map(succ.params[i], block.term.succs[0].args[i]);
+      }
+      for (auto& instr : succ.instrs) {
+        block.instrs.push_back(std::move(instr));
+      }
+      block.term = std::move(succ.term);
+      succ.instrs.clear();
+      succ.params.clear();
+      succ.term = IrTerminator{};
+      succ.term.kind = TermKind::kRetVoid;  // now unreachable; pruned below
+      pred_count[static_cast<size_t>(succ_id)] = 0;
+      renames.Apply(f);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+void SimplifyCfgPass(IrFunction& f, const PassContext& ctx) {
+  (void)ctx;
+  static const bool dbg = std::getenv("JAG_DBG_SIMPLIFY") != nullptr;
+  auto V = [&](const char* where) {
+    if (dbg) { try { IrFunction clone = f; PruneUnreachableBlocks(clone); ValidateIr(clone);
+    } catch (const std::exception& e) {
+      fprintf(stderr, "SIMPLIFY BROKE at %s: %s\n", where, e.what()); abort(); } }
+  };
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds < 8) {
+    changed = false;
+    changed |= PruneUnreachableBlocks(f);
+    V("prune1");
+    changed |= ThreadForwarders(f);
+    V("thread");
+    changed |= PruneUnreachableBlocks(f);
+    V("prune2");
+    changed |= MergeLinearPairs(f);
+    V("merge");
+    changed |= PruneUnreachableBlocks(f);
+    V("prune3");
+    ++rounds;
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,92 @@
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+#include "src/jaguar/vm/outcome.h"
+
+namespace jaguar {
+
+// Profile-guided branch pruning — the JIT behaviour that makes the compilation space deep.
+// A conditional branch whose profile shows one side never taken is rewritten into a guard
+// (uncommon trap) plus an unconditional jump to the observed side. When the guard later fails
+// at runtime, the executor deoptimizes: execution transfers to the interpreter at the branch
+// bytecode, with the failed guard recorded so recompilation stops speculating there. This is
+// exactly the mechanism the paper's Figure 2 walkthrough exploits: MI's warm-up calls bias
+// the `m_ctrl` prologue branch, C2-alike speculation prunes the cold side, and the real call
+// afterwards triggers the deopt.
+//
+// Injected defect kSpeculationRetryCrash: recompiling a method that already has a failed
+// speculation crashes when the pass finds another speculation candidate.
+void SpeculationPass(IrFunction& f, const PassContext& ctx) {
+  if (ctx.runtime == nullptr || ctx.config == nullptr) {
+    return;
+  }
+  const auto& profiles = ctx.runtime->branch_profiles;
+  const auto& failed = ctx.runtime->failed_speculations;
+  const uint64_t min_total = ctx.config->min_profile_for_speculation;
+  const bool ignore_failed =
+      ctx.BugOn(BugId::kRecompileCycling);  // the cycling defect "forgets" failures
+
+  // Loop-header exit tests are never pruned: a hot loop's exit side is cold by construction,
+  // and turning it into an uncommon trap would deoptimize every completed loop (HotSpot keeps
+  // loop exit tests as real branches for the same reason).
+  PruneUnreachableBlocks(f);
+  const Cfg cfg = AnalyzeCfg(f);
+  const LoopForest forest = FindLoops(f, cfg);
+  std::vector<bool> is_header(f.blocks.size(), false);
+  for (const auto& loop : forest.loops) {
+    is_header[static_cast<size_t>(loop.header)] = true;
+  }
+
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    IrBlock& block = f.blocks[b];
+    if (is_header[b]) {
+      continue;
+    }
+    IrTerminator& term = block.term;
+    if (term.kind != TermKind::kBr || term.bc_pc < 0 || term.deopt_index < 0) {
+      continue;
+    }
+    auto it = profiles.find(term.bc_pc);
+    if (it == profiles.end() || it->second.total() < min_total) {
+      continue;
+    }
+    const BranchProfile& profile = it->second;
+    const auto failed_it = failed.find(term.bc_pc);
+    const bool previously_failed = failed_it != failed.end();
+    bool expect_true;
+    if (ignore_failed && previously_failed) {
+      // The cycling defect: re-speculate the exact expectation that already failed — the
+      // recompilation keeps reading a stale profile snapshot.
+      expect_true = failed_it->second;
+    } else {
+      if (profile.taken != 0 && profile.not_taken != 0) {
+        continue;  // both sides seen — nothing to prune
+      }
+      if (previously_failed) {
+        continue;  // a guard here already failed once; do not re-speculate
+      }
+      expect_true = profile.taken != 0;
+    }
+    if (ctx.BugOn(BugId::kSpeculationRetryCrash) && !failed.empty()) {
+      ctx.FireBug(BugId::kSpeculationRetryCrash);
+      throw VmCrash(VmComponent::kSpeculation, "assert",
+                    "speculation: stale uncommon-trap state while re-speculating");
+    }
+    IrInstr guard;
+    guard.op = IrOp::kGuard;
+    guard.a = expect_true ? 1 : 0;
+    guard.args = {term.value};
+    guard.deopt_index = term.deopt_index;
+    guard.bc_pc = term.bc_pc;
+    block.instrs.push_back(std::move(guard));
+
+    SuccEdge kept = expect_true ? term.succs[0] : term.succs[1];
+    term.kind = TermKind::kJmp;
+    term.value = kNoValue;
+    term.deopt_index = -1;
+    term.succs = {std::move(kept)};
+    ++ctx.guards_planted;
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,134 @@
+#include <vector>
+
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+
+namespace jaguar {
+namespace {
+
+// True if any instruction in `block` after index `from` touches global `g`.
+bool BlockTouchesGlobalAfter(const IrBlock& block, size_t from, int32_t g) {
+  for (size_t i = from; i < block.instrs.size(); ++i) {
+    const IrInstr& instr = block.instrs[i];
+    if ((instr.op == IrOp::kGLoad || instr.op == IrOp::kGStore) && instr.a == g) {
+      return true;
+    }
+    if (instr.op == IrOp::kCall) {
+      return true;  // the callee may touch any global
+    }
+  }
+  return false;
+}
+
+bool LoopTouchesGlobal(const IrFunction& f, const LoopInfo& loop, int32_t g) {
+  for (int32_t b : loop.blocks) {
+    if (BlockTouchesGlobalAfter(f.blocks[static_cast<size_t>(b)], 0, g)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// Frequency-based placement of global stores — a (deliberately small) model of HotSpot C2's
+// Global Code Motion deciding the home block of memory-writing nodes by estimated block
+// frequency. The sound transformation implemented here only sinks a store to the end of its
+// own block when nothing after it in the block touches the same global (placement within the
+// block is frequency-neutral).
+//
+// Injected defect kGcmStoreSinkIntoDeeperLoop — a faithful model of JDK-8288975 (paper §2.2):
+// when the store's block and an inner loop have equal *estimated* frequency (our estimator,
+// like C2's, uses 8^depth and therefore ties for blocks executed once per outer iteration
+// adjacent to short inner loops), the store is placed inside the deeper loop. The store then
+// re-executes on every inner-loop iteration — after the loop's own updates of the same
+// global — clobbering them. The fix HotSpot adopted ("never move memory-writing instructions
+// into loops deeper than their home loop") is exactly the `depth >` test the defect removes.
+void StoreSinkPass(IrFunction& f, const PassContext& ctx) {
+  PruneUnreachableBlocks(f);
+  const Cfg cfg = AnalyzeCfg(f);
+  const LoopForest forest = FindLoops(f, cfg);
+
+  // --- Sound placement: sink within the home block. ------------------------------------------
+  for (auto& block : f.blocks) {
+    for (size_t i = 0; i + 1 < block.instrs.size(); ++i) {
+      if (block.instrs[i].op != IrOp::kGStore) {
+        continue;
+      }
+      const int32_t g = block.instrs[i].a;
+      if (BlockTouchesGlobalAfter(block, i + 1, g)) {
+        continue;
+      }
+      // Also do not move past prints/array effects — ordering against other observable
+      // effects must hold.
+      bool movable = true;
+      for (size_t j = i + 1; j < block.instrs.size(); ++j) {
+        const IrOp op = block.instrs[j].op;
+        if (op == IrOp::kPrint || op == IrOp::kAStore || op == IrOp::kAStoreUnchecked ||
+            op == IrOp::kCall || op == IrOp::kGuard || op == IrOp::kSetMute) {
+          movable = false;
+          break;
+        }
+        if (block.instrs[j].deopt_index >= 0) {
+          movable = false;  // a deopt would resume interpretation with the store undone
+          break;
+        }
+      }
+      if (!movable) {
+        continue;
+      }
+      IrInstr store = std::move(block.instrs[i]);
+      block.instrs.erase(block.instrs.begin() + static_cast<ptrdiff_t>(i));
+      block.instrs.push_back(std::move(store));
+    }
+  }
+
+  // GCM places stores by *estimated frequency*, which only exists once warm-up data does.
+  if (!ctx.BugOn(BugId::kGcmStoreSinkIntoDeeperLoop) || !ctx.HasWarmProfile()) {
+    return;
+  }
+
+  // --- The injected defect: move a store into a deeper loop on a frequency tie. --------------
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    IrBlock& home = f.blocks[b];
+    const int home_depth = forest.DepthOf(static_cast<int32_t>(b));
+    // (The original bug concerned a store in an outer loop; a method body that is itself
+    // called from a hot loop plays the same role once it is method-compiled, so depth 0
+    // home blocks are candidates too.)
+    for (size_t i = 0; i < home.instrs.size(); ++i) {
+      if (home.instrs[i].op != IrOp::kGStore) {
+        continue;
+      }
+      const int32_t g = home.instrs[i].a;
+      // Find an inner loop one level deeper that (a) is dominated by the home block, so the
+      // store's operand is available there, and (b) itself updates the same global — the
+      // situation where re-executing the sunk store after each update clobbers the result.
+      for (const LoopInfo& inner : forest.loops) {
+        if (inner.depth != home_depth + 1 || inner.latches.size() != 1) {
+          continue;
+        }
+        if (inner.Contains(static_cast<int32_t>(b))) {
+          continue;
+        }
+        if (!cfg.Reachable(inner.header) ||
+            !cfg.Dominates(static_cast<int32_t>(b), inner.header)) {
+          continue;
+        }
+        if (!LoopTouchesGlobal(f, inner, g)) {
+          continue;
+        }
+        // "Equal estimated frequency": both are executed ~8^home_depth times by the
+        // estimator because the inner loop's short trip count rounds away.
+        IrInstr store = std::move(home.instrs[i]);
+        home.instrs.erase(home.instrs.begin() + static_cast<ptrdiff_t>(i));
+        IrBlock& latch = f.blocks[static_cast<size_t>(inner.latches[0])];
+        latch.instrs.push_back(std::move(store));
+        ctx.FireBug(BugId::kGcmStoreSinkIntoDeeperLoop);
+        return;  // one wrong motion per compilation, like the original single-node bug
+      }
+    }
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,112 @@
+#include <vector>
+
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+
+namespace jaguar {
+namespace {
+
+// Returns k such that v == 2^k (k >= 1), or -1.
+int PowerOfTwoExponent(int64_t v) {
+  if (v <= 1 || (v & (v - 1)) != 0) {
+    return -1;
+  }
+  int k = 0;
+  while ((v >> k) != 1) {
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+// Rewrites multiplications and divisions by constant powers of two into shifts.
+//
+// Division needs the classic rounding fix-up: an arithmetic right shift rounds toward
+// negative infinity while Java division truncates toward zero, so for a negative dividend a
+// bias of (2^k - 1) must be added first:
+//     x / 2^k  ==  (x + ((x >> 31) >>> (32-k))) >> k        (int; 63/64 for long)
+// Injected defect kStrengthReduceNegDiv emits the bare shift without the bias; the executor
+// fires the bug when a negative dividend actually flows through (jit/ir_exec.cc).
+void StrengthReductionPass(IrFunction& f, const PassContext& ctx) {
+  // Collect constants first (the folder usually ran before us, so kConst is authoritative).
+  std::vector<int64_t> const_value(static_cast<size_t>(f.next_value), 0);
+  std::vector<uint8_t> is_const(static_cast<size_t>(f.next_value), 0);
+  for (const auto& block : f.blocks) {
+    for (const auto& instr : block.instrs) {
+      if (instr.op == IrOp::kConst) {
+        const_value[static_cast<size_t>(instr.dest)] = instr.imm;
+        is_const[static_cast<size_t>(instr.dest)] = 1;
+      }
+    }
+  }
+
+  for (auto& block : f.blocks) {
+    std::vector<IrInstr> rewritten;
+    rewritten.reserve(block.instrs.size());
+    for (auto& instr : block.instrs) {
+      const bool candidate =
+          instr.op == IrOp::kBinary &&
+          (instr.bc_op == Op::kMul || instr.bc_op == Op::kDiv) &&
+          is_const[static_cast<size_t>(instr.args[1])] != 0;
+      if (!candidate) {
+        rewritten.push_back(std::move(instr));
+        continue;
+      }
+      const int k = PowerOfTwoExponent(const_value[static_cast<size_t>(instr.args[1])]);
+      if (k < 0) {
+        rewritten.push_back(std::move(instr));
+        continue;
+      }
+      const int width = instr.w != 0 ? 64 : 32;
+
+      auto make_const = [&](int64_t v) {
+        IrInstr c;
+        c.op = IrOp::kConst;
+        c.imm = v;
+        c.dest = f.NewValue();
+        rewritten.push_back(c);
+        return c.dest;
+      };
+      auto make_bin = [&](Op op, IrId a, IrId b, IrId dest = kNoValue) {
+        IrInstr bin;
+        bin.op = IrOp::kBinary;
+        bin.bc_op = op;
+        bin.w = instr.w;
+        bin.args = {a, b};
+        bin.dest = dest == kNoValue ? f.NewValue() : dest;
+        rewritten.push_back(std::move(bin));
+        return rewritten.back().dest;
+      };
+
+      if (instr.bc_op == Op::kMul) {
+        // x * 2^k == x << k (exact, including overflow wrap-around).
+        make_bin(Op::kShl, instr.args[0], make_const(k), instr.dest);
+        continue;
+      }
+
+      if (ctx.BugOn(BugId::kStrengthReduceNegDiv)) {
+        // Injected defect: the bare arithmetic shift — wrong for negative dividends.
+        IrInstr shift;
+        shift.op = IrOp::kBinary;
+        shift.bc_op = Op::kShr;
+        shift.w = instr.w;
+        shift.args = {instr.args[0], make_const(k)};
+        shift.dest = instr.dest;
+        shift.bug_tag = static_cast<uint8_t>(BugId::kStrengthReduceNegDiv) + 1;
+        rewritten.push_back(std::move(shift));
+        continue;
+      }
+
+      // Correct sequence: bias = (x >> width-1) >>> (width-k); result = (x + bias) >> k.
+      const IrId sign = make_bin(Op::kShr, instr.args[0], make_const(width - 1));
+      const IrId bias = make_bin(Op::kUshr, sign, make_const(width - k));
+      const IrId biased = make_bin(Op::kAdd, instr.args[0], bias);
+      make_bin(Op::kShr, biased, make_const(k), instr.dest);
+    }
+    block.instrs = std::move(rewritten);
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,148 @@
+#include "src/jaguar/jit/pipeline.h"
+
+#include <utility>
+
+#include <cstdlib>
+
+#include "src/jaguar/jit/ir_builder.h"
+#include "src/jaguar/jit/ir_exec.h"
+#include "src/jaguar/jit/lir_exec.h"
+#include "src/jaguar/jit/lower.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace jaguar {
+namespace {
+
+class IrCompiledMethod : public CompiledMethod {
+ public:
+  IrCompiledMethod(IrFunction ir, uint64_t guards)
+      : ir_(std::move(ir)), guards_(guards) {}
+
+  CompiledExecResult Execute(Vm& vm, std::vector<int64_t> locals) override {
+    return ExecuteIr(vm, ir_, std::move(locals));
+  }
+
+  int level() const override { return ir_.level; }
+  int32_t osr_pc() const override { return ir_.osr_pc; }
+  uint64_t speculative_guards() const override { return guards_; }
+
+  const IrFunction& ir() const { return ir_; }
+
+ private:
+  IrFunction ir_;
+  uint64_t guards_;
+};
+
+class LirCompiledMethod : public CompiledMethod {
+ public:
+  explicit LirCompiledMethod(LirFunction lir) : lir_(std::move(lir)) {}
+
+  CompiledExecResult Execute(Vm& vm, std::vector<int64_t> locals) override {
+    return ExecuteLir(vm, lir_, std::move(locals));
+  }
+
+  int level() const override { return lir_.level; }
+  int32_t osr_pc() const override { return lir_.osr_pc; }
+  uint64_t speculative_guards() const override { return lir_.speculative_guards; }
+
+ private:
+  LirFunction lir_;
+};
+
+class TieredJitCompiler : public JitCompilerApi {
+ public:
+  std::shared_ptr<CompiledMethod> Compile(Vm& vm, int func, int level,
+                                          int32_t osr_pc) override {
+    uint64_t guards = 0;
+    IrFunction ir = CompileToIr(vm.program(), func, level, osr_pc, vm.config(), &vm.bugs(),
+                                &vm.runtime(func), &guards);
+    const TierSpec& tier = vm.config().tiers[static_cast<size_t>(level) - 1];
+    if (tier.full_optimization && vm.config().lir_backend) {
+      // The optimizing tier goes all the way down: lowering + register allocation + the
+      // register-machine executor (hosts the codegen/regalloc defect classes).
+      LirFunction lir = LowerToLir(ir, &vm.bugs());
+      lir.speculative_guards = guards;
+      return std::make_shared<LirCompiledMethod>(std::move(lir));
+    }
+    return std::make_shared<IrCompiledMethod>(std::move(ir), guards);
+  }
+
+  uint64_t CompileCostSteps(const Vm& vm, int func) const override {
+    const auto& code = vm.program().functions[static_cast<size_t>(func)].code;
+    return 200 + 40 * static_cast<uint64_t>(code.size());
+  }
+};
+
+}  // namespace
+
+IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t osr_pc,
+                       const VmConfig& config, BugRegistry* bugs, const MethodRuntime* runtime,
+                       uint64_t* guards_planted) {
+  JAG_CHECK(level >= 1 && static_cast<size_t>(level) <= config.tiers.size());
+  const TierSpec& tier = config.tiers[static_cast<size_t>(level) - 1];
+
+  PassContext ctx;
+  ctx.program = &program;
+  ctx.bugs = bugs;
+  ctx.runtime = runtime;
+  ctx.config = &config;
+  ctx.tier = &tier;
+
+  IrFunction ir = BuildIr(program, func, level, osr_pc, bugs);
+  ir.profile_backedges = tier.profiles;
+
+  // With JAGUAR_VALIDATE_PASSES set, the IR is structurally validated after every pass and a
+  // violation names the offending pass — the standard way to debug pass ordering issues.
+  static const bool validate_each = std::getenv("JAGUAR_VALIDATE_PASSES") != nullptr;
+  auto run = [&](void (*pass)(IrFunction&, const PassContext&), const char* pass_name) {
+    pass(ir, ctx);
+    if (validate_each) {
+      try {
+        ValidateIr(ir);
+      } catch (const InternalError& e) {
+        throw InternalError(std::string("after pass ") + pass_name + ": " + e.what());
+      }
+    }
+  };
+
+  // Quick tier: cleanup only.
+  run(SimplifyCfgPass, "simplify-cfg");
+  run(CopyPropagationPass, "copy-propagation");
+  run(ConstantFoldingPass, "constant-folding");
+  run(DcePass, "dce");
+
+  if (tier.full_optimization) {
+    run(InliningPass, "inlining");
+    run(CopyPropagationPass, "copy-propagation");
+    run(ConstantFoldingPass, "constant-folding");
+    run(GvnPass, "gvn");
+    run(DcePass, "dce");
+    run(LicmPass, "licm");
+    run(StrengthReductionPass, "strength-reduction");
+    run(RangeCheckElimPass, "range-check-elimination");
+    if (tier.speculate) {
+      run(SpeculationPass, "speculation");
+    }
+    run(StoreSinkPass, "store-sink");
+    run(SimplifyCfgPass, "simplify-cfg");
+    run(LoopPeelPass, "loop-peel");
+    run(ConstantFoldingPass, "constant-folding");
+    run(DcePass, "dce");
+  }
+
+  run(SimplifyCfgPass, "simplify-cfg");
+  ValidateIr(ir);
+
+  if (guards_planted != nullptr) {
+    *guards_planted = ctx.guards_planted;
+  }
+  return ir;
+}
+
+std::unique_ptr<JitCompilerApi> MakeTieredJitCompiler() {
+  return std::make_unique<TieredJitCompiler>();
+}
+
+}  // namespace jaguar

@@ -1,0 +1,35 @@
+// The tiered JIT compiler: bytecode → HIR → optimization pipeline → executable artifact.
+//
+// Tier 1 ("quick", C1-like) runs cleanup passes only; tier 2 ("full", C2-like) additionally
+// runs inlining, GVN, LICM, strength reduction, profile-guided speculation, global store
+// motion, range-check elimination, and loop peeling. The tier layout per VM comes from
+// VmConfig::tiers (vm/config.h).
+
+#ifndef SRC_JAGUAR_JIT_PIPELINE_H_
+#define SRC_JAGUAR_JIT_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/jit/ir.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/jit_api.h"
+#include "src/jaguar/vm/profile.h"
+
+namespace jaguar {
+
+// Creates the production compiler used by the engine.
+std::unique_ptr<JitCompilerApi> MakeTieredJitCompiler();
+
+// Compilation front door, exposed for tests and offline inspection: builds and optimizes the
+// IR without wrapping it in a CompiledMethod. `guards_planted` (optional) receives the number
+// of speculative guards. Throws VmCrash for injected compile-time defects.
+IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t osr_pc,
+                       const VmConfig& config, BugRegistry* bugs, const MethodRuntime* runtime,
+                       uint64_t* guards_planted);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_PIPELINE_H_

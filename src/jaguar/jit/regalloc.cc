@@ -1,0 +1,125 @@
+#include "src/jaguar/jit/regalloc.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+void ExtendIntervalsAcrossLoops(std::vector<LiveInterval>& intervals,
+                                const std::vector<LinearLoop>& loops, BugRegistry* bugs) {
+  if (std::getenv("JAG_DBG_RA") != nullptr) {
+    for (const auto& loop : loops) {
+      fprintf(stderr, "RA loop [%d,%d] len=%d\n", loop.start, loop.end, loop.end - loop.start);
+    }
+  }
+
+  // Injected defect kRegAllocEarlyFree: pick the earliest-starting interval that is live into
+  // a long loop under register pressure and "forget" to extend it. Being earliest, it is
+  // all but guaranteed a register by linear scan — which then hands that register to the
+  // first value defined after the un-extended end, clobbering the loop-carried value on the
+  // next iteration.
+  int32_t victim = -1;
+  if (bugs != nullptr && bugs->Enabled(BugId::kRegAllocEarlyFree)) {
+    for (const auto& interval : intervals) {
+      if (!interval.Valid()) {
+        continue;
+      }
+      for (const auto& loop : loops) {
+        if (loop.end - loop.start <= 24 || interval.start >= loop.start ||
+            interval.end < loop.start || interval.end >= loop.end) {
+          continue;
+        }
+        int live_here = 0;
+        for (const auto& other : intervals) {
+          if (other.Valid() && other.start <= loop.start && other.end >= loop.start) {
+            ++live_here;
+          }
+        }
+        if (live_here > 8 &&
+            (victim < 0 || interval.start < intervals[static_cast<size_t>(victim)].start ||
+             (interval.start == intervals[static_cast<size_t>(victim)].start &&
+              interval.vreg < intervals[static_cast<size_t>(victim)].vreg))) {
+          victim = interval.vreg;
+        }
+      }
+    }
+    if (victim >= 0) {
+      bugs->Fire(BugId::kRegAllocEarlyFree);
+      if (std::getenv("JAG_DBG_RA") != nullptr) {
+        fprintf(stderr, "RA bug: never extending v%d\n", victim);
+      }
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& interval : intervals) {
+      if (!interval.Valid() || interval.vreg == victim) {
+        continue;
+      }
+      for (const auto& loop : loops) {
+        // Live on loop entry (defined before, still live inside) but not through the end:
+        // the value must survive the whole loop.
+        if (interval.start < loop.start && interval.end >= loop.start &&
+            interval.end < loop.end) {
+          interval.end = loop.end;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+AllocationResult LinearScan(std::vector<LiveInterval> intervals, int32_t num_vregs) {
+  AllocationResult result;
+  result.loc_of_vreg.assign(static_cast<size_t>(num_vregs), Loc::None());
+
+  std::sort(intervals.begin(), intervals.end(), [](const LiveInterval& a, const LiveInterval& b) {
+    return a.start != b.start ? a.start < b.start : a.vreg < b.vreg;
+  });
+
+  struct Active {
+    int32_t end;
+    int32_t reg;
+  };
+  std::vector<Active> active;  // sorted by end ascending
+  std::vector<int32_t> free_regs;
+  for (int32_t r = kNumLirRegs - 1; r >= 0; --r) {
+    free_regs.push_back(r);  // pop_back hands out r0 first
+  }
+
+  for (const auto& interval : intervals) {
+    if (!interval.Valid()) {
+      continue;
+    }
+    // Expire: an interval whose last event is at or before this start releases its register
+    // (same-index overlap is fine — operands are read before destinations are written).
+    size_t kept = 0;
+    for (const auto& a : active) {
+      if (a.end <= interval.start) {
+        free_regs.push_back(a.reg);
+      } else {
+        active[kept++] = a;
+      }
+    }
+    active.resize(kept);
+
+    if (!free_regs.empty()) {
+      const int32_t reg = free_regs.back();
+      free_regs.pop_back();
+      result.loc_of_vreg[static_cast<size_t>(interval.vreg)] = Loc::Reg(reg);
+      active.push_back(Active{interval.end, reg});
+      std::sort(active.begin(), active.end(),
+                [](const Active& a, const Active& b) { return a.end < b.end; });
+    } else {
+      result.loc_of_vreg[static_cast<size_t>(interval.vreg)] = Loc::Spill(result.num_spills++);
+    }
+  }
+  return result;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,48 @@
+// Linear-scan register allocation over linearized virtual-register code.
+
+#ifndef SRC_JAGUAR_JIT_REGALLOC_H_
+#define SRC_JAGUAR_JIT_REGALLOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/jit/lir.h"
+
+namespace jaguar {
+
+// One virtual register's live interval over linear instruction indices, inclusive.
+struct LiveInterval {
+  int32_t vreg = -1;
+  int32_t start = INT32_MAX;
+  int32_t end = -1;
+
+  bool Valid() const { return vreg >= 0 && end >= start; }
+};
+
+struct AllocationResult {
+  std::vector<Loc> loc_of_vreg;  // indexed by vreg
+  int32_t num_spills = 0;
+};
+
+// A loop region in the linear layout: [header_index, backedge_index].
+struct LinearLoop {
+  int32_t start = 0;
+  int32_t end = 0;
+};
+
+// Extends intervals across loops: a value live on loop entry stays live through the whole
+// loop (its register must survive every iteration). Hosts kRegAllocEarlyFree: under register
+// pressure one qualifying interval is "forgotten" and keeps its un-extended range, so its
+// register gets reused inside the loop and the loop-carried value is clobbered.
+void ExtendIntervalsAcrossLoops(std::vector<LiveInterval>& intervals,
+                                const std::vector<LinearLoop>& loops, BugRegistry* bugs);
+
+// Greedy linear scan over kNumLirRegs registers; intervals that do not fit get spill slots.
+// Expiry uses `end <= start` (an operand read and a result write may share a register within
+// one instruction — the executor reads all operands before writing the destination).
+AllocationResult LinearScan(std::vector<LiveInterval> intervals, int32_t num_vregs);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_REGALLOC_H_

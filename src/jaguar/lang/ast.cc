@@ -1,0 +1,323 @@
+#include "src/jaguar/lang/ast.h"
+
+#include <utility>
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+std::string TypeName(Type t) {
+  switch (t.kind) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kLong: return "long";
+    case TypeKind::kBool: return "boolean";
+    case TypeKind::kArray:
+      return TypeName(Type{t.elem, TypeKind::kVoid}) + "[]";
+  }
+  return "<bad type>";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->line = line;
+  out->type = type;
+  out->int_value = int_value;
+  out->name = name;
+  out->binding = binding;
+  out->binding_index = binding_index;
+  out->bin_op = bin_op;
+  out->un_op = un_op;
+  out->type_operand = type_operand;
+  out->children.reserve(children.size());
+  for (const auto& c : children) {
+    out->children.push_back(c->Clone());
+  }
+  return out;
+}
+
+StmtPtr Stmt::Clone() const {
+  auto out = std::make_unique<Stmt>();
+  out->kind = kind;
+  out->line = line;
+  out->decl_type = decl_type;
+  out->name = name;
+  out->local_id = local_id;
+  out->assign_op = assign_op;
+  out->has_for_init = has_for_init;
+  out->has_for_update = has_for_update;
+  out->synthesized = synthesized;
+  out->exprs.reserve(exprs.size());
+  for (const auto& e : exprs) {
+    out->exprs.push_back(e->Clone());
+  }
+  out->stmts.reserve(stmts.size());
+  for (const auto& s : stmts) {
+    out->stmts.push_back(s->Clone());
+  }
+  out->arms.reserve(arms.size());
+  for (const auto& a : arms) {
+    SwitchArm arm;
+    arm.is_default = a.is_default;
+    arm.value = a.value;
+    arm.stmts.reserve(a.stmts.size());
+    for (const auto& s : a.stmts) {
+      arm.stmts.push_back(s->Clone());
+    }
+    out->arms.push_back(std::move(arm));
+  }
+  return out;
+}
+
+std::unique_ptr<FuncDecl> FuncDecl::Clone() const {
+  auto out = std::make_unique<FuncDecl>();
+  out->name = name;
+  out->ret = ret;
+  out->params = params;
+  out->body = body->Clone();
+  out->num_locals = num_locals;
+  return out;
+}
+
+Program Program::Clone() const {
+  Program out;
+  out.globals.reserve(globals.size());
+  for (const auto& g : globals) {
+    GlobalDecl gd;
+    gd.type = g.type;
+    gd.name = g.name;
+    gd.init = g.init ? g.init->Clone() : nullptr;
+    out.globals.push_back(std::move(gd));
+  }
+  out.functions.reserve(functions.size());
+  for (const auto& f : functions) {
+    out.functions.push_back(f->Clone());
+  }
+  return out;
+}
+
+FuncDecl* Program::FindFunction(const std::string& fn_name) {
+  for (auto& f : functions) {
+    if (f->name == fn_name) {
+      return f.get();
+    }
+  }
+  return nullptr;
+}
+
+const FuncDecl* Program::FindFunction(const std::string& fn_name) const {
+  for (const auto& f : functions) {
+    if (f->name == fn_name) {
+      return f.get();
+    }
+  }
+  return nullptr;
+}
+
+int Program::FunctionIndex(const std::string& fn_name) const {
+  for (size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i]->name == fn_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+namespace {
+ExprPtr NewExpr(ExprKind kind) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  return e;
+}
+StmtPtr NewStmt(StmtKind kind) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  return s;
+}
+}  // namespace
+
+ExprPtr MakeIntLit(int64_t v) {
+  auto e = NewExpr(ExprKind::kIntLit);
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr MakeLongLit(int64_t v) {
+  auto e = NewExpr(ExprKind::kLongLit);
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr MakeBoolLit(bool v) {
+  auto e = NewExpr(ExprKind::kBoolLit);
+  e->int_value = v ? 1 : 0;
+  return e;
+}
+
+ExprPtr MakeVarRef(std::string name) {
+  auto e = NewExpr(ExprKind::kVarRef);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = NewExpr(ExprKind::kBinary);
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(UnOp op, ExprPtr operand) {
+  auto e = NewExpr(ExprKind::kUnary);
+  e->un_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeTernary(ExprPtr cond, ExprPtr then_e, ExprPtr else_e) {
+  auto e = NewExpr(ExprKind::kTernary);
+  e->children.push_back(std::move(cond));
+  e->children.push_back(std::move(then_e));
+  e->children.push_back(std::move(else_e));
+  return e;
+}
+
+ExprPtr MakeCall(std::string callee, std::vector<ExprPtr> args) {
+  auto e = NewExpr(ExprKind::kCall);
+  e->name = std::move(callee);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr MakeIndex(ExprPtr array, ExprPtr index) {
+  auto e = NewExpr(ExprKind::kIndex);
+  e->children.push_back(std::move(array));
+  e->children.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr MakeLength(ExprPtr array) {
+  auto e = NewExpr(ExprKind::kLength);
+  e->children.push_back(std::move(array));
+  return e;
+}
+
+ExprPtr MakeNewArray(TypeKind elem, ExprPtr size) {
+  auto e = NewExpr(ExprKind::kNewArray);
+  e->type_operand = Type::ArrayOf(elem);
+  e->children.push_back(std::move(size));
+  return e;
+}
+
+ExprPtr MakeNewArrayInit(TypeKind elem, std::vector<ExprPtr> elems) {
+  auto e = NewExpr(ExprKind::kNewArrayInit);
+  e->type_operand = Type::ArrayOf(elem);
+  e->children = std::move(elems);
+  return e;
+}
+
+ExprPtr MakeCast(Type to, ExprPtr operand) {
+  JAG_CHECK(to.IsNumeric());
+  auto e = NewExpr(ExprKind::kCast);
+  e->type_operand = to;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+StmtPtr MakeVarDecl(Type t, std::string name, ExprPtr init) {
+  auto s = NewStmt(StmtKind::kVarDecl);
+  s->decl_type = t;
+  s->name = std::move(name);
+  if (init) {
+    s->exprs.push_back(std::move(init));
+  }
+  return s;
+}
+
+StmtPtr MakeAssign(AssignOp op, ExprPtr lvalue, ExprPtr value) {
+  auto s = NewStmt(StmtKind::kAssign);
+  s->assign_op = op;
+  s->exprs.push_back(std::move(lvalue));
+  s->exprs.push_back(std::move(value));
+  return s;
+}
+
+StmtPtr MakeExprStmt(ExprPtr call) {
+  auto s = NewStmt(StmtKind::kExprStmt);
+  s->exprs.push_back(std::move(call));
+  return s;
+}
+
+StmtPtr MakeIf(ExprPtr cond, StmtPtr then_s, StmtPtr else_s) {
+  auto s = NewStmt(StmtKind::kIf);
+  s->exprs.push_back(std::move(cond));
+  s->stmts.push_back(std::move(then_s));
+  if (else_s) {
+    s->stmts.push_back(std::move(else_s));
+  }
+  return s;
+}
+
+StmtPtr MakeWhile(ExprPtr cond, StmtPtr body) {
+  auto s = NewStmt(StmtKind::kWhile);
+  s->exprs.push_back(std::move(cond));
+  s->stmts.push_back(std::move(body));
+  return s;
+}
+
+StmtPtr MakeFor(StmtPtr init, ExprPtr cond, StmtPtr update, StmtPtr body) {
+  auto s = NewStmt(StmtKind::kFor);
+  s->has_for_init = init != nullptr;
+  s->has_for_update = update != nullptr;
+  if (cond) {
+    s->exprs.push_back(std::move(cond));
+  }
+  if (init) {
+    s->stmts.push_back(std::move(init));
+  }
+  if (update) {
+    s->stmts.push_back(std::move(update));
+  }
+  s->stmts.push_back(std::move(body));
+  return s;
+}
+
+StmtPtr MakeBreak() { return NewStmt(StmtKind::kBreak); }
+StmtPtr MakeContinue() { return NewStmt(StmtKind::kContinue); }
+
+StmtPtr MakeReturn(ExprPtr value) {
+  auto s = NewStmt(StmtKind::kReturn);
+  if (value) {
+    s->exprs.push_back(std::move(value));
+  }
+  return s;
+}
+
+StmtPtr MakeBlock(std::vector<StmtPtr> stmts) {
+  auto s = NewStmt(StmtKind::kBlock);
+  s->stmts = std::move(stmts);
+  return s;
+}
+
+StmtPtr MakePrint(ExprPtr value) {
+  auto s = NewStmt(StmtKind::kPrint);
+  s->exprs.push_back(std::move(value));
+  return s;
+}
+
+StmtPtr MakeMute(bool on) {
+  auto s = NewStmt(StmtKind::kMute);
+  s->local_id = on ? 1 : 0;  // reuses the spare int field as the on/off flag
+  return s;
+}
+
+StmtPtr MakeTryCatch(StmtPtr try_block, StmtPtr catch_block) {
+  auto s = NewStmt(StmtKind::kTryCatch);
+  s->stmts.push_back(std::move(try_block));
+  s->stmts.push_back(std::move(catch_block));
+  return s;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,234 @@
+// Abstract syntax tree for Jaguar.
+//
+// The AST is the substrate JoNM mutates: Artemis parses a seed, clones the tree, splices
+// synthesized loops into blocks, and pretty-prints the result (DESIGN.md §2). Nodes are owned
+// through std::unique_ptr; every node supports deep Clone(). Type/binding annotations are
+// filled in by the type checker (typecheck.h) and consumed by the bytecode compiler.
+
+#ifndef SRC_JAGUAR_LANG_AST_H_
+#define SRC_JAGUAR_LANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/lang/types.h"
+
+namespace jaguar {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kLongLit,
+  kBoolLit,
+  kVarRef,
+  kBinary,
+  kUnary,
+  kTernary,
+  kCall,
+  kIndex,     // a[i]
+  kLength,    // a.length
+  kNewArray,  // new int[n]
+  kNewArrayInit,  // new int[] {e0, e1, ...}
+  kCast,      // (int) e  /  (long) e
+};
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kShl, kShr, kUshr,
+  kBitAnd, kBitOr, kBitXor,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLogAnd, kLogOr,  // short-circuit
+};
+
+enum class UnOp : uint8_t { kNeg, kNot, kBitNot };
+
+// Where a variable reference resolved to; assigned by the type checker.
+enum class VarBinding : uint8_t { kUnresolved, kLocal, kGlobal };
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // Filled by the type checker.
+  Type type = Type::Void();
+
+  // kIntLit / kLongLit: value. kBoolLit: 0 or 1.
+  int64_t int_value = 0;
+
+  // kVarRef: name + resolved binding. kCall: callee name + resolved function index.
+  std::string name;
+  VarBinding binding = VarBinding::kUnresolved;
+  int binding_index = -1;  // local id or global index (kVarRef), function index (kCall)
+
+  // kBinary / kUnary.
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+
+  // Child expressions. Layout by kind:
+  //   kBinary: {lhs, rhs}; kUnary: {operand}; kTernary: {cond, then, else};
+  //   kCall: arguments; kIndex: {array, index}; kLength: {array};
+  //   kNewArray: {size}; kNewArrayInit: elements; kCast: {operand}.
+  std::vector<ExprPtr> children;
+
+  // kNewArray / kNewArrayInit: element kind. kCast: target type in `type_operand`.
+  Type type_operand = Type::Void();
+
+  ExprPtr Clone() const;
+};
+
+// Convenience constructors (used heavily by the fuzzer and the synthesizer).
+ExprPtr MakeIntLit(int64_t v);
+ExprPtr MakeLongLit(int64_t v);
+ExprPtr MakeBoolLit(bool v);
+ExprPtr MakeVarRef(std::string name);
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnOp op, ExprPtr operand);
+ExprPtr MakeTernary(ExprPtr cond, ExprPtr then_e, ExprPtr else_e);
+ExprPtr MakeCall(std::string callee, std::vector<ExprPtr> args);
+ExprPtr MakeIndex(ExprPtr array, ExprPtr index);
+ExprPtr MakeLength(ExprPtr array);
+ExprPtr MakeNewArray(TypeKind elem, ExprPtr size);
+ExprPtr MakeNewArrayInit(TypeKind elem, std::vector<ExprPtr> elems);
+ExprPtr MakeCast(Type to, ExprPtr operand);
+
+enum class StmtKind : uint8_t {
+  kVarDecl,
+  kAssign,    // lvalue op= value; ++/-- are parsed into this form
+  kExprStmt,  // call expression evaluated for effect
+  kIf,
+  kWhile,
+  kFor,
+  kSwitch,
+  kBreak,
+  kContinue,
+  kReturn,
+  kBlock,
+  kPrint,
+  kMute,      // mute(true/false): suppress/restore program output (JoNM neutrality wrapper)
+  kTryCatch,  // try { ... } catch { ... } — catches every runtime trap, no binding
+};
+
+enum class AssignOp : uint8_t {
+  kAssign, kAddAssign, kSubAssign, kMulAssign, kDivAssign, kRemAssign,
+  kAndAssign, kOrAssign, kXorAssign, kShlAssign, kShrAssign, kUshrAssign,
+};
+
+// One `case N:` arm of a switch; `stmts` runs into the next arm unless it breaks (Java
+// fall-through semantics). A default arm has `is_default` set.
+struct SwitchArm {
+  bool is_default = false;
+  int64_t value = 0;
+  std::vector<StmtPtr> stmts;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  // kVarDecl: declared type/name (+ optional init in exprs[0]); local id from the checker.
+  Type decl_type = Type::Void();
+  std::string name;
+  int local_id = -1;
+
+  // kAssign: op; lvalue in exprs[0] (kVarRef or kIndex), value in exprs[1].
+  AssignOp assign_op = AssignOp::kAssign;
+
+  // Expressions by kind:
+  //   kVarDecl: {init?}; kAssign: {lvalue, value}; kExprStmt: {call};
+  //   kIf / kWhile: {cond}; kFor: {cond?}; kSwitch: {subject};
+  //   kReturn: {value?}; kPrint: {value}.
+  std::vector<ExprPtr> exprs;
+
+  // Nested statements by kind:
+  //   kIf: {then, else?}; kWhile: {body}; kFor: {init?, update?, body} — see for_* flags;
+  //   kBlock: statements; kTryCatch: {try_block, catch_block}.
+  std::vector<StmtPtr> stmts;
+
+  // kFor bookkeeping: which optional clauses exist. stmts layout is
+  //   [init (if has_for_init)] [update (if has_for_update)] [body]  — body is always last.
+  bool has_for_init = false;
+  bool has_for_update = false;
+
+  // Marks code spliced in by JoNM. Later mutations of the same mutant never descend into
+  // synthesized regions (nesting synthesized loops would square their cost), and MI never
+  // treats a synthesized pre-invocation as a "real" call site.
+  bool synthesized = false;
+
+  // kSwitch.
+  std::vector<SwitchArm> arms;
+
+  StmtPtr Clone() const;
+
+  // kFor accessors.
+  Stmt* ForInit() { return has_for_init ? stmts[0].get() : nullptr; }
+  Stmt* ForUpdate() { return has_for_update ? stmts[has_for_init ? 1 : 0].get() : nullptr; }
+  Stmt* ForBody() { return stmts.back().get(); }
+  const Stmt* ForInit() const { return has_for_init ? stmts[0].get() : nullptr; }
+  const Stmt* ForUpdate() const {
+    return has_for_update ? stmts[has_for_init ? 1 : 0].get() : nullptr;
+  }
+  const Stmt* ForBody() const { return stmts.back().get(); }
+};
+
+StmtPtr MakeVarDecl(Type t, std::string name, ExprPtr init);
+StmtPtr MakeAssign(AssignOp op, ExprPtr lvalue, ExprPtr value);
+StmtPtr MakeExprStmt(ExprPtr call);
+StmtPtr MakeIf(ExprPtr cond, StmtPtr then_s, StmtPtr else_s);
+StmtPtr MakeWhile(ExprPtr cond, StmtPtr body);
+StmtPtr MakeFor(StmtPtr init, ExprPtr cond, StmtPtr update, StmtPtr body);
+StmtPtr MakeBreak();
+StmtPtr MakeContinue();
+StmtPtr MakeReturn(ExprPtr value);
+StmtPtr MakeBlock(std::vector<StmtPtr> stmts);
+StmtPtr MakePrint(ExprPtr value);
+StmtPtr MakeMute(bool on);
+StmtPtr MakeTryCatch(StmtPtr try_block, StmtPtr catch_block);
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+struct FuncDecl {
+  std::string name;
+  Type ret = Type::Void();
+  std::vector<Param> params;
+  StmtPtr body;  // always a kBlock
+
+  // Filled by the type checker: number of distinct local slots (params included).
+  int num_locals = 0;
+
+  std::unique_ptr<FuncDecl> Clone() const;
+};
+
+struct GlobalDecl {
+  Type type;
+  std::string name;
+  ExprPtr init;  // may be null: zero/false/empty-array default
+};
+
+// A whole Jaguar program: globals ("static fields") plus free functions ("static methods").
+// Execution starts at `main()`, which takes no parameters and returns int or void.
+struct Program {
+  std::vector<GlobalDecl> globals;
+  std::vector<std::unique_ptr<FuncDecl>> functions;
+
+  Program() = default;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  Program Clone() const;
+  FuncDecl* FindFunction(const std::string& name);
+  const FuncDecl* FindFunction(const std::string& name) const;
+  int FunctionIndex(const std::string& name) const;  // -1 if absent
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_LANG_AST_H_

@@ -1,0 +1,256 @@
+#include "src/jaguar/lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace jaguar {
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& KeywordMap() {
+  static const auto* map = new std::unordered_map<std::string_view, Tok>{
+      {"int", Tok::kKwInt},         {"long", Tok::kKwLong},       {"boolean", Tok::kKwBoolean},
+      {"void", Tok::kKwVoid},       {"true", Tok::kKwTrue},       {"false", Tok::kKwFalse},
+      {"if", Tok::kKwIf},           {"else", Tok::kKwElse},       {"while", Tok::kKwWhile},
+      {"for", Tok::kKwFor},         {"switch", Tok::kKwSwitch},   {"case", Tok::kKwCase},
+      {"default", Tok::kKwDefault}, {"break", Tok::kKwBreak},     {"continue", Tok::kKwContinue},
+      {"return", Tok::kKwReturn},   {"new", Tok::kKwNew},         {"try", Tok::kKwTry},
+      {"catch", Tok::kKwCatch},     {"print", Tok::kKwPrint},      {"mute", Tok::kKwMute},
+  };
+  return *map;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool Match(char expected) {
+    if (Peek() == expected) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view source) {
+  std::vector<Token> out;
+  Cursor cur(source);
+
+  auto push = [&](Tok kind, int line, int col) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.col = col;
+    out.push_back(std::move(t));
+  };
+
+  while (!cur.AtEnd()) {
+    const int line = cur.line();
+    const int col = cur.col();
+    const char c = cur.Advance();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      continue;
+    }
+
+    if (c == '/' && cur.Peek() == '/') {
+      while (!cur.AtEnd() && cur.Peek() != '\n') {
+        cur.Advance();
+      }
+      continue;
+    }
+    if (c == '/' && cur.Peek() == '*') {
+      cur.Advance();
+      while (!cur.AtEnd() && !(cur.Peek() == '*' && cur.Peek(1) == '/')) {
+        cur.Advance();
+      }
+      if (cur.AtEnd()) {
+        throw SyntaxError("unterminated block comment", line, col);
+      }
+      cur.Advance();
+      cur.Advance();
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t value = static_cast<uint64_t>(c - '0');
+      bool overflow = false;
+      while (std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+        const uint64_t digit = static_cast<uint64_t>(cur.Advance() - '0');
+        if (value > (UINT64_MAX - digit) / 10) {
+          overflow = true;
+        }
+        value = value * 10 + digit;
+      }
+      if (overflow) {
+        throw SyntaxError("integer literal too large", line, col);
+      }
+      Token t;
+      t.line = line;
+      t.col = col;
+      t.int_value = value;
+      if (cur.Peek() == 'L' || cur.Peek() == 'l') {
+        cur.Advance();
+        t.kind = Tok::kLongLit;
+        if (value > static_cast<uint64_t>(INT64_MAX)) {
+          throw SyntaxError("long literal out of range", line, col);
+        }
+      } else {
+        t.kind = Tok::kIntLit;
+        // The lexer permits up to INT64_MAX; the type checker enforces the int range so the
+        // parser can still fold `-2147483648`-style spellings if it ever needs to.
+        if (value > static_cast<uint64_t>(INT64_MAX)) {
+          throw SyntaxError("int literal out of range", line, col);
+        }
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name(1, c);
+      while (std::isalnum(static_cast<unsigned char>(cur.Peek())) || cur.Peek() == '_') {
+        name.push_back(cur.Advance());
+      }
+      const auto& kw = KeywordMap();
+      auto it = kw.find(name);
+      Token t;
+      t.line = line;
+      t.col = col;
+      if (it != kw.end()) {
+        t.kind = it->second;
+      } else {
+        t.kind = Tok::kIdent;
+        t.text = std::move(name);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    switch (c) {
+      case '(': push(Tok::kLParen, line, col); break;
+      case ')': push(Tok::kRParen, line, col); break;
+      case '{': push(Tok::kLBrace, line, col); break;
+      case '}': push(Tok::kRBrace, line, col); break;
+      case '[': push(Tok::kLBracket, line, col); break;
+      case ']': push(Tok::kRBracket, line, col); break;
+      case ';': push(Tok::kSemi, line, col); break;
+      case ',': push(Tok::kComma, line, col); break;
+      case ':': push(Tok::kColon, line, col); break;
+      case '?': push(Tok::kQuestion, line, col); break;
+      case '.': push(Tok::kDot, line, col); break;
+      case '~': push(Tok::kTilde, line, col); break;
+      case '+':
+        if (cur.Match('+')) {
+          push(Tok::kPlusPlus, line, col);
+        } else if (cur.Match('=')) {
+          push(Tok::kPlusAssign, line, col);
+        } else {
+          push(Tok::kPlus, line, col);
+        }
+        break;
+      case '-':
+        if (cur.Match('-')) {
+          push(Tok::kMinusMinus, line, col);
+        } else if (cur.Match('=')) {
+          push(Tok::kMinusAssign, line, col);
+        } else {
+          push(Tok::kMinus, line, col);
+        }
+        break;
+      case '*':
+        push(cur.Match('=') ? Tok::kStarAssign : Tok::kStar, line, col);
+        break;
+      case '/':
+        push(cur.Match('=') ? Tok::kSlashAssign : Tok::kSlash, line, col);
+        break;
+      case '%':
+        push(cur.Match('=') ? Tok::kPercentAssign : Tok::kPercent, line, col);
+        break;
+      case '^':
+        push(cur.Match('=') ? Tok::kCaretAssign : Tok::kCaret, line, col);
+        break;
+      case '&':
+        if (cur.Match('&')) {
+          push(Tok::kAndAnd, line, col);
+        } else if (cur.Match('=')) {
+          push(Tok::kAmpAssign, line, col);
+        } else {
+          push(Tok::kAmp, line, col);
+        }
+        break;
+      case '|':
+        if (cur.Match('|')) {
+          push(Tok::kOrOr, line, col);
+        } else if (cur.Match('=')) {
+          push(Tok::kPipeAssign, line, col);
+        } else {
+          push(Tok::kPipe, line, col);
+        }
+        break;
+      case '!':
+        push(cur.Match('=') ? Tok::kNe : Tok::kBang, line, col);
+        break;
+      case '=':
+        push(cur.Match('=') ? Tok::kEq : Tok::kAssign, line, col);
+        break;
+      case '<':
+        if (cur.Match('<')) {
+          push(cur.Match('=') ? Tok::kShlAssign : Tok::kShl, line, col);
+        } else {
+          push(cur.Match('=') ? Tok::kLe : Tok::kLt, line, col);
+        }
+        break;
+      case '>':
+        if (cur.Peek() == '>' && cur.Peek(1) == '>') {
+          cur.Advance();
+          cur.Advance();
+          push(cur.Match('=') ? Tok::kUshrAssign : Tok::kUshr, line, col);
+        } else if (cur.Peek() == '>' && cur.Peek(1) == '=') {
+          cur.Advance();
+          cur.Advance();
+          push(Tok::kShrAssign, line, col);
+        } else if (cur.Match('>')) {
+          push(Tok::kShr, line, col);
+        } else {
+          push(cur.Match('=') ? Tok::kGe : Tok::kGt, line, col);
+        }
+        break;
+      default:
+        throw SyntaxError(std::string("unexpected character '") + c + "'", line, col);
+    }
+  }
+
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = cur.line();
+  eof.col = cur.col();
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,37 @@
+// Hand-written lexer for Jaguar source text.
+
+#ifndef SRC_JAGUAR_LANG_LEXER_H_
+#define SRC_JAGUAR_LANG_LEXER_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/jaguar/lang/token.h"
+
+namespace jaguar {
+
+// Raised on malformed source (lexing, parsing, or type checking). The message carries
+// line:col coordinates.
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& msg, int line, int col)
+      : std::runtime_error(msg + " at " + std::to_string(line) + ":" + std::to_string(col)),
+        line_(line),
+        col_(col) {}
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+// Tokenizes `source` in full. Throws SyntaxError on invalid input. The result always ends with
+// a kEof token. `//` line comments and `/* */` block comments are skipped.
+std::vector<Token> Lex(std::string_view source);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_LANG_LEXER_H_

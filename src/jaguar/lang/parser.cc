@@ -1,0 +1,652 @@
+#include "src/jaguar/lang/parser.h"
+
+#include <utility>
+
+#include "src/jaguar/lang/lexer.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+bool IsTypeStart(Tok t) {
+  return t == Tok::kKwInt || t == Tok::kKwLong || t == Tok::kKwBoolean;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Program ParseProgram() {
+    Program p;
+    while (!At(Tok::kEof)) {
+      ParseTopLevel(p);
+    }
+    return p;
+  }
+
+  std::vector<StmtPtr> ParseStatementsUntilEof() {
+    std::vector<StmtPtr> out;
+    while (!At(Tok::kEof)) {
+      out.push_back(ParseStmt());
+    }
+    return out;
+  }
+
+  ExprPtr ParseSingleExpression() {
+    ExprPtr e = ParseExpr();
+    Expect(Tok::kEof, "expression must end at end of input");
+    return e;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Peek(size_t ahead) const {
+    const size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool At(Tok t) const { return Cur().kind == t; }
+  Token Advance() { return toks_[pos_++]; }
+  bool Accept(Tok t) {
+    if (At(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Token Expect(Tok t, const char* context) {
+    if (!At(t)) {
+      Fail(std::string("expected '") + TokName(t) + "' (" + context + "), found '" +
+           TokName(Cur().kind) + "'");
+    }
+    return Advance();
+  }
+  [[noreturn]] void Fail(const std::string& msg) const {
+    throw SyntaxError(msg, Cur().line, Cur().col);
+  }
+
+  // --- Types -------------------------------------------------------------------------------
+
+  // type := ('int' | 'long' | 'boolean') '[]'?
+  Type ParseType() {
+    TypeKind base;
+    if (Accept(Tok::kKwInt)) {
+      base = TypeKind::kInt;
+    } else if (Accept(Tok::kKwLong)) {
+      base = TypeKind::kLong;
+    } else if (Accept(Tok::kKwBoolean)) {
+      base = TypeKind::kBool;
+    } else {
+      Fail("expected a type");
+    }
+    if (Accept(Tok::kLBracket)) {
+      Expect(Tok::kRBracket, "array type");
+      return Type::ArrayOf(base);
+    }
+    return Type{base, TypeKind::kVoid};
+  }
+
+  // --- Top level ---------------------------------------------------------------------------
+
+  void ParseTopLevel(Program& p) {
+    if (Accept(Tok::kKwVoid)) {
+      ParseFunctionRest(p, Type::Void());
+      return;
+    }
+    if (!IsTypeStart(Cur().kind)) {
+      Fail("expected a global or function declaration");
+    }
+    Type t = ParseType();
+    // Function if '(' follows the name; global otherwise.
+    if (Peek(1).kind == Tok::kLParen) {
+      ParseFunctionRest(p, t);
+      return;
+    }
+    Token name = Expect(Tok::kIdent, "global name");
+    GlobalDecl g;
+    g.type = t;
+    g.name = name.text;
+    if (Accept(Tok::kAssign)) {
+      g.init = ParseExpr();
+    }
+    Expect(Tok::kSemi, "global declaration");
+    p.globals.push_back(std::move(g));
+  }
+
+  void ParseFunctionRest(Program& p, Type ret) {
+    Token name = Expect(Tok::kIdent, "function name");
+    auto f = std::make_unique<FuncDecl>();
+    f->name = name.text;
+    f->ret = ret;
+    Expect(Tok::kLParen, "parameter list");
+    if (!At(Tok::kRParen)) {
+      do {
+        Param param;
+        param.type = ParseType();
+        param.name = Expect(Tok::kIdent, "parameter name").text;
+        f->params.push_back(std::move(param));
+      } while (Accept(Tok::kComma));
+    }
+    Expect(Tok::kRParen, "parameter list");
+    f->body = ParseBlock();
+    p.functions.push_back(std::move(f));
+  }
+
+  // --- Statements --------------------------------------------------------------------------
+
+  StmtPtr ParseBlock() {
+    const int line = Cur().line;
+    Expect(Tok::kLBrace, "block");
+    std::vector<StmtPtr> stmts;
+    while (!At(Tok::kRBrace)) {
+      if (At(Tok::kEof)) {
+        Fail("unterminated block");
+      }
+      stmts.push_back(ParseStmt());
+    }
+    Advance();  // '}'
+    auto b = MakeBlock(std::move(stmts));
+    b->line = line;
+    return b;
+  }
+
+  StmtPtr ParseStmt() {
+    const int line = Cur().line;
+    StmtPtr s;
+    switch (Cur().kind) {
+      case Tok::kLBrace:
+        s = ParseBlock();
+        break;
+      case Tok::kKwIf:
+        s = ParseIf();
+        break;
+      case Tok::kKwWhile:
+        s = ParseWhile();
+        break;
+      case Tok::kKwFor:
+        s = ParseFor();
+        break;
+      case Tok::kKwSwitch:
+        s = ParseSwitch();
+        break;
+      case Tok::kKwTry: {
+        Advance();
+        StmtPtr try_block = ParseBlock();
+        Expect(Tok::kKwCatch, "try statement");
+        StmtPtr catch_block = ParseBlock();
+        s = MakeTryCatch(std::move(try_block), std::move(catch_block));
+        break;
+      }
+      case Tok::kKwBreak:
+        Advance();
+        Expect(Tok::kSemi, "break");
+        s = MakeBreak();
+        break;
+      case Tok::kKwContinue:
+        Advance();
+        Expect(Tok::kSemi, "continue");
+        s = MakeContinue();
+        break;
+      case Tok::kKwReturn: {
+        Advance();
+        ExprPtr value;
+        if (!At(Tok::kSemi)) {
+          value = ParseExpr();
+        }
+        Expect(Tok::kSemi, "return");
+        s = MakeReturn(std::move(value));
+        break;
+      }
+      case Tok::kKwMute: {
+        Advance();
+        Expect(Tok::kLParen, "mute");
+        bool on;
+        if (Accept(Tok::kKwTrue)) {
+          on = true;
+        } else if (Accept(Tok::kKwFalse)) {
+          on = false;
+        } else {
+          Fail("mute() takes the literal true or false");
+        }
+        Expect(Tok::kRParen, "mute");
+        Expect(Tok::kSemi, "mute");
+        s = MakeMute(on);
+        break;
+      }
+      case Tok::kKwPrint: {
+        Advance();
+        Expect(Tok::kLParen, "print");
+        ExprPtr value = ParseExpr();
+        Expect(Tok::kRParen, "print");
+        Expect(Tok::kSemi, "print");
+        s = MakePrint(std::move(value));
+        break;
+      }
+      default:
+        if (IsTypeStart(Cur().kind)) {
+          s = ParseVarDecl();
+          Expect(Tok::kSemi, "variable declaration");
+        } else {
+          s = ParseSimpleStmt();
+          Expect(Tok::kSemi, "statement");
+        }
+        break;
+    }
+    s->line = line;
+    return s;
+  }
+
+  StmtPtr ParseVarDecl() {
+    Type t = ParseType();
+    Token name = Expect(Tok::kIdent, "variable name");
+    ExprPtr init;
+    if (Accept(Tok::kAssign)) {
+      init = ParseExpr();
+    }
+    return MakeVarDecl(t, name.text, std::move(init));
+  }
+
+  // Assignment (incl. compound and ++/--) or a call evaluated as a statement. No ';'.
+  StmtPtr ParseSimpleStmt() {
+    if (!At(Tok::kIdent)) {
+      Fail("expected a statement");
+    }
+    if (Peek(1).kind == Tok::kLParen) {
+      ExprPtr call = ParsePostfix();
+      if (call->kind != ExprKind::kCall) {
+        Fail("only calls may be used as expression statements");
+      }
+      return MakeExprStmt(std::move(call));
+    }
+    ExprPtr lvalue = ParsePostfix();
+    if (lvalue->kind != ExprKind::kVarRef && lvalue->kind != ExprKind::kIndex) {
+      Fail("assignment target must be a variable or array element");
+    }
+    AssignOp op;
+    switch (Cur().kind) {
+      case Tok::kAssign: op = AssignOp::kAssign; break;
+      case Tok::kPlusAssign: op = AssignOp::kAddAssign; break;
+      case Tok::kMinusAssign: op = AssignOp::kSubAssign; break;
+      case Tok::kStarAssign: op = AssignOp::kMulAssign; break;
+      case Tok::kSlashAssign: op = AssignOp::kDivAssign; break;
+      case Tok::kPercentAssign: op = AssignOp::kRemAssign; break;
+      case Tok::kAmpAssign: op = AssignOp::kAndAssign; break;
+      case Tok::kPipeAssign: op = AssignOp::kOrAssign; break;
+      case Tok::kCaretAssign: op = AssignOp::kXorAssign; break;
+      case Tok::kShlAssign: op = AssignOp::kShlAssign; break;
+      case Tok::kShrAssign: op = AssignOp::kShrAssign; break;
+      case Tok::kUshrAssign: op = AssignOp::kUshrAssign; break;
+      case Tok::kPlusPlus:
+        Advance();
+        return MakeAssign(AssignOp::kAddAssign, std::move(lvalue), MakeIntLit(1));
+      case Tok::kMinusMinus:
+        Advance();
+        return MakeAssign(AssignOp::kSubAssign, std::move(lvalue), MakeIntLit(1));
+      default:
+        Fail("expected an assignment operator");
+    }
+    Advance();
+    ExprPtr value = ParseExpr();
+    return MakeAssign(op, std::move(lvalue), std::move(value));
+  }
+
+  StmtPtr ParseIf() {
+    Expect(Tok::kKwIf, "if");
+    Expect(Tok::kLParen, "if condition");
+    ExprPtr cond = ParseExpr();
+    Expect(Tok::kRParen, "if condition");
+    StmtPtr then_s = ParseStmt();
+    StmtPtr else_s;
+    if (Accept(Tok::kKwElse)) {
+      else_s = ParseStmt();
+    }
+    return MakeIf(std::move(cond), std::move(then_s), std::move(else_s));
+  }
+
+  StmtPtr ParseWhile() {
+    Expect(Tok::kKwWhile, "while");
+    Expect(Tok::kLParen, "while condition");
+    ExprPtr cond = ParseExpr();
+    Expect(Tok::kRParen, "while condition");
+    StmtPtr body = ParseStmt();
+    return MakeWhile(std::move(cond), std::move(body));
+  }
+
+  StmtPtr ParseFor() {
+    Expect(Tok::kKwFor, "for");
+    Expect(Tok::kLParen, "for clauses");
+    StmtPtr init;
+    if (!At(Tok::kSemi)) {
+      init = IsTypeStart(Cur().kind) ? ParseVarDecl() : ParseSimpleStmt();
+    }
+    Expect(Tok::kSemi, "for clauses");
+    ExprPtr cond;
+    if (!At(Tok::kSemi)) {
+      cond = ParseExpr();
+    }
+    Expect(Tok::kSemi, "for clauses");
+    StmtPtr update;
+    if (!At(Tok::kRParen)) {
+      update = ParseSimpleStmt();
+    }
+    Expect(Tok::kRParen, "for clauses");
+    StmtPtr body;
+    if (Accept(Tok::kSemi)) {
+      body = MakeBlock({});  // `for (...);` — empty body, as in the paper's Figure 2
+    } else {
+      body = ParseStmt();
+    }
+    return MakeFor(std::move(init), std::move(cond), std::move(update), std::move(body));
+  }
+
+  StmtPtr ParseSwitch() {
+    Expect(Tok::kKwSwitch, "switch");
+    Expect(Tok::kLParen, "switch subject");
+    ExprPtr subject = ParseExpr();
+    Expect(Tok::kRParen, "switch subject");
+    Expect(Tok::kLBrace, "switch body");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kSwitch;
+    s->exprs.push_back(std::move(subject));
+    bool saw_default = false;
+    while (!At(Tok::kRBrace)) {
+      SwitchArm arm;
+      if (Accept(Tok::kKwCase)) {
+        bool neg = Accept(Tok::kMinus);
+        Token v = Advance();
+        if (v.kind != Tok::kIntLit) {
+          Fail("case label must be an int literal");
+        }
+        arm.value = neg ? -static_cast<int64_t>(v.int_value)
+                        : static_cast<int64_t>(v.int_value);
+        if (arm.value < INT32_MIN || arm.value > INT32_MAX) {
+          Fail("case label out of int range");
+        }
+      } else if (Accept(Tok::kKwDefault)) {
+        if (saw_default) {
+          Fail("duplicate default arm");
+        }
+        arm.is_default = true;
+        saw_default = true;
+      } else {
+        Fail("expected 'case' or 'default'");
+      }
+      Expect(Tok::kColon, "switch arm");
+      while (!At(Tok::kKwCase) && !At(Tok::kKwDefault) && !At(Tok::kRBrace)) {
+        if (At(Tok::kEof)) {
+          Fail("unterminated switch");
+        }
+        arm.stmts.push_back(ParseStmt());
+      }
+      s->arms.push_back(std::move(arm));
+    }
+    Advance();  // '}'
+    return s;
+  }
+
+  // --- Expressions (precedence ladder) ------------------------------------------------------
+
+  ExprPtr ParseExpr() { return ParseTernary(); }
+
+  ExprPtr ParseTernary() {
+    ExprPtr cond = ParseLogOr();
+    if (Accept(Tok::kQuestion)) {
+      ExprPtr then_e = ParseExpr();
+      Expect(Tok::kColon, "ternary");
+      ExprPtr else_e = ParseExpr();
+      return MakeTernary(std::move(cond), std::move(then_e), std::move(else_e));
+    }
+    return cond;
+  }
+
+  ExprPtr ParseLogOr() {
+    ExprPtr lhs = ParseLogAnd();
+    while (Accept(Tok::kOrOr)) {
+      lhs = MakeBinary(BinOp::kLogOr, std::move(lhs), ParseLogAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseLogAnd() {
+    ExprPtr lhs = ParseBitOr();
+    while (Accept(Tok::kAndAnd)) {
+      lhs = MakeBinary(BinOp::kLogAnd, std::move(lhs), ParseBitOr());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseBitOr() {
+    ExprPtr lhs = ParseBitXor();
+    while (Accept(Tok::kPipe)) {
+      lhs = MakeBinary(BinOp::kBitOr, std::move(lhs), ParseBitXor());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseBitXor() {
+    ExprPtr lhs = ParseBitAnd();
+    while (Accept(Tok::kCaret)) {
+      lhs = MakeBinary(BinOp::kBitXor, std::move(lhs), ParseBitAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseBitAnd() {
+    ExprPtr lhs = ParseEquality();
+    while (Accept(Tok::kAmp)) {
+      lhs = MakeBinary(BinOp::kBitAnd, std::move(lhs), ParseEquality());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseEquality() {
+    ExprPtr lhs = ParseRelational();
+    while (At(Tok::kEq) || At(Tok::kNe)) {
+      BinOp op = Advance().kind == Tok::kEq ? BinOp::kEq : BinOp::kNe;
+      lhs = MakeBinary(op, std::move(lhs), ParseRelational());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseRelational() {
+    ExprPtr lhs = ParseShift();
+    while (At(Tok::kLt) || At(Tok::kLe) || At(Tok::kGt) || At(Tok::kGe)) {
+      BinOp op;
+      switch (Advance().kind) {
+        case Tok::kLt: op = BinOp::kLt; break;
+        case Tok::kLe: op = BinOp::kLe; break;
+        case Tok::kGt: op = BinOp::kGt; break;
+        default: op = BinOp::kGe; break;
+      }
+      lhs = MakeBinary(op, std::move(lhs), ParseShift());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseShift() {
+    ExprPtr lhs = ParseAdditive();
+    while (At(Tok::kShl) || At(Tok::kShr) || At(Tok::kUshr)) {
+      BinOp op;
+      switch (Advance().kind) {
+        case Tok::kShl: op = BinOp::kShl; break;
+        case Tok::kShr: op = BinOp::kShr; break;
+        default: op = BinOp::kUshr; break;
+      }
+      lhs = MakeBinary(op, std::move(lhs), ParseAdditive());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr lhs = ParseMultiplicative();
+    while (At(Tok::kPlus) || At(Tok::kMinus)) {
+      BinOp op = Advance().kind == Tok::kPlus ? BinOp::kAdd : BinOp::kSub;
+      lhs = MakeBinary(op, std::move(lhs), ParseMultiplicative());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr lhs = ParseUnary();
+    while (At(Tok::kStar) || At(Tok::kSlash) || At(Tok::kPercent)) {
+      BinOp op;
+      switch (Advance().kind) {
+        case Tok::kStar: op = BinOp::kMul; break;
+        case Tok::kSlash: op = BinOp::kDiv; break;
+        default: op = BinOp::kRem; break;
+      }
+      lhs = MakeBinary(op, std::move(lhs), ParseUnary());
+    }
+    return lhs;
+  }
+
+  bool AtCast() const {
+    // `(` `int`|`long` `)` — array casts do not exist, so this lookahead suffices.
+    return At(Tok::kLParen) &&
+           (Peek(1).kind == Tok::kKwInt || Peek(1).kind == Tok::kKwLong) &&
+           Peek(2).kind == Tok::kRParen;
+  }
+
+  ExprPtr ParseUnary() {
+    if (Accept(Tok::kMinus)) {
+      return MakeUnary(UnOp::kNeg, ParseUnary());
+    }
+    if (Accept(Tok::kBang)) {
+      return MakeUnary(UnOp::kNot, ParseUnary());
+    }
+    if (Accept(Tok::kTilde)) {
+      return MakeUnary(UnOp::kBitNot, ParseUnary());
+    }
+    if (AtCast()) {
+      Advance();  // '('
+      Type to = Advance().kind == Tok::kKwInt ? Type::Int() : Type::Long();
+      Advance();  // ')'
+      return MakeCast(to, ParseUnary());
+    }
+    return ParsePostfix();
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr e = ParsePrimary();
+    for (;;) {
+      if (At(Tok::kLBracket)) {
+        Advance();
+        ExprPtr idx = ParseExpr();
+        Expect(Tok::kRBracket, "array index");
+        e = MakeIndex(std::move(e), std::move(idx));
+      } else if (At(Tok::kDot)) {
+        Advance();
+        Token field = Expect(Tok::kIdent, "member access");
+        if (field.text != "length") {
+          Fail("only '.length' is supported");
+        }
+        e = MakeLength(std::move(e));
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr ParsePrimary() {
+    const int line = Cur().line;
+    ExprPtr e;
+    switch (Cur().kind) {
+      case Tok::kIntLit: {
+        Token t = Advance();
+        e = MakeIntLit(static_cast<int64_t>(t.int_value));
+        break;
+      }
+      case Tok::kLongLit: {
+        Token t = Advance();
+        e = MakeLongLit(static_cast<int64_t>(t.int_value));
+        break;
+      }
+      case Tok::kKwTrue:
+        Advance();
+        e = MakeBoolLit(true);
+        break;
+      case Tok::kKwFalse:
+        Advance();
+        e = MakeBoolLit(false);
+        break;
+      case Tok::kLParen: {
+        Advance();
+        e = ParseExpr();
+        Expect(Tok::kRParen, "parenthesized expression");
+        break;
+      }
+      case Tok::kKwNew: {
+        Advance();
+        TypeKind base;
+        if (Accept(Tok::kKwInt)) {
+          base = TypeKind::kInt;
+        } else if (Accept(Tok::kKwLong)) {
+          base = TypeKind::kLong;
+        } else if (Accept(Tok::kKwBoolean)) {
+          base = TypeKind::kBool;
+        } else {
+          Fail("expected element type after 'new'");
+        }
+        Expect(Tok::kLBracket, "array allocation");
+        if (Accept(Tok::kRBracket)) {
+          // new T[] { e0, e1, ... }
+          Expect(Tok::kLBrace, "array initializer");
+          std::vector<ExprPtr> elems;
+          if (!At(Tok::kRBrace)) {
+            do {
+              elems.push_back(ParseExpr());
+            } while (Accept(Tok::kComma));
+          }
+          Expect(Tok::kRBrace, "array initializer");
+          e = MakeNewArrayInit(base, std::move(elems));
+        } else {
+          ExprPtr size = ParseExpr();
+          Expect(Tok::kRBracket, "array allocation");
+          e = MakeNewArray(base, std::move(size));
+        }
+        break;
+      }
+      case Tok::kIdent: {
+        Token name = Advance();
+        if (Accept(Tok::kLParen)) {
+          std::vector<ExprPtr> args;
+          if (!At(Tok::kRParen)) {
+            do {
+              args.push_back(ParseExpr());
+            } while (Accept(Tok::kComma));
+          }
+          Expect(Tok::kRParen, "call arguments");
+          e = MakeCall(name.text, std::move(args));
+        } else {
+          e = MakeVarRef(name.text);
+        }
+        break;
+      }
+      default:
+        Fail(std::string("expected an expression, found '") + TokName(Cur().kind) + "'");
+    }
+    e->line = line;
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program ParseProgram(std::string_view source) {
+  Parser p(Lex(source));
+  return p.ParseProgram();
+}
+
+std::vector<StmtPtr> ParseStatements(std::string_view source) {
+  Parser p(Lex(source));
+  return p.ParseStatementsUntilEof();
+}
+
+ExprPtr ParseExpression(std::string_view source) {
+  Parser p(Lex(source));
+  return p.ParseSingleExpression();
+}
+
+}  // namespace jaguar

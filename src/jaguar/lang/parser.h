@@ -1,0 +1,35 @@
+// Recursive-descent parser for Jaguar.
+//
+// Grammar sketch (Java-like; full precedence ladder in parser.cc):
+//   program    := (global | function)*
+//   global     := type IDENT ('=' expr)? ';'
+//   function   := (type | 'void') IDENT '(' params? ')' block
+//   stmt       := decl ';' | assign ';' | call ';' | 'print' '(' expr ')' ';'
+//              | 'if' | 'while' | 'for' | 'switch' | 'try' block 'catch' block
+//              | 'break' ';' | 'continue' ';' | 'return' expr? ';' | block
+//   assign     := lvalue ('='|'+='|...) expr | lvalue '++' | lvalue '--'
+//   expr       := Java precedence with ?:, ||, &&, |, ^, &, equality, relational, shifts,
+//                 additive, multiplicative, unary (- ! ~ and casts), postfix ([i], .length)
+
+#ifndef SRC_JAGUAR_LANG_PARSER_H_
+#define SRC_JAGUAR_LANG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/jaguar/lang/ast.h"
+
+namespace jaguar {
+
+// Parses a whole program. Throws SyntaxError on malformed input.
+Program ParseProgram(std::string_view source);
+
+// Parses a statement sequence (used to instantiate synthesized skeleton snippets).
+std::vector<StmtPtr> ParseStatements(std::string_view source);
+
+// Parses a single expression (used by loop synthesis).
+ExprPtr ParseExpression(std::string_view source);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_LANG_PARSER_H_

@@ -1,0 +1,348 @@
+#include "src/jaguar/lang/printer.h"
+
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/support/text.h"
+
+namespace jaguar {
+namespace {
+
+const char* BinOpText(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kRem: return "%";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kUshr: return ">>>";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLogAnd: return "&&";
+    case BinOp::kLogOr: return "||";
+  }
+  return "?";
+}
+
+const char* AssignOpText(AssignOp op) {
+  switch (op) {
+    case AssignOp::kAssign: return "=";
+    case AssignOp::kAddAssign: return "+=";
+    case AssignOp::kSubAssign: return "-=";
+    case AssignOp::kMulAssign: return "*=";
+    case AssignOp::kDivAssign: return "/=";
+    case AssignOp::kRemAssign: return "%=";
+    case AssignOp::kAndAssign: return "&=";
+    case AssignOp::kOrAssign: return "|=";
+    case AssignOp::kXorAssign: return "^=";
+    case AssignOp::kShlAssign: return "<<=";
+    case AssignOp::kShrAssign: return ">>=";
+    case AssignOp::kUshrAssign: return ">>>=";
+  }
+  return "?";
+}
+
+// Every composite sub-expression is parenthesized; correctness of round-tripping matters far
+// more here than minimal output.
+void EmitExpr(const Expr& e, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      if (e.int_value < 0) {
+        out += "(" + std::to_string(e.int_value) + ")";
+      } else {
+        out += std::to_string(e.int_value);
+      }
+      break;
+    case ExprKind::kLongLit:
+      if (e.int_value < 0) {
+        out += "(" + std::to_string(e.int_value) + "L)";
+      } else {
+        out += std::to_string(e.int_value) + "L";
+      }
+      break;
+    case ExprKind::kBoolLit:
+      out += e.int_value != 0 ? "true" : "false";
+      break;
+    case ExprKind::kVarRef:
+      out += e.name;
+      break;
+    case ExprKind::kBinary:
+      out += "(";
+      EmitExpr(*e.children[0], out);
+      out += " ";
+      out += BinOpText(e.bin_op);
+      out += " ";
+      EmitExpr(*e.children[1], out);
+      out += ")";
+      break;
+    case ExprKind::kUnary:
+      out += "(";
+      out += e.un_op == UnOp::kNeg ? "-" : e.un_op == UnOp::kNot ? "!" : "~";
+      EmitExpr(*e.children[0], out);
+      out += ")";
+      break;
+    case ExprKind::kTernary:
+      out += "(";
+      EmitExpr(*e.children[0], out);
+      out += " ? ";
+      EmitExpr(*e.children[1], out);
+      out += " : ";
+      EmitExpr(*e.children[2], out);
+      out += ")";
+      break;
+    case ExprKind::kCall: {
+      out += e.name;
+      out += "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        EmitExpr(*e.children[i], out);
+      }
+      out += ")";
+      break;
+    }
+    case ExprKind::kIndex:
+      EmitExpr(*e.children[0], out);
+      out += "[";
+      EmitExpr(*e.children[1], out);
+      out += "]";
+      break;
+    case ExprKind::kLength:
+      EmitExpr(*e.children[0], out);
+      out += ".length";
+      break;
+    case ExprKind::kNewArray:
+      out += "new " + TypeName(e.type_operand.ElementType()) + "[";
+      EmitExpr(*e.children[0], out);
+      out += "]";
+      break;
+    case ExprKind::kNewArrayInit: {
+      out += "new " + TypeName(e.type_operand.ElementType()) + "[] {";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        EmitExpr(*e.children[i], out);
+      }
+      out += "}";
+      break;
+    }
+    case ExprKind::kCast:
+      out += "((" + TypeName(e.type_operand) + ") ";
+      EmitExpr(*e.children[0], out);
+      out += ")";
+      break;
+  }
+}
+
+void EmitStmt(const Stmt& s, int indent, std::string& out);
+
+void EmitBlockBody(const Stmt& block, int indent, std::string& out) {
+  JAG_CHECK(block.kind == StmtKind::kBlock);
+  out += "{\n";
+  for (const auto& child : block.stmts) {
+    EmitStmt(*child, indent + 1, out);
+  }
+  out += Indent(indent) + "}";
+}
+
+// Renders a simple statement (assignment or call) without indentation or ';' — the form used
+// inside `for (...)` clauses.
+std::string SimpleStmtText(const Stmt& s) {
+  std::string out;
+  if (s.kind == StmtKind::kVarDecl) {
+    out += TypeName(s.decl_type) + " " + s.name;
+    if (!s.exprs.empty()) {
+      out += " = ";
+      EmitExpr(*s.exprs[0], out);
+    }
+    return out;
+  }
+  if (s.kind == StmtKind::kAssign) {
+    EmitExpr(*s.exprs[0], out);
+    out += " ";
+    out += AssignOpText(s.assign_op);
+    out += " ";
+    EmitExpr(*s.exprs[1], out);
+    return out;
+  }
+  JAG_CHECK_MSG(s.kind == StmtKind::kExprStmt, "unsupported statement inside for clause");
+  EmitExpr(*s.exprs[0], out);
+  return out;
+}
+
+void EmitStmt(const Stmt& s, int indent, std::string& out) {
+  out += Indent(indent);
+  switch (s.kind) {
+    case StmtKind::kVarDecl:
+    case StmtKind::kAssign:
+    case StmtKind::kExprStmt:
+      out += SimpleStmtText(s);
+      out += ";\n";
+      break;
+    case StmtKind::kIf: {
+      out += "if (";
+      EmitExpr(*s.exprs[0], out);
+      out += ") ";
+      // Bodies are emitted as blocks (wrapping if necessary) for unambiguous round-tripping.
+      if (s.stmts[0]->kind == StmtKind::kBlock) {
+        EmitBlockBody(*s.stmts[0], indent, out);
+      } else {
+        out += "{\n";
+        EmitStmt(*s.stmts[0], indent + 1, out);
+        out += Indent(indent) + "}";
+      }
+      if (s.stmts.size() > 1) {
+        out += " else ";
+        if (s.stmts[1]->kind == StmtKind::kBlock) {
+          EmitBlockBody(*s.stmts[1], indent, out);
+        } else {
+          out += "{\n";
+          EmitStmt(*s.stmts[1], indent + 1, out);
+          out += Indent(indent) + "}";
+        }
+      }
+      out += "\n";
+      break;
+    }
+    case StmtKind::kWhile:
+      out += "while (";
+      EmitExpr(*s.exprs[0], out);
+      out += ") ";
+      if (s.stmts[0]->kind == StmtKind::kBlock) {
+        EmitBlockBody(*s.stmts[0], indent, out);
+      } else {
+        out += "{\n";
+        EmitStmt(*s.stmts[0], indent + 1, out);
+        out += Indent(indent) + "}";
+      }
+      out += "\n";
+      break;
+    case StmtKind::kFor: {
+      out += "for (";
+      if (s.has_for_init) {
+        out += SimpleStmtText(*s.ForInit());
+      }
+      out += "; ";
+      if (!s.exprs.empty()) {
+        EmitExpr(*s.exprs[0], out);
+      }
+      out += "; ";
+      if (s.has_for_update) {
+        out += SimpleStmtText(*s.ForUpdate());
+      }
+      out += ") ";
+      const Stmt* body = s.ForBody();
+      if (body->kind == StmtKind::kBlock) {
+        EmitBlockBody(*body, indent, out);
+      } else {
+        out += "{\n";
+        EmitStmt(*body, indent + 1, out);
+        out += Indent(indent) + "}";
+      }
+      out += "\n";
+      break;
+    }
+    case StmtKind::kSwitch: {
+      out += "switch (";
+      EmitExpr(*s.exprs[0], out);
+      out += ") {\n";
+      for (const auto& arm : s.arms) {
+        if (arm.is_default) {
+          out += Indent(indent + 1) + "default:\n";
+        } else {
+          out += Indent(indent + 1) + "case " + std::to_string(arm.value) + ":\n";
+        }
+        for (const auto& child : arm.stmts) {
+          EmitStmt(*child, indent + 2, out);
+        }
+      }
+      out += Indent(indent) + "}\n";
+      break;
+    }
+    case StmtKind::kBreak:
+      out += "break;\n";
+      break;
+    case StmtKind::kContinue:
+      out += "continue;\n";
+      break;
+    case StmtKind::kReturn:
+      out += "return";
+      if (!s.exprs.empty()) {
+        out += " ";
+        EmitExpr(*s.exprs[0], out);
+      }
+      out += ";\n";
+      break;
+    case StmtKind::kBlock:
+      EmitBlockBody(s, indent, out);
+      out += "\n";
+      break;
+    case StmtKind::kMute:
+      out += s.local_id != 0 ? "mute(true);\n" : "mute(false);\n";
+      break;
+    case StmtKind::kPrint:
+      out += "print(";
+      EmitExpr(*s.exprs[0], out);
+      out += ");\n";
+      break;
+    case StmtKind::kTryCatch:
+      out += "try ";
+      EmitBlockBody(*s.stmts[0], indent, out);
+      out += " catch ";
+      EmitBlockBody(*s.stmts[1], indent, out);
+      out += "\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) {
+  std::string out;
+  EmitExpr(expr, out);
+  return out;
+}
+
+std::string PrintStmt(const Stmt& stmt, int indent) {
+  std::string out;
+  EmitStmt(stmt, indent, out);
+  return out;
+}
+
+std::string PrintProgram(const Program& program) {
+  std::string out;
+  for (const auto& g : program.globals) {
+    out += TypeName(g.type) + " " + g.name;
+    if (g.init) {
+      out += " = " + PrintExpr(*g.init);
+    }
+    out += ";\n";
+  }
+  if (!program.globals.empty()) {
+    out += "\n";
+  }
+  for (const auto& f : program.functions) {
+    out += TypeName(f->ret) + " " + f->name + "(";
+    for (size_t i = 0; i < f->params.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += TypeName(f->params[i].type) + " " + f->params[i].name;
+    }
+    out += ") ";
+    out += PrintStmt(*f->body, 0);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace jaguar

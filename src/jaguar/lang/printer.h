@@ -1,0 +1,21 @@
+// Pretty-printer: renders an AST back to parseable Jaguar source.
+//
+// Printing is the inverse of parsing up to whitespace: Parse(Print(ast)) reproduces an
+// equivalent tree. Artemis uses it to emit mutants and reduced test cases.
+
+#ifndef SRC_JAGUAR_LANG_PRINTER_H_
+#define SRC_JAGUAR_LANG_PRINTER_H_
+
+#include <string>
+
+#include "src/jaguar/lang/ast.h"
+
+namespace jaguar {
+
+std::string PrintProgram(const Program& program);
+std::string PrintStmt(const Stmt& stmt, int indent = 0);
+std::string PrintExpr(const Expr& expr);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_LANG_PRINTER_H_

@@ -1,0 +1,157 @@
+#include "src/jaguar/lang/scope.h"
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+class PointCollector {
+ public:
+  explicit PointCollector(std::vector<InsertionPoint>& out) : out_(out) {}
+
+  void WalkBlock(Stmt& block, int loop_depth) {
+    JAG_CHECK(block.kind == StmtKind::kBlock);
+    const size_t scope_mark = vars_.size();
+    for (size_t i = 0; i <= block.stmts.size(); ++i) {
+      InsertionPoint p;
+      p.block = &block;
+      p.index = i;
+      p.visible = vars_;
+      p.loop_depth = loop_depth;
+      out_.push_back(std::move(p));
+      if (i < block.stmts.size()) {
+        WalkStmt(*block.stmts[i], loop_depth);
+      }
+    }
+    vars_.resize(scope_mark);
+  }
+
+  void PushVar(const std::string& name, Type type) {
+    vars_.push_back(VarInfo{name, type, false});
+  }
+
+ private:
+  void WalkStmt(Stmt& s, int loop_depth) {
+    if (s.synthesized) {
+      return;  // never mutate inside already-synthesized code
+    }
+    switch (s.kind) {
+      case StmtKind::kVarDecl:
+        PushVar(s.name, s.decl_type);
+        break;
+      case StmtKind::kIf:
+        WalkNested(*s.stmts[0], loop_depth);
+        if (s.stmts.size() > 1) {
+          WalkNested(*s.stmts[1], loop_depth);
+        }
+        break;
+      case StmtKind::kWhile:
+        WalkNested(*s.stmts[0], loop_depth + 1);
+        break;
+      case StmtKind::kFor: {
+        const size_t mark = vars_.size();
+        if (s.has_for_init && s.ForInit()->kind == StmtKind::kVarDecl) {
+          PushVar(s.ForInit()->name, s.ForInit()->decl_type);
+        }
+        WalkNested(*s.ForBody(), loop_depth + 1);
+        vars_.resize(mark);
+        break;
+      }
+      case StmtKind::kSwitch:
+        // Arms are statement lists, not blocks; we do not enumerate points inside them, but
+        // nested blocks within the arms are fair game.
+        for (auto& arm : s.arms) {
+          const size_t mark = vars_.size();
+          for (auto& child : arm.stmts) {
+            WalkStmt(*child, loop_depth);
+          }
+          vars_.resize(mark);
+        }
+        break;
+      case StmtKind::kBlock:
+        WalkBlock(s, loop_depth);
+        break;
+      case StmtKind::kTryCatch:
+        WalkNested(*s.stmts[0], loop_depth);
+        WalkNested(*s.stmts[1], loop_depth);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void WalkNested(Stmt& s, int loop_depth) {
+    // Loop/if bodies may be single statements rather than blocks; only blocks yield points.
+    if (s.kind == StmtKind::kBlock) {
+      WalkBlock(s, loop_depth);
+    } else {
+      WalkStmt(s, loop_depth);
+    }
+  }
+
+  std::vector<InsertionPoint>& out_;
+  std::vector<VarInfo> vars_;
+};
+
+void CollectCallsInExpr(Expr& e, const std::string& callee, std::vector<Expr*>& out) {
+  if (e.kind == ExprKind::kCall && e.name == callee) {
+    out.push_back(&e);
+  }
+  for (auto& c : e.children) {
+    CollectCallsInExpr(*c, callee, out);
+  }
+}
+
+void CollectNamesInStmt(const Stmt& s, std::vector<std::string>& out) {
+  if (s.kind == StmtKind::kVarDecl) {
+    out.push_back(s.name);
+  }
+  for (const auto& child : s.stmts) {
+    CollectNamesInStmt(*child, out);
+  }
+  for (const auto& arm : s.arms) {
+    for (const auto& child : arm.stmts) {
+      CollectNamesInStmt(*child, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<InsertionPoint> CollectInsertionPoints(FuncDecl& f) {
+  std::vector<InsertionPoint> out;
+  PointCollector collector(out);
+  for (const auto& p : f.params) {
+    collector.PushVar(p.name, p.type);
+  }
+  collector.WalkBlock(*f.body, 0);
+  return out;
+}
+
+void CollectCalls(Stmt& root, const std::string& callee, std::vector<Expr*>& out) {
+  if (root.synthesized) {
+    return;  // synthesized pre-invocations are not real call sites
+  }
+  for (auto& e : root.exprs) {
+    CollectCallsInExpr(*e, callee, out);
+  }
+  for (auto& child : root.stmts) {
+    CollectCalls(*child, callee, out);
+  }
+  for (auto& arm : root.arms) {
+    for (auto& child : arm.stmts) {
+      CollectCalls(*child, callee, out);
+    }
+  }
+}
+
+std::vector<std::string> CollectDeclaredNames(const FuncDecl& f) {
+  std::vector<std::string> out;
+  for (const auto& p : f.params) {
+    out.push_back(p.name);
+  }
+  CollectNamesInStmt(*f.body, out);
+  return out;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,48 @@
+// Scope analysis utilities for mutation.
+//
+// JoNM inserts synthesized loops at arbitrary program points ρ inside a method and fills the
+// loop's holes with variables available at ρ (paper Algorithm 1 line 13, Algorithm 2 line 3).
+// CollectInsertionPoints enumerates every such point of a function together with the set of
+// visible variables, so mutators can splice statements without breaking scoping rules.
+
+#ifndef SRC_JAGUAR_LANG_SCOPE_H_
+#define SRC_JAGUAR_LANG_SCOPE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/jaguar/lang/ast.h"
+
+namespace jaguar {
+
+struct VarInfo {
+  std::string name;
+  Type type;
+  bool is_global = false;
+};
+
+// A statement-granularity program point: inserting at `block->stmts[index]` places code
+// before the statement currently at `index` (or at the end when index == stmts.size()).
+struct InsertionPoint {
+  Stmt* block = nullptr;  // always a kBlock owned by the inspected function
+  size_t index = 0;
+  std::vector<VarInfo> visible;  // locals and params in scope at this point (globals excluded)
+  int loop_depth = 0;            // number of enclosing loops
+};
+
+// Enumerates all insertion points in `f`'s body, outermost first. Points inside switch arms
+// are not enumerated (arms are not blocks); points inside nested blocks, loop bodies, if
+// branches, and try/catch bodies are.
+std::vector<InsertionPoint> CollectInsertionPoints(FuncDecl& f);
+
+// Appends every call expression to `callee` found under `root` (used by the Method Invocator
+// to pick an existing call site).
+void CollectCalls(Stmt& root, const std::string& callee, std::vector<Expr*>& out);
+
+// Collects the names of every local variable declared anywhere in `f` (for fresh-name
+// generation during synthesis).
+std::vector<std::string> CollectDeclaredNames(const FuncDecl& f);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_LANG_SCOPE_H_

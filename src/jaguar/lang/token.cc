@@ -1,0 +1,82 @@
+#include "src/jaguar/lang/token.h"
+
+namespace jaguar {
+
+const char* TokName(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "int literal";
+    case Tok::kLongLit: return "long literal";
+    case Tok::kKwInt: return "int";
+    case Tok::kKwLong: return "long";
+    case Tok::kKwBoolean: return "boolean";
+    case Tok::kKwVoid: return "void";
+    case Tok::kKwTrue: return "true";
+    case Tok::kKwFalse: return "false";
+    case Tok::kKwIf: return "if";
+    case Tok::kKwElse: return "else";
+    case Tok::kKwWhile: return "while";
+    case Tok::kKwFor: return "for";
+    case Tok::kKwSwitch: return "switch";
+    case Tok::kKwCase: return "case";
+    case Tok::kKwDefault: return "default";
+    case Tok::kKwBreak: return "break";
+    case Tok::kKwContinue: return "continue";
+    case Tok::kKwReturn: return "return";
+    case Tok::kKwNew: return "new";
+    case Tok::kKwTry: return "try";
+    case Tok::kKwCatch: return "catch";
+    case Tok::kKwPrint: return "print";
+    case Tok::kKwMute: return "mute";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kSemi: return ";";
+    case Tok::kComma: return ",";
+    case Tok::kColon: return ":";
+    case Tok::kQuestion: return "?";
+    case Tok::kDot: return ".";
+    case Tok::kAssign: return "=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kPlusAssign: return "+=";
+    case Tok::kMinusAssign: return "-=";
+    case Tok::kStarAssign: return "*=";
+    case Tok::kSlashAssign: return "/=";
+    case Tok::kPercentAssign: return "%=";
+    case Tok::kAmpAssign: return "&=";
+    case Tok::kPipeAssign: return "|=";
+    case Tok::kCaretAssign: return "^=";
+    case Tok::kShlAssign: return "<<=";
+    case Tok::kShrAssign: return ">>=";
+    case Tok::kUshrAssign: return ">>>=";
+    case Tok::kPlusPlus: return "++";
+    case Tok::kMinusMinus: return "--";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kUshr: return ">>>";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kTilde: return "~";
+    case Tok::kBang: return "!";
+    case Tok::kAndAnd: return "&&";
+    case Tok::kOrOr: return "||";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kLe: return "<=";
+    case Tok::kGt: return ">";
+    case Tok::kGe: return ">=";
+  }
+  return "<bad token>";
+}
+
+}  // namespace jaguar

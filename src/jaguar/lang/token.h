@@ -1,0 +1,102 @@
+// Token definitions for the Jaguar lexer.
+
+#ifndef SRC_JAGUAR_LANG_TOKEN_H_
+#define SRC_JAGUAR_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jaguar {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,   // value in Token::int_value, always non-negative at the lexer level
+  kLongLit,  // `L`-suffixed literal
+
+  // Keywords.
+  kKwInt,
+  kKwLong,
+  kKwBoolean,
+  kKwVoid,
+  kKwTrue,
+  kKwFalse,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwSwitch,
+  kKwCase,
+  kKwDefault,
+  kKwBreak,
+  kKwContinue,
+  kKwReturn,
+  kKwNew,
+  kKwTry,
+  kKwCatch,
+  kKwPrint,
+  kKwMute,
+
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kColon,
+  kQuestion,
+  kDot,
+  kAssign,       // =
+  kPlus,         // +
+  kMinus,        // -
+  kStar,         // *
+  kSlash,        // /
+  kPercent,      // %
+  kPlusAssign,   // +=
+  kMinusAssign,  // -=
+  kStarAssign,   // *=
+  kSlashAssign,  // /=
+  kPercentAssign,
+  kAmpAssign,
+  kPipeAssign,
+  kCaretAssign,
+  kShlAssign,
+  kShrAssign,
+  kUshrAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kShl,   // <<
+  kShr,   // >>
+  kUshr,  // >>>
+  kAmp,   // &
+  kPipe,  // |
+  kCaret, // ^
+  kTilde, // ~
+  kBang,  // !
+  kAndAnd,
+  kOrOr,
+  kEq,  // ==
+  kNe,  // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+// Human-readable spelling of a token kind, for diagnostics.
+const char* TokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;        // identifier spelling (kIdent only)
+  uint64_t int_value = 0;  // literal magnitude (kIntLit / kLongLit only)
+  int line = 0;
+  int col = 0;
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_LANG_TOKEN_H_

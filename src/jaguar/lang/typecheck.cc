@@ -1,0 +1,592 @@
+#include "src/jaguar/lang/typecheck.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/jaguar/lang/lexer.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+bool AssignableTo(Type from, Type to) {
+  if (from == to) {
+    return true;
+  }
+  return from.IsInt() && to.IsLong();
+}
+
+Type PromoteNumeric(Type a, Type b) {
+  JAG_CHECK(a.IsNumeric() && b.IsNumeric());
+  return (a.IsLong() || b.IsLong()) ? Type::Long() : Type::Int();
+}
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& msg, int line) { throw SyntaxError(msg, line, 0); }
+
+struct LocalInfo {
+  int id;
+  Type type;
+};
+
+class Checker {
+ public:
+  explicit Checker(Program& p) : program_(p) {}
+
+  void Run() {
+    for (size_t i = 0; i < program_.globals.size(); ++i) {
+      const auto& g = program_.globals[i];
+      if (g.type.IsVoid()) {
+        Fail("global '" + g.name + "' cannot be void", 0);
+      }
+      if (global_index_.count(g.name) != 0) {
+        Fail("duplicate global '" + g.name + "'", 0);
+      }
+      global_index_[g.name] = static_cast<int>(i);
+    }
+    for (size_t i = 0; i < program_.functions.size(); ++i) {
+      const auto& f = *program_.functions[i];
+      if (func_index_.count(f.name) != 0) {
+        Fail("duplicate function '" + f.name + "'", 0);
+      }
+      func_index_[f.name] = static_cast<int>(i);
+    }
+
+    // Global initializers run before main and may only reference earlier globals and call no
+    // functions (mirrors Java's static-initializer ordering without <clinit> cycles).
+    for (size_t i = 0; i < program_.globals.size(); ++i) {
+      auto& g = program_.globals[i];
+      if (g.init == nullptr) {
+        continue;
+      }
+      globals_visible_ = static_cast<int>(i);
+      in_global_init_ = true;
+      Type t = CheckExpr(*g.init);
+      in_global_init_ = false;
+      if (!AssignableTo(t, g.type)) {
+        Fail("initializer of global '" + g.name + "' has type " + TypeName(t) +
+                 ", expected " + TypeName(g.type),
+             g.init->line);
+      }
+    }
+    globals_visible_ = static_cast<int>(program_.globals.size());
+
+    const FuncDecl* main_fn = program_.FindFunction("main");
+    if (main_fn == nullptr) {
+      Fail("program has no 'main' function", 0);
+    }
+    if (!main_fn->params.empty()) {
+      Fail("'main' must take no parameters", 0);
+    }
+    if (!(main_fn->ret.IsVoid() || main_fn->ret.IsInt())) {
+      Fail("'main' must return int or void", 0);
+    }
+
+    for (auto& f : program_.functions) {
+      CheckFunction(*f);
+    }
+  }
+
+ private:
+  void CheckFunction(FuncDecl& f) {
+    current_ = &f;
+    next_local_ = 0;
+    loop_depth_ = 0;
+    switch_depth_ = 0;
+    scopes_.clear();
+    PushScope();
+    for (auto& p : f.params) {
+      if (p.type.IsVoid()) {
+        Fail("parameter '" + p.name + "' of '" + f.name + "' cannot be void", 0);
+      }
+      Declare(p.name, p.type, 0);
+    }
+    const bool returns = CheckStmt(*f.body);
+    if (!f.ret.IsVoid() && !returns) {
+      Fail("function '" + f.name + "' may fall off the end without returning", 0);
+    }
+    PopScope();
+    f.num_locals = next_local_;
+    current_ = nullptr;
+  }
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  int Declare(const std::string& name, Type type, int line) {
+    for (const auto& scope : scopes_) {
+      if (scope.count(name) != 0) {
+        Fail("duplicate local '" + name + "'", line);
+      }
+    }
+    const int id = next_local_++;
+    scopes_.back()[name] = LocalInfo{id, type};
+    return id;
+  }
+
+  const LocalInfo* LookupLocal(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto hit = it->find(name);
+      if (hit != it->end()) {
+        return &hit->second;
+      }
+    }
+    return nullptr;
+  }
+
+  // Returns whether the statement definitely returns on every path.
+  bool CheckStmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kVarDecl: {
+        if (s.decl_type.IsVoid()) {
+          Fail("variable '" + s.name + "' cannot be void", s.line);
+        }
+        if (!s.exprs.empty()) {
+          Type init = CheckExpr(*s.exprs[0]);
+          if (!AssignableTo(init, s.decl_type)) {
+            Fail("cannot initialize " + TypeName(s.decl_type) + " '" + s.name + "' with " +
+                     TypeName(init),
+                 s.line);
+          }
+        } else if (s.decl_type.IsArray()) {
+          Fail("array variable '" + s.name + "' must be initialized", s.line);
+        }
+        s.local_id = Declare(s.name, s.decl_type, s.line);
+        return false;
+      }
+      case StmtKind::kAssign: {
+        Expr& lv = *s.exprs[0];
+        if (lv.kind != ExprKind::kVarRef && lv.kind != ExprKind::kIndex) {
+          Fail("assignment target must be a variable or array element", s.line);
+        }
+        Type target = CheckExpr(lv);
+        Type value = CheckExpr(*s.exprs[1]);
+        if (s.assign_op == AssignOp::kAssign) {
+          if (!AssignableTo(value, target)) {
+            Fail("cannot assign " + TypeName(value) + " to " + TypeName(target), s.line);
+          }
+          return false;
+        }
+        // Compound assignment: Java-style, implicit narrowing back to the target type.
+        switch (s.assign_op) {
+          case AssignOp::kAndAssign:
+          case AssignOp::kOrAssign:
+          case AssignOp::kXorAssign:
+            if (target.IsBool() && value.IsBool()) {
+              return false;
+            }
+            [[fallthrough]];
+          case AssignOp::kAddAssign:
+          case AssignOp::kSubAssign:
+          case AssignOp::kMulAssign:
+          case AssignOp::kDivAssign:
+          case AssignOp::kRemAssign:
+            if (!target.IsNumeric() || !value.IsNumeric()) {
+              Fail("compound assignment needs numeric operands", s.line);
+            }
+            return false;
+          case AssignOp::kShlAssign:
+          case AssignOp::kShrAssign:
+          case AssignOp::kUshrAssign:
+            if (!target.IsNumeric() || !value.IsNumeric()) {
+              Fail("shift assignment needs numeric operands", s.line);
+            }
+            return false;
+          case AssignOp::kAssign:
+            break;
+        }
+        return false;
+      }
+      case StmtKind::kExprStmt: {
+        if (s.exprs[0]->kind != ExprKind::kCall) {
+          Fail("only calls may be used as statements", s.line);
+        }
+        CheckExpr(*s.exprs[0]);
+        return false;
+      }
+      case StmtKind::kIf: {
+        RequireBool(*s.exprs[0], "if condition");
+        PushScope();
+        bool then_returns = CheckStmt(*s.stmts[0]);
+        PopScope();
+        bool else_returns = false;
+        if (s.stmts.size() > 1) {
+          PushScope();
+          else_returns = CheckStmt(*s.stmts[1]);
+          PopScope();
+        }
+        return then_returns && else_returns && s.stmts.size() > 1;
+      }
+      case StmtKind::kWhile: {
+        RequireBool(*s.exprs[0], "while condition");
+        ++loop_depth_;
+        PushScope();
+        CheckStmt(*s.stmts[0]);
+        PopScope();
+        --loop_depth_;
+        return false;
+      }
+      case StmtKind::kFor: {
+        PushScope();  // the induction variable scopes over all clauses and the body
+        if (s.has_for_init) {
+          CheckStmt(*s.ForInit());
+        }
+        if (!s.exprs.empty()) {
+          RequireBool(*s.exprs[0], "for condition");
+        }
+        ++loop_depth_;
+        PushScope();
+        CheckStmt(*s.ForBody());
+        PopScope();
+        --loop_depth_;
+        if (s.has_for_update) {
+          CheckStmt(*s.ForUpdate());
+        }
+        PopScope();
+        return false;
+      }
+      case StmtKind::kSwitch: {
+        Type subject = CheckExpr(*s.exprs[0]);
+        if (!subject.IsInt()) {
+          Fail("switch subject must be int", s.line);
+        }
+        ++switch_depth_;
+        std::vector<bool> arm_returns(s.arms.size(), false);
+        bool has_default = false;
+        bool any_break = false;
+        for (size_t i = 0; i < s.arms.size(); ++i) {
+          auto& arm = s.arms[i];
+          has_default = has_default || arm.is_default;
+          PushScope();
+          bool returns = false;
+          for (auto& child : arm.stmts) {
+            returns = CheckStmt(*child) || returns;
+            any_break = any_break || ContainsSwitchBreak(*child);
+          }
+          arm_returns[i] = returns;
+          PopScope();
+        }
+        --switch_depth_;
+        // Definite-return analysis (conservative, Java-flavoured): a switch definitely
+        // returns when it has a default arm, no arm can break out, and every arm either
+        // returns itself or falls through into an arm that does.
+        if (!has_default || any_break || s.arms.empty()) {
+          return false;
+        }
+        // chain_returns[i]: entering arm i (with fall-through) definitely returns.
+        bool all_return = true;
+        bool chain_returns = false;
+        for (size_t i = s.arms.size(); i-- > 0;) {
+          chain_returns = arm_returns[i] || (i + 1 < s.arms.size() && chain_returns);
+          all_return = all_return && chain_returns;
+        }
+        return all_return;
+      }
+      case StmtKind::kBreak:
+        if (loop_depth_ == 0 && switch_depth_ == 0) {
+          Fail("'break' outside loop or switch", s.line);
+        }
+        return false;
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          Fail("'continue' outside loop", s.line);
+        }
+        return false;
+      case StmtKind::kReturn: {
+        JAG_CHECK(current_ != nullptr);
+        if (s.exprs.empty()) {
+          if (!current_->ret.IsVoid()) {
+            Fail("missing return value in '" + current_->name + "'", s.line);
+          }
+        } else {
+          Type t = CheckExpr(*s.exprs[0]);
+          if (current_->ret.IsVoid()) {
+            Fail("void function '" + current_->name + "' cannot return a value", s.line);
+          }
+          if (!AssignableTo(t, current_->ret)) {
+            Fail("return type mismatch in '" + current_->name + "': " + TypeName(t) +
+                     " vs declared " + TypeName(current_->ret),
+                 s.line);
+          }
+        }
+        return true;
+      }
+      case StmtKind::kBlock: {
+        PushScope();
+        bool returns = false;
+        for (auto& child : s.stmts) {
+          // Statements after a definite return are unreachable but tolerated (Java rejects
+          // them; JoNM's spliced code makes tolerance far more convenient).
+          returns = CheckStmt(*child) || returns;
+        }
+        PopScope();
+        return returns;
+      }
+      case StmtKind::kMute:
+        return false;
+      case StmtKind::kPrint: {
+        Type t = CheckExpr(*s.exprs[0]);
+        if (!t.IsPrimitive()) {
+          Fail("print() takes int, long, or boolean", s.line);
+        }
+        return false;
+      }
+      case StmtKind::kTryCatch: {
+        PushScope();
+        CheckStmt(*s.stmts[0]);
+        PopScope();
+        PushScope();
+        CheckStmt(*s.stmts[1]);
+        PopScope();
+        return false;
+      }
+    }
+    JAG_CHECK(false);
+    return false;
+  }
+
+  // True if `s` contains a break that would bind to the *enclosing* switch (does not descend
+  // into nested loops or switches, whose breaks bind there).
+  static bool ContainsSwitchBreak(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBreak:
+        return true;
+      case StmtKind::kWhile:
+      case StmtKind::kFor:
+      case StmtKind::kSwitch:
+        return false;
+      default:
+        for (const auto& child : s.stmts) {
+          if (ContainsSwitchBreak(*child)) {
+            return true;
+          }
+        }
+        return false;
+    }
+  }
+
+  void RequireBool(Expr& e, const char* what) {
+    Type t = CheckExpr(e);
+    if (!t.IsBool()) {
+      Fail(std::string(what) + " must be boolean, found " + TypeName(t), e.line);
+    }
+  }
+
+  Type CheckExpr(Expr& e) {
+    e.type = CheckExprInner(e);
+    return e.type;
+  }
+
+  Type CheckExprInner(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        if (e.int_value < INT32_MIN || e.int_value > INT32_MAX) {
+          Fail("int literal out of range", e.line);
+        }
+        return Type::Int();
+      case ExprKind::kLongLit:
+        return Type::Long();
+      case ExprKind::kBoolLit:
+        return Type::Bool();
+      case ExprKind::kVarRef: {
+        if (!in_global_init_ && current_ != nullptr) {
+          const LocalInfo* local = LookupLocal(e.name);
+          if (local != nullptr) {
+            e.binding = VarBinding::kLocal;
+            e.binding_index = local->id;
+            return local->type;
+          }
+        }
+        auto g = global_index_.find(e.name);
+        if (g != global_index_.end() && g->second < globals_visible_) {
+          e.binding = VarBinding::kGlobal;
+          e.binding_index = g->second;
+          return program_.globals[static_cast<size_t>(g->second)].type;
+        }
+        Fail("undefined variable '" + e.name + "'", e.line);
+      }
+      case ExprKind::kBinary:
+        return CheckBinary(e);
+      case ExprKind::kUnary: {
+        Type t = CheckExpr(*e.children[0]);
+        switch (e.un_op) {
+          case UnOp::kNeg:
+            if (!t.IsNumeric()) {
+              Fail("unary '-' needs a numeric operand", e.line);
+            }
+            return t;
+          case UnOp::kNot:
+            if (!t.IsBool()) {
+              Fail("'!' needs a boolean operand", e.line);
+            }
+            return Type::Bool();
+          case UnOp::kBitNot:
+            if (!t.IsNumeric()) {
+              Fail("'~' needs a numeric operand", e.line);
+            }
+            return t;
+        }
+        JAG_CHECK(false);
+      }
+      case ExprKind::kTernary: {
+        RequireBool(*e.children[0], "ternary condition");
+        Type a = CheckExpr(*e.children[1]);
+        Type b = CheckExpr(*e.children[2]);
+        if (a == b) {
+          return a;
+        }
+        if (a.IsNumeric() && b.IsNumeric()) {
+          return PromoteNumeric(a, b);
+        }
+        Fail("ternary branches have incompatible types " + TypeName(a) + " and " + TypeName(b),
+             e.line);
+      }
+      case ExprKind::kCall: {
+        if (in_global_init_) {
+          Fail("global initializers cannot call functions", e.line);
+        }
+        auto it = func_index_.find(e.name);
+        if (it == func_index_.end()) {
+          Fail("call to undefined function '" + e.name + "'", e.line);
+        }
+        const FuncDecl& callee = *program_.functions[static_cast<size_t>(it->second)];
+        if (callee.params.size() != e.children.size()) {
+          Fail("'" + e.name + "' expects " + std::to_string(callee.params.size()) +
+                   " arguments, got " + std::to_string(e.children.size()),
+               e.line);
+        }
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          Type arg = CheckExpr(*e.children[i]);
+          if (!AssignableTo(arg, callee.params[i].type)) {
+            Fail("argument " + std::to_string(i + 1) + " of '" + e.name + "' has type " +
+                     TypeName(arg) + ", expected " + TypeName(callee.params[i].type),
+                 e.line);
+          }
+        }
+        e.binding_index = it->second;
+        return callee.ret;
+      }
+      case ExprKind::kIndex: {
+        Type arr = CheckExpr(*e.children[0]);
+        if (!arr.IsArray()) {
+          Fail("indexing a non-array value of type " + TypeName(arr), e.line);
+        }
+        Type idx = CheckExpr(*e.children[1]);
+        if (!idx.IsInt()) {
+          Fail("array index must be int, found " + TypeName(idx), e.line);
+        }
+        return arr.ElementType();
+      }
+      case ExprKind::kLength: {
+        Type arr = CheckExpr(*e.children[0]);
+        if (!arr.IsArray()) {
+          Fail("'.length' on a non-array value of type " + TypeName(arr), e.line);
+        }
+        return Type::Int();
+      }
+      case ExprKind::kNewArray: {
+        Type size = CheckExpr(*e.children[0]);
+        if (!size.IsInt()) {
+          Fail("array size must be int", e.line);
+        }
+        return e.type_operand;
+      }
+      case ExprKind::kNewArrayInit: {
+        const Type elem = e.type_operand.ElementType();
+        for (auto& el : e.children) {
+          Type t = CheckExpr(*el);
+          if (!AssignableTo(t, elem)) {
+            Fail("array element of type " + TypeName(t) + " in " +
+                     TypeName(e.type_operand) + " initializer",
+                 e.line);
+          }
+        }
+        return e.type_operand;
+      }
+      case ExprKind::kCast: {
+        Type from = CheckExpr(*e.children[0]);
+        if (!from.IsNumeric() || !e.type_operand.IsNumeric()) {
+          Fail("casts apply to numeric values only", e.line);
+        }
+        return e.type_operand;
+      }
+    }
+    JAG_CHECK(false);
+    return Type::Void();
+  }
+
+  Type CheckBinary(Expr& e) {
+    Type l = CheckExpr(*e.children[0]);
+    Type r = CheckExpr(*e.children[1]);
+    switch (e.bin_op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul:
+      case BinOp::kDiv:
+      case BinOp::kRem:
+        if (!l.IsNumeric() || !r.IsNumeric()) {
+          Fail("arithmetic needs numeric operands", e.line);
+        }
+        return PromoteNumeric(l, r);
+      case BinOp::kShl:
+      case BinOp::kShr:
+      case BinOp::kUshr:
+        if (!l.IsNumeric() || !r.IsNumeric()) {
+          Fail("shifts need numeric operands", e.line);
+        }
+        return l;  // Java: the result has the (promoted) type of the left operand
+      case BinOp::kBitAnd:
+      case BinOp::kBitOr:
+      case BinOp::kBitXor:
+        if (l.IsBool() && r.IsBool()) {
+          return Type::Bool();
+        }
+        if (l.IsNumeric() && r.IsNumeric()) {
+          return PromoteNumeric(l, r);
+        }
+        Fail("bitwise operators need two numeric or two boolean operands", e.line);
+      case BinOp::kLt:
+      case BinOp::kLe:
+      case BinOp::kGt:
+      case BinOp::kGe:
+        if (!l.IsNumeric() || !r.IsNumeric()) {
+          Fail("comparison needs numeric operands", e.line);
+        }
+        return Type::Bool();
+      case BinOp::kEq:
+      case BinOp::kNe:
+        if ((l.IsNumeric() && r.IsNumeric()) || (l.IsBool() && r.IsBool())) {
+          return Type::Bool();
+        }
+        Fail("'==' needs two numeric or two boolean operands", e.line);
+      case BinOp::kLogAnd:
+      case BinOp::kLogOr:
+        if (!l.IsBool() || !r.IsBool()) {
+          Fail("'&&'/'||' need boolean operands", e.line);
+        }
+        return Type::Bool();
+    }
+    JAG_CHECK(false);
+    return Type::Void();
+  }
+
+  Program& program_;
+  std::unordered_map<std::string, int> global_index_;
+  std::unordered_map<std::string, int> func_index_;
+  std::vector<std::unordered_map<std::string, LocalInfo>> scopes_;
+  FuncDecl* current_ = nullptr;
+  int next_local_ = 0;
+  int loop_depth_ = 0;
+  int switch_depth_ = 0;
+  int globals_visible_ = 0;
+  bool in_global_init_ = false;
+};
+
+}  // namespace
+
+void Check(Program& program) {
+  Checker checker(program);
+  checker.Run();
+}
+
+}  // namespace jaguar

@@ -1,0 +1,33 @@
+// Type checker and name resolver for Jaguar.
+//
+// Check() validates a program against Jaguar's (Java-like) static semantics and annotates the
+// AST in place: every Expr receives its static `type`, every VarRef its binding
+// (local id / global index), every Call its function index, every VarDecl its local id, and
+// every FuncDecl its total local-slot count. The bytecode compiler consumes these annotations.
+//
+// Widening: `int` values implicitly widen to `long` in assignments, arguments, mixed
+// arithmetic, and returns. Compound assignments behave like Java's (implicit narrowing cast
+// back to the target's type). Narrowing otherwise requires an explicit `(int)` cast.
+
+#ifndef SRC_JAGUAR_LANG_TYPECHECK_H_
+#define SRC_JAGUAR_LANG_TYPECHECK_H_
+
+#include "src/jaguar/lang/ast.h"
+
+namespace jaguar {
+
+// Checks and annotates `program` in place. Throws SyntaxError on any violation. Requirements
+// beyond expression typing: a `main` function exists with no parameters returning int or void;
+// function names and global names are unique; break/continue appear only inside loops
+// (break also inside switch); every control path of a non-void function returns.
+void Check(Program& program);
+
+// True if a value of type `from` may be used where `to` is expected without a cast.
+bool AssignableTo(Type from, Type to);
+
+// The promoted type of mixed int/long arithmetic.
+Type PromoteNumeric(Type a, Type b);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_LANG_TYPECHECK_H_

@@ -1,0 +1,57 @@
+// Static types of the Jaguar language.
+//
+// Jaguar is the miniature Java-like source language that JoNM mutates (DESIGN.md §1). It has
+// Java's integral semantics — 32-bit wrapping `int`, 64-bit wrapping `long`, `boolean` — plus
+// one-dimensional arrays of those primitives. Floating point and objects are intentionally
+// absent: the paper's Artemis does not support floating point either (§4.5), and JoNM needs no
+// objects beyond arrays.
+
+#ifndef SRC_JAGUAR_LANG_TYPES_H_
+#define SRC_JAGUAR_LANG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jaguar {
+
+enum class TypeKind : uint8_t {
+  kVoid,  // function return only
+  kInt,
+  kLong,
+  kBool,
+  kArray,
+};
+
+// A Jaguar type. Arrays are one-dimensional with a primitive element type.
+struct Type {
+  TypeKind kind = TypeKind::kVoid;
+  TypeKind elem = TypeKind::kVoid;  // element kind, meaningful only when kind == kArray
+
+  static Type Void() { return {TypeKind::kVoid, TypeKind::kVoid}; }
+  static Type Int() { return {TypeKind::kInt, TypeKind::kVoid}; }
+  static Type Long() { return {TypeKind::kLong, TypeKind::kVoid}; }
+  static Type Bool() { return {TypeKind::kBool, TypeKind::kVoid}; }
+  static Type ArrayOf(TypeKind elem_kind) { return {TypeKind::kArray, elem_kind}; }
+
+  bool IsVoid() const { return kind == TypeKind::kVoid; }
+  bool IsInt() const { return kind == TypeKind::kInt; }
+  bool IsLong() const { return kind == TypeKind::kLong; }
+  bool IsBool() const { return kind == TypeKind::kBool; }
+  bool IsArray() const { return kind == TypeKind::kArray; }
+  bool IsNumeric() const { return IsInt() || IsLong(); }
+  bool IsPrimitive() const { return IsInt() || IsLong() || IsBool(); }
+
+  Type ElementType() const { return {elem, TypeKind::kVoid}; }
+
+  friend bool operator==(const Type& a, const Type& b) {
+    return a.kind == b.kind && (a.kind != TypeKind::kArray || a.elem == b.elem);
+  }
+  friend bool operator!=(const Type& a, const Type& b) { return !(a == b); }
+};
+
+// Source-syntax name of a type, e.g. "int", "long[]".
+std::string TypeName(Type t);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_LANG_TYPES_H_

@@ -1,0 +1,55 @@
+// Internal invariant checking for the Jaguar VM and the Artemis tool.
+//
+// JAG_CHECK is always on (release builds included): this codebase is a validation tool, so
+// silently continuing past a broken invariant would corrupt experiment results. A failed check
+// throws InternalError, which test harnesses and the campaign driver surface as a tool defect
+// (distinct from a *simulated* VM crash, which is modeled by jaguar::VmCrash in vm/outcome.h).
+
+#ifndef SRC_JAGUAR_SUPPORT_CHECK_H_
+#define SRC_JAGUAR_SUPPORT_CHECK_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace jaguar {
+
+// Raised when an internal invariant of this codebase (not of the simulated VM) is violated.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  std::string s = "JAG_CHECK failed: ";
+  s += cond;
+  s += " at ";
+  s += file;
+  s += ":";
+  s += std::to_string(line);
+  if (!msg.empty()) {
+    s += " — ";
+    s += msg;
+  }
+  throw InternalError(s);
+}
+}  // namespace internal
+
+#define JAG_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::jaguar::internal::CheckFailed(#cond, __FILE__, __LINE__, "");    \
+    }                                                                    \
+  } while (false)
+
+#define JAG_CHECK_MSG(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::jaguar::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_SUPPORT_CHECK_H_

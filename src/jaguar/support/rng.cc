@@ -1,0 +1,81 @@
+#include "src/jaguar/support/rng.h"
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  JAG_CHECK(bound != 0);
+  // Rejection sampling: draw until the value falls in the largest multiple of bound.
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint64_t v = NextU64();
+  while (v >= limit) {
+    v = NextU64();
+  }
+  return v % bound;
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  JAG_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  if (span == UINT64_MAX) {
+    return static_cast<int64_t>(NextU64());
+  }
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + NextBelow(span + 1));
+}
+
+int32_t Rng::NextInt(int32_t lo, int32_t hi) {
+  return static_cast<int32_t>(NextInRange(lo, hi));
+}
+
+bool Rng::Chance(uint32_t num, uint32_t den) {
+  JAG_CHECK(den > 0 && num <= den);
+  if (num == 0) {
+    return false;
+  }
+  if (num == den) {
+    return true;
+  }
+  return NextBelow(den) < num;
+}
+
+size_t Rng::PickIndex(size_t size) {
+  JAG_CHECK(size > 0);
+  return static_cast<size_t>(NextBelow(size));
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace jaguar

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in this repository (seed-program generation, JoNM's coin flips,
+// loop synthesis, campaign scheduling) draws from an explicitly seeded Rng so that whole
+// experiments replay bit-for-bit from a single 64-bit seed. The generator is xoshiro256**
+// seeded through splitmix64, following the reference implementations by Blackman & Vigna.
+
+#ifndef SRC_JAGUAR_SUPPORT_RNG_H_
+#define SRC_JAGUAR_SUPPORT_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jaguar {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be nonzero. Uses rejection sampling (no modulo bias).
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in the inclusive range [lo, hi]. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+  int32_t NextInt(int32_t lo, int32_t hi);
+
+  // True with probability num/den. Requires 0 <= num <= den and den > 0.
+  bool Chance(uint32_t num, uint32_t den);
+
+  // Fair coin.
+  bool FlipCoin() { return Chance(1, 2); }
+
+  // Picks a uniformly random element index of a non-empty container size.
+  size_t PickIndex(size_t size);
+
+  // Derives an independent child generator; streams of parent and child do not overlap in
+  // practice because the child is re-seeded through splitmix64 with a drawn value.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+// Picks a random element from a non-empty vector (by reference).
+template <typename T>
+const T& PickOne(Rng& rng, const std::vector<T>& v) {
+  return v[rng.PickIndex(v.size())];
+}
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_SUPPORT_RNG_H_

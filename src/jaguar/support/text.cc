@@ -1,0 +1,41 @@
+#include "src/jaguar/support/text.h"
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from, std::string_view to) {
+  JAG_CHECK(!from.empty());
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      break;
+    }
+    out.append(text.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string Indent(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+}  // namespace jaguar

@@ -1,0 +1,26 @@
+// Small string-formatting helpers shared across the repository.
+
+#ifndef SRC_JAGUAR_SUPPORT_TEXT_H_
+#define SRC_JAGUAR_SUPPORT_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jaguar {
+
+// Joins the elements of `parts` with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from, std::string_view to);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Renders `n` indentation levels (two spaces each).
+std::string Indent(int n);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_SUPPORT_TEXT_H_

@@ -1,0 +1,104 @@
+#include "src/jaguar/vm/config.h"
+
+namespace jaguar {
+
+std::vector<uint64_t> VmConfig::InvokeThresholds() const {
+  std::vector<uint64_t> out;
+  out.reserve(tiers.size());
+  for (const auto& t : tiers) {
+    out.push_back(t.invoke_threshold);
+  }
+  return out;
+}
+
+VmConfig VmConfig::WithBugs(std::vector<BugId> bug_set) const {
+  VmConfig c = *this;
+  c.bugs = std::move(bug_set);
+  return c;
+}
+
+VmConfig VmConfig::WithoutBugs() const {
+  VmConfig c = *this;
+  c.bugs.clear();
+  return c;
+}
+
+VmConfig VmConfig::WithFullTrace() const {
+  VmConfig c = *this;
+  c.record_full_trace = true;
+  return c;
+}
+
+VmConfig HotSniffConfig() {
+  VmConfig c;
+  c.name = "HotSniff";
+  // Tier 1 ~ C1 (quick, no speculation), tier 2 ~ C2 (full optimization + speculation).
+  c.tiers = {
+      TierSpec{5'000, 7'500, /*full_optimization=*/false, /*speculate=*/false, /*profiles=*/true},
+      TierSpec{10'000, 15'000, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.bugs = {
+      BugId::kGcmStoreSinkIntoDeeperLoop, BugId::kFoldShiftUnmasked,
+      BugId::kInlineSwappedArgs,          BugId::kGvnBucketAssert,
+      BugId::kLicmDeepNestAssert,         BugId::kIrBuilderSwitchAssert,
+      BugId::kRegAllocEarlyFree,          BugId::kCodeExecDeepCallCrash,
+      BugId::kRecompileCycling,
+  };
+  return c;
+}
+
+VmConfig OpenJadeConfig() {
+  VmConfig c;
+  c.name = "OpenJade";
+  // One JIT with warm/hot recompilation levels; both levels optimize, the hot one speculates.
+  c.tiers = {
+      TierSpec{3'000, 5'000, /*full_optimization=*/true, /*speculate=*/false, /*profiles=*/true},
+      TierSpec{9'000, 14'000, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.gc_period = 256;  // more frequent GC: heap corruption surfaces as GC crashes sooner
+  c.bugs = {
+      BugId::kLicmHoistStorePastGuard, BugId::kGvnLoadAcrossStore,
+      BugId::kRceOffByOneHeapCorruption, BugId::kDeoptResumeSkipsInstr,
+      BugId::kUnrollExtraIteration,    BugId::kSpeculationRetryCrash,
+      BugId::kLowerSwappedSubOperands, BugId::kOsrDropsHighestLocal,
+  };
+  return c;
+}
+
+VmConfig ArtreeConfig() {
+  VmConfig c;
+  c.name = "Artree";
+  c.tiers = {
+      TierSpec{20'000, 30'000, /*full_optimization=*/false, /*speculate=*/false, /*profiles=*/true},
+      TierSpec{50'000, 75'000, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.bugs = {
+      BugId::kStrengthReduceNegDiv,
+      BugId::kUnrollExtraIteration,
+      BugId::kInlineSwappedArgs,
+      BugId::kGvnBucketAssert,
+  };
+  return c;
+}
+
+VmConfig ReferenceJitConfig() {
+  VmConfig c = HotSniffConfig();
+  c.name = "Reference";
+  c.bugs.clear();
+  return c;
+}
+
+VmConfig InterpreterOnlyConfig() {
+  VmConfig c;
+  c.name = "InterpreterOnly";
+  c.jit_enabled = false;
+  c.osr_enabled = false;
+  c.tiers.clear();
+  return c;
+}
+
+std::vector<VmConfig> AllVendors() {
+  return {HotSniffConfig(), OpenJadeConfig(), ArtreeConfig()};
+}
+
+}  // namespace jaguar

@@ -1,0 +1,88 @@
+// VM configurations — the simulated "vendors".
+//
+// The paper validates HotSpot, OpenJ9, and ART: three JVMs that share the same tiered-JIT
+// mechanisms but differ in thresholds, tier structure, and (crucially) in which latent bugs
+// they carry. We model each vendor as a VmConfig: same Jaguar VM code, different thresholds
+// and injected-defect sets (DESIGN.md §1). Evaluation parameters follow the paper's §4.1:
+// background compilation is implicitly disabled (the engine compiles synchronously), and the
+// default compilation thresholds are 5,000/10,000 for the HotSpot- and OpenJ9-like configs and
+// 20,000/50,000 for the ART-like one.
+
+#ifndef SRC_JAGUAR_VM_CONFIG_H_
+#define SRC_JAGUAR_VM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/jit/bug_ids.h"
+
+namespace jaguar {
+
+// One compilation tier. Tiers are numbered 1..N (temperature t_i == running tier-i code).
+struct TierSpec {
+  uint64_t invoke_threshold = 0;  // Z_i for the method counter
+  uint64_t osr_threshold = 0;     // back-edge counter threshold for OSR compilation (0 = off)
+  bool full_optimization = false; // run the full pass pipeline (the "C2"-like tier)
+  bool speculate = false;         // plant profile-guided uncommon traps
+  // Compiled code of this tier keeps maintaining back-edge counters (like HotSpot's C1/tier-3
+  // code), so methods continue heating toward higher tiers while running compiled.
+  bool profiles = false;
+};
+
+struct VmConfig {
+  std::string name = "jaguar";
+
+  bool jit_enabled = true;
+  bool osr_enabled = true;
+  std::vector<TierSpec> tiers;  // ascending thresholds; empty + jit_enabled=false → pure interp
+
+  // Execution limits (the step budget is the analogue of the paper's 2-minute timeout).
+  uint64_t step_budget = 200'000'000;
+  int max_call_depth = 400;
+
+  // Allocations between GC cycles (0 disables automatic collection).
+  uint64_t gc_period = 512;
+
+  // Speculation: a branch may be pruned into an uncommon trap only when it was profiled at
+  // least this many times and one side was never taken.
+  uint64_t min_profile_for_speculation = 64;
+
+  // Inlining budget of the top tier (callee bytecode size limit; 0 disables inlining).
+  int inline_size_limit = 48;
+
+  // Full-optimization tiers additionally lower through register allocation to LIR and run on
+  // the register-machine executor (the "native codegen" analogue). Disable for the ablation
+  // that executes optimized HIR directly.
+  bool lir_backend = true;
+
+  // Defects this vendor carries.
+  std::vector<BugId> bugs;
+
+  // JIT-trace recording (full temperature vectors; the summary is always recorded).
+  bool record_full_trace = false;
+  size_t max_trace_vectors = 4096;
+
+  // Returns {Z1, ..., ZN} for the temperature model.
+  std::vector<uint64_t> InvokeThresholds() const;
+
+  VmConfig WithBugs(std::vector<BugId> bug_set) const;
+  VmConfig WithoutBugs() const;
+  VmConfig WithFullTrace() const;
+};
+
+// The three simulated vendors, with their latent defect sets.
+VmConfig HotSniffConfig();  // HotSpot-like: tiered C1+C2, thresholds 5,000 / 10,000
+VmConfig OpenJadeConfig();  // OpenJ9-like: warm/hot recompilation, thresholds 3,000 / 9,000
+VmConfig ArtreeConfig();    // ART-like: higher thresholds 20,000 / 50,000
+
+// A bug-free tiered config (for correctness tests) and a pure interpreter.
+VmConfig ReferenceJitConfig();
+VmConfig InterpreterOnlyConfig();
+
+// All three vendors, as used by campaign drivers.
+std::vector<VmConfig> AllVendors();
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_CONFIG_H_

@@ -1,0 +1,327 @@
+#include "src/jaguar/vm/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/pipeline.h"
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/interpreter.h"
+#include "src/jaguar/vm/value.h"
+
+namespace jaguar {
+namespace {
+
+// After this many deoptimizations a method's compilation is disabled — the analogue of
+// HotSpot's PerMethodRecompilationCutoff. The kRecompileCycling defect bypasses it.
+constexpr uint64_t kDeoptCutoff = 12;
+
+// Arrays above this length throw OutOfMemoryError (keeps fuzzed programs bounded).
+constexpr int64_t kMaxArrayLength = 1 << 20;
+
+}  // namespace
+
+int DefaultController::PickEntryLevel(Vm& vm, int func) {
+  const VmConfig& cfg = vm.config();
+  MethodRuntime& rt = vm.runtime(func);
+  // HotSpot's tiered policy compares i + b (invocations plus back-edges) against the
+  // threshold, so loop-heavy methods method-compile after a handful of calls — the paper's
+  // Figure 2 walkthrough relies on exactly this (T.g() reaches L4 after 12 calls because its
+  // loops ran thousands of back-edges).
+  uint64_t backedges = 0;
+  for (const auto& [pc, count] : rt.backedge_counts) {
+    backedges += count;
+  }
+  const uint64_t counter = rt.invocation_count + backedges;
+  int level = 0;
+  for (size_t i = 0; i < cfg.tiers.size(); ++i) {
+    if (counter >= cfg.tiers[i].invoke_threshold) {
+      level = static_cast<int>(i) + 1;
+    }
+  }
+  // Once compiled, a method keeps running compiled until it is made not-entrant.
+  return std::max(level, rt.EntrantLevel());
+}
+
+int DefaultController::PickOsrLevel(Vm& vm, int func, int32_t header_pc) {
+  const VmConfig& cfg = vm.config();
+  MethodRuntime& rt = vm.runtime(func);
+  const uint64_t count = rt.backedge_counts[header_pc];
+  int level = 0;
+  for (size_t i = 0; i < cfg.tiers.size(); ++i) {
+    if (cfg.tiers[i].osr_threshold != 0 && count >= cfg.tiers[i].osr_threshold) {
+      level = static_cast<int>(i) + 1;
+    }
+  }
+  return level;
+}
+
+Vm::Vm(const BcProgram& program, VmConfig config, std::unique_ptr<JitCompilerApi> jit,
+       std::unique_ptr<CompilationController> controller)
+    : program_(program),
+      config_(std::move(config)),
+      jit_(std::move(jit)),
+      controller_(controller ? std::move(controller) : std::make_unique<DefaultController>()),
+      recorder_(std::make_unique<JitTraceRecorder>(config_.record_full_trace,
+                                                   config_.max_trace_vectors)),
+      heap_(config_.gc_period),
+      globals_(program.globals.size(), 0),
+      runtimes_(program.functions.size()),
+      bugs_(config_.bugs) {
+  JAG_CHECK_MSG(!config_.jit_enabled || jit_ != nullptr,
+                "JIT enabled but no compiler supplied");
+  for (auto& rt : runtimes_) {
+    rt.by_level.resize(config_.tiers.size() + 1);
+  }
+}
+
+Vm::~Vm() = default;
+
+Vm::FrameGuard::FrameGuard(Vm& vm, const std::vector<int64_t>* a, const std::vector<int64_t>* b)
+    : vm_(vm), count_(0) {
+  if (a != nullptr) {
+    vm_.frames_.push_back(a);
+    ++count_;
+  }
+  if (b != nullptr) {
+    vm_.frames_.push_back(b);
+    ++count_;
+  }
+}
+
+Vm::FrameGuard::~FrameGuard() {
+  vm_.frames_.resize(vm_.frames_.size() - count_);
+}
+
+std::vector<const std::vector<int64_t>*> Vm::GcRootFrames() const {
+  std::vector<const std::vector<int64_t>*> roots = frames_;
+  roots.push_back(&globals_);
+  return roots;
+}
+
+RunOutcome Vm::Run() {
+  RunOutcome out;
+  try {
+    if (program_.ginit_index >= 0) {
+      InvokeFunction(program_.ginit_index, {});
+    }
+    InvokeFunction(program_.main_index, {});
+    // Shutdown heap verification: JIT-corrupted memory that no GC cycle happened to scan is
+    // still discovered, like a crash during final collection.
+    heap_.VerifyHeap();
+    out.status = RunStatus::kOk;
+  } catch (const TrapException& trap) {
+    out.status = RunStatus::kUncaughtTrap;
+    output_ += std::string("Exception in thread \"main\" ") + trap.what() + "\n";
+  } catch (const VmCrash& crash) {
+    out.status = RunStatus::kVmCrash;
+    out.crash_component = crash.component();
+    out.crash_kind = crash.kind();
+    out.crash_message = crash.what();
+  } catch (const TimeoutAbort&) {
+    out.status = RunStatus::kTimeout;
+  }
+  out.output = output_;
+  out.steps = steps_;
+  out.fired_bugs = bugs_.FiredBugs();
+  out.trace = recorder_->summary();
+  if (config_.record_full_trace) {
+    out.full_trace = std::make_shared<JitTrace>(recorder_->trace());
+  }
+  return out;
+}
+
+int64_t Vm::InvokeFunction(int func, const std::vector<int64_t>& args) {
+  const BcFunction& f = program_.functions[static_cast<size_t>(func)];
+  JAG_CHECK(args.size() == f.params.size());
+  if (call_depth_ >= config_.max_call_depth) {
+    throw TrapException("StackOverflowError");
+  }
+  ++call_depth_;
+  struct DepthGuard {
+    int& depth;
+    ~DepthGuard() { --depth; }
+  } depth_guard{call_depth_};
+
+  MethodRuntime& rt = runtime(func);
+  ++rt.invocation_count;
+
+  int level = 0;
+  if (config_.jit_enabled && jit_ != nullptr && !rt.compilation_disabled) {
+    level = controller_->PickEntryLevel(*this, func);
+    level = std::min(level, static_cast<int>(config_.tiers.size()));
+  }
+
+  const int token = recorder_->BeginCall(func, rt.invocation_count, level > 0 ? level : 0);
+  std::shared_ptr<CompiledMethod> compiled;
+  if (level > 0) {
+    compiled = EnsureCompiled(func, level, -1, token);
+  }
+  recorder_->CountCall(compiled != nullptr);
+
+  if (compiled != nullptr) {
+    // A normal compiled entry takes the call arguments; it zero-initializes the remaining
+    // locals itself (see the IR builder's synthetic entry block).
+    return RunCompiledToCompletion(func, std::move(compiled), args, token);
+  }
+  std::vector<int64_t> locals(static_cast<size_t>(f.num_locals), 0);
+  std::copy(args.begin(), args.end(), locals.begin());
+  return Interpret(*this, func, locals, InterpretEntry{}, token);
+}
+
+int64_t Vm::RunCompiledToCompletion(int func, std::shared_ptr<CompiledMethod> compiled,
+                                    std::vector<int64_t> locals, int trace_token) {
+  CompiledExecResult result = compiled->Execute(*this, std::move(locals));
+  if (result.kind == CompiledExecResult::Kind::kReturn) {
+    return result.ret;
+  }
+  NoteDeopt(func, result.deopt, compiled.get(), trace_token);
+  std::vector<int64_t> resumed_locals = std::move(result.deopt.locals);
+  InterpretEntry entry;
+  entry.pc = result.deopt.resume_pc;
+  entry.stack = std::move(result.deopt.stack);
+  entry.pending_trap = std::move(result.deopt.pending_trap);
+  return Interpret(*this, func, resumed_locals, entry, trace_token);
+}
+
+std::shared_ptr<CompiledMethod> Vm::EnsureCompiled(int func, int level, int32_t osr_pc,
+                                                   int trace_token) {
+  JAG_CHECK(jit_ != nullptr && level >= 1 &&
+            level <= static_cast<int>(config_.tiers.size()));
+  MethodRuntime& rt = runtime(func);
+  if (osr_pc < 0) {
+    auto& slot = rt.by_level[static_cast<size_t>(level)];
+    if (slot == nullptr || !slot->entrant()) {
+      AddSteps(jit_->CompileCostSteps(*this, func));
+      slot = jit_->Compile(*this, func, level, -1);
+      recorder_->CountJitCompilation();
+      recorder_->CountSpeculativeGuards(slot->speculative_guards());
+    }
+    recorder_->AddTransition(trace_token, level);
+    return slot;
+  }
+  auto it = rt.osr_by_pc.find(osr_pc);
+  if (it != rt.osr_by_pc.end() && it->second->entrant() && it->second->level() >= level) {
+    recorder_->AddTransition(trace_token, it->second->level());
+    return it->second;
+  }
+  AddSteps(jit_->CompileCostSteps(*this, func));
+  auto artifact = jit_->Compile(*this, func, level, osr_pc);
+  rt.osr_by_pc[osr_pc] = artifact;
+  recorder_->CountOsrCompilation();
+  recorder_->CountSpeculativeGuards(artifact->speculative_guards());
+  recorder_->AddTransition(trace_token, level);
+  return artifact;
+}
+
+std::shared_ptr<CompiledMethod> Vm::OnBackEdge(int func, int32_t header_pc, int trace_token) {
+  MethodRuntime& rt = runtime(func);
+  ++rt.backedge_counts[header_pc];
+  if (!config_.jit_enabled || jit_ == nullptr || !config_.osr_enabled ||
+      rt.compilation_disabled) {
+    return nullptr;
+  }
+  const BcFunction& f = program_.functions[static_cast<size_t>(func)];
+  if (!f.IsOsrHeader(header_pc)) {
+    return nullptr;
+  }
+  int level = controller_->PickOsrLevel(*this, func, header_pc);
+  level = std::min(level, static_cast<int>(config_.tiers.size()));
+  if (level <= 0) {
+    return nullptr;
+  }
+  return EnsureCompiled(func, level, header_pc, trace_token);
+}
+
+void Vm::NoteDeopt(int func, const DeoptState& state, CompiledMethod* artifact,
+                   int trace_token) {
+  MethodRuntime& rt = runtime(func);
+  ++rt.deopt_count;
+  recorder_->CountDeopt();
+  recorder_->AddTransition(trace_token, 0);
+
+  if (state.failed_guard_pc < 0) {
+    // Trap-induced deopt: the compiled code stays entrant (the trap is a genuine program
+    // behaviour, not a broken speculation).
+    return;
+  }
+
+  artifact->MakeNotEntrant();
+  if (artifact->osr_pc() >= 0) {
+    rt.osr_by_pc.erase(artifact->osr_pc());
+  }
+
+  rt.failed_speculations[state.failed_guard_pc] = state.failed_guard_expectation;
+
+  // The kRecompileCycling defect: the recompilation policy keeps re-speculating failed
+  // guards from a stale profile view (see SpeculationPass) and never applies the
+  // per-method recompilation cutoff — the VM cycles deopt → recompile indefinitely.
+  if (bugs_.Enabled(BugId::kRecompileCycling)) {
+    if (rt.deopt_count > 8) {
+      bugs_.Fire(BugId::kRecompileCycling);
+    }
+    return;
+  }
+  if (rt.deopt_count > kDeoptCutoff) {
+    rt.compilation_disabled = true;
+  }
+}
+
+void Vm::EmitPrint(TypeKind kind, int64_t value) {
+  if (mute_depth_ > 0) {
+    return;
+  }
+  switch (kind) {
+    case TypeKind::kBool:
+      output_ += value != 0 ? "true" : "false";
+      break;
+    case TypeKind::kInt:
+      output_ += std::to_string(static_cast<int32_t>(value));
+      break;
+    default:
+      output_ += std::to_string(value);
+      break;
+  }
+  output_ += "\n";
+}
+
+void Vm::SetMute(bool on) {
+  if (on) {
+    ++mute_depth_;
+  } else if (mute_depth_ > 0) {
+    --mute_depth_;
+  }
+}
+
+void Vm::AddSteps(uint64_t n) {
+  steps_ += n;
+  if (steps_ > config_.step_budget) {
+    throw TimeoutAbort();
+  }
+}
+
+HeapRef Vm::AllocateArray(TypeKind elem, int64_t count) {
+  if (count < 0) {
+    throw TrapException("NegativeArraySizeException: " + std::to_string(count));
+  }
+  if (count > kMaxArrayLength) {
+    throw TrapException("OutOfMemoryError: Requested array size exceeds VM limit");
+  }
+  return heap_.Allocate(elem, count, GcRootFrames());
+}
+
+RunOutcome RunProgram(const BcProgram& program, const VmConfig& config) {
+  std::unique_ptr<JitCompilerApi> jit;
+  if (config.jit_enabled) {
+    jit = MakeTieredJitCompiler();
+  }
+  Vm vm(program, config, std::move(jit));
+  return vm.Run();
+}
+
+RunOutcome RunSource(const std::string& source, const VmConfig& config) {
+  const BcProgram program = CompileSource(source);
+  return RunProgram(program, config);
+}
+
+}  // namespace jaguar

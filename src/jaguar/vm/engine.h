@@ -1,0 +1,158 @@
+// The Jaguar execution engine: tiered interpretation + JIT compilation.
+//
+// The engine owns all run state (heap, globals, output, step budget, per-method profiles) and
+// drives the interleaving between the interpreter and compiled code:
+//   - on method entry it consults a CompilationController for the tier to run at, compiling
+//     synchronously when needed (background compilation is disabled, as in the paper's §4.1);
+//   - at loop back-edges the interpreter asks for OSR compilation and can transfer the live
+//     frame into compiled code mid-method;
+//   - compiled code deoptimizes back into the interpreter at uncommon traps, at genuinely
+//     trapping instructions, and when a trap must unwind into a frame that holds a handler.
+//
+// The pluggable CompilationController is the hook Artemis' compilation-space machinery uses:
+// the default controller implements counter/threshold tiering, while ForcedController
+// (src/artemis/space) replays an explicit per-call decision vector — the "ideal realization"
+// of CSE discussed in the paper's §3.2.
+
+#ifndef SRC_JAGUAR_VM_ENGINE_H_
+#define SRC_JAGUAR_VM_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/heap.h"
+#include "src/jaguar/vm/jit_api.h"
+#include "src/jaguar/vm/outcome.h"
+#include "src/jaguar/vm/profile.h"
+#include "src/jaguar/vm/trace.h"
+
+namespace jaguar {
+
+class Vm;
+
+// Decides when and at which tier to compile. Called after profiling counters were bumped.
+class CompilationController {
+ public:
+  virtual ~CompilationController() = default;
+
+  // Tier to execute this method invocation at; 0 = interpret. The engine compiles (and
+  // charges compile cost) if the artifact is missing.
+  virtual int PickEntryLevel(Vm& vm, int func) = 0;
+
+  // Tier to OSR-compile the loop at `header_pc` at; 0 = keep interpreting.
+  virtual int PickOsrLevel(Vm& vm, int func, int32_t header_pc) = 0;
+};
+
+// Threshold-based policy from VmConfig (the VM's default JIT-trace; see paper §3.1:
+// "every program comes with a default JIT-trace for every LVM").
+class DefaultController : public CompilationController {
+ public:
+  int PickEntryLevel(Vm& vm, int func) override;
+  int PickOsrLevel(Vm& vm, int func, int32_t header_pc) override;
+};
+
+class Vm {
+ public:
+  // `jit` may be null only when config.jit_enabled is false. A null controller means the
+  // default threshold policy.
+  Vm(const BcProgram& program, VmConfig config, std::unique_ptr<JitCompilerApi> jit,
+     std::unique_ptr<CompilationController> controller = nullptr);
+  ~Vm();
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // Executes <ginit> then main() and packages the outcome. Never throws for simulated
+  // failures (traps/crashes/timeouts become statuses); InternalError does propagate.
+  RunOutcome Run();
+
+  // --- Services shared by the interpreter and compiled code --------------------------------
+
+  // Full tiered call path (counts the invocation, consults the controller, may compile).
+  int64_t InvokeFunction(int func, const std::vector<int64_t>& args);
+
+  // Back-edge notification from the interpreter; returns an OSR artifact to enter, or null.
+  std::shared_ptr<CompiledMethod> OnBackEdge(int func, int32_t header_pc, int trace_token);
+
+  // Deopt bookkeeping: counters, trace transition, not-entrant marking, failed-speculation
+  // recording, and the deopt/recompile cutoff (including the kRecompileCycling defect).
+  void NoteDeopt(int func, const DeoptState& state, CompiledMethod* artifact, int trace_token);
+
+  void EmitPrint(TypeKind kind, int64_t value);
+  void SetMute(bool on);
+
+  // Charges `n` steps against the budget; throws TimeoutAbort when exhausted.
+  void AddSteps(uint64_t n);
+
+  // Allocates an array, trapping on negative size and running GC per config.
+  HeapRef AllocateArray(TypeKind elem, int64_t count);
+
+  const BcProgram& program() const { return program_; }
+  const VmConfig& config() const { return config_; }
+  ManagedHeap& heap() { return heap_; }
+  std::vector<int64_t>& globals() { return globals_; }
+  MethodRuntime& runtime(int func) { return runtimes_[static_cast<size_t>(func)]; }
+  BugRegistry& bugs() { return bugs_; }
+  JitTraceRecorder& recorder() { return *recorder_; }
+  uint64_t steps() const { return steps_; }
+  int call_depth() const { return call_depth_; }
+
+  // Conservative GC root registration: every live frame (interpreter or compiled executor)
+  // registers its value arrays for the duration of its activation.
+  class FrameGuard {
+   public:
+    FrameGuard(Vm& vm, const std::vector<int64_t>* a, const std::vector<int64_t>* b);
+    ~FrameGuard();
+    FrameGuard(const FrameGuard&) = delete;
+    FrameGuard& operator=(const FrameGuard&) = delete;
+
+   private:
+    Vm& vm_;
+    size_t count_;
+  };
+
+  // Ensures `func` is compiled at `level` (osr_pc >= 0 → OSR entry at that header), charging
+  // compile cost and recording trace events. May throw VmCrash from injected compile defects.
+  std::shared_ptr<CompiledMethod> EnsureCompiled(int func, int level, int32_t osr_pc,
+                                                 int trace_token);
+
+ private:
+  friend class DefaultController;
+
+  std::vector<const std::vector<int64_t>*> GcRootFrames() const;
+
+  // Runs a compiled artifact and, on deopt, resumes interpretation until the call completes.
+  int64_t RunCompiledToCompletion(int func, std::shared_ptr<CompiledMethod> compiled,
+                                  std::vector<int64_t> locals, int trace_token);
+
+  const BcProgram& program_;
+  VmConfig config_;
+  std::unique_ptr<JitCompilerApi> jit_;
+  std::unique_ptr<CompilationController> controller_;
+  std::unique_ptr<JitTraceRecorder> recorder_;
+
+  ManagedHeap heap_;
+  std::vector<int64_t> globals_;
+  std::vector<MethodRuntime> runtimes_;
+  BugRegistry bugs_;
+
+  std::string output_;
+  int mute_depth_ = 0;
+  uint64_t steps_ = 0;
+  int call_depth_ = 0;
+  std::vector<const std::vector<int64_t>*> frames_;
+};
+
+// Convenience: compile + run `source` under `config`, returning the packaged outcome.
+RunOutcome RunSource(const std::string& source, const VmConfig& config);
+
+// Runs an already-compiled program under `config` with the default controller.
+RunOutcome RunProgram(const BcProgram& program, const VmConfig& config);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_ENGINE_H_

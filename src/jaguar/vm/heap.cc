@@ -1,0 +1,202 @@
+#include "src/jaguar/vm/heap.h"
+
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/outcome.h"
+#include "src/jaguar/vm/value.h"
+
+namespace jaguar {
+namespace {
+
+// Header layout: [ magic (high 48 bits) | elem kind (8 bits) | mark (1 bit) ].
+constexpr int64_t kLiveMagic = static_cast<int64_t>(0x4A41474CULL) << 16;  // "JAGL"
+constexpr int64_t kFreeMagic = static_cast<int64_t>(0x4A414746ULL) << 16;  // "JAGF"
+constexpr int64_t kMagicMask = ~static_cast<int64_t>(0xFFFF);
+constexpr int64_t kMarkBit = 1;
+
+int64_t PackHeader(int64_t magic, TypeKind elem, bool mark) {
+  return magic | (static_cast<int64_t>(elem) << 1) | (mark ? kMarkBit : 0);
+}
+
+}  // namespace
+
+ManagedHeap::ManagedHeap(uint64_t gc_period) : gc_period_(gc_period) {}
+
+int64_t ManagedHeap::TruncateForKind(TypeKind kind, int64_t value) {
+  switch (kind) {
+    case TypeKind::kInt: return TruncToInt(value);
+    case TypeKind::kBool: return value & 1;
+    default: return value;
+  }
+}
+
+HeapRef ManagedHeap::Allocate(TypeKind elem, int64_t count,
+                              const std::vector<const std::vector<int64_t>*>& roots) {
+  JAG_CHECK(count >= 0);
+  ++allocation_count_;
+  if (gc_period_ != 0 && ++allocations_since_gc_ >= gc_period_) {
+    CollectGarbage(roots);
+    allocations_since_gc_ = 0;
+  }
+
+  // Exact-fit reuse from the free list.
+  for (size_t i = 0; i < free_list_.size(); ++i) {
+    const int64_t off = free_list_[i];
+    if (arena_[static_cast<size_t>(off) + 1] == count) {
+      free_list_.erase(free_list_.begin() + static_cast<ptrdiff_t>(i));
+      arena_[static_cast<size_t>(off)] = PackHeader(kLiveMagic, elem, false);
+      for (int64_t j = 0; j < count; ++j) {
+        arena_[static_cast<size_t>(off) + 2 + static_cast<size_t>(j)] = 0;
+      }
+      return off;
+    }
+  }
+
+  const HeapRef ref = static_cast<HeapRef>(arena_.size());
+  arena_.push_back(PackHeader(kLiveMagic, elem, false));
+  arena_.push_back(count);
+  arena_.resize(arena_.size() + static_cast<size_t>(count), 0);
+  return ref;
+}
+
+void ManagedHeap::RequireLiveObject(HeapRef ref) const {
+  // The front end guarantees references are valid, so an implausible reference can only mean
+  // the (simulated) JIT corrupted the heap: surface it as the SIGSEGV a native VM would take
+  // when chasing a smashed object header.
+  if (!IsPlausibleRef(ref)) {
+    throw VmCrash(VmComponent::kCodeExecution, "SIGSEGV",
+                  "access through a corrupted object header at heap offset " +
+                      std::to_string(ref));
+  }
+}
+
+int64_t ManagedHeap::Length(HeapRef ref) const {
+  RequireLiveObject(ref);
+  return arena_[static_cast<size_t>(ref) + 1];
+}
+
+TypeKind ManagedHeap::ElementKind(HeapRef ref) const {
+  RequireLiveObject(ref);
+  return static_cast<TypeKind>((arena_[static_cast<size_t>(ref)] >> 1) & 0xFF);
+}
+
+bool ManagedHeap::Load(HeapRef ref, int64_t index, int64_t* out) const {
+  RequireLiveObject(ref);
+  const int64_t len = arena_[static_cast<size_t>(ref) + 1];
+  if (index < 0 || index >= len) {
+    return false;
+  }
+  *out = arena_[static_cast<size_t>(ref) + 2 + static_cast<size_t>(index)];
+  return true;
+}
+
+bool ManagedHeap::Store(HeapRef ref, int64_t index, int64_t value) {
+  RequireLiveObject(ref);
+  const int64_t len = arena_[static_cast<size_t>(ref) + 1];
+  if (index < 0 || index >= len) {
+    return false;
+  }
+  arena_[static_cast<size_t>(ref) + 2 + static_cast<size_t>(index)] =
+      TruncateForKind(ElementKind(ref), value);
+  return true;
+}
+
+int64_t ManagedHeap::LoadUnchecked(HeapRef ref, int64_t index) const {
+  const int64_t cell = ref + 2 + index;
+  if (ref < 0 || cell < 0 || static_cast<size_t>(cell) >= arena_.size()) {
+    // Way out of the mapped arena: the "native" compiled load faults immediately.
+    throw VmCrash(VmComponent::kCodeExecution, "SIGSEGV",
+                  "compiled code read outside the heap arena");
+  }
+  return arena_[static_cast<size_t>(cell)];
+}
+
+void ManagedHeap::StoreUnchecked(HeapRef ref, int64_t index, int64_t value) {
+  const int64_t cell = ref + 2 + index;
+  if (ref < 0 || cell < 0 || static_cast<size_t>(cell) >= arena_.size()) {
+    throw VmCrash(VmComponent::kCodeExecution, "SIGSEGV",
+                  "compiled code wrote outside the heap arena");
+  }
+  // Within the arena the write silently lands — possibly on a neighbour's header. This is the
+  // heap-corruption path that the GC verifier later discovers.
+  arena_[static_cast<size_t>(cell)] = TruncateForKind(ElementKind(ref), value);
+}
+
+bool ManagedHeap::IsPlausibleRef(int64_t v) const {
+  if (v < 0 || static_cast<size_t>(v) + 1 >= arena_.size() + 1) {
+    return false;
+  }
+  if (static_cast<size_t>(v) >= arena_.size()) {
+    return false;
+  }
+  return (arena_[static_cast<size_t>(v)] & kMagicMask) == kLiveMagic;
+}
+
+void ManagedHeap::VerifyHeap() const {
+  size_t off = 0;
+  while (off < arena_.size()) {
+    const int64_t header = arena_[off];
+    const int64_t magic = header & kMagicMask;
+    if (magic != kLiveMagic && magic != kFreeMagic) {
+      throw VmCrash(VmComponent::kGarbageCollection, "SIGSEGV",
+                    "GC found a corrupted object header at heap offset " + std::to_string(off));
+    }
+    if (off + 1 >= arena_.size()) {
+      throw VmCrash(VmComponent::kGarbageCollection, "assert",
+                    "GC found a truncated object at heap offset " + std::to_string(off));
+    }
+    const int64_t len = arena_[off + 1];
+    if (len < 0 || off + 2 + static_cast<size_t>(len) > arena_.size()) {
+      throw VmCrash(VmComponent::kGarbageCollection, "assert",
+                    "GC found an object with invalid length at heap offset " +
+                        std::to_string(off));
+    }
+    off += 2 + static_cast<size_t>(len);
+  }
+}
+
+void ManagedHeap::CollectGarbage(const std::vector<const std::vector<int64_t>*>& roots) {
+  ++gc_cycles_;
+  VerifyHeap();
+
+  // Mark (conservative): any root cell that plausibly names a live header pins that object.
+  for (const auto* frame : roots) {
+    for (int64_t v : *frame) {
+      if (IsPlausibleRef(v)) {
+        arena_[static_cast<size_t>(v)] |= kMarkBit;
+      }
+    }
+  }
+
+  // Sweep: unmarked live objects become free blocks; marks are cleared.
+  free_list_.clear();
+  size_t off = 0;
+  while (off < arena_.size()) {
+    int64_t& header = arena_[off];
+    const int64_t len = arena_[off + 1];
+    if ((header & kMagicMask) == kLiveMagic) {
+      if ((header & kMarkBit) != 0) {
+        header &= ~kMarkBit;
+      } else {
+        header = PackHeader(kFreeMagic, TypeKind::kVoid, false);
+        free_list_.push_back(static_cast<int64_t>(off));
+      }
+    } else {
+      free_list_.push_back(static_cast<int64_t>(off));
+    }
+    off += 2 + static_cast<size_t>(len);
+  }
+}
+
+uint64_t ManagedHeap::live_objects() const {
+  uint64_t count = 0;
+  size_t off = 0;
+  while (off < arena_.size()) {
+    if ((arena_[off] & kMagicMask) == kLiveMagic) {
+      ++count;
+    }
+    off += 2 + static_cast<size_t>(arena_[off + 1]);
+  }
+  return count;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,74 @@
+// Managed heap for Jaguar arrays, with a verifying mark-sweep garbage collector.
+//
+// Arrays live in one contiguous arena of 64-bit cells so that an out-of-bounds compiled store
+// (e.g. after buggy range-check elimination) physically corrupts the *neighbouring object's
+// header*, which the collector then detects on its next cycle — reproducing the failure mode
+// the paper highlights for OpenJ9: "it is the JIT compiler that corrupts the heap memory,
+// causing the garbage collector to crash" (§4.2).
+//
+// Object layout in the arena:  [header][length][element 0]...[element n-1]
+// The header packs a magic tag, the element kind, and the mark bit. References are arena
+// offsets of the header cell. The GC is conservative: any root value that is a plausible
+// header offset pins the object (safe because objects never move).
+
+#ifndef SRC_JAGUAR_VM_HEAP_H_
+#define SRC_JAGUAR_VM_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/jaguar/lang/types.h"
+
+namespace jaguar {
+
+using HeapRef = int64_t;
+
+class ManagedHeap {
+ public:
+  // `gc_period`: allocations between collection cycles (0 disables automatic GC).
+  explicit ManagedHeap(uint64_t gc_period);
+
+  // Allocates an array of `count` elements (caller must have trapped negative sizes).
+  // Runs a GC cycle first when the period elapsed; `roots` supplies the conservative root set.
+  HeapRef Allocate(TypeKind elem, int64_t count, const std::vector<const std::vector<int64_t>*>& roots);
+
+  int64_t Length(HeapRef ref) const;
+  TypeKind ElementKind(HeapRef ref) const;
+
+  // Bounds-checked element access; returns false (and does nothing) when out of bounds.
+  bool Load(HeapRef ref, int64_t index, int64_t* out) const;
+  bool Store(HeapRef ref, int64_t index, int64_t value);
+
+  // Unchecked access used by compiled code after range-check elimination. An out-of-bounds
+  // index silently writes through — into a neighbouring object — just like native JIT code.
+  int64_t LoadUnchecked(HeapRef ref, int64_t index) const;
+  void StoreUnchecked(HeapRef ref, int64_t index, int64_t value);
+
+  // Full collection cycle: verify, mark, sweep. Throws VmCrash(kGarbageCollection) when the
+  // heap is corrupted. Also invoked automatically by Allocate().
+  void CollectGarbage(const std::vector<const std::vector<int64_t>*>& roots);
+
+  // Walks every object header; throws VmCrash(kGarbageCollection) on corruption.
+  void VerifyHeap() const;
+
+  uint64_t allocation_count() const { return allocation_count_; }
+  uint64_t gc_cycles() const { return gc_cycles_; }
+  uint64_t live_objects() const;
+
+ private:
+  bool IsPlausibleRef(int64_t v) const;
+  // Throws VmCrash(kCodeExecution) when `ref` does not name a live object (heap corruption).
+  void RequireLiveObject(HeapRef ref) const;
+  static int64_t TruncateForKind(TypeKind kind, int64_t value);
+
+  uint64_t gc_period_;
+  uint64_t allocation_count_ = 0;
+  uint64_t allocations_since_gc_ = 0;
+  uint64_t gc_cycles_ = 0;
+  std::vector<int64_t> arena_;
+  std::vector<int64_t> free_list_;  // offsets of swept (dead) blocks, reusable if size fits
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_HEAP_H_

@@ -1,0 +1,278 @@
+#include "src/jaguar/vm/interpreter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/value.h"
+
+namespace jaguar {
+namespace {
+
+std::string BoundsTrapMessage(int64_t index, int64_t length) {
+  return "ArrayIndexOutOfBoundsException: Index " + std::to_string(index) +
+         " out of bounds for length " + std::to_string(length);
+}
+
+}  // namespace
+
+int64_t Interpret(Vm& vm, int func, std::vector<int64_t>& locals, InterpretEntry entry,
+                  int trace_token) {
+  const BcFunction& f = vm.program().functions[static_cast<size_t>(func)];
+  JAG_CHECK(locals.size() == static_cast<size_t>(f.num_locals));
+
+  int32_t pc = entry.pc;
+  std::vector<int64_t> stack = std::move(entry.stack);
+  Vm::FrameGuard frame(vm, &locals, &stack);
+
+  auto pop = [&]() {
+    JAG_CHECK(!stack.empty());
+    const int64_t v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  auto push = [&](int64_t v) { stack.push_back(v); };
+
+  // Dispatches `message` as a trap raised at `trap_pc`: jumps to the innermost handler, or
+  // rethrows out of this frame. Returns the handler pc, or -1 to signal a rethrow.
+  auto dispatch_trap = [&](int32_t trap_pc, const std::string& message) -> int32_t {
+    const int32_t handler = f.HandlerFor(trap_pc);
+    if (handler < 0) {
+      throw TrapException(message);
+    }
+    stack.clear();
+    return handler;
+  };
+
+  if (!entry.pending_trap.empty()) {
+    pc = dispatch_trap(pc, entry.pending_trap);
+  }
+
+  for (;;) {
+    try {
+      for (;;) {
+        JAG_CHECK(pc >= 0 && static_cast<size_t>(pc) < f.code.size());
+        const Instr& instr = f.code[static_cast<size_t>(pc)];
+        vm.AddSteps(1);
+        const bool wide = instr.w != 0;
+
+        switch (instr.op) {
+          case Op::kConst:
+            push(instr.imm);
+            ++pc;
+            break;
+          case Op::kLoad:
+            push(locals[static_cast<size_t>(instr.a)]);
+            ++pc;
+            break;
+          case Op::kStore:
+            locals[static_cast<size_t>(instr.a)] = pop();
+            ++pc;
+            break;
+          case Op::kGLoad:
+            push(vm.globals()[static_cast<size_t>(instr.a)]);
+            ++pc;
+            break;
+          case Op::kGStore:
+            vm.globals()[static_cast<size_t>(instr.a)] = pop();
+            ++pc;
+            break;
+
+          case Op::kAdd:
+          case Op::kSub:
+          case Op::kMul:
+          case Op::kDiv:
+          case Op::kRem:
+          case Op::kShl:
+          case Op::kShr:
+          case Op::kUshr:
+          case Op::kAnd:
+          case Op::kOr:
+          case Op::kXor:
+          case Op::kCmpEq:
+          case Op::kCmpNe:
+          case Op::kCmpLt:
+          case Op::kCmpLe:
+          case Op::kCmpGt:
+          case Op::kCmpGe: {
+            const int64_t rhs = pop();
+            const int64_t lhs = pop();
+            bool div_by_zero = false;
+            const int64_t result = EvalBinaryOp(instr.op, wide, lhs, rhs, &div_by_zero);
+            if (div_by_zero) {
+              throw TrapException("ArithmeticException: / by zero");
+            }
+            push(result);
+            ++pc;
+            break;
+          }
+
+          case Op::kNeg:
+          case Op::kBitNot:
+          case Op::kNot:
+          case Op::kI2L:
+          case Op::kL2I:
+            push(EvalUnaryOp(instr.op, wide, pop()));
+            ++pc;
+            break;
+
+          case Op::kJmp: {
+            const int32_t target = instr.a;
+            if (target <= pc) {
+              auto osr = vm.OnBackEdge(func, target, trace_token);
+              if (osr != nullptr) {
+                if (std::getenv("JAG_DBG_OSR") != nullptr) {
+                  fprintf(stderr, "OSR enter fn=%d level=%d header=%d locals:", func,
+                          osr->level(), target);
+                  for (int64_t v : locals) fprintf(stderr, " %lld", (long long)v);
+                  fprintf(stderr, "\n");
+                }
+                CompiledExecResult result = osr->Execute(vm, locals);
+                if (result.kind == CompiledExecResult::Kind::kReturn) {
+                  return result.ret;
+                }
+                vm.NoteDeopt(func, result.deopt, osr.get(), trace_token);
+                pc = result.deopt.resume_pc;
+                locals = std::move(result.deopt.locals);
+                stack = std::move(result.deopt.stack);
+                if (!result.deopt.pending_trap.empty()) {
+                  pc = dispatch_trap(pc, result.deopt.pending_trap);
+                }
+                break;
+              }
+            }
+            pc = target;
+            break;
+          }
+
+          case Op::kJmpIfTrue:
+          case Op::kJmpIfFalse: {
+            const bool cond = pop() != 0;
+            auto& profile = vm.runtime(func).branch_profiles[pc];
+            if (cond) {
+              ++profile.taken;
+            } else {
+              ++profile.not_taken;
+            }
+            const bool jump = (instr.op == Op::kJmpIfTrue) == cond;
+            const int32_t target = jump ? instr.a : pc + 1;
+            if (jump && instr.a <= pc) {
+              auto osr = vm.OnBackEdge(func, instr.a, trace_token);
+              if (osr != nullptr) {
+                CompiledExecResult result = osr->Execute(vm, locals);
+                if (result.kind == CompiledExecResult::Kind::kReturn) {
+                  return result.ret;
+                }
+                vm.NoteDeopt(func, result.deopt, osr.get(), trace_token);
+                pc = result.deopt.resume_pc;
+                locals = std::move(result.deopt.locals);
+                stack = std::move(result.deopt.stack);
+                if (!result.deopt.pending_trap.empty()) {
+                  pc = dispatch_trap(pc, result.deopt.pending_trap);
+                }
+                break;
+              }
+            }
+            pc = target;
+            break;
+          }
+
+          case Op::kSwitch: {
+            const int32_t subject = static_cast<int32_t>(pop());
+            const auto& table = f.switch_tables[static_cast<size_t>(instr.a)];
+            pc = table.TargetFor(subject);
+            break;
+          }
+
+          case Op::kCall: {
+            const auto& callee = vm.program().functions[static_cast<size_t>(instr.a)];
+            const size_t argc = callee.params.size();
+            JAG_CHECK(stack.size() >= argc);
+            std::vector<int64_t> args(stack.end() - static_cast<ptrdiff_t>(argc), stack.end());
+            stack.resize(stack.size() - argc);
+            const int64_t result = vm.InvokeFunction(instr.a, args);
+            if (!callee.ret.IsVoid()) {
+              push(result);
+            }
+            ++pc;
+            break;
+          }
+
+          case Op::kRet:
+            return pop();
+          case Op::kRetVoid:
+            return 0;
+
+          case Op::kNewArray:
+            push(vm.AllocateArray(static_cast<TypeKind>(instr.a), pop()));
+            ++pc;
+            break;
+
+          case Op::kALoad: {
+            const int64_t index = pop();
+            const HeapRef ref = pop();
+            int64_t value = 0;
+            if (!vm.heap().Load(ref, index, &value)) {
+              throw TrapException(BoundsTrapMessage(index, vm.heap().Length(ref)));
+            }
+            push(value);
+            ++pc;
+            break;
+          }
+          case Op::kAStore: {
+            const int64_t value = pop();
+            const int64_t index = pop();
+            const HeapRef ref = pop();
+            if (!vm.heap().Store(ref, index, value)) {
+              throw TrapException(BoundsTrapMessage(index, vm.heap().Length(ref)));
+            }
+            ++pc;
+            break;
+          }
+          case Op::kALen:
+            push(vm.heap().Length(pop()));
+            ++pc;
+            break;
+
+          case Op::kPrint:
+            vm.EmitPrint(static_cast<TypeKind>(instr.a), pop());
+            ++pc;
+            break;
+
+          case Op::kPop:
+            pop();
+            ++pc;
+            break;
+          case Op::kDup: {
+            const int64_t v = pop();
+            push(v);
+            push(v);
+            ++pc;
+            break;
+          }
+          case Op::kDup2: {
+            const int64_t b = pop();
+            const int64_t a = pop();
+            push(a);
+            push(b);
+            push(a);
+            push(b);
+            ++pc;
+            break;
+          }
+          case Op::kSetMute:
+            vm.SetMute(instr.a != 0);
+            ++pc;
+            break;
+        }
+      }
+    } catch (const TrapException& trap) {
+      // Dispatch within this frame or rethrow to the caller. `pc` still points at the
+      // faulting instruction (every trap site throws before advancing pc).
+      pc = dispatch_trap(pc, trap.what());
+    }
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,37 @@
+// The bytecode interpreter.
+//
+// Beyond plain dispatch, the interpreter is responsible for the profiling half of the tiered
+// machinery: it bumps back-edge counters, records branch profiles for the speculation pass,
+// enters OSR-compiled code at loop headers, and resumes execution mid-method after a
+// deoptimization (including the "pending trap" resume used when a trap unwinds into a frame
+// whose handler lives in code that was executing compiled).
+
+#ifndef SRC_JAGUAR_VM_INTERPRETER_H_
+#define SRC_JAGUAR_VM_INTERPRETER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/vm/engine.h"
+
+namespace jaguar {
+
+// Where to (re-)enter the interpreter: the function start, or a deopt resume point.
+struct InterpretEntry {
+  int32_t pc = 0;
+  std::vector<int64_t> stack;
+  // When non-empty, this trap is dispatched at `pc` before executing anything (deopt of a
+  // call site whose callee trapped).
+  std::string pending_trap;
+};
+
+// Interprets `func` starting from `entry` with the given locals (modified in place).
+// Returns the function result (0 for void). Throws TrapException for uncaught traps,
+// TimeoutAbort / VmCrash propagate from the engine services.
+int64_t Interpret(Vm& vm, int func, std::vector<int64_t>& locals, InterpretEntry entry,
+                  int trace_token);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_INTERPRETER_H_

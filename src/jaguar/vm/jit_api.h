@@ -1,0 +1,95 @@
+// The engine ↔ JIT boundary.
+//
+// The execution engine is JIT-agnostic: it talks to the compiler through JitCompilerApi and to
+// compiled code through CompiledMethod. Compiled code executes against the same Vm services
+// (heap, globals, calls, printing, step accounting) as the interpreter, and reports either a
+// normal return or a *deoptimization request* describing the interpreter frame to resume
+// (bytecode pc + locals + operand stack + optional pending trap). This is the mechanism that
+// makes the compilation space real: execution can switch between interpretation and any
+// compiled tier at method entries, loop back-edges (OSR), and uncommon traps (deopt).
+
+#ifndef SRC_JAGUAR_VM_JIT_API_H_
+#define SRC_JAGUAR_VM_JIT_API_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jaguar {
+
+class Vm;
+
+// Interpreter frame state to resume after a deoptimization.
+struct DeoptState {
+  int32_t resume_pc = 0;
+  std::vector<int64_t> locals;
+  std::vector<int64_t> stack;
+  // Non-empty when the deopt was triggered by a trap propagating out of a callee while a
+  // handler exists in this frame: the interpreter dispatches the trap immediately on resume.
+  std::string pending_trap;
+  // The bytecode pc of the speculative guard that failed, or -1 when the deopt was caused by
+  // a trapping instruction / pending trap rather than a failed speculation. The engine records
+  // failed guards so recompilation stops speculating on them.
+  int32_t failed_guard_pc = -1;
+  // The guard's expected direction (meaningful when failed_guard_pc >= 0).
+  bool failed_guard_expectation = false;
+};
+
+struct CompiledExecResult {
+  enum class Kind : uint8_t { kReturn, kDeopt };
+  Kind kind = Kind::kReturn;
+  int64_t ret = 0;  // valid for kReturn (0 for void functions)
+  DeoptState deopt;
+
+  static CompiledExecResult Return(int64_t v) {
+    CompiledExecResult r;
+    r.kind = Kind::kReturn;
+    r.ret = v;
+    return r;
+  }
+  static CompiledExecResult Deopt(DeoptState state) {
+    CompiledExecResult r;
+    r.kind = Kind::kDeopt;
+    r.deopt = std::move(state);
+    return r;
+  }
+};
+
+// A compiled artifact for one function (normal entry) or one loop of it (OSR entry).
+class CompiledMethod {
+ public:
+  virtual ~CompiledMethod() = default;
+
+  // Runs the compiled code. `locals` carries the entry state: argument slots for a normal
+  // entry, the full local array at the loop header for an OSR entry.
+  virtual CompiledExecResult Execute(Vm& vm, std::vector<int64_t> locals) = 0;
+
+  virtual int level() const = 0;
+  virtual int32_t osr_pc() const = 0;  // -1 for normal entries
+  virtual uint64_t speculative_guards() const = 0;
+
+  bool entrant() const { return entrant_; }
+  void MakeNotEntrant() { entrant_ = false; }
+
+ private:
+  bool entrant_ = true;
+};
+
+class JitCompilerApi {
+ public:
+  virtual ~JitCompilerApi() = default;
+
+  // Compiles `func` at `level`; `osr_pc >= 0` requests an OSR entry at that loop header.
+  // May throw VmCrash (injected compile-time defects).
+  virtual std::shared_ptr<CompiledMethod> Compile(Vm& vm, int func, int level,
+                                                  int32_t osr_pc) = 0;
+
+  // Approximate compilation cost in engine steps (charged to the step budget, so that
+  // deopt/recompile cycling is observable as a performance pathology).
+  virtual uint64_t CompileCostSteps(const Vm& vm, int func) const = 0;
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_JIT_API_H_

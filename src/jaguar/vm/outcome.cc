@@ -1,0 +1,36 @@
+#include "src/jaguar/vm/outcome.h"
+
+namespace jaguar {
+
+const char* ComponentName(VmComponent c) {
+  switch (c) {
+    case VmComponent::kNone: return "None";
+    case VmComponent::kInlining: return "Inlining";
+    case VmComponent::kIrBuilding: return "Ideal Graph Building";
+    case VmComponent::kLoopOptimization: return "Loop Optimization";
+    case VmComponent::kConstantPropagation: return "Constant Propagation";
+    case VmComponent::kGvn: return "Global Value Numbering";
+    case VmComponent::kEscapeAnalysis: return "Escape Analysis";
+    case VmComponent::kRangeCheckElimination: return "Range Check Elimination";
+    case VmComponent::kRegisterAllocation: return "Register Allocation";
+    case VmComponent::kCodeGeneration: return "Code Generation";
+    case VmComponent::kCodeExecution: return "Code Execution";
+    case VmComponent::kDeoptimization: return "De-optimization";
+    case VmComponent::kRecompilation: return "Recompilation";
+    case VmComponent::kGarbageCollection: return "Garbage Collection";
+    case VmComponent::kSpeculation: return "Speculation";
+  }
+  return "<bad component>";
+}
+
+const char* RunStatusName(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kUncaughtTrap: return "uncaught-trap";
+    case RunStatus::kVmCrash: return "vm-crash";
+    case RunStatus::kTimeout: return "timeout";
+  }
+  return "<bad status>";
+}
+
+}  // namespace jaguar

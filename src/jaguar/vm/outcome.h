@@ -1,0 +1,116 @@
+// Execution outcomes of the simulated VM, and the exception types that model program traps
+// and VM crashes.
+//
+// Three distinct failure planes exist and must not be confused:
+//   1. TrapException  — a *program-level* runtime exception (ArithmeticException, array bounds,
+//      stack overflow). Deterministic, part of the program's semantics, catchable by Jaguar's
+//      `try/catch`. An uncaught trap terminates the run with kUncaughtTrap and its message is
+//      part of the observable output.
+//   2. VmCrash        — the *simulated VM* crashed (assertion failure inside a JIT pass,
+//      segfault-equivalent while executing compiled code, GC heap-corruption detection). This
+//      models the "Crash" bug class of the paper's Table 1 and carries the affected component
+//      for the Table 2 histogram.
+//   3. jaguar::InternalError (check.h) — a bug in *this repository*. Never caught by the VM.
+
+#ifndef SRC_JAGUAR_VM_OUTCOME_H_
+#define SRC_JAGUAR_VM_OUTCOME_H_
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/jit/bug_ids.h"
+#include "src/jaguar/vm/trace.h"
+
+namespace jaguar {
+
+// JIT-compiler (and JIT-adjacent) components a simulated crash can be attributed to.
+// The set mirrors the component rows of the paper's Table 2.
+enum class VmComponent : uint8_t {
+  kNone,
+  kInlining,
+  kIrBuilding,          // "Ideal Graph Building"
+  kLoopOptimization,    // LICM / unrolling ("Ideal Loop Optimization", "Loop Vectorization")
+  kConstantPropagation, // "Global Constant Propagation" / "Value Propagation"
+  kGvn,                 // "Global Value Numbering"
+  kEscapeAnalysis,
+  kRangeCheckElimination,
+  kRegisterAllocation,
+  kCodeGeneration,
+  kCodeExecution,       // crash while running compiled code
+  kDeoptimization,
+  kRecompilation,
+  kGarbageCollection,   // JIT-induced heap corruption detected by the GC
+  kSpeculation,
+};
+
+const char* ComponentName(VmComponent c);
+
+// A Jaguar program-level trap (see file comment, plane 1).
+class TrapException : public std::runtime_error {
+ public:
+  explicit TrapException(const std::string& message) : std::runtime_error(message) {}
+};
+
+// A simulated VM crash (plane 2). `kind` is the symptom ("assert", "SIGSEGV", ...).
+class VmCrash : public std::runtime_error {
+ public:
+  VmCrash(VmComponent component, std::string kind, const std::string& message)
+      : std::runtime_error(message), component_(component), kind_(std::move(kind)) {}
+  VmComponent component() const { return component_; }
+  const std::string& kind() const { return kind_; }
+
+ private:
+  VmComponent component_;
+  std::string kind_;
+};
+
+// Raised when the step budget is exhausted (the analogue of the paper's 2-minute timeout).
+class TimeoutAbort : public std::runtime_error {
+ public:
+  TimeoutAbort() : std::runtime_error("step budget exhausted") {}
+};
+
+enum class RunStatus : uint8_t { kOk, kUncaughtTrap, kVmCrash, kTimeout };
+
+const char* RunStatusName(RunStatus s);
+
+struct RunOutcome {
+  RunStatus status = RunStatus::kOk;
+  std::string output;  // everything the program printed (trap messages appended on kUncaughtTrap)
+
+  // kVmCrash details.
+  VmComponent crash_component = VmComponent::kNone;
+  std::string crash_kind;
+  std::string crash_message;
+
+  uint64_t steps = 0;  // executed cost units (interpreted + compiled)
+
+  // Ground-truth telemetry: the injected defects whose buggy code path actually altered
+  // behavior during this run. The validator uses this for root-cause attribution (the stand-in
+  // for the paper's manual developer triage); the detection oracle itself never looks at it.
+  std::vector<BugId> fired_bugs;
+
+  JitTraceSummary trace;
+  // The full JIT-trace (sequence of temperature vectors), present only when the config
+  // enables record_full_trace. Used by compilation-space coverage tracking.
+  std::shared_ptr<const JitTrace> full_trace;
+
+  // True if both runs printed the same output and ended the same way (for simulated VM
+  // crashes: the same component and symptom — two identical crashes are one behaviour).
+  bool SameObservable(const RunOutcome& other) const {
+    if (status != other.status || output != other.output) {
+      return false;
+    }
+    if (status == RunStatus::kVmCrash) {
+      return crash_component == other.crash_component && crash_kind == other.crash_kind;
+    }
+    return true;
+  }
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_OUTCOME_H_

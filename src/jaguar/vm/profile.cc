@@ -1,0 +1,31 @@
+#include "src/jaguar/vm/profile.h"
+
+#include <algorithm>
+
+#include "src/jaguar/vm/jit_api.h"
+
+namespace jaguar {
+
+uint64_t MethodRuntime::HottestCounter() const {
+  uint64_t hottest = invocation_count;
+  for (const auto& [pc, count] : backedge_counts) {
+    hottest = std::max(hottest, count);
+  }
+  return hottest;
+}
+
+Temperature MethodRuntime::MethodTemperature(const std::vector<uint64_t>& thresholds) const {
+  return CounterTemperature(HottestCounter(), thresholds);
+}
+
+int MethodRuntime::EntrantLevel() const {
+  for (int level = static_cast<int>(by_level.size()) - 1; level >= 1; --level) {
+    const auto& m = by_level[static_cast<size_t>(level)];
+    if (m != nullptr && m->entrant()) {
+      return level;
+    }
+  }
+  return 0;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,67 @@
+// Per-method runtime profiling state.
+//
+// Every method owns the counter set C_m of the paper's Definition 3.2: the method (invocation)
+// counter c0 plus one back-edge counter per loop header, and additionally branch profiles that
+// feed the top tier's speculation pass. Compiled artifacts and deopt bookkeeping also live
+// here, mirroring how HotSpot hangs compiled nmethods and MDO profiles off a Method*.
+
+#ifndef SRC_JAGUAR_VM_PROFILE_H_
+#define SRC_JAGUAR_VM_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/jaguar/vm/trace.h"
+
+namespace jaguar {
+
+class CompiledMethod;
+
+struct BranchProfile {
+  uint64_t taken = 0;
+  uint64_t not_taken = 0;
+
+  uint64_t total() const { return taken + not_taken; }
+};
+
+struct MethodRuntime {
+  // c0 — bumped on every invocation regardless of execution mode.
+  uint64_t invocation_count = 0;
+
+  // c1..cM — back-edge counters keyed by loop-header pc.
+  std::map<int32_t, uint64_t> backedge_counts;
+
+  // Branch profiles keyed by the pc of the conditional jump (interpreter-maintained).
+  std::map<int32_t, BranchProfile> branch_profiles;
+
+  // Compiled artifacts per level (index = level, slot 0 unused). Entries may be present but
+  // not entrant after a deoptimization.
+  std::vector<std::shared_ptr<CompiledMethod>> by_level;
+
+  // OSR-compiled artifacts keyed by loop-header pc.
+  std::map<int32_t, std::shared_ptr<CompiledMethod>> osr_by_pc;
+
+  // Branch pcs whose speculative guards fired, with the expectation that failed; the
+  // compiler will not re-speculate on them (the kRecompileCycling defect re-speculates the
+  // recorded — stale — expectation instead).
+  std::map<int32_t, bool> failed_speculations;
+
+  uint64_t deopt_count = 0;
+  bool compilation_disabled = false;  // set after too many deopt/recompile cycles
+
+  // The hottest counter value, i.e. max over C_m (Definition 3.2).
+  uint64_t HottestCounter() const;
+
+  // τ(m) given thresholds {Z1..ZN}.
+  Temperature MethodTemperature(const std::vector<uint64_t>& thresholds) const;
+
+  // Highest level with an entrant compiled artifact (0 = none).
+  int EntrantLevel() const;
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_PROFILE_H_

@@ -1,0 +1,75 @@
+#include "src/jaguar/vm/trace.h"
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+Temperature CounterTemperature(uint64_t counter, const std::vector<uint64_t>& thresholds) {
+  // thresholds = {Z1, ..., ZN}, ascending. τ = t_i with c in [Z_i, Z_{i+1}), Z_0 = 0.
+  Temperature t = 0;
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    if (counter >= thresholds[i]) {
+      t = static_cast<Temperature>(i + 1);
+    }
+  }
+  return t;
+}
+
+std::string TemperatureVector::ToString(const std::string& func_name) const {
+  std::string out = "<";
+  for (size_t i = 0; i < temps.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += "t" + std::to_string(temps[i]);
+  }
+  out += ">^" + std::to_string(call_index) + "_" + func_name;
+  return out;
+}
+
+std::string JitTraceSummary::ToString() const {
+  return "calls=" + std::to_string(method_calls) +
+         " interp=" + std::to_string(interpreted_calls) +
+         " compiled_entries=" + std::to_string(compiled_entries) +
+         " jit=" + std::to_string(jit_compilations) +
+         " osr=" + std::to_string(osr_compilations) + " deopts=" + std::to_string(deopts) +
+         " guards=" + std::to_string(speculative_guards);
+}
+
+int JitTraceRecorder::BeginCall(int func, uint64_t call_index, Temperature entry) {
+  if (!record_full_) {
+    return -1;
+  }
+  if (trace_.vectors.size() >= max_vectors_) {
+    truncated_ = true;
+    return -1;
+  }
+  TemperatureVector v;
+  v.func = func;
+  v.call_index = call_index;
+  v.temps.push_back(entry);
+  trace_.vectors.push_back(std::move(v));
+  return static_cast<int>(trace_.vectors.size()) - 1;
+}
+
+void JitTraceRecorder::AddTransition(int token, Temperature temp) {
+  if (token < 0) {
+    return;
+  }
+  auto& v = trace_.vectors[static_cast<size_t>(token)];
+  // Collapse repeated temperatures: a vector records *changes* of execution mode.
+  if (v.temps.empty() || v.temps.back() != temp) {
+    v.temps.push_back(temp);
+  }
+}
+
+void JitTraceRecorder::CountCall(bool compiled_entry) {
+  ++summary_.method_calls;
+  if (compiled_entry) {
+    ++summary_.compiled_entries;
+  } else {
+    ++summary_.interpreted_calls;
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,98 @@
+// Temperatures, temperature vectors, and JIT-traces — the paper's §3.1 formalization.
+//
+// A VM with N compilation thresholds Z1 <= ... <= ZN (Definition 3.1) assigns each profiling
+// counter c a temperature τ(c) = t_i iff c ∈ [Z_i, Z_{i+1}) (Definition 3.2, with Z0 = 0 and
+// Z_{N+1} = +∞). A method's temperature is that of its hottest counter. The *temperature
+// vector* u^i_m records how method m's execution mode changes during its i-th call (e.g.
+// ⟨t0, t1, t0⟩ = entered interpreted, got JIT-compiled at level 1, deoptimized back).
+// A *JIT-trace* φ is the sequence of temperature vectors over all calls of a run; the
+// compilation space S_LVM(P) is the set of all JIT-traces the VM can produce (Definition 3.3).
+//
+// The recorder below is wired into the execution engine: every run can emit its JIT-trace,
+// which is what Artemis compares to demonstrate that a mutant actually explored a different
+// point of the compilation space.
+
+#ifndef SRC_JAGUAR_VM_TRACE_H_
+#define SRC_JAGUAR_VM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jaguar {
+
+// Temperature t0 = interpreted; t_i (i >= 1) = executing code compiled at level i.
+using Temperature = int;
+
+// Definition 3.2: τ(c) for counter value c given thresholds Z1..ZN.
+Temperature CounterTemperature(uint64_t counter, const std::vector<uint64_t>& thresholds);
+
+// The temperature vector u^i_m of one method call.
+struct TemperatureVector {
+  int func = -1;               // function index in the BcProgram
+  uint64_t call_index = 0;     // i — this is the i-th call of the function (1-based)
+  std::vector<Temperature> temps;
+
+  bool operator==(const TemperatureVector& other) const {
+    return func == other.func && call_index == other.call_index && temps == other.temps;
+  }
+  std::string ToString(const std::string& func_name) const;
+};
+
+// A JIT-trace φ: the sequence of temperature vectors of one run, in call order.
+struct JitTrace {
+  std::vector<TemperatureVector> vectors;
+
+  bool operator==(const JitTrace& other) const { return vectors == other.vectors; }
+};
+
+// Cheap aggregate statistics, always recorded even when full traces are disabled.
+struct JitTraceSummary {
+  uint64_t method_calls = 0;
+  uint64_t interpreted_calls = 0;
+  uint64_t compiled_entries = 0;  // calls that began in compiled code
+  uint64_t jit_compilations = 0;  // standard (method-entry) compilations
+  uint64_t osr_compilations = 0;
+  uint64_t deopts = 0;
+  uint64_t speculative_guards = 0;  // guards planted by the speculation pass
+
+  bool SameShape(const JitTraceSummary& other) const {
+    return jit_compilations == other.jit_compilations &&
+           osr_compilations == other.osr_compilations && deopts == other.deopts;
+  }
+  std::string ToString() const;
+};
+
+// Records the JIT-trace of a run. Full vectors are capped (`max_vectors`) because real
+// programs make unbounded numbers of calls; the summary is always exact.
+class JitTraceRecorder {
+ public:
+  JitTraceRecorder(bool record_full, size_t max_vectors)
+      : record_full_(record_full), max_vectors_(max_vectors) {}
+
+  // Starts the vector of one method call; returns a token to append transitions through.
+  // A negative token means recording is off or capped.
+  int BeginCall(int func, uint64_t call_index, Temperature entry);
+  void AddTransition(int token, Temperature temp);
+
+  void CountCall(bool compiled_entry);
+  void CountJitCompilation() { ++summary_.jit_compilations; }
+  void CountOsrCompilation() { ++summary_.osr_compilations; }
+  void CountDeopt() { ++summary_.deopts; }
+  void CountSpeculativeGuards(uint64_t n) { summary_.speculative_guards += n; }
+
+  const JitTrace& trace() const { return trace_; }
+  const JitTraceSummary& summary() const { return summary_; }
+  bool truncated() const { return truncated_; }
+
+ private:
+  bool record_full_;
+  size_t max_vectors_;
+  bool truncated_ = false;
+  JitTrace trace_;
+  JitTraceSummary summary_;
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_TRACE_H_

@@ -1,0 +1,57 @@
+#include "src/jaguar/vm/value.h"
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+
+int64_t EvalBinaryOp(Op op, bool wide, int64_t lhs, int64_t rhs, bool* div_by_zero) {
+  *div_by_zero = false;
+  auto norm = [wide](int64_t v) { return wide ? v : TruncToInt(v); };
+  switch (op) {
+    case Op::kAdd: return norm(WrapAdd(lhs, rhs));
+    case Op::kSub: return norm(WrapSub(lhs, rhs));
+    case Op::kMul: return norm(WrapMul(lhs, rhs));
+    case Op::kDiv:
+      if (norm(rhs) == 0) {
+        *div_by_zero = true;
+        return 0;
+      }
+      return norm(JavaDiv(norm(lhs), norm(rhs)));
+    case Op::kRem:
+      if (norm(rhs) == 0) {
+        *div_by_zero = true;
+        return 0;
+      }
+      return norm(JavaRem(norm(lhs), norm(rhs)));
+    case Op::kShl: return wide ? JavaShlLong(lhs, rhs) : JavaShlInt(lhs, rhs);
+    case Op::kShr: return wide ? JavaShrLong(lhs, rhs) : JavaShrInt(lhs, rhs);
+    case Op::kUshr: return wide ? JavaUshrLong(lhs, rhs) : JavaUshrInt(lhs, rhs);
+    case Op::kAnd: return norm(lhs & rhs);
+    case Op::kOr: return norm(lhs | rhs);
+    case Op::kXor: return norm(lhs ^ rhs);
+    case Op::kCmpEq: return norm(lhs) == norm(rhs) ? 1 : 0;
+    case Op::kCmpNe: return norm(lhs) != norm(rhs) ? 1 : 0;
+    case Op::kCmpLt: return norm(lhs) < norm(rhs) ? 1 : 0;
+    case Op::kCmpLe: return norm(lhs) <= norm(rhs) ? 1 : 0;
+    case Op::kCmpGt: return norm(lhs) > norm(rhs) ? 1 : 0;
+    case Op::kCmpGe: return norm(lhs) >= norm(rhs) ? 1 : 0;
+    default:
+      JAG_CHECK_MSG(false, "not a binary operator: " + OpName(op));
+      return 0;
+  }
+}
+
+int64_t EvalUnaryOp(Op op, bool wide, int64_t v) {
+  switch (op) {
+    case Op::kNeg: return wide ? WrapNeg(v) : TruncToInt(WrapNeg(v));
+    case Op::kBitNot: return wide ? ~v : TruncToInt(~v);
+    case Op::kNot: return v == 0 ? 1 : 0;
+    case Op::kI2L: return v;  // ints are stored sign-extended already
+    case Op::kL2I: return TruncToInt(v);
+    default:
+      JAG_CHECK_MSG(false, "not a unary operator: " + OpName(op));
+      return 0;
+  }
+}
+
+}  // namespace jaguar

@@ -1,0 +1,73 @@
+// Runtime value representation and Java-semantics arithmetic.
+//
+// Jaguar is statically typed, so runtime values are untagged 64-bit cells: `long` uses the
+// full width, `int` is kept sign-extended and re-truncated by every int-typed operation,
+// `boolean` is 0/1, and array references are heap handles (heap.h). These helpers are the
+// single source of truth for arithmetic semantics — the interpreter, the constant folder, and
+// both JIT executors all call them, so a semantic divergence can only come from an *injected*
+// defect, never from two independent reimplementations drifting apart.
+
+#ifndef SRC_JAGUAR_VM_VALUE_H_
+#define SRC_JAGUAR_VM_VALUE_H_
+
+#include <cstdint>
+
+#include "src/jaguar/bytecode/opcode.h"
+
+namespace jaguar {
+
+inline int64_t TruncToInt(int64_t v) { return static_cast<int32_t>(static_cast<uint64_t>(v)); }
+
+inline int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+}
+inline int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+}
+inline int64_t WrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
+}
+inline int64_t WrapNeg(int64_t a) { return static_cast<int64_t>(-static_cast<uint64_t>(a)); }
+
+// Java division semantics (wraps at INT64_MIN / -1). Divisor must be nonzero.
+inline int64_t JavaDiv(int64_t a, int64_t b) { return b == -1 ? WrapNeg(a) : a / b; }
+inline int64_t JavaRem(int64_t a, int64_t b) { return b == -1 ? 0 : a % b; }
+
+inline int64_t JavaShlInt(int64_t a, int64_t count) {
+  const uint32_t s = static_cast<uint32_t>(count) & 31u;
+  return TruncToInt(static_cast<int64_t>(static_cast<uint64_t>(a) << s));
+}
+inline int64_t JavaShrInt(int64_t a, int64_t count) {
+  const uint32_t s = static_cast<uint32_t>(count) & 31u;
+  return static_cast<int32_t>(static_cast<uint64_t>(a)) >> s;
+}
+inline int64_t JavaUshrInt(int64_t a, int64_t count) {
+  const uint32_t s = static_cast<uint32_t>(count) & 31u;
+  return static_cast<int64_t>(
+      static_cast<int32_t>(static_cast<uint32_t>(static_cast<uint64_t>(a)) >> s));
+}
+inline int64_t JavaShlLong(int64_t a, int64_t count) {
+  const uint32_t s = static_cast<uint32_t>(count) & 63u;
+  return static_cast<int64_t>(static_cast<uint64_t>(a) << s);
+}
+inline int64_t JavaShrLong(int64_t a, int64_t count) {
+  const uint32_t s = static_cast<uint32_t>(count) & 63u;
+  return a >> s;
+}
+inline int64_t JavaUshrLong(int64_t a, int64_t count) {
+  const uint32_t s = static_cast<uint32_t>(count) & 63u;
+  return static_cast<int64_t>(static_cast<uint64_t>(a) >> s);
+}
+
+// Evaluates a binary bytecode operator on already-width-normalized operands.
+// `wide` selects long (true) vs int (false) semantics. Division/remainder by zero is
+// reported through `*div_by_zero` (result undefined in that case); all other operators
+// never set it. Comparison operators return 0/1.
+int64_t EvalBinaryOp(Op op, bool wide, int64_t lhs, int64_t rhs, bool* div_by_zero);
+
+// Evaluates kNeg / kBitNot / kNot / kI2L / kL2I.
+int64_t EvalUnaryOp(Op op, bool wide, int64_t v);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_VALUE_H_

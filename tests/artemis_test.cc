@@ -1,0 +1,451 @@
+// Tests for the Artemis core: the seed generator, loop synthesis, the JoNM mutators and
+// their neutrality guarantee, compilation-space exploration, the validation loop, the
+// baselines, and the reducer.
+
+#include <gtest/gtest.h>
+
+#include "src/artemis/baseline/option_fuzzer.h"
+#include "src/artemis/baseline/traditional.h"
+#include "src/artemis/fuzzer/generator.h"
+#include "src/artemis/mutate/jonm.h"
+#include "src/artemis/reduce/reducer.h"
+#include "src/artemis/space/compilation_space.h"
+#include "src/artemis/synth/skeleton_corpus.h"
+#include "src/artemis/synth/synthesis.h"
+#include "src/artemis/validate/validator.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/printer.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BcProgram;
+using jaguar::Program;
+using jaguar::Rng;
+using jaguar::RunOutcome;
+using jaguar::RunStatus;
+using jaguar::Type;
+using jaguar::VmConfig;
+
+// Small synthesis bounds so tests run fast while still crossing the FastJit thresholds.
+SynthParams FastSynth() {
+  SynthParams p;
+  p.min_bound = 150;
+  p.max_bound = 400;
+  p.max_step = 4;
+  return p;
+}
+
+VmConfig FastVendor() {
+  VmConfig c;
+  c.name = "FastVendor";
+  c.tiers = {
+      jaguar::TierSpec{60, 100, /*full_optimization=*/false, /*speculate=*/false,
+                       /*profiles=*/true},
+      jaguar::TierSpec{200, 300, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.min_profile_for_speculation = 24;
+  c.step_budget = 40'000'000;
+  return c;
+}
+
+// --- JagFuzz ---------------------------------------------------------------------------------
+
+TEST(GeneratorTest, ProgramsAreDeterministic) {
+  FuzzConfig config;
+  Program a = GenerateProgram(config, 42);
+  Program b = GenerateProgram(config, 42);
+  EXPECT_EQ(jaguar::PrintProgram(a), jaguar::PrintProgram(b));
+  Program c = GenerateProgram(config, 43);
+  EXPECT_NE(jaguar::PrintProgram(a), jaguar::PrintProgram(c));
+}
+
+TEST(GeneratorTest, ProgramsRoundTripThroughThePrinter) {
+  FuzzConfig config;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Program p = GenerateProgram(config, seed);
+    Program reparsed = jaguar::ParseProgram(jaguar::PrintProgram(p));
+    EXPECT_NO_THROW(jaguar::Check(reparsed)) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, ProgramsRunAndTerminate) {
+  FuzzConfig config;
+  int ok = 0;
+  for (uint64_t seed = 100; seed < 140; ++seed) {
+    Program p = GenerateProgram(config, seed);
+    const BcProgram bc = jaguar::CompileProgram(p);
+    RunOutcome out = jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig());
+    EXPECT_NE(out.status, RunStatus::kTimeout) << "seed " << seed;
+    ok += out.status == RunStatus::kOk ? 1 : 0;
+    EXPECT_FALSE(out.output.empty()) << "seed " << seed;  // globals printed at exit
+  }
+  // The vast majority of seeds terminate normally (a few may trap, like JavaFuzzer's).
+  EXPECT_GE(ok, 35);
+}
+
+TEST(GeneratorTest, SeedsStayColdUnderProductionThresholds) {
+  // The paper (§2.2): generators avoid long loops, so seeds alone rarely reach compilation
+  // thresholds. Verify against the HotSniff production-like config.
+  FuzzConfig config;
+  int cold = 0;
+  for (uint64_t seed = 200; seed < 220; ++seed) {
+    Program p = GenerateProgram(config, seed);
+    const BcProgram bc = jaguar::CompileProgram(p);
+    RunOutcome out = jaguar::RunProgram(bc, jaguar::HotSniffConfig().WithoutBugs());
+    cold += (out.trace.jit_compilations == 0 && out.trace.osr_compilations == 0) ? 1 : 0;
+  }
+  EXPECT_GE(cold, 15);
+}
+
+// --- Synthesis --------------------------------------------------------------------------------
+
+TEST(SynthesisTest, CorpusSkeletonsAllInstantiateAndParse) {
+  Rng rng(7);
+  int name_counter = 0;
+  std::vector<jaguar::VarInfo> visible = {
+      {"x", Type::Int(), false}, {"y", Type::Long(), false}, {"b", Type::Bool(), false}};
+  SynthParams params = FastSynth();
+  for (size_t i = 0; i < StatementSkeletons().size() * 4; ++i) {
+    LoopSynthesizer synth(rng, params, visible, {}, &name_counter);
+    std::string text;
+    ASSERT_TRUE(synth.InstantiateSkeleton(&text));
+    EXPECT_NO_THROW(jaguar::ParseStatements(text)) << text;
+  }
+}
+
+TEST(SynthesisTest, WrappedLoopParsesAndRestoresReusedVars) {
+  Rng rng(11);
+  int name_counter = 0;
+  std::vector<jaguar::VarInfo> visible = {{"x", Type::Int(), false}};
+  SynthParams params = FastSynth();
+  LoopSynthesizer synth(rng, params, visible, {}, &name_counter);
+  jaguar::StmtPtr block = synth.BuildWrappedLoop("");
+  ASSERT_EQ(block->kind, jaguar::StmtKind::kBlock);
+
+  // Wrap into a runnable program: if x is reused anywhere, it must come back unchanged; the
+  // loop must not print despite the corpus containing print skeletons.
+  std::string source = "int main() {\nint x = 123;\n" + jaguar::PrintStmt(*block) +
+                       "print(x);\nreturn 0;\n}\n";
+  RunOutcome out = jaguar::RunSource(source, jaguar::InterpreterOnlyConfig());
+  EXPECT_EQ(out.status, RunStatus::kOk) << source;
+  EXPECT_EQ(out.output, "123\n") << source;
+}
+
+TEST(SynthesisTest, SynExprRespectsTypes) {
+  Rng rng(13);
+  int name_counter = 0;
+  std::vector<jaguar::VarInfo> visible = {{"k", Type::Long(), false}};
+  SynthParams params = FastSynth();
+  LoopSynthesizer synth(rng, params, visible, {}, &name_counter);
+  for (int i = 0; i < 50; ++i) {
+    const std::string e = synth.SynExprText(Type::Bool());
+    EXPECT_TRUE(e == "true" || e == "false") << e;  // no bool vars visible → literals only
+    jaguar::ExprPtr parsed = jaguar::ParseExpression(synth.SynExprText(Type::Long()));
+    EXPECT_NE(parsed, nullptr);
+  }
+}
+
+// --- JoNM -------------------------------------------------------------------------------------
+
+TEST(JonmTest, MutantsAreNeutralUnderInterpretation) {
+  // The central JoNM guarantee (§3.3): mutations preserve the seed's semantics. Verified by
+  // differential interpretation over a corpus of generated seeds and mutants.
+  FuzzConfig fuzz;
+  JonmParams params;
+  params.synth = FastSynth();
+  int checked = 0;
+  for (uint64_t seed_id = 300; seed_id < 315; ++seed_id) {
+    Program seed = GenerateProgram(fuzz, seed_id);
+    const BcProgram seed_bc = jaguar::CompileProgram(seed);
+    RunOutcome seed_run = jaguar::RunProgram(seed_bc, jaguar::InterpreterOnlyConfig());
+    if (seed_run.status == RunStatus::kTimeout) {
+      continue;
+    }
+    Rng rng(seed_id);
+    for (int m = 0; m < 4; ++m) {
+      MutationResult mutation = JoNM(seed, params, rng);
+      ASSERT_FALSE(mutation.applied.empty());
+      const BcProgram mutant_bc = jaguar::CompileProgram(mutation.mutant);
+      RunOutcome mutant_run = jaguar::RunProgram(mutant_bc, jaguar::InterpreterOnlyConfig());
+      if (mutant_run.status == RunStatus::kTimeout) {
+        continue;  // synthesized loop bounds can blow past the test budget — not a semantics issue
+      }
+      EXPECT_EQ(seed_run.output, mutant_run.output)
+          << "seed " << seed_id << " mutant " << m << " via "
+          << MutatorName(mutation.applied[0].kind) << " on " << mutation.applied[0].method
+          << "\n--- mutant ---\n"
+          << jaguar::PrintProgram(mutation.mutant);
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 30);
+}
+
+TEST(JonmTest, MutantsExploreDifferentJitTraces) {
+  // JoNM's other guarantee: mutants produce a *different JIT-trace* than the seed.
+  FuzzConfig fuzz;
+  JonmParams params;
+  params.synth = FastSynth();
+  const VmConfig vendor = FastVendor();
+  int different = 0;
+  int total = 0;
+  for (uint64_t seed_id = 400; seed_id < 410; ++seed_id) {
+    Program seed = GenerateProgram(fuzz, seed_id);
+    const BcProgram seed_bc = jaguar::CompileProgram(seed);
+    RunOutcome seed_run = jaguar::RunProgram(seed_bc, vendor);
+    Rng rng(seed_id);
+    for (int m = 0; m < 3; ++m) {
+      MutationResult mutation = JoNM(seed, params, rng);
+      const BcProgram mutant_bc = jaguar::CompileProgram(mutation.mutant);
+      RunOutcome mutant_run = jaguar::RunProgram(mutant_bc, vendor);
+      if (mutant_run.status == RunStatus::kTimeout) {
+        continue;
+      }
+      ++total;
+      different += mutant_run.trace.SameShape(seed_run.trace) ? 0 : 1;
+    }
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(different * 10, total * 7);  // > 70% of mutants reach a new compilation choice
+}
+
+TEST(JonmTest, MutatorSubsetsAreRespected) {
+  FuzzConfig fuzz;
+  Program seed = GenerateProgram(fuzz, 77);
+  JonmParams params;
+  params.synth = FastSynth();
+  params.mutators = {MutatorKind::kLoopInserter};
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    MutationResult mutation = JoNM(seed, params, rng);
+    for (const auto& record : mutation.applied) {
+      EXPECT_EQ(record.kind, MutatorKind::kLoopInserter);
+    }
+  }
+}
+
+TEST(JonmTest, MiPlantsPrologueAndControlGlobal) {
+  const char* source = R"(
+    int work(int x) { return x * 3 + 1; }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 5; i++) {
+        acc += work(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )";
+  Program seed = jaguar::ParseProgram(source);
+  jaguar::Check(seed);
+  JonmParams params;
+  params.synth = FastSynth();
+  params.mutators = {MutatorKind::kMethodInvocator};
+  params.select_numerator = 1;
+  params.select_denominator = 1;  // select every method
+
+  Rng rng(9);
+  MutationResult mutation = JoNM(seed, params, rng);
+  bool mi_applied = false;
+  for (const auto& record : mutation.applied) {
+    mi_applied |= record.kind == MutatorKind::kMethodInvocator && record.method == "work";
+  }
+  ASSERT_TRUE(mi_applied) << jaguar::PrintProgram(mutation.mutant);
+  // A control-flag global must exist and `work` must start with the early-return prologue.
+  bool has_flag = false;
+  for (const auto& g : mutation.mutant.globals) {
+    has_flag |= g.name.rfind("jnctl", 0) == 0;
+  }
+  EXPECT_TRUE(has_flag);
+  const jaguar::FuncDecl* work = mutation.mutant.FindFunction("work");
+  ASSERT_NE(work, nullptr);
+  ASSERT_FALSE(work->body->stmts.empty());
+  EXPECT_EQ(work->body->stmts[0]->kind, jaguar::StmtKind::kIf);
+
+  // And the mutant is still neutral.
+  RunOutcome seed_run = jaguar::RunSource(source, jaguar::InterpreterOnlyConfig());
+  const BcProgram mutant_bc = jaguar::CompileProgram(mutation.mutant);
+  RunOutcome mutant_run = jaguar::RunProgram(mutant_bc, jaguar::InterpreterOnlyConfig());
+  EXPECT_EQ(seed_run.output, mutant_run.output);
+}
+
+// --- Compilation space ------------------------------------------------------------------------
+
+TEST(SpaceTest, Figure1StyleEnumerationAllAgree) {
+  // The Figure 1 program: 4 method calls → 16 JIT compilation choices, all printing 3.
+  const char* source = R"(
+    int baz() { return 1; }
+    int bar() { return 2; }
+    int foo() { return bar() + baz(); }
+    int main() { print(foo()); return 0; }
+  )";
+  const BcProgram bc = jaguar::CompileSource(source);
+  SpaceExploration space =
+      ExploreCompilationSpace(bc, FastVendor().WithoutBugs(), /*max_call_sites=*/4);
+  EXPECT_EQ(space.call_sites.size(), 4u);
+  EXPECT_EQ(space.points.size(), 16u);
+  EXPECT_TRUE(space.all_agree);
+  EXPECT_EQ(space.reference_output, "3\n");
+}
+
+TEST(SpaceTest, BuggyVmDisagreesSomewhereInTheSpace) {
+  // With an injected defect, some point of the compilation space diverges — the CSE oracle
+  // witnesses the bug with no reference VM.
+  const char* source = R"(
+    int shifty(int x) { return x + (1 << 33); }
+    int twice(int x) { return shifty(x) + shifty(x + 1); }
+    int main() { print(twice(4)); return 0; }
+  )";
+  const BcProgram bc = jaguar::CompileSource(source);
+  VmConfig vendor = FastVendor();
+  vendor.bugs = {jaguar::BugId::kFoldShiftUnmasked};
+  SpaceExploration space = ExploreCompilationSpace(bc, vendor, /*max_call_sites=*/4);
+  EXPECT_FALSE(space.all_agree);
+
+  SpaceExploration clean = ExploreCompilationSpace(bc, vendor.WithoutBugs(), 4);
+  EXPECT_TRUE(clean.all_agree);
+}
+
+TEST(SpaceTest, ForcedControllerHonoursDecisions) {
+  const char* source = R"(
+    int f() { return 7; }
+    int main() { print(f() + f()); return 0; }
+  )";
+  const BcProgram bc = jaguar::CompileSource(source);
+  const VmConfig vendor = FastVendor().WithoutBugs();
+  auto calls = DiscoverCallSequence(bc, vendor, 8);
+  ASSERT_EQ(calls.size(), 3u);  // main, f, f
+
+  // Force only f's second invocation to compile.
+  std::map<CallSite, int> levels;
+  levels[calls[2]] = 2;
+  RunOutcome out = RunWithForcedDecisions(bc, vendor, levels);
+  EXPECT_EQ(out.status, RunStatus::kOk);
+  EXPECT_EQ(out.output, "14\n");
+  EXPECT_EQ(out.trace.jit_compilations, 1u);
+  EXPECT_EQ(out.trace.compiled_entries, 1u);
+}
+
+// --- Validator (Algorithm 1) ------------------------------------------------------------------
+
+TEST(ValidatorTest, FindsInjectedBugsOnABuggyVendor) {
+  FuzzConfig fuzz;
+  ValidatorParams params;
+  params.jonm.synth = FastSynth();
+  params.max_iter = 8;
+
+  VmConfig vendor = FastVendor();
+  vendor.bugs = {
+      jaguar::BugId::kGcmStoreSinkIntoDeeperLoop,
+      jaguar::BugId::kFoldShiftUnmasked,
+      jaguar::BugId::kLicmDeepNestAssert,
+      jaguar::BugId::kUnrollExtraIteration,
+      jaguar::BugId::kGvnLoadAcrossStore,
+  };
+
+  int discrepancies = 0;
+  int suspected = 0;
+  for (uint64_t seed_id = 500; seed_id < 520 && discrepancies < 3; ++seed_id) {
+    Program seed = GenerateProgram(fuzz, seed_id);
+    Rng rng(seed_id * 31 + 7);
+    ValidationReport report = Validate(seed, vendor, params, rng);
+    for (const auto& verdict : report.mutants) {
+      if (verdict.kind != DiscrepancyKind::kNone) {
+        ++discrepancies;
+        suspected += verdict.suspected_bugs.empty() ? 0 : 1;
+      }
+      EXPECT_FALSE(verdict.non_neutral) << verdict.detail;
+    }
+  }
+  EXPECT_GE(discrepancies, 3) << "JoNM failed to expose any injected defect in 20 seeds";
+  EXPECT_GT(suspected, 0);
+}
+
+TEST(ValidatorTest, CleanVendorYieldsNoDiscrepancies) {
+  FuzzConfig fuzz;
+  ValidatorParams params;
+  params.jonm.synth = FastSynth();
+  params.max_iter = 4;
+  const VmConfig vendor = FastVendor().WithoutBugs();
+  for (uint64_t seed_id = 600; seed_id < 608; ++seed_id) {
+    Program seed = GenerateProgram(fuzz, seed_id);
+    Rng rng(seed_id);
+    ValidationReport report = Validate(seed, vendor, params, rng);
+    for (const auto& verdict : report.mutants) {
+      EXPECT_EQ(verdict.kind, DiscrepancyKind::kNone)
+          << "false positive on a bug-free VM (seed " << seed_id << "): " << verdict.detail;
+    }
+  }
+}
+
+// --- Baselines --------------------------------------------------------------------------------
+
+TEST(BaselineTest, TraditionalAgreesOnCleanVm) {
+  FuzzConfig fuzz;
+  Program seed = GenerateProgram(fuzz, 900);
+  const BcProgram bc = jaguar::CompileProgram(seed);
+  TraditionalResult result = TraditionalValidate(bc, FastVendor().WithoutBugs());
+  EXPECT_TRUE(result.usable);
+  EXPECT_FALSE(result.discrepancy);
+}
+
+TEST(BaselineTest, CountZeroForcesCompilation) {
+  const BcProgram bc = jaguar::CompileSource("int main() { print(5); return 0; }");
+  const VmConfig config = CountZeroConfig(FastVendor().WithoutBugs());
+  RunOutcome out = jaguar::RunProgram(bc, config);
+  EXPECT_EQ(out.output, "5\n");
+  EXPECT_GT(out.trace.jit_compilations, 0u);
+  EXPECT_EQ(out.trace.interpreted_calls, 0u);
+}
+
+TEST(BaselineTest, OptionFuzzerRunsWithoutFalsePositives) {
+  FuzzConfig fuzz;
+  Program seed = GenerateProgram(fuzz, 901);
+  const BcProgram bc = jaguar::CompileProgram(seed);
+  Rng rng(3);
+  OptionFuzzResult result = OptionFuzzValidate(bc, FastVendor().WithoutBugs(), 6, rng);
+  EXPECT_TRUE(result.usable);
+  EXPECT_EQ(result.discrepancies, 0);
+}
+
+// --- Reducer ----------------------------------------------------------------------------------
+
+TEST(ReducerTest, ShrinksWhilePreservingThePredicate) {
+  const char* source = R"(
+    int g = 0;
+    int noise0 = 5;
+    long noise1 = 9L;
+    void pad() { print(0); }
+    int main() {
+      int unused = 4;
+      g = 1 << 33;     // the "interesting" statement
+      int also = 11;
+      print(g);
+      return 0;
+    }
+  )";
+  Program program = jaguar::ParseProgram(source);
+  jaguar::Check(program);
+
+  // Predicate: the program still prints the folded shift value.
+  auto keep = [](const Program& candidate) {
+    const BcProgram bc = jaguar::CompileProgram(candidate);
+    RunOutcome out = jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig());
+    return out.status == RunStatus::kOk && out.output.find("2\n") != std::string::npos;
+  };
+  ASSERT_TRUE(keep(program));
+
+  ReductionStats stats;
+  Program reduced = ReduceProgram(program, keep, &stats);
+  EXPECT_TRUE(keep(reduced));
+  EXPECT_LT(stats.final_statements, stats.initial_statements);
+  EXPECT_EQ(reduced.FindFunction("pad"), nullptr);       // unreferenced function removed
+  EXPECT_LT(reduced.globals.size(), program.globals.size());
+}
+
+}  // namespace
+}  // namespace artemis

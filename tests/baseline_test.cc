@@ -1,0 +1,151 @@
+// Tests for the baseline oracles (src/artemis/baseline) — the traditional count=0 approach
+// and the option-fuzzing realization of CSE — pinning down the *mechanism* behind Table 4:
+// which defects each oracle can and cannot see, and why.
+
+#include <gtest/gtest.h>
+
+#include "src/artemis/baseline/option_fuzzer.h"
+#include "src/artemis/baseline/traditional.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BcProgram;
+using jaguar::BugId;
+using jaguar::RunOutcome;
+using jaguar::RunStatus;
+using jaguar::VmConfig;
+
+VmConfig Vendor(std::vector<BugId> bugs) {
+  VmConfig c;
+  c.name = "BaselineVendor";
+  c.tiers = {
+      jaguar::TierSpec{60, 100, /*full_optimization=*/false, /*speculate=*/false,
+                       /*profiles=*/true},
+      jaguar::TierSpec{200, 300, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.min_profile_for_speculation = 24;
+  c.bugs = std::move(bugs);
+  return c;
+}
+
+TEST(CountZeroTest, OnlyThresholdsChange) {
+  const VmConfig base = Vendor({BugId::kFoldShiftUnmasked});
+  const VmConfig zero = CountZeroConfig(base);
+  ASSERT_EQ(zero.tiers.size(), base.tiers.size());
+  for (const jaguar::TierSpec& tier : zero.tiers) {
+    EXPECT_EQ(tier.invoke_threshold, 0u);
+  }
+  EXPECT_EQ(zero.name, base.name);
+  EXPECT_EQ(zero.bugs.size(), base.bugs.size());
+  EXPECT_EQ(zero.step_budget, base.step_budget);
+}
+
+TEST(TraditionalTest, CatchesAProfileIndependentDefectOnAColdSeed) {
+  // The Table 4 "Both"/"Tra." mechanism: the buggy constant fold (x + (1 << 33)) needs no
+  // profile — merely compiling the method at the top tier miscompiles it. The seed is cold
+  // (one call), so the default trace is correct and force-compiling exposes the defect.
+  const BcProgram bc = jaguar::CompileSource(R"(
+    int f(int x) { return x + (1 << 33); }
+    int main() { print(f(1)); return 0; }
+  )");
+  const VmConfig vendor = Vendor({BugId::kFoldShiftUnmasked});
+
+  const TraditionalResult result = TraditionalValidate(bc, vendor);
+  ASSERT_TRUE(result.usable);
+  EXPECT_TRUE(result.discrepancy);
+  EXPECT_EQ(result.default_run.output, "3\n");   // interpreted: 1 + (1 << 33 == 2)
+  EXPECT_NE(result.compiled_run.output, "3\n");  // folded with the unmasked shift
+}
+
+TEST(TraditionalTest, MissesAProfileGatedDefectThatWarmExecutionTriggers) {
+  // The Table 4 "CSE-only" mechanism. The GCM store-sink defect (the JDK-8288975 model) only
+  // applies once the method has a warm back-edge profile — compiling everything from call
+  // one (count=0) produces profile-less top-tier code, so the traditional oracle sees
+  // nothing. A default tiered run of the *same program* warms the profile in tier 1 and then
+  // recompiles at the top tier, where the defect fires. This is precisely why most CSE finds
+  // are invisible to the traditional approach.
+  const char* source = R"(
+    int l = 0;
+    void step(int base) {
+      l = base;
+      for (int j = 0; j < 3; j++) {
+        l += 2;
+      }
+    }
+    int main() {
+      for (int i = 0; i < 300; i++) {
+        step(i);
+      }
+      print(l);
+      return 0;
+    }
+  )";
+  const BcProgram bc = jaguar::CompileSource(source);
+  const VmConfig vendor = Vendor({BugId::kGcmStoreSinkIntoDeeperLoop});
+
+  // Traditional oracle: blind to the defect.
+  const TraditionalResult traditional = TraditionalValidate(bc, vendor);
+  ASSERT_TRUE(traditional.usable);
+  EXPECT_FALSE(traditional.discrepancy);
+
+  // Yet the defect is real: the default tiered trace of this (already warm) program
+  // disagrees with the interpreter.
+  const RunOutcome interp = jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig());
+  const RunOutcome tiered = jaguar::RunProgram(bc, vendor);
+  ASSERT_EQ(interp.status, RunStatus::kOk);
+  ASSERT_EQ(tiered.status, RunStatus::kOk);
+  EXPECT_NE(interp.output, tiered.output);
+}
+
+TEST(OptionFuzzTest, RandomThresholdsCanHeatAColdMethod) {
+  // Option fuzzing explores the thresholds the VM exposes: a method called 3,000 times is
+  // cold under production thresholds (5,000) but some random draw below 3,000 compiles it
+  // and fires the fold defect. This is the §3.2 realization the paper tried — it works on
+  // threshold-reachable bugs, it just cannot express per-call-site choices.
+  const BcProgram bc = jaguar::CompileSource(R"(
+    int acc = 0;
+    int f(int x) { return x + (1 << 33); }
+    int main() {
+      for (int i = 0; i < 3000; i++) {
+        acc += f(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )");
+  VmConfig vendor = jaguar::HotSniffConfig().WithoutBugs();
+  vendor.bugs = {BugId::kFoldShiftUnmasked};
+
+  jaguar::Rng rng(1234);
+  const OptionFuzzResult result = OptionFuzzValidate(bc, vendor, /*attempts=*/24, rng);
+  ASSERT_TRUE(result.usable);
+  EXPECT_GT(result.runs, 0);
+  EXPECT_GT(result.discrepancies, 0);
+}
+
+TEST(OptionFuzzTest, CleanVmNeverDiverges) {
+  // Threshold choices are semantics-preserving on a correct VM: zero false positives no
+  // matter which options the fuzzer draws.
+  const BcProgram bc = jaguar::CompileSource(R"(
+    int f(int x) { return x * 3 - 1; }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 2000; i++) {
+        acc += f(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )");
+  jaguar::Rng rng(99);
+  const OptionFuzzResult result =
+      OptionFuzzValidate(bc, jaguar::HotSniffConfig().WithoutBugs(), /*attempts=*/16, rng);
+  ASSERT_TRUE(result.usable);
+  EXPECT_EQ(result.discrepancies, 0);
+}
+
+}  // namespace
+}  // namespace artemis

@@ -1,0 +1,259 @@
+// Tests for the campaign layer (Tables 1/2 bookkeeping), the injected-defect registry
+// metadata, and the vendor configurations' structural invariants.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/outcome.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BugId;
+using jaguar::BugSymptom;
+using jaguar::VmComponent;
+using jaguar::VmConfig;
+
+constexpr size_t kNumBugs = static_cast<size_t>(BugId::kNumBugs);
+
+// --- Defect registry metadata ----------------------------------------------------------------
+
+TEST(BugRegistryTest, EveryDefectHasCompleteMetadata) {
+  std::set<std::string> descriptions;
+  for (size_t i = 0; i < kNumBugs; ++i) {
+    const BugId id = static_cast<BugId>(i);
+    const jaguar::BugInfo& info = jaguar::GetBugInfo(id);
+    EXPECT_EQ(info.id, id) << "registry row " << i << " mismatched";
+    ASSERT_NE(info.description, nullptr);
+    EXPECT_GT(std::string(info.description).size(), 8u) << "description too thin for row " << i;
+    EXPECT_TRUE(descriptions.insert(info.description).second)
+        << "duplicate description: " << info.description;
+    EXPECT_TRUE(info.symptom == BugSymptom::kMisCompilation || info.symptom == BugSymptom::kCrash ||
+                info.symptom == BugSymptom::kPerformance);
+    // Crash-class defects must carry a Table-2 component attribution.
+    if (info.symptom == BugSymptom::kCrash) {
+      EXPECT_NE(static_cast<VmComponent>(info.component), VmComponent::kNone)
+          << info.description;
+    }
+  }
+}
+
+TEST(BugRegistryTest, SymptomMixMatchesTheTableOneClasses) {
+  // The defect population must be able to produce all three Table 1 rows, with at most a
+  // couple of performance defects (the paper found exactly one performance bug).
+  int mis = 0;
+  int crash = 0;
+  int perf = 0;
+  for (size_t i = 0; i < kNumBugs; ++i) {
+    switch (jaguar::GetBugInfo(static_cast<BugId>(i)).symptom) {
+      case BugSymptom::kMisCompilation:
+        ++mis;
+        break;
+      case BugSymptom::kCrash:
+        ++crash;
+        break;
+      case BugSymptom::kPerformance:
+        ++perf;
+        break;
+    }
+  }
+  EXPECT_GE(mis, 5);
+  EXPECT_GE(crash, 4);
+  EXPECT_GE(perf, 1);
+  EXPECT_LE(perf, 2);
+}
+
+TEST(BugRegistryTest, EnableAndFireRoundTrip) {
+  jaguar::BugRegistry registry({BugId::kFoldShiftUnmasked, BugId::kGvnBucketAssert});
+  EXPECT_TRUE(registry.Enabled(BugId::kFoldShiftUnmasked));
+  EXPECT_FALSE(registry.Enabled(BugId::kLicmDeepNestAssert));
+  EXPECT_EQ(registry.EnabledBugs().size(), 2u);
+
+  EXPECT_FALSE(registry.Fired(BugId::kFoldShiftUnmasked));
+  registry.Fire(BugId::kFoldShiftUnmasked);
+  EXPECT_TRUE(registry.Fired(BugId::kFoldShiftUnmasked));
+  ASSERT_EQ(registry.FiredBugs().size(), 1u);
+  EXPECT_EQ(registry.FiredBugs()[0], BugId::kFoldShiftUnmasked);
+  registry.ResetFired();
+  EXPECT_TRUE(registry.FiredBugs().empty());
+  EXPECT_TRUE(registry.Enabled(BugId::kFoldShiftUnmasked));  // reset clears firings only
+}
+
+// --- Vendor configurations --------------------------------------------------------------------
+
+TEST(VendorConfigTest, AllVendorsAreStructurallySane) {
+  const auto vendors = jaguar::AllVendors();
+  ASSERT_EQ(vendors.size(), 3u);
+  std::set<std::string> names;
+  for (const VmConfig& vm : vendors) {
+    EXPECT_TRUE(names.insert(vm.name).second) << "duplicate vendor name " << vm.name;
+    ASSERT_FALSE(vm.tiers.empty()) << vm.name;
+    EXPECT_TRUE(vm.jit_enabled);
+    EXPECT_FALSE(vm.bugs.empty()) << vm.name << " carries no latent defects";
+    uint64_t prev_invoke = 0;
+    for (const jaguar::TierSpec& tier : vm.tiers) {
+      // OSR compiles whole loops mid-call; its threshold sits above the method threshold
+      // (HotSpot scales Tier4BackEdgeThreshold well above Tier4InvocationThreshold).
+      EXPECT_GT(tier.osr_threshold, tier.invoke_threshold) << vm.name;
+      EXPECT_GT(tier.invoke_threshold, prev_invoke) << vm.name << ": tiers must ascend";
+      prev_invoke = tier.invoke_threshold;
+    }
+    // The top tier is the optimizing, speculating one.
+    EXPECT_TRUE(vm.tiers.back().full_optimization) << vm.name;
+    EXPECT_TRUE(vm.tiers.back().speculate) << vm.name;
+    // Some lower tier must profile, or methods can never heat past it while compiled.
+    bool lower_profiles = vm.tiers.size() == 1;
+    for (size_t i = 0; i + 1 < vm.tiers.size(); ++i) {
+      lower_profiles |= vm.tiers[i].profiles;
+    }
+    EXPECT_TRUE(lower_profiles) << vm.name;
+  }
+}
+
+TEST(VendorConfigTest, WithoutBugsClearsOnlyTheDefects) {
+  const VmConfig base = jaguar::OpenJadeConfig();
+  const VmConfig clean = base.WithoutBugs();
+  EXPECT_FALSE(base.bugs.empty());
+  EXPECT_TRUE(clean.bugs.empty());
+  EXPECT_EQ(clean.name, base.name);
+  EXPECT_EQ(clean.tiers.size(), base.tiers.size());
+  EXPECT_EQ(clean.step_budget, base.step_budget);
+}
+
+TEST(VendorConfigTest, InvokeThresholdsMatchTierSpecs) {
+  const VmConfig vm = jaguar::HotSniffConfig();
+  const std::vector<uint64_t> zs = vm.InvokeThresholds();
+  ASSERT_EQ(zs.size(), vm.tiers.size());
+  for (size_t i = 0; i < zs.size(); ++i) {
+    EXPECT_EQ(zs[i], vm.tiers[i].invoke_threshold);
+  }
+}
+
+// --- CampaignStats bookkeeping ----------------------------------------------------------------
+
+BugReport MakeReport(DiscrepancyKind kind, std::vector<BugId> causes,
+                     VmComponent component = VmComponent::kNone, bool duplicate = false) {
+  BugReport r;
+  r.kind = kind;
+  r.root_causes = std::move(causes);
+  r.crash_component = component;
+  r.duplicate = duplicate;
+  return r;
+}
+
+TEST(CampaignStatsTest, TableOneRowsAddUp) {
+  CampaignStats stats;
+  stats.reports.push_back(
+      MakeReport(DiscrepancyKind::kMisCompilation, {BugId::kGcmStoreSinkIntoDeeperLoop}));
+  stats.reports.push_back(MakeReport(DiscrepancyKind::kCrash, {BugId::kGvnBucketAssert},
+                                     VmComponent::kGvn));
+  stats.reports.push_back(MakeReport(DiscrepancyKind::kCrash, {BugId::kGvnBucketAssert},
+                                     VmComponent::kGvn, /*duplicate=*/true));
+  stats.reports.push_back(MakeReport(DiscrepancyKind::kPerformance, {BugId::kRecompileCycling}));
+
+  EXPECT_EQ(stats.Reported(), 4);
+  EXPECT_EQ(stats.Duplicates(), 1);
+  EXPECT_EQ(stats.Confirmed(), 3);  // distinct root causes
+  // The type split counts every filed report (it sums to Reported, as in Table 1).
+  EXPECT_EQ(stats.MisCompilations(), 1);
+  EXPECT_EQ(stats.Crashes(), 2);
+  EXPECT_EQ(stats.PerformanceIssues(), 1);
+  EXPECT_EQ(stats.MisCompilations() + stats.Crashes() + stats.PerformanceIssues(),
+            stats.Reported());
+}
+
+TEST(CampaignStatsTest, CrashComponentsHistogramOnlyCountsCrashes) {
+  CampaignStats stats;
+  stats.reports.push_back(MakeReport(DiscrepancyKind::kCrash, {BugId::kLicmDeepNestAssert},
+                                     VmComponent::kLoopOptimization));
+  stats.reports.push_back(MakeReport(DiscrepancyKind::kCrash, {BugId::kRceOffByOneHeapCorruption},
+                                     VmComponent::kGarbageCollection));
+  stats.reports.push_back(MakeReport(DiscrepancyKind::kCrash, {BugId::kRceOffByOneHeapCorruption},
+                                     VmComponent::kGarbageCollection, /*duplicate=*/true));
+  stats.reports.push_back(
+      MakeReport(DiscrepancyKind::kMisCompilation, {BugId::kFoldShiftUnmasked}));
+
+  const auto histogram = stats.CrashComponents();
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram.at(VmComponent::kLoopOptimization), 1);
+  EXPECT_EQ(histogram.at(VmComponent::kGarbageCollection), 2);
+}
+
+TEST(CampaignStatsTest, ToStringMentionsTheHeadlineNumbers) {
+  CampaignStats stats;
+  stats.vm_name = "UnitVendor";
+  stats.seeds_run = 7;
+  stats.reports.push_back(
+      MakeReport(DiscrepancyKind::kMisCompilation, {BugId::kFoldShiftUnmasked}));
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("UnitVendor"), std::string::npos);
+  EXPECT_NE(text.find('7'), std::string::npos);
+}
+
+// --- End-to-end mini campaign -----------------------------------------------------------------
+
+VmConfig FastVendor(std::vector<BugId> bugs) {
+  VmConfig c;
+  c.name = "CampaignVendor";
+  c.tiers = {
+      jaguar::TierSpec{60, 100, /*full_optimization=*/false, /*speculate=*/false,
+                       /*profiles=*/true},
+      jaguar::TierSpec{200, 300, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.min_profile_for_speculation = 24;
+  c.bugs = std::move(bugs);
+  return c;
+}
+
+CampaignParams SmallParams() {
+  CampaignParams params;
+  params.num_seeds = 6;
+  params.base_seed = 501;
+  params.validator.max_iter = 5;
+  params.validator.jonm.synth.min_bound = 150;
+  params.validator.jonm.synth.max_bound = 400;
+  params.step_budget = 40'000'000;
+  return params;
+}
+
+TEST(CampaignRunTest, CleanVendorFilesNoReports) {
+  const CampaignStats stats = RunCampaign(FastVendor({}), SmallParams());
+  EXPECT_EQ(stats.seeds_run, 6);
+  EXPECT_EQ(stats.Reported(), 0);
+  EXPECT_EQ(stats.seeds_with_discrepancy, 0);
+  EXPECT_EQ(stats.mutants_non_neutral, 0);
+  EXPECT_GT(stats.mutants_generated, 0);
+  EXPECT_GT(stats.vm_invocations, static_cast<uint64_t>(stats.mutants_generated));
+}
+
+TEST(CampaignRunTest, BuggyVendorInvariantsHold) {
+  const std::vector<BugId> enabled = {BugId::kFoldShiftUnmasked, BugId::kGvnBucketAssert,
+                                      BugId::kLicmDeepNestAssert};
+  const CampaignStats stats = RunCampaign(FastVendor(enabled), SmallParams());
+
+  EXPECT_EQ(stats.mutants_non_neutral, 0) << "JoNM neutrality violated during the campaign";
+  EXPECT_GT(stats.mutants_new_trace, 0) << "no mutant ever explored a new JIT-trace";
+
+  const std::set<BugId> enabled_set(enabled.begin(), enabled.end());
+  std::set<std::string> seen_signatures;
+  int non_duplicates = 0;
+  for (const BugReport& report : stats.reports) {
+    EXPECT_NE(report.kind, DiscrepancyKind::kNone);
+    for (BugId cause : report.root_causes) {
+      EXPECT_TRUE(enabled_set.count(cause)) << "root cause outside the enabled defect set";
+    }
+    non_duplicates += report.duplicate ? 0 : 1;
+  }
+  EXPECT_EQ(stats.Duplicates() + non_duplicates, stats.Reported());
+  EXPECT_LE(stats.Confirmed(), static_cast<int>(enabled.size()));
+  EXPECT_LE(stats.seeds_with_discrepancy, stats.seeds_run);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace artemis

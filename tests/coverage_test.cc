@@ -1,0 +1,159 @@
+// Tests for compilation-space coverage tracking and coverage-guided validation (the §4.5
+// future-work extension).
+
+#include <gtest/gtest.h>
+
+#include "src/artemis/coverage/coverage.h"
+#include "src/artemis/fuzzer/generator.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BcProgram;
+using jaguar::Program;
+using jaguar::RunOutcome;
+using jaguar::VmConfig;
+
+VmConfig Fast() {
+  VmConfig c;
+  c.name = "FastCov";
+  c.tiers = {
+      jaguar::TierSpec{25, 60, false, false, /*profiles=*/true},
+      jaguar::TierSpec{80, 150, true, true},
+  };
+  c.min_profile_for_speculation = 16;
+  c.step_budget = 40'000'000;
+  return c;
+}
+
+TEST(CoverageTest, ObserveDerivesLevelsAndDeopts) {
+  const BcProgram bc = jaguar::CompileSource(R"(
+    int f() { return 1; }
+    int main() { return f(); }
+  )");
+  jaguar::JitTrace trace;
+  {
+    jaguar::TemperatureVector v;
+    v.func = 0;  // f
+    v.call_index = 10;
+    v.temps = {0, 1, 2, 0};  // interpreted → tier1 → tier2 → deopt
+    trace.vectors.push_back(v);
+  }
+  {
+    jaguar::TemperatureVector v;
+    v.func = 1;  // main
+    v.call_index = 1;
+    v.temps = {2};  // entered compiled at the top tier
+    trace.vectors.push_back(v);
+  }
+  SpaceCoverage coverage;
+  coverage.Observe(bc, trace);
+
+  const auto& f_cov = coverage.per_method().at("f");
+  EXPECT_EQ(f_cov.max_entry_level, 0);
+  EXPECT_EQ(f_cov.max_midcall_level, 2);
+  EXPECT_TRUE(f_cov.deopted);
+  const auto& main_cov = coverage.per_method().at("main");
+  EXPECT_EQ(main_cov.max_entry_level, 2);
+  EXPECT_FALSE(main_cov.deopted);
+
+  EXPECT_DOUBLE_EQ(coverage.FractionAtLevel(bc, 2), 1.0);
+  EXPECT_DOUBLE_EQ(coverage.FractionDeopted(bc), 0.5);
+  EXPECT_TRUE(coverage.MethodsBelowLevel(bc, 2).empty());
+  EXPECT_TRUE(coverage.MethodsBelowLevel(bc, 3).size() == 2);
+}
+
+TEST(CoverageTest, ColdSeedLeavesMethodsUncovered) {
+  FuzzConfig fuzz;
+  Program seed = GenerateProgram(fuzz, 8'000);
+  const BcProgram bc = jaguar::CompileProgram(seed);
+  VmConfig config = jaguar::HotSniffConfig().WithoutBugs();  // production thresholds: cold
+  config.record_full_trace = true;
+  const RunOutcome out = jaguar::RunProgram(bc, config);
+  ASSERT_NE(out.full_trace, nullptr);
+
+  SpaceCoverage coverage;
+  coverage.Observe(bc, *out.full_trace);
+  // A cold seed reaches no tier anywhere: every method is below level 1.
+  EXPECT_DOUBLE_EQ(coverage.FractionAtLevel(bc, 1), 0.0);
+  EXPECT_EQ(coverage.MethodsBelowLevel(bc, 1).size(), bc.functions.size() - 1);  // - <ginit>
+}
+
+TEST(GuidedValidateTest, GuidanceImprovesTopTierCoverage) {
+  FuzzConfig fuzz;
+  ValidatorParams params;
+  params.max_iter = 6;
+  params.jonm.synth.min_bound = 150;
+  params.jonm.synth.max_bound = 400;
+  const VmConfig vendor = Fast().WithoutBugs();
+
+  double guided_total = 0;
+  double stochastic_total = 0;
+  int seeds = 0;
+  for (uint64_t seed_id = 8'100; seed_id < 8'110; ++seed_id) {
+    Program seed = GenerateProgram(fuzz, seed_id);
+    const BcProgram bc = jaguar::CompileProgram(seed);
+
+    // Guided run.
+    {
+      SpaceCoverage coverage;
+      jaguar::Rng rng(seed_id);
+      ValidationReport report = GuidedValidate(seed, vendor, params, rng, &coverage);
+      if (!report.seed_usable) {
+        continue;
+      }
+      guided_total += coverage.FractionAtLevel(bc, 2);
+    }
+    // Stochastic run with the same budget, coverage measured the same way.
+    {
+      SpaceCoverage coverage;
+      jaguar::Rng rng(seed_id);
+      ValidatorParams plain = params;
+      plain.on_mutant = [&](const MutantVerdict& verdict) {
+        if (verdict.outcome.full_trace != nullptr) {
+          coverage.Observe(bc, *verdict.outcome.full_trace);
+        }
+      };
+      jaguar::VmConfig traced = vendor;
+      traced.record_full_trace = true;
+      ValidationReport report = Validate(seed, traced, plain, rng);
+      if (!report.seed_usable) {
+        continue;
+      }
+      stochastic_total += coverage.FractionAtLevel(bc, 2);
+    }
+    ++seeds;
+  }
+  ASSERT_GT(seeds, 5);
+  // Guidance is a bias over a stochastic process: on a small sample it must be at least
+  // roughly comparable to blind sampling (the quantitative comparison lives in
+  // bench_ablation_guidance, which runs with a larger budget). A big deficit here would
+  // indicate the guidance hook is actively steering away from hot methods.
+  EXPECT_GE(guided_total, stochastic_total * 0.85);
+}
+
+TEST(GuidedValidateTest, StillFindsBugs) {
+  FuzzConfig fuzz;
+  ValidatorParams params;
+  params.max_iter = 8;
+  params.jonm.synth.min_bound = 150;
+  params.jonm.synth.max_bound = 400;
+  VmConfig vendor = Fast();
+  vendor.bugs = {jaguar::BugId::kFoldShiftUnmasked, jaguar::BugId::kLicmDeepNestAssert,
+                 jaguar::BugId::kGvnBucketAssert};
+
+  int discrepancies = 0;
+  for (uint64_t seed_id = 8'200; seed_id < 8'215 && discrepancies == 0; ++seed_id) {
+    Program seed = GenerateProgram(fuzz, seed_id);
+    SpaceCoverage coverage;
+    jaguar::Rng rng(seed_id * 3 + 1);
+    ValidationReport report = GuidedValidate(seed, vendor, params, rng, &coverage);
+    discrepancies += report.Discrepancies();
+  }
+  EXPECT_GT(discrepancies, 0);
+}
+
+}  // namespace
+}  // namespace artemis

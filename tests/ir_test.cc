@@ -1,0 +1,223 @@
+// Unit tests for the IR layer: validation, CFG analyses (dominators, loops, inductions),
+// and the shared pass utilities.
+
+#include <gtest/gtest.h>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/ir.h"
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/ir_builder.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pass_util.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+IrFunction BuildFor(const char* source, int func = 0) {
+  const BcProgram bc = CompileSource(source);
+  return BuildIr(bc, func, 1, -1, nullptr);
+}
+
+TEST(IrValidateTest, RejectsDanglingOperand) {
+  IrFunction f;
+  f.num_params = 0;
+  f.blocks.emplace_back();
+  IrInstr bad;
+  bad.op = IrOp::kUnary;
+  bad.bc_op = Op::kNeg;
+  bad.dest = 0;
+  bad.args = {7};  // never defined
+  f.next_value = 8;
+  f.blocks[0].instrs.push_back(bad);
+  f.blocks[0].term.kind = TermKind::kRetVoid;
+  EXPECT_THROW(ValidateIr(f), InternalError);
+}
+
+TEST(IrValidateTest, RejectsEdgeArityMismatch) {
+  IrFunction f;
+  f.next_value = 2;
+  f.blocks.resize(2);
+  f.blocks[0].term.kind = TermKind::kJmp;
+  f.blocks[0].term.succs.push_back(SuccEdge{1, {}});  // target has one param
+  f.blocks[1].params.push_back(0);
+  f.blocks[1].term.kind = TermKind::kRetVoid;
+  EXPECT_THROW(ValidateIr(f), InternalError);
+}
+
+TEST(IrValidateTest, RejectsDoubleDefinition) {
+  IrFunction f;
+  f.next_value = 1;
+  f.blocks.resize(1);
+  IrInstr a;
+  a.op = IrOp::kConst;
+  a.dest = 0;
+  f.blocks[0].instrs.push_back(a);
+  f.blocks[0].instrs.push_back(a);
+  f.blocks[0].term.kind = TermKind::kRetVoid;
+  EXPECT_THROW(ValidateIr(f), InternalError);
+}
+
+TEST(CfgTest, DominatorsOfDiamond) {
+  IrFunction f = BuildFor(R"(
+    int pick(boolean c) {
+      int r = 0;
+      if (c) { r = 1; } else { r = 2; }
+      return r + 1;
+    }
+    int main() { return pick(true); }
+  )");
+  const Cfg cfg = AnalyzeCfg(f);
+  // Entry dominates everything; the join block's idom is the branching block.
+  for (int32_t b : cfg.rpo) {
+    EXPECT_TRUE(cfg.Dominates(0, b));
+  }
+  // Find the branch block and its two successors.
+  int32_t branch = -1;
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    if (f.blocks[b].term.kind == TermKind::kBr) {
+      branch = static_cast<int32_t>(b);
+    }
+  }
+  ASSERT_GE(branch, 0);
+  const int32_t then_b = f.blocks[static_cast<size_t>(branch)].term.succs[0].block;
+  const int32_t else_b = f.blocks[static_cast<size_t>(branch)].term.succs[1].block;
+  EXPECT_TRUE(cfg.Dominates(branch, then_b));
+  EXPECT_TRUE(cfg.Dominates(branch, else_b));
+  EXPECT_FALSE(cfg.Dominates(then_b, else_b));
+}
+
+TEST(CfgTest, FindsNestedLoopsWithDepths) {
+  IrFunction f = BuildFor(R"(
+    int sum(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+          acc += i * j;
+        }
+      }
+      return acc;
+    }
+    int main() { return sum(3); }
+  )");
+  const Cfg cfg = AnalyzeCfg(f);
+  const LoopForest forest = FindLoops(f, cfg);
+  ASSERT_EQ(forest.loops.size(), 2u);
+  int depth1 = 0;
+  int depth2 = 0;
+  for (const auto& loop : forest.loops) {
+    depth1 += loop.depth == 1 ? 1 : 0;
+    depth2 += loop.depth == 2 ? 1 : 0;
+  }
+  EXPECT_EQ(depth1, 1);
+  EXPECT_EQ(depth2, 1);
+  // The inner loop's parent is the outer loop.
+  for (const auto& loop : forest.loops) {
+    if (loop.depth == 2) {
+      ASSERT_GE(loop.parent, 0);
+      EXPECT_EQ(forest.loops[static_cast<size_t>(loop.parent)].depth, 1);
+    }
+  }
+}
+
+TEST(CfgTest, BasicInductionRecognition) {
+  IrFunction f = BuildFor(R"(
+    int sum(int n) {
+      int acc = 0;
+      for (int i = 3; i < n; i += 2) {
+        acc += i;
+      }
+      return acc;
+    }
+    int main() { return sum(9); }
+  )");
+  // Run copy propagation first so induction params collapse to canonical shape.
+  PassContext ctx;
+  CopyPropagationPass(f, ctx);
+  const Cfg cfg = AnalyzeCfg(f);
+  const LoopForest forest = FindLoops(f, cfg);
+  ASSERT_EQ(forest.loops.size(), 1u);
+  const auto inductions = FindBasicInductions(f, cfg, forest.loops[0]);
+  bool found = false;
+  for (const auto& ind : inductions) {
+    if (ind.step == 2 && ind.has_const_init && ind.init == 3) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PassUtilTest, RenamerResolvesTransitively) {
+  ValueRenamer renames;
+  renames.Map(1, 2);
+  renames.Map(2, 3);
+  renames.Map(5, 1);
+  EXPECT_EQ(renames.Resolve(1), 3);
+  EXPECT_EQ(renames.Resolve(5), 3);
+  EXPECT_EQ(renames.Resolve(3), 3);
+  EXPECT_EQ(renames.Resolve(9), 9);
+}
+
+TEST(PassUtilTest, PruneDropsUnreachable) {
+  IrFunction f;
+  f.next_value = 0;
+  f.blocks.resize(3);
+  f.blocks[0].term.kind = TermKind::kJmp;
+  f.blocks[0].term.succs.push_back(SuccEdge{2, {}});
+  f.blocks[1].term.kind = TermKind::kRetVoid;  // unreachable
+  f.blocks[2].term.kind = TermKind::kRetVoid;
+  EXPECT_TRUE(PruneUnreachableBlocks(f));
+  EXPECT_EQ(f.blocks.size(), 2u);
+  EXPECT_EQ(f.blocks[0].term.succs[0].block, 1);
+  EXPECT_FALSE(PruneUnreachableBlocks(f));
+}
+
+TEST(IrBuilderTest, OsrBuildStartsAtHeader) {
+  const BcProgram bc = CompileSource(R"(
+    int main() {
+      int s = 0;
+      int i = 0;
+      while (i < 100) {
+        s += i;
+        i += 1;
+      }
+      return s;
+    }
+  )");
+  ASSERT_FALSE(bc.Main().osr_headers.empty());
+  IrFunction ir = BuildIr(bc, bc.main_index, 2, bc.Main().osr_headers[0], nullptr);
+  EXPECT_EQ(ir.osr_pc, bc.Main().osr_headers[0]);
+  EXPECT_EQ(ir.EntryArgCount(), static_cast<size_t>(bc.Main().num_locals));
+  // The entry jumps to the block translated from the OSR header pc.
+  const int32_t first = ir.blocks[0].term.succs[0].block;
+  EXPECT_EQ(ir.blocks[static_cast<size_t>(first)].origin_pc, ir.osr_pc);
+}
+
+TEST(IrBuilderTest, BackEdgeJumpsCarryDeoptSnapshots) {
+  IrFunction f = BuildFor(R"(
+    int spin(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i++) {
+        s += 2;
+      }
+      return s;
+    }
+    int main() { return spin(4); }
+  )");
+  bool back_edge_with_deopt = false;
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrTerminator& t = f.blocks[b].term;
+    if (t.kind == TermKind::kJmp) {
+      const int32_t target = t.succs[0].block;
+      if (f.blocks[static_cast<size_t>(target)].origin_pc >= 0 &&
+          f.blocks[static_cast<size_t>(target)].origin_pc <= f.blocks[b].origin_pc &&
+          t.deopt_index >= 0) {
+        back_edge_with_deopt = true;
+      }
+    }
+  }
+  EXPECT_TRUE(back_edge_with_deopt);
+}
+
+}  // namespace
+}  // namespace jaguar

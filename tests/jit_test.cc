@@ -1,0 +1,854 @@
+// Tests for the JIT: IR construction, the optimization pipeline, differential correctness of
+// compiled vs interpreted execution (bug-free configs must agree with the interpreter on every
+// program), OSR, deoptimization, and the trigger behaviour of every injected defect.
+
+#include <gtest/gtest.h>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/ir.h"
+#include "src/jaguar/jit/ir_builder.h"
+#include "src/jaguar/jit/pipeline.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace jaguar {
+namespace {
+
+// A bug-free tiered config with tiny thresholds so tests heat methods quickly.
+VmConfig FastJit() {
+  VmConfig c;
+  c.name = "FastJit";
+  c.tiers = {
+      TierSpec{20, 40, /*full_optimization=*/false, /*speculate=*/false, /*profiles=*/true},
+      TierSpec{60, 120, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.min_profile_for_speculation = 16;
+  return c;
+}
+
+// Asserts interpreter and JIT configs agree on the program's observable behaviour, and
+// returns the JIT outcome for further inspection.
+RunOutcome ExpectJitMatchesInterp(const std::string& source, VmConfig jit_config = FastJit()) {
+  const BcProgram bc = CompileSource(source);
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome jit = RunProgram(bc, jit_config);
+  EXPECT_EQ(RunStatusName(interp.status), RunStatusName(jit.status)) << jit.crash_message;
+  EXPECT_EQ(interp.output, jit.output);
+  return jit;
+}
+
+TEST(IrBuildTest, BuildsSimpleFunction) {
+  const BcProgram bc = CompileSource(R"(
+    int add(int a, int b) { return a + b; }
+    int main() { return add(1, 2); }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 1, -1, nullptr);
+  EXPECT_GE(ir.blocks.size(), 2u);
+  EXPECT_TRUE(ir.returns_value);
+  EXPECT_FALSE(IrToString(ir).empty());
+  ValidateIr(ir);
+}
+
+TEST(IrBuildTest, BuildsLoopsSwitchesAndTraps) {
+  const BcProgram bc = CompileSource(R"(
+    int g = 0;
+    int work(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i++) {
+        switch (i % 4) {
+          case 0: acc += 1; break;
+          case 1: acc += i / (n + 1); break;
+          default: acc ^= i;
+        }
+      }
+      return acc;
+    }
+    int main() { return work(10); }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 1, -1, nullptr);
+  ValidateIr(ir);
+  // The division must carry deopt metadata.
+  bool saw_div_deopt = false;
+  for (const auto& block : ir.blocks) {
+    for (const auto& instr : block.instrs) {
+      if (instr.op == IrOp::kBinary && instr.bc_op == Op::kDiv) {
+        saw_div_deopt = instr.deopt_index >= 0;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_div_deopt);
+}
+
+TEST(IrBuildTest, OsrEntryTakesAllLocals) {
+  const BcProgram bc = CompileSource(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 100; i++) {
+        s += i;
+      }
+      return s;
+    }
+  )");
+  ASSERT_EQ(bc.Main().osr_headers.size(), 1u);
+  const int32_t header = bc.Main().osr_headers[0];
+  IrFunction ir = BuildIr(bc, bc.main_index, 2, header, nullptr);
+  ValidateIr(ir);
+  EXPECT_EQ(ir.blocks[0].params.size(), static_cast<size_t>(bc.Main().num_locals));
+}
+
+TEST(PipelineTest, Tier1AndTier2ProduceValidIr) {
+  const BcProgram bc = CompileSource(R"(
+    int g = 3;
+    int mix(int a, int b) { return (a * 8 + b / 4) % 1000; }
+    int main() {
+      int acc = 0;
+      for (int i = 1; i < 50; i++) {
+        acc += mix(acc, i) + g;
+      }
+      print(acc);
+      return 0;
+    }
+  )");
+  const VmConfig config = FastJit();
+  for (int fn = 0; fn < static_cast<int>(bc.functions.size()); ++fn) {
+    for (int level = 1; level <= 2; ++level) {
+      IrFunction ir = CompileToIr(bc, fn, level, -1, config, nullptr, nullptr, nullptr);
+      ValidateIr(ir);
+    }
+  }
+}
+
+TEST(PipelineTest, ConstantFoldingFoldsLiteralArithmetic) {
+  const BcProgram bc = CompileSource("int main() { return (2 + 3) * 4; }");
+  const VmConfig config = FastJit();
+  IrFunction ir = CompileToIr(bc, bc.main_index, 1, -1, config, nullptr, nullptr, nullptr);
+  // After folding + DCE the function should contain no kBinary at all.
+  for (const auto& block : ir.blocks) {
+    for (const auto& instr : block.instrs) {
+      EXPECT_NE(instr.op, IrOp::kBinary);
+    }
+  }
+}
+
+// --- Differential correctness: compiled execution must match interpretation -----------------
+
+TEST(JitDifferentialTest, HotArithmeticFunction) {
+  RunOutcome jit = ExpectJitMatchesInterp(R"(
+    int mix(int a, int b) {
+      return (a ^ (b << 3)) + (a >>> 5) - b * 7 + (a % (b + 13));
+    }
+    int main() {
+      int acc = 1;
+      for (int i = 0; i < 300; i++) {
+        acc = mix(acc, i);
+      }
+      print(acc);
+      return 0;
+    }
+  )");
+  EXPECT_GT(jit.trace.jit_compilations, 0u);
+}
+
+TEST(JitDifferentialTest, OsrCompilationOfLongLoop) {
+  RunOutcome jit = ExpectJitMatchesInterp(R"(
+    int main() {
+      long sum = 0L;
+      for (int i = 0; i < 5000; i++) {
+        sum += (i * 3) % 17;
+      }
+      print(sum);
+      return 0;
+    }
+  )");
+  EXPECT_GT(jit.trace.osr_compilations, 0u);
+}
+
+TEST(JitDifferentialTest, NestedLoopsAndGlobals) {
+  ExpectJitMatchesInterp(R"(
+    long total = 0L;
+    void inner(int k) {
+      for (int j = 0; j < k; j++) {
+        total += j;
+      }
+    }
+    int main() {
+      for (int i = 0; i < 400; i++) {
+        inner(i % 10);
+      }
+      print(total);
+      return 0;
+    }
+  )");
+}
+
+TEST(JitDifferentialTest, ArraysInHotLoop) {
+  ExpectJitMatchesInterp(R"(
+    int main() {
+      int[] data = new int[64];
+      for (int i = 0; i < 2000; i++) {
+        data[i % 64] += i;
+      }
+      long sum = 0L;
+      for (int i = 0; i < data.length; i++) {
+        sum += data[i];
+      }
+      print(sum);
+      return 0;
+    }
+  )");
+}
+
+TEST(JitDifferentialTest, RecursionGetsCompiled) {
+  RunOutcome jit = ExpectJitMatchesInterp(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { print(fib(21)); return 0; }
+  )");
+  EXPECT_GT(jit.trace.jit_compilations, 0u);
+}
+
+TEST(JitDifferentialTest, SwitchHeavyFunction) {
+  ExpectJitMatchesInterp(R"(
+    int classify(int x) {
+      switch (x % 7) {
+        case 0: return 10;
+        case 1: return 11;
+        case 2: return x * 2;
+        case 3:
+        case 4: return x - 5;
+        case 5: return x ^ 3;
+        default: return 0 - x;
+      }
+    }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 500; i++) {
+        acc += classify(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )");
+}
+
+TEST(JitDifferentialTest, TrapsInsideHotCodeDeoptCleanly) {
+  RunOutcome jit = ExpectJitMatchesInterp(R"(
+    int g = 0;
+    int risky(int i) {
+      int r = 0;
+      try {
+        r = 100 / (i % 50);   // traps whenever i % 50 == 0
+      } catch {
+        g += 1;
+        r = -1;
+      }
+      return r;
+    }
+    int main() {
+      long acc = 0L;
+      for (int i = 0; i < 400; i++) {
+        acc += risky(i);
+      }
+      print(acc);
+      print(g);
+      return 0;
+    }
+  )");
+  EXPECT_GT(jit.trace.jit_compilations, 0u);
+}
+
+TEST(JitDifferentialTest, TrapFromCalleeUnwindsIntoCompiledCaller) {
+  ExpectJitMatchesInterp(R"(
+    int boom(int z) { return 7 / z; }
+    int caller(int i) {
+      int r = 0;
+      try {
+        r = boom(i % 40);
+      } catch {
+        r = 99;
+      }
+      return r;
+    }
+    int main() {
+      long acc = 0L;
+      for (int i = 0; i < 300; i++) {
+        acc += caller(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )");
+}
+
+TEST(JitDifferentialTest, SpeculationDeoptOnFlagFlip) {
+  // The MI shape from the paper's Figure 2: a control-flag prologue biased during warm-up,
+  // then flipped — compiled code must deopt at the failed guard, not mis-execute.
+  RunOutcome jit = ExpectJitMatchesInterp(R"(
+    boolean z = false;
+    int l = 0;
+    void g() { l += 2; }
+    void o() { if (z) { return; } g(); }
+    int main() {
+      z = true;
+      for (int u = 0; u < 500; u++) {
+        o();
+      }
+      z = false;
+      o();
+      print(l);
+      return 0;
+    }
+  )");
+  EXPECT_GT(jit.trace.deopts, 0u);
+}
+
+TEST(JitDifferentialTest, LongMixedArithmetic) {
+  ExpectJitMatchesInterp(R"(
+    long f(long a, int b) {
+      return (a << (b & 7)) - (a >>> 3) + (long) (b * b) / (a % 97L + 1L);
+    }
+    int main() {
+      long acc = 12345L;
+      for (int i = 1; i < 300; i++) {
+        acc = f(acc, i) ^ (acc >> 1);
+      }
+      print(acc);
+      return 0;
+    }
+  )");
+}
+
+TEST(JitDifferentialTest, DivisionByPowerOfTwoNegativeDividends) {
+  // Exercises the *correct* strength-reduction sequence on negative dividends.
+  ExpectJitMatchesInterp(R"(
+    int main() {
+      long acc = 0L;
+      for (int i = 0; i < 300; i++) {
+        int x = (i * 37 - 4000);
+        acc += x / 8 + x / 4 + x / 2;
+        long y = (long) x * 1000L;
+        acc += y / 16L;
+      }
+      print(acc);
+      return 0;
+    }
+  )");
+}
+
+TEST(JitDifferentialTest, InliningCandidates) {
+  ExpectJitMatchesInterp(R"(
+    int sq(int x) { return x * x; }
+    int addmul(int a, int b) { return a + b * 3; }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 400; i++) {
+        acc += addmul(sq(i % 13), i % 7);
+      }
+      print(acc);
+      return 0;
+    }
+  )");
+}
+
+TEST(JitDifferentialTest, GcPressureUnderJit) {
+  VmConfig config = FastJit();
+  config.gc_period = 32;
+  ExpectJitMatchesInterp(R"(
+    int main() {
+      long sum = 0L;
+      for (int i = 0; i < 1000; i++) {
+        int[] a = new int[(i % 7) + 1];
+        a[a.length - 1] = i;
+        sum += a[a.length - 1];
+      }
+      print(sum);
+      return 0;
+    }
+  )",
+                         config);
+}
+
+TEST(JitDifferentialTest, BoundsCheckedLoopGetsRceAndStaysCorrect) {
+  ExpectJitMatchesInterp(R"(
+    int main() {
+      int[] a = new int[100];
+      for (int round = 0; round < 50; round++) {
+        for (int i = 0; i < a.length; i += 1) {
+          a[i] += round + i;
+        }
+      }
+      long sum = 0L;
+      for (int i = 0; i < a.length; i += 1) {
+        sum += a[i];
+      }
+      print(sum);
+      return 0;
+    }
+  )");
+}
+
+// --- Injected defects: trigger programs ------------------------------------------------------
+
+// Runs `source` under `config`; expects the interpreter and the *bug-free* version of the
+// config to agree, and the buggy config to deviate (different output, crash, or timeout) with
+// `bug` among the fired defects.
+void ExpectBugManifests(const std::string& source, VmConfig config, BugId bug) {
+  const BcProgram bc = CompileSource(source);
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome clean = RunProgram(bc, config.WithoutBugs());
+  ASSERT_EQ(interp.output, clean.output) << "bug-free JIT must match the interpreter";
+  ASSERT_EQ(interp.status, clean.status);
+
+  config.bugs = {bug};
+  const RunOutcome buggy = RunProgram(bc, config);
+  EXPECT_FALSE(buggy.SameObservable(interp))
+      << "defect did not manifest; status=" << RunStatusName(buggy.status)
+      << " output=" << buggy.output;
+  bool fired = false;
+  for (BugId b : buggy.fired_bugs) {
+    fired |= b == bug;
+  }
+  EXPECT_TRUE(fired) << "defect manifested but was not recorded as fired";
+}
+
+TEST(InjectedBugTest, FoldShiftUnmasked) {
+  ExpectBugManifests(R"(
+    int hot(int x) { return x + (1 << 33); }   // 1 << 33 folds to 2, buggy folder says 0
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 200; i++) {
+        acc += hot(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )",
+                     FastJit(), BugId::kFoldShiftUnmasked);
+}
+
+TEST(InjectedBugTest, StrengthReduceNegDiv) {
+  ExpectBugManifests(R"(
+    int hot(int x) { return (x - 150) / 4; }   // negative dividends round differently
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 200; i++) {
+        acc += hot(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )",
+                     FastJit(), BugId::kStrengthReduceNegDiv);
+}
+
+TEST(InjectedBugTest, InlineSwappedArgs) {
+  // The inliner runs when the *caller* reaches the optimizing tier, so the call site must
+  // live in a method-compiled function, not only in main's once-executed body.
+  ExpectBugManifests(R"(
+    int diff(int a, int b) { return a - b * 2; }
+    int hot(int i) { return diff(i, 3); }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 200; i++) {
+        acc += hot(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )",
+                     FastJit(), BugId::kInlineSwappedArgs);
+}
+
+TEST(InjectedBugTest, GcmStoreSinkIntoDeeperLoop) {
+  // The JDK-8288975 shape: an outer-loop store of a global that an inner loop also updates.
+  ExpectBugManifests(R"(
+    int l = 0;
+    void step(int base) {
+      l = base;              // the store GCM wrongly sinks into the inner loop
+      for (int j = 0; j < 3; j++) {
+        l += 2;              // inner-loop updates clobbered by the sunk store
+      }
+    }
+    int main() {
+      for (int i = 0; i < 300; i++) {
+        step(i);
+      }
+      print(l);
+      return 0;
+    }
+  )",
+                     FastJit(), BugId::kGcmStoreSinkIntoDeeperLoop);
+}
+
+TEST(InjectedBugTest, LicmHoistStorePastGuard) {
+  ExpectBugManifests(R"(
+    int g = 0;
+    void hot(int n, boolean write) {
+      for (int i = 0; i < n; i++) {
+        if (write) {
+          g = 7;             // conditionally executed; buggy LICM hoists it unconditionally
+        }
+      }
+    }
+    int main() {
+      g = 1;
+      for (int i = 0; i < 300; i++) {
+        hot(4, false);
+      }
+      print(g);
+      return 0;
+    }
+  )",
+                     FastJit(), BugId::kLicmHoistStorePastGuard);
+}
+
+TEST(InjectedBugTest, GvnLoadAcrossStore) {
+  ExpectBugManifests(R"(
+    int g = 0;
+    int hot(int x) {
+      int before = g;
+      g = before + x;        // stored value is an addition — the buggy GVN skips the bump
+      int after = g;         // commoned with `before` under the defect
+      return after;
+    }
+    int main() {
+      long acc = 0L;
+      for (int i = 0; i < 200; i++) {
+        g = 0;
+        acc += hot(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )",
+                     FastJit(), BugId::kGvnLoadAcrossStore);
+}
+
+TEST(InjectedBugTest, UnrollExtraIteration) {
+  ExpectBugManifests(R"(
+    int g = 0;
+    void hot() {
+      for (int i = 0; i < 4; i += 1) {
+        g += 3;              // one extra body execution under the defect
+      }
+    }
+    int main() {
+      for (int i = 0; i < 300; i++) {
+        hot();
+      }
+      print(g);
+      return 0;
+    }
+  )",
+                     FastJit(), BugId::kUnrollExtraIteration);
+}
+
+TEST(InjectedBugTest, DeoptResumeSkipsInstr) {
+  ExpectBugManifests(R"(
+    int g = 0;
+    void hot(int[] a, int i) {
+      try {
+        a[i] = 1;            // traps at i == 8; the buggy deopt skips the raise
+        g += 1;
+      } catch {
+        g += 100;
+      }
+    }
+    int main() {
+      int[] a = new int[8];
+      for (int r = 0; r < 300; r++) {
+        g = 0;
+        for (int i = 0; i < 9; i++) {
+          hot(a, i);
+        }
+      }
+      print(g);
+      return 0;
+    }
+  )",
+                     FastJit(), BugId::kDeoptResumeSkipsInstr);
+}
+
+TEST(InjectedBugTest, RceOffByOneCorruptsHeapAndGcCrashes) {
+  VmConfig config = FastJit();
+  config.gc_period = 64;
+  const std::string source = R"(
+    long sum = 0L;
+    void fill(int[] a, int round) {
+      try {
+        for (int i = 0; i <= a.length; i += 1) {
+          a[i] = round;            // interpreter traps at i == 32; buggy JIT writes through
+        }
+      } catch {
+        sum += 1000L;
+      }
+    }
+    int main() {
+      int[] a = new int[32];
+      int[] b = new int[32];       // the victim neighbour
+      for (int round = 0; round < 150; round++) {
+        fill(a, round);
+        int[] fresh = new int[4];  // allocation pressure so the GC runs
+        fresh[0] = round;
+        sum += fresh[0];
+      }
+      print(sum + b[0]);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome clean = RunProgram(bc, config.WithoutBugs());
+  ASSERT_EQ(interp.output, clean.output);
+
+  config.bugs = {BugId::kRceOffByOneHeapCorruption};
+  const RunOutcome buggy = RunProgram(bc, config);
+  EXPECT_EQ(buggy.status, RunStatus::kVmCrash) << buggy.output;
+  EXPECT_EQ(buggy.crash_component, VmComponent::kGarbageCollection);
+}
+
+TEST(InjectedBugTest, GvnBucketAssertCrashesCompiler) {
+  // Lots of redundant subexpressions so GVN commons >= 24 values in one compilation.
+  std::string body;
+  for (int i = 0; i < 30; ++i) {
+    body += "acc += (x * 31 + 7) ^ (x * 31 + 7);\n";
+  }
+  const std::string source = R"(
+    int hot(int x) {
+      int acc = 0;
+      )" + body + R"(
+      return acc;
+    }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 200; i++) {
+        acc += hot(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  VmConfig config = FastJit();
+  config.bugs = {BugId::kGvnBucketAssert};
+  const RunOutcome buggy = RunProgram(bc, config);
+  EXPECT_EQ(buggy.status, RunStatus::kVmCrash);
+  EXPECT_EQ(buggy.crash_component, VmComponent::kGvn);
+  const RunOutcome clean = RunProgram(bc, config.WithoutBugs());
+  EXPECT_EQ(clean.status, RunStatus::kOk);
+}
+
+TEST(InjectedBugTest, LicmDeepNestAssertCrashesCompiler) {
+  const std::string source = R"(
+    int g = 0;
+    void hot() {
+      for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+          for (int k = 0; k < 4; k++) {
+            g += i + j + k;
+          }
+        }
+      }
+    }
+    int main() {
+      for (int r = 0; r < 200; r++) {
+        hot();
+      }
+      print(g);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  VmConfig config = FastJit();
+  config.bugs = {BugId::kLicmDeepNestAssert};
+  const RunOutcome buggy = RunProgram(bc, config);
+  EXPECT_EQ(buggy.status, RunStatus::kVmCrash);
+  EXPECT_EQ(buggy.crash_component, VmComponent::kLoopOptimization);
+}
+
+TEST(InjectedBugTest, OsrDropsHighestLocal) {
+  ExpectBugManifests(R"(
+    int main() {
+      int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+      int f = 6; int h = 7; int k = 8; int m = 9;
+      long acc = 0L;
+      for (int i = 0; i < 5000; i++) {
+        acc += a + b + c + d + e + f + h + k + m + i;
+        m = 9 + (i % 3);
+      }
+      print(acc);
+      print(m);
+      return 0;
+    }
+  )",
+                     FastJit(), BugId::kOsrDropsHighestLocal);
+}
+
+TEST(InjectedBugTest, CodeExecDeepCallCrash) {
+  const std::string source = R"(
+    int down(int n) {
+      if (n <= 0) { return 0; }
+      return 1 + down(n - 1);
+    }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 300; i++) {
+        acc += down(80);
+      }
+      print(acc);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  VmConfig config = FastJit();
+  config.bugs = {BugId::kCodeExecDeepCallCrash};
+  const RunOutcome buggy = RunProgram(bc, config);
+  EXPECT_EQ(buggy.status, RunStatus::kVmCrash);
+  EXPECT_EQ(buggy.crash_component, VmComponent::kCodeExecution);
+  const RunOutcome clean = RunProgram(bc, config.WithoutBugs());
+  EXPECT_EQ(clean.status, RunStatus::kOk);
+}
+
+TEST(InjectedBugTest, SpeculationRetryCrash) {
+  // First speculation fails (flag flip) → recompilation with another speculatable branch
+  // crashes under the defect.
+  const std::string source = R"(
+    boolean z = true;
+    boolean w = true;
+    int l = 0;
+    void o(int i) {
+      if (z) { l += 1; }
+      if (w) { l += 2; }
+      l += i % 3;
+    }
+    int main() {
+      for (int u = 0; u < 500; u++) {
+        o(u);
+      }
+      z = false;        // fails the z-guard → deopt → recompile
+      for (int u = 0; u < 500; u++) {
+        o(u);
+      }
+      print(l);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  VmConfig config = FastJit();
+  config.bugs = {BugId::kSpeculationRetryCrash};
+  const RunOutcome buggy = RunProgram(bc, config);
+  EXPECT_EQ(buggy.status, RunStatus::kVmCrash) << buggy.output;
+  EXPECT_EQ(buggy.crash_component, VmComponent::kSpeculation);
+  const RunOutcome clean = RunProgram(bc, config.WithoutBugs());
+  EXPECT_EQ(clean.status, RunStatus::kOk);
+}
+
+TEST(InjectedBugTest, RecompileCyclingIsAPerformancePathology) {
+  // Guard-rich hot method whose guards keep failing: with the defect the VM never gives up
+  // recompiling, burning the step budget.
+  const std::string source = R"(
+    boolean a = true;
+    boolean b = true;
+    boolean c = true;
+    int l = 0;
+    void o(int i) {
+      if (a) { l += 1; }
+      if (b) { l += 2; }
+      if (c) { l += 3; }
+    }
+    int main() {
+      for (int u = 0; u < 400; u++) { o(u); }
+      for (int round = 0; round < 2000; round++) {
+        a = !a;
+        b = !b;
+        c = !c;
+        for (int u = 0; u < 300; u++) { o(u); }
+      }
+      print(l);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  VmConfig config = FastJit();
+  config.step_budget = 30'000'000;
+  const RunOutcome clean = RunProgram(bc, config.WithoutBugs());
+  ASSERT_EQ(clean.status, RunStatus::kOk);
+
+  config.bugs = {BugId::kRecompileCycling};
+  const RunOutcome buggy = RunProgram(bc, config);
+  // Either the budget is exhausted or the run is dramatically slower than the clean one.
+  if (buggy.status == RunStatus::kOk) {
+    EXPECT_GT(buggy.steps, clean.steps * 3);
+  } else {
+    EXPECT_EQ(buggy.status, RunStatus::kTimeout);
+  }
+}
+
+TEST(InjectedBugTest, IrBuilderSwitchAssert) {
+  const std::string source = R"(
+    int g = 0;
+    void hot(int m) {
+      for (int a = 0; a < 2; a++) {
+        for (int b = 0; b < 2; b++) {
+          g += a + b;
+        }
+      }
+      switch (m % 12) {
+        case 0: g += 0; break;
+        case 1: g += 1; break;
+        case 2: g += 2; break;
+        case 3: g += 3; break;
+        case 4: g += 4; break;
+        case 5: g += 5; break;
+        case 6: g += 6; break;
+        case 7: g += 7; break;
+        case 8: g += 8; break;
+        default: g -= 1;
+      }
+    }
+    int main() {
+      for (int i = 0; i < 300; i++) {
+        hot(i);
+      }
+      print(g);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  VmConfig config = FastJit();
+  config.bugs = {BugId::kIrBuilderSwitchAssert};
+  const RunOutcome buggy = RunProgram(bc, config);
+  EXPECT_EQ(buggy.status, RunStatus::kVmCrash);
+  EXPECT_EQ(buggy.crash_component, VmComponent::kIrBuilding);
+  const RunOutcome clean = RunProgram(bc, config.WithoutBugs());
+  EXPECT_EQ(clean.status, RunStatus::kOk);
+}
+
+// --- Vendor configs ---------------------------------------------------------------------------
+
+TEST(VendorConfigTest, AllVendorsRunCleanProgramsCorrectly) {
+  const std::string source = R"(
+    int main() {
+      long acc = 0L;
+      for (int i = 0; i < 30000; i++) {
+        acc += (i % 7) * 3 - (i % 5);
+      }
+      print(acc);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  for (VmConfig config : AllVendors()) {
+    config.bugs.clear();
+    const RunOutcome out = RunProgram(bc, config);
+    EXPECT_EQ(out.status, RunStatus::kOk) << config.name;
+    EXPECT_EQ(out.output, interp.output) << config.name;
+    EXPECT_GT(out.trace.osr_compilations + out.trace.jit_compilations, 0u) << config.name;
+  }
+}
+
+}  // namespace
+}  // namespace jaguar

@@ -1,0 +1,285 @@
+// Unit tests for the Jaguar language front end: lexer, parser, printer round-trip, and the
+// type checker.
+
+#include <gtest/gtest.h>
+
+#include "src/jaguar/lang/lexer.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/printer.h"
+#include "src/jaguar/lang/scope.h"
+#include "src/jaguar/lang/typecheck.h"
+
+namespace jaguar {
+namespace {
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  auto toks = Lex("x >>>= 12L + 3 >>> 1 << 2 >= 4");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].kind, Tok::kUshrAssign);
+  EXPECT_EQ(toks[2].kind, Tok::kLongLit);
+  EXPECT_EQ(toks[2].int_value, 12u);
+  EXPECT_EQ(toks.back().kind, Tok::kEof);
+}
+
+TEST(LexerTest, SkipsComments) {
+  auto toks = Lex("a // line\n /* block\n comment */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, RejectsBadCharacters) {
+  EXPECT_THROW(Lex("int $x;"), SyntaxError);
+  EXPECT_THROW(Lex("/* unterminated"), SyntaxError);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto toks = Lex("a\nb\n  c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].col, 3);
+}
+
+constexpr const char* kDemoProgram = R"(
+int g = 5;
+long big = 123456789L;
+boolean flag = false;
+int[] table = new int[] {1, 2, 3};
+
+int add(int a, int b) {
+  return a + b;
+}
+
+void bump(int by) {
+  g += by;
+}
+
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 10; i++) {
+    acc = add(acc, i);
+    if (acc > 20 && !flag) {
+      acc -= 2;
+    }
+  }
+  while (acc > 0) {
+    acc /= 2;
+    break;
+  }
+  switch (acc % 3) {
+    case 0:
+      bump(1);
+      break;
+    case 1:
+      bump(2);
+    default:
+      bump(3);
+  }
+  try {
+    table[5] = 1;
+  } catch {
+    g = -1;
+  }
+  print(g);
+  print(big);
+  print(flag ? 1L : (long) acc);
+  return 0;
+}
+)";
+
+TEST(ParserTest, ParsesDemoProgram) {
+  Program p = ParseProgram(kDemoProgram);
+  EXPECT_EQ(p.globals.size(), 4u);
+  EXPECT_EQ(p.functions.size(), 3u);
+  EXPECT_NE(p.FindFunction("main"), nullptr);
+  EXPECT_EQ(p.FunctionIndex("add"), 0);
+}
+
+TEST(ParserTest, PrinterRoundTripIsStable) {
+  Program p1 = ParseProgram(kDemoProgram);
+  const std::string printed1 = PrintProgram(p1);
+  Program p2 = ParseProgram(printed1);
+  const std::string printed2 = PrintProgram(p2);
+  EXPECT_EQ(printed1, printed2);
+}
+
+TEST(ParserTest, CloneProducesIdenticalText) {
+  Program p = ParseProgram(kDemoProgram);
+  Program clone = p.Clone();
+  EXPECT_EQ(PrintProgram(p), PrintProgram(clone));
+}
+
+TEST(ParserTest, ParsesEmptyForBody) {
+  Program p = ParseProgram("int main() { for (int w = -2967; w < 4342; w += 4); return 0; }");
+  const FuncDecl* main_fn = p.FindFunction("main");
+  ASSERT_NE(main_fn, nullptr);
+  EXPECT_EQ(main_fn->body->stmts[0]->kind, StmtKind::kFor);
+}
+
+TEST(ParserTest, PrecedenceMatchesJava) {
+  ExprPtr e = ParseExpression("1 + 2 * 3 << 1 < 4 & 5 == 6 | 7 ^ 8");
+  // Top-level operator must be '|'.
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->bin_op, BinOp::kBitOr);
+}
+
+TEST(ParserTest, TernaryAndCast) {
+  ExprPtr e = ParseExpression("(int) (a > 0 ? 1L : 2L)");
+  EXPECT_EQ(e->kind, ExprKind::kCast);
+  EXPECT_EQ(e->children[0]->kind, ExprKind::kTernary);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(ParseProgram("int main( { }"), SyntaxError);
+  EXPECT_THROW(ParseProgram("int main() { int x = ; }"), SyntaxError);
+  EXPECT_THROW(ParseProgram("int main() { return 0 }"), SyntaxError);
+  EXPECT_THROW(ParseStatements("x = = 2;"), SyntaxError);
+}
+
+TEST(TypecheckTest, AcceptsDemoProgram) {
+  Program p = ParseProgram(kDemoProgram);
+  EXPECT_NO_THROW(Check(p));
+  const FuncDecl* main_fn = p.FindFunction("main");
+  EXPECT_GE(main_fn->num_locals, 2);
+}
+
+TEST(TypecheckTest, ResolvesBindings) {
+  Program p = ParseProgram("int g = 1; int main() { int x = g; return x; }");
+  Check(p);
+  const Stmt& decl = *p.FindFunction("main")->body->stmts[0];
+  EXPECT_EQ(decl.exprs[0]->binding, VarBinding::kGlobal);
+  EXPECT_EQ(decl.exprs[0]->binding_index, 0);
+}
+
+TEST(TypecheckTest, WideningIntToLong) {
+  Program p = ParseProgram("long f(long x) { return x; } int main() { f(3); return 0; }");
+  EXPECT_NO_THROW(Check(p));
+}
+
+TEST(TypecheckTest, RejectsNarrowingWithoutCast) {
+  Program p = ParseProgram("int main() { long l = 1L; int x = l; return x; }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, CompoundAssignNarrowsLikeJava) {
+  Program p = ParseProgram("int main() { int x = 1; long l = 2L; x += l; return x; }");
+  EXPECT_NO_THROW(Check(p));
+}
+
+TEST(TypecheckTest, RejectsMissingMain) {
+  Program p = ParseProgram("int f() { return 1; }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, RejectsMainWithParams) {
+  Program p = ParseProgram("int main(int x) { return x; }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, RejectsUndefinedVariable) {
+  Program p = ParseProgram("int main() { return nope; }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, RejectsUndefinedFunction) {
+  Program p = ParseProgram("int main() { return nope(); }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, RejectsDuplicateLocals) {
+  Program p = ParseProgram("int main() { int x = 1; int x = 2; return x; }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, RejectsBreakOutsideLoop) {
+  Program p = ParseProgram("int main() { break; return 0; }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, RejectsNonBooleanCondition) {
+  Program p = ParseProgram("int main() { if (1) { return 0; } return 1; }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, RejectsMissingReturn) {
+  Program p = ParseProgram("int f(boolean b) { if (b) { return 1; } } int main() { return 0; }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, RejectsLongArrayIndex) {
+  Program p = ParseProgram(
+      "int main() { int[] a = new int[3]; long i = 1L; return a[i]; }");
+  EXPECT_THROW(Check(p), SyntaxError);
+}
+
+TEST(TypecheckTest, BooleanBitwiseOperatorsAllowed) {
+  Program p = ParseProgram(
+      "int main() { boolean a = true; boolean b = a & false; b = b | a; b = b ^ a; "
+      "if (b) { return 1; } return 0; }");
+  EXPECT_NO_THROW(Check(p));
+}
+
+TEST(ScopeTest, CollectsInsertionPointsWithVisibleVars) {
+  Program p = ParseProgram(R"(
+    int main() {
+      int a = 1;
+      for (int i = 0; i < 3; i++) {
+        int b = a;
+        b += i;
+      }
+      return a;
+    }
+  )");
+  Check(p);
+  FuncDecl* main_fn = p.FindFunction("main");
+  auto points = CollectInsertionPoints(*main_fn);
+  ASSERT_FALSE(points.empty());
+  // The outermost block has 4 points (before/after each of 3 statements).
+  size_t outer = 0;
+  size_t in_loop = 0;
+  for (const auto& pt : points) {
+    if (pt.loop_depth == 0) {
+      ++outer;
+    } else {
+      ++in_loop;
+    }
+  }
+  EXPECT_EQ(outer, 4u);
+  EXPECT_EQ(in_loop, 3u);
+  // Points inside the loop body see a, i, and (after its decl) b.
+  bool saw_b = false;
+  for (const auto& pt : points) {
+    if (pt.loop_depth == 1) {
+      for (const auto& var : pt.visible) {
+        if (var.name == "b") {
+          saw_b = true;
+          EXPECT_EQ(var.type, Type::Int());
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(ScopeTest, CollectCallsFindsAllSites) {
+  Program p = ParseProgram(R"(
+    int f(int x) { return x; }
+    int main() {
+      int a = f(1) + f(2);
+      if (a > 0) {
+        a = f(a);
+      }
+      return a;
+    }
+  )");
+  Check(p);
+  std::vector<Expr*> calls;
+  CollectCalls(*p.FindFunction("main")->body, "f", calls);
+  EXPECT_EQ(calls.size(), 3u);
+}
+
+}  // namespace
+}  // namespace jaguar

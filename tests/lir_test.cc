@@ -1,0 +1,264 @@
+// Tests for the LIR backend: lowering, parallel-move resolution, linear-scan register
+// allocation, differential HIR-executor vs LIR-executor equivalence, and the two
+// codegen/regalloc defects it hosts.
+
+#include <gtest/gtest.h>
+
+#include "src/artemis/fuzzer/generator.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/lir.h"
+#include "src/jaguar/jit/lower.h"
+#include "src/jaguar/jit/pipeline.h"
+#include "src/jaguar/jit/regalloc.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace jaguar {
+namespace {
+
+VmConfig FastJit(bool lir) {
+  VmConfig c;
+  c.name = lir ? "FastLir" : "FastHir";
+  c.tiers = {
+      TierSpec{20, 40, /*full_optimization=*/false, /*speculate=*/false, /*profiles=*/true},
+      TierSpec{60, 120, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.min_profile_for_speculation = 16;
+  c.lir_backend = lir;
+  return c;
+}
+
+TEST(RegAllocTest, LinearScanAssignsDisjointRegisters) {
+  std::vector<LiveInterval> intervals = {
+      {0, 0, 10}, {1, 2, 8}, {2, 3, 4}, {3, 5, 12}, {4, 9, 15},
+  };
+  AllocationResult result = LinearScan(intervals, 5);
+  // All fit in registers; overlapping intervals must not share one.
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    ASSERT_TRUE(result.loc_of_vreg[intervals[i].vreg].IsReg());
+    for (size_t j = i + 1; j < intervals.size(); ++j) {
+      const bool overlap = intervals[i].start < intervals[j].end &&
+                           intervals[j].start < intervals[i].end;
+      if (overlap) {
+        EXPECT_FALSE(result.loc_of_vreg[intervals[i].vreg] ==
+                     result.loc_of_vreg[intervals[j].vreg])
+            << "vregs " << i << " and " << j;
+      }
+    }
+  }
+  EXPECT_EQ(result.num_spills, 0);
+}
+
+TEST(RegAllocTest, SpillsUnderPressure) {
+  std::vector<LiveInterval> intervals;
+  for (int32_t v = 0; v < kNumLirRegs + 4; ++v) {
+    intervals.push_back(LiveInterval{v, 0, 100});  // all overlap
+  }
+  AllocationResult result = LinearScan(intervals, kNumLirRegs + 4);
+  int regs = 0;
+  int spills = 0;
+  for (const Loc& loc : result.loc_of_vreg) {
+    regs += loc.IsReg() ? 1 : 0;
+    spills += loc.IsSpill() ? 1 : 0;
+  }
+  EXPECT_EQ(regs, kNumLirRegs);
+  EXPECT_EQ(spills, 4);
+  EXPECT_EQ(result.num_spills, 4);
+}
+
+TEST(RegAllocTest, LoopExtensionKeepsValuesAliveThroughLoops) {
+  std::vector<LiveInterval> intervals = {
+      {0, 0, 25},  // live into the loop, last raw use inside
+      {1, 22, 24},
+  };
+  std::vector<LinearLoop> loops = {{20, 60}};
+  ExtendIntervalsAcrossLoops(intervals, loops, nullptr);
+  EXPECT_EQ(intervals[0].end, 60);  // live-in value extended through the loop
+  EXPECT_EQ(intervals[1].end, 24);  // defined and dying inside one iteration: unchanged
+}
+
+TEST(LirLoweringTest, ProducesValidLirForFuzzedPrograms) {
+  artemis::FuzzConfig fuzz;
+  const VmConfig config = FastJit(true);
+  for (uint64_t seed = 6'000; seed < 6'010; ++seed) {
+    Program p = artemis::GenerateProgram(fuzz, seed);
+    const BcProgram bc = CompileProgram(p);
+    for (int fn = 0; fn < static_cast<int>(bc.functions.size()); ++fn) {
+      IrFunction ir = CompileToIr(bc, fn, 2, -1, config, nullptr, nullptr, nullptr);
+      LirFunction lir = LowerToLir(ir, nullptr);  // ValidateLir runs inside
+      EXPECT_FALSE(LirToString(lir).empty());
+    }
+  }
+}
+
+TEST(LirLoweringTest, ParallelMoveSwapCycleIsResolved) {
+  // A loop that swaps two locals every iteration is the classic parallel-move cycle:
+  // the header's params receive (b, a) from the latch.
+  const char* source = R"(
+    int main() {
+      int a = 1;
+      int b = 1;
+      long fib = 0L;
+      for (int i = 0; i < 200; i++) {
+        int t = a + b;
+        a = b;
+        b = t;
+        fib += a;
+      }
+      print(fib);
+      print(a);
+      print(b);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome lir = RunProgram(bc, FastJit(true));
+  EXPECT_EQ(interp.output, lir.output);
+  EXPECT_GT(lir.trace.osr_compilations + lir.trace.jit_compilations, 0u);
+}
+
+// The decisive equivalence: optimized HIR execution and allocated LIR execution agree on
+// fuzzed programs (any divergence is a lowering/allocation bug).
+class LirDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LirDifferential, HirAndLirBackendsAgree) {
+  artemis::FuzzConfig fuzz;
+  Program p = artemis::GenerateProgram(fuzz, GetParam());
+  const BcProgram bc = CompileProgram(p);
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  if (interp.status == RunStatus::kTimeout) {
+    GTEST_SKIP();
+  }
+  const RunOutcome hir = RunProgram(bc, FastJit(false));
+  const RunOutcome lir = RunProgram(bc, FastJit(true));
+  EXPECT_EQ(hir.output, lir.output) << "seed " << GetParam();
+  EXPECT_EQ(RunStatusName(hir.status), RunStatusName(lir.status));
+  EXPECT_EQ(interp.output, lir.output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LirDifferential, ::testing::Range<uint64_t>(6'100, 6'130));
+
+// --- The two LIR-hosted defects -----------------------------------------------------------
+
+TEST(LirDefectTest, LowerSwappedSubOperandsManifestsUnderSpillPressure) {
+  // Shape: lhs of the subtraction lives in a spill slot (late definition under pressure),
+  // rhs dies at the subtraction so its register is reused for the result.
+  const char* source = R"(
+    int hot(int a, int b) {
+      int e1 = a + 1;
+      int e2 = a + 2;
+      int e3 = a + 3;
+      int e4 = a + 4;
+      int e5 = a + 5;
+      int e6 = a + 6;
+      int e7 = a + 7;
+      int e8 = a + 8;
+      int e9 = a + 9;
+      int e10 = a + 10;
+      int e11 = a + 11;
+      int x = b + 100;
+      int d = x - e1;
+      return d + e2 + e3 + e4 + e5 + e6 + e7 + e8 + e9 + e10 + e11 + a + b;
+    }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 200; i++) {
+        acc += hot(i, i * 3);
+      }
+      print(acc);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome clean = RunProgram(bc, FastJit(true));
+  ASSERT_EQ(interp.output, clean.output);
+
+  VmConfig buggy = FastJit(true);
+  buggy.bugs = {BugId::kLowerSwappedSubOperands};
+  const RunOutcome bad = RunProgram(bc, buggy);
+  EXPECT_NE(bad.output, interp.output) << "defect did not manifest";
+  bool fired = false;
+  for (BugId b : bad.fired_bugs) {
+    fired |= b == BugId::kLowerSwappedSubOperands;
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(LirDefectTest, RegAllocEarlyFreeClobbersLoopCarriedValue) {
+  // Shape: many values live across a long loop; the defect skips the loop extension for one
+  // of them, so its register is reused inside the loop and iteration 2 reads garbage.
+  const char* source = R"(
+    int hot(int n) {
+      int c1 = n + 11;
+      int c2 = n + 22;
+      int c3 = n + 33;
+      int c4 = n + 44;
+      int c5 = n + 55;
+      int c6 = n + 66;
+      int c7 = n + 77;
+      int c8 = n + 88;
+      int c9 = n + 99;
+      int acc = 0;
+      for (int i = 0; i < 6; i++) {
+        int t1 = i * 3 + c1;
+        int t2 = t1 ^ c2;
+        int t3 = t2 + c3;
+        int t4 = t3 - c4;
+        int t5 = t4 + c5;
+        int t6 = t5 ^ c6;
+        int t7 = t6 + c7;
+        int t8 = t7 - c8;
+        acc += t8 + c9;
+      }
+      return acc;
+    }
+    int main() {
+      long total = 0L;
+      for (int i = 0; i < 300; i++) {
+        total += hot(i);
+      }
+      print(total);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome clean = RunProgram(bc, FastJit(true));
+  ASSERT_EQ(interp.output, clean.output);
+
+  VmConfig buggy = FastJit(true);
+  buggy.bugs = {BugId::kRegAllocEarlyFree};
+  const RunOutcome bad = RunProgram(bc, buggy);
+  bool fired = false;
+  for (BugId b : bad.fired_bugs) {
+    fired |= b == BugId::kRegAllocEarlyFree;
+  }
+  EXPECT_TRUE(fired) << "defect path never engaged";
+  EXPECT_NE(bad.output, interp.output) << "defect did not manifest";
+}
+
+TEST(LirAblationTest, HirOnlyBackendStillFindsNonLirBugs) {
+  // With the LIR backend disabled, defects hosted in HIR passes still manifest.
+  const char* source = R"(
+    int hot(int x) { return x + (1 << 33); }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 200; i++) {
+        acc += hot(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  VmConfig buggy = FastJit(false);
+  buggy.bugs = {BugId::kFoldShiftUnmasked};
+  const RunOutcome bad = RunProgram(bc, buggy);
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  EXPECT_NE(bad.output, interp.output);
+}
+
+}  // namespace
+}  // namespace jaguar

@@ -1,0 +1,436 @@
+// Structural unit tests for the optimization passes: each pass's transformation is verified
+// on the IR it produces (not only end-to-end), plus semantic checks that the transformed IR
+// still executes correctly.
+
+#include <gtest/gtest.h>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/ir_analysis.h"
+#include "src/jaguar/jit/ir_builder.h"
+#include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/pipeline.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace jaguar {
+namespace {
+
+struct Counts {
+  int binaries = 0;
+  int divs = 0;
+  int gloads = 0;
+  int gstores = 0;
+  int guards = 0;
+  int calls = 0;
+  int unchecked = 0;
+  int blocks = 0;
+  int instrs = 0;
+};
+
+Counts CountIr(const IrFunction& f) {
+  Counts c;
+  c.blocks = static_cast<int>(f.blocks.size());
+  for (const auto& block : f.blocks) {
+    for (const auto& instr : block.instrs) {
+      ++c.instrs;
+      switch (instr.op) {
+        case IrOp::kBinary:
+          ++c.binaries;
+          c.divs += (instr.bc_op == Op::kDiv || instr.bc_op == Op::kRem) ? 1 : 0;
+          break;
+        case IrOp::kGLoad: ++c.gloads; break;
+        case IrOp::kGStore: ++c.gstores; break;
+        case IrOp::kGuard: ++c.guards; break;
+        case IrOp::kCall: ++c.calls; break;
+        case IrOp::kALoadUnchecked:
+        case IrOp::kAStoreUnchecked: ++c.unchecked; break;
+        default: break;
+      }
+    }
+  }
+  return c;
+}
+
+VmConfig Config() {
+  VmConfig c;
+  c.tiers = {
+      TierSpec{20, 40, false, false, true},
+      TierSpec{60, 120, true, true},
+  };
+  c.min_profile_for_speculation = 16;
+  return c;
+}
+
+IrFunction QuickIr(const BcProgram& bc, int fn) {
+  IrFunction ir = BuildIr(bc, fn, 1, -1, nullptr);
+  PassContext ctx;
+  SimplifyCfgPass(ir, ctx);
+  CopyPropagationPass(ir, ctx);
+  ConstantFoldingPass(ir, ctx);
+  DcePass(ir, ctx);
+  SimplifyCfgPass(ir, ctx);
+  return ir;
+}
+
+TEST(CopyPropagationTest, StripsStraightLineParams) {
+  const BcProgram bc = CompileSource(R"(
+    int f(int a) {
+      int b = a + 1;
+      int c = b * 2;
+      return c - a;
+    }
+    int main() { return f(3); }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 1, -1, nullptr);
+  size_t params_before = 0;
+  for (const auto& block : ir.blocks) {
+    params_before += block.params.size();
+  }
+  PassContext ctx;
+  CopyPropagationPass(ir, ctx);
+  size_t params_after = 0;
+  for (const auto& block : ir.blocks) {
+    params_after += block.params.size();
+  }
+  // Straight-line code: everything except the entry's real parameter collapses.
+  EXPECT_GT(params_before, params_after);
+  ValidateIr(ir);
+}
+
+TEST(ConstantFoldingTest, FoldsThroughChains) {
+  const BcProgram bc = CompileSource("int main() { return ((2 + 3) * 4 - 6) / 7; }");
+  IrFunction ir = QuickIr(bc, bc.main_index);
+  EXPECT_EQ(CountIr(ir).binaries, 0);
+  // The whole function reduced to `ret const 2`.
+  bool found_two = false;
+  for (const auto& block : ir.blocks) {
+    for (const auto& instr : block.instrs) {
+      found_two |= instr.op == IrOp::kConst && instr.imm == 2;
+    }
+  }
+  EXPECT_TRUE(found_two);
+}
+
+TEST(ConstantFoldingTest, NeverFoldsTrappingDivisionByZero) {
+  const BcProgram bc = CompileSource(R"(
+    int main() {
+      int r = 0;
+      try { r = 5 / 0; } catch { r = 9; }
+      print(r);
+      return 0;
+    }
+  )");
+  IrFunction ir = QuickIr(bc, bc.main_index);
+  EXPECT_GE(CountIr(ir).divs, 1);  // the trap must survive folding
+  // And semantics hold end to end.
+  RunOutcome out = RunProgram(bc, Config());
+  EXPECT_EQ(out.output, "9\n");
+}
+
+TEST(ConstantFoldingTest, ConstantBranchBecomesJump) {
+  const BcProgram bc = CompileSource(R"(
+    int main() {
+      int r = 0;
+      if (1 < 2) { r = 5; } else { r = 7; }
+      return r;
+    }
+  )");
+  IrFunction ir = QuickIr(bc, bc.main_index);
+  for (const auto& block : ir.blocks) {
+    EXPECT_NE(block.term.kind, TermKind::kBr) << "constant branch survived";
+  }
+}
+
+TEST(GvnTest, CommonsRepeatedPureExpressions) {
+  const BcProgram bc = CompileSource(R"(
+    int f(int a, int b) {
+      int x = a * b + 7;
+      int y = a * b + 7;
+      int z = b * a + 7;   // commutative with the others
+      return x + y + z;
+    }
+    int main() { return f(2, 3); }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 1, -1, nullptr);
+  PassContext ctx;
+  SimplifyCfgPass(ir, ctx);
+  CopyPropagationPass(ir, ctx);
+  const int before = CountIr(ir).binaries;
+  GvnPass(ir, ctx);
+  DcePass(ir, ctx);
+  const int after = CountIr(ir).binaries;
+  // x, y, z collapse to one mul + one add (plus the summation adds).
+  EXPECT_LT(after, before);
+  ValidateIr(ir);
+}
+
+TEST(GvnTest, DoesNotCommonLoadsAcrossStores) {
+  const BcProgram bc = CompileSource(R"(
+    int g = 1;
+    int f() {
+      int a = g;
+      g = a + 5;
+      int b = g;     // must NOT be commoned with `a`
+      return a + b;
+    }
+    int main() { return f(); }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 1, -1, nullptr);
+  PassContext ctx;
+  SimplifyCfgPass(ir, ctx);
+  CopyPropagationPass(ir, ctx);
+  GvnPass(ir, ctx);
+  DcePass(ir, ctx);
+  EXPECT_EQ(CountIr(ir).gloads, 2) << "the second load must survive the intervening store";
+}
+
+TEST(LicmTest, HoistsInvariantComputation) {
+  const BcProgram bc = CompileSource(R"(
+    int f(int n, int k) {
+      int acc = 0;
+      for (int i = 0; i < n; i++) {
+        acc += k * k + 3;   // loop-invariant subexpression
+      }
+      return acc;
+    }
+    int main() { return f(4, 5); }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 1, -1, nullptr);
+  PassContext ctx;
+  SimplifyCfgPass(ir, ctx);
+  CopyPropagationPass(ir, ctx);
+  ConstantFoldingPass(ir, ctx);
+  DcePass(ir, ctx);
+  LicmPass(ir, ctx);
+  ValidateIr(ir);
+
+  const Cfg cfg = AnalyzeCfg(ir);
+  const LoopForest forest = FindLoops(ir, cfg);
+  ASSERT_EQ(forest.loops.size(), 1u);
+  // k*k must now live outside the loop.
+  for (int32_t b : forest.loops[0].blocks) {
+    for (const auto& instr : ir.blocks[static_cast<size_t>(b)].instrs) {
+      const bool is_mul = instr.op == IrOp::kBinary && instr.bc_op == Op::kMul;
+      EXPECT_FALSE(is_mul) << "invariant multiply left inside the loop";
+    }
+  }
+}
+
+TEST(SpeculationTest, PlantsGuardOnOneSidedBranchButNotOnLoopHeaders) {
+  const BcProgram bc = CompileSource(R"(
+    boolean flag = false;
+    int f(int x) {
+      if (flag) { return 0; }
+      int acc = 0;
+      for (int i = 0; i < 4; i++) { acc += x; }
+      return acc;
+    }
+    int main() { return f(2); }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 2, -1, nullptr);
+  MethodRuntime rt;
+  // Fabricate a one-sided profile for the flag branch and a two-ended one for the loop exit.
+  for (size_t pc = 0; pc < bc.functions[0].code.size(); ++pc) {
+    const Op op = bc.functions[0].code[pc].op;
+    if (op == Op::kJmpIfTrue || op == Op::kJmpIfFalse) {
+      rt.branch_profiles[static_cast<int32_t>(pc)] = BranchProfile{0, 500};
+    }
+  }
+  const VmConfig config = Config();
+  PassContext ctx;
+  ctx.runtime = &rt;
+  ctx.config = &config;
+  SimplifyCfgPass(ir, ctx);
+  CopyPropagationPass(ir, ctx);
+  SpeculationPass(ir, ctx);
+  ValidateIr(ir);
+
+  const Counts counts = CountIr(ir);
+  EXPECT_GE(counts.guards, 1);
+  // Loop headers keep their exit branches (never speculated).
+  const Cfg cfg = AnalyzeCfg(ir);
+  const LoopForest forest = FindLoops(ir, cfg);
+  for (const auto& loop : forest.loops) {
+    EXPECT_EQ(ir.blocks[static_cast<size_t>(loop.header)].term.kind, TermKind::kBr);
+  }
+}
+
+TEST(StrengthReductionTest, RewritesPowerOfTwoDivision) {
+  const BcProgram bc = CompileSource(R"(
+    int f(int x) { return x / 8 + x * 4; }
+    int main() { return f(100); }
+  )");
+  IrFunction ir = QuickIr(bc, 0);
+  PassContext ctx;
+  StrengthReductionPass(ir, ctx);
+  DcePass(ir, ctx);
+  ValidateIr(ir);
+  EXPECT_EQ(CountIr(ir).divs, 0) << "division by 8 should be shifts now";
+
+  // Semantics preserved for negative dividends (the correct fix-up sequence).
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome jit = RunProgram(bc, Config());
+  EXPECT_EQ(interp.output, jit.output);
+}
+
+TEST(InliningTest, InlinesSmallPureCallee) {
+  const BcProgram bc = CompileSource(R"(
+    int sq(int x) { return x * x; }
+    int f(int a) { return sq(a) + sq(a + 1); }
+    int main() { return f(3); }
+  )");
+  IrFunction ir = BuildIr(bc, 1, 2, -1, nullptr);  // f
+  const VmConfig config = Config();
+  PassContext ctx;
+  ctx.program = &bc;
+  ctx.config = &config;
+  EXPECT_EQ(CountIr(ir).calls, 2);
+  InliningPass(ir, ctx);
+  ValidateIr(ir);
+  EXPECT_EQ(CountIr(ir).calls, 0) << "both sq() calls should be inlined";
+}
+
+TEST(InliningTest, RefusesCalleesWithEffects) {
+  const BcProgram bc = CompileSource(R"(
+    int g = 0;
+    int bump(int x) { g += 1; return x; }
+    int f(int a) { return bump(a); }
+    int main() { return f(3); }
+  )");
+  IrFunction ir = BuildIr(bc, 1, 2, -1, nullptr);
+  const VmConfig config = Config();
+  PassContext ctx;
+  ctx.program = &bc;
+  ctx.config = &config;
+  InliningPass(ir, ctx);
+  EXPECT_EQ(CountIr(ir).calls, 1) << "effectful callee must not be inlined";
+}
+
+TEST(RangeCheckElimTest, CountedLoopAccessesBecomeUnchecked) {
+  const BcProgram bc = CompileSource(R"(
+    int f(int[] a) {
+      int sum = 0;
+      for (int i = 0; i < a.length; i += 1) {
+        sum += a[i];
+      }
+      return sum;
+    }
+    int main() {
+      int[] a = new int[] {1, 2, 3};
+      return f(a);
+    }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 2, -1, nullptr);
+  PassContext ctx;
+  SimplifyCfgPass(ir, ctx);
+  CopyPropagationPass(ir, ctx);
+  ConstantFoldingPass(ir, ctx);
+  DcePass(ir, ctx);
+  RangeCheckElimPass(ir, ctx);
+  ValidateIr(ir);
+  EXPECT_GE(CountIr(ir).unchecked, 1) << "a[i] should lose its bounds check";
+
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome jit = RunProgram(bc, Config());
+  EXPECT_EQ(interp.output, jit.output);
+}
+
+TEST(RangeCheckElimTest, RefusesLoopsWithUnprovableBounds) {
+  const BcProgram bc = CompileSource(R"(
+    int f(int[] a, int n) {
+      int sum = 0;
+      for (int i = 0; i < n; i += 1) {   // n is unrelated to a.length
+        sum += a[i];
+      }
+      return sum;
+    }
+    int main() {
+      int[] a = new int[] {1, 2, 3};
+      return f(a, 2);
+    }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 2, -1, nullptr);
+  PassContext ctx;
+  SimplifyCfgPass(ir, ctx);
+  CopyPropagationPass(ir, ctx);
+  RangeCheckElimPass(ir, ctx);
+  EXPECT_EQ(CountIr(ir).unchecked, 0);
+}
+
+TEST(LoopPeelTest, PeelsShortCountedLoopAndPreservesSemantics) {
+  const BcProgram bc = CompileSource(R"(
+    int g = 0;
+    void f() {
+      for (int i = 0; i < 3; i += 1) {
+        g += 2;
+      }
+    }
+    int main() { f(); print(g); return 0; }
+  )");
+  IrFunction ir = BuildIr(bc, 0, 2, -1, nullptr);
+  PassContext ctx;
+  SimplifyCfgPass(ir, ctx);
+  CopyPropagationPass(ir, ctx);
+  ConstantFoldingPass(ir, ctx);
+  DcePass(ir, ctx);
+  const int blocks_before = CountIr(ir).blocks;
+  LoopPeelPass(ir, ctx);
+  ValidateIr(ir);
+  EXPECT_EQ(CountIr(ir).blocks, blocks_before + 2);  // cloned header + body
+
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome jit = RunProgram(bc, Config());
+  EXPECT_EQ(interp.output, jit.output);
+}
+
+TEST(StoreSinkTest, SinksStoreWithinBlockOnlyWhenSafe) {
+  const BcProgram bc = CompileSource(R"(
+    int g = 0;
+    int f(int x) {
+      g = x;        // can sink to the end of the block...
+      int a = x * 2;
+      int b = a + 3;
+      return b;
+    }
+    int h(int x) {
+      g = x;        // ...but not past a read of g
+      int a = g + 1;
+      return a;
+    }
+    int main() { return f(1) + h(2); }
+  )");
+  const VmConfig config = Config();
+  for (int fn = 0; fn < 2; ++fn) {
+    IrFunction ir = QuickIr(bc, fn);
+    PassContext ctx;
+    ctx.config = &config;
+    StoreSinkPass(ir, ctx);
+    ValidateIr(ir);
+  }
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome jit = RunProgram(bc, Config());
+  EXPECT_EQ(interp.output, jit.output);
+}
+
+TEST(PipelineTest, FullPipelineShrinksNaiveIr) {
+  const BcProgram bc = CompileSource(R"(
+    int f(int a, int b) {
+      int x = a * b + 7;
+      int y = a * b + 7;
+      int acc = 0;
+      for (int i = 0; i < 8; i++) {
+        acc += x + y + (a * b + 7);
+      }
+      return acc;
+    }
+    int main() { return f(2, 3); }
+  )");
+  IrFunction naive = BuildIr(bc, 0, 2, -1, nullptr);
+  const VmConfig config = Config();
+  IrFunction optimized = CompileToIr(bc, 0, 2, -1, config, nullptr, nullptr, nullptr);
+  EXPECT_LT(CountIr(optimized).instrs, CountIr(naive).instrs);
+  EXPECT_LE(CountIr(optimized).binaries, CountIr(naive).binaries);
+}
+
+}  // namespace
+}  // namespace jaguar

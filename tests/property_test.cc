@@ -1,0 +1,169 @@
+// Property-based sweeps (parameterized gtest) over the central invariants:
+//
+//   1. Differential execution: for any generated program, every vendor config (bug-free)
+//      agrees with the pure interpreter.
+//   2. Latency of defects: enabling any single injected defect never changes the behaviour
+//      of a program that does not exercise its trigger pattern (the defects are *latent*,
+//      like real JIT bugs — invisible until a particular compilation choice).
+//   3. Whole-space consistency: for small programs, every point of the compilation space
+//      produces the same output on a bug-free VM (the paper's central test oracle).
+//   4. Mutation neutrality: JoNM mutants preserve the seed's interpreted semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/artemis/fuzzer/generator.h"
+#include "src/artemis/mutate/jonm.h"
+#include "src/artemis/space/compilation_space.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/lang/printer.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BcProgram;
+using jaguar::Program;
+using jaguar::RunOutcome;
+using jaguar::RunStatus;
+using jaguar::VmConfig;
+
+VmConfig Fast(bool speculate = true) {
+  VmConfig c;
+  c.name = "FastProp";
+  c.tiers = {
+      jaguar::TierSpec{25, 60, /*full_optimization=*/false, /*speculate=*/false,
+                       /*profiles=*/true},
+      jaguar::TierSpec{80, 150, /*full_optimization=*/true, speculate},
+  };
+  c.min_profile_for_speculation = 16;
+  c.step_budget = 60'000'000;
+  return c;
+}
+
+// --- 1. Differential interpretation vs tiered JIT over fuzzed programs ------------------------
+
+class DifferentialSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialSweep, BugFreeVendorsMatchInterpreter) {
+  FuzzConfig fuzz;
+  Program p = GenerateProgram(fuzz, GetParam());
+  const BcProgram bc = jaguar::CompileProgram(p);
+  const RunOutcome interp = jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig());
+  if (interp.status == RunStatus::kTimeout) {
+    GTEST_SKIP() << "seed exceeds the step budget";
+  }
+
+  for (VmConfig vendor : {Fast(true), Fast(false)}) {
+    const RunOutcome jit = jaguar::RunProgram(bc, vendor);
+    ASSERT_EQ(RunStatusName(jit.status), RunStatusName(interp.status))
+        << "seed " << GetParam() << " on " << vendor.name << ": " << jit.crash_message;
+    ASSERT_EQ(jit.output, interp.output)
+        << "seed " << GetParam() << " diverged on " << vendor.name << "\n"
+        << jaguar::PrintProgram(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep, ::testing::Range<uint64_t>(2'000, 2'040));
+
+// --- 2. Defect latency: single defects do not fire on a non-trigger program -------------------
+
+class DefectLatency : public ::testing::TestWithParam<int> {};
+
+TEST_P(DefectLatency, SingleDefectIsLatentOnBenignProgram) {
+  // A hot but benign program: no shifts >= width, no power-of-two division, no nested loops
+  // of depth 3, no switches, no two-arg helpers, no arrays, no global adds feeding stores.
+  constexpr const char* kBenign = R"(
+    long acc = 0L;
+    int step(int x) { return x * 3 - 1; }
+    int main() {
+      for (int i = 0; i < 600; i++) {
+        acc += step(i);
+      }
+      print(acc);
+      return 0;
+    }
+  )";
+  const BcProgram bc = jaguar::CompileSource(kBenign);
+  const RunOutcome interp = jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig());
+
+  VmConfig vendor = Fast(true);
+  vendor.bugs = {static_cast<jaguar::BugId>(GetParam())};
+  const RunOutcome jit = jaguar::RunProgram(bc, vendor);
+  EXPECT_EQ(RunStatusName(jit.status), RunStatusName(interp.status))
+      << jaguar::BugName(static_cast<jaguar::BugId>(GetParam())) << ": " << jit.crash_message;
+  EXPECT_EQ(jit.output, interp.output)
+      << jaguar::BugName(static_cast<jaguar::BugId>(GetParam()));
+  EXPECT_GT(jit.trace.jit_compilations, 0u);  // the program did get compiled
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDefects, DefectLatency,
+    ::testing::Range(0, static_cast<int>(jaguar::BugId::kNumBugs)),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return "bug" + std::to_string(info.param);
+    });
+
+// --- 3. Whole-space consistency on small programs ---------------------------------------------
+
+class SpaceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpaceSweep, EveryCompilationChoiceAgrees) {
+  // Tiny call-light programs so 2^n stays enumerable.
+  FuzzConfig fuzz;
+  fuzz.min_functions = 2;
+  fuzz.max_functions = 3;
+  fuzz.max_block_stmts = 4;
+  fuzz.max_stmt_depth = 2;
+  Program p = GenerateProgram(fuzz, GetParam());
+  const BcProgram bc = jaguar::CompileProgram(p);
+  const RunOutcome interp = jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig());
+  if (interp.status != RunStatus::kOk) {
+    GTEST_SKIP() << "seed does not terminate normally";
+  }
+
+  const SpaceExploration space =
+      ExploreCompilationSpace(bc, Fast(true).WithoutBugs(), /*max_call_sites=*/7);
+  EXPECT_TRUE(space.all_agree) << "compilation space of seed " << GetParam()
+                               << " is inconsistent on a bug-free VM\n"
+                               << jaguar::PrintProgram(p);
+  EXPECT_EQ(space.points[0].outcome.output, interp.output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpaceSweep, ::testing::Range<uint64_t>(3'000, 3'012));
+
+// --- 4. Mutation neutrality sweep --------------------------------------------------------------
+
+class NeutralitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NeutralitySweep, MutantsPreserveInterpretedSemantics) {
+  FuzzConfig fuzz;
+  JonmParams params;
+  params.synth.min_bound = 120;
+  params.synth.max_bound = 350;
+  Program seed = GenerateProgram(fuzz, GetParam());
+  const BcProgram seed_bc = jaguar::CompileProgram(seed);
+  const RunOutcome seed_run = jaguar::RunProgram(seed_bc, jaguar::InterpreterOnlyConfig());
+  if (seed_run.status == RunStatus::kTimeout) {
+    GTEST_SKIP();
+  }
+  jaguar::Rng rng(GetParam() * 7919 + 3);
+  for (int m = 0; m < 3; ++m) {
+    MutationResult mutation = JoNM(seed, params, rng);
+    const BcProgram mutant_bc = jaguar::CompileProgram(mutation.mutant);
+    const RunOutcome mutant_run =
+        jaguar::RunProgram(mutant_bc, jaguar::InterpreterOnlyConfig());
+    if (mutant_run.status == RunStatus::kTimeout) {
+      continue;
+    }
+    ASSERT_EQ(mutant_run.output, seed_run.output)
+        << "seed " << GetParam() << " mutant " << m << " ("
+        << MutatorName(mutation.applied[0].kind) << " on " << mutation.applied[0].method
+        << ")\n"
+        << jaguar::PrintProgram(mutation.mutant);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NeutralitySweep, ::testing::Range<uint64_t>(4'000, 4'030));
+
+}  // namespace
+}  // namespace artemis

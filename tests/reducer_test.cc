@@ -1,0 +1,248 @@
+// Dedicated tests for the test-case reducer (src/artemis/reduce) — the Perses/C-Reduce
+// stand-in. Beyond the smoke test in artemis_test.cc, these pin down the reducer's contract:
+// candidates handed to the predicate always type-check, reduction reaches a fixpoint
+// (idempotence), programs where every statement matters survive untouched, round limits are
+// honoured, and a realistic JIT-divergence witness shrinks while staying a witness.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/artemis/reduce/reducer.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/printer.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BcProgram;
+using jaguar::Program;
+using jaguar::RunOutcome;
+using jaguar::RunStatus;
+using jaguar::VmConfig;
+
+Program Parse(const char* source) {
+  Program p = jaguar::ParseProgram(source);
+  jaguar::Check(p);
+  return p;
+}
+
+std::string InterpOutput(const Program& program) {
+  const BcProgram bc = jaguar::CompileProgram(program);
+  return jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig()).output;
+}
+
+TEST(ReducerUnitTest, CountStatementsSeesNestedBodies) {
+  // CountStatements counts every statement node, nested bodies included — it is the
+  // reduction-progress metric, so deleting an `if` with a fat body must drop it by more
+  // than deleting a flat statement.
+  Program flat = Parse(R"(
+    int main() {
+      int a = 1;
+      print(a);
+      return 0;
+    }
+  )");
+  Program nested = Parse(R"(
+    int main() {
+      int a = 1;
+      if (a > 0) {
+        a = 2;
+        for (int i = 0; i < 3; i += 1) {
+          a += i;
+        }
+      } else {
+        a = 9;
+      }
+      print(a);
+      return 0;
+    }
+  )");
+  const size_t flat_count = CountStatements(flat);
+  EXPECT_GE(flat_count, 3u);
+  // The nested program adds the if/for machinery plus four leaf statements on top of flat's.
+  EXPECT_GE(CountStatements(nested), flat_count + 6);
+
+  // Appending exactly one flat statement moves the metric by exactly one.
+  Program flat_plus = Parse(R"(
+    int main() {
+      int a = 1;
+      print(a);
+      print(2);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountStatements(flat_plus), flat_count + 1);
+}
+
+TEST(ReducerUnitTest, KeepsEverythingWhenEveryStatementMatters) {
+  // Every statement contributes to the printed value, so no deletion can survive the
+  // predicate; the reducer must return the program unchanged.
+  Program p = Parse(R"(
+    int main() {
+      int a = 3;
+      int b = a * 7;
+      int c = b - 4;
+      print(a + b + c);
+      return a;
+    }
+  )");
+  const std::string expected = InterpOutput(p);
+  const size_t before = CountStatements(p);
+
+  ReductionStats stats;
+  Program reduced = ReduceProgram(
+      p, [&](const Program& candidate) { return InterpOutput(candidate) == expected; }, &stats);
+  EXPECT_EQ(CountStatements(reduced), before);
+  EXPECT_EQ(stats.deletions_kept, 0);
+  EXPECT_EQ(InterpOutput(reduced), expected);
+}
+
+TEST(ReducerUnitTest, ReductionIsIdempotent) {
+  Program p = Parse(R"(
+    int g = 0;
+    long unusedGlobal = 77L;
+    void helper() { g += 1; }
+    int main() {
+      int x = 5;
+      int dead = 100;
+      helper();
+      print(g + x);
+      return 0;
+    }
+  )");
+  const std::string expected = InterpOutput(p);
+  auto keep = [&](const Program& candidate) { return InterpOutput(candidate) == expected; };
+
+  ReductionStats first;
+  Program reduced = ReduceProgram(p, keep, &first);
+  EXPECT_GT(first.deletions_kept, 0);
+
+  // A second pass over the fixpoint finds nothing left to delete.
+  ReductionStats second;
+  Program again = ReduceProgram(reduced, keep, &second);
+  EXPECT_EQ(second.deletions_kept, 0);
+  EXPECT_EQ(CountStatements(again), CountStatements(reduced));
+  EXPECT_EQ(jaguar::PrintProgram(again), jaguar::PrintProgram(reduced));
+}
+
+TEST(ReducerUnitTest, EveryCandidateHandedToThePredicateTypeChecks) {
+  Program p = Parse(R"(
+    int g = 2;
+    int twice(int v) { return v * g; }   // deleting `int g` must not produce a candidate
+    int main() {
+      int a = twice(4);
+      int noise = 1;
+      print(a);
+      return 0;
+    }
+  )");
+  const std::string expected = InterpOutput(p);
+
+  int candidates = 0;
+  auto keep = [&](const Program& candidate) {
+    ++candidates;
+    // The reducer promises `candidate` already passed the type checker; re-checking a clone
+    // must therefore never throw.
+    Program clone = candidate.Clone();
+    EXPECT_NO_THROW(jaguar::Check(clone));
+    return InterpOutput(candidate) == expected;
+  };
+  Program reduced = ReduceProgram(p, keep);
+  EXPECT_GT(candidates, 0);
+  EXPECT_EQ(InterpOutput(reduced), expected);
+  EXPECT_NE(reduced.FindFunction("twice"), nullptr);  // still referenced
+}
+
+TEST(ReducerUnitTest, MaxRoundsBoundsTheFixpointIteration) {
+  // A long chain of independent dead statements takes several rounds to fully drain;
+  // max_rounds=1 must stop after one sweep and report exactly one round.
+  std::string body;
+  for (int i = 0; i < 12; ++i) {
+    body += "int dead" + std::to_string(i) + " = " + std::to_string(i) + ";\n";
+  }
+  Program p = Parse(("int main() {\n" + body + "print(7);\nreturn 0;\n}\n").c_str());
+  const std::string expected = InterpOutput(p);
+  auto keep = [&](const Program& candidate) { return InterpOutput(candidate) == expected; };
+
+  ReductionStats stats;
+  ReduceProgram(p, keep, &stats, /*max_rounds=*/1);
+  EXPECT_EQ(stats.rounds, 1);
+}
+
+TEST(ReducerUnitTest, RemovesUnreferencedFunctionsAndGlobals) {
+  Program p = Parse(R"(
+    int used = 3;
+    int unusedG = 9;
+    boolean flagG = true;
+    void deadA() { print(1); }
+    void deadB() { deadA(); }
+    int main() {
+      print(used);
+      return 0;
+    }
+  )");
+  const std::string expected = InterpOutput(p);
+  Program reduced = ReduceProgram(
+      p, [&](const Program& candidate) { return InterpOutput(candidate) == expected; });
+  EXPECT_EQ(reduced.FindFunction("deadA"), nullptr);
+  EXPECT_EQ(reduced.FindFunction("deadB"), nullptr);
+  EXPECT_EQ(reduced.globals.size(), 1u);
+  EXPECT_EQ(reduced.globals[0].name, "used");
+}
+
+TEST(ReducerUnitTest, ShrinksAJitDivergenceWitnessWhileItStaysAWitness) {
+  // The reducer's real job in the pipeline: the predicate is "the JIT still disagrees with
+  // the interpreter", driven by an injected constant-folding defect on over-wide shifts.
+  VmConfig vendor;
+  vendor.name = "ReducerVendor";
+  vendor.tiers = {
+      jaguar::TierSpec{20, 40, /*full_optimization=*/false, /*speculate=*/false,
+                       /*profiles=*/true},
+      jaguar::TierSpec{60, 120, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  vendor.min_profile_for_speculation = 16;
+  vendor.bugs = {jaguar::BugId::kFoldShiftUnmasked};
+
+  Program witness = Parse(R"(
+    int pad0 = 11;
+    long pad1 = 222L;
+    void decoy() { print(pad0); }
+    int hot(int x) { return x + (1 << 33); }
+    int main() {
+      int acc = 0;
+      int noiseA = 5;
+      long noiseB = 6L;
+      for (int i = 0; i < 200; i += 1) {
+        acc += hot(i);
+      }
+      boolean noiseC = false;
+      print(acc);
+      return 0;
+    }
+  )");
+
+  auto diverges = [&](const Program& candidate) {
+    const BcProgram bc = jaguar::CompileProgram(candidate);
+    const RunOutcome interp = jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig());
+    const RunOutcome jit = jaguar::RunProgram(bc, vendor);
+    return interp.status == RunStatus::kOk && jit.status == RunStatus::kOk &&
+           interp.output != jit.output;
+  };
+  ASSERT_TRUE(diverges(witness));
+
+  ReductionStats stats;
+  Program reduced = ReduceProgram(witness, diverges, &stats);
+  EXPECT_TRUE(diverges(reduced));
+  EXPECT_LT(stats.final_statements, stats.initial_statements);
+  EXPECT_EQ(reduced.FindFunction("decoy"), nullptr);
+  // The divergence needs the hot loop and the folded shift; both must survive.
+  EXPECT_NE(reduced.FindFunction("hot"), nullptr);
+  EXPECT_NE(jaguar::PrintProgram(reduced).find("<< 33"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace artemis

@@ -1,0 +1,197 @@
+// Property tests for loop synthesis (Algorithm 2) — the guarantees every JoNM mutator leans
+// on, swept across many PRNG seeds:
+//   * the wrapped loop is *neutral*: inserted anywhere, it changes neither visible variables
+//     nor program output (backups/restores + muting + trap discarding all work);
+//   * the loop terminates on its own (hoisted bounds — no reliance on a timeout);
+//   * it is *hot*: its trip count is large enough to cross JIT thresholds for most seeds;
+//   * SynExpr produces well-typed expressions and records variable reuse in V′;
+//   * every corpus skeleton uses only documented hole markers.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/artemis/synth/skeleton_corpus.h"
+#include "src/artemis/synth/synthesis.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/printer.h"
+#include "src/jaguar/support/rng.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::Rng;
+using jaguar::RunOutcome;
+using jaguar::RunStatus;
+using jaguar::Type;
+using jaguar::VarInfo;
+
+SynthParams TestSynth() {
+  SynthParams p;
+  p.min_bound = 150;
+  p.max_bound = 400;
+  p.max_step = 4;
+  return p;
+}
+
+// Builds one wrapped loop with a rich variable environment and splices its printed source
+// into a host program that prints every visible variable afterwards.
+struct HostRun {
+  std::string with_loop_source;
+  RunOutcome baseline;  // host without the loop
+  RunOutcome mutated;   // host with the loop
+};
+
+HostRun RunHost(uint64_t seed) {
+  Rng rng(seed);
+  int name_counter = 0;
+  const SynthParams params = TestSynth();  // LoopSynthesizer keeps a reference
+  const std::vector<VarInfo> visible = {
+      {"x", Type::Int(), false}, {"y", Type::Long(), false}, {"b", Type::Bool(), false}};
+  const std::vector<VarInfo> globals = {{"gi", Type::Int(), true}, {"gl", Type::Long(), true}};
+  LoopSynthesizer synth(rng, params, visible, globals, &name_counter);
+  const std::string loop = jaguar::PrintStmt(*synth.BuildWrappedLoop(""));
+
+  const std::string prologue = R"(
+int gi = 17;
+long gl = 900L;
+int main() {
+  int x = -31;
+  long y = 123456L;
+  boolean b = true;
+)";
+  const std::string epilogue = R"(
+  print(x); print(y); print(gi); print(gl);
+  if (b) { print(1); } else { print(0); }
+  return 0;
+}
+)";
+  HostRun r;
+  r.with_loop_source = prologue + loop + epilogue;
+  r.baseline = jaguar::RunSource(prologue + epilogue, jaguar::InterpreterOnlyConfig());
+  r.mutated = jaguar::RunSource(r.with_loop_source, jaguar::InterpreterOnlyConfig());
+  return r;
+}
+
+class SynthSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SynthSweep, WrappedLoopIsNeutralAndTerminates) {
+  const HostRun r = RunHost(GetParam());
+  ASSERT_EQ(r.baseline.status, RunStatus::kOk);
+  // Termination + neutrality: same clean exit, same output (restores undid every write the
+  // synthesized body made to x/y/b/gi/gl; muting swallowed every print in the loop body).
+  EXPECT_EQ(r.mutated.status, RunStatus::kOk) << r.with_loop_source;
+  EXPECT_EQ(r.mutated.output, r.baseline.output) << r.with_loop_source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthSweep, ::testing::Range<uint64_t>(9'000, 9'030));
+
+TEST(SynthHeatTest, MostSynthesizedLoopsCrossJitThresholds) {
+  // JoNM's whole point: the inserted loop must be hot. lo ≤ MIN and hi ≥ MAX by
+  // construction, so the trip count is at least (MAX-MIN)/step unless a trap aborts the
+  // loop body early — tolerated, but it must be the minority case.
+  const SynthParams params = TestSynth();
+  const uint64_t wanted_extra_steps =
+      static_cast<uint64_t>((params.max_bound - params.min_bound) / params.max_step);
+  int hot = 0;
+  int total = 0;
+  for (uint64_t seed = 9'100; seed < 9'140; ++seed) {
+    const HostRun r = RunHost(seed);
+    if (r.mutated.status != RunStatus::kOk) {
+      continue;
+    }
+    ++total;
+    if (r.mutated.steps >= r.baseline.steps + wanted_extra_steps) {
+      ++hot;
+    }
+  }
+  ASSERT_GE(total, 35);
+  EXPECT_GE(hot * 10, total * 6) << hot << "/" << total << " loops ran hot";
+}
+
+TEST(SynthExprTest, ReuseIsRecordedInVPrimeWithCorrectTypes) {
+  Rng rng(77);
+  int name_counter = 0;
+  const SynthParams params = TestSynth();
+  const std::vector<VarInfo> visible = {{"xi", Type::Int(), false},
+                                        {"yl", Type::Long(), false}};
+  LoopSynthesizer synth(rng, params, visible, {}, &name_counter);
+  for (int i = 0; i < 60; ++i) {
+    synth.SynExprText(Type::Int());
+    synth.SynExprText(Type::Long());
+  }
+  // After 120 draws, Rule 2 (reuse a visible variable) must have fired for both variables.
+  ASSERT_FALSE(synth.reused().empty());
+  for (const auto& [name, type] : synth.reused()) {
+    if (name == "xi") {
+      EXPECT_EQ(type, Type::Int());
+    } else if (name == "yl") {
+      EXPECT_EQ(type, Type::Long());
+    } else {
+      ADD_FAILURE() << "reused unknown variable " << name;
+    }
+  }
+  EXPECT_EQ(synth.reused().size(), 2u);
+}
+
+TEST(SynthExprTest, NoVisibleVariablesMeansLiteralsOnly) {
+  Rng rng(5);
+  int name_counter = 0;
+  const SynthParams params = TestSynth();
+  LoopSynthesizer synth(rng, params, {}, {}, &name_counter);
+  for (int i = 0; i < 40; ++i) {
+    const std::string e = synth.SynExprText(Type::Int());
+    // Must parse as a constant expression — and V′ stays empty.
+    EXPECT_NE(jaguar::ParseExpression(e), nullptr) << e;
+  }
+  EXPECT_TRUE(synth.reused().empty());
+}
+
+TEST(SkeletonCorpusTest, OnlyDocumentedHoleMarkersAppear) {
+  // Markers: @I @L @B @XI @XL @XB @v0..@v9 @K @P2 @SH (skeleton_corpus.h).
+  for (const std::string& s : StatementSkeletons()) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '@') {
+        continue;
+      }
+      const std::string rest = s.substr(i + 1, 2);
+      const bool ok = rest.rfind("XI", 0) == 0 || rest.rfind("XL", 0) == 0 ||
+                      rest.rfind("XB", 0) == 0 || rest.rfind("P2", 0) == 0 ||
+                      rest.rfind("SH", 0) == 0 ||
+                      (rest.size() >= 2 && rest[0] == 'v' && std::isdigit(rest[1])) ||
+                      rest[0] == 'I' || rest[0] == 'L' || rest[0] == 'B' || rest[0] == 'K';
+      EXPECT_TRUE(ok) << "undocumented marker @" << rest << " in skeleton: " << s;
+    }
+  }
+}
+
+TEST(SkeletonCorpusTest, CorpusIsLargeAndDiverse) {
+  const auto& corpus = StatementSkeletons();
+  ASSERT_GE(corpus.size(), 40u);
+  // The §3.4 intent: skeletons must exercise varied constructs, not just arithmetic.
+  int with_loop = 0;
+  int with_switch = 0;
+  int with_try = 0;
+  int with_array = 0;
+  int with_shift = 0;
+  for (const std::string& s : corpus) {
+    with_loop += s.find("for") != std::string::npos || s.find("while") != std::string::npos;
+    with_switch += s.find("switch") != std::string::npos;
+    with_try += s.find("try") != std::string::npos;
+    with_array += s.find('[') != std::string::npos;
+    with_shift += s.find("<<") != std::string::npos || s.find(">>") != std::string::npos;
+  }
+  EXPECT_GE(with_loop, 8);
+  EXPECT_GE(with_switch, 2);
+  EXPECT_GE(with_try, 2);
+  EXPECT_GE(with_array, 5);
+  EXPECT_GE(with_shift, 3);
+}
+
+}  // namespace
+}  // namespace artemis

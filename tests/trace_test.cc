@@ -1,0 +1,124 @@
+// Tests for the temperature model and JIT-trace recording (the paper's §3.1 formalization),
+// plus VM-level behaviours not covered elsewhere: temperature vectors across compilation and
+// deoptimization, trace recording caps, and the tiered-OSR upgrade path.
+
+#include <gtest/gtest.h>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/engine.h"
+#include "src/jaguar/vm/profile.h"
+#include "src/jaguar/vm/trace.h"
+
+namespace jaguar {
+namespace {
+
+TEST(TemperatureTest, CounterTemperatureFollowsDefinition31) {
+  // Thresholds Z1=10, Z2=100: τ(c)=t0 for c in [0,10), t1 for [10,100), t2 for [100,∞).
+  const std::vector<uint64_t> thresholds = {10, 100};
+  EXPECT_EQ(CounterTemperature(0, thresholds), 0);
+  EXPECT_EQ(CounterTemperature(9, thresholds), 0);
+  EXPECT_EQ(CounterTemperature(10, thresholds), 1);
+  EXPECT_EQ(CounterTemperature(99, thresholds), 1);
+  EXPECT_EQ(CounterTemperature(100, thresholds), 2);
+  EXPECT_EQ(CounterTemperature(1'000'000, thresholds), 2);
+}
+
+TEST(TemperatureTest, MethodTemperatureIsHottestCounter) {
+  MethodRuntime rt;
+  rt.invocation_count = 5;
+  rt.backedge_counts[8] = 250;
+  rt.backedge_counts[20] = 12;
+  const std::vector<uint64_t> thresholds = {10, 100};
+  EXPECT_EQ(rt.HottestCounter(), 250u);
+  EXPECT_EQ(rt.MethodTemperature(thresholds), 2);
+}
+
+TEST(TraceRecorderTest, RecordsTemperatureVectors) {
+  JitTraceRecorder recorder(/*record_full=*/true, /*max_vectors=*/16);
+  const int call = recorder.BeginCall(/*func=*/3, /*call_index=*/7, /*entry=*/0);
+  recorder.AddTransition(call, 1);   // JIT-compiled at level 1 mid-call
+  recorder.AddTransition(call, 1);   // repeated temperature collapses
+  recorder.AddTransition(call, 0);   // deoptimized
+  ASSERT_EQ(recorder.trace().vectors.size(), 1u);
+  const TemperatureVector& v = recorder.trace().vectors[0];
+  EXPECT_EQ(v.func, 3);
+  EXPECT_EQ(v.call_index, 7u);
+  EXPECT_EQ(v.temps, (std::vector<Temperature>{0, 1, 0}));
+  EXPECT_EQ(v.ToString("T.b"), "<t0,t1,t0>^7_T.b");
+}
+
+TEST(TraceRecorderTest, CapsFullVectorsButKeepsSummary) {
+  JitTraceRecorder recorder(true, 2);
+  for (int i = 0; i < 5; ++i) {
+    recorder.BeginCall(0, static_cast<uint64_t>(i + 1), 0);
+    recorder.CountCall(false);
+  }
+  EXPECT_EQ(recorder.trace().vectors.size(), 2u);
+  EXPECT_TRUE(recorder.truncated());
+  EXPECT_EQ(recorder.summary().method_calls, 5u);
+}
+
+TEST(TraceRecorderTest, DisabledRecordingStillCounts) {
+  JitTraceRecorder recorder(false, 100);
+  const int token = recorder.BeginCall(0, 1, 0);
+  EXPECT_LT(token, 0);
+  recorder.AddTransition(token, 2);  // must be a no-op, not a crash
+  recorder.CountCall(true);
+  EXPECT_EQ(recorder.summary().compiled_entries, 1u);
+  EXPECT_TRUE(recorder.trace().vectors.empty());
+}
+
+TEST(FullTraceTest, PaperStyleVectorForCompiledMethod) {
+  // A method crossing the tier-1 threshold mid-campaign shows ⟨t0⟩ early calls and ⟨t1⟩
+  // compiled entries later — the §3.1 example's shape.
+  const char* source = R"(
+    int inc(int x) { return x + 1; }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 120; i++) {
+        acc = inc(acc);
+      }
+      print(acc);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  VmConfig config;
+  config.tiers = {TierSpec{50, 0, false, false, true}};
+  config.record_full_trace = true;
+  const RunOutcome out = RunProgram(bc, config);
+  ASSERT_EQ(out.status, RunStatus::kOk);
+  EXPECT_EQ(out.trace.jit_compilations, 1u);
+  EXPECT_GT(out.trace.compiled_entries, 0u);
+  EXPECT_GT(out.trace.interpreted_calls, 0u);
+}
+
+TEST(TieredOsrTest, LoopUpgradesThroughTiersMidExecution) {
+  // One long loop in main: tier-1 OSR first (profiled), then a counter-overflow deopt and a
+  // tier-2 OSR re-entry — the HotSpot C1→C2 OSR transition.
+  const char* source = R"(
+    int main() {
+      long sum = 0L;
+      for (int i = 0; i < 600; i++) {
+        sum += (i * 7) % 13;
+      }
+      print(sum);
+      return 0;
+    }
+  )";
+  const BcProgram bc = CompileSource(source);
+  VmConfig config;
+  config.tiers = {
+      TierSpec{1'000, 50, false, false, /*profiles=*/true},
+      TierSpec{2'000, 200, true, false},
+  };
+  const RunOutcome interp = RunProgram(bc, InterpreterOnlyConfig());
+  const RunOutcome jit = RunProgram(bc, config);
+  EXPECT_EQ(interp.output, jit.output);
+  EXPECT_EQ(jit.trace.osr_compilations, 2u);  // tier-1 then tier-2
+  EXPECT_EQ(jit.trace.deopts, 1u);            // the upgrade transfer
+}
+
+}  // namespace
+}  // namespace jaguar
