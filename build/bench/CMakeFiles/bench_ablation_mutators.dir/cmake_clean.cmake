@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mutators.dir/bench_ablation_mutators.cc.o"
+  "CMakeFiles/bench_ablation_mutators.dir/bench_ablation_mutators.cc.o.d"
+  "bench_ablation_mutators"
+  "bench_ablation_mutators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mutators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

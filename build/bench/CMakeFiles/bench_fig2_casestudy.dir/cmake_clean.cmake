@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_casestudy.dir/bench_fig2_casestudy.cc.o"
+  "CMakeFiles/bench_fig2_casestudy.dir/bench_fig2_casestudy.cc.o.d"
+  "bench_fig2_casestudy"
+  "bench_fig2_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

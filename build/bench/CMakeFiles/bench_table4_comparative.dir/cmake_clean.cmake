@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_comparative.dir/bench_table4_comparative.cc.o"
+  "CMakeFiles/bench_table4_comparative.dir/bench_table4_comparative.cc.o.d"
+  "bench_table4_comparative"
+  "bench_table4_comparative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_comparative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

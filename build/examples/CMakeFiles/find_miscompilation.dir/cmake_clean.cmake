@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_miscompilation.dir/find_miscompilation.cpp.o"
+  "CMakeFiles/find_miscompilation.dir/find_miscompilation.cpp.o.d"
+  "find_miscompilation"
+  "find_miscompilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_miscompilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_cli.dir/jaguar_cli.cpp.o"
+  "CMakeFiles/jaguar_cli.dir/jaguar_cli.cpp.o.d"
+  "jaguar_cli"
+  "jaguar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/artemis/baseline/option_fuzzer.cc" "src/artemis/CMakeFiles/artemis.dir/baseline/option_fuzzer.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/baseline/option_fuzzer.cc.o.d"
+  "/root/repo/src/artemis/baseline/traditional.cc" "src/artemis/CMakeFiles/artemis.dir/baseline/traditional.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/baseline/traditional.cc.o.d"
+  "/root/repo/src/artemis/campaign/campaign.cc" "src/artemis/CMakeFiles/artemis.dir/campaign/campaign.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/campaign/campaign.cc.o.d"
+  "/root/repo/src/artemis/coverage/coverage.cc" "src/artemis/CMakeFiles/artemis.dir/coverage/coverage.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/coverage/coverage.cc.o.d"
+  "/root/repo/src/artemis/fuzzer/generator.cc" "src/artemis/CMakeFiles/artemis.dir/fuzzer/generator.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/fuzzer/generator.cc.o.d"
+  "/root/repo/src/artemis/mutate/jonm.cc" "src/artemis/CMakeFiles/artemis.dir/mutate/jonm.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/mutate/jonm.cc.o.d"
+  "/root/repo/src/artemis/reduce/reducer.cc" "src/artemis/CMakeFiles/artemis.dir/reduce/reducer.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/reduce/reducer.cc.o.d"
+  "/root/repo/src/artemis/space/compilation_space.cc" "src/artemis/CMakeFiles/artemis.dir/space/compilation_space.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/space/compilation_space.cc.o.d"
+  "/root/repo/src/artemis/synth/skeleton_corpus.cc" "src/artemis/CMakeFiles/artemis.dir/synth/skeleton_corpus.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/synth/skeleton_corpus.cc.o.d"
+  "/root/repo/src/artemis/synth/synthesis.cc" "src/artemis/CMakeFiles/artemis.dir/synth/synthesis.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/synth/synthesis.cc.o.d"
+  "/root/repo/src/artemis/validate/validator.cc" "src/artemis/CMakeFiles/artemis.dir/validate/validator.cc.o" "gcc" "src/artemis/CMakeFiles/artemis.dir/validate/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jaguar/CMakeFiles/jaguar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis.dir/baseline/option_fuzzer.cc.o"
+  "CMakeFiles/artemis.dir/baseline/option_fuzzer.cc.o.d"
+  "CMakeFiles/artemis.dir/baseline/traditional.cc.o"
+  "CMakeFiles/artemis.dir/baseline/traditional.cc.o.d"
+  "CMakeFiles/artemis.dir/campaign/campaign.cc.o"
+  "CMakeFiles/artemis.dir/campaign/campaign.cc.o.d"
+  "CMakeFiles/artemis.dir/coverage/coverage.cc.o"
+  "CMakeFiles/artemis.dir/coverage/coverage.cc.o.d"
+  "CMakeFiles/artemis.dir/fuzzer/generator.cc.o"
+  "CMakeFiles/artemis.dir/fuzzer/generator.cc.o.d"
+  "CMakeFiles/artemis.dir/mutate/jonm.cc.o"
+  "CMakeFiles/artemis.dir/mutate/jonm.cc.o.d"
+  "CMakeFiles/artemis.dir/reduce/reducer.cc.o"
+  "CMakeFiles/artemis.dir/reduce/reducer.cc.o.d"
+  "CMakeFiles/artemis.dir/space/compilation_space.cc.o"
+  "CMakeFiles/artemis.dir/space/compilation_space.cc.o.d"
+  "CMakeFiles/artemis.dir/synth/skeleton_corpus.cc.o"
+  "CMakeFiles/artemis.dir/synth/skeleton_corpus.cc.o.d"
+  "CMakeFiles/artemis.dir/synth/synthesis.cc.o"
+  "CMakeFiles/artemis.dir/synth/synthesis.cc.o.d"
+  "CMakeFiles/artemis.dir/validate/validator.cc.o"
+  "CMakeFiles/artemis.dir/validate/validator.cc.o.d"
+  "libartemis.a"
+  "libartemis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

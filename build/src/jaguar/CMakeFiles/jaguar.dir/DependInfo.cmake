@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jaguar/bytecode/compiler.cc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/compiler.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/compiler.cc.o.d"
+  "/root/repo/src/jaguar/bytecode/disasm.cc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/disasm.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/disasm.cc.o.d"
+  "/root/repo/src/jaguar/bytecode/module.cc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/module.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/module.cc.o.d"
+  "/root/repo/src/jaguar/bytecode/opcode.cc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/opcode.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/opcode.cc.o.d"
+  "/root/repo/src/jaguar/bytecode/verifier.cc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/verifier.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/bytecode/verifier.cc.o.d"
+  "/root/repo/src/jaguar/jit/bugs.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/bugs.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/bugs.cc.o.d"
+  "/root/repo/src/jaguar/jit/ir.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/ir.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/ir.cc.o.d"
+  "/root/repo/src/jaguar/jit/ir_analysis.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/ir_analysis.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/ir_analysis.cc.o.d"
+  "/root/repo/src/jaguar/jit/ir_builder.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/ir_builder.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/ir_builder.cc.o.d"
+  "/root/repo/src/jaguar/jit/ir_exec.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/ir_exec.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/ir_exec.cc.o.d"
+  "/root/repo/src/jaguar/jit/lir.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/lir.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/lir.cc.o.d"
+  "/root/repo/src/jaguar/jit/lir_exec.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/lir_exec.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/lir_exec.cc.o.d"
+  "/root/repo/src/jaguar/jit/lower.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/lower.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/lower.cc.o.d"
+  "/root/repo/src/jaguar/jit/pass_util.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/pass_util.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/pass_util.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/constant_folding.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/constant_folding.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/constant_folding.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/copy_propagation.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/copy_propagation.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/copy_propagation.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/dce.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/dce.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/dce.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/gvn.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/gvn.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/gvn.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/inlining.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/inlining.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/inlining.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/licm.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/licm.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/licm.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/loop_unroll.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/loop_unroll.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/loop_unroll.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/range_check_elim.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/range_check_elim.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/range_check_elim.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/simplify_cfg.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/simplify_cfg.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/simplify_cfg.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/speculation.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/speculation.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/speculation.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/store_sink.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/store_sink.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/store_sink.cc.o.d"
+  "/root/repo/src/jaguar/jit/passes/strength_reduction.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/strength_reduction.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/passes/strength_reduction.cc.o.d"
+  "/root/repo/src/jaguar/jit/pipeline.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/pipeline.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/pipeline.cc.o.d"
+  "/root/repo/src/jaguar/jit/regalloc.cc" "src/jaguar/CMakeFiles/jaguar.dir/jit/regalloc.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/jit/regalloc.cc.o.d"
+  "/root/repo/src/jaguar/lang/ast.cc" "src/jaguar/CMakeFiles/jaguar.dir/lang/ast.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/lang/ast.cc.o.d"
+  "/root/repo/src/jaguar/lang/lexer.cc" "src/jaguar/CMakeFiles/jaguar.dir/lang/lexer.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/jaguar/lang/parser.cc" "src/jaguar/CMakeFiles/jaguar.dir/lang/parser.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/lang/parser.cc.o.d"
+  "/root/repo/src/jaguar/lang/printer.cc" "src/jaguar/CMakeFiles/jaguar.dir/lang/printer.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/lang/printer.cc.o.d"
+  "/root/repo/src/jaguar/lang/scope.cc" "src/jaguar/CMakeFiles/jaguar.dir/lang/scope.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/lang/scope.cc.o.d"
+  "/root/repo/src/jaguar/lang/token.cc" "src/jaguar/CMakeFiles/jaguar.dir/lang/token.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/lang/token.cc.o.d"
+  "/root/repo/src/jaguar/lang/typecheck.cc" "src/jaguar/CMakeFiles/jaguar.dir/lang/typecheck.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/lang/typecheck.cc.o.d"
+  "/root/repo/src/jaguar/support/rng.cc" "src/jaguar/CMakeFiles/jaguar.dir/support/rng.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/support/rng.cc.o.d"
+  "/root/repo/src/jaguar/support/text.cc" "src/jaguar/CMakeFiles/jaguar.dir/support/text.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/support/text.cc.o.d"
+  "/root/repo/src/jaguar/vm/config.cc" "src/jaguar/CMakeFiles/jaguar.dir/vm/config.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/vm/config.cc.o.d"
+  "/root/repo/src/jaguar/vm/engine.cc" "src/jaguar/CMakeFiles/jaguar.dir/vm/engine.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/vm/engine.cc.o.d"
+  "/root/repo/src/jaguar/vm/heap.cc" "src/jaguar/CMakeFiles/jaguar.dir/vm/heap.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/vm/heap.cc.o.d"
+  "/root/repo/src/jaguar/vm/interpreter.cc" "src/jaguar/CMakeFiles/jaguar.dir/vm/interpreter.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/vm/interpreter.cc.o.d"
+  "/root/repo/src/jaguar/vm/outcome.cc" "src/jaguar/CMakeFiles/jaguar.dir/vm/outcome.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/vm/outcome.cc.o.d"
+  "/root/repo/src/jaguar/vm/profile.cc" "src/jaguar/CMakeFiles/jaguar.dir/vm/profile.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/vm/profile.cc.o.d"
+  "/root/repo/src/jaguar/vm/trace.cc" "src/jaguar/CMakeFiles/jaguar.dir/vm/trace.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/vm/trace.cc.o.d"
+  "/root/repo/src/jaguar/vm/value.cc" "src/jaguar/CMakeFiles/jaguar.dir/vm/value.cc.o" "gcc" "src/jaguar/CMakeFiles/jaguar.dir/vm/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lir_test.dir/lir_test.cc.o"
+  "CMakeFiles/lir_test.dir/lir_test.cc.o.d"
+  "lir_test"
+  "lir_test.pdb"
+  "lir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_property_test.dir/synth_property_test.cc.o"
+  "CMakeFiles/synth_property_test.dir/synth_property_test.cc.o.d"
+  "synth_property_test"
+  "synth_property_test.pdb"
+  "synth_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
