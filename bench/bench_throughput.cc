@@ -9,15 +9,57 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "src/artemis/campaign/campaign.h"
+#include "src/artemis/campaign/worker_pool.h"
 #include "src/artemis/fuzzer/generator.h"
 #include "src/artemis/mutate/jonm.h"
 #include "src/artemis/validate/validator.h"
 #include "src/jaguar/bytecode/compiler.h"
 
 namespace {
+
+// Campaign scaling: the same campaign at 1, 2, 4 and all-hardware threads. The stats are
+// bit-identical across rows (the determinism contract); only invocations/s moves. Speedup
+// saturates at the machine's actual core count — on a single-core host every row is ~1×.
+void PrintCampaignScaling() {
+  const int seeds = benchutil::SeedCount(24);
+  artemis::CampaignParams params;
+  params.num_seeds = seeds;
+  params.validator.max_iter = 8;
+  params.validator.jonm.synth.min_bound = 5'000;
+  params.validator.jonm.synth.max_bound = 10'000;
+  const jaguar::VmConfig vm = jaguar::OpenJadeConfig();
+
+  std::vector<int> thread_counts = {1, 2, 4};
+  const int hw = artemis::DefaultWorkerCount();
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) == thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+
+  std::printf("campaign scaling — %d seeds on %s, hardware threads: %d\n", seeds,
+              vm.name.c_str(), hw);
+  benchutil::PrintRule();
+  std::printf("%-9s %-14s %-16s %-10s %-10s\n", "threads", "wall (s)", "invocations/s",
+              "speedup", "reported");
+  double base_rate = 0.0;
+  for (int threads : thread_counts) {
+    params.num_threads = threads;
+    const artemis::CampaignStats stats = artemis::RunCampaign(vm, params);
+    const double rate = static_cast<double>(stats.vm_invocations) / stats.wall_seconds;
+    if (threads == 1) {
+      base_rate = rate;
+    }
+    std::printf("%-9d %-14.2f %-16.1f %-10.2f %-10d\n", threads, stats.wall_seconds, rate,
+                base_rate > 0 ? rate / base_rate : 1.0, stats.Reported());
+  }
+  benchutil::PrintRule();
+  std::printf("\n");
+}
 
 void PrintThroughput() {
   const int seeds = benchutil::SeedCount(12);
@@ -81,6 +123,7 @@ BENCHMARK(BM_SeedDefaultTraceRun)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   PrintThroughput();
+  PrintCampaignScaling();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,13 +7,20 @@
 // constant-folding defect, where some points of the space disagree and the bug is witnessed
 // without any reference implementation.
 
+// Usage: ./explore_space [--threads N]  (N=0 → all hardware threads; the exploration result
+// is identical for every N — points land in mask-indexed slots).
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/artemis/space/compilation_space.h"
 #include "src/jaguar/bytecode/compiler.h"
 #include "src/jaguar/vm/engine.h"
 
 namespace {
+
+int g_threads = 1;
 
 constexpr const char* kProgram = R"(
 int shifty(int x) { return x + (1 << 33); }  // 1 << 33 == 2 (Java masks the shift count)
@@ -24,7 +31,8 @@ int main() { print(foo()); return 0; }
 
 void Explore(const char* label, const jaguar::VmConfig& vm) {
   const jaguar::BcProgram bc = jaguar::CompileSource(kProgram);
-  const artemis::SpaceExploration space = artemis::ExploreCompilationSpace(bc, vm, 5);
+  const artemis::SpaceExploration space =
+      artemis::ExploreCompilationSpace(bc, vm, 5, g_threads);
 
   std::printf("%s: %zu dynamic calls -> %zu compilation choices\n", label,
               space.call_sites.size(), space.points.size());
@@ -59,7 +67,14 @@ void Explore(const char* label, const jaguar::VmConfig& vm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = std::atoi(argv[i] + 10);
+    }
+  }
   Explore("correct VM", jaguar::HotSniffConfig().WithoutBugs());
 
   jaguar::VmConfig buggy = jaguar::HotSniffConfig().WithoutBugs();

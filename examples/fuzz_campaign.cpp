@@ -1,20 +1,43 @@
 // A miniature validation campaign from the command line.
 //
-//   ./fuzz_campaign [num_seeds] [vendor]
+//   ./fuzz_campaign [num_seeds] [vendor] [--threads N]
 //
 // vendor ∈ {hotsniff, openjade, artree} (default: all three). Prints a live-ish report of
-// what Artemis finds — the CLI equivalent of the paper's testing campaign.
+// what Artemis finds — the CLI equivalent of the paper's testing campaign. Seeds are sharded
+// across N worker threads (default: all hardware threads); the report is identical for every
+// N — only the wall time changes.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "src/artemis/campaign/campaign.h"
+#include "src/artemis/campaign/worker_pool.h"
 
 int main(int argc, char** argv) {
-  const int seeds = argc > 1 ? std::atoi(argv[1]) : 20;
-  const char* vendor_filter = argc > 2 ? argv[2] : nullptr;
+  int seeds = 20;
+  int threads = 0;  // 0 → hardware concurrency
+  const char* vendor_filter = nullptr;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (positional == 0) {
+      seeds = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      vendor_filter = argv[i];
+      ++positional;
+    }
+  }
+  std::printf("campaign: %d seeds on %d worker thread(s)\n\n", seeds,
+              threads > 0 ? threads : artemis::DefaultWorkerCount());
 
+  bool ran_any = false;
   for (const jaguar::VmConfig& vm : jaguar::AllVendors()) {
     if (vendor_filter != nullptr) {
       std::string lower = vm.name;
@@ -25,9 +48,11 @@ int main(int argc, char** argv) {
         continue;
       }
     }
+    ran_any = true;
 
     artemis::CampaignParams params;
     params.num_seeds = seeds;
+    params.num_threads = threads;
     params.validator.max_iter = 8;
     if (vm.name == "Artree") {
       params.validator.jonm.synth.min_bound = 20'000;
@@ -48,6 +73,11 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n");
+  }
+  if (!ran_any) {
+    std::fprintf(stderr, "error: unknown vendor '%s' (expected hotsniff, openjade, or artree)\n",
+                 vendor_filter);
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Thread-sanitizer CI configuration for the parallel campaign engine.
+#
+# Configures a dedicated build tree with -fsanitize=thread and runs the multi-threaded
+# campaign tests under it. Any data race in the shard/worker-pool/reduce machinery (or in
+# VM state the campaign assumed was per-instance) fails this script.
+#
+# Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+cmake -B "$BUILD_DIR" -S . -DARTEMIS_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target campaign_test campaign_determinism_test \
+  synth_property_test
+
+# halt_on_error: fail fast on the first reported race.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$BUILD_DIR"/tests/campaign_test
+"$BUILD_DIR"/tests/campaign_determinism_test
+"$BUILD_DIR"/tests/synth_property_test --gtest_filter='GeneratorDeterminismTest.*'
+echo "tsan_check: all campaign thread-safety tests passed clean"

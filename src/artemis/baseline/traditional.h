@@ -1,7 +1,10 @@
 // The traditional JIT-testing approach (paper §4.3): treat the JIT compiler as a *static*
-// compiler — force every method to be compiled before its first call (the `-Xjit:count=0`
-// analogue) and compare that single fully-compiled JIT-trace against the default one. This is
-// the two-point testing space (choices #1 and #16 of Figure 1) that CSE generalizes.
+// compiler — force every method to be compiled before its first call (the `-Xjit:count=0` /
+// `-Xcomp` analogue) and compare that single fully-compiled run against the JIT-less
+// interpreted reference (`-Xint`). This is the two-point testing space (choices #1 and #16 of
+// Figure 1) that CSE generalizes: because count=0 code is compiled without any warm-up
+// profile, every profile-gated defect stays dormant in both runs and the oracle is blind to
+// it — the Table 4 "CSE-only" mechanism.
 
 #ifndef SRC_ARTEMIS_BASELINE_TRADITIONAL_H_
 #define SRC_ARTEMIS_BASELINE_TRADITIONAL_H_
@@ -13,10 +16,11 @@
 namespace artemis {
 
 struct TraditionalResult {
-  jaguar::RunOutcome default_run;   // the program's default JIT-trace
-  jaguar::RunOutcome compiled_run;  // everything compiled at the top tier from call one
-  bool usable = true;               // false if either run timed out
-  bool discrepancy = false;
+  jaguar::RunOutcome default_run;    // the program's default JIT-trace (recorded, not compared)
+  jaguar::RunOutcome reference_run;  // the JIT-less interpreted run (-Xint) — the oracle's LHS
+  jaguar::RunOutcome compiled_run;   // everything compiled at the top tier from call one
+  bool usable = true;                // false if any run timed out
+  bool discrepancy = false;          // compiled_run observably differs from reference_run
 };
 
 // Returns a copy of `config` with all invocation thresholds forced to zero (compile-always).

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
+#include "src/artemis/campaign/shard.h"
+#include "src/artemis/campaign/worker_pool.h"
 #include "src/jaguar/support/check.h"
 
 namespace artemis {
@@ -27,7 +30,100 @@ std::string SignatureOf(const BugReport& report) {
   return sig;
 }
 
+// The sequential half of the campaign: folds one seed's validation report into the stats.
+// Signature/root-cause dedup is order-sensitive, so the caller must reduce seeds in ordinal
+// order — that (plus per-seed determinism, see shard.h) makes the final stats identical for
+// every thread count.
+struct CampaignReducer {
+  CampaignStats& stats;
+  std::set<std::string> seen_signatures;
+  std::set<BugId> seen_causes;
+
+  // Files `bug` unless its signature was already filed; returns whether it was filed.
+  bool File(BugReport bug) {
+    const std::string signature = SignatureOf(bug);
+    if (seen_signatures.count(signature) != 0) {
+      return false;  // identical symptom — we would not file it again at all
+    }
+    seen_signatures.insert(signature);
+    bug.duplicate = !bug.root_causes.empty() &&
+                    std::all_of(bug.root_causes.begin(), bug.root_causes.end(),
+                                [&](BugId b) { return seen_causes.count(b) != 0; });
+    seen_causes.insert(bug.root_causes.begin(), bug.root_causes.end());
+    stats.reports.push_back(std::move(bug));
+    return true;
+  }
+
+  void Reduce(SeedShardResult&& shard) {
+    const ValidationReport& report = shard.report;
+    ++stats.seeds_run;
+    // Every mutant costs one interpreter + one JIT invocation; the seed costs two more.
+    stats.vm_invocations += 2;
+    if (!report.seed_usable) {
+      ++stats.seeds_discarded;
+      return;
+    }
+
+    bool seed_found = false;
+    // A seed that already diverges between interpretation and its default JIT-trace is a bug
+    // the traditional approaches would also see; file it like the paper's duplicates of bugs
+    // "that common users actually encounter in development".
+    if (report.seed_self_discrepancy) {
+      BugReport bug;
+      bug.seed_id = shard.seed_id;
+      bug.kind = report.seed_jit.status == jaguar::RunStatus::kVmCrash
+                     ? DiscrepancyKind::kCrash
+                     : DiscrepancyKind::kMisCompilation;
+      bug.root_causes = report.seed_jit.fired_bugs;
+      bug.crash_component = report.seed_jit.crash_component;
+      bug.crash_kind = report.seed_jit.crash_kind;
+      bug.detail = "seed diverges between interpreter and default JIT-trace";
+      seed_found |= File(std::move(bug));
+    }
+    for (const auto& verdict : report.mutants) {
+      ++stats.mutants_generated;
+      stats.vm_invocations += verdict.discarded && !verdict.non_neutral ? 1 : 2;
+      stats.mutants_discarded += verdict.discarded ? 1 : 0;
+      stats.mutants_non_neutral += verdict.non_neutral ? 1 : 0;
+      stats.mutants_new_trace += verdict.explored_new_trace ? 1 : 0;
+      if (verdict.kind == DiscrepancyKind::kNone) {
+        continue;
+      }
+      seed_found = true;
+
+      BugReport bug;
+      bug.seed_id = shard.seed_id;
+      bug.kind = verdict.kind;
+      bug.root_causes = verdict.suspected_bugs;
+      bug.crash_component = verdict.outcome.crash_component;
+      bug.crash_kind = verdict.outcome.crash_kind;
+      bug.detail = verdict.detail;
+      // File at most one report per signature; later hits of an already-covered root cause
+      // count as duplicates (reported but recognized as the same underlying defect).
+      File(std::move(bug));
+    }
+    stats.seeds_with_discrepancy += seed_found ? 1 : 0;
+  }
+};
+
 }  // namespace
+
+bool operator==(const BugReport& a, const BugReport& b) {
+  return a.seed_id == b.seed_id && a.kind == b.kind && a.root_causes == b.root_causes &&
+         a.crash_component == b.crash_component && a.crash_kind == b.crash_kind &&
+         a.detail == b.detail && a.duplicate == b.duplicate;
+}
+
+bool CampaignStats::SameOutcome(const CampaignStats& other) const {
+  return vm_name == other.vm_name && seeds_run == other.seeds_run &&
+         seeds_discarded == other.seeds_discarded &&
+         mutants_generated == other.mutants_generated &&
+         mutants_discarded == other.mutants_discarded &&
+         mutants_non_neutral == other.mutants_non_neutral &&
+         mutants_new_trace == other.mutants_new_trace &&
+         seeds_with_discrepancy == other.seeds_with_discrepancy &&
+         vm_invocations == other.vm_invocations && reports == other.reports;
+}
 
 int CampaignStats::Duplicates() const {
   int n = 0;
@@ -112,83 +208,26 @@ CampaignStats RunCampaign(const jaguar::VmConfig& vm_config, const CampaignParam
   jaguar::VmConfig config = vm_config;
   config.step_budget = params.step_budget;
 
-  std::set<std::string> seen_signatures;
-  std::set<BugId> seen_causes;
+  // Guidance hooks are stateful observers across a seed's mutants and (for campaign-level
+  // guidance) across seeds; running them from several workers would race. Degrade to one.
+  const bool has_hooks = params.validator.tune_iteration || params.validator.on_mutant;
+  const int threads =
+      has_hooks ? 1 : (params.num_threads > 0 ? params.num_threads : DefaultWorkerCount());
 
   const auto start = std::chrono::steady_clock::now();
-  for (int s = 0; s < params.num_seeds; ++s) {
-    const uint64_t seed_id = params.base_seed + static_cast<uint64_t>(s);
-    jaguar::Rng rng(seed_id * 0x9E3779B97F4A7C15ULL + 1);
-    jaguar::Program seed = GenerateProgram(params.fuzz, seed_id);
 
-    ValidationReport report = Validate(seed, config, params.validator, rng);
-    ++stats.seeds_run;
-    // Every mutant costs one interpreter + one JIT invocation; the seed costs two more.
-    stats.vm_invocations += 2;
-    if (!report.seed_usable) {
-      ++stats.seeds_discarded;
-      continue;
-    }
+  // Map: every seed is processed independently into its own slot (shard.h's determinism
+  // contract), on however many workers are available.
+  std::vector<SeedShardResult> slots(static_cast<size_t>(std::max(params.num_seeds, 0)));
+  ParallelFor(params.num_seeds, threads,
+              [&](int s) { slots[static_cast<size_t>(s)] = RunSeedShard(config, params, s); });
 
-    bool seed_found = false;
-    // A seed that already diverges between interpretation and its default JIT-trace is a bug
-    // the traditional approaches would also see; file it like the paper's duplicates of bugs
-    // "that common users actually encounter in development".
-    if (report.seed_self_discrepancy) {
-      BugReport bug;
-      bug.seed_id = seed_id;
-      bug.kind = report.seed_jit.status == jaguar::RunStatus::kVmCrash
-                     ? DiscrepancyKind::kCrash
-                     : DiscrepancyKind::kMisCompilation;
-      bug.root_causes = report.seed_jit.fired_bugs;
-      bug.crash_component = report.seed_jit.crash_component;
-      bug.crash_kind = report.seed_jit.crash_kind;
-      bug.detail = "seed diverges between interpreter and default JIT-trace";
-      const std::string signature = SignatureOf(bug);
-      if (seen_signatures.count(signature) == 0) {
-        seen_signatures.insert(signature);
-        bug.duplicate = !bug.root_causes.empty() &&
-                        std::all_of(bug.root_causes.begin(), bug.root_causes.end(),
-                                    [&](BugId b) { return seen_causes.count(b) != 0; });
-        seen_causes.insert(bug.root_causes.begin(), bug.root_causes.end());
-        stats.reports.push_back(std::move(bug));
-        seed_found = true;
-      }
-    }
-    for (const auto& verdict : report.mutants) {
-      ++stats.mutants_generated;
-      stats.vm_invocations += verdict.discarded && !verdict.non_neutral ? 1 : 2;
-      stats.mutants_discarded += verdict.discarded ? 1 : 0;
-      stats.mutants_non_neutral += verdict.non_neutral ? 1 : 0;
-      stats.mutants_new_trace += verdict.explored_new_trace ? 1 : 0;
-      if (verdict.kind == DiscrepancyKind::kNone) {
-        continue;
-      }
-      seed_found = true;
-
-      BugReport bug;
-      bug.seed_id = seed_id;
-      bug.kind = verdict.kind;
-      bug.root_causes = verdict.suspected_bugs;
-      bug.crash_component = verdict.outcome.crash_component;
-      bug.crash_kind = verdict.outcome.crash_kind;
-      bug.detail = verdict.detail;
-
-      // File at most one report per signature; later hits of an already-covered root cause
-      // count as duplicates (reported but recognized as the same underlying defect).
-      const std::string signature = SignatureOf(bug);
-      if (seen_signatures.count(signature) != 0) {
-        continue;  // identical symptom — we would not file it again at all
-      }
-      seen_signatures.insert(signature);
-      bug.duplicate = !bug.root_causes.empty() &&
-                      std::all_of(bug.root_causes.begin(), bug.root_causes.end(),
-                                  [&](BugId b) { return seen_causes.count(b) != 0; });
-      seen_causes.insert(bug.root_causes.begin(), bug.root_causes.end());
-      stats.reports.push_back(std::move(bug));
-    }
-    stats.seeds_with_discrepancy += seed_found ? 1 : 0;
+  // Reduce: dedup bookkeeping is order-sensitive, so fold slots back in seed order.
+  CampaignReducer reducer{stats};
+  for (auto& slot : slots) {
+    reducer.Reduce(std::move(slot));
   }
+
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return stats;

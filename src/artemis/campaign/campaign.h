@@ -36,6 +36,11 @@ struct CampaignParams {
   // Step budget applied to every VM run in the campaign (keeps runaway mutants bounded, like
   // the paper's 2-minute cutoff).
   uint64_t step_budget = 60'000'000;
+  // Worker threads the campaign shards its seeds across (0 → hardware concurrency). Seeds
+  // are processed in parallel and reduced sequentially in seed order, so every thread count
+  // produces bit-identical stats (wall_seconds aside). Validator hooks (tune_iteration /
+  // on_mutant) force a single worker: they observe cross-seed state the pool cannot share.
+  int num_threads = 0;
 };
 
 // One would-be bug report: a discrepancy with its ground-truth root causes.
@@ -48,6 +53,10 @@ struct BugReport {
   std::string detail;
   bool duplicate = false;  // a previous report already covered every root cause
 };
+
+// Full field-wise equality (including the duplicate flag) — the determinism contract's unit.
+bool operator==(const BugReport& a, const BugReport& b);
+inline bool operator!=(const BugReport& a, const BugReport& b) { return !(a == b); }
 
 struct CampaignStats {
   std::string vm_name;
@@ -79,9 +88,17 @@ struct CampaignStats {
   uint64_t vm_invocations = 0;  // engine runs (seeds + mutants, interp + JIT)
   double wall_seconds = 0.0;
 
+  // True when every deterministic field matches `other` — all counters, every report with
+  // its duplicate flag, in order. wall_seconds (a measurement, not an outcome) is excluded.
+  // This is the thread-count-invariance contract RunCampaign guarantees.
+  bool SameOutcome(const CampaignStats& other) const;
+
   std::string ToString() const;
 };
 
+// Runs the campaign: seeds sharded across params.num_threads workers (each seed is a pure
+// function of its ordinal — see shard.h), then reduced sequentially in seed order, so the
+// returned stats are bit-identical for every thread count.
 CampaignStats RunCampaign(const jaguar::VmConfig& vm_config, const CampaignParams& params);
 
 }  // namespace artemis

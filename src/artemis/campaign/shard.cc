@@ -1,0 +1,19 @@
+#include "src/artemis/campaign/shard.h"
+
+namespace artemis {
+
+jaguar::Rng SeedRngFor(uint64_t seed_id) {
+  return jaguar::Rng(seed_id * 0x9E3779B97F4A7C15ULL + 1);
+}
+
+SeedShardResult RunSeedShard(const jaguar::VmConfig& vm_config, const CampaignParams& params,
+                             int ordinal) {
+  SeedShardResult result;
+  result.seed_id = params.base_seed + static_cast<uint64_t>(ordinal);
+  jaguar::Rng rng = SeedRngFor(result.seed_id);
+  const jaguar::Program seed = GenerateProgram(params.fuzz, result.seed_id);
+  result.report = Validate(seed, vm_config, params.validator, rng);
+  return result;
+}
+
+}  // namespace artemis

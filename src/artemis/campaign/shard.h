@@ -1,0 +1,37 @@
+// Deterministic seed sharding — the campaign's parallel unit of work.
+//
+// Each seed of a campaign is processed by a pure function of (vm config, params, ordinal):
+// the seed id is base_seed + ordinal, its RNG stream is derived from the seed id alone
+// (splitmix-style golden-ratio multiply), and validation touches no state shared with other
+// seeds. Shards can therefore run on any worker, in any order, on any number of threads, and
+// still produce bit-identical per-seed results — the contract the campaign's sequential
+// reduce (campaign.cc) turns into thread-count-invariant CampaignStats.
+
+#ifndef SRC_ARTEMIS_CAMPAIGN_SHARD_H_
+#define SRC_ARTEMIS_CAMPAIGN_SHARD_H_
+
+#include <cstdint>
+
+#include "src/artemis/campaign/campaign.h"
+
+namespace artemis {
+
+// The per-seed RNG stream: self-contained derivation from the seed id, shared by the
+// sequential and parallel paths (and by anyone replaying a single seed from a report).
+jaguar::Rng SeedRngFor(uint64_t seed_id);
+
+// One fully-processed seed, ready for the ordered reduce.
+struct SeedShardResult {
+  uint64_t seed_id = 0;
+  ValidationReport report;
+};
+
+// Generates and validates the `ordinal`-th seed of a campaign. `vm_config` must already
+// carry the campaign's step budget (RunCampaign prepares it once). Deterministic in its
+// arguments; safe to call concurrently from multiple threads.
+SeedShardResult RunSeedShard(const jaguar::VmConfig& vm_config, const CampaignParams& params,
+                             int ordinal);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_CAMPAIGN_SHARD_H_

@@ -1,0 +1,64 @@
+#include "src/artemis/campaign/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace artemis {
+
+int DefaultWorkerCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ParallelFor(int count, int num_threads, const std::function<void(int)>& task) {
+  if (count <= 0) {
+    return;
+  }
+  num_threads = std::min(num_threads, count);
+  if (num_threads <= 1) {
+    for (int i = 0; i < count; ++i) {
+      task(i);
+    }
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        // Keep draining: sibling workers may be mid-task, and abandoning the claimed range
+        // would leave slots unwritten for a caller that chooses to continue.
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      workers.emplace_back(worker);
+    }
+  }  // jthread joins on destruction
+
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace artemis

@@ -1,0 +1,29 @@
+// A minimal fork-join worker pool for embarrassingly-parallel campaign work.
+//
+// The campaign's unit of work (one seed: generate → validate → report) is independent of
+// every other seed, so the pool only needs a dynamic index queue: workers atomically claim
+// the next unprocessed index until the range is exhausted. Determinism is NOT the pool's
+// job — callers make results thread-count-invariant by writing into slots indexed by work
+// ordinal and reducing sequentially afterwards (see campaign.cc).
+
+#ifndef SRC_ARTEMIS_CAMPAIGN_WORKER_POOL_H_
+#define SRC_ARTEMIS_CAMPAIGN_WORKER_POOL_H_
+
+#include <functional>
+
+namespace artemis {
+
+// Number of workers to use when the caller does not specify one: the hardware concurrency,
+// never less than 1.
+int DefaultWorkerCount();
+
+// Runs task(i) exactly once for every i in [0, count), on up to num_threads workers
+// (num_threads <= 1 degrades to a plain inline loop — no threads are spawned). Blocks until
+// every task finished. Work is claimed dynamically (an atomic counter), so uneven per-task
+// cost load-balances itself. If any task throws, the first exception (in completion order)
+// is rethrown on the calling thread after all workers have drained.
+void ParallelFor(int count, int num_threads, const std::function<void(int)>& task);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_CAMPAIGN_WORKER_POOL_H_

@@ -1,5 +1,6 @@
 #include "src/artemis/space/compilation_space.h"
 
+#include "src/artemis/campaign/worker_pool.h"
 #include "src/jaguar/jit/pipeline.h"
 #include "src/jaguar/support/check.h"
 
@@ -60,7 +61,7 @@ RunOutcome RunWithForcedDecisions(const BcProgram& program, const VmConfig& conf
 }
 
 SpaceExploration ExploreCompilationSpace(const BcProgram& program, const VmConfig& config,
-                                         size_t max_call_sites) {
+                                         size_t max_call_sites, int num_threads) {
   JAG_CHECK_MSG(max_call_sites <= 16, "compilation space enumeration capped at 2^16 points");
   SpaceExploration result;
   result.call_sites = DiscoverCallSequence(program, config, max_call_sites);
@@ -70,20 +71,24 @@ SpaceExploration ExploreCompilationSpace(const BcProgram& program, const VmConfi
 
   const size_t n = result.call_sites.size();
   const uint64_t total = uint64_t{1} << n;
-  result.points.reserve(total);
+  result.points.resize(total);
 
-  for (uint64_t mask = 0; mask < total; ++mask) {
+  // Every point is an independent VM run writing only its own mask-indexed slot, so the
+  // enumeration parallelizes without changing the result (same slot order for any thread
+  // count — the campaign engine's shard → ordered-result pattern).
+  const int threads = num_threads > 0 ? num_threads : DefaultWorkerCount();
+  ParallelFor(static_cast<int>(total), threads, [&](int m) {
+    const uint64_t mask = static_cast<uint64_t>(m);
     std::map<CallSite, int> levels;
     for (size_t i = 0; i < n; ++i) {
       if ((mask >> i) & 1) {
         levels[result.call_sites[i]] = top_tier;
       }
     }
-    SpacePoint point;
+    SpacePoint& point = result.points[static_cast<size_t>(m)];
     point.mask = mask;
     point.outcome = RunWithForcedDecisions(program, config, levels);
-    result.points.push_back(std::move(point));
-  }
+  });
 
   result.reference_output = result.points[0].outcome.output;
   for (const auto& point : result.points) {

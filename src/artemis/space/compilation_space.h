@@ -74,10 +74,12 @@ struct SpaceExploration {
 // Enumerates the full compilation space over the first `max_call_sites` dynamic calls
 // (capped at 16 sites = 65536 points). On a correct VM all points agree (the paper's test
 // oracle); on a buggy one, `all_agree` is false — a JIT bug witnessed without any reference
-// implementation.
+// implementation. Points are independent VM runs, so they are sharded across `num_threads`
+// workers (0 → hardware concurrency) into slots indexed by mask: the returned exploration is
+// identical for every thread count.
 SpaceExploration ExploreCompilationSpace(const jaguar::BcProgram& program,
                                          const jaguar::VmConfig& config,
-                                         size_t max_call_sites);
+                                         size_t max_call_sites, int num_threads = 1);
 
 }  // namespace artemis
 

@@ -77,6 +77,13 @@ struct ValidatorParams {
 };
 
 // Runs Algorithm 1 for one seed program against one VM configuration.
+//
+// Re-entrant: every piece of mutable run state is per-invocation — each VM run owns its
+// heap, trace recorder, profiles, and bug registry inside its `jaguar::Vm` instance, and all
+// randomness flows through the caller-supplied `rng`. Concurrent Validate calls (the
+// parallel campaign engine's workers, campaign/shard.cc) therefore never share state, except
+// through the optional `params` hooks — callers that install `tune_iteration`/`on_mutant`
+// must not share one ValidatorParams across threads.
 ValidationReport Validate(const jaguar::Program& seed, const jaguar::VmConfig& vm_config,
                           const ValidatorParams& params, jaguar::Rng& rng);
 

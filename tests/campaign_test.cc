@@ -5,6 +5,7 @@
 
 #include <set>
 #include <string>
+#include <thread>
 
 #include "src/artemis/campaign/campaign.h"
 #include "src/jaguar/jit/bugs.h"
@@ -253,6 +254,45 @@ TEST(CampaignRunTest, BuggyVendorInvariantsHold) {
   EXPECT_LE(stats.Confirmed(), static_cast<int>(enabled.size()));
   EXPECT_LE(stats.seeds_with_discrepancy, stats.seeds_run);
   EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+// --- Thread safety ----------------------------------------------------------------------------
+
+TEST(CampaignThreadSafetyTest, ConcurrentCampaignsMatchSequentialRuns) {
+  // Whole-campaign re-entrancy: two RunCampaign calls on *different* vendors, racing on
+  // separate threads (each itself multi-threaded), must produce exactly the stats their
+  // sequential counterparts produce — no state bleeds between engines or campaigns.
+  const VmConfig vendor_a = FastVendor({BugId::kFoldShiftUnmasked, BugId::kGvnBucketAssert});
+  VmConfig vendor_b = FastVendor({BugId::kLicmDeepNestAssert});
+  vendor_b.name = "CampaignVendorB";
+  CampaignParams params = SmallParams();
+  params.num_threads = 2;
+
+  const CampaignStats sequential_a = RunCampaign(vendor_a, params);
+  const CampaignStats sequential_b = RunCampaign(vendor_b, params);
+
+  CampaignStats concurrent_a;
+  CampaignStats concurrent_b;
+  {
+    std::jthread ta([&] { concurrent_a = RunCampaign(vendor_a, params); });
+    std::jthread tb([&] { concurrent_b = RunCampaign(vendor_b, params); });
+  }
+
+  EXPECT_TRUE(concurrent_a.SameOutcome(sequential_a));
+  EXPECT_TRUE(concurrent_b.SameOutcome(sequential_b));
+  EXPECT_FALSE(concurrent_a.SameOutcome(concurrent_b)) << "vendors should differ";
+}
+
+TEST(CampaignThreadSafetyTest, HookedValidatorStillRunsAndStaysSequential) {
+  // Guidance hooks observe cross-seed state, so the engine degrades them to one worker; the
+  // hook must see every mutant of every seed exactly once, in seed order.
+  CampaignParams params = SmallParams();
+  params.num_threads = 4;  // requested parallelism is overridden by the hook
+  int observed = 0;
+  params.validator.on_mutant = [&](const MutantVerdict&) { ++observed; };
+
+  const CampaignStats stats = RunCampaign(FastVendor({BugId::kFoldShiftUnmasked}), params);
+  EXPECT_EQ(observed, stats.mutants_generated);
 }
 
 }  // namespace
