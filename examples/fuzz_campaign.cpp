@@ -1,11 +1,16 @@
 // A miniature validation campaign from the command line.
 //
-//   ./fuzz_campaign [num_seeds] [vendor] [--threads N]
+//   ./fuzz_campaign [num_seeds] [vendor] [--threads N] [--verify[=LEVEL]] [--triage]
 //
 // vendor ∈ {hotsniff, openjade, artree} (default: all three). Prints a live-ish report of
 // what Artemis finds — the CLI equivalent of the paper's testing campaign. Seeds are sharded
 // across N worker threads (default: all hardware threads); the report is identical for every
 // N — only the wall time changes.
+//
+// --verify runs the vendor with the IR/LIR invariant verifier enabled (LEVEL ∈ off|boundary|
+// every-pass; bare --verify means every-pass), so invariant violations surface as crashes.
+// --triage pass-bisects every discrepancy and dedups reports on the attribution key; each
+// report then prints its "triage: <kind> -> <stage>" line.
 
 #include <cctype>
 #include <cstdio>
@@ -16,9 +21,29 @@
 #include "src/artemis/campaign/campaign.h"
 #include "src/artemis/campaign/worker_pool.h"
 
+namespace {
+
+jaguar::VerifyLevel ParseVerifyLevel(const char* name) {
+  if (std::strcmp(name, "off") == 0) {
+    return jaguar::VerifyLevel::kOff;
+  }
+  if (std::strcmp(name, "boundary") == 0) {
+    return jaguar::VerifyLevel::kBoundary;
+  }
+  if (std::strcmp(name, "every-pass") == 0) {
+    return jaguar::VerifyLevel::kEveryPass;
+  }
+  std::fprintf(stderr, "unknown verify level '%s' (off|boundary|every-pass)\n", name);
+  std::exit(2);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int seeds = 20;
   int threads = 0;  // 0 → hardware concurrency
+  jaguar::VerifyLevel verify = jaguar::VerifyLevel::kOff;
+  bool triage = false;
   const char* vendor_filter = nullptr;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -26,6 +51,12 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = jaguar::VerifyLevel::kEveryPass;
+    } else if (std::strncmp(argv[i], "--verify=", 9) == 0) {
+      verify = ParseVerifyLevel(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--triage") == 0) {
+      triage = true;
     } else if (positional == 0) {
       seeds = std::atoi(argv[i]);
       ++positional;
@@ -38,7 +69,7 @@ int main(int argc, char** argv) {
               threads > 0 ? threads : artemis::DefaultWorkerCount());
 
   bool ran_any = false;
-  for (const jaguar::VmConfig& vm : jaguar::AllVendors()) {
+  for (jaguar::VmConfig vm : jaguar::AllVendors()) {
     if (vendor_filter != nullptr) {
       std::string lower = vm.name;
       for (auto& c : lower) {
@@ -49,10 +80,12 @@ int main(int argc, char** argv) {
       }
     }
     ran_any = true;
+    vm.verify_level = verify;
 
     artemis::CampaignParams params;
     params.num_seeds = seeds;
     params.num_threads = threads;
+    params.triage = triage;
     params.validator.max_iter = 8;
     if (vm.name == "Artree") {
       params.validator.jonm.synth.min_bound = 20'000;
@@ -70,6 +103,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(report.seed_id), report.detail.c_str());
       for (jaguar::BugId bug : report.root_causes) {
         std::printf("      cause: %s\n", jaguar::BugName(bug));
+      }
+      if (report.triaged) {
+        std::printf("      %s\n", report.triage.ToString().c_str());
       }
     }
     std::printf("\n");

@@ -9,13 +9,23 @@
 //                                             against the (defective) vendor VM
 //
 // vendor ∈ {interp, reference, hotsniff, openjade, artree}.
+//
+// Flags (any mode):
+//   --verify[=off|boundary|every-pass]   run the IR/LIR invariant verifier inside the JIT
+//                                        pipeline (bare --verify means every-pass); a
+//                                        violated invariant surfaces as a VM crash naming
+//                                        the offending stage and invariant
+//   --triage                             (validate mode) pass-bisect each discrepancy and
+//                                        print the structured attribution
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "src/artemis/triage/triage.h"
 #include "src/artemis/validate/validator.h"
 #include "src/jaguar/bytecode/compiler.h"
 #include "src/jaguar/bytecode/disasm.h"
@@ -76,18 +86,47 @@ void PrintOutcome(const jaguar::RunOutcome& out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: jaguar_cli run|trace|disasm|validate <file.jag> [vendor]\n"
-               "       jaguar_cli ir <file.jag> <function> <tier>\n");
+               "       jaguar_cli ir <file.jag> <function> <tier>\n"
+               "flags: --verify[=off|boundary|every-pass]  --triage (validate mode)\n");
   return 2;
+}
+
+jaguar::VerifyLevel ParseVerifyLevel(const std::string& name) {
+  if (name == "off") {
+    return jaguar::VerifyLevel::kOff;
+  }
+  if (name == "boundary") {
+    return jaguar::VerifyLevel::kBoundary;
+  }
+  if (name == "every-pass") {
+    return jaguar::VerifyLevel::kEveryPass;
+  }
+  std::fprintf(stderr, "unknown verify level '%s' (off|boundary|every-pass)\n", name.c_str());
+  std::exit(2);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  jaguar::VerifyLevel verify = jaguar::VerifyLevel::kOff;
+  bool triage = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = jaguar::VerifyLevel::kEveryPass;
+    } else if (std::strncmp(argv[i], "--verify=", 9) == 0) {
+      verify = ParseVerifyLevel(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--triage") == 0) {
+      triage = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) {
     return Usage();
   }
-  const std::string mode = argv[1];
-  const std::string source = ReadFile(argv[2]);
+  const std::string mode = args[0];
+  const std::string source = ReadFile(args[1].c_str());
 
   try {
     jaguar::Program program = jaguar::ParseProgram(source);
@@ -100,28 +139,30 @@ int main(int argc, char** argv) {
     }
 
     if (mode == "ir") {
-      if (argc < 5) {
+      if (args.size() < 4) {
         return Usage();
       }
       const int fn = [&] {
         for (size_t i = 0; i < bytecode.functions.size(); ++i) {
-          if (bytecode.functions[i].name == argv[3]) {
+          if (bytecode.functions[i].name == args[2]) {
             return static_cast<int>(i);
           }
         }
-        std::fprintf(stderr, "no function named '%s'\n", argv[3]);
+        std::fprintf(stderr, "no function named '%s'\n", args[2].c_str());
         std::exit(2);
       }();
-      const int tier = std::atoi(argv[4]);
-      const jaguar::VmConfig config = jaguar::ReferenceJitConfig();
+      const int tier = std::atoi(args[3].c_str());
+      jaguar::VmConfig config = jaguar::ReferenceJitConfig();
+      config.verify_level = verify;
       jaguar::IrFunction ir =
           jaguar::CompileToIr(bytecode, fn, tier, -1, config, nullptr, nullptr, nullptr);
       std::fputs(jaguar::IrToString(ir).c_str(), stdout);
       return 0;
     }
 
-    const std::string vendor_name = argc > 3 ? argv[3] : "reference";
+    const std::string vendor_name = args.size() > 2 ? args[2] : "reference";
     jaguar::VmConfig vendor = VendorByName(vendor_name);
+    vendor.verify_level = verify;
 
     if (mode == "run") {
       PrintOutcome(jaguar::RunProgram(bytecode, vendor));
@@ -170,6 +211,11 @@ int main(int argc, char** argv) {
       }
       std::printf("seed ok; %zu mutants, %d discrepancies\n", report.mutants.size(),
                   report.Discrepancies());
+      if (report.seed_self_discrepancy && triage) {
+        const artemis::TriageReport t =
+            artemis::TriageDiscrepancy(program, vendor, artemis::TriageParams{});
+        std::printf("seed self-discrepancy %s\n", t.ToString().c_str());
+      }
       for (size_t i = 0; i < report.mutants.size(); ++i) {
         const auto& verdict = report.mutants[i];
         if (verdict.kind == artemis::DiscrepancyKind::kNone) {
@@ -179,6 +225,11 @@ int main(int argc, char** argv) {
                     verdict.detail.c_str());
         for (jaguar::BugId bug : verdict.suspected_bugs) {
           std::printf("  root cause: %s\n", jaguar::BugName(bug));
+        }
+        if (triage && verdict.mutant_program != nullptr) {
+          const artemis::TriageReport t = artemis::TriageDiscrepancy(
+              *verdict.mutant_program, vendor, artemis::TriageParams{});
+          std::printf("  %s\n", t.ToString().c_str());
         }
       }
       return report.FoundAny() ? 3 : 0;

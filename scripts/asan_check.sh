@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Address/UB-sanitizer CI configuration (the asan twin of tsan_check.sh).
+#
+# Configures a dedicated build tree with -fsanitize=address,undefined and runs the full test
+# suite under it. Any heap/stack error or undefined behaviour in the VM simulation, the JIT
+# pipeline + verifier, or the campaign/triage/reduce machinery fails this script.
+#
+# Usage: scripts/asan_check.sh [build-dir] [ctest-label]
+#   build-dir:    default build-asan
+#   ctest-label:  optional ctest -L label (unit / property / campaign / triage) to shard;
+#                 default runs everything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+LABEL="${2:-}"
+cmake -B "$BUILD_DIR" -S . -DARTEMIS_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error: fail fast on the first report. detect_leaks stays on (default) — the VM
+# heap is arena-style but the tool layers allocate normally.
+export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+
+CTEST_ARGS=(--test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)")
+if [[ -n "$LABEL" ]]; then
+  CTEST_ARGS+=(-L "$LABEL")
+fi
+ctest "${CTEST_ARGS[@]}"
+echo "asan_check: full suite passed clean under address+undefined sanitizers"

@@ -17,6 +17,12 @@ using jaguar::BugId;
 // signature are one report (the paper ensured "all reported bugs behave with different
 // symptoms" before filing).
 std::string SignatureOf(const BugReport& report) {
+  // Triaged campaigns dedup on the bisection attribution: two discrepancies blamed on the
+  // same stage (with the same invariant, if any) are one report even when their raw symptoms
+  // differ, and vice versa — the paper's "same root cause" judgement, automated.
+  if (report.triaged && report.triage.reproduced && report.triage.attributed()) {
+    return "triage:" + report.triage.DedupKey();
+  }
   std::vector<int> causes;
   for (BugId b : report.root_causes) {
     causes.push_back(static_cast<int>(b));
@@ -78,9 +84,20 @@ struct CampaignReducer {
       bug.crash_component = report.seed_jit.crash_component;
       bug.crash_kind = report.seed_jit.crash_kind;
       bug.detail = "seed diverges between interpreter and default JIT-trace";
+      if (shard.seed_triaged) {
+        bug.triaged = true;
+        bug.triage = shard.seed_triage;
+        stats.vm_invocations += static_cast<uint64_t>(bug.triage.runs);
+      }
       seed_found |= File(std::move(bug));
     }
-    for (const auto& verdict : report.mutants) {
+    // Index the shard's triage attributions by mutant ordinal for the verdict loop below.
+    std::map<size_t, const TriageReport*> triage_by_mutant;
+    for (const auto& triaged : shard.triaged_mutants) {
+      triage_by_mutant[triaged.mutant_index] = &triaged.report;
+    }
+    for (size_t m = 0; m < report.mutants.size(); ++m) {
+      const auto& verdict = report.mutants[m];
       ++stats.mutants_generated;
       stats.vm_invocations += verdict.discarded && !verdict.non_neutral ? 1 : 2;
       stats.mutants_discarded += verdict.discarded ? 1 : 0;
@@ -98,6 +115,11 @@ struct CampaignReducer {
       bug.crash_component = verdict.outcome.crash_component;
       bug.crash_kind = verdict.outcome.crash_kind;
       bug.detail = verdict.detail;
+      if (const auto it = triage_by_mutant.find(m); it != triage_by_mutant.end()) {
+        bug.triaged = true;
+        bug.triage = *it->second;
+        stats.vm_invocations += static_cast<uint64_t>(bug.triage.runs);
+      }
       // File at most one report per signature; later hits of an already-covered root cause
       // count as duplicates (reported but recognized as the same underlying defect).
       File(std::move(bug));
@@ -111,7 +133,8 @@ struct CampaignReducer {
 bool operator==(const BugReport& a, const BugReport& b) {
   return a.seed_id == b.seed_id && a.kind == b.kind && a.root_causes == b.root_causes &&
          a.crash_component == b.crash_component && a.crash_kind == b.crash_kind &&
-         a.detail == b.detail && a.duplicate == b.duplicate;
+         a.detail == b.detail && a.duplicate == b.duplicate && a.triaged == b.triaged &&
+         a.triage == b.triage;
 }
 
 bool CampaignStats::SameOutcome(const CampaignStats& other) const {

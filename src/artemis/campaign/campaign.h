@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/artemis/fuzzer/generator.h"
+#include "src/artemis/triage/triage.h"
 #include "src/artemis/validate/validator.h"
 #include "src/jaguar/vm/config.h"
 
@@ -41,6 +42,11 @@ struct CampaignParams {
   // produces bit-identical stats (wall_seconds aside). Validator hooks (tune_iteration /
   // on_mutant) force a single worker: they observe cross-seed state the pool cannot share.
   int num_threads = 0;
+  // Pass-bisection triage (src/artemis/triage): every discrepancy is re-run with stages
+  // disabled one at a time (verifier cross-referenced) inside its shard, and report
+  // deduplication keys on the resulting attribution instead of raw output signatures.
+  bool triage = false;
+  TriageParams triage_params;
 };
 
 // One would-be bug report: a discrepancy with its ground-truth root causes.
@@ -52,6 +58,11 @@ struct BugReport {
   std::string crash_kind;
   std::string detail;
   bool duplicate = false;  // a previous report already covered every root cause
+  // Pass-bisection attribution (present when the campaign ran with params.triage). When
+  // `triage.attributed()`, deduplication keys on triage.DedupKey() instead of the raw
+  // (root-cause set, symptom) signature.
+  bool triaged = false;
+  TriageReport triage;
 };
 
 // Full field-wise equality (including the duplicate flag) — the determinism contract's unit.

@@ -13,6 +13,24 @@ SeedShardResult RunSeedShard(const jaguar::VmConfig& vm_config, const CampaignPa
   jaguar::Rng rng = SeedRngFor(result.seed_id);
   const jaguar::Program seed = GenerateProgram(params.fuzz, result.seed_id);
   result.report = Validate(seed, vm_config, params.validator, rng);
+
+  // Triage inside the shard: TriageDiscrepancy is a pure function of (program, config,
+  // params), so attributions computed here are as deterministic as the validation itself
+  // and the reduce stays thread-count-invariant.
+  if (params.triage && result.report.seed_usable) {
+    if (result.report.seed_self_discrepancy) {
+      result.seed_triage = TriageDiscrepancy(seed, vm_config, params.triage_params);
+      result.seed_triaged = true;
+    }
+    for (size_t i = 0; i < result.report.mutants.size(); ++i) {
+      const MutantVerdict& verdict = result.report.mutants[i];
+      if (verdict.kind == DiscrepancyKind::kNone || !verdict.mutant_program) {
+        continue;
+      }
+      result.triaged_mutants.push_back(
+          {i, TriageDiscrepancy(*verdict.mutant_program, vm_config, params.triage_params)});
+    }
+  }
   return result;
 }
 

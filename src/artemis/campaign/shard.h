@@ -24,6 +24,17 @@ jaguar::Rng SeedRngFor(uint64_t seed_id);
 struct SeedShardResult {
   uint64_t seed_id = 0;
   ValidationReport report;
+
+  // Triage attributions (campaign params.triage only), produced inside the shard so the
+  // parallel path stays deterministic: one entry per discrepant mutant, keyed by its index
+  // in report.mutants, plus the seed's own self-discrepancy triage when applicable.
+  struct TriagedMutant {
+    size_t mutant_index = 0;
+    TriageReport report;
+  };
+  std::vector<TriagedMutant> triaged_mutants;
+  bool seed_triaged = false;
+  TriageReport seed_triage;
 };
 
 // Generates and validates the `ordinal`-th seed of a campaign. `vm_config` must already

@@ -204,4 +204,27 @@ Program ReduceProgram(const Program& program, const ReductionPredicate& keep,
   return current;
 }
 
+TriagedReduction ReduceTriaged(const Program& program, const jaguar::VmConfig& vm,
+                               const TriageParams& params, int max_rounds) {
+  TriagedReduction out;
+  out.triage = TriageDiscrepancy(program, vm, params);
+  if (!out.triage.reproduced) {
+    out.program = program.Clone();
+    out.stats.initial_statements = out.stats.final_statements = CountStatements(out.program);
+    return out;
+  }
+  const std::string key = out.triage.DedupKey();
+  // Re-triage every candidate: acceptance requires the same attribution key, not merely
+  // "still misbehaves" — that is exactly the slippage a raw predicate permits.
+  const ReductionPredicate keep = [&](const Program& candidate) {
+    const TriageReport t = TriageDiscrepancy(candidate, vm, params);
+    return t.reproduced && t.DedupKey() == key;
+  };
+  out.program = ReduceProgram(program, keep, &out.stats, max_rounds);
+  out.triage = TriageDiscrepancy(out.program, vm, params);
+  JAG_CHECK_MSG(out.triage.DedupKey() == key, "reducer changed the triaged attribution");
+  out.reduced = true;
+  return out;
+}
+
 }  // namespace artemis

@@ -9,7 +9,9 @@
 
 #include <functional>
 
+#include "src/artemis/triage/triage.h"
 #include "src/jaguar/lang/ast.h"
+#include "src/jaguar/vm/config.h"
 
 namespace artemis {
 
@@ -32,6 +34,23 @@ jaguar::Program ReduceProgram(const jaguar::Program& program, const ReductionPre
 
 // Total statement count of a program (reduction progress metric).
 size_t CountStatements(const jaguar::Program& program);
+
+struct TriagedReduction {
+  jaguar::Program program;   // the reduced program
+  TriageReport triage;       // its attribution — same DedupKey() as the input's
+  ReductionStats stats;
+  bool reduced = false;      // false when the input did not reproduce under triage
+};
+
+// Attribution-stable reduction. A plain "still misbehaves" predicate lets the root cause
+// slip mid-reduction: a shrink step can trade the original defect for a different, easier
+// to trigger one, and the reducer happily keeps shrinking the wrong bug. This variant triages
+// the input once, then re-triages every candidate and accepts a shrink only when the
+// attribution DedupKey (symptom + stage + invariant) is unchanged — slippage is rejected even
+// when the candidate still crashes. When the input does not reproduce against the interpreter
+// reference, the program is returned unreduced with `reduced == false`.
+TriagedReduction ReduceTriaged(const jaguar::Program& program, const jaguar::VmConfig& vm,
+                               const TriageParams& params = {}, int max_rounds = 16);
 
 }  // namespace artemis
 

@@ -1,0 +1,305 @@
+#include "src/artemis/triage/triage.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/verify/verifier.h"
+#include "src/jaguar/vm/engine.h"
+#include "src/jaguar/vm/outcome.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BcProgram;
+using jaguar::RunOutcome;
+using jaguar::RunStatus;
+using jaguar::VmComponent;
+using jaguar::VmConfig;
+
+// Mirrors the validator's performance oracle (ValidatorParams defaults): "pathologically more
+// work under the JIT" means both a 4x ratio and a 2M-step floor over the interpreter.
+constexpr uint64_t kPerfRatio = 4;
+constexpr uint64_t kPerfFloor = 2'000'000;
+
+bool PathologicallySlow(const RunOutcome& jit, const RunOutcome& interp) {
+  return jit.steps > kPerfRatio * interp.steps && jit.steps > interp.steps + kPerfFloor;
+}
+
+// How a triage run counts as "fixed" depends on the symptom: crashes and mis-compilations
+// must match the interpreter reference observably; performance issues must merely stop being
+// pathological (outputs already matched).
+bool Fixed(DiscrepancyKind kind, const RunOutcome& outcome, const RunOutcome& reference) {
+  if (kind == DiscrepancyKind::kPerformance) {
+    return outcome.status == RunStatus::kOk && !PathologicallySlow(outcome, reference);
+  }
+  return outcome.SameObservable(reference);
+}
+
+// Applies one bisection knob to a copy of the vendor config.
+VmConfig WithStageDisabled(const VmConfig& vm, const std::string& stage) {
+  if (stage == "osr") {
+    VmConfig out = vm;
+    out.osr_enabled = false;
+    return out;
+  }
+  return vm.WithPassDisabled(stage);
+}
+
+// Parses the verifier's crash message "after <stage>: <invariant>: <detail>" (pipeline.cc /
+// lower.cc throw sites). Returns false when the message has a different shape.
+bool ParseVerifierMessage(const std::string& message, std::string* stage,
+                          std::string* invariant) {
+  constexpr const char kPrefix[] = "after ";
+  if (message.rfind(kPrefix, 0) != 0) {
+    return false;
+  }
+  const size_t stage_end = message.find(": ", sizeof(kPrefix) - 1);
+  if (stage_end == std::string::npos) {
+    return false;
+  }
+  *stage = message.substr(sizeof(kPrefix) - 1, stage_end - (sizeof(kPrefix) - 1));
+  const size_t inv_begin = stage_end + 2;
+  const size_t inv_end = message.find(':', inv_begin);
+  *invariant = message.substr(inv_begin, inv_end == std::string::npos
+                                             ? std::string::npos
+                                             : inv_end - inv_begin);
+  return !stage->empty() && !invariant->empty();
+}
+
+// Fallback attribution for crashes that bisection cannot reach: stages that are not
+// bisection knobs (IR building, the executors, deopt/recompile machinery) still identify
+// themselves through the simulated crash's component.
+std::string StageForComponent(VmComponent component) {
+  switch (component) {
+    case VmComponent::kInlining: return "inlining";
+    case VmComponent::kIrBuilding: return "ir-build";
+    case VmComponent::kLoopOptimization: return "loop-opt";
+    case VmComponent::kConstantPropagation: return "constant-folding";
+    case VmComponent::kGvn: return "gvn";
+    case VmComponent::kEscapeAnalysis: return "escape-analysis";
+    case VmComponent::kRangeCheckElimination: return "range-check-elimination";
+    case VmComponent::kRegisterAllocation: return "regalloc";
+    case VmComponent::kCodeGeneration: return "lower";
+    case VmComponent::kCodeExecution: return "code-exec";
+    case VmComponent::kDeoptimization: return "deopt";
+    case VmComponent::kRecompilation: return "recompilation";
+    case VmComponent::kGarbageCollection: return "gc";
+    case VmComponent::kSpeculation: return "speculation";
+    case VmComponent::kNone: return "";
+  }
+  return "";
+}
+
+int StageIndex(const std::string& stage) {
+  const auto& stages = TriageStages();
+  const auto it = std::find(stages.begin(), stages.end(), stage);
+  return it == stages.end() ? -1 : static_cast<int>(it - stages.begin());
+}
+
+}  // namespace
+
+const std::vector<std::string>& TriageStages() {
+  // Pipeline order (pipeline.cc), with the pseudo-stages last: a defect masked by several
+  // knobs is attributed to the latest one, matching "the last stage that touched the code".
+  static const std::vector<std::string> kStages = {
+      "simplify-cfg",
+      "copy-propagation",
+      "constant-folding",
+      "dce",
+      "inlining",
+      "gvn",
+      "licm",
+      "strength-reduction",
+      "range-check-elimination",
+      "speculation",
+      "store-sink",
+      "loop-peel",
+      "osr",
+      "regalloc",
+      "lower",
+  };
+  return kStages;
+}
+
+std::string TriageReport::DedupKey() const {
+  if (!reproduced) {
+    return "unreproduced";
+  }
+  std::string key = std::string(DiscrepancyName(kind)) + "@" +
+                    (stage.empty() ? "unattributed" : stage);
+  if (!partner.empty()) {
+    key += "+" + partner;
+  }
+  if (!invariant.empty()) {
+    key += "!" + invariant;
+  }
+  return key;
+}
+
+std::string TriageReport::ToString() const {
+  if (!reproduced) {
+    return "triage: not reproduced against the interpreter reference";
+  }
+  std::string out = std::string("triage: ") + DiscrepancyName(kind) + " -> " +
+                    (stage.empty() ? "(unattributed)" : stage);
+  if (!partner.empty()) {
+    out += " (with " + partner + ")";
+  }
+  if (!invariant.empty()) {
+    out += " [" + invariant + " after " + invariant_stage + "]";
+  }
+  if (candidates.size() > 1) {
+    out += " candidates={";
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      out += (i > 0 ? "," : "") + candidates[i];
+    }
+    out += "}";
+  }
+  if (!detail.empty()) {
+    out += " — " + detail;
+  }
+  return out;
+}
+
+bool operator==(const TriageReport& a, const TriageReport& b) {
+  return a.reproduced == b.reproduced && a.kind == b.kind && a.stage == b.stage &&
+         a.partner == b.partner && a.invariant == b.invariant &&
+         a.invariant_stage == b.invariant_stage && a.candidates == b.candidates &&
+         a.detail == b.detail && a.runs == b.runs;
+}
+
+TriageReport TriageDiscrepancy(const jaguar::Program& program, const VmConfig& vm,
+                               const TriageParams& params) {
+  TriageReport report;
+
+  // Sanitize the vendor config: triage controls the verify/bisection knobs itself.
+  VmConfig base = vm;
+  base.verify_level = jaguar::VerifyLevel::kOff;
+  base.disabled_passes.clear();
+
+  const BcProgram bc = jaguar::CompileProgram(program);
+
+  jaguar::VmConfig interp = jaguar::InterpreterOnlyConfig();
+  interp.step_budget = base.step_budget;
+  const RunOutcome reference = jaguar::RunProgram(bc, interp);
+  const RunOutcome baseline = jaguar::RunProgram(bc, base);
+  report.runs = 2;
+
+  // Re-classify against the interpreter reference. (The campaign's oracle is mutant-vs-seed
+  // on the same VM; in isolation the reference is interpretation, which the neutrality
+  // pre-check already established as ground truth for the mutant.)
+  if (baseline.status == RunStatus::kVmCrash) {
+    report.kind = DiscrepancyKind::kCrash;
+    report.reproduced = true;
+  } else if (baseline.status == RunStatus::kTimeout && reference.status == RunStatus::kOk) {
+    report.kind = DiscrepancyKind::kPerformance;
+    report.reproduced = true;
+  } else if (!baseline.SameObservable(reference)) {
+    report.kind = DiscrepancyKind::kMisCompilation;
+    report.reproduced = true;
+  } else if (reference.status == RunStatus::kOk && PathologicallySlow(baseline, reference)) {
+    report.kind = DiscrepancyKind::kPerformance;
+    report.reproduced = true;
+  }
+  if (!report.reproduced) {
+    report.detail = "baseline run matches the interpreter reference";
+    return report;
+  }
+
+  // Verifier cross-reference: the kEveryPass run names the first stage whose output violates
+  // a structural invariant — strictly stronger evidence than bisection when it fires.
+  if (params.use_verifier) {
+    const RunOutcome verified =
+        jaguar::RunProgram(bc, base.WithVerify(jaguar::VerifyLevel::kEveryPass));
+    ++report.runs;
+    if (verified.status == RunStatus::kVmCrash && verified.crash_kind == "verifier") {
+      ParseVerifierMessage(verified.crash_message, &report.invariant_stage,
+                           &report.invariant);
+    }
+  }
+
+  // Single-stage sweep: a stage whose absence restores agreement is a candidate cause.
+  for (const std::string& stage : TriageStages()) {
+    if (report.runs >= params.max_stage_runs) {
+      break;
+    }
+    const RunOutcome outcome = jaguar::RunProgram(bc, WithStageDisabled(base, stage));
+    ++report.runs;
+    if (Fixed(report.kind, outcome, reference)) {
+      report.candidates.push_back(stage);
+    }
+  }
+
+  if (!report.invariant_stage.empty()) {
+    // The verifier's word is final: bisection candidates are kept as corroboration only.
+    report.stage = report.invariant_stage;
+    report.detail = "verifier invariant " + report.invariant + " violated after " +
+                    report.invariant_stage;
+    return report;
+  }
+
+  if (!report.candidates.empty()) {
+    std::vector<std::string> pool = report.candidates;
+    if (report.kind == DiscrepancyKind::kCrash &&
+        baseline.crash_component != VmComponent::kNone) {
+      // Crashes carry their component; prefer candidates belonging to it (disabling an
+      // upstream pass often hides a crash by starving the buggy one of its trigger pattern).
+      std::vector<std::string> matching;
+      for (const std::string& stage : pool) {
+        if (jaguar::ComponentForStage(stage) == baseline.crash_component) {
+          matching.push_back(stage);
+        }
+      }
+      if (!matching.empty()) {
+        pool = std::move(matching);
+      }
+    }
+    // Latest in pipeline order: when several knobs mask the symptom, the defect lives in the
+    // last stage that touched the code (earlier candidates merely feed it its trigger).
+    report.stage = pool.back();
+    report.detail = "disabling " + report.stage + " restores agreement";
+    return report;
+  }
+
+  // Pairwise sweep: two interacting defects (or a defect plus the stage that exposes it) can
+  // defeat single-stage bisection.
+  if (params.pairwise) {
+    const auto& stages = TriageStages();
+    for (size_t i = 0; i < stages.size() && report.stage.empty(); ++i) {
+      for (size_t j = i + 1; j < stages.size(); ++j) {
+        if (report.runs >= params.max_stage_runs) {
+          break;
+        }
+        const VmConfig pair = WithStageDisabled(WithStageDisabled(base, stages[i]), stages[j]);
+        const RunOutcome outcome = jaguar::RunProgram(bc, pair);
+        ++report.runs;
+        if (Fixed(report.kind, outcome, reference)) {
+          report.stage = stages[j];  // later stage is the primary, as above
+          report.partner = stages[i];
+          report.detail = "only disabling both " + stages[i] + " and " + stages[j] +
+                          " restores agreement";
+          break;
+        }
+      }
+    }
+    if (!report.stage.empty()) {
+      return report;
+    }
+  }
+
+  // No knob reaches the defect (IR building, executors, deopt machinery): fall back to the
+  // crash's component when there is one.
+  if (report.kind == DiscrepancyKind::kCrash) {
+    report.stage = StageForComponent(baseline.crash_component);
+    if (!report.stage.empty()) {
+      report.detail = "no bisection knob reaches the defect; attributed by crash component (" +
+                      std::string(jaguar::ComponentName(baseline.crash_component)) + ")";
+      return report;
+    }
+  }
+  report.detail = "no stage attribution: defect is outside the bisectable pipeline";
+  return report;
+}
+
+}  // namespace artemis

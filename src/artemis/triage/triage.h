@@ -1,0 +1,92 @@
+// Automatic triage of campaign discrepancies: pass bisection + verifier cross-reference.
+//
+// A campaign discrepancy says *that* the VM misbehaved on a program, not *where*. This layer
+// is the stand-in for the paper's manual developer triage ("we reported ... and the developers
+// attributed them to ..."): given the offending program and vendor config, it localizes the
+// defect to a pipeline stage by re-running the program with optimization stages disabled one
+// at a time (then pairwise), and cross-references the IR/LIR invariant verifier
+// (jaguar/jit/verify) run at VerifyLevel::kEveryPass, whose first failing invariant names the
+// offending stage directly.
+//
+// The result is a structured TriageReport whose DedupKey() the campaign uses for report
+// deduplication instead of raw output signatures: two discrepancies attributed to the same
+// stage with the same symptom are one bug, even when their outputs differ.
+
+#ifndef SRC_ARTEMIS_TRIAGE_TRIAGE_H_
+#define SRC_ARTEMIS_TRIAGE_TRIAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/artemis/validate/validator.h"
+#include "src/jaguar/lang/ast.h"
+#include "src/jaguar/vm/config.h"
+
+namespace artemis {
+
+struct TriageParams {
+  // Try pairs of stages when no single stage restores agreement (two defects can mask each
+  // other's single-stage bisection).
+  bool pairwise = true;
+  // Cross-reference a VerifyLevel::kEveryPass run; a violated invariant overrides bisection
+  // (it names the stage that *produced* bad code, where bisection can only name stages whose
+  // absence hides the symptom — e.g. disabling either regalloc or lowering hides a register
+  // clobber, but only the verifier pins it on the allocator).
+  bool use_verifier = true;
+  // Upper bound on bisection VM runs (the pairwise sweep is quadratic in stages).
+  int max_stage_runs = 160;
+};
+
+// The structured attribution for one discrepancy.
+struct TriageReport {
+  // The discrepancy reproduced against a fresh interpreter reference. When false, the
+  // remaining fields are empty: the original discrepancy was trace-relative (mutant vs seed
+  // on the same VM) and does not manifest against ground truth in isolation.
+  bool reproduced = false;
+  DiscrepancyKind kind = DiscrepancyKind::kNone;
+
+  // Final attribution: the pipeline stage held responsible ("" = unattributed). `partner` is
+  // set for pairwise attributions (both stages had to be disabled to restore agreement).
+  std::string stage;
+  std::string partner;
+
+  // Verifier cross-reference: first violated invariant and the stage it blames, when the
+  // kEveryPass run tripped ("" when the defect is semantically invisible to the verifier).
+  std::string invariant;
+  std::string invariant_stage;
+
+  // Every single stage whose disabling restored agreement with the reference, in pipeline
+  // order. More than one entry means bisection alone was ambiguous.
+  std::vector<std::string> candidates;
+
+  std::string detail;
+
+  // VM invocations this triage consumed (reference + baseline + verifier + bisection runs);
+  // the campaign folds it into its throughput accounting.
+  int runs = 0;
+
+  bool attributed() const { return !stage.empty(); }
+
+  // Campaign dedup key: symptom + attribution (+ invariant). Reports with equal keys are
+  // duplicates of one root cause regardless of their raw outputs.
+  std::string DedupKey() const;
+  std::string ToString() const;
+};
+
+bool operator==(const TriageReport& a, const TriageReport& b);
+inline bool operator!=(const TriageReport& a, const TriageReport& b) { return !(a == b); }
+
+// The bisection stages in pipeline order. Besides the optimization passes this includes the
+// pseudo-stages "osr" (disables on-stack replacement), "regalloc" (degrades to
+// spill-everything allocation), and "lower" (skips the LIR backend entirely).
+const std::vector<std::string>& TriageStages();
+
+// Triages one discrepancy: `program` is the offending (mutant) program, `vm` the vendor
+// config it misbehaved on (step budget included; verify/disabled-pass knobs are reset
+// internally). Deterministic in its arguments; safe to call concurrently.
+TriageReport TriageDiscrepancy(const jaguar::Program& program, const jaguar::VmConfig& vm,
+                               const TriageParams& params);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_TRIAGE_TRIAGE_H_

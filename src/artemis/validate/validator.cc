@@ -118,6 +118,8 @@ ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config
         verdict.kind = DiscrepancyKind::kPerformance;
         verdict.detail = "JIT execution exhausted the budget; interpretation finished in " +
                          std::to_string(mutant_interp.steps) + " steps";
+        verdict.mutant_program =
+            std::make_shared<const jaguar::Program>(std::move(mutation.mutant));
       } else {
         verdict.discarded = true;
         verdict.detail = "mutant exceeded the step budget";
@@ -139,6 +141,8 @@ ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config
         verdict.kind = DiscrepancyKind::kMisCompilation;
         verdict.detail = "output diverged from the seed's default JIT-trace run";
       }
+      verdict.mutant_program =
+          std::make_shared<const jaguar::Program>(std::move(mutation.mutant));
       finish(std::move(verdict));
       continue;
     }
@@ -150,6 +154,8 @@ ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config
       verdict.kind = DiscrepancyKind::kPerformance;
       verdict.detail = "JIT used " + std::to_string(mutant_jit.steps) + " steps vs " +
                        std::to_string(mutant_interp.steps) + " interpreted";
+      verdict.mutant_program =
+          std::make_shared<const jaguar::Program>(std::move(mutation.mutant));
     }
     finish(std::move(verdict));
   }

@@ -21,6 +21,7 @@
 #define SRC_ARTEMIS_VALIDATE_VALIDATOR_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,9 @@ struct MutantVerdict {
   // Ground-truth root causes: defects that fired in the mutant's run but not the seed's.
   std::vector<jaguar::BugId> suspected_bugs;
   bool explored_new_trace = false;  // mutant's JIT-trace summary differs from the seed's
+  // The offending program, retained only for discrepancies (kind != kNone) so downstream
+  // consumers (triage, reduction) can re-run it without re-deriving the mutation chain.
+  std::shared_ptr<const jaguar::Program> mutant_program;
 };
 
 struct ValidationReport {

@@ -7,7 +7,9 @@
 
 #include "src/jaguar/jit/ir_analysis.h"
 #include "src/jaguar/jit/regalloc.h"
+#include "src/jaguar/jit/verify/verifier.h"
 #include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/outcome.h"
 
 namespace jaguar {
 namespace {
@@ -82,7 +84,8 @@ std::vector<std::pair<int32_t, int32_t>> ResolveParallelMoves(
 
 class Lowerer {
  public:
-  Lowerer(const IrFunction& ir, BugRegistry* bugs) : ir_(ir), bugs_(bugs) {
+  Lowerer(const IrFunction& ir, BugRegistry* bugs, const VmConfig* config)
+      : ir_(ir), bugs_(bugs), config_(config) {
     next_vreg_ = ir.next_value;
   }
 
@@ -93,6 +96,13 @@ class Lowerer {
     ApplyLocations();
     LirFunction out = Finish();
     ValidateLir(out);
+    if (config_ != nullptr && config_->verify_level != VerifyLevel::kOff) {
+      const VerifyResult lir_result = VerifyLir(out);
+      if (!lir_result.ok()) {
+        throw VmCrash(ComponentForStage("lower"), "verifier",
+                      "after lower: " + lir_result.Summary());
+      }
+    }
     return out;
   }
 
@@ -216,6 +226,16 @@ class Lowerer {
   // --- Liveness + allocation -------------------------------------------------------------------
 
   void Allocate() {
+    // Bisection stage "regalloc": bypass linear scan entirely — every vreg gets its own
+    // spill slot. Slow but trivially sound, so an allocator defect disappears here.
+    if (config_ != nullptr && config_->PassDisabled("regalloc")) {
+      allocation_.loc_of_vreg.reserve(static_cast<size_t>(next_vreg_));
+      for (int32_t v = 0; v < next_vreg_; ++v) {
+        allocation_.loc_of_vreg.push_back(Loc::Spill(v));
+      }
+      allocation_.num_spills = next_vreg_;
+      return;
+    }
     std::vector<LiveInterval> intervals(static_cast<size_t>(next_vreg_));
     for (int32_t v = 0; v < next_vreg_; ++v) {
       intervals[static_cast<size_t>(v)].vreg = v;
@@ -270,8 +290,27 @@ class Lowerer {
       }
     }
 
+    // The verifier needs the *sound* liveness as its reference: re-extend the raw intervals
+    // without the bug registry, so an allocator that freed a loop-carried value early is
+    // caught by comparing its assignment against what liveness actually requires.
+    std::vector<LiveInterval> reference;
+    const bool verify =
+        config_ != nullptr && config_->verify_level != VerifyLevel::kOff;
+    if (verify) {
+      reference = intervals;
+      ExtendIntervalsAcrossLoops(reference, loops, nullptr);
+    }
+
     ExtendIntervalsAcrossLoops(intervals, loops, bugs_);
     allocation_ = LinearScan(std::move(intervals), next_vreg_);
+
+    if (verify) {
+      const VerifyResult result = VerifyAllocation(reference, allocation_);
+      if (!result.ok()) {
+        throw VmCrash(ComponentForStage("regalloc"), "verifier",
+                      "after regalloc: " + result.Summary());
+      }
+    }
   }
 
   Loc LocOf(int32_t vreg) const {
@@ -352,6 +391,7 @@ class Lowerer {
 
   const IrFunction& ir_;
   BugRegistry* bugs_;
+  const VmConfig* config_;
   int32_t next_vreg_ = 0;
   std::vector<VInstr> code_;
   std::vector<int32_t> label_of_block_;
@@ -361,8 +401,8 @@ class Lowerer {
 
 }  // namespace
 
-LirFunction LowerToLir(const IrFunction& ir, BugRegistry* bugs) {
-  Lowerer lowerer(ir, bugs);
+LirFunction LowerToLir(const IrFunction& ir, BugRegistry* bugs, const VmConfig* config) {
+  Lowerer lowerer(ir, bugs, config);
   return lowerer.Run();
 }
 

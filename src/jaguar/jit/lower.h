@@ -6,13 +6,21 @@
 #include "src/jaguar/jit/bugs.h"
 #include "src/jaguar/jit/ir.h"
 #include "src/jaguar/jit/lir.h"
+#include "src/jaguar/vm/config.h"
 
 namespace jaguar {
 
 // Linearizes `ir` (block parameters become parallel-move sequences on edges), allocates
 // registers by linear scan (regalloc.cc), and emits the final LIR. `bugs` may be null.
 // The input must be validated HIR; the output passes ValidateLir.
-LirFunction LowerToLir(const IrFunction& ir, BugRegistry* bugs);
+//
+// `config` (optional) supplies the verification knobs: with "regalloc" in disabled_passes
+// the linear-scan allocator is bypassed in favour of spill-everything assignment (the triage
+// layer's bisection stage for allocator defects), and with verify_level != kOff the lowered
+// code and the register assignment are checked against soundly recomputed live intervals —
+// a violation throws VmCrash(kind "verifier"), like the pipeline's per-pass checks.
+LirFunction LowerToLir(const IrFunction& ir, BugRegistry* bugs,
+                       const VmConfig* config = nullptr);
 
 }  // namespace jaguar
 

@@ -1,4 +1,5 @@
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/jaguar/jit/ir_analysis.h"
@@ -76,6 +77,71 @@ struct Cloner {
   }
 };
 
+// True if any value defined inside the loop (block parameter or instruction result) is used
+// by a block outside it — including deopt snapshots and branch edge arguments. The IR is not
+// kept in LCSSA form, so such uses rely on the header dominating the exit; peeling adds a
+// second predecessor to the exit (the peeled header's zero-trip edge) and would break that
+// dominance, leaving the outside use undefined on the bypass path.
+bool LoopValuesEscape(const IrFunction& f, int32_t header, int32_t body) {
+  std::unordered_set<IrId> defs;
+  for (int32_t b : {header, body}) {
+    const IrBlock& block = f.blocks[static_cast<size_t>(b)];
+    for (IrId p : block.params) {
+      defs.insert(p);
+    }
+    for (const auto& instr : block.instrs) {
+      if (instr.HasDest()) {
+        defs.insert(instr.dest);
+      }
+    }
+  }
+  auto used = [&](IrId id) { return id != kNoValue && defs.count(id) > 0; };
+  auto deopt_used = [&](int index) {
+    if (index < 0 || static_cast<size_t>(index) >= f.deopts.size()) {
+      return false;
+    }
+    const DeoptInfo& info = f.deopts[static_cast<size_t>(index)];
+    for (IrId id : info.locals) {
+      if (used(id)) {
+        return true;
+      }
+    }
+    for (IrId id : info.stack) {
+      if (used(id)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    if (static_cast<int32_t>(b) == header || static_cast<int32_t>(b) == body) {
+      continue;
+    }
+    const IrBlock& block = f.blocks[b];
+    for (const auto& instr : block.instrs) {
+      for (IrId arg : instr.args) {
+        if (used(arg)) {
+          return true;
+        }
+      }
+      if (deopt_used(instr.deopt_index)) {
+        return true;
+      }
+    }
+    if (used(block.term.value) || deopt_used(block.term.deopt_index)) {
+      return true;
+    }
+    for (const auto& succ : block.term.succs) {
+      for (IrId arg : succ.args) {
+        if (used(arg)) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 // Loop peeling for short counted loops: one iteration of the loop is cloned in front of it,
@@ -137,6 +203,9 @@ void LoopPeelPass(IrFunction& f, const PassContext& ctx) {
     }
     if (!counted) {
       continue;
+    }
+    if (LoopValuesEscape(f, loop.header, body)) {
+      continue;  // peeling would break def-dominates-use for the escaping values
     }
     candidates.push_back({loop.header, body, preheader});
   }

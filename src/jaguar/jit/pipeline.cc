@@ -9,8 +9,10 @@
 #include "src/jaguar/jit/lir_exec.h"
 #include "src/jaguar/jit/lower.h"
 #include "src/jaguar/jit/pass.h"
+#include "src/jaguar/jit/verify/verifier.h"
 #include "src/jaguar/support/check.h"
 #include "src/jaguar/vm/engine.h"
+#include "src/jaguar/vm/outcome.h"
 
 namespace jaguar {
 namespace {
@@ -59,10 +61,11 @@ class TieredJitCompiler : public JitCompilerApi {
     IrFunction ir = CompileToIr(vm.program(), func, level, osr_pc, vm.config(), &vm.bugs(),
                                 &vm.runtime(func), &guards);
     const TierSpec& tier = vm.config().tiers[static_cast<size_t>(level) - 1];
-    if (tier.full_optimization && vm.config().lir_backend) {
+    if (tier.full_optimization && vm.config().lir_backend &&
+        !vm.config().PassDisabled("lower")) {
       // The optimizing tier goes all the way down: lowering + register allocation + the
       // register-machine executor (hosts the codegen/regalloc defect classes).
-      LirFunction lir = LowerToLir(ir, &vm.bugs());
+      LirFunction lir = LowerToLir(ir, &vm.bugs(), &vm.config());
       lir.speculative_guards = guards;
       return std::make_shared<LirCompiledMethod>(std::move(lir));
     }
@@ -92,11 +95,32 @@ IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t os
 
   IrFunction ir = BuildIr(program, func, level, osr_pc, bugs);
   ir.profile_backedges = tier.profiles;
+  if (config.verify_level == VerifyLevel::kEveryPass) {
+    const VerifyResult built = VerifyIr(ir, &program);
+    if (!built.ok()) {
+      throw VmCrash(ComponentForStage("ir-build"), "verifier",
+                    "after ir-build: " + built.Summary());
+    }
+  }
+
+  // Verifier hook: at kEveryPass each pass's output is checked and the first violated
+  // invariant names the offending stage; a failure is a simulated VM crash (the verifier is
+  // part of the modeled VM), attributed to the stage's component with kind "verifier".
+  auto verify_after = [&](const char* stage) {
+    const VerifyResult result = VerifyIr(ir, &program);
+    if (!result.ok()) {
+      throw VmCrash(ComponentForStage(stage), "verifier",
+                    std::string("after ") + stage + ": " + result.Summary());
+    }
+  };
 
   // With JAGUAR_VALIDATE_PASSES set, the IR is structurally validated after every pass and a
   // violation names the offending pass — the standard way to debug pass ordering issues.
   static const bool validate_each = std::getenv("JAGUAR_VALIDATE_PASSES") != nullptr;
   auto run = [&](void (*pass)(IrFunction&, const PassContext&), const char* pass_name) {
+    if (config.PassDisabled(pass_name)) {
+      return;  // bisection knob: the triage layer re-compiles with stages switched off
+    }
     pass(ir, ctx);
     if (validate_each) {
       try {
@@ -104,6 +128,9 @@ IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t os
       } catch (const InternalError& e) {
         throw InternalError(std::string("after pass ") + pass_name + ": " + e.what());
       }
+    }
+    if (config.verify_level == VerifyLevel::kEveryPass) {
+      verify_after(pass_name);
     }
   };
 
@@ -134,6 +161,9 @@ IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t os
 
   run(SimplifyCfgPass, "simplify-cfg");
   ValidateIr(ir);
+  if (config.verify_level == VerifyLevel::kBoundary) {
+    verify_after("pipeline");
+  }
 
   if (guards_planted != nullptr) {
     *guards_planted = ctx.guards_planted;

@@ -1,0 +1,655 @@
+#include "src/jaguar/jit/verify/verifier.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "src/jaguar/jit/ir_analysis.h"
+
+namespace jaguar {
+namespace {
+
+std::string V(IrId id) { return "v" + std::to_string(id); }
+
+struct Failures {
+  std::vector<VerifyFailure>& out;
+
+  void Add(const char* invariant, std::string detail) {
+    out.push_back(VerifyFailure{invariant, std::move(detail)});
+  }
+};
+
+// Where a value is defined: block index plus instruction index within it (-1 = block param).
+struct DefSite {
+  int32_t block = -1;
+  int32_t instr = -1;
+};
+
+// Expected operand count per HIR op; -1 = variable (kCall).
+int ExpectedArity(IrOp op) {
+  switch (op) {
+    case IrOp::kConst:
+    case IrOp::kGLoad:
+      return 0;
+    case IrOp::kUnary:
+    case IrOp::kGStore:
+    case IrOp::kNewArray:
+    case IrOp::kALen:
+    case IrOp::kPrint:
+    case IrOp::kGuard:
+      return 1;
+    case IrOp::kBinary:
+    case IrOp::kALoad:
+    case IrOp::kALoadUnchecked:
+      return 2;
+    case IrOp::kAStore:
+    case IrOp::kAStoreUnchecked:
+      return 3;
+    case IrOp::kSetMute:
+      return 0;
+    case IrOp::kCall:
+      return -1;
+  }
+  return -1;
+}
+
+// Whether the op must / must not produce a result. kCall is either (void or valued callees).
+enum class DestRule { kRequired, kForbidden, kOptional };
+
+DestRule DestRuleFor(IrOp op) {
+  switch (op) {
+    case IrOp::kConst:
+    case IrOp::kBinary:
+    case IrOp::kUnary:
+    case IrOp::kGLoad:
+    case IrOp::kNewArray:
+    case IrOp::kALoad:
+    case IrOp::kALoadUnchecked:
+    case IrOp::kALen:
+      return DestRule::kRequired;
+    case IrOp::kGStore:
+    case IrOp::kAStore:
+    case IrOp::kAStoreUnchecked:
+    case IrOp::kPrint:
+    case IrOp::kSetMute:
+    case IrOp::kGuard:
+      return DestRule::kForbidden;
+    case IrOp::kCall:
+      return DestRule::kOptional;
+  }
+  return DestRule::kOptional;
+}
+
+const char* OpName(IrOp op) {
+  switch (op) {
+    case IrOp::kConst: return "const";
+    case IrOp::kBinary: return "binary";
+    case IrOp::kUnary: return "unary";
+    case IrOp::kGLoad: return "gload";
+    case IrOp::kGStore: return "gstore";
+    case IrOp::kNewArray: return "new-array";
+    case IrOp::kALoad: return "aload";
+    case IrOp::kAStore: return "astore";
+    case IrOp::kALoadUnchecked: return "aload-unchecked";
+    case IrOp::kAStoreUnchecked: return "astore-unchecked";
+    case IrOp::kALen: return "alen";
+    case IrOp::kCall: return "call";
+    case IrOp::kPrint: return "print";
+    case IrOp::kSetMute: return "set-mute";
+    case IrOp::kGuard: return "guard";
+  }
+  return "?";
+}
+
+// Instructions that can transfer control back to the interpreter mid-block and therefore
+// must carry a frame snapshot. (kALoadUnchecked/kAStoreUnchecked are the post-RCE forms
+// whose checks were proven away; they deliberately need none.)
+bool RequiresDeopt(const IrInstr& instr) {
+  switch (instr.op) {
+    case IrOp::kBinary:
+      return instr.bc_op == Op::kDiv || instr.bc_op == Op::kRem;
+    case IrOp::kALoad:
+    case IrOp::kAStore:
+    case IrOp::kNewArray:
+    case IrOp::kCall:
+    case IrOp::kGuard:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsStore(const IrInstr& instr) {
+  return instr.op == IrOp::kGStore || instr.op == IrOp::kAStore ||
+         instr.op == IrOp::kAStoreUnchecked;
+}
+
+}  // namespace
+
+std::string VerifyResult::Summary() const {
+  if (failures.empty()) {
+    return "ok";
+  }
+  std::string out = failures[0].invariant + ": " + failures[0].detail;
+  if (failures.size() > 1) {
+    out += " (+" + std::to_string(failures.size() - 1) + " more)";
+  }
+  return out;
+}
+
+std::string VerifyResult::ToString() const {
+  if (failures.empty()) {
+    return "verify: ok";
+  }
+  std::string out;
+  for (const auto& f : failures) {
+    out += f.invariant + ": " + f.detail + "\n";
+  }
+  return out;
+}
+
+VerifyResult VerifyIr(const IrFunction& f, const BcProgram* program) {
+  VerifyResult result;
+  Failures fail{result.failures};
+
+  // --- cfg.*: the skeleton must be sound before anything else is interpretable. ---------------
+  if (f.blocks.empty()) {
+    fail.Add("cfg.nonempty", "function has no blocks");
+    return result;
+  }
+  if (f.blocks[0].params.size() != f.EntryArgCount()) {
+    fail.Add("cfg.entry-arity",
+             "entry block declares " + std::to_string(f.blocks[0].params.size()) +
+                 " params, expected " + std::to_string(f.EntryArgCount()));
+  }
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrTerminator& t = f.blocks[b].term;
+    size_t expected_succs = 0;
+    switch (t.kind) {
+      case TermKind::kJmp: expected_succs = 1; break;
+      case TermKind::kBr: expected_succs = 2; break;
+      case TermKind::kSwitch: expected_succs = t.switch_values.size() + 1; break;
+      case TermKind::kRet:
+      case TermKind::kRetVoid: expected_succs = 0; break;
+    }
+    if (t.succs.size() != expected_succs) {
+      fail.Add("cfg.terminator-arity",
+               "block b" + std::to_string(b) + " terminator has " +
+                   std::to_string(t.succs.size()) + " successors, expected " +
+                   std::to_string(expected_succs));
+      continue;
+    }
+    for (const SuccEdge& succ : t.succs) {
+      if (succ.block < 0 || static_cast<size_t>(succ.block) >= f.blocks.size()) {
+        fail.Add("cfg.successor-range", "block b" + std::to_string(b) +
+                                            " targets out-of-range block " +
+                                            std::to_string(succ.block));
+        continue;
+      }
+      const IrBlock& target = f.blocks[static_cast<size_t>(succ.block)];
+      if (succ.args.size() != target.params.size()) {
+        fail.Add("cfg.edge-arity",
+                 "edge b" + std::to_string(b) + "->b" + std::to_string(succ.block) +
+                     " passes " + std::to_string(succ.args.size()) + " args to " +
+                     std::to_string(target.params.size()) + " params");
+      }
+    }
+  }
+  // Dominance and linearized-position reasoning below index successor blocks freely; a broken
+  // skeleton would turn those checks into out-of-bounds reads, so report it alone.
+  if (!result.failures.empty()) {
+    return result;
+  }
+
+  // --- ssa.*: unique in-range definitions, then def-dominates-use. ----------------------------
+  std::unordered_map<IrId, DefSite> defs;
+  auto define = [&](IrId id, int32_t block, int32_t instr) {
+    if (id < 0 || id >= f.next_value) {
+      fail.Add("ssa.value-range", V(id) + " defined in block b" + std::to_string(block) +
+                                      " is outside [0, " + std::to_string(f.next_value) + ")");
+      return;
+    }
+    if (!defs.emplace(id, DefSite{block, instr}).second) {
+      fail.Add("ssa.unique-def", V(id) + " has more than one definition");
+    }
+  };
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrBlock& block = f.blocks[b];
+    for (IrId p : block.params) {
+      define(p, static_cast<int32_t>(b), -1);
+    }
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+      if (block.instrs[i].HasDest()) {
+        define(block.instrs[i].dest, static_cast<int32_t>(b), static_cast<int32_t>(i));
+      }
+    }
+  }
+
+  const Cfg cfg = AnalyzeCfg(f);
+
+  // A use at (block, instr index) — index INT32_MAX stands for the terminator — is
+  // dominated by its definition iff the def's block dominates the use's block and, within
+  // one block, the def precedes the use. Uses in unreachable blocks are skipped: passes
+  // routinely leave dangling regions for SimplifyCfg to prune, and no executor enters them.
+  auto check_use = [&](IrId id, int32_t block, int32_t index, const char* what) {
+    if (!cfg.Reachable(block)) {
+      return;
+    }
+    if (id == kNoValue) {
+      fail.Add("ssa.def-dominates-use", std::string("missing value in ") + what +
+                                            " of block b" + std::to_string(block));
+      return;
+    }
+    auto it = defs.find(id);
+    if (it == defs.end()) {
+      fail.Add("ssa.def-dominates-use",
+               V(id) + " used in " + what + " of block b" + std::to_string(block) +
+                   " has no definition");
+      return;
+    }
+    const DefSite def = it->second;
+    if (!cfg.Reachable(def.block)) {
+      fail.Add("ssa.def-dominates-use",
+               V(id) + " used in reachable block b" + std::to_string(block) +
+                   " is defined in unreachable block b" + std::to_string(def.block));
+      return;
+    }
+    const bool ok = def.block == block ? def.instr < index
+                                       : cfg.Dominates(def.block, block);
+    if (!ok) {
+      fail.Add("ssa.def-dominates-use",
+               V(id) + " used in " + what + " of block b" + std::to_string(block) +
+                   " is not dominated by its definition in b" + std::to_string(def.block));
+    }
+  };
+  auto check_deopt_uses = [&](int deopt_index, int32_t block, int32_t index) {
+    if (deopt_index < 0 || static_cast<size_t>(deopt_index) >= f.deopts.size()) {
+      return;  // range reported by effect.deopt-shape
+    }
+    const DeoptInfo& info = f.deopts[static_cast<size_t>(deopt_index)];
+    for (IrId id : info.locals) {
+      check_use(id, block, index, "deopt locals");
+    }
+    for (IrId id : info.stack) {
+      check_use(id, block, index, "deopt stack");
+    }
+  };
+
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrBlock& block = f.blocks[b];
+    const int32_t bi = static_cast<int32_t>(b);
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+      const IrInstr& instr = block.instrs[i];
+      for (IrId arg : instr.args) {
+        check_use(arg, bi, static_cast<int32_t>(i), "instruction operands");
+      }
+      check_deopt_uses(instr.deopt_index, bi, static_cast<int32_t>(i));
+    }
+    const IrTerminator& t = block.term;
+    if (t.kind == TermKind::kBr || t.kind == TermKind::kSwitch || t.kind == TermKind::kRet) {
+      check_use(t.value, bi, INT32_MAX, "terminator");
+    }
+    check_deopt_uses(t.deopt_index, bi, INT32_MAX);
+    for (const SuccEdge& succ : t.succs) {
+      for (IrId arg : succ.args) {
+        check_use(arg, bi, INT32_MAX, "edge arguments");
+      }
+    }
+  }
+
+  // --- type.*: operand arity and result presence per opcode. ----------------------------------
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrBlock& block = f.blocks[b];
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+      const IrInstr& instr = block.instrs[i];
+      const int arity = ExpectedArity(instr.op);
+      if (arity >= 0 && static_cast<int>(instr.args.size()) != arity) {
+        fail.Add("type.operand-arity",
+                 std::string(OpName(instr.op)) + " in b" + std::to_string(b) + " has " +
+                     std::to_string(instr.args.size()) + " operands, expected " +
+                     std::to_string(arity));
+      }
+      if (instr.op == IrOp::kCall && program != nullptr && instr.a >= 0 &&
+          static_cast<size_t>(instr.a) < program->functions.size()) {
+        const BcFunction& callee = program->functions[static_cast<size_t>(instr.a)];
+        if (instr.args.size() != callee.params.size()) {
+          fail.Add("type.operand-arity",
+                   "call of " + callee.name + " in b" + std::to_string(b) + " passes " +
+                       std::to_string(instr.args.size()) + " args, callee takes " +
+                       std::to_string(callee.params.size()));
+        }
+      }
+      switch (DestRuleFor(instr.op)) {
+        case DestRule::kRequired:
+          if (!instr.HasDest()) {
+            fail.Add("type.result-presence", std::string(OpName(instr.op)) + " in b" +
+                                                 std::to_string(b) + " produces no result");
+          }
+          break;
+        case DestRule::kForbidden:
+          if (instr.HasDest()) {
+            fail.Add("type.result-presence", std::string(OpName(instr.op)) + " in b" +
+                                                 std::to_string(b) +
+                                                 " must not produce a result");
+          }
+          break;
+        case DestRule::kOptional:
+          break;
+      }
+    }
+  }
+
+  // --- effect.*: deopt metadata shape + side-effect ordering. ---------------------------------
+  const BcFunction* bc =
+      program != nullptr && f.func_index >= 0 &&
+              static_cast<size_t>(f.func_index) < program->functions.size()
+          ? &program->functions[static_cast<size_t>(f.func_index)]
+          : nullptr;
+  auto check_deopt_shape = [&](int deopt_index, const char* what, size_t b) {
+    if (deopt_index < 0) {
+      return;
+    }
+    if (static_cast<size_t>(deopt_index) >= f.deopts.size()) {
+      fail.Add("effect.deopt-shape", std::string(what) + " in b" + std::to_string(b) +
+                                         " references out-of-range deopt entry " +
+                                         std::to_string(deopt_index));
+      return;
+    }
+    const DeoptInfo& info = f.deopts[static_cast<size_t>(deopt_index)];
+    if (info.locals.size() != static_cast<size_t>(f.num_locals)) {
+      fail.Add("effect.deopt-shape",
+               std::string(what) + " in b" + std::to_string(b) + " snapshots " +
+                   std::to_string(info.locals.size()) + " locals, frame has " +
+                   std::to_string(f.num_locals));
+    }
+    if (bc != nullptr) {
+      if (info.bc_pc < 0 || static_cast<size_t>(info.bc_pc) >= bc->code.size()) {
+        fail.Add("effect.deopt-shape", std::string(what) + " in b" + std::to_string(b) +
+                                           " resumes at out-of-range pc " +
+                                           std::to_string(info.bc_pc));
+      } else if (static_cast<size_t>(info.bc_pc) < bc->stack_depth.size() &&
+                 bc->stack_depth[static_cast<size_t>(info.bc_pc)] >= 0 &&
+                 info.stack.size() !=
+                     static_cast<size_t>(bc->stack_depth[static_cast<size_t>(info.bc_pc)])) {
+        fail.Add("effect.deopt-shape",
+                 std::string(what) + " in b" + std::to_string(b) + " snapshots " +
+                     std::to_string(info.stack.size()) + " stack slots at pc " +
+                     std::to_string(info.bc_pc) + ", interpreter frame has " +
+                     std::to_string(bc->stack_depth[static_cast<size_t>(info.bc_pc)]));
+      }
+    }
+  };
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrBlock& block = f.blocks[b];
+    for (const IrInstr& instr : block.instrs) {
+      if (RequiresDeopt(instr) && instr.deopt_index < 0) {
+        fail.Add("effect.trap-deopt", std::string(OpName(instr.op)) + " in b" +
+                                          std::to_string(b) +
+                                          " can trap but carries no frame snapshot");
+      }
+      check_deopt_shape(instr.deopt_index, OpName(instr.op), b);
+    }
+    check_deopt_shape(block.term.deopt_index, "terminator", b);
+  }
+
+  // Store-over-barrier: a store's origin bytecode must not postdate the resume pc of any
+  // trap/call barrier it dominates *acyclically* — if it does, the store was moved backward
+  // across the barrier and a deopt at the barrier replays it (or a trap observes it) a
+  // second time. Two exemptions keep this sound on legal IR:
+  //   - Cycles: when the barrier's block can reach the store's block again (loop backedges),
+  //     linear pc order says nothing about per-iteration execution order, so such pairs are
+  //     skipped. A store hoisted out of a top-level loop still trips the check (the loop
+  //     cannot reach its preheader).
+  //   - Duplicated origin pcs (loop peeling clones whole bodies) make linear bytecode order
+  //     meaningless for the cloned code, so only stores with a unique origin participate;
+  //     moves are caught right after the offending pass at kEveryPass, before cloning runs.
+  std::unordered_map<int32_t, int> pc_multiplicity;
+  for (const IrBlock& block : f.blocks) {
+    for (const IrInstr& instr : block.instrs) {
+      if (instr.bc_pc >= 0) {
+        ++pc_multiplicity[instr.bc_pc];
+      }
+    }
+  }
+  struct Barrier {
+    int32_t block;
+    int32_t index;  // INT32_MAX = terminator
+    int32_t resume_pc;
+    const char* what;
+  };
+  std::vector<Barrier> barriers;
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrBlock& block = f.blocks[b];
+    if (!cfg.Reachable(static_cast<int32_t>(b))) {
+      continue;
+    }
+    auto barrier_at = [&](int deopt_index, int32_t index, const char* what) {
+      if (deopt_index < 0 || static_cast<size_t>(deopt_index) >= f.deopts.size()) {
+        return;
+      }
+      const int32_t pc = f.deopts[static_cast<size_t>(deopt_index)].bc_pc;
+      if (pc >= 0) {
+        barriers.push_back(Barrier{static_cast<int32_t>(b), index, pc, what});
+      }
+    };
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+      barrier_at(block.instrs[i].deopt_index, static_cast<int32_t>(i),
+                 OpName(block.instrs[i].op));
+    }
+    barrier_at(block.term.deopt_index, INT32_MAX, "terminator");
+  }
+  // Lazy per-block CFG reachability (successors-first, so a block "reaches itself" only
+  // through a genuine cycle).
+  std::unordered_map<int32_t, std::vector<char>> reach_cache;
+  auto reaches = [&](int32_t from, int32_t to) {
+    auto [it, inserted] = reach_cache.emplace(from, std::vector<char>());
+    if (inserted) {
+      it->second.assign(f.blocks.size(), 0);
+      std::vector<int32_t> work;
+      for (const SuccEdge& succ : f.blocks[static_cast<size_t>(from)].term.succs) {
+        work.push_back(succ.block);
+      }
+      while (!work.empty()) {
+        const int32_t next = work.back();
+        work.pop_back();
+        if (it->second[static_cast<size_t>(next)]) {
+          continue;
+        }
+        it->second[static_cast<size_t>(next)] = 1;
+        for (const SuccEdge& succ : f.blocks[static_cast<size_t>(next)].term.succs) {
+          work.push_back(succ.block);
+        }
+      }
+    }
+    return it->second[static_cast<size_t>(to)] != 0;
+  };
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const IrBlock& block = f.blocks[b];
+    const int32_t bi = static_cast<int32_t>(b);
+    if (!cfg.Reachable(bi)) {
+      continue;
+    }
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+      const IrInstr& store = block.instrs[i];
+      if (!IsStore(store) || store.bc_pc < 0 || pc_multiplicity[store.bc_pc] > 1) {
+        continue;
+      }
+      for (const Barrier& barrier : barriers) {
+        // OSR-entry compiles start mid-loop-nest: bytecode before the entry pc is reached
+        // through the enclosing loop's wrap-around, so linear pc comparison against it is
+        // meaningless. Only pairs wholly past the entry keep a sound pc order.
+        if (f.osr_pc >= 0 && (store.bc_pc < f.osr_pc || barrier.resume_pc < f.osr_pc)) {
+          continue;
+        }
+        const bool store_first =
+            barrier.block == bi ? static_cast<int32_t>(i) < barrier.index
+                                : (bi != barrier.block && cfg.Dominates(bi, barrier.block));
+        if (store_first && store.bc_pc > barrier.resume_pc && !reaches(barrier.block, bi)) {
+          fail.Add("effect.store-over-barrier",
+                   std::string(OpName(store.op)) + " from pc " + std::to_string(store.bc_pc) +
+                       " in b" + std::to_string(b) + " precedes " + barrier.what +
+                       " barrier resuming at pc " + std::to_string(barrier.resume_pc) +
+                       " in b" + std::to_string(barrier.block));
+          break;  // one witness per store keeps reports readable
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+VerifyResult VerifyLir(const LirFunction& f) {
+  VerifyResult result;
+  Failures fail{result.failures};
+
+  const int32_t size = static_cast<int32_t>(f.code.size());
+  auto check_target = [&](int32_t target, size_t at) {
+    if (target < 0 || target >= size) {
+      fail.Add("lir.target-range", "instruction " + std::to_string(at) +
+                                       " targets out-of-range index " + std::to_string(target));
+    }
+  };
+  auto check_loc = [&](const Loc& loc, size_t at, const char* what) {
+    if (loc.IsNone()) {
+      fail.Add("ra.unassigned-vreg", std::string(what) + " of instruction " +
+                                         std::to_string(at) + " has no location");
+    } else if (loc.IsReg() && (loc.index < 0 || loc.index >= kNumLirRegs)) {
+      fail.Add("ra.location-range", std::string(what) + " of instruction " +
+                                        std::to_string(at) + " names register r" +
+                                        std::to_string(loc.index));
+    } else if (loc.IsSpill() && (loc.index < 0 || loc.index >= f.num_spills)) {
+      fail.Add("ra.location-range", std::string(what) + " of instruction " +
+                                        std::to_string(at) + " names spill slot s" +
+                                        std::to_string(loc.index) + " of " +
+                                        std::to_string(f.num_spills));
+    }
+  };
+
+  for (size_t i = 0; i < f.entry_locs.size(); ++i) {
+    check_loc(f.entry_locs[i], i, "entry argument");
+  }
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const LirInstr& instr = f.code[i];
+    if ((instr.op == LirOp::kMove || instr.op == LirOp::kConst) && instr.dest.IsNone()) {
+      fail.Add("ra.unassigned-vreg",
+               "write at instruction " + std::to_string(i) + " has no destination location");
+    }
+    if (!instr.dest.IsNone()) {
+      check_loc(instr.dest, i, "destination");
+    }
+    for (const Loc& arg : instr.args) {
+      check_loc(arg, i, "operand");
+    }
+    switch (instr.op) {
+      case LirOp::kJmp:
+        check_target(instr.target, i);
+        break;
+      case LirOp::kBr:
+        check_target(instr.target, i);
+        check_target(instr.target2, i);
+        break;
+      case LirOp::kSwitch:
+        check_target(instr.target, i);
+        for (int32_t t : instr.switch_targets) {
+          check_target(t, i);
+        }
+        break;
+      default:
+        break;
+    }
+    if (instr.deopt_index >= 0 &&
+        static_cast<size_t>(instr.deopt_index) >= f.deopts.size()) {
+      fail.Add("lir.deopt-range", "instruction " + std::to_string(i) +
+                                      " references out-of-range deopt entry " +
+                                      std::to_string(instr.deopt_index));
+    } else if (instr.deopt_index >= 0) {
+      const LirDeopt& d = f.deopts[static_cast<size_t>(instr.deopt_index)];
+      for (const Loc& loc : d.locals) {
+        check_loc(loc, i, "deopt local");
+      }
+      for (const Loc& loc : d.stack) {
+        check_loc(loc, i, "deopt stack slot");
+      }
+    }
+  }
+  return result;
+}
+
+VerifyResult VerifyAllocation(const std::vector<LiveInterval>& reference,
+                              const AllocationResult& allocation) {
+  VerifyResult result;
+  Failures fail{result.failures};
+
+  // Registers only: spill slots are unique per vreg by construction, and a spilled value
+  // cannot be clobbered by reuse.
+  std::map<int32_t, std::vector<const LiveInterval*>> by_reg;
+  for (const LiveInterval& interval : reference) {
+    if (!interval.Valid()) {
+      continue;
+    }
+    if (static_cast<size_t>(interval.vreg) >= allocation.loc_of_vreg.size()) {
+      fail.Add("ra.unassigned-vreg",
+               "v" + std::to_string(interval.vreg) + " is outside the allocation map");
+      continue;
+    }
+    const Loc loc = allocation.loc_of_vreg[static_cast<size_t>(interval.vreg)];
+    if (loc.IsNone()) {
+      fail.Add("ra.unassigned-vreg", "live v" + std::to_string(interval.vreg) +
+                                         " [" + std::to_string(interval.start) + "," +
+                                         std::to_string(interval.end) + "] has no location");
+      continue;
+    }
+    if (loc.IsReg()) {
+      by_reg[loc.index].push_back(&interval);
+    }
+  }
+  for (auto& [reg, intervals] : by_reg) {
+    for (size_t i = 0; i < intervals.size(); ++i) {
+      for (size_t j = i + 1; j < intervals.size(); ++j) {
+        const LiveInterval& a = *intervals[i];
+        const LiveInterval& b = *intervals[j];
+        // Touching at one index is fine (operands are read before destinations are written);
+        // strict overlap means one value clobbers the other while both are live.
+        if (a.start < b.end && b.start < a.end) {
+          fail.Add("ra.live-range-overlap",
+                   "r" + std::to_string(reg) + " holds both v" + std::to_string(a.vreg) +
+                       " [" + std::to_string(a.start) + "," + std::to_string(a.end) +
+                       "] and v" + std::to_string(b.vreg) + " [" + std::to_string(b.start) +
+                       "," + std::to_string(b.end) + "]");
+        }
+      }
+    }
+  }
+  return result;
+}
+
+VmComponent ComponentForStage(const std::string& stage) {
+  if (stage == "inlining") {
+    return VmComponent::kInlining;
+  }
+  if (stage == "constant-folding" || stage == "copy-propagation" ||
+      stage == "strength-reduction") {
+    return VmComponent::kConstantPropagation;
+  }
+  if (stage == "gvn") {
+    return VmComponent::kGvn;
+  }
+  if (stage == "licm" || stage == "loop-peel") {
+    return VmComponent::kLoopOptimization;
+  }
+  if (stage == "range-check-elimination") {
+    return VmComponent::kRangeCheckElimination;
+  }
+  if (stage == "speculation") {
+    return VmComponent::kSpeculation;
+  }
+  if (stage == "store-sink" || stage == "lower") {
+    return VmComponent::kCodeGeneration;
+  }
+  if (stage == "regalloc") {
+    return VmComponent::kRegisterAllocation;
+  }
+  return VmComponent::kIrBuilding;  // simplify-cfg, dce, ir-build, osr, unknown
+}
+
+}  // namespace jaguar

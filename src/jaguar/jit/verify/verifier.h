@@ -1,0 +1,83 @@
+// IR/LIR invariant verifier — machine-checkable structural invariants for the JIT pipeline.
+//
+// The pass pipeline (jit/pipeline.cc) rewrites the HIR a dozen times per compilation and the
+// lowering path assigns every SSA value a physical location; each step preserves a set of
+// structural invariants that, historically, real JIT defects break long before the wrong
+// *answer* surfaces. This module makes those invariants explicit and checkable between
+// passes — the invariant-checking discipline of the verified-JIT line of work (see PAPERS.md)
+// applied as a dynamic oracle rather than a proof.
+//
+// Invariant families (names appear in failure reports and triage keys):
+//   cfg.*    — control-flow well-formedness: non-empty function, entry arity, terminator
+//              successor counts, successor indices in range, edge/parameter arity agreement.
+//   ssa.*    — value discipline: ids in range, unique definitions, and def-dominates-use
+//              (operands, edge arguments, deopt snapshots) over the dominator tree.
+//   type.*   — operand/result shape per opcode: operand arity, result presence.
+//   effect.* — side-effect ordering and deopt metadata: trapping instructions carry frame
+//              snapshots, snapshots have the interpreter frame's shape, and no store has
+//              been moved backward across a trap/call barrier (bytecode-order witness).
+//   ra.*     — register-allocation sanity: every live vreg has a location, no two values
+//              whose (soundly recomputed) live ranges overlap share a register.
+//   lir.*    — lowered-code structure: branch targets and deopt indices in range.
+//
+// Unlike ValidateIr (ir.h), which guards against bugs in *this repository* and throws
+// InternalError, the verifier models a VM-internal checker: violations are returned as data
+// and the pipeline converts them into simulated VmCrash outcomes (component = the pass that
+// produced the bad IR, kind = "verifier"), which the campaign and triage layers then treat
+// like any other crash symptom.
+
+#ifndef SRC_JAGUAR_JIT_VERIFY_VERIFIER_H_
+#define SRC_JAGUAR_JIT_VERIFY_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/jit/ir.h"
+#include "src/jaguar/jit/lir.h"
+#include "src/jaguar/jit/regalloc.h"
+#include "src/jaguar/vm/outcome.h"
+
+namespace jaguar {
+
+// One violated invariant. `invariant` is the dotted family name ("ssa.def-dominates-use");
+// `detail` is a human-readable witness.
+struct VerifyFailure {
+  std::string invariant;
+  std::string detail;
+};
+
+struct VerifyResult {
+  std::vector<VerifyFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  // The first failing invariant's name ("" when ok) — what triage keys on.
+  std::string FirstInvariant() const { return failures.empty() ? "" : failures[0].invariant; }
+  // "invariant: detail" of the first failure, plus a count of any further ones.
+  std::string Summary() const;
+  std::string ToString() const;
+};
+
+// Verifies the HIR invariants (cfg.*, ssa.*, type.*, effect.*). `program` enables the
+// deopt-snapshot shape checks (frame sizes against the bytecode verifier's annotations);
+// pass nullptr when no bytecode context is available (hand-built IR in tests).
+VerifyResult VerifyIr(const IrFunction& f, const BcProgram* program = nullptr);
+
+// Verifies lowered-code structure and location assignment (lir.*, ra.*).
+VerifyResult VerifyLir(const LirFunction& f);
+
+// Verifies a register assignment against soundly recomputed live intervals (`reference` must
+// be the loop-extended intervals computed *without* injected defects): every valid interval
+// has a location, and no two strictly-overlapping intervals share a register. This is the
+// check that catches early-free style allocator defects, which are invisible in the LIR's
+// structure alone.
+VerifyResult VerifyAllocation(const std::vector<LiveInterval>& reference,
+                              const AllocationResult& allocation);
+
+// The VM component a verifier failure after `stage` is attributed to (for crash bookkeeping;
+// stages are the pipeline's pass names plus "osr", "lower", "regalloc").
+VmComponent ComponentForStage(const std::string& stage);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_VERIFY_VERIFIER_H_

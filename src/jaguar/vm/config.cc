@@ -1,6 +1,22 @@
 #include "src/jaguar/vm/config.h"
 
+#include <algorithm>
+
 namespace jaguar {
+
+const char* VerifyLevelName(VerifyLevel level) {
+  switch (level) {
+    case VerifyLevel::kOff: return "off";
+    case VerifyLevel::kBoundary: return "boundary";
+    case VerifyLevel::kEveryPass: return "every-pass";
+  }
+  return "?";
+}
+
+bool VmConfig::PassDisabled(const std::string& pass_name) const {
+  return std::find(disabled_passes.begin(), disabled_passes.end(), pass_name) !=
+         disabled_passes.end();
+}
 
 std::vector<uint64_t> VmConfig::InvokeThresholds() const {
   std::vector<uint64_t> out;
@@ -26,6 +42,20 @@ VmConfig VmConfig::WithoutBugs() const {
 VmConfig VmConfig::WithFullTrace() const {
   VmConfig c = *this;
   c.record_full_trace = true;
+  return c;
+}
+
+VmConfig VmConfig::WithVerify(VerifyLevel level) const {
+  VmConfig c = *this;
+  c.verify_level = level;
+  return c;
+}
+
+VmConfig VmConfig::WithPassDisabled(const std::string& pass_name) const {
+  VmConfig c = *this;
+  if (!c.PassDisabled(pass_name)) {
+    c.disabled_passes.push_back(pass_name);
+  }
   return c;
 }
 

@@ -19,6 +19,16 @@
 
 namespace jaguar {
 
+// How much IR/LIR invariant checking the JIT performs (jit/verify/verifier.h). `kBoundary`
+// verifies the final pipeline output (plus the lowered LIR and its register allocation);
+// `kEveryPass` re-verifies after every optimization pass, so the first pass whose output
+// breaks an invariant is named. A violation surfaces as a VmCrash with kind "verifier" —
+// the simulated analogue of running a production JIT with -XX:+VerifyIterativeGVN-style
+// checking enabled.
+enum class VerifyLevel : uint8_t { kOff, kBoundary, kEveryPass };
+
+const char* VerifyLevelName(VerifyLevel level);
+
 // One compilation tier. Tiers are numbered 1..N (temperature t_i == running tier-i code).
 struct TierSpec {
   uint64_t invoke_threshold = 0;  // Z_i for the method counter
@@ -59,6 +69,17 @@ struct VmConfig {
   // Defects this vendor carries.
   std::vector<BugId> bugs;
 
+  // IR/LIR invariant checking (jit/verify). Off by default: vendors ship without verification,
+  // like production JITs; campaigns and triage turn it on selectively.
+  VerifyLevel verify_level = VerifyLevel::kOff;
+
+  // Optimization stages the pipeline skips, by pass name ("gvn", "licm", ...; "regalloc"
+  // degrades lowering to spill-everything allocation). The triage layer's bisection toggles
+  // these one at a time to localize a defect.
+  std::vector<std::string> disabled_passes;
+
+  bool PassDisabled(const std::string& pass_name) const;
+
   // JIT-trace recording (full temperature vectors; the summary is always recorded).
   bool record_full_trace = false;
   size_t max_trace_vectors = 4096;
@@ -69,6 +90,8 @@ struct VmConfig {
   VmConfig WithBugs(std::vector<BugId> bug_set) const;
   VmConfig WithoutBugs() const;
   VmConfig WithFullTrace() const;
+  VmConfig WithVerify(VerifyLevel level) const;
+  VmConfig WithPassDisabled(const std::string& pass_name) const;
 };
 
 // The three simulated vendors, with their latent defect sets.

@@ -1,0 +1,192 @@
+// Golden-file regression tests for the bytecode disassembler (and, transitively, the
+// front-end + bytecode compiler): each fixture program's disassembly must match the checked-in
+// text under tests/golden/. A diff means the compiler's output changed shape — either a
+// regression, or an intentional change to be blessed with:
+//
+//   ./tests/golden_disasm_test --update-golden
+//
+// which rewrites every golden file from the current compiler output.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/bytecode/disasm.h"
+
+namespace jaguar {
+namespace {
+
+bool g_update_golden = false;
+
+struct GoldenCase {
+  const char* name;  // golden file is tests/golden/<name>.disasm
+  const char* source;
+};
+
+// Five fixtures chosen to pin down distinct encoder surfaces: immediate/arith encoding,
+// branch targets and OSR-header annotations, call/recursion wiring, global + array opcodes,
+// and switch tables + try regions.
+const GoldenCase kGoldenCases[] = {
+    {"arith",
+     R"(int main() {
+  int a = 7;
+  long b = 1234567890123L;
+  int c = (a * 3 - 1) % 5;
+  if (a > c || b < 0L) {
+    c = c << 2;
+  } else {
+    c = -c;
+  }
+  print((long) c + b);
+  return c ^ a;
+})"},
+    {"loops",
+     R"(int main() {
+  int acc = 0;
+  for (int i = 0; i < 50; i++) {
+    int j = 0;
+    while (j < i) {
+      acc += j & i;
+      j++;
+    }
+  }
+  print(acc);
+  return acc;
+})"},
+    {"calls",
+     R"(int fib(int n) {
+  if (n < 2) {
+    return n;
+  }
+  return fib(n - 1) + fib(n - 2);
+}
+
+int twice(int x) {
+  return x + x;
+}
+
+int main() {
+  print(fib(10));
+  return twice(fib(7));
+})"},
+    {"globals_arrays",
+     R"(int counter = 0;
+long total = 0L;
+int[] table = new int[] {3, 1, 4, 1, 5};
+
+void tally(int v) {
+  counter += 1;
+  total += (long) v;
+}
+
+int main() {
+  int[] copy = new int[5];
+  for (int i = 0; i < 5; i++) {
+    copy[i] = table[i] * 2;
+    tally(copy[i]);
+  }
+  print(total);
+  return counter;
+})"},
+    {"control",
+     R"(int g = 0;
+
+int main() {
+  int[] a = new int[2];
+  for (int i = 0; i < 6; i++) {
+    switch (i % 4) {
+      case 0:
+        g += 1;
+        break;
+      case 1:
+        g += 2;
+      case 2:
+        g += 3;
+        break;
+      default:
+        g -= 1;
+    }
+  }
+  try {
+    a[9] = g;
+  } catch {
+    g = -g;
+  }
+  print(g);
+  return g;
+})"},
+};
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(JAG_GOLDEN_DIR) + "/" + name + ".disasm";
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return "";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class GoldenDisasmTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenDisasmTest, DisassemblyMatchesGoldenFile) {
+  const GoldenCase& c = GetParam();
+  const std::string actual = Disassemble(CompileSource(c.source));
+  const std::string path = GoldenPath(c.name);
+
+  if (g_update_golden) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    SUCCEED() << "updated " << path;
+    return;
+  }
+
+  const std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty())
+      << path << " is missing or empty; run with --update-golden to create it";
+  EXPECT_EQ(actual, expected)
+      << "disassembly drifted from " << path
+      << "; if the change is intentional, re-bless with --update-golden";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFixtures, GoldenDisasmTest, ::testing::ValuesIn(kGoldenCases),
+                         [](const ::testing::TestParamInfo<GoldenCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// Determinism guard: the same source must disassemble identically across compilations, or
+// golden comparisons (and trace-diff debugging) would be noise.
+TEST(GoldenDisasmTest, DisassemblyIsDeterministic) {
+  for (const GoldenCase& c : kGoldenCases) {
+    EXPECT_EQ(Disassemble(CompileSource(c.source)), Disassemble(CompileSource(c.source)))
+        << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace jaguar
+
+int main(int argc, char** argv) {
+  // Strip our flag before gtest parses the command line (it rejects unknown flags).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      jaguar::g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,621 @@
+// Triage matrix: every injected defect, fed through the pass-bisection + verifier triage
+// layer via a deterministic trigger program (the same shapes the jit/lir defect tests use).
+//
+// For each defect the matrix asserts that
+//   (a) the discrepancy is detected (the triage baseline reproduces it against the
+//       interpreter reference),
+//   (b) bisection + verifier cross-reference attribute it to the expected pipeline stage
+//       (cases where attribution is inherently ambiguous carry an empty expectation and are
+//       documented in EXPERIMENTS.md), and
+//   (c) the kEveryPass verifier names the expected invariant — or the defect is semantically
+//       invisible to structural checking (invariant == nullptr), which is precisely why the
+//       bisection layer exists.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/artemis/triage/triage.h"
+#include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/vm/config.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BugId;
+using jaguar::VmConfig;
+
+// Mirror of jit_test's FastJit: tiny thresholds so trigger programs heat quickly.
+VmConfig FastJit() {
+  VmConfig c;
+  c.name = "TriageJit";
+  c.tiers = {
+      jaguar::TierSpec{20, 40, /*full_optimization=*/false, /*speculate=*/false,
+                       /*profiles=*/true},
+      jaguar::TierSpec{60, 120, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.min_profile_for_speculation = 16;
+  return c;
+}
+
+// Parse + resolve/typecheck: TriageDiscrepancy takes a checked AST program.
+jaguar::Program ParseAndCheck(const char* source) {
+  jaguar::Program program = jaguar::ParseProgram(source);
+  jaguar::Check(program);
+  return program;
+}
+
+struct TriageCase {
+  const char* name;
+  BugId bug;
+  // Acceptable final attributions. Empty = inherently ambiguous (outside the bisectable
+  // pipeline or masked by several stages); such defects are documented in EXPERIMENTS.md and
+  // the matrix only requires detection.
+  std::vector<const char*> stages;
+  // Invariant the kEveryPass verifier must name (nullptr = semantically invisible: the defect
+  // produces structurally well-formed code and only bisection can localize it).
+  const char* invariant;
+  const char* source;
+  uint64_t step_budget = 60'000'000;
+  int gc_period = 0;  // 0 = leave the config default
+};
+
+std::string CaseName(const ::testing::TestParamInfo<TriageCase>& info) {
+  return info.param.name;
+}
+
+const TriageCase kCases[] = {
+    {"FoldShiftUnmasked",
+     BugId::kFoldShiftUnmasked,
+     {"constant-folding"},
+     nullptr,
+     R"(
+       int hot(int x) { return x + (1 << 33); }
+       int main() {
+         int acc = 0;
+         for (int i = 0; i < 200; i++) { acc += hot(i); }
+         print(acc);
+         return 0;
+       }
+     )"},
+    {"StrengthReduceNegDiv",
+     BugId::kStrengthReduceNegDiv,
+     {"strength-reduction"},
+     nullptr,
+     R"(
+       int hot(int x) { return (x - 150) / 4; }
+       int main() {
+         int acc = 0;
+         for (int i = 0; i < 200; i++) { acc += hot(i); }
+         print(acc);
+         return 0;
+       }
+     )"},
+    {"InlineSwappedArgs",
+     BugId::kInlineSwappedArgs,
+     {"inlining"},
+     nullptr,
+     R"(
+       int diff(int a, int b) { return a - b * 2; }
+       int hot(int i) { return diff(i, 3); }
+       int main() {
+         int acc = 0;
+         for (int i = 0; i < 200; i++) { acc += hot(i); }
+         print(acc);
+         return 0;
+       }
+     )"},
+    {"GcmStoreSinkIntoDeeperLoop",
+     BugId::kGcmStoreSinkIntoDeeperLoop,
+     {"store-sink"},
+     nullptr,  // the sunk store is structurally well-formed; see EXPERIMENTS.md
+     R"(
+       int l = 0;
+       void step(int base) {
+         l = base;
+         for (int j = 0; j < 3; j++) { l += 2; }
+       }
+       int main() {
+         for (int i = 0; i < 300; i++) { step(i); }
+         print(l);
+         return 0;
+       }
+     )"},
+    {"LicmHoistStorePastGuard",
+     BugId::kLicmHoistStorePastGuard,
+     {"licm"},
+     "effect.store-over-barrier",
+     R"(
+       int g = 0;
+       void hot(int n, boolean write) {
+         for (int i = 0; i < n; i++) {
+           if (write) { g = 7; }
+         }
+       }
+       int main() {
+         g = 1;
+         for (int i = 0; i < 300; i++) { hot(4, false); }
+         print(g);
+         return 0;
+       }
+     )"},
+    {"GvnLoadAcrossStore",
+     BugId::kGvnLoadAcrossStore,
+     {"gvn"},
+     nullptr,
+     R"(
+       int g = 0;
+       int hot(int x) {
+         int before = g;
+         g = before + x;
+         int after = g;
+         return after;
+       }
+       int main() {
+         long acc = 0L;
+         for (int i = 0; i < 200; i++) {
+           g = 0;
+           acc += hot(i);
+         }
+         print(acc);
+         return 0;
+       }
+     )"},
+    {"UnrollExtraIteration",
+     BugId::kUnrollExtraIteration,
+     {"loop-peel"},
+     nullptr,
+     R"(
+       int g = 0;
+       void hot() {
+         for (int i = 0; i < 4; i += 1) { g += 3; }
+       }
+       int main() {
+         for (int i = 0; i < 300; i++) { hot(); }
+         print(g);
+         return 0;
+       }
+     )"},
+    {"DeoptResumeSkipsInstr",
+     BugId::kDeoptResumeSkipsInstr,
+     {},  // lives in the deopt resume machinery — no bisection knob reaches it
+     nullptr,
+     R"(
+       int g = 0;
+       void hot(int[] a, int i) {
+         try {
+           a[i] = 1;
+           g += 1;
+         } catch {
+           g += 100;
+         }
+       }
+       int main() {
+         int[] a = new int[8];
+         for (int r = 0; r < 300; r++) {
+           g = 0;
+           for (int i = 0; i < 9; i++) { hot(a, i); }
+         }
+         print(g);
+         return 0;
+       }
+     )"},
+    {"OsrDropsHighestLocal",
+     BugId::kOsrDropsHighestLocal,
+     {"osr"},
+     nullptr,
+     R"(
+       int main() {
+         int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+         int f = 6; int h = 7; int k = 8; int m = 9;
+         long acc = 0L;
+         for (int i = 0; i < 5000; i++) {
+           acc += a + b + c + d + e + f + h + k + m + i;
+           m = 9 + (i % 3);
+         }
+         print(acc);
+         print(m);
+         return 0;
+       }
+     )"},
+    {"RegAllocEarlyFree",
+     BugId::kRegAllocEarlyFree,
+     {"regalloc"},
+     "ra.live-range-overlap",
+     R"(
+       int hot(int n) {
+         int c1 = n + 11; int c2 = n + 22; int c3 = n + 33;
+         int c4 = n + 44; int c5 = n + 55; int c6 = n + 66;
+         int c7 = n + 77; int c8 = n + 88; int c9 = n + 99;
+         int acc = 0;
+         for (int i = 0; i < 6; i++) {
+           int t1 = i * 3 + c1;
+           int t2 = t1 ^ c2;
+           int t3 = t2 + c3;
+           int t4 = t3 - c4;
+           int t5 = t4 + c5;
+           int t6 = t5 ^ c6;
+           int t7 = t6 + c7;
+           int t8 = t7 - c8;
+           acc += t8 + c9;
+         }
+         return acc;
+       }
+       int main() {
+         long total = 0L;
+         for (int i = 0; i < 300; i++) { total += hot(i); }
+         print(total);
+         return 0;
+       }
+     )"},
+    {"LowerSwappedSubOperands",
+     BugId::kLowerSwappedSubOperands,
+     {"lower"},
+     nullptr,
+     R"(
+       int hot(int a, int b) {
+         int e1 = a + 1; int e2 = a + 2; int e3 = a + 3; int e4 = a + 4;
+         int e5 = a + 5; int e6 = a + 6; int e7 = a + 7; int e8 = a + 8;
+         int e9 = a + 9; int e10 = a + 10; int e11 = a + 11;
+         int x = b + 100;
+         int d = x - e1;
+         return d + e2 + e3 + e4 + e5 + e6 + e7 + e8 + e9 + e10 + e11 + a + b;
+       }
+       int main() {
+         int acc = 0;
+         for (int i = 0; i < 200; i++) { acc += hot(i, i * 3); }
+         print(acc);
+         return 0;
+       }
+     )"},
+    {"IrBuilderSwitchAssert",
+     BugId::kIrBuilderSwitchAssert,
+     {"ir-build"},  // not a bisection knob: attributed via the crash's component
+     nullptr,
+     R"(
+       int g = 0;
+       void hot(int m) {
+         for (int a = 0; a < 2; a++) {
+           for (int b = 0; b < 2; b++) { g += a + b; }
+         }
+         switch (m % 12) {
+           case 0: g += 0; break;
+           case 1: g += 1; break;
+           case 2: g += 2; break;
+           case 3: g += 3; break;
+           case 4: g += 4; break;
+           case 5: g += 5; break;
+           case 6: g += 6; break;
+           case 7: g += 7; break;
+           case 8: g += 8; break;
+           default: g -= 1;
+         }
+       }
+       int main() {
+         for (int i = 0; i < 300; i++) { hot(i); }
+         print(g);
+         return 0;
+       }
+     )"},
+    {"GvnBucketAssert",
+     BugId::kGvnBucketAssert,
+     {"gvn"},
+     nullptr,
+     R"(
+       int hot(int x) {
+         int acc = 0;
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         acc += (x * 31 + 7) ^ (x * 31 + 7); acc += (x * 31 + 7) ^ (x * 31 + 7);
+         return acc;
+       }
+       int main() {
+         int acc = 0;
+         for (int i = 0; i < 200; i++) { acc += hot(i); }
+         print(acc);
+         return 0;
+       }
+     )"},
+    {"LicmDeepNestAssert",
+     BugId::kLicmDeepNestAssert,
+     {"licm"},
+     nullptr,
+     R"(
+       int g = 0;
+       void hot() {
+         for (int i = 0; i < 4; i++) {
+           for (int j = 0; j < 4; j++) {
+             for (int k = 0; k < 4; k++) { g += i + j + k; }
+           }
+         }
+       }
+       int main() {
+         for (int r = 0; r < 200; r++) { hot(); }
+         print(g);
+         return 0;
+       }
+     )"},
+    {"SpeculationRetryCrash",
+     BugId::kSpeculationRetryCrash,
+     {"speculation"},
+     nullptr,
+     R"(
+       boolean z = true;
+       boolean w = true;
+       int l = 0;
+       void o(int i) {
+         if (z) { l += 1; }
+         if (w) { l += 2; }
+         l += i % 3;
+       }
+       int main() {
+         for (int u = 0; u < 500; u++) { o(u); }
+         z = false;
+         for (int u = 0; u < 500; u++) { o(u); }
+         print(l);
+         return 0;
+       }
+     )"},
+    {"RceOffByOneHeapCorruption",
+     BugId::kRceOffByOneHeapCorruption,
+     {"range-check-elimination"},
+     nullptr,
+     R"(
+       long sum = 0L;
+       void fill(int[] a, int round) {
+         try {
+           for (int i = 0; i <= a.length; i += 1) { a[i] = round; }
+         } catch {
+           sum += 1000L;
+         }
+       }
+       int main() {
+         int[] a = new int[32];
+         int[] b = new int[32];
+         for (int round = 0; round < 150; round++) {
+           fill(a, round);
+           int[] fresh = new int[4];
+           fresh[0] = round;
+           sum += fresh[0];
+         }
+         print(sum + b[0]);
+         return 0;
+       }
+     )",
+     60'000'000,
+     /*gc_period=*/64},
+    {"CodeExecDeepCallCrash",
+     BugId::kCodeExecDeepCallCrash,
+     {"code-exec"},  // executor-level: attributed via the crash's component
+     nullptr,
+     R"(
+       int down(int n) {
+         if (n <= 0) { return 0; }
+         return 1 + down(n - 1);
+       }
+       int main() {
+         int acc = 0;
+         for (int i = 0; i < 300; i++) { acc += down(80); }
+         print(acc);
+         return 0;
+       }
+     )"},
+    {"RecompileCycling",
+     BugId::kRecompileCycling,
+     {},  // recompile policy has no bisection knob; see EXPERIMENTS.md
+     nullptr,
+     R"(
+       boolean a = true;
+       boolean b = true;
+       boolean c = true;
+       int l = 0;
+       void o(int i) {
+         if (a) { l += 1; }
+         if (b) { l += 2; }
+         if (c) { l += 3; }
+       }
+       int main() {
+         for (int u = 0; u < 400; u++) { o(u); }
+         for (int round = 0; round < 2000; round++) {
+           a = !a;
+           b = !b;
+           c = !c;
+           for (int u = 0; u < 300; u++) { o(u); }
+         }
+         print(l);
+         return 0;
+       }
+     )",
+     /*step_budget=*/30'000'000},
+};
+
+class TriageMatrixTest : public ::testing::TestWithParam<TriageCase> {};
+
+TEST_P(TriageMatrixTest, DetectsAndAttributes) {
+  const TriageCase& c = GetParam();
+  const jaguar::Program program = ParseAndCheck(c.source);
+
+  VmConfig config = FastJit();
+  config.bugs = {c.bug};
+  config.step_budget = c.step_budget;
+  if (c.gc_period > 0) {
+    config.gc_period = c.gc_period;
+  }
+
+  const TriageReport report = TriageDiscrepancy(program, config, TriageParams{});
+
+  // (a) detection: the defect manifests against the interpreter reference.
+  ASSERT_TRUE(report.reproduced) << report.ToString();
+
+  // (b) attribution.
+  if (!c.stages.empty()) {
+    bool matched = false;
+    for (const char* stage : c.stages) {
+      matched |= report.stage == stage;
+    }
+    EXPECT_TRUE(matched) << "unexpected attribution: " << report.ToString();
+  } else {
+    // Documented-ambiguous: attribution (if any) must at least be stable enough to dedup on.
+    EXPECT_FALSE(report.DedupKey().empty());
+  }
+
+  // (c) verifier cross-reference.
+  if (c.invariant != nullptr) {
+    EXPECT_EQ(report.invariant, c.invariant) << report.ToString();
+  } else {
+    EXPECT_TRUE(report.invariant.empty())
+        << "defect unexpectedly visible to the verifier: " << report.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInjectedBugs, TriageMatrixTest, ::testing::ValuesIn(kCases),
+                         CaseName);
+
+// The full defect table is 18 rows; the matrix must cover every BugId exactly once.
+TEST(TriageMatrixCoverage, EveryInjectedDefectHasARow) {
+  std::vector<int> seen(static_cast<size_t>(BugId::kNumBugs), 0);
+  for (const TriageCase& c : kCases) {
+    ++seen[static_cast<size_t>(c.bug)];
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "bug row " << i << " covered " << seen[i] << " times";
+  }
+}
+
+// --- Pairwise bisection -----------------------------------------------------------------------
+
+TEST(TriagePairwiseTest, TwoMaskedDefectsNeedTheDoubleDisableSweep) {
+  // Both defects corrupt the same function: disabling either pass alone still leaves the
+  // other's corruption, so no single-stage candidate exists and the pairwise sweep must find
+  // the (constant-folding, strength-reduction) pair.
+  const jaguar::Program program = ParseAndCheck(R"(
+    int hot(int x) { return (x - 150) / 4 + (1 << 33); }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 200; i++) { acc += hot(i); }
+      print(acc);
+      return 0;
+    }
+  )");
+  VmConfig config = FastJit();
+  config.bugs = {BugId::kFoldShiftUnmasked, BugId::kStrengthReduceNegDiv};
+
+  const TriageReport report = TriageDiscrepancy(program, config, TriageParams{});
+  ASSERT_TRUE(report.reproduced);
+  EXPECT_EQ(report.stage, "strength-reduction") << report.ToString();
+  EXPECT_EQ(report.partner, "constant-folding") << report.ToString();
+  EXPECT_TRUE(report.candidates.empty()) << report.ToString();
+}
+
+// --- Report plumbing --------------------------------------------------------------------------
+
+TEST(TriageReportTest, DedupKeyShapes) {
+  TriageReport r;
+  EXPECT_EQ(r.DedupKey(), "unreproduced");
+
+  r.reproduced = true;
+  r.kind = DiscrepancyKind::kMisCompilation;
+  EXPECT_EQ(r.DedupKey(), "mis-compilation@unattributed");
+
+  r.stage = "gvn";
+  EXPECT_EQ(r.DedupKey(), "mis-compilation@gvn");
+
+  r.partner = "licm";
+  r.invariant = "ssa.def-dominates-use";
+  EXPECT_EQ(r.DedupKey(), "mis-compilation@gvn+licm!ssa.def-dominates-use");
+}
+
+TEST(TriageReportTest, StagesFollowPipelineOrder) {
+  const auto& stages = TriageStages();
+  ASSERT_GE(stages.size(), 15u);
+  // The pseudo-stages close the list, after every optimization pass.
+  EXPECT_EQ(stages[stages.size() - 3], "osr");
+  EXPECT_EQ(stages[stages.size() - 2], "regalloc");
+  EXPECT_EQ(stages.back(), "lower");
+}
+
+// --- Campaign integration ---------------------------------------------------------------------
+
+VmConfig CampaignVendor(std::vector<BugId> bugs) {
+  VmConfig c;
+  c.name = "TriageCampaignVendor";
+  c.tiers = {
+      jaguar::TierSpec{60, 100, /*full_optimization=*/false, /*speculate=*/false,
+                       /*profiles=*/true},
+      jaguar::TierSpec{200, 300, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.min_profile_for_speculation = 24;
+  c.bugs = std::move(bugs);
+  return c;
+}
+
+CampaignParams TriageCampaignParams() {
+  CampaignParams params;
+  params.num_seeds = 6;
+  params.base_seed = 501;
+  params.validator.max_iter = 5;
+  params.validator.jonm.synth.min_bound = 150;
+  params.validator.jonm.synth.max_bound = 400;
+  params.step_budget = 40'000'000;
+  params.triage = true;
+  return params;
+}
+
+TEST(CampaignTriageTest, AttributionsFlowIntoReports) {
+  // The same defect set the campaign tests use: each lives in a distinct bisectable stage.
+  const CampaignStats stats = RunCampaign(
+      CampaignVendor({BugId::kFoldShiftUnmasked, BugId::kGvnBucketAssert,
+                      BugId::kLicmDeepNestAssert}),
+      TriageCampaignParams());
+  ASSERT_GT(stats.Reported(), 0) << "campaign found nothing to triage";
+  // With several bugs active at once, single-stage bisection can be defeated by interference
+  // (disabling one culprit leaves another manifesting), so attributions may come from the
+  // pairwise sweep or the crash-component fallback. The exact-stage guarantees are the
+  // single-bug matrix's job above; here we assert that attribution flows end to end and that
+  // every attributed report carries a non-trivial, dedup-stable key.
+  int attributed = 0;
+  std::set<std::string> keys;
+  for (const BugReport& report : stats.reports) {
+    EXPECT_TRUE(report.triaged) << "triage-enabled campaign filed an untriaged report";
+    if (report.triage.reproduced && report.triage.attributed()) {
+      ++attributed;
+      EXPECT_FALSE(report.triage.DedupKey().empty()) << report.triage.ToString();
+      // Dedup happens on the key, so filed reports must have pairwise-distinct keys.
+      EXPECT_TRUE(keys.insert(report.triage.DedupKey()).second) << report.triage.ToString();
+      EXPECT_GT(report.triage.runs, 2) << report.triage.ToString();
+    }
+  }
+  EXPECT_GT(attributed, 0) << "no report carried a pass attribution";
+}
+
+TEST(CampaignTriageTest, StatsAreThreadCountInvariant) {
+  CampaignParams params = TriageCampaignParams();
+  const VmConfig vendor = CampaignVendor({BugId::kFoldShiftUnmasked, BugId::kGvnBucketAssert});
+
+  params.num_threads = 1;
+  const CampaignStats sequential = RunCampaign(vendor, params);
+  params.num_threads = 3;
+  const CampaignStats parallel = RunCampaign(vendor, params);
+
+  EXPECT_TRUE(parallel.SameOutcome(sequential));
+}
+
+}  // namespace
+}  // namespace artemis
