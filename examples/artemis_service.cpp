@@ -1,0 +1,157 @@
+// artemis_service — the durable campaign service from the command line.
+//
+//   ./artemis_service [service] --corpus-dir DIR [--vm NAME] [--rounds N] [--seeds N]
+//                     [--threads N] [--verify[=LEVEL]] [--triage] [--resume]
+//                     [--mutations N] [--no-admission]
+//
+//     Runs rounds of generate → mutate → validate over the evolving on-disk corpus in DIR
+//     (src/artemis/service/service.h). --seeds sets the fresh generator seeds per round,
+//     --mutations the corpus entries re-mutated per round; --no-admission freezes the corpus
+//     (the fixed-seed baseline arm of EXPERIMENTS.md). Metrics land in
+//     DIR/BENCH_campaign.json after every round; --resume continues a killed service from
+//     its last completed round.
+//
+//   ./artemis_service campaign --corpus-dir DIR [--vm NAME] [--seeds N] [--threads N]
+//                     [--verify[=LEVEL]] [--triage] [--resume] [--stop-after N]
+//
+//     Runs a fixed-size durable campaign journaled to DIR/campaign_journal.jsonl
+//     (src/artemis/service/durable.h). With --resume, everything (vendor, params) is
+//     reconstructed from the journal header and the campaign continues from the first
+//     unfinished seed. On completion prints `digest: <16 hex>` — the OutcomeDigest over
+//     exactly the SameOutcome-compared fields — which scripts/soak_check.sh compares between
+//     a SIGKILLed-and-resumed campaign and an uninterrupted reference run. --stop-after N
+//     executes at most N fresh seeds then exits 75 (deterministic partial segment).
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "examples/cli_common.h"
+#include "src/artemis/service/durable.h"
+#include "src/artemis/service/service.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: artemis_service [service] --corpus-dir DIR [--vm NAME] [--rounds N]\n"
+               "           [--seeds N] [--mutations N] [--threads N] [--verify[=LEVEL]]\n"
+               "           [--triage] [--resume] [--no-admission]\n"
+               "       artemis_service campaign --corpus-dir DIR [--vm NAME] [--seeds N]\n"
+               "           [--threads N] [--verify[=LEVEL]] [--triage] [--resume]\n"
+               "           [--stop-after N]\n");
+  return 2;
+}
+
+artemis::CampaignParams BaseParams(const cli::CommonOptions& options,
+                                   const std::string& vm_name) {
+  artemis::CampaignParams params;
+  params.num_threads = options.threads;
+  params.triage = options.triage;
+  params.validator.max_iter = 8;
+  cli::ApplyPaperSynthBounds(vm_name, &params.validator);
+  return params;
+}
+
+int RunCampaignMode(const cli::CommonOptions& options, int stop_after) {
+  const std::string journal = options.corpus_dir + "/campaign_journal.jsonl";
+  artemis::DurableResult result;
+  if (options.resume) {
+    // Vendor, verify level, and params all come from the journal header.
+    result = artemis::ResumeCampaign(journal);
+  } else {
+    const std::string vm_name = options.vm.empty() ? "hotsniff" : options.vm;
+    jaguar::VmConfig vm = cli::VendorByName(vm_name);
+    vm.verify_level = options.verify;
+    artemis::CampaignParams params = BaseParams(options, vm_name);
+    params.num_seeds = options.seeds >= 0 ? options.seeds : 20;
+    artemis::DurableOptions durable;
+    durable.journal_path = journal;
+    durable.stop_after_seeds = stop_after;
+    result = artemis::RunDurableCampaign(vm, params, durable);
+  }
+  std::fprintf(stderr, "%s\n(replayed %d seeds, executed %d)\n",
+               result.stats.ToString().c_str(), result.replayed_seeds,
+               result.executed_seeds);
+  if (!result.complete) {
+    std::printf("partial\n");
+    return 75;  // EX_TEMPFAIL: resume to finish
+  }
+  std::printf("digest: %s\n", result.stats.OutcomeDigest().c_str());
+  return 0;
+}
+
+int RunServiceMode(const cli::CommonOptions& options, int mutations, bool admission) {
+  const std::string vm_name = options.vm.empty() ? "hotsniff" : options.vm;
+  jaguar::VmConfig vm = cli::VendorByName(vm_name);
+  vm.verify_level = options.verify;
+
+  artemis::ServiceParams params;
+  params.campaign = BaseParams(options, vm_name);
+  params.corpus_dir = options.corpus_dir;
+  params.rounds = options.rounds >= 0 ? options.rounds : 4;
+  if (options.seeds >= 0) {
+    params.fresh_seeds_per_round = options.seeds;
+  }
+  if (mutations >= 0) {
+    params.corpus_mutations_per_round = mutations;
+  }
+  params.admission = admission;
+  params.resume = options.resume;
+
+  const artemis::ServiceStats stats = artemis::RunService(vm, params);
+  std::printf("%s\n", stats.ToString().c_str());
+  if (!stats.trajectory.empty()) {
+    const artemis::ServiceSnapshot& last = stats.trajectory.back();
+    std::printf("throughput: %.1f VM invocations/s; corpus %d entries (%.2f top-tier)\n",
+                last.invocations_per_second, last.corpus_size, last.corpus_frac_top_tier);
+  }
+  std::printf("metrics: %s/BENCH_campaign.json\n", params.corpus_dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::CommonOptions options = cli::ParseArgs(argc, argv);
+
+  // Driver-local options ride in positional.
+  std::string mode = "service";
+  int stop_after = 0;
+  int mutations = -1;
+  bool admission = true;
+  for (size_t i = 0; i < options.positional.size(); ++i) {
+    const std::string& arg = options.positional[i];
+    if (arg == "service" || arg == "campaign") {
+      mode = arg;
+    } else if (arg == "--stop-after" && i + 1 < options.positional.size()) {
+      stop_after = std::atoi(options.positional[++i].c_str());
+    } else if (arg.rfind("--stop-after=", 0) == 0) {
+      stop_after = std::atoi(arg.c_str() + 13);
+    } else if (arg == "--mutations" && i + 1 < options.positional.size()) {
+      mutations = std::atoi(options.positional[++i].c_str());
+    } else if (arg.rfind("--mutations=", 0) == 0) {
+      mutations = std::atoi(arg.c_str() + 12);
+    } else if (arg == "--no-admission") {
+      admission = false;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (options.corpus_dir.empty()) {
+    std::fprintf(stderr, "--corpus-dir is required\n");
+    return Usage();
+  }
+
+  try {
+    if (mode == "campaign") {
+      return RunCampaignMode(options, stop_after);
+    }
+    return RunServiceMode(options, mutations, admission);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

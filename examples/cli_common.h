@@ -1,0 +1,162 @@
+// Shared command-line plumbing for the example drivers.
+//
+// fuzz_campaign, jaguar_cli, and artemis_service accept the same core flags; this header
+// owns their parsing (and the paper's per-vendor synthesis bounds) so each driver only
+// interprets the options it cares about:
+//
+//   --threads N | --threads=N     worker threads (0 = hardware concurrency)
+//   --seeds N   | --seeds=N       seeds per campaign / fresh seeds per service round
+//   --vm NAME   | --vm=NAME       vendor: interp|reference|hotsniff|openjade|artree
+//   --verify[=off|boundary|every-pass]   IR/LIR invariant verifier (bare = every-pass)
+//   --triage                      pass-bisect every discrepancy
+//   --corpus-dir PATH             on-disk corpus directory (service / durable drivers)
+//   --resume                      continue from an existing journal instead of starting fresh
+//   --rounds N                    service rounds to run in this invocation
+//
+// Anything unrecognized lands in `positional` for the driver's own grammar.
+
+#ifndef EXAMPLES_CLI_COMMON_H_
+#define EXAMPLES_CLI_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "src/artemis/validate/validator.h"
+#include "src/jaguar/vm/config.h"
+
+namespace cli {
+
+struct CommonOptions {
+  int threads = 0;          // 0 → hardware concurrency
+  int seeds = -1;           // -1 → driver default
+  int rounds = -1;          // -1 → driver default
+  std::string vm;           // "" → driver default (lower-cased vendor name)
+  std::string corpus_dir;
+  bool resume = false;
+  bool triage = false;
+  jaguar::VerifyLevel verify = jaguar::VerifyLevel::kOff;
+  std::vector<std::string> positional;
+};
+
+inline jaguar::VerifyLevel ParseVerifyLevel(const char* name) {
+  if (std::strcmp(name, "off") == 0) {
+    return jaguar::VerifyLevel::kOff;
+  }
+  if (std::strcmp(name, "boundary") == 0) {
+    return jaguar::VerifyLevel::kBoundary;
+  }
+  if (std::strcmp(name, "every-pass") == 0) {
+    return jaguar::VerifyLevel::kEveryPass;
+  }
+  std::fprintf(stderr, "unknown verify level '%s' (off|boundary|every-pass)\n", name);
+  std::exit(2);
+}
+
+// Vendor lookup by lower-cased CLI name. Exits with usage status 2 on an unknown name.
+inline jaguar::VmConfig VendorByName(const std::string& name) {
+  if (name == "interp") {
+    return jaguar::InterpreterOnlyConfig();
+  }
+  if (name == "reference") {
+    return jaguar::ReferenceJitConfig();
+  }
+  if (name == "hotsniff") {
+    return jaguar::HotSniffConfig();
+  }
+  if (name == "openjade") {
+    return jaguar::OpenJadeConfig();
+  }
+  if (name == "artree") {
+    return jaguar::ArtreeConfig();
+  }
+  std::fprintf(stderr, "unknown vendor '%s' (interp|reference|hotsniff|openjade|artree)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+inline std::string ToLower(std::string text) {
+  for (char& c : text) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return text;
+}
+
+// The paper's per-vendor loop-bound ranges (§4.1 figures reproduced by bench/): Artree tiers
+// up much later than the other vendors, so its synthesized loops must run hotter.
+inline void ApplyPaperSynthBounds(const std::string& vm_name, artemis::ValidatorParams* params) {
+  if (ToLower(vm_name) == "artree") {
+    params->jonm.synth.min_bound = 20'000;
+    params->jonm.synth.max_bound = 50'000;
+  } else {
+    params->jonm.synth.min_bound = 5'000;
+    params->jonm.synth.max_bound = 10'000;
+  }
+}
+
+// Parses every common flag out of argv; unrecognized arguments are returned in
+// `positional`, in order. Exits with status 2 on a malformed common flag.
+inline CommonOptions ParseArgs(int argc, char** argv) {
+  CommonOptions options;
+  auto int_flag = [&](const char* name, int i, int* out) -> int {
+    const size_t len = std::strlen(name);
+    if (std::strcmp(argv[i], name) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(2);
+      }
+      *out = std::atoi(argv[i + 1]);
+      return 2;
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      *out = std::atoi(argv[i] + len + 1);
+      return 1;
+    }
+    return 0;
+  };
+  auto string_flag = [&](const char* name, int i, std::string* out) -> int {
+    const size_t len = std::strlen(name);
+    if (std::strcmp(argv[i], name) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(2);
+      }
+      *out = argv[i + 1];
+      return 2;
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      *out = argv[i] + len + 1;
+      return 1;
+    }
+    return 0;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    int consumed = 0;
+    if ((consumed = int_flag("--threads", i, &options.threads)) != 0 ||
+        (consumed = int_flag("--seeds", i, &options.seeds)) != 0 ||
+        (consumed = int_flag("--rounds", i, &options.rounds)) != 0 ||
+        (consumed = string_flag("--vm", i, &options.vm)) != 0 ||
+        (consumed = string_flag("--corpus-dir", i, &options.corpus_dir)) != 0) {
+      i += consumed - 1;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      options.verify = jaguar::VerifyLevel::kEveryPass;
+    } else if (std::strncmp(argv[i], "--verify=", 9) == 0) {
+      options.verify = ParseVerifyLevel(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--triage") == 0) {
+      options.triage = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      options.resume = true;
+    } else {
+      options.positional.emplace_back(argv[i]);
+    }
+  }
+  return options;
+}
+
+}  // namespace cli
+
+#endif  // EXAMPLES_CLI_COMMON_H_

@@ -2,98 +2,54 @@
 //
 //   ./fuzz_campaign [num_seeds] [vendor] [--threads N] [--verify[=LEVEL]] [--triage]
 //
-// vendor ∈ {hotsniff, openjade, artree} (default: all three). Prints a live-ish report of
-// what Artemis finds — the CLI equivalent of the paper's testing campaign. Seeds are sharded
-// across N worker threads (default: all hardware threads); the report is identical for every
-// N — only the wall time changes.
+// vendor ∈ {hotsniff, openjade, artree} (default: all three; also accepted via --vm NAME and
+// --seeds N — the flag grammar is shared with the other drivers, see cli_common.h). Prints a
+// live-ish report of what Artemis finds — the CLI equivalent of the paper's testing
+// campaign. Seeds are sharded across N worker threads (default: all hardware threads); the
+// report is identical for every N — only the wall time changes.
 //
 // --verify runs the vendor with the IR/LIR invariant verifier enabled (LEVEL ∈ off|boundary|
 // every-pass; bare --verify means every-pass), so invariant violations surface as crashes.
 // --triage pass-bisects every discrepancy and dedups reports on the attribution key; each
 // report then prints its "triage: <kind> -> <stage>" line.
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "examples/cli_common.h"
 #include "src/artemis/campaign/campaign.h"
 #include "src/artemis/campaign/worker_pool.h"
 
-namespace {
-
-jaguar::VerifyLevel ParseVerifyLevel(const char* name) {
-  if (std::strcmp(name, "off") == 0) {
-    return jaguar::VerifyLevel::kOff;
-  }
-  if (std::strcmp(name, "boundary") == 0) {
-    return jaguar::VerifyLevel::kBoundary;
-  }
-  if (std::strcmp(name, "every-pass") == 0) {
-    return jaguar::VerifyLevel::kEveryPass;
-  }
-  std::fprintf(stderr, "unknown verify level '%s' (off|boundary|every-pass)\n", name);
-  std::exit(2);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  int seeds = 20;
-  int threads = 0;  // 0 → hardware concurrency
-  jaguar::VerifyLevel verify = jaguar::VerifyLevel::kOff;
-  bool triage = false;
-  const char* vendor_filter = nullptr;
-  int positional = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
-    } else if (std::strcmp(argv[i], "--verify") == 0) {
-      verify = jaguar::VerifyLevel::kEveryPass;
-    } else if (std::strncmp(argv[i], "--verify=", 9) == 0) {
-      verify = ParseVerifyLevel(argv[i] + 9);
-    } else if (std::strcmp(argv[i], "--triage") == 0) {
-      triage = true;
-    } else if (positional == 0) {
-      seeds = std::atoi(argv[i]);
-      ++positional;
-    } else {
-      vendor_filter = argv[i];
-      ++positional;
-    }
+  cli::CommonOptions options = cli::ParseArgs(argc, argv);
+  // Legacy positional grammar: [num_seeds] [vendor].
+  size_t positional = 0;
+  if (options.seeds < 0 && positional < options.positional.size()) {
+    options.seeds = std::atoi(options.positional[positional++].c_str());
   }
+  if (options.vm.empty() && positional < options.positional.size()) {
+    options.vm = options.positional[positional++];
+  }
+  const int seeds = options.seeds >= 0 ? options.seeds : 20;
+
   std::printf("campaign: %d seeds on %d worker thread(s)\n\n", seeds,
-              threads > 0 ? threads : artemis::DefaultWorkerCount());
+              options.threads > 0 ? options.threads : artemis::DefaultWorkerCount());
 
   bool ran_any = false;
   for (jaguar::VmConfig vm : jaguar::AllVendors()) {
-    if (vendor_filter != nullptr) {
-      std::string lower = vm.name;
-      for (auto& c : lower) {
-        c = static_cast<char>(std::tolower(c));
-      }
-      if (lower != vendor_filter) {
-        continue;
-      }
+    if (!options.vm.empty() && cli::ToLower(vm.name) != options.vm) {
+      continue;
     }
     ran_any = true;
-    vm.verify_level = verify;
+    vm.verify_level = options.verify;
 
     artemis::CampaignParams params;
     params.num_seeds = seeds;
-    params.num_threads = threads;
-    params.triage = triage;
+    params.num_threads = options.threads;
+    params.triage = options.triage;
     params.validator.max_iter = 8;
-    if (vm.name == "Artree") {
-      params.validator.jonm.synth.min_bound = 20'000;
-      params.validator.jonm.synth.max_bound = 50'000;
-    } else {
-      params.validator.jonm.synth.min_bound = 5'000;
-      params.validator.jonm.synth.max_bound = 10'000;
-    }
+    cli::ApplyPaperSynthBounds(vm.name, &params.validator);
 
     const artemis::CampaignStats stats = artemis::RunCampaign(vm, params);
     std::printf("%s\n", stats.ToString().c_str());
@@ -112,7 +68,7 @@ int main(int argc, char** argv) {
   }
   if (!ran_any) {
     std::fprintf(stderr, "error: unknown vendor '%s' (expected hotsniff, openjade, or artree)\n",
-                 vendor_filter);
+                 options.vm.c_str());
     return 1;
   }
   return 0;

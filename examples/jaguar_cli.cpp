@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "examples/cli_common.h"
 #include "src/artemis/triage/triage.h"
 #include "src/artemis/validate/validator.h"
 #include "src/jaguar/bytecode/compiler.h"
@@ -46,27 +47,6 @@ std::string ReadFile(const char* path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
-}
-
-jaguar::VmConfig VendorByName(const std::string& name) {
-  if (name == "interp") {
-    return jaguar::InterpreterOnlyConfig();
-  }
-  if (name == "hotsniff") {
-    return jaguar::HotSniffConfig();
-  }
-  if (name == "openjade") {
-    return jaguar::OpenJadeConfig();
-  }
-  if (name == "artree") {
-    return jaguar::ArtreeConfig();
-  }
-  if (name == "reference") {
-    return jaguar::ReferenceJitConfig();
-  }
-  std::fprintf(stderr, "unknown vendor '%s' (interp|reference|hotsniff|openjade|artree)\n",
-               name.c_str());
-  std::exit(2);
 }
 
 void PrintOutcome(const jaguar::RunOutcome& out) {
@@ -91,37 +71,13 @@ int Usage() {
   return 2;
 }
 
-jaguar::VerifyLevel ParseVerifyLevel(const std::string& name) {
-  if (name == "off") {
-    return jaguar::VerifyLevel::kOff;
-  }
-  if (name == "boundary") {
-    return jaguar::VerifyLevel::kBoundary;
-  }
-  if (name == "every-pass") {
-    return jaguar::VerifyLevel::kEveryPass;
-  }
-  std::fprintf(stderr, "unknown verify level '%s' (off|boundary|every-pass)\n", name.c_str());
-  std::exit(2);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  jaguar::VerifyLevel verify = jaguar::VerifyLevel::kOff;
-  bool triage = false;
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--verify") == 0) {
-      verify = jaguar::VerifyLevel::kEveryPass;
-    } else if (std::strncmp(argv[i], "--verify=", 9) == 0) {
-      verify = ParseVerifyLevel(argv[i] + 9);
-    } else if (std::strcmp(argv[i], "--triage") == 0) {
-      triage = true;
-    } else {
-      args.emplace_back(argv[i]);
-    }
-  }
+  const cli::CommonOptions options = cli::ParseArgs(argc, argv);
+  const jaguar::VerifyLevel verify = options.verify;
+  const bool triage = options.triage;
+  const std::vector<std::string>& args = options.positional;
   if (args.size() < 2) {
     return Usage();
   }
@@ -160,8 +116,9 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const std::string vendor_name = args.size() > 2 ? args[2] : "reference";
-    jaguar::VmConfig vendor = VendorByName(vendor_name);
+    const std::string vendor_name =
+        !options.vm.empty() ? options.vm : (args.size() > 2 ? args[2] : "reference");
+    jaguar::VmConfig vendor = cli::VendorByName(vendor_name);
     vendor.verify_level = verify;
 
     if (mode == "run") {
@@ -195,13 +152,7 @@ int main(int argc, char** argv) {
     if (mode == "validate") {
       artemis::ValidatorParams params;
       params.max_iter = 8;
-      if (vendor_name == "artree") {
-        params.jonm.synth.min_bound = 20'000;
-        params.jonm.synth.max_bound = 50'000;
-      } else {
-        params.jonm.synth.min_bound = 5'000;
-        params.jonm.synth.max_bound = 10'000;
-      }
+      cli::ApplyPaperSynthBounds(vendor_name, &params);
       jaguar::Rng rng(20'26);
       const artemis::ValidationReport report =
           artemis::Validate(program, vendor, params, rng);

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Kill-and-resume soak test for the durable campaign service (src/artemis/service).
+#
+# Exercises the real contract — not the in-process stop_after_seeds simulation the unit
+# tests use, but an actual SIGKILL delivered to a running campaign process:
+#
+#   1. run one campaign uninterrupted and record its OutcomeDigest (the 16-hex projection of
+#      exactly the fields SameOutcome() compares);
+#   2. start the same campaign against a fresh journal, SIGKILL it mid-run, and resume from
+#      the journal — repeatedly, until a resume runs to completion;
+#   3. assert the interrupted-and-resumed campaign prints the identical digest.
+#
+# Any divergence (lost reports, double-counted seeds, broken dedup order, torn journal
+# lines mishandled) changes the digest and fails the script.
+#
+# Usage: scripts/soak_check.sh [build-dir] [seeds] [vendor] [kill-after-seconds]
+#   build-dir:           default build
+#   seeds:               campaign size, default 12
+#   vendor:              hotsniff | openjade | artree, default openjade
+#   kill-after-seconds:  how long each doomed segment runs before SIGKILL, default 3
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SEEDS="${2:-12}"
+VENDOR="${3:-openjade}"
+KILL_AFTER="${4:-3}"
+BIN="$BUILD_DIR/examples/artemis_service"
+
+if [[ ! -x "$BIN" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target artemis_service
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/jag_soak.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# --- 1. uninterrupted reference -------------------------------------------------------
+"$BIN" campaign --corpus-dir "$WORK/reference" --vm "$VENDOR" --seeds "$SEEDS" \
+  > "$WORK/reference.out" 2> "$WORK/reference.err"
+REF_DIGEST="$(grep '^digest: ' "$WORK/reference.out" | cut -d' ' -f2)"
+if [[ -z "$REF_DIGEST" ]]; then
+  echo "soak_check: reference run produced no digest" >&2
+  cat "$WORK/reference.err" >&2
+  exit 1
+fi
+echo "soak_check: reference digest $REF_DIGEST ($SEEDS seeds, $VENDOR)"
+
+# --- 2. SIGKILL mid-run, then resume until complete -----------------------------------
+KILLS=0
+"$BIN" campaign --corpus-dir "$WORK/soak" --vm "$VENDOR" --seeds "$SEEDS" \
+  > "$WORK/soak.out" 2> "$WORK/soak.err" &
+PID=$!
+MAX_ATTEMPTS=$((SEEDS * 4))
+for (( attempt = 0; attempt < MAX_ATTEMPTS; ++attempt )); do
+  sleep "$KILL_AFTER"
+  if kill -0 "$PID" 2>/dev/null; then
+    kill -KILL "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    KILLS=$((KILLS + 1))
+    echo "soak_check: SIGKILL #$KILLS delivered mid-run; resuming from the journal"
+    # Resume reconstructs vendor + params from the journal header alone.
+    "$BIN" campaign --corpus-dir "$WORK/soak" --resume \
+      > "$WORK/soak.out" 2> "$WORK/soak.err" &
+    PID=$!
+  else
+    wait "$PID" || true
+    break
+  fi
+done
+if kill -0 "$PID" 2>/dev/null; then
+  wait "$PID" || true
+fi
+
+SOAK_DIGEST="$(grep '^digest: ' "$WORK/soak.out" | cut -d' ' -f2 || true)"
+if [[ -z "$SOAK_DIGEST" ]]; then
+  echo "soak_check: interrupted campaign never completed (no digest after $KILLS kills)" >&2
+  cat "$WORK/soak.err" >&2
+  exit 1
+fi
+SEGMENTS="$(grep -c '"event": *"campaign_started"' "$WORK/soak/campaign_journal.jsonl" || true)"
+echo "soak_check: soak digest $SOAK_DIGEST after $KILLS SIGKILL(s), $SEGMENTS journal segment(s)"
+
+# --- 3. the contract ------------------------------------------------------------------
+if [[ "$SOAK_DIGEST" != "$REF_DIGEST" ]]; then
+  echo "soak_check: FAIL — resumed digest $SOAK_DIGEST != reference $REF_DIGEST" >&2
+  exit 1
+fi
+if [[ "$KILLS" -eq 0 ]]; then
+  echo "soak_check: WARNING — campaign finished before any SIGKILL landed; lower" \
+       "kill-after-seconds or raise seeds for a meaningful run" >&2
+fi
+echo "soak_check: PASS — kill-at-any-point + resume reproduces the uninterrupted outcome"

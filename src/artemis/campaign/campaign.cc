@@ -4,131 +4,15 @@
 #include <chrono>
 #include <utility>
 
+#include "src/artemis/campaign/reducer.h"
 #include "src/artemis/campaign/shard.h"
 #include "src/artemis/campaign/worker_pool.h"
 #include "src/jaguar/support/check.h"
+#include "src/jaguar/support/json.h"
 
 namespace artemis {
-namespace {
 
 using jaguar::BugId;
-
-// Deduplication signature: sorted root causes + symptom. Two discrepancies with the same
-// signature are one report (the paper ensured "all reported bugs behave with different
-// symptoms" before filing).
-std::string SignatureOf(const BugReport& report) {
-  // Triaged campaigns dedup on the bisection attribution: two discrepancies blamed on the
-  // same stage (with the same invariant, if any) are one report even when their raw symptoms
-  // differ, and vice versa — the paper's "same root cause" judgement, automated.
-  if (report.triaged && report.triage.reproduced && report.triage.attributed()) {
-    return "triage:" + report.triage.DedupKey();
-  }
-  std::vector<int> causes;
-  for (BugId b : report.root_causes) {
-    causes.push_back(static_cast<int>(b));
-  }
-  std::sort(causes.begin(), causes.end());
-  std::string sig = std::to_string(static_cast<int>(report.kind)) + "/" +
-                    std::to_string(static_cast<int>(report.crash_component)) + ":";
-  for (int c : causes) {
-    sig += std::to_string(c) + ",";
-  }
-  return sig;
-}
-
-// The sequential half of the campaign: folds one seed's validation report into the stats.
-// Signature/root-cause dedup is order-sensitive, so the caller must reduce seeds in ordinal
-// order — that (plus per-seed determinism, see shard.h) makes the final stats identical for
-// every thread count.
-struct CampaignReducer {
-  CampaignStats& stats;
-  std::set<std::string> seen_signatures;
-  std::set<BugId> seen_causes;
-
-  // Files `bug` unless its signature was already filed; returns whether it was filed.
-  bool File(BugReport bug) {
-    const std::string signature = SignatureOf(bug);
-    if (seen_signatures.count(signature) != 0) {
-      return false;  // identical symptom — we would not file it again at all
-    }
-    seen_signatures.insert(signature);
-    bug.duplicate = !bug.root_causes.empty() &&
-                    std::all_of(bug.root_causes.begin(), bug.root_causes.end(),
-                                [&](BugId b) { return seen_causes.count(b) != 0; });
-    seen_causes.insert(bug.root_causes.begin(), bug.root_causes.end());
-    stats.reports.push_back(std::move(bug));
-    return true;
-  }
-
-  void Reduce(SeedShardResult&& shard) {
-    const ValidationReport& report = shard.report;
-    ++stats.seeds_run;
-    // Every mutant costs one interpreter + one JIT invocation; the seed costs two more.
-    stats.vm_invocations += 2;
-    if (!report.seed_usable) {
-      ++stats.seeds_discarded;
-      return;
-    }
-
-    bool seed_found = false;
-    // A seed that already diverges between interpretation and its default JIT-trace is a bug
-    // the traditional approaches would also see; file it like the paper's duplicates of bugs
-    // "that common users actually encounter in development".
-    if (report.seed_self_discrepancy) {
-      BugReport bug;
-      bug.seed_id = shard.seed_id;
-      bug.kind = report.seed_jit.status == jaguar::RunStatus::kVmCrash
-                     ? DiscrepancyKind::kCrash
-                     : DiscrepancyKind::kMisCompilation;
-      bug.root_causes = report.seed_jit.fired_bugs;
-      bug.crash_component = report.seed_jit.crash_component;
-      bug.crash_kind = report.seed_jit.crash_kind;
-      bug.detail = "seed diverges between interpreter and default JIT-trace";
-      if (shard.seed_triaged) {
-        bug.triaged = true;
-        bug.triage = shard.seed_triage;
-        stats.vm_invocations += static_cast<uint64_t>(bug.triage.runs);
-      }
-      seed_found |= File(std::move(bug));
-    }
-    // Index the shard's triage attributions by mutant ordinal for the verdict loop below.
-    std::map<size_t, const TriageReport*> triage_by_mutant;
-    for (const auto& triaged : shard.triaged_mutants) {
-      triage_by_mutant[triaged.mutant_index] = &triaged.report;
-    }
-    for (size_t m = 0; m < report.mutants.size(); ++m) {
-      const auto& verdict = report.mutants[m];
-      ++stats.mutants_generated;
-      stats.vm_invocations += verdict.discarded && !verdict.non_neutral ? 1 : 2;
-      stats.mutants_discarded += verdict.discarded ? 1 : 0;
-      stats.mutants_non_neutral += verdict.non_neutral ? 1 : 0;
-      stats.mutants_new_trace += verdict.explored_new_trace ? 1 : 0;
-      if (verdict.kind == DiscrepancyKind::kNone) {
-        continue;
-      }
-      seed_found = true;
-
-      BugReport bug;
-      bug.seed_id = shard.seed_id;
-      bug.kind = verdict.kind;
-      bug.root_causes = verdict.suspected_bugs;
-      bug.crash_component = verdict.outcome.crash_component;
-      bug.crash_kind = verdict.outcome.crash_kind;
-      bug.detail = verdict.detail;
-      if (const auto it = triage_by_mutant.find(m); it != triage_by_mutant.end()) {
-        bug.triaged = true;
-        bug.triage = *it->second;
-        stats.vm_invocations += static_cast<uint64_t>(bug.triage.runs);
-      }
-      // File at most one report per signature; later hits of an already-covered root cause
-      // count as duplicates (reported but recognized as the same underlying defect).
-      File(std::move(bug));
-    }
-    stats.seeds_with_discrepancy += seed_found ? 1 : 0;
-  }
-};
-
-}  // namespace
 
 bool operator==(const BugReport& a, const BugReport& b) {
   return a.seed_id == b.seed_id && a.kind == b.kind && a.root_causes == b.root_causes &&
@@ -202,6 +86,38 @@ std::map<jaguar::VmComponent, int> CampaignStats::CrashComponents() const {
   return out;
 }
 
+std::string CampaignStats::OutcomeDigest() const {
+  // Field-complete canonical rendering of everything SameOutcome (and BugReport::operator==)
+  // compares; any divergence in any compared field changes the digest.
+  std::string canon = vm_name + "|" + std::to_string(seeds_run) + "|" +
+                      std::to_string(seeds_discarded) + "|" + std::to_string(mutants_generated) +
+                      "|" + std::to_string(mutants_discarded) + "|" +
+                      std::to_string(mutants_non_neutral) + "|" +
+                      std::to_string(mutants_new_trace) + "|" +
+                      std::to_string(seeds_with_discrepancy) + "|" +
+                      std::to_string(vm_invocations) + "\n";
+  for (const BugReport& r : reports) {
+    canon += std::to_string(r.seed_id) + "|" + std::to_string(static_cast<int>(r.kind)) + "|";
+    for (BugId b : r.root_causes) {
+      canon += std::to_string(static_cast<int>(b)) + ",";
+    }
+    canon += "|" + std::to_string(static_cast<int>(r.crash_component)) + "|" + r.crash_kind +
+             "|" + r.detail + "|" + (r.duplicate ? "D" : "-") + "|" + (r.triaged ? "T" : "-");
+    if (r.triaged) {
+      canon += "|" + std::string(r.triage.reproduced ? "r" : "-") +
+               std::to_string(static_cast<int>(r.triage.kind)) + "|" + r.triage.stage + "|" +
+               r.triage.partner + "|" + r.triage.invariant + "|" + r.triage.invariant_stage +
+               "|";
+      for (const std::string& c : r.triage.candidates) {
+        canon += c + ",";
+      }
+      canon += "|" + r.triage.detail + "|" + std::to_string(r.triage.runs);
+    }
+    canon += "\n";
+  }
+  return jaguar::Hex64(jaguar::Fnv1a64(canon));
+}
+
 std::string CampaignStats::ToString() const {
   std::string out = "campaign[" + vm_name + "]: seeds=" + std::to_string(seeds_run) +
                     " (discarded " + std::to_string(seeds_discarded) + ")" +
@@ -220,6 +136,11 @@ std::string CampaignStats::ToString() const {
   if (wall_seconds > 0) {
     out += " (" + std::to_string(static_cast<double>(vm_invocations) / wall_seconds) +
            " invocations/s)";
+  }
+  if (journal_segments > 1) {
+    // Resumed campaigns accumulate: both totals span every journal segment, not just the
+    // final process (satisfying the durable-campaign accounting contract).
+    out += " across " + std::to_string(journal_segments) + " journal segments";
   }
   return out;
 }
@@ -246,7 +167,7 @@ CampaignStats RunCampaign(const jaguar::VmConfig& vm_config, const CampaignParam
               [&](int s) { slots[static_cast<size_t>(s)] = RunSeedShard(config, params, s); });
 
   // Reduce: dedup bookkeeping is order-sensitive, so fold slots back in seed order.
-  CampaignReducer reducer{stats};
+  CampaignReducer reducer{&stats};
   for (auto& slot : slots) {
     reducer.Reduce(std::move(slot));
   }

@@ -99,10 +99,24 @@ struct CampaignStats {
   uint64_t vm_invocations = 0;  // engine runs (seeds + mutants, interp + JIT)
   double wall_seconds = 0.0;
 
+  // Durable campaigns (service/durable.h): the number of journal segments these stats
+  // accumulate over — 1 for an uninterrupted run, +1 per resume. wall_seconds spans *all*
+  // segments (each resume adds its own elapsed time to the recorded prior total instead of
+  // restarting the clock at zero), and vm_invocations is likewise the whole-campaign count
+  // because the reduce folds journal-replayed shards together with freshly-run ones.
+  int journal_segments = 1;
+
   // True when every deterministic field matches `other` — all counters, every report with
-  // its duplicate flag, in order. wall_seconds (a measurement, not an outcome) is excluded.
-  // This is the thread-count-invariance contract RunCampaign guarantees.
+  // its duplicate flag, in order. wall_seconds (a measurement, not an outcome) and
+  // journal_segments (a restart count, not an outcome) are excluded. This is the
+  // thread-count- and restart-invariance contract RunCampaign/RunDurableCampaign guarantee.
   bool SameOutcome(const CampaignStats& other) const;
+
+  // Stable 16-hex-digit digest over exactly the fields SameOutcome compares (every report
+  // field included). Two stats objects have equal digests iff SameOutcome holds — the
+  // cross-process form of the contract, which scripts/soak_check.sh compares between a
+  // SIGKILLed-and-resumed campaign and an uninterrupted reference run.
+  std::string OutcomeDigest() const;
 
   std::string ToString() const;
 };

@@ -1,0 +1,121 @@
+#include "src/artemis/campaign/reducer.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace artemis {
+
+using jaguar::BugId;
+
+std::string ReportSignature(const BugReport& report) {
+  // Triaged campaigns dedup on the bisection attribution: two discrepancies blamed on the
+  // same stage (with the same invariant, if any) are one report even when their raw symptoms
+  // differ, and vice versa — the paper's "same root cause" judgement, automated.
+  if (report.triaged && report.triage.reproduced && report.triage.attributed()) {
+    return "triage:" + report.triage.DedupKey();
+  }
+  std::vector<int> causes;
+  for (BugId b : report.root_causes) {
+    causes.push_back(static_cast<int>(b));
+  }
+  std::sort(causes.begin(), causes.end());
+  std::string sig = std::to_string(static_cast<int>(report.kind)) + "/" +
+                    std::to_string(static_cast<int>(report.crash_component)) + ":";
+  for (int c : causes) {
+    sig += std::to_string(c) + ",";
+  }
+  return sig;
+}
+
+void CampaignReducer::SeedFromExistingReports() {
+  for (const BugReport& report : stats_->reports) {
+    seen_signatures_.insert(ReportSignature(report));
+    seen_causes_.insert(report.root_causes.begin(), report.root_causes.end());
+  }
+}
+
+bool CampaignReducer::File(BugReport bug) {
+  const std::string signature = ReportSignature(bug);
+  if (seen_signatures_.count(signature) != 0) {
+    return false;  // identical symptom — we would not file it again at all
+  }
+  seen_signatures_.insert(signature);
+  bug.duplicate = !bug.root_causes.empty() &&
+                  std::all_of(bug.root_causes.begin(), bug.root_causes.end(),
+                              [&](BugId b) { return seen_causes_.count(b) != 0; });
+  seen_causes_.insert(bug.root_causes.begin(), bug.root_causes.end());
+  stats_->reports.push_back(std::move(bug));
+  return true;
+}
+
+void CampaignReducer::Reduce(SeedShardResult&& shard) {
+  CampaignStats& stats = *stats_;
+  const ValidationReport& report = shard.report;
+  ++stats.seeds_run;
+  // Every mutant costs one interpreter + one JIT invocation; the seed costs two more.
+  stats.vm_invocations += 2;
+  if (!report.seed_usable) {
+    ++stats.seeds_discarded;
+    return;
+  }
+
+  bool seed_found = false;
+  // A seed that already diverges between interpretation and its default JIT-trace is a bug
+  // the traditional approaches would also see; file it like the paper's duplicates of bugs
+  // "that common users actually encounter in development".
+  if (report.seed_self_discrepancy) {
+    BugReport bug;
+    bug.seed_id = shard.seed_id;
+    bug.kind = report.seed_jit.status == jaguar::RunStatus::kVmCrash
+                   ? DiscrepancyKind::kCrash
+                   : DiscrepancyKind::kMisCompilation;
+    bug.root_causes = report.seed_jit.fired_bugs;
+    bug.crash_component = report.seed_jit.crash_component;
+    bug.crash_kind = report.seed_jit.crash_kind;
+    bug.detail = "seed diverges between interpreter and default JIT-trace";
+    if (shard.seed_triaged) {
+      bug.triaged = true;
+      bug.triage = shard.seed_triage;
+      stats.vm_invocations += static_cast<uint64_t>(bug.triage.runs);
+    }
+    seed_found |= File(std::move(bug));
+  }
+  // Index the shard's triage attributions by mutant ordinal for the verdict loop below.
+  std::map<size_t, const TriageReport*> triage_by_mutant;
+  for (const auto& triaged : shard.triaged_mutants) {
+    triage_by_mutant[triaged.mutant_index] = &triaged.report;
+  }
+  for (size_t m = 0; m < report.mutants.size(); ++m) {
+    const auto& verdict = report.mutants[m];
+    ++stats.mutants_generated;
+    stats.vm_invocations += verdict.discarded && !verdict.non_neutral ? 1 : 2;
+    stats.mutants_discarded += verdict.discarded ? 1 : 0;
+    stats.mutants_non_neutral += verdict.non_neutral ? 1 : 0;
+    stats.mutants_new_trace += verdict.explored_new_trace ? 1 : 0;
+    if (verdict.kind == DiscrepancyKind::kNone) {
+      continue;
+    }
+    seed_found = true;
+
+    BugReport bug;
+    bug.seed_id = shard.seed_id;
+    bug.kind = verdict.kind;
+    bug.root_causes = verdict.suspected_bugs;
+    bug.crash_component = verdict.outcome.crash_component;
+    bug.crash_kind = verdict.outcome.crash_kind;
+    bug.detail = verdict.detail;
+    if (const auto it = triage_by_mutant.find(m); it != triage_by_mutant.end()) {
+      bug.triaged = true;
+      bug.triage = *it->second;
+      stats.vm_invocations += static_cast<uint64_t>(bug.triage.runs);
+    }
+    // File at most one report per signature; later hits of an already-covered root cause
+    // count as duplicates (reported but recognized as the same underlying defect).
+    File(std::move(bug));
+  }
+  stats.seeds_with_discrepancy += seed_found ? 1 : 0;
+}
+
+}  // namespace artemis

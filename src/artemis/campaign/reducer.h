@@ -1,0 +1,53 @@
+// The campaign's sequential reduce step, factored out of RunCampaign so every consumer of
+// per-seed shard results folds them with the *same* dedup bookkeeping:
+//   - RunCampaign (campaign.cc) reduces freshly-computed shards;
+//   - the durable campaign (service/durable.h) reduces a mix of journal-replayed and
+//     freshly-computed shards after a resume;
+//   - the service loop (service/service.h) keeps one reducer alive across rounds so
+//     report deduplication spans the whole lifetime of the evolving-corpus campaign.
+//
+// Reduction is order-sensitive (which report of a signature class gets filed, and which
+// filed reports are flagged duplicate, depends on fold order), so all callers feed shards in
+// ascending seed order; combined with per-seed determinism (shard.h) this makes the final
+// CampaignStats identical regardless of thread count, process restarts, or journal replay.
+
+#ifndef SRC_ARTEMIS_CAMPAIGN_REDUCER_H_
+#define SRC_ARTEMIS_CAMPAIGN_REDUCER_H_
+
+#include <set>
+#include <string>
+
+#include "src/artemis/campaign/shard.h"
+
+namespace artemis {
+
+// Deduplication signature of one report: triage attribution when available, otherwise
+// sorted root causes + symptom (see campaign.h's report bookkeeping comment).
+std::string ReportSignature(const BugReport& report);
+
+class CampaignReducer {
+ public:
+  // Folds into `*stats`; the reducer does not own the stats object and callers may read it
+  // between Reduce calls (the service loop snapshots mid-campaign).
+  explicit CampaignReducer(CampaignStats* stats) : stats_(stats) {}
+
+  // Rebuilds the dedup state from reports already present in the stats object — the resume
+  // path: a journal segment restored stats->reports, and subsequent shards must dedup
+  // against them exactly as the uninterrupted run would have.
+  void SeedFromExistingReports();
+
+  // Files `bug` unless its signature was already filed; returns whether it was filed.
+  bool File(BugReport bug);
+
+  // Folds one seed's validation outcome into the stats (counters + report filing).
+  void Reduce(SeedShardResult&& shard);
+
+ private:
+  CampaignStats* stats_;
+  std::set<std::string> seen_signatures_;
+  std::set<jaguar::BugId> seen_causes_;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_CAMPAIGN_REDUCER_H_

@@ -1,0 +1,259 @@
+#include "src/artemis/corpus/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/support/check.h"
+
+namespace artemis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::string();
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Write-then-rename: a SIGKILL mid-write leaves at most a stale .tmp file, never a
+// half-written entry (Load() only looks at final names).
+bool WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << content;
+    if (!out.good()) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+// One uniform double in [0, 1), consuming exactly one rng draw (53 mantissa bits).
+double NextUnit(jaguar::Rng& rng) {
+  return static_cast<double>(rng.NextU64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Json CorpusMeta::ToJson() const {
+  Json j = Json::Object();
+  j.Set("id", id);
+  j.Set("parent_id", parent_id);
+  j.Set("origin_seed", origin_seed);
+  Json lin = Json::Array();
+  for (const std::string& step : lineage) {
+    lin.Append(step);
+  }
+  j.Set("lineage", std::move(lin));
+  j.Set("round_admitted", round_admitted);
+  j.Set("methods", methods);
+  j.Set("frac_top_tier", frac_top_tier);
+  j.Set("frac_deopted", frac_deopted);
+  j.Set("discrepancies", discrepancies);
+  j.Set("report_signatures", report_signatures);
+  j.Set("times_scheduled", times_scheduled);
+  j.Set("children_admitted", children_admitted);
+  return j;
+}
+
+bool CorpusMeta::FromJson(const Json& json, CorpusMeta* out) {
+  if (!json.is_object() || json.Get("id").AsString().empty()) {
+    return false;
+  }
+  CorpusMeta meta;
+  meta.id = json.Get("id").AsString();
+  meta.parent_id = json.Get("parent_id").AsString();
+  meta.origin_seed = json.Get("origin_seed").AsUint();
+  for (const Json& step : json.Get("lineage").items()) {
+    meta.lineage.push_back(step.AsString());
+  }
+  meta.round_admitted = static_cast<int>(json.Get("round_admitted").AsInt());
+  meta.methods = static_cast<int>(json.Get("methods").AsInt());
+  meta.frac_top_tier = json.Get("frac_top_tier").AsDouble();
+  meta.frac_deopted = json.Get("frac_deopted").AsDouble();
+  meta.discrepancies = static_cast<int>(json.Get("discrepancies").AsInt());
+  meta.report_signatures = json.Get("report_signatures").AsString();
+  meta.times_scheduled = static_cast<int>(json.Get("times_scheduled").AsInt());
+  meta.children_admitted = static_cast<int>(json.Get("children_admitted").AsInt());
+  *out = std::move(meta);
+  return true;
+}
+
+CorpusStore::CorpusStore(std::string dir, size_t max_entries)
+    : dir_(std::move(dir)), max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::string CorpusStore::IdFor(const std::string& source) {
+  return jaguar::Hex64(jaguar::Fnv1a64(source));
+}
+
+std::string CorpusStore::PathFor(const std::string& id, const char* ext) const {
+  return dir_ + "/" + id + ext;
+}
+
+size_t CorpusStore::Load() {
+  entries_.clear();
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
+    if (!dirent.is_regular_file() || dirent.path().extension() != ".json") {
+      continue;
+    }
+    Json sidecar;
+    if (!Json::Parse(ReadWholeFile(dirent.path().string()), &sidecar)) {
+      continue;  // damaged sidecar (e.g. stale .tmp rename race) — skip, don't abort
+    }
+    CorpusMeta meta;
+    if (!CorpusMeta::FromJson(sidecar, &meta)) {
+      continue;
+    }
+    if (!fs::exists(PathFor(meta.id, ".jag"))) {
+      continue;  // sidecar without its program — unusable half of a killed admission
+    }
+    entries_[meta.id] = std::move(meta);
+  }
+  return entries_.size();
+}
+
+bool CorpusStore::Admit(const std::string& source, CorpusMeta meta) {
+  meta.id = IdFor(source);
+  if (Contains(meta.id)) {
+    return false;  // content-addressed: an identical program is already in the pool
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // Program first, sidecar second: Load() requires both, so a kill between the writes
+  // leaves an orphan .jag that the next admission of the same content simply overwrites.
+  if (!WriteFileAtomic(PathFor(meta.id, ".jag"), source)) {
+    return false;
+  }
+  WriteSidecar(meta);
+  entries_[meta.id] = std::move(meta);
+  return true;
+}
+
+void CorpusStore::WriteSidecar(const CorpusMeta& meta) const {
+  WriteFileAtomic(PathFor(meta.id, ".json"), meta.ToJson().Dump() + "\n");
+}
+
+double CorpusStore::PriorityOf(const CorpusMeta& meta) const {
+  // Uncovered compilation space dominates: an entry whose methods have not all reached the
+  // top tier still has JIT behaviours left to explore (the §4.5 guidance signal). Proven
+  // bug-finders and productive lineages get a bonus; repeated scheduling decays energy so
+  // the pool keeps rotating (AFL-style).
+  double energy = 1.0 + 2.0 * (1.0 - meta.frac_top_tier);
+  if (meta.discrepancies > 0) {
+    energy += 1.0;
+  }
+  energy += 0.5 * static_cast<double>(std::min(meta.children_admitted, 4));
+  return energy / (1.0 + static_cast<double>(meta.times_scheduled));
+}
+
+std::string CorpusStore::PickForMutation(jaguar::Rng& rng) {
+  JAG_CHECK(!entries_.empty());
+  double total = 0.0;
+  for (const auto& [id, meta] : entries_) {
+    total += PriorityOf(meta);
+  }
+  double target = NextUnit(rng) * total;
+  for (const auto& [id, meta] : entries_) {
+    target -= PriorityOf(meta);
+    if (target < 0.0) {
+      return id;
+    }
+  }
+  return entries_.rbegin()->first;  // floating-point tail: the last entry
+}
+
+void CorpusStore::NoteScheduled(const std::string& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  ++it->second.times_scheduled;
+  WriteSidecar(it->second);
+}
+
+void CorpusStore::NoteChildAdmitted(const std::string& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  ++it->second.children_admitted;
+  WriteSidecar(it->second);
+}
+
+void CorpusStore::NoteDiscrepancy(const std::string& id, const std::string& signature) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  ++it->second.discrepancies;
+  if (!signature.empty()) {
+    if (!it->second.report_signatures.empty()) {
+      it->second.report_signatures += ";";
+    }
+    it->second.report_signatures += signature;
+  }
+  WriteSidecar(it->second);
+}
+
+std::vector<std::string> CorpusStore::EvictToCapacity() {
+  std::vector<std::string> evicted;
+  if (entries_.size() <= max_entries_) {
+    return evicted;
+  }
+  // Retention score (higher = keep): bug-finders and productive parents are precious;
+  // fully-covered, many-times-rescheduled entries have yielded what they will.
+  auto retention = [&](const CorpusMeta& meta) {
+    return 4.0 * (meta.discrepancies > 0 ? 1.0 : 0.0) +
+           2.0 * static_cast<double>(meta.children_admitted) + (1.0 - meta.frac_top_tier) -
+           0.1 * static_cast<double>(meta.times_scheduled);
+  };
+  std::vector<std::pair<double, std::string>> ranked;
+  ranked.reserve(entries_.size());
+  for (const auto& [id, meta] : entries_) {
+    ranked.emplace_back(retention(meta), id);
+  }
+  // Ascending score, id as the deterministic tiebreak.
+  std::sort(ranked.begin(), ranked.end());
+  for (const auto& [score, id] : ranked) {
+    if (entries_.size() <= max_entries_) {
+      break;
+    }
+    std::error_code ec;
+    fs::remove(PathFor(id, ".jag"), ec);
+    fs::remove(PathFor(id, ".json"), ec);
+    entries_.erase(id);
+    evicted.push_back(id);
+  }
+  return evicted;
+}
+
+std::string CorpusStore::LoadSource(const std::string& id) const {
+  return ReadWholeFile(PathFor(id, ".jag"));
+}
+
+jaguar::Program CorpusStore::LoadProgram(const std::string& id) const {
+  jaguar::Program program = jaguar::ParseProgram(LoadSource(id));
+  jaguar::Check(program);
+  return program;
+}
+
+}  // namespace artemis

@@ -1,0 +1,128 @@
+// CorpusStore — the on-disk, content-addressed seed/mutant corpus of a long-running
+// campaign.
+//
+// The paper runs Artemis as a months-long continuous campaign; template-extraction work
+// (Zang et al., PAPERS.md) shows that *retaining and re-mutating interesting programs* —
+// rather than forever sampling fresh ones — is what keeps such campaigns productive. This
+// store is that retention layer:
+//
+//   - every entry is a Jaguar program, stored as pretty-printed source (`<id>.jag`) plus a
+//     JSON metadata sidecar (`<id>.json`) holding its RNG lineage, the per-method
+//     SpaceCoverage summary observed when it was admitted, its discrepancy/triage outcome,
+//     and the scheduler's energy counters;
+//   - the id is the 64-bit FNV-1a hash of the printed source (content addressing), so
+//     re-admitting an identical program is a no-op and corpus directories merge trivially;
+//   - admission policy: the service loop promotes mutants that explored a *new JIT-trace*
+//     (`MutantVerdict::explored_new_trace`) into the seed pool — the §4.5 coverage-guided
+//     future-work direction applied to corpus evolution;
+//   - scheduling: PickForMutation draws entries with probability proportional to a priority
+//     that favours low compilation-space coverage (methods not yet driven to the top tier),
+//     proven bug-finders, and rarely-rescheduled entries (an AFL-style energy decay);
+//   - eviction: the corpus is size-bounded; over-capacity entries with the lowest retention
+//     score (never-productive, fully-covered, heavily-rescheduled) are deleted from disk.
+//
+// Everything is deterministic: ids are content hashes, iteration orders are sorted, and the
+// only randomness flows through the caller-supplied Rng — so a service round's corpus
+// operations replay bit-identically.
+
+#ifndef SRC_ARTEMIS_CORPUS_CORPUS_H_
+#define SRC_ARTEMIS_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/lang/ast.h"
+#include "src/jaguar/support/json.h"
+#include "src/jaguar/support/rng.h"
+
+namespace artemis {
+
+using jaguar::Json;
+
+// The metadata sidecar of one corpus entry (everything except the program text).
+struct CorpusMeta {
+  std::string id;         // content hash of the printed source (16 hex chars)
+  std::string parent_id;  // entry this mutant was derived from ("" for generator roots)
+  uint64_t origin_seed = 0;  // generator seed id at the root of the lineage
+  // Mutation lineage of the admitting step, e.g. {"LI@f2", "MI@f0"} (mutator @ method).
+  std::vector<std::string> lineage;
+  int round_admitted = 0;
+
+  // SpaceCoverage summary observed during the validation that admitted this entry.
+  int methods = 0;             // mutation targets (<ginit> excluded)
+  double frac_top_tier = 0.0;  // fraction of methods driven to the VM's top tier
+  double frac_deopted = 0.0;   // fraction of methods that deoptimized at least once
+
+  // Outcome: discrepancies this entry's validation revealed, and the dedup signature(s) of
+  // the reports it contributed to (";"-joined, possibly empty).
+  int discrepancies = 0;
+  std::string report_signatures;
+
+  // Scheduler state (mutated in place by the store).
+  int times_scheduled = 0;   // how often PickForMutation returned this entry
+  int children_admitted = 0; // mutants of this entry that were themselves admitted
+
+  Json ToJson() const;
+  static bool FromJson(const Json& json, CorpusMeta* out);
+};
+
+class CorpusStore {
+ public:
+  // `dir` is created on demand. `max_entries` bounds the corpus; EvictToCapacity() enforces
+  // it (admission never evicts implicitly, so a caller can admit a batch then evict once).
+  explicit CorpusStore(std::string dir, size_t max_entries = 256);
+
+  // Content address of a program source.
+  static std::string IdFor(const std::string& source);
+
+  // Scans the directory and loads every entry with a parseable sidecar and a present .jag
+  // file. Returns the number of entries loaded. Silently skips damaged pairs (a SIGKILL can
+  // leave a sidecar without its program or vice versa); Admit re-creates them if re-derived.
+  size_t Load();
+
+  // Writes `<id>.jag` + `<id>.json` and registers the entry. `meta.id` is computed from
+  // `source` (any caller-provided id is overwritten). Returns false (and changes nothing)
+  // when an entry with the same content is already present.
+  bool Admit(const std::string& source, CorpusMeta meta);
+
+  bool Contains(const std::string& id) const { return entries_.count(id) != 0; }
+  size_t size() const { return entries_.size(); }
+  size_t max_entries() const { return max_entries_; }
+  const std::string& dir() const { return dir_; }
+  const std::map<std::string, CorpusMeta>& entries() const { return entries_; }
+
+  // Scheduling priority: higher = more worth re-mutating. Positive for every entry.
+  double PriorityOf(const CorpusMeta& meta) const;
+
+  // Draws one entry id, with probability proportional to PriorityOf, consuming exactly one
+  // rng value. Requires a non-empty corpus. Deterministic in (corpus state, rng state):
+  // entries are walked in sorted-id order.
+  std::string PickForMutation(jaguar::Rng& rng);
+
+  // Scheduler bookkeeping; both rewrite the entry's sidecar so energy survives restarts.
+  void NoteScheduled(const std::string& id);
+  void NoteChildAdmitted(const std::string& id);
+  void NoteDiscrepancy(const std::string& id, const std::string& signature);
+
+  // Deletes lowest-retention-score entries until size() <= max_entries(); returns the
+  // evicted ids in eviction order (deterministic).
+  std::vector<std::string> EvictToCapacity();
+
+  // Reads an entry's program text / parsed+checked AST.
+  std::string LoadSource(const std::string& id) const;
+  jaguar::Program LoadProgram(const std::string& id) const;
+
+ private:
+  std::string PathFor(const std::string& id, const char* ext) const;
+  void WriteSidecar(const CorpusMeta& meta) const;
+
+  std::string dir_;
+  size_t max_entries_;
+  std::map<std::string, CorpusMeta> entries_;  // sorted by id → deterministic iteration
+};
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_CORPUS_CORPUS_H_

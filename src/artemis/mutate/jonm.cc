@@ -1,6 +1,8 @@
 #include "src/artemis/mutate/jonm.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 #include <utility>
 
@@ -197,6 +199,9 @@ class Mutator {
 
   MutatorKind last_applied() const { return last_applied_; }
 
+  // Starts fresh "jnN" names at `floor` (see FreshNameFloor below).
+  void SeedNameCounter(int floor) { name_counter_ = floor; }
+
  private:
   LoopSynthesizer MakeSynth(const std::vector<VarInfo>& visible) {
     return LoopSynthesizer(rng_, params_.synth, visible, globals_, &name_counter_);
@@ -374,10 +379,43 @@ const char* MutatorName(MutatorKind kind) {
   return "?";
 }
 
+// First unused suffix of the synthesizer's "jnN"/"jnctlN" name families in `program`.
+// Mutating an already-mutated program (the evolving corpus re-mutates its own printed
+// mutants) must not restart fresh names at jn0: the language forbids shadowing, so a second-
+// generation jn0 inside the scope of a first-generation jn0 is a type error.
+int FreshNameFloor(jaguar::Program& program) {
+  int max_seen = -1;
+  auto consider = [&](const std::string& name) {
+    for (const char* prefix : {"jnctl", "jn"}) {
+      const size_t len = std::strlen(prefix);
+      if (name.size() <= len || name.compare(0, len, prefix) != 0) {
+        continue;
+      }
+      bool digits = true;
+      for (size_t i = len; i < name.size(); ++i) {
+        digits = digits && name[i] >= '0' && name[i] <= '9';
+      }
+      if (digits) {
+        max_seen = std::max(max_seen, std::atoi(name.c_str() + len));
+      }
+      break;  // "jnctl" names must not be re-tested against the "jn" prefix
+    }
+  };
+  for (const auto& f : program.functions) {
+    for (const jaguar::InsertionPoint& point : jaguar::CollectInsertionPoints(*f)) {
+      for (const jaguar::VarInfo& var : point.visible) {
+        consider(var.name);
+      }
+    }
+  }
+  return max_seen + 1;
+}
+
 MutationResult JoNM(const jaguar::Program& seed, const JonmParams& params, Rng& rng) {
   MutationResult result;
   result.mutant = seed.Clone();
   Mutator mutator(result.mutant, params, rng);
+  mutator.SeedNameCounter(FreshNameFloor(result.mutant));
 
   // Algorithm 1, lines 10–15: coin-flip selection over the program's exclusive methods. The
   // function list may grow via MI side effects only (it does not), so a snapshot of the

@@ -1,0 +1,196 @@
+#include "src/artemis/service/durable.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/artemis/campaign/reducer.h"
+#include "src/artemis/campaign/shard.h"
+#include "src/artemis/campaign/worker_pool.h"
+#include "src/artemis/service/journal.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::Json;
+
+// Everything a resume needs from an existing journal.
+struct JournalState {
+  std::map<int, SeedShardResult> completed;  // ordinal → replayed shard
+  double prior_elapsed = 0.0;                // campaign-lifetime wall total at last write
+  int segments = 0;                          // campaign_started events seen
+  std::string fingerprint;                   // from the first header
+  Json header_params;                        // params object of the first header
+  std::string vm_name;
+  int verify_level = 0;
+};
+
+JournalState ScanJournal(const std::string& path) {
+  JournalState state;
+  for (const Json& event : ReadJournal(path).events) {
+    const std::string& kind = event.Get("event").AsString();
+    state.prior_elapsed = std::max(state.prior_elapsed, event.Get("elapsed").AsDouble());
+    if (kind == "campaign_started") {
+      ++state.segments;
+      if (state.fingerprint.empty()) {
+        state.fingerprint = event.Get("fingerprint").AsString();
+        state.header_params = event.Get("params");
+        state.vm_name = event.Get("vm").AsString();
+        state.verify_level = static_cast<int>(event.Get("verify").AsInt());
+      }
+    } else if (kind == "seed_finished") {
+      SeedShardResult shard;
+      if (ShardFromJson(event.Get("shard"), &shard)) {
+        state.completed[static_cast<int>(event.Get("ordinal").AsInt())] = std::move(shard);
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+DurableResult RunDurableCampaign(const jaguar::VmConfig& vm_config,
+                                 const CampaignParams& params,
+                                 const DurableOptions& options) {
+  if (params.validator.tune_iteration || params.validator.on_mutant) {
+    throw std::runtime_error(
+        "durable campaigns cannot journal validator guidance hooks; unset them");
+  }
+  const std::string fingerprint = CampaignFingerprint(vm_config, params);
+  JournalState prior = ScanJournal(options.journal_path);
+  if (prior.segments > 0 && prior.fingerprint != fingerprint) {
+    throw std::runtime_error("journal '" + options.journal_path +
+                             "' belongs to a different campaign (fingerprint " +
+                             prior.fingerprint + " != " + fingerprint + ")");
+  }
+
+  CampaignJournal journal(options.journal_path);
+  if (!journal.ok()) {
+    throw std::runtime_error("cannot open journal '" + options.journal_path + "' for append");
+  }
+
+  const auto segment_start = std::chrono::steady_clock::now();
+  auto lifetime_elapsed = [&] {
+    return prior.prior_elapsed +
+           std::chrono::duration<double>(std::chrono::steady_clock::now() - segment_start)
+               .count();
+  };
+
+  {
+    Json header = Json::Object();
+    header.Set("event", "campaign_started");
+    header.Set("schema", static_cast<int64_t>(1));
+    header.Set("vm", vm_config.name);
+    header.Set("verify", static_cast<int64_t>(static_cast<int>(vm_config.verify_level)));
+    header.Set("fingerprint", fingerprint);
+    header.Set("params", CampaignParamsToJson(params));
+    header.Set("segment", static_cast<int64_t>(prior.segments + 1));
+    header.Set("elapsed", prior.prior_elapsed);
+    journal.Append(header);
+  }
+
+  jaguar::VmConfig config = vm_config;
+  config.step_budget = params.step_budget;
+  const int threads = params.num_threads > 0 ? params.num_threads : DefaultWorkerCount();
+
+  // The seeds this segment still has to run, ascending.
+  std::vector<int> missing;
+  for (int s = 0; s < params.num_seeds; ++s) {
+    if (prior.completed.count(s) == 0) {
+      missing.push_back(s);
+    }
+  }
+  const bool truncated = options.stop_after_seeds > 0 &&
+                         static_cast<size_t>(options.stop_after_seeds) < missing.size();
+  if (truncated) {
+    missing.resize(static_cast<size_t>(options.stop_after_seeds));
+  }
+
+  // Map phase: identical per-seed work as RunCampaign, but each finished shard is journaled
+  // immediately — the checkpoint granularity is one seed.
+  std::vector<SeedShardResult> fresh(missing.size());
+  ParallelFor(static_cast<int>(missing.size()), threads, [&](int i) {
+    const int ordinal = missing[static_cast<size_t>(i)];
+    fresh[static_cast<size_t>(i)] = RunSeedShard(config, params, ordinal);
+    Json event = Json::Object();
+    event.Set("event", "seed_finished");
+    event.Set("ordinal", static_cast<int64_t>(ordinal));
+    event.Set("elapsed", lifetime_elapsed());
+    event.Set("shard", ShardToJson(fresh[static_cast<size_t>(i)]));
+    journal.Append(event);
+  });
+
+  DurableResult result;
+  result.complete = !truncated;
+  result.replayed_seeds = static_cast<int>(prior.completed.size());
+  result.executed_seeds = static_cast<int>(missing.size());
+
+  // Reduce phase: fold every available shard in ordinal order — journal-replayed and
+  // freshly-executed shards interleave exactly as the uninterrupted run's reduce would.
+  CampaignStats& stats = result.stats;
+  stats.vm_name = vm_config.name;
+  CampaignReducer reducer(&stats);
+  std::map<int, SeedShardResult*> fresh_by_ordinal;
+  for (size_t i = 0; i < missing.size(); ++i) {
+    fresh_by_ordinal[missing[i]] = &fresh[i];
+  }
+  for (int s = 0; s < params.num_seeds; ++s) {
+    if (auto it = prior.completed.find(s); it != prior.completed.end()) {
+      reducer.Reduce(std::move(it->second));
+    } else if (auto it2 = fresh_by_ordinal.find(s); it2 != fresh_by_ordinal.end()) {
+      reducer.Reduce(std::move(*it2->second));
+    }
+    // A hole (stop_after_seeds truncation) contributes nothing; the next segment runs it.
+  }
+
+  stats.wall_seconds = lifetime_elapsed();
+  stats.journal_segments = prior.segments + 1;
+
+  if (result.complete) {
+    Json done = Json::Object();
+    done.Set("event", "campaign_finished");
+    done.Set("digest", stats.OutcomeDigest());
+    done.Set("elapsed", stats.wall_seconds);
+    journal.Append(done);
+  }
+  journal.Flush();
+  return result;
+}
+
+DurableResult ResumeCampaign(const std::string& journal_path) {
+  JournalState prior = ScanJournal(journal_path);
+  if (prior.segments == 0) {
+    throw std::runtime_error("journal '" + journal_path + "' has no campaign_started header");
+  }
+  CampaignParams params;
+  if (!CampaignParamsFromJson(prior.header_params, &params)) {
+    throw std::runtime_error("journal '" + journal_path + "' has an unreadable params header");
+  }
+  jaguar::VmConfig vm;
+  bool found = false;
+  for (const jaguar::VmConfig& vendor : jaguar::AllVendors()) {
+    if (vendor.name == prior.vm_name) {
+      vm = vendor;
+      found = true;
+      break;
+    }
+  }
+  if (!found && prior.vm_name == jaguar::ReferenceJitConfig().name) {
+    vm = jaguar::ReferenceJitConfig();
+    found = true;
+  }
+  if (!found) {
+    throw std::runtime_error("journal '" + journal_path + "' names unknown vendor '" +
+                             prior.vm_name + "'");
+  }
+  vm.verify_level = static_cast<jaguar::VerifyLevel>(prior.verify_level);
+  DurableOptions options;
+  options.journal_path = journal_path;
+  return RunDurableCampaign(vm, params, options);
+}
+
+}  // namespace artemis

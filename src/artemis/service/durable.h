@@ -1,0 +1,68 @@
+// Durable campaigns: RunCampaign with a journal underneath, and checkpoint/resume on top.
+//
+// RunDurableCampaign behaves exactly like RunCampaign (same shards, same ordered reduce,
+// same stats) but journals every completed seed shard to an append-only JSONL file as it
+// finishes. If the journal already contains completed shards for the same campaign
+// (fingerprint match), they are *replayed* — deserialized instead of re-executed — and only
+// the missing ordinals run.
+//
+// The contract, verified by tests/service_test.cc and scripts/soak_check.sh:
+//
+//     kill the campaign process at ANY point, resume from the journal, and the final
+//     CampaignStats satisfy SameOutcome() against the same campaign run uninterrupted —
+//     for any kill point, any number of kills, and any thread counts before/after.
+//
+// Why it holds: each seed shard is a pure function of (vm config, params, ordinal)
+// (shard.h), the journal records shards losslessly w.r.t. the reducer's needs (journal.h
+// codecs), and the reduce always folds ordinals 0..num_seeds-1 in order regardless of which
+// process computed which shard. A SIGKILL can only lose whole events or truncate the final
+// line — lost seeds re-run deterministically, and the truncated line is skipped by the
+// tolerant reader.
+//
+// Accounting across segments: wall_seconds accumulates (each segment's events carry the
+// campaign-lifetime elapsed total, and a resume continues from the recorded prior instead
+// of restarting at zero), vm_invocations is recomputed by the reduce over all shards, and
+// stats.journal_segments counts the process incarnations.
+
+#ifndef SRC_ARTEMIS_SERVICE_DURABLE_H_
+#define SRC_ARTEMIS_SERVICE_DURABLE_H_
+
+#include <string>
+
+#include "src/artemis/campaign/campaign.h"
+
+namespace artemis {
+
+struct DurableOptions {
+  std::string journal_path;
+
+  // Test/soak hook: when > 0, the segment executes at most this many *fresh* shards (in
+  // ascending ordinal order) and then returns with complete=false, leaving the journal
+  // exactly as a SIGKILL at that point would (modulo the truncated final line, which the
+  // reader tolerates anyway). 0 = run to completion.
+  int stop_after_seeds = 0;
+};
+
+struct DurableResult {
+  CampaignStats stats;
+  bool complete = true;   // false only under DurableOptions::stop_after_seeds
+  int replayed_seeds = 0; // shards restored from the journal (not re-executed)
+  int executed_seeds = 0; // shards computed by this segment
+};
+
+// Runs (or resumes) the campaign against `journal_path`. Throws std::runtime_error when the
+// journal belongs to a different campaign (fingerprint mismatch) or the journal file cannot
+// be opened for append. Guidance hooks (validator.tune_iteration/on_mutant) are not
+// journalable and must be unset.
+DurableResult RunDurableCampaign(const jaguar::VmConfig& vm_config,
+                                 const CampaignParams& params, const DurableOptions& options);
+
+// Resumes a campaign purely from its journal: vendor, verify level, and parameters are
+// reconstructed from the journal's campaign_started header, then RunDurableCampaign
+// continues from the first unfinished seed. Throws std::runtime_error when the journal is
+// missing/headerless or names an unknown vendor.
+DurableResult ResumeCampaign(const std::string& journal_path);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_SERVICE_DURABLE_H_

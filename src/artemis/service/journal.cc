@@ -1,0 +1,440 @@
+#include "src/artemis/service/journal.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace artemis {
+namespace {
+
+using jaguar::Json;
+
+Json BugIdsToJson(const std::vector<jaguar::BugId>& bugs) {
+  Json arr = Json::Array();
+  for (jaguar::BugId b : bugs) {
+    arr.Append(static_cast<int64_t>(static_cast<int>(b)));
+  }
+  return arr;
+}
+
+std::vector<jaguar::BugId> BugIdsFromJson(const Json& json) {
+  std::vector<jaguar::BugId> out;
+  for (const Json& item : json.items()) {
+    out.push_back(static_cast<jaguar::BugId>(item.AsInt()));
+  }
+  return out;
+}
+
+Json StringsToJson(const std::vector<std::string>& strings) {
+  Json arr = Json::Array();
+  for (const std::string& s : strings) {
+    arr.Append(s);
+  }
+  return arr;
+}
+
+std::vector<std::string> StringsFromJson(const Json& json) {
+  std::vector<std::string> out;
+  for (const Json& item : json.items()) {
+    out.push_back(item.AsString());
+  }
+  return out;
+}
+
+}  // namespace
+
+Json TriageToJson(const TriageReport& report) {
+  Json j = Json::Object();
+  j.Set("reproduced", report.reproduced);
+  j.Set("kind", static_cast<int64_t>(static_cast<int>(report.kind)));
+  j.Set("stage", report.stage);
+  j.Set("partner", report.partner);
+  j.Set("invariant", report.invariant);
+  j.Set("invariant_stage", report.invariant_stage);
+  j.Set("candidates", StringsToJson(report.candidates));
+  j.Set("detail", report.detail);
+  j.Set("runs", static_cast<int64_t>(report.runs));
+  return j;
+}
+
+bool TriageFromJson(const Json& json, TriageReport* out) {
+  if (!json.is_object()) {
+    return false;
+  }
+  TriageReport report;
+  report.reproduced = json.Get("reproduced").AsBool();
+  report.kind = static_cast<DiscrepancyKind>(json.Get("kind").AsInt());
+  report.stage = json.Get("stage").AsString();
+  report.partner = json.Get("partner").AsString();
+  report.invariant = json.Get("invariant").AsString();
+  report.invariant_stage = json.Get("invariant_stage").AsString();
+  report.candidates = StringsFromJson(json.Get("candidates"));
+  report.detail = json.Get("detail").AsString();
+  report.runs = static_cast<int>(json.Get("runs").AsInt());
+  *out = std::move(report);
+  return true;
+}
+
+Json BugReportToJson(const BugReport& report) {
+  Json j = Json::Object();
+  j.Set("seed_id", report.seed_id);
+  j.Set("kind", static_cast<int64_t>(static_cast<int>(report.kind)));
+  j.Set("root_causes", BugIdsToJson(report.root_causes));
+  j.Set("crash_component", static_cast<int64_t>(static_cast<int>(report.crash_component)));
+  j.Set("crash_kind", report.crash_kind);
+  j.Set("detail", report.detail);
+  j.Set("duplicate", report.duplicate);
+  if (report.triaged) {
+    j.Set("triage", TriageToJson(report.triage));
+  }
+  return j;
+}
+
+bool BugReportFromJson(const Json& json, BugReport* out) {
+  if (!json.is_object()) {
+    return false;
+  }
+  BugReport report;
+  report.seed_id = json.Get("seed_id").AsUint();
+  report.kind = static_cast<DiscrepancyKind>(json.Get("kind").AsInt());
+  report.root_causes = BugIdsFromJson(json.Get("root_causes"));
+  report.crash_component = static_cast<jaguar::VmComponent>(json.Get("crash_component").AsInt());
+  report.crash_kind = json.Get("crash_kind").AsString();
+  report.detail = json.Get("detail").AsString();
+  report.duplicate = json.Get("duplicate").AsBool();
+  if (json.Has("triage")) {
+    report.triaged = true;
+    if (!TriageFromJson(json.Get("triage"), &report.triage)) {
+      return false;
+    }
+  }
+  *out = std::move(report);
+  return true;
+}
+
+Json ShardToJson(const SeedShardResult& shard) {
+  Json j = Json::Object();
+  j.Set("seed_id", shard.seed_id);
+  j.Set("seed_usable", shard.report.seed_usable);
+  j.Set("seed_self_discrepancy", shard.report.seed_self_discrepancy);
+  // Of the seed's own runs only the JIT outcome's report-relevant fields matter to the
+  // reducer (self-discrepancy bug filing).
+  Json seed_jit = Json::Object();
+  seed_jit.Set("status", static_cast<int64_t>(static_cast<int>(shard.report.seed_jit.status)));
+  seed_jit.Set("fired_bugs", BugIdsToJson(shard.report.seed_jit.fired_bugs));
+  seed_jit.Set("crash_component",
+               static_cast<int64_t>(static_cast<int>(shard.report.seed_jit.crash_component)));
+  seed_jit.Set("crash_kind", shard.report.seed_jit.crash_kind);
+  j.Set("seed_jit", std::move(seed_jit));
+
+  Json mutants = Json::Array();
+  for (const MutantVerdict& verdict : shard.report.mutants) {
+    Json m = Json::Object();
+    m.Set("kind", static_cast<int64_t>(static_cast<int>(verdict.kind)));
+    m.Set("discarded", verdict.discarded);
+    m.Set("non_neutral", verdict.non_neutral);
+    m.Set("new_trace", verdict.explored_new_trace);
+    m.Set("detail", verdict.detail);
+    m.Set("suspected_bugs", BugIdsToJson(verdict.suspected_bugs));
+    m.Set("crash_component",
+          static_cast<int64_t>(static_cast<int>(verdict.outcome.crash_component)));
+    m.Set("crash_kind", verdict.outcome.crash_kind);
+    mutants.Append(std::move(m));
+  }
+  j.Set("mutants", std::move(mutants));
+
+  if (shard.seed_triaged) {
+    j.Set("seed_triage", TriageToJson(shard.seed_triage));
+  }
+  if (!shard.triaged_mutants.empty()) {
+    Json triaged = Json::Array();
+    for (const auto& tm : shard.triaged_mutants) {
+      Json t = Json::Object();
+      t.Set("mutant_index", static_cast<int64_t>(tm.mutant_index));
+      t.Set("report", TriageToJson(tm.report));
+      triaged.Append(std::move(t));
+    }
+    j.Set("triaged_mutants", std::move(triaged));
+  }
+  return j;
+}
+
+bool ShardFromJson(const Json& json, SeedShardResult* out) {
+  if (!json.is_object() || !json.Has("seed_id")) {
+    return false;
+  }
+  SeedShardResult shard;
+  shard.seed_id = json.Get("seed_id").AsUint();
+  shard.report.seed_usable = json.Get("seed_usable").AsBool();
+  shard.report.seed_self_discrepancy = json.Get("seed_self_discrepancy").AsBool();
+  const Json& seed_jit = json.Get("seed_jit");
+  shard.report.seed_jit.status = static_cast<jaguar::RunStatus>(seed_jit.Get("status").AsInt());
+  shard.report.seed_jit.fired_bugs = BugIdsFromJson(seed_jit.Get("fired_bugs"));
+  shard.report.seed_jit.crash_component =
+      static_cast<jaguar::VmComponent>(seed_jit.Get("crash_component").AsInt());
+  shard.report.seed_jit.crash_kind = seed_jit.Get("crash_kind").AsString();
+
+  for (const Json& m : json.Get("mutants").items()) {
+    MutantVerdict verdict;
+    verdict.kind = static_cast<DiscrepancyKind>(m.Get("kind").AsInt());
+    verdict.discarded = m.Get("discarded").AsBool();
+    verdict.non_neutral = m.Get("non_neutral").AsBool();
+    verdict.explored_new_trace = m.Get("new_trace").AsBool();
+    verdict.detail = m.Get("detail").AsString();
+    verdict.suspected_bugs = BugIdsFromJson(m.Get("suspected_bugs"));
+    verdict.outcome.crash_component =
+        static_cast<jaguar::VmComponent>(m.Get("crash_component").AsInt());
+    verdict.outcome.crash_kind = m.Get("crash_kind").AsString();
+    shard.report.mutants.push_back(std::move(verdict));
+  }
+
+  if (json.Has("seed_triage")) {
+    shard.seed_triaged = true;
+    if (!TriageFromJson(json.Get("seed_triage"), &shard.seed_triage)) {
+      return false;
+    }
+  }
+  for (const Json& t : json.Get("triaged_mutants").items()) {
+    SeedShardResult::TriagedMutant tm;
+    tm.mutant_index = static_cast<size_t>(t.Get("mutant_index").AsInt());
+    if (!TriageFromJson(t.Get("report"), &tm.report)) {
+      return false;
+    }
+    shard.triaged_mutants.push_back(std::move(tm));
+  }
+  *out = std::move(shard);
+  return true;
+}
+
+Json CampaignParamsToJson(const CampaignParams& params) {
+  Json j = Json::Object();
+  j.Set("num_seeds", static_cast<int64_t>(params.num_seeds));
+  j.Set("base_seed", params.base_seed);
+  j.Set("step_budget", params.step_budget);
+  j.Set("num_threads", static_cast<int64_t>(params.num_threads));
+  j.Set("triage", params.triage);
+
+  Json triage = Json::Object();
+  triage.Set("pairwise", params.triage_params.pairwise);
+  triage.Set("use_verifier", params.triage_params.use_verifier);
+  triage.Set("max_stage_runs", static_cast<int64_t>(params.triage_params.max_stage_runs));
+  j.Set("triage_params", std::move(triage));
+
+  Json validator = Json::Object();
+  validator.Set("max_iter", static_cast<int64_t>(params.validator.max_iter));
+  validator.Set("neutrality_check", params.validator.neutrality_check);
+  validator.Set("perf_ratio", params.validator.perf_ratio);
+  validator.Set("perf_floor", params.validator.perf_floor);
+  validator.Set("keep_new_trace_mutants", params.validator.keep_new_trace_mutants);
+  Json jonm = Json::Object();
+  jonm.Set("select_numerator", static_cast<int64_t>(params.validator.jonm.select_numerator));
+  jonm.Set("select_denominator",
+           static_cast<int64_t>(params.validator.jonm.select_denominator));
+  Json mutators = Json::Array();
+  for (MutatorKind kind : params.validator.jonm.mutators) {
+    mutators.Append(static_cast<int64_t>(static_cast<int>(kind)));
+  }
+  jonm.Set("mutators", std::move(mutators));
+  jonm.Set("prioritized_methods", StringsToJson(params.validator.jonm.prioritized_methods));
+  Json synth = Json::Object();
+  synth.Set("min_bound", params.validator.jonm.synth.min_bound);
+  synth.Set("max_bound", params.validator.jonm.synth.max_bound);
+  synth.Set("max_step", static_cast<int64_t>(params.validator.jonm.synth.max_step));
+  synth.Set("stmts_per_hole", static_cast<int64_t>(params.validator.jonm.synth.stmts_per_hole));
+  jonm.Set("synth", std::move(synth));
+  validator.Set("jonm", std::move(jonm));
+  j.Set("validator", std::move(validator));
+
+  Json fuzz = Json::Object();
+  fuzz.Set("min_globals", static_cast<int64_t>(params.fuzz.min_globals));
+  fuzz.Set("max_globals", static_cast<int64_t>(params.fuzz.max_globals));
+  fuzz.Set("min_functions", static_cast<int64_t>(params.fuzz.min_functions));
+  fuzz.Set("max_functions", static_cast<int64_t>(params.fuzz.max_functions));
+  fuzz.Set("max_params", static_cast<int64_t>(params.fuzz.max_params));
+  fuzz.Set("max_block_stmts", static_cast<int64_t>(params.fuzz.max_block_stmts));
+  fuzz.Set("max_stmt_depth", static_cast<int64_t>(params.fuzz.max_stmt_depth));
+  fuzz.Set("max_expr_depth", static_cast<int64_t>(params.fuzz.max_expr_depth));
+  fuzz.Set("max_loop_trip", static_cast<int64_t>(params.fuzz.max_loop_trip));
+  fuzz.Set("max_switch_cases", static_cast<int64_t>(params.fuzz.max_switch_cases));
+  fuzz.Set("interesting_literal_pct",
+           static_cast<int64_t>(params.fuzz.interesting_literal_pct));
+  j.Set("fuzz", std::move(fuzz));
+  return j;
+}
+
+bool CampaignParamsFromJson(const Json& json, CampaignParams* out) {
+  if (!json.is_object() || !json.Has("num_seeds")) {
+    return false;
+  }
+  CampaignParams params;
+  params.num_seeds = static_cast<int>(json.Get("num_seeds").AsInt());
+  params.base_seed = json.Get("base_seed").AsUint();
+  params.step_budget = json.Get("step_budget").AsUint();
+  params.num_threads = static_cast<int>(json.Get("num_threads").AsInt());
+  params.triage = json.Get("triage").AsBool();
+
+  const Json& triage = json.Get("triage_params");
+  params.triage_params.pairwise = triage.Get("pairwise").AsBool(true);
+  params.triage_params.use_verifier = triage.Get("use_verifier").AsBool(true);
+  params.triage_params.max_stage_runs = static_cast<int>(triage.Get("max_stage_runs").AsInt(160));
+
+  const Json& validator = json.Get("validator");
+  params.validator.max_iter = static_cast<int>(validator.Get("max_iter").AsInt(8));
+  params.validator.neutrality_check = validator.Get("neutrality_check").AsBool(true);
+  params.validator.perf_ratio = validator.Get("perf_ratio").AsUint(4);
+  params.validator.perf_floor = validator.Get("perf_floor").AsUint(2'000'000);
+  params.validator.keep_new_trace_mutants =
+      validator.Get("keep_new_trace_mutants").AsBool(false);
+  const Json& jonm = validator.Get("jonm");
+  params.validator.jonm.select_numerator =
+      static_cast<uint32_t>(jonm.Get("select_numerator").AsInt(1));
+  params.validator.jonm.select_denominator =
+      static_cast<uint32_t>(jonm.Get("select_denominator").AsInt(2));
+  if (jonm.Has("mutators")) {
+    params.validator.jonm.mutators.clear();
+    for (const Json& kind : jonm.Get("mutators").items()) {
+      params.validator.jonm.mutators.push_back(static_cast<MutatorKind>(kind.AsInt()));
+    }
+  }
+  params.validator.jonm.prioritized_methods =
+      StringsFromJson(jonm.Get("prioritized_methods"));
+  const Json& synth = jonm.Get("synth");
+  params.validator.jonm.synth.min_bound = synth.Get("min_bound").AsInt(5'000);
+  params.validator.jonm.synth.max_bound = synth.Get("max_bound").AsInt(10'000);
+  params.validator.jonm.synth.max_step = static_cast<int>(synth.Get("max_step").AsInt(10));
+  params.validator.jonm.synth.stmts_per_hole =
+      static_cast<int>(synth.Get("stmts_per_hole").AsInt(2));
+
+  const Json& fuzz = json.Get("fuzz");
+  FuzzConfig defaults;
+  params.fuzz.min_globals = static_cast<int>(fuzz.Get("min_globals").AsInt(defaults.min_globals));
+  params.fuzz.max_globals = static_cast<int>(fuzz.Get("max_globals").AsInt(defaults.max_globals));
+  params.fuzz.min_functions =
+      static_cast<int>(fuzz.Get("min_functions").AsInt(defaults.min_functions));
+  params.fuzz.max_functions =
+      static_cast<int>(fuzz.Get("max_functions").AsInt(defaults.max_functions));
+  params.fuzz.max_params = static_cast<int>(fuzz.Get("max_params").AsInt(defaults.max_params));
+  params.fuzz.max_block_stmts =
+      static_cast<int>(fuzz.Get("max_block_stmts").AsInt(defaults.max_block_stmts));
+  params.fuzz.max_stmt_depth =
+      static_cast<int>(fuzz.Get("max_stmt_depth").AsInt(defaults.max_stmt_depth));
+  params.fuzz.max_expr_depth =
+      static_cast<int>(fuzz.Get("max_expr_depth").AsInt(defaults.max_expr_depth));
+  params.fuzz.max_loop_trip =
+      static_cast<int>(fuzz.Get("max_loop_trip").AsInt(defaults.max_loop_trip));
+  params.fuzz.max_switch_cases =
+      static_cast<int>(fuzz.Get("max_switch_cases").AsInt(defaults.max_switch_cases));
+  params.fuzz.interesting_literal_pct = static_cast<int>(
+      fuzz.Get("interesting_literal_pct").AsInt(defaults.interesting_literal_pct));
+  *out = std::move(params);
+  return true;
+}
+
+std::string CampaignFingerprint(const jaguar::VmConfig& vm, const CampaignParams& params) {
+  Json identity = CampaignParamsToJson(params);
+  // Thread count changes wall time, never outcomes (the shard/reduce contract) — a journal
+  // written on 16 workers may be resumed on 1.
+  identity.Set("num_threads", Json());
+  identity.Set("vm", vm.name);
+  identity.Set("verify", static_cast<int64_t>(static_cast<int>(vm.verify_level)));
+  return jaguar::Hex64(jaguar::Fnv1a64(identity.Dump()));
+}
+
+CampaignJournal::CampaignJournal(const std::string& path) : path_(path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // fopen below reports any failure
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ != nullptr) {
+    writer_ = std::thread([this] { WriterMain(); });
+  }
+}
+
+CampaignJournal::~CampaignJournal() {
+  if (file_ == nullptr) {
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  writer_.join();
+  std::fclose(file_);
+}
+
+void CampaignJournal::Append(const Json& event) {
+  if (file_ == nullptr) {
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(event.Dump());
+    idle_ = false;
+  }
+  work_cv_.notify_one();
+}
+
+void CampaignJournal::Flush() {
+  if (file_ == nullptr) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return idle_ && queue_.empty(); });
+}
+
+void CampaignJournal::WriterMain() {
+  while (true) {
+    std::deque<std::string> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty() && stop_) {
+        idle_ = true;
+        drained_cv_.notify_all();
+        return;
+      }
+      batch.swap(queue_);
+    }
+    for (const std::string& line : batch) {
+      std::fputs(line.c_str(), file_);
+      std::fputc('\n', file_);
+    }
+    // One flush per batch: every journaled event is OS-visible before the writer idles, so
+    // a SIGKILL can only lose events that Append had not yet handed over.
+    std::fflush(file_);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        idle_ = true;
+        drained_cv_.notify_all();
+      }
+    }
+  }
+}
+
+JournalContents ReadJournal(const std::string& path) {
+  JournalContents contents;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return contents;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    Json event;
+    if (Json::Parse(line, &event) && event.is_object()) {
+      contents.events.push_back(std::move(event));
+    } else {
+      ++contents.skipped_lines;  // truncated tail (or a damaged line): skip, never fail
+    }
+  }
+  return contents;
+}
+
+}  // namespace artemis

@@ -1,0 +1,115 @@
+// CampaignJournal — the append-only JSONL event log that makes campaigns durable.
+//
+// Every long-running campaign writes its progress as one JSON document per line:
+//
+//   {"event":"campaign_started", "vm":..., "fingerprint":..., "params":{...}, "segment":N}
+//   {"event":"seed_finished",    "ordinal":K, "elapsed":S, "shard":{...}}
+//   {"event":"report_filed",     "report":{...}}            (service loop)
+//   {"event":"corpus_admit",     "id":..., "parent":...}    (service loop)
+//   {"event":"corpus_evict",     "id":...}                  (service loop)
+//   {"event":"round_finished",   "round":R, "totals":{...}} (service loop)
+//   {"event":"campaign_finished","digest":..., "elapsed":S}
+//
+// The "shard" payload of seed_finished serializes exactly the fields CampaignReducer
+// consumes, so a journal segment can be *replayed*: ResumeCampaign (durable.h) folds the
+// journaled shards together with freshly-computed ones and reproduces the uninterrupted
+// campaign's stats bit-for-bit.
+//
+// Writing goes through a single writer thread: workers (the campaign pool runs many shards
+// concurrently) enqueue serialized lines under a mutex, and one thread owns the FILE*,
+// appending and flushing each line in order. A SIGKILL can therefore lose at most enqueued-
+// but-unflushed events and truncate at most the final line of the file — both of which the
+// reader tolerates (lost seeds simply re-run on resume; per-seed determinism makes the
+// re-run identical).
+
+#ifndef SRC_ARTEMIS_SERVICE_JOURNAL_H_
+#define SRC_ARTEMIS_SERVICE_JOURNAL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/artemis/campaign/reducer.h"
+#include "src/jaguar/support/json.h"
+
+namespace artemis {
+
+using jaguar::Json;
+
+// ---------------------------------------------------------------------------------------
+// Codecs. ToJson/FromJson pairs round-trip every field the reducer and SameOutcome compare.
+
+Json TriageToJson(const TriageReport& report);
+bool TriageFromJson(const Json& json, TriageReport* out);
+
+Json BugReportToJson(const BugReport& report);
+bool BugReportFromJson(const Json& json, BugReport* out);
+
+// Serializes the reducer-visible projection of a shard (mutant programs and run outputs are
+// deliberately dropped: replay feeds the reducer, not the VM).
+Json ShardToJson(const SeedShardResult& shard);
+bool ShardFromJson(const Json& json, SeedShardResult* out);
+
+// The durable subset of CampaignParams (validator/fuzz/jonm/synth/triage knobs; guidance
+// hooks are process-local lambdas and cannot be journaled — durable campaigns reject them).
+Json CampaignParamsToJson(const CampaignParams& params);
+bool CampaignParamsFromJson(const Json& json, CampaignParams* out);
+
+// Identity of a campaign: vendor name + verify level + the durable parameter subset. A
+// journal may only be resumed by a campaign with an equal fingerprint.
+std::string CampaignFingerprint(const jaguar::VmConfig& vm, const CampaignParams& params);
+
+// ---------------------------------------------------------------------------------------
+// Writer.
+
+class CampaignJournal {
+ public:
+  // Opens `path` for append (creating it if missing) and starts the writer thread.
+  explicit CampaignJournal(const std::string& path);
+  ~CampaignJournal();  // drains the queue, flushes, joins
+
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  // Enqueues one event line. Thread-safe; returns after enqueue, not after the write (call
+  // Flush() for a durability barrier).
+  void Append(const Json& event);
+
+  // Blocks until every previously-appended event is written and flushed to the OS.
+  void Flush();
+
+ private:
+  void WriterMain();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<std::string> queue_;
+  bool stop_ = false;
+  bool idle_ = true;
+  std::thread writer_;
+};
+
+// ---------------------------------------------------------------------------------------
+// Reader.
+
+struct JournalContents {
+  std::vector<Json> events;   // every parseable line, in file order
+  size_t skipped_lines = 0;   // unparseable lines (e.g. the SIGKILL-truncated tail)
+};
+
+// Reads a journal leniently: missing file → empty contents; lines that fail to parse are
+// counted and skipped, never fatal.
+JournalContents ReadJournal(const std::string& path);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_SERVICE_JOURNAL_H_

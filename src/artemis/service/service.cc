@@ -1,0 +1,477 @@
+#include "src/artemis/service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/artemis/campaign/reducer.h"
+#include "src/artemis/campaign/shard.h"
+#include "src/artemis/campaign/worker_pool.h"
+#include "src/artemis/corpus/corpus.h"
+#include "src/artemis/coverage/coverage.h"
+#include "src/artemis/fuzzer/generator.h"
+#include "src/artemis/service/journal.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/printer.h"
+#include "src/jaguar/lang/typecheck.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::Json;
+
+bool WriteFileAtomicLocal(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << content;
+    if (!out.good()) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+// Cumulative counters of a CampaignStats (reports travel separately as report_filed
+// events; wall_seconds is tracked as journal "elapsed" fields).
+Json CountersToJson(const CampaignStats& stats) {
+  Json j = Json::Object();
+  j.Set("seeds_run", static_cast<int64_t>(stats.seeds_run));
+  j.Set("seeds_discarded", static_cast<int64_t>(stats.seeds_discarded));
+  j.Set("mutants_generated", static_cast<int64_t>(stats.mutants_generated));
+  j.Set("mutants_discarded", static_cast<int64_t>(stats.mutants_discarded));
+  j.Set("mutants_non_neutral", static_cast<int64_t>(stats.mutants_non_neutral));
+  j.Set("mutants_new_trace", static_cast<int64_t>(stats.mutants_new_trace));
+  j.Set("seeds_with_discrepancy", static_cast<int64_t>(stats.seeds_with_discrepancy));
+  j.Set("vm_invocations", stats.vm_invocations);
+  return j;
+}
+
+void CountersFromJson(const Json& json, CampaignStats* stats) {
+  stats->seeds_run = static_cast<int>(json.Get("seeds_run").AsInt());
+  stats->seeds_discarded = static_cast<int>(json.Get("seeds_discarded").AsInt());
+  stats->mutants_generated = static_cast<int>(json.Get("mutants_generated").AsInt());
+  stats->mutants_discarded = static_cast<int>(json.Get("mutants_discarded").AsInt());
+  stats->mutants_non_neutral = static_cast<int>(json.Get("mutants_non_neutral").AsInt());
+  stats->mutants_new_trace = static_cast<int>(json.Get("mutants_new_trace").AsInt());
+  stats->seeds_with_discrepancy =
+      static_cast<int>(json.Get("seeds_with_discrepancy").AsInt());
+  stats->vm_invocations = json.Get("vm_invocations").AsUint();
+}
+
+// Service identity: the campaign fingerprint plus every service knob that shapes the
+// round structure (rounds itself is excluded — a service's lifetime may be extended).
+std::string ServiceFingerprint(const jaguar::VmConfig& vm, const ServiceParams& params) {
+  std::string text = CampaignFingerprint(vm, params.campaign);
+  text += "|" + std::to_string(params.fresh_seeds_per_round) + "|" +
+          std::to_string(params.corpus_mutations_per_round) + "|" +
+          std::to_string(params.corpus_max_entries) + "|" +
+          (params.admission ? "evolve" : "fixed");
+  return jaguar::Hex64(jaguar::Fnv1a64(text));
+}
+
+// State recovered from an existing service journal: everything committed at the last
+// round_finished boundary. Mid-round events (reports of a killed round) are rolled back —
+// the interrupted round re-runs in full.
+struct RestoredState {
+  bool any = false;
+  int segments = 0;  // service_started events (process incarnations)
+  std::string fingerprint;
+  CampaignStats totals;  // counters + committed reports
+  int rounds_completed = 0;
+  int corpus_admitted = 0;
+  int corpus_evicted = 0;
+  uint64_t fresh_seeds_used = 0;
+  double prior_elapsed = 0.0;
+  std::vector<ServiceSnapshot> trajectory;
+};
+
+ServiceSnapshot SnapshotFromJson(const Json& json) {
+  ServiceSnapshot snap;
+  snap.round = static_cast<int>(json.Get("round").AsInt());
+  snap.elapsed = json.Get("elapsed").AsDouble();
+  snap.vm_invocations = json.Get("vm_invocations").AsUint();
+  snap.invocations_per_second = json.Get("invocations_per_second").AsDouble();
+  snap.corpus_size = static_cast<int>(json.Get("corpus_size").AsInt());
+  snap.corpus_admitted = static_cast<int>(json.Get("corpus_admitted").AsInt());
+  snap.reported = static_cast<int>(json.Get("reported").AsInt());
+  snap.duplicates = static_cast<int>(json.Get("duplicates").AsInt());
+  snap.confirmed = static_cast<int>(json.Get("confirmed").AsInt());
+  snap.mutants_new_trace = static_cast<int>(json.Get("mutants_new_trace").AsInt());
+  snap.corpus_frac_top_tier = json.Get("corpus_frac_top_tier").AsDouble();
+  return snap;
+}
+
+RestoredState RestoreFromJournal(const std::string& path) {
+  RestoredState state;
+  std::vector<BugReport> uncommitted;
+  for (const Json& event : ReadJournal(path).events) {
+    const std::string& kind = event.Get("event").AsString();
+    state.prior_elapsed = std::max(state.prior_elapsed, event.Get("elapsed").AsDouble());
+    if (kind == "service_started") {
+      state.any = true;
+      ++state.segments;
+      if (state.fingerprint.empty()) {
+        state.fingerprint = event.Get("fingerprint").AsString();
+      }
+    } else if (kind == "report_filed") {
+      BugReport report;
+      if (BugReportFromJson(event.Get("report"), &report)) {
+        uncommitted.push_back(std::move(report));
+      }
+    } else if (kind == "round_finished") {
+      // Commit point: counters are cumulative snapshots, reports append in filing order.
+      CountersFromJson(event.Get("counters"), &state.totals);
+      for (BugReport& report : uncommitted) {
+        state.totals.reports.push_back(std::move(report));
+      }
+      uncommitted.clear();
+      state.rounds_completed = static_cast<int>(event.Get("round").AsInt());
+      state.corpus_admitted = static_cast<int>(event.Get("corpus_admitted").AsInt());
+      state.corpus_evicted = static_cast<int>(event.Get("corpus_evicted").AsInt());
+      state.fresh_seeds_used = event.Get("fresh_seeds_used").AsUint();
+      if (event.Has("snapshot")) {
+        state.trajectory.push_back(SnapshotFromJson(event.Get("snapshot")));
+      }
+    }
+  }
+  return state;
+}
+
+// One scheduled unit of a round: a corpus entry to re-mutate, or a fresh generator seed.
+struct WorkItem {
+  bool from_corpus = false;
+  std::string corpus_id;   // when from_corpus
+  std::string source;      // corpus program text (parsed in the worker)
+  uint64_t seed_id = 0;    // fresh: generator seed; corpus: the entry's content hash
+  uint64_t origin_seed = 0;
+  uint64_t rng_salt = 0;   // corpus items: decorrelates re-mutations across rounds
+};
+
+// Everything a worker computes for one item; folded sequentially afterwards.
+struct ItemOutcome {
+  SeedShardResult shard;
+  // Admission material: printed sources + lineage of new-trace mutants, in mutant order.
+  struct Candidate {
+    std::string source;
+    std::vector<std::string> lineage;
+    bool discrepant = false;
+  };
+  std::vector<Candidate> candidates;
+  // Coverage summary over the item's program (admission metadata for its children).
+  int methods = 0;
+  double frac_top_tier = 0.0;
+  double frac_deopted = 0.0;
+};
+
+ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& params,
+                        const WorkItem& item, bool admission) {
+  ItemOutcome outcome;
+  outcome.shard.seed_id = item.seed_id;
+
+  jaguar::Program program;
+  if (item.from_corpus) {
+    program = jaguar::ParseProgram(item.source);
+    jaguar::Check(program);
+  } else {
+    program = GenerateProgram(params.fuzz, item.seed_id);
+  }
+  jaguar::Rng rng = SeedRngFor(item.seed_id ^ item.rng_salt);
+
+  ValidatorParams validator = params.validator;
+  validator.keep_new_trace_mutants = admission;
+  SpaceCoverage coverage;
+  outcome.shard.report = GuidedValidate(program, config, validator, rng, &coverage);
+
+  // Triage mirrors campaign/shard.cc: attributions computed inside the parallel item keep
+  // the sequential fold deterministic.
+  if (params.triage && outcome.shard.report.seed_usable) {
+    if (outcome.shard.report.seed_self_discrepancy) {
+      outcome.shard.seed_triage = TriageDiscrepancy(program, config, params.triage_params);
+      outcome.shard.seed_triaged = true;
+    }
+    for (size_t i = 0; i < outcome.shard.report.mutants.size(); ++i) {
+      const MutantVerdict& verdict = outcome.shard.report.mutants[i];
+      if (verdict.kind == DiscrepancyKind::kNone || !verdict.mutant_program) {
+        continue;
+      }
+      outcome.shard.triaged_mutants.push_back(
+          {i, TriageDiscrepancy(*verdict.mutant_program, config, params.triage_params)});
+    }
+  }
+
+  const jaguar::BcProgram bc = jaguar::CompileProgram(program);
+  const int top_level = static_cast<int>(config.tiers.size());
+  outcome.methods = static_cast<int>(bc.functions.size()) - (bc.ginit_index >= 0 ? 1 : 0);
+  outcome.frac_top_tier = coverage.FractionAtLevel(bc, top_level);
+  outcome.frac_deopted = coverage.FractionDeopted(bc);
+
+  if (admission) {
+    for (const MutantVerdict& verdict : outcome.shard.report.mutants) {
+      if (!verdict.explored_new_trace || verdict.discarded || !verdict.mutant_program) {
+        continue;
+      }
+      ItemOutcome::Candidate candidate;
+      candidate.source = jaguar::PrintProgram(*verdict.mutant_program);
+      for (const MutationRecord& record : verdict.mutations) {
+        candidate.lineage.push_back(std::string(MutatorName(record.kind)) + "@" +
+                                    record.method);
+      }
+      candidate.discrepant = verdict.kind != DiscrepancyKind::kNone;
+      outcome.candidates.push_back(std::move(candidate));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+Json ServiceSnapshot::ToJson() const {
+  Json j = Json::Object();
+  j.Set("round", static_cast<int64_t>(round));
+  j.Set("elapsed", elapsed);
+  j.Set("vm_invocations", vm_invocations);
+  j.Set("invocations_per_second", invocations_per_second);
+  j.Set("corpus_size", static_cast<int64_t>(corpus_size));
+  j.Set("corpus_admitted", static_cast<int64_t>(corpus_admitted));
+  j.Set("reported", static_cast<int64_t>(reported));
+  j.Set("duplicates", static_cast<int64_t>(duplicates));
+  j.Set("confirmed", static_cast<int64_t>(confirmed));
+  j.Set("mutants_new_trace", static_cast<int64_t>(mutants_new_trace));
+  j.Set("corpus_frac_top_tier", corpus_frac_top_tier);
+  return j;
+}
+
+std::string ServiceStats::ToString() const {
+  std::string out = "service[" + totals.vm_name + "]: rounds=" +
+                    std::to_string(rounds_completed) + " corpus(admitted " +
+                    std::to_string(corpus_admitted) + ", evicted " +
+                    std::to_string(corpus_evicted) + ") fresh-seeds=" +
+                    std::to_string(fresh_seeds_used) + "\n";
+  out += totals.ToString();
+  return out;
+}
+
+ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& params) {
+  if (params.corpus_dir.empty()) {
+    throw std::runtime_error("RunService requires a corpus_dir");
+  }
+  if (params.campaign.validator.tune_iteration || params.campaign.validator.on_mutant) {
+    throw std::runtime_error("service campaigns install their own guidance hooks; unset yours");
+  }
+  const std::string journal_path = params.journal_path.empty()
+                                       ? params.corpus_dir + "/service_journal.jsonl"
+                                       : params.journal_path;
+  const std::string metrics_path = params.metrics_path.empty()
+                                       ? params.corpus_dir + "/BENCH_campaign.json"
+                                       : params.metrics_path;
+  const std::string fingerprint = ServiceFingerprint(vm_config, params);
+
+  ServiceStats stats;
+  stats.totals.vm_name = vm_config.name;
+
+  CorpusStore corpus(params.corpus_dir, params.corpus_max_entries);
+  corpus.Load();  // an empty/fresh dir loads zero entries
+
+  double prior_elapsed = 0.0;
+  if (params.resume) {
+    RestoredState restored = RestoreFromJournal(journal_path);
+    if (restored.any && restored.fingerprint != fingerprint) {
+      throw std::runtime_error("service journal '" + journal_path +
+                               "' belongs to a different service configuration");
+    }
+    std::string vm_name = stats.totals.vm_name;
+    stats.totals = std::move(restored.totals);
+    stats.totals.vm_name = std::move(vm_name);
+    stats.rounds_completed = restored.rounds_completed;
+    stats.corpus_admitted = restored.corpus_admitted;
+    stats.corpus_evicted = restored.corpus_evicted;
+    stats.fresh_seeds_used = restored.fresh_seeds_used;
+    stats.trajectory = std::move(restored.trajectory);
+    prior_elapsed = restored.prior_elapsed;
+    stats.totals.journal_segments = restored.segments + 1;
+  }
+
+  CampaignJournal journal(journal_path);
+  if (!journal.ok()) {
+    throw std::runtime_error("cannot open service journal '" + journal_path + "'");
+  }
+
+  const auto segment_start = std::chrono::steady_clock::now();
+  auto lifetime_elapsed = [&] {
+    return prior_elapsed +
+           std::chrono::duration<double>(std::chrono::steady_clock::now() - segment_start)
+               .count();
+  };
+
+  {
+    Json started = Json::Object();
+    started.Set("event", "service_started");
+    started.Set("vm", vm_config.name);
+    started.Set("fingerprint", fingerprint);
+    started.Set("params", CampaignParamsToJson(params.campaign));
+    started.Set("admission", params.admission);
+    started.Set("elapsed", prior_elapsed);
+    journal.Append(started);
+  }
+
+  jaguar::VmConfig config = vm_config;
+  config.step_budget = params.campaign.step_budget;
+  const int threads =
+      params.campaign.num_threads > 0 ? params.campaign.num_threads : DefaultWorkerCount();
+
+  CampaignReducer reducer(&stats.totals);
+  reducer.SeedFromExistingReports();
+
+  const int first_round = stats.rounds_completed + 1;
+  const int last_round = stats.rounds_completed + std::max(params.rounds, 0);
+  for (int round = first_round; round <= last_round; ++round) {
+    // --- 1. schedule -------------------------------------------------------------------
+    std::vector<WorkItem> items;
+    if (params.admission && corpus.size() > 0) {
+      // One pick stream per round; NoteScheduled between picks decays energy so a round
+      // does not hammer a single entry.
+      jaguar::Rng pick_rng =
+          SeedRngFor(params.campaign.base_seed ^ (0x5851F42D4C957F2DULL * static_cast<uint64_t>(round)));
+      for (int k = 0; k < params.corpus_mutations_per_round && corpus.size() > 0; ++k) {
+        WorkItem item;
+        item.from_corpus = true;
+        item.corpus_id = corpus.PickForMutation(pick_rng);
+        corpus.NoteScheduled(item.corpus_id);
+        item.source = corpus.LoadSource(item.corpus_id);
+        item.seed_id = std::strtoull(item.corpus_id.c_str(), nullptr, 16);
+        item.origin_seed = corpus.entries().at(item.corpus_id).origin_seed;
+        item.rng_salt = 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(round);
+        items.push_back(std::move(item));
+      }
+    }
+    for (int f = 0; f < params.fresh_seeds_per_round; ++f) {
+      WorkItem item;
+      item.seed_id = params.campaign.base_seed + stats.fresh_seeds_used++;
+      item.origin_seed = item.seed_id;
+      items.push_back(std::move(item));
+    }
+
+    // --- 2. validate (parallel; items share nothing) -----------------------------------
+    std::vector<ItemOutcome> outcomes(items.size());
+    ParallelFor(static_cast<int>(items.size()), threads, [&](int i) {
+      outcomes[static_cast<size_t>(i)] =
+          RunWorkItem(config, params.campaign, items[static_cast<size_t>(i)],
+                      params.admission);
+    });
+
+    // --- 3+4. evolve & observe (sequential, in schedule order) --------------------------
+    for (size_t i = 0; i < items.size(); ++i) {
+      const WorkItem& item = items[i];
+      ItemOutcome& outcome = outcomes[i];
+      const size_t reports_before = stats.totals.reports.size();
+      reducer.Reduce(std::move(outcome.shard));
+      for (size_t r = reports_before; r < stats.totals.reports.size(); ++r) {
+        const BugReport& report = stats.totals.reports[r];
+        Json filed = Json::Object();
+        filed.Set("event", "report_filed");
+        filed.Set("round", static_cast<int64_t>(round));
+        filed.Set("elapsed", lifetime_elapsed());
+        filed.Set("report", BugReportToJson(report));
+        journal.Append(filed);
+        if (item.from_corpus) {
+          corpus.NoteDiscrepancy(item.corpus_id, ReportSignature(report));
+        }
+      }
+      for (ItemOutcome::Candidate& candidate : outcome.candidates) {
+        CorpusMeta meta;
+        meta.parent_id = item.from_corpus ? item.corpus_id : "";
+        meta.origin_seed = item.origin_seed;
+        meta.lineage = std::move(candidate.lineage);
+        meta.round_admitted = round;
+        meta.methods = outcome.methods;
+        meta.frac_top_tier = outcome.frac_top_tier;
+        meta.frac_deopted = outcome.frac_deopted;
+        meta.discrepancies = candidate.discrepant ? 1 : 0;
+        if (!corpus.Admit(candidate.source, std::move(meta))) {
+          continue;  // content already in the pool
+        }
+        ++stats.corpus_admitted;
+        Json admit = Json::Object();
+        admit.Set("event", "corpus_admit");
+        admit.Set("id", CorpusStore::IdFor(candidate.source));
+        admit.Set("parent", item.from_corpus ? item.corpus_id : std::string());
+        admit.Set("round", static_cast<int64_t>(round));
+        admit.Set("elapsed", lifetime_elapsed());
+        journal.Append(admit);
+        if (item.from_corpus) {
+          corpus.NoteChildAdmitted(item.corpus_id);
+        }
+      }
+    }
+    for (const std::string& evicted : corpus.EvictToCapacity()) {
+      ++stats.corpus_evicted;
+      Json evict = Json::Object();
+      evict.Set("event", "corpus_evict");
+      evict.Set("id", evicted);
+      evict.Set("elapsed", lifetime_elapsed());
+      journal.Append(evict);
+    }
+
+    stats.rounds_completed = round;
+    ServiceSnapshot snap;
+    snap.round = round;
+    snap.elapsed = lifetime_elapsed();
+    snap.vm_invocations = stats.totals.vm_invocations;
+    snap.invocations_per_second =
+        snap.elapsed > 0 ? static_cast<double>(snap.vm_invocations) / snap.elapsed : 0.0;
+    snap.corpus_size = static_cast<int>(corpus.size());
+    snap.corpus_admitted = stats.corpus_admitted;
+    snap.reported = stats.totals.Reported();
+    snap.duplicates = stats.totals.Duplicates();
+    snap.confirmed = stats.totals.Confirmed();
+    snap.mutants_new_trace = stats.totals.mutants_new_trace;
+    double cov_sum = 0.0;
+    for (const auto& [id, meta] : corpus.entries()) {
+      cov_sum += meta.frac_top_tier;
+    }
+    snap.corpus_frac_top_tier = corpus.size() > 0 ? cov_sum / static_cast<double>(corpus.size()) : 0.0;
+    stats.trajectory.push_back(snap);
+
+    Json finished = Json::Object();
+    finished.Set("event", "round_finished");
+    finished.Set("round", static_cast<int64_t>(round));
+    finished.Set("elapsed", snap.elapsed);
+    finished.Set("counters", CountersToJson(stats.totals));
+    finished.Set("corpus_admitted", static_cast<int64_t>(stats.corpus_admitted));
+    finished.Set("corpus_evicted", static_cast<int64_t>(stats.corpus_evicted));
+    finished.Set("fresh_seeds_used", stats.fresh_seeds_used);
+    finished.Set("snapshot", snap.ToJson());
+    journal.Append(finished);
+    journal.Flush();  // round boundary = service checkpoint
+
+    // --- metrics export ---------------------------------------------------------------
+    Json metrics = Json::Object();
+    metrics.Set("schema", static_cast<int64_t>(1));
+    metrics.Set("vm", vm_config.name);
+    metrics.Set("admission", params.admission);
+    metrics.Set("corpus_dir", params.corpus_dir);
+    metrics.Set("rounds_completed", static_cast<int64_t>(stats.rounds_completed));
+    Json trajectory = Json::Array();
+    for (const ServiceSnapshot& point : stats.trajectory) {
+      trajectory.Append(point.ToJson());
+    }
+    metrics.Set("trajectory", std::move(trajectory));
+    WriteFileAtomicLocal(metrics_path, metrics.Dump() + "\n");
+  }
+
+  stats.totals.wall_seconds = lifetime_elapsed();
+  return stats;
+}
+
+}  // namespace artemis

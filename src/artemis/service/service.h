@@ -1,0 +1,98 @@
+// ServiceLoop — the continuous, evolving-corpus campaign service.
+//
+// RunCampaign explores a fixed batch of generator seeds and exits; the service loop instead
+// runs *rounds* of generate → mutate → validate over an evolving on-disk corpus
+// (src/artemis/corpus), indefinitely if asked:
+//
+//   round r:
+//     1. schedule  — draw `corpus_mutations_per_round` entries from the corpus (priority
+//        scheduler: low compilation-space coverage first) plus `fresh_seeds_per_round`
+//        brand-new generator seeds;
+//     2. validate  — run coverage-guided Algorithm 1 on every scheduled program, in
+//        parallel (each item carries its own SpaceCoverage, so workers share nothing);
+//     3. evolve    — promote every non-discarded mutant that explored a new JIT-trace into
+//        the corpus (content-addressed admission), credit its parent, evict down to
+//        capacity;
+//     4. observe   — fold outcomes into lifetime CampaignStats through one CampaignReducer
+//        (report dedup spans the whole service lifetime), journal the round, and export a
+//        metrics snapshot (throughput, corpus size, coverage fractions, distinct root
+//        causes over time) to the BENCH_campaign.json trajectory.
+//
+// Durability: corpus entries and scheduler energies live on disk (sidecars), and the
+// service journal records filed reports + cumulative counters at every round boundary, so
+// `resume = true` continues a killed service from its last completed round with dedup
+// state, accounting totals, and the evolved corpus intact. (The strict kill-anywhere
+// SameOutcome contract lives in durable.h — one round here is the analogous checkpoint
+// unit, and mid-round events are rolled back to the last round boundary on resume.)
+
+#ifndef SRC_ARTEMIS_SERVICE_SERVICE_H_
+#define SRC_ARTEMIS_SERVICE_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/jaguar/support/json.h"
+
+namespace artemis {
+
+using jaguar::Json;
+
+struct ServiceParams {
+  // Validator / fuzzer / triage / thread settings, reused from the batch campaign.
+  // base_seed seeds both the fresh-seed stream and the per-round scheduling RNG.
+  CampaignParams campaign;
+
+  std::string corpus_dir;     // required
+  std::string journal_path;   // "" → <corpus_dir>/service_journal.jsonl
+  std::string metrics_path;   // "" → <corpus_dir>/BENCH_campaign.json
+
+  int rounds = 4;                      // rounds to run in this invocation (not lifetime)
+  int fresh_seeds_per_round = 4;       // generator seeds entering each round
+  int corpus_mutations_per_round = 8;  // corpus entries re-mutated each round
+  size_t corpus_max_entries = 128;     // eviction bound
+
+  // Corpus evolution switch. false = fixed-seed baseline: nothing is admitted and every
+  // round draws fresh generator seeds only (the EXPERIMENTS.md comparison arm).
+  bool admission = true;
+
+  // Continue from an existing corpus + journal instead of requiring a fresh directory.
+  bool resume = false;
+};
+
+// One point of the exported metrics trajectory.
+struct ServiceSnapshot {
+  int round = 0;
+  double elapsed = 0.0;           // service-lifetime wall seconds (spans resumes)
+  uint64_t vm_invocations = 0;    // lifetime total
+  double invocations_per_second = 0.0;
+  int corpus_size = 0;
+  int corpus_admitted = 0;        // lifetime admissions
+  int reported = 0;
+  int duplicates = 0;
+  int confirmed = 0;              // distinct injected root causes found so far
+  int mutants_new_trace = 0;      // lifetime new-JIT-trace mutants
+  double corpus_frac_top_tier = 0.0;  // mean admission-time top-tier coverage over entries
+
+  Json ToJson() const;
+};
+
+struct ServiceStats {
+  CampaignStats totals;       // lifetime counters + deduped reports (vm_name included)
+  int rounds_completed = 0;   // lifetime rounds (spans resumes)
+  int corpus_admitted = 0;
+  int corpus_evicted = 0;
+  uint64_t fresh_seeds_used = 0;
+  std::vector<ServiceSnapshot> trajectory;  // lifetime, one point per round
+
+  std::string ToString() const;
+};
+
+// Runs `params.rounds` rounds of the service against one vendor. Writes the corpus under
+// params.corpus_dir, appends to the journal, and rewrites the metrics trajectory after
+// every round. Throws std::runtime_error on an unusable corpus dir/journal.
+ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& params);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_SERVICE_SERVICE_H_

@@ -157,6 +157,13 @@ ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config
       verdict.mutant_program =
           std::make_shared<const jaguar::Program>(std::move(mutation.mutant));
     }
+    if (params.keep_new_trace_mutants && verdict.explored_new_trace &&
+        verdict.mutant_program == nullptr) {
+      // Corpus-evolution mode: a neutral mutant that explored a new JIT-trace is admission
+      // material even though it revealed no discrepancy.
+      verdict.mutant_program =
+          std::make_shared<const jaguar::Program>(std::move(mutation.mutant));
+    }
     finish(std::move(verdict));
   }
   return report;

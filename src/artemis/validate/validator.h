@@ -78,6 +78,11 @@ struct ValidatorParams {
   // steps and interpreter steps + `perf_floor` to count (filters ordinary compile overhead).
   uint64_t perf_ratio = 4;
   uint64_t perf_floor = 2'000'000;
+
+  // Retain `mutant_program` for every non-discarded mutant whose JIT-trace differed from the
+  // seed's, not just for discrepancies. The evolving-corpus service (src/artemis/corpus)
+  // promotes exactly these mutants into the seed pool; memory stays bounded by max_iter.
+  bool keep_new_trace_mutants = false;
 };
 
 // Runs Algorithm 1 for one seed program against one VM configuration.

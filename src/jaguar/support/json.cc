@@ -1,0 +1,378 @@
+#include "src/jaguar/support/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace jaguar {
+namespace {
+
+const std::string kEmptyString;
+const Json kNullJson;
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Recursive-descent parser over a cursor; every Parse* returns false on malformed input.
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  int depth = 0;
+
+  void SkipWs() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                                 text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') {
+      return false;
+    }
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos >= text.size()) {
+          return false;
+        }
+        char e = text[pos++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            // The writer only emits \u for control characters; decode the BMP point as UTF-8.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(Json* out) {
+    if (++depth > 128) {
+      return false;
+    }
+    SkipWs();
+    if (pos >= text.size()) {
+      return false;
+    }
+    bool ok = ParseValueInner(out);
+    --depth;
+    return ok;
+  }
+
+  bool ParseValueInner(Json* out) {
+    char c = text[pos];
+    if (c == 'n') {
+      if (!Literal("null")) return false;
+      *out = Json();
+      return true;
+    }
+    if (c == 't') {
+      if (!Literal("true")) return false;
+      *out = Json(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!Literal("false")) return false;
+      *out = Json(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = Json(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::Array();
+      SkipWs();
+      if (Eat(']')) {
+        *out = std::move(arr);
+        return true;
+      }
+      while (true) {
+        Json item;
+        if (!ParseValue(&item)) return false;
+        arr.Append(std::move(item));
+        if (Eat(']')) break;
+        if (!Eat(',')) return false;
+      }
+      *out = std::move(arr);
+      return true;
+    }
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::Object();
+      SkipWs();
+      if (Eat('}')) {
+        *out = std::move(obj);
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Eat(':')) return false;
+        Json value;
+        if (!ParseValue(&value)) return false;
+        obj.Set(key, std::move(value));
+        if (Eat('}')) break;
+        if (!Eat(',')) return false;
+      }
+      *out = std::move(obj);
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const size_t start = pos;
+      if (c == '-') ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+      bool is_double = false;
+      if (pos < text.size() && text[pos] == '.') {
+        is_double = true;
+        ++pos;
+        while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+      }
+      if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+        is_double = true;
+        ++pos;
+        if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+        while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+      }
+      const std::string token(text.substr(start, pos - start));
+      if (token.empty() || token == "-") {
+        return false;
+      }
+      if (is_double) {
+        *out = Json(std::strtod(token.c_str(), nullptr));
+      } else {
+        // Positive literals above INT64_MAX are uint64 payloads (content-hash seed ids use
+        // the full 64-bit range); reparse unsigned instead of saturating.
+        errno = 0;
+        const int64_t value = static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10));
+        if (errno == ERANGE && token[0] != '-') {
+          *out = Json(static_cast<uint64_t>(std::strtoull(token.c_str(), nullptr, 10)));
+        } else {
+          *out = Json(value);
+        }
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+int64_t Json::AsInt(int64_t fallback) const {
+  if (kind_ == Kind::kInt) {
+    return int_;
+  }
+  if (kind_ == Kind::kDouble) {
+    return static_cast<int64_t>(double_);
+  }
+  return fallback;
+}
+
+double Json::AsDouble(double fallback) const {
+  if (kind_ == Kind::kDouble) {
+    return double_;
+  }
+  if (kind_ == Kind::kInt) {
+    return static_cast<double>(int_);
+  }
+  return fallback;
+}
+
+const std::string& Json::AsString() const {
+  return kind_ == Kind::kString ? string_ : kEmptyString;
+}
+
+const Json& Json::Get(const std::string& key) const {
+  auto it = object_.find(key);
+  return it == object_.end() ? kNullJson : it->second;
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out = std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", double_);
+        out = buf;
+        // %.17g may print an integral double without a decimal marker; keep the kind
+        // round-trippable so Parse(Dump(x)) == x holds for doubles too.
+        if (out.find_first_of(".eE") == std::string::npos) {
+          out += ".0";
+        }
+      } else {
+        out = "null";  // JSON has no NaN/Inf; journals never contain them
+      }
+      break;
+    }
+    case Kind::kString:
+      AppendEscaped(string_, &out);
+      break;
+    case Kind::kArray: {
+      out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ",";
+        out += array_[i].Dump();
+      }
+      out += "]";
+      break;
+    }
+    case Kind::kObject: {
+      out = "{";
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ",";
+        first = false;
+        AppendEscaped(key, &out);
+        out += ":";
+        out += value.Dump();
+      }
+      out += "}";
+      break;
+    }
+  }
+  return out;
+}
+
+bool Json::Parse(std::string_view text, Json* out) {
+  Parser p{text};
+  Json value;
+  if (!p.ParseValue(&value)) {
+    return false;
+  }
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    return false;  // trailing garbage (e.g. two documents on one journal line)
+  }
+  *out = std::move(value);
+  return true;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (kind_ != other.kind_) {
+    return false;
+  }
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kInt: return int_ == other.int_;
+    case Kind::kDouble: return double_ == other.double_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kArray: return array_ == other.array_;
+    case Kind::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+uint64_t Fnv1a64(std::string_view text) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string Hex64(uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+}  // namespace jaguar

@@ -1,0 +1,96 @@
+// A minimal JSON value type with a compact writer and a tolerant parser.
+//
+// The durable-campaign layer (src/artemis/corpus, src/artemis/service) persists corpus
+// sidecars, journal events, and metrics snapshots as JSON; the benches emit BENCH_*.json
+// trajectories. Nothing in the container provides a JSON library, so this module implements
+// the subset the repository needs:
+//   - values: null, bool, 64-bit signed integers, doubles, strings, arrays, objects;
+//   - objects are std::map-backed, so Dump() is canonical (keys sorted) — two equal values
+//     always serialize to the same bytes, which the journal fingerprints rely on;
+//   - Dump() writes a single line (JSONL-friendly); doubles round-trip via %.17g;
+//   - Parse() accepts standard JSON and rejects everything else *without throwing* (a
+//     SIGKILLed journal writer leaves a truncated final line; readers skip it and continue).
+
+#ifndef SRC_JAGUAR_SUPPORT_JSON_H_
+#define SRC_JAGUAR_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jaguar {
+
+class Json {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                            // NOLINT
+  Json(int v) : kind_(Kind::kInt), int_(v) {}                               // NOLINT
+  Json(int64_t v) : kind_(Kind::kInt), int_(v) {}                           // NOLINT
+  Json(uint64_t v) : kind_(Kind::kInt), int_(static_cast<int64_t>(v)) {}    // NOLINT
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}                      // NOLINT
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}                 // NOLINT
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}      // NOLINT
+
+  static Json Array() { Json j; j.kind_ = Kind::kArray; return j; }
+  static Json Object() { Json j; j.kind_ = Kind::kObject; return j; }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Typed accessors. Wrong-kind access returns the neutral value noted per accessor (the
+  // journal reader treats malformed events as skippable, never as fatal).
+  bool AsBool(bool fallback = false) const { return kind_ == Kind::kBool ? bool_ : fallback; }
+  int64_t AsInt(int64_t fallback = 0) const;
+  uint64_t AsUint(uint64_t fallback = 0) const { return static_cast<uint64_t>(AsInt(static_cast<int64_t>(fallback))); }
+  double AsDouble(double fallback = 0.0) const;
+  const std::string& AsString() const;  // empty string for non-strings
+
+  // Array interface.
+  std::vector<Json>& items() { return array_; }
+  const std::vector<Json>& items() const { return array_; }
+  void Append(Json v) { array_.push_back(std::move(v)); }
+  size_t size() const { return kind_ == Kind::kArray ? array_.size() : object_.size(); }
+
+  // Object interface.
+  void Set(const std::string& key, Json v) { object_[key] = std::move(v); }
+  bool Has(const std::string& key) const { return object_.count(key) != 0; }
+  // Missing keys read as null (so optional fields degrade to accessor fallbacks).
+  const Json& Get(const std::string& key) const;
+  const std::map<std::string, Json>& fields() const { return object_; }
+
+  // Compact single-line canonical serialization.
+  std::string Dump() const;
+
+  // Parses exactly one JSON document (surrounding whitespace allowed). Returns false on any
+  // syntax error or trailing garbage, leaving *out untouched.
+  static bool Parse(std::string_view text, Json* out);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+// 64-bit FNV-1a over `text` — the repository's content-addressing and fingerprint hash
+// (corpus entry ids, journal parameter fingerprints, campaign outcome digests).
+uint64_t Fnv1a64(std::string_view text);
+
+// Fixed-width lowercase hex of a 64-bit value (16 characters).
+std::string Hex64(uint64_t value);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_SUPPORT_JSON_H_

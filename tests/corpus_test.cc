@@ -1,0 +1,175 @@
+// Tests for the on-disk content-addressed corpus store (src/artemis/corpus): admission,
+// sidecar round-trips, crash-tolerant loading, the energy scheduler, and eviction.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "src/artemis/corpus/corpus.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/printer.h"
+#include "src/jaguar/support/rng.h"
+
+namespace artemis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "jag_corpus_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+const char* kProgramA = "int main() { return 1; }\n";
+const char* kProgramB = "int main() { return 2; }\n";
+const char* kProgramC = "int f() { return 3; }\nint main() { return f(); }\n";
+
+CorpusMeta MetaFor(double frac_top_tier) {
+  CorpusMeta meta;
+  meta.origin_seed = 42;
+  meta.lineage = {"LI@f", "SW@main"};
+  meta.round_admitted = 1;
+  meta.methods = 2;
+  meta.frac_top_tier = frac_top_tier;
+  meta.frac_deopted = 0.25;
+  return meta;
+}
+
+TEST(CorpusStoreTest, ContentAddressedAdmission) {
+  CorpusStore store(FreshDir("admit"));
+  EXPECT_TRUE(store.Admit(kProgramA, MetaFor(0.5)));
+  EXPECT_EQ(store.size(), 1u);
+  // Same content → same id → no-op re-admission.
+  EXPECT_FALSE(store.Admit(kProgramA, MetaFor(0.9)));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Admit(kProgramB, MetaFor(0.5)));
+  EXPECT_EQ(store.size(), 2u);
+
+  const std::string id = CorpusStore::IdFor(kProgramA);
+  EXPECT_EQ(id.size(), 16u);
+  EXPECT_TRUE(store.Contains(id));
+  EXPECT_EQ(store.LoadSource(id), kProgramA);
+  EXPECT_NE(id, CorpusStore::IdFor(kProgramB));
+}
+
+TEST(CorpusStoreTest, SidecarRoundTripsThroughLoad) {
+  const std::string dir = FreshDir("reload");
+  {
+    CorpusStore store(dir);
+    CorpusMeta meta = MetaFor(0.5);
+    meta.parent_id = "feedfeedfeedfeed";
+    meta.discrepancies = 2;
+    meta.report_signatures = "sig1;sig2";
+    ASSERT_TRUE(store.Admit(kProgramC, std::move(meta)));
+    store.NoteScheduled(CorpusStore::IdFor(kProgramC));
+    store.NoteChildAdmitted(CorpusStore::IdFor(kProgramC));
+  }
+  CorpusStore reloaded(dir);
+  ASSERT_EQ(reloaded.Load(), 1u);
+  const CorpusMeta& meta = reloaded.entries().at(CorpusStore::IdFor(kProgramC));
+  EXPECT_EQ(meta.id, CorpusStore::IdFor(kProgramC));
+  EXPECT_EQ(meta.parent_id, "feedfeedfeedfeed");
+  EXPECT_EQ(meta.origin_seed, 42u);
+  EXPECT_EQ(meta.lineage, (std::vector<std::string>{"LI@f", "SW@main"}));
+  EXPECT_EQ(meta.round_admitted, 1);
+  EXPECT_EQ(meta.methods, 2);
+  EXPECT_DOUBLE_EQ(meta.frac_top_tier, 0.5);
+  EXPECT_DOUBLE_EQ(meta.frac_deopted, 0.25);
+  EXPECT_EQ(meta.discrepancies, 2);
+  EXPECT_EQ(meta.report_signatures, "sig1;sig2");
+  // Scheduler energy survives the restart (sidecars are rewritten in place).
+  EXPECT_EQ(meta.times_scheduled, 1);
+  EXPECT_EQ(meta.children_admitted, 1);
+
+  // The stored program parses and type-checks; printing is idempotent over a reload cycle
+  // (the store holds whatever text was admitted — here hand-written — while service
+  // admissions always store PrintProgram output, for which print∘parse is the identity).
+  const jaguar::Program program = reloaded.LoadProgram(meta.id);
+  const std::string printed = jaguar::PrintProgram(program);
+  EXPECT_EQ(jaguar::PrintProgram(jaguar::ParseProgram(printed)), printed);
+  EXPECT_EQ(program.functions.size(), 2u);
+}
+
+TEST(CorpusStoreTest, LoadSkipsDamagedPairs) {
+  const std::string dir = FreshDir("damaged");
+  {
+    CorpusStore store(dir);
+    ASSERT_TRUE(store.Admit(kProgramA, MetaFor(0.5)));
+  }
+  // A SIGKILL between the .jag write and the sidecar write leaves an orphan program...
+  std::ofstream(dir + "/aaaaaaaaaaaaaaaa.jag") << kProgramB;
+  // ...and a torn write leaves an unparseable sidecar.
+  std::ofstream(dir + "/bbbbbbbbbbbbbbbb.jag") << kProgramC;
+  std::ofstream(dir + "/bbbbbbbbbbbbbbbb.json") << "{\"id\": \"bbbbbbb";
+
+  CorpusStore reloaded(dir);
+  EXPECT_EQ(reloaded.Load(), 1u);
+  EXPECT_TRUE(reloaded.Contains(CorpusStore::IdFor(kProgramA)));
+}
+
+TEST(CorpusStoreTest, SchedulerFavorsLowCoverageAndDecays) {
+  CorpusStore store(FreshDir("priority"));
+  ASSERT_TRUE(store.Admit(kProgramA, MetaFor(/*frac_top_tier=*/0.0)));
+  ASSERT_TRUE(store.Admit(kProgramB, MetaFor(/*frac_top_tier=*/1.0)));
+  const std::string uncovered = CorpusStore::IdFor(kProgramA);
+  const std::string covered = CorpusStore::IdFor(kProgramB);
+
+  EXPECT_GT(store.PriorityOf(store.entries().at(uncovered)),
+            store.PriorityOf(store.entries().at(covered)));
+
+  // PickForMutation is deterministic in (corpus state, rng state)...
+  jaguar::Rng rng_a(7);
+  jaguar::Rng rng_b(7);
+  EXPECT_EQ(store.PickForMutation(rng_a), store.PickForMutation(rng_b));
+  // ...and across many draws strongly prefers the uncovered entry (picks mutate nothing;
+  // the energy decay below only happens when the caller records NoteScheduled).
+  jaguar::Rng rng(123);
+  int uncovered_picks = 0;
+  for (int i = 0; i < 200; ++i) {
+    uncovered_picks += store.PickForMutation(rng) == uncovered ? 1 : 0;
+  }
+  EXPECT_GT(uncovered_picks, 100);
+
+  // Proven bug-finders and productive parents rank above plain entries.
+  store.NoteDiscrepancy(covered, "sig");
+  EXPECT_GT(store.PriorityOf(store.entries().at(covered)),
+            store.PriorityOf(MetaFor(1.0)));
+
+  // Energy decays with each scheduling, so a hot entry cannot monopolize the picker.
+  const double before = store.PriorityOf(store.entries().at(uncovered));
+  store.NoteScheduled(uncovered);
+  store.NoteScheduled(uncovered);
+  EXPECT_LT(store.PriorityOf(store.entries().at(uncovered)), before);
+}
+
+TEST(CorpusStoreTest, EvictionDropsLowestRetentionAndDeletesFiles) {
+  const std::string dir = FreshDir("evict");
+  CorpusStore store(dir, /*max_entries=*/2);
+  // kProgramA: bug-finder (highest retention). kProgramB: productive parent.
+  // kProgramC: fully covered, never productive, repeatedly scheduled → evicted first.
+  ASSERT_TRUE(store.Admit(kProgramA, MetaFor(0.0)));
+  ASSERT_TRUE(store.Admit(kProgramB, MetaFor(0.5)));
+  ASSERT_TRUE(store.Admit(kProgramC, MetaFor(1.0)));
+  store.NoteDiscrepancy(CorpusStore::IdFor(kProgramA), "sig");
+  store.NoteChildAdmitted(CorpusStore::IdFor(kProgramB));
+  store.NoteScheduled(CorpusStore::IdFor(kProgramC));
+  store.NoteScheduled(CorpusStore::IdFor(kProgramC));
+
+  const std::vector<std::string> evicted = store.EvictToCapacity();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], CorpusStore::IdFor(kProgramC));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_FALSE(store.Contains(evicted[0]));
+  EXPECT_FALSE(fs::exists(dir + "/" + evicted[0] + ".jag"));
+  EXPECT_FALSE(fs::exists(dir + "/" + evicted[0] + ".json"));
+
+  // Within capacity, eviction is a no-op.
+  EXPECT_TRUE(store.EvictToCapacity().empty());
+}
+
+}  // namespace
+}  // namespace artemis

@@ -81,6 +81,63 @@ TEST(CoverageTest, ColdSeedLeavesMethodsUncovered) {
   EXPECT_EQ(coverage.MethodsBelowLevel(bc, 1).size(), bc.functions.size() - 1);  // - <ginit>
 }
 
+TEST(CoverageTest, ZeroMethodProgramHasNoCoverageToReport) {
+  // An empty bytecode module (no functions at all) must not divide by zero or invent
+  // methods: no uncovered methods, zero fractions.
+  const BcProgram empty;
+  SpaceCoverage coverage;
+  EXPECT_TRUE(coverage.MethodsBelowLevel(empty, 1).empty());
+  EXPECT_DOUBLE_EQ(coverage.FractionAtLevel(empty, 1), 0.0);
+  EXPECT_DOUBLE_EQ(coverage.FractionDeopted(empty), 0.0);
+}
+
+TEST(CoverageTest, NoObservedRunMeansNothingIsCovered) {
+  const BcProgram bc = jaguar::CompileSource(R"(
+    int f() { return 1; }
+    int main() { return f(); }
+  )");
+  const SpaceCoverage coverage;  // no Observe() call at all
+  EXPECT_DOUBLE_EQ(coverage.FractionDeopted(bc), 0.0);
+  // Even level 0 counts as uncovered until a run is observed: an unobserved method has no
+  // coverage record, which is distinct from "observed but stayed interpreted".
+  EXPECT_DOUBLE_EQ(coverage.FractionAtLevel(bc, 0), 0.0);
+  EXPECT_EQ(coverage.MethodsBelowLevel(bc, 0).size(), 2u);
+}
+
+TEST(CoverageTest, KeysStayStableWhenTheMethodSetShrinks) {
+  // Coverage is keyed by method name, so queries against a mutant whose method set shrank
+  // (or any other program revision) must only consider the methods that still exist —
+  // stale entries for removed methods must not pollute the fractions.
+  const BcProgram full = jaguar::CompileSource(R"(
+    int f() { return 1; }
+    int g() { return 2; }
+    int main() { return f() + g(); }
+  )");
+  jaguar::JitTrace trace;
+  for (int func = 0; func < 2; ++func) {  // f and g reach the top tier; main never runs hot
+    jaguar::TemperatureVector v;
+    v.func = func;
+    v.call_index = func;
+    v.temps = {2};
+    trace.vectors.push_back(v);
+  }
+  SpaceCoverage coverage;
+  coverage.Observe(full, trace);
+  EXPECT_DOUBLE_EQ(coverage.FractionAtLevel(full, 2), 2.0 / 3.0);
+
+  const BcProgram shrunk = jaguar::CompileSource(R"(
+    int f() { return 1; }
+    int main() { return f(); }
+  )");
+  // g's record still exists in the map but is invisible to queries against the shrunk
+  // program; f keeps its coverage under the same key.
+  EXPECT_DOUBLE_EQ(coverage.FractionAtLevel(shrunk, 2), 1.0 / 2.0);
+  const auto below = coverage.MethodsBelowLevel(shrunk, 2);
+  ASSERT_EQ(below.size(), 1u);
+  EXPECT_EQ(below[0], "main");
+  EXPECT_DOUBLE_EQ(coverage.FractionDeopted(shrunk), 0.0);
+}
+
 TEST(GuidedValidateTest, GuidanceImprovesTopTierCoverage) {
   FuzzConfig fuzz;
   ValidatorParams params;

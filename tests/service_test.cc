@@ -1,0 +1,343 @@
+// Tests for the durable campaign service: the JSON support module, the journal codecs and
+// writer/reader, checkpoint/resume of durable campaigns (the kill-at-any-point →
+// SameOutcome contract), and the evolving-corpus service loop with its metrics export.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/artemis/service/durable.h"
+#include "src/artemis/service/journal.h"
+#include "src/artemis/service/service.h"
+#include "src/jaguar/support/json.h"
+
+namespace artemis {
+namespace {
+
+namespace fs = std::filesystem;
+using jaguar::Json;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "jag_service_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// A hot two-tier vendor with injected defects: fast enough for unit tests, buggy enough
+// that campaigns actually file reports (exercising the report/triage codecs end to end).
+jaguar::VmConfig FastVendor() {
+  jaguar::VmConfig c;
+  c.name = "FastSvc";
+  c.tiers = {
+      jaguar::TierSpec{25, 60, false, false, /*profiles=*/true},
+      jaguar::TierSpec{80, 150, true, true},
+  };
+  c.min_profile_for_speculation = 16;
+  c.bugs = {jaguar::BugId::kFoldShiftUnmasked, jaguar::BugId::kLicmDeepNestAssert,
+            jaguar::BugId::kGvnBucketAssert};
+  return c;
+}
+
+CampaignParams FastParams() {
+  CampaignParams params;
+  params.num_seeds = 5;
+  params.base_seed = 91'000;
+  params.validator.max_iter = 4;
+  params.validator.jonm.synth.min_bound = 150;
+  params.validator.jonm.synth.max_bound = 400;
+  params.step_budget = 40'000'000;
+  return params;
+}
+
+// ---------------------------------------------------------------------------------------
+// JSON support module.
+
+TEST(JsonTest, DumpParsesBackCanonically) {
+  Json obj = Json::Object();
+  obj.Set("zeta", 1);
+  obj.Set("alpha", Json::Array());
+  Json arr = Json::Array();
+  arr.Append(true);
+  arr.Append(-7);
+  arr.Append(2.5);
+  arr.Append("text with \"quotes\"\nand\tcontrol\x01chars");
+  arr.Append(Json());  // null
+  obj.Set("items", std::move(arr));
+
+  const std::string dump = obj.Dump();
+  // Objects dump with sorted keys → canonical form for fingerprinting.
+  EXPECT_LT(dump.find("\"alpha\""), dump.find("\"items\""));
+  EXPECT_LT(dump.find("\"items\""), dump.find("\"zeta\""));
+
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(dump, &parsed));
+  EXPECT_EQ(parsed, obj);
+  EXPECT_EQ(parsed.Dump(), dump);
+
+  EXPECT_EQ(parsed.Get("items").items().size(), 5u);
+  EXPECT_TRUE(parsed.Get("items").items()[0].AsBool());
+  EXPECT_EQ(parsed.Get("items").items()[1].AsInt(), -7);
+  EXPECT_DOUBLE_EQ(parsed.Get("items").items()[2].AsDouble(), 2.5);
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  Json out;
+  EXPECT_FALSE(Json::Parse("{\"truncated\": 12", &out));
+  EXPECT_FALSE(Json::Parse("{} trailing", &out));
+  EXPECT_FALSE(Json::Parse("", &out));
+  EXPECT_TRUE(Json::Parse("{\"u64\": 18446744073709551615}", &out));
+  EXPECT_EQ(out.Get("u64").AsUint(), 18446744073709551615ULL);
+}
+
+// ---------------------------------------------------------------------------------------
+// Journal writer/reader.
+
+TEST(JournalTest, WriterRoundTripsAndReaderToleratesTruncation) {
+  const std::string path = FreshDir("journal") + "/j.jsonl";
+  {
+    CampaignJournal journal(path);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 20; ++i) {
+      Json event = Json::Object();
+      event.Set("event", "tick");
+      event.Set("i", static_cast<int64_t>(i));
+      journal.Append(event);
+    }
+    journal.Flush();
+  }
+  // Simulate the SIGKILL-torn final line.
+  std::ofstream(path, std::ios::app) << "{\"event\":\"torn";
+
+  const JournalContents contents = ReadJournal(path);
+  ASSERT_EQ(contents.events.size(), 20u);
+  EXPECT_EQ(contents.skipped_lines, 1u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(contents.events[static_cast<size_t>(i)].Get("i").AsInt(), i);
+  }
+  // A missing journal is an empty journal, not an error.
+  EXPECT_TRUE(ReadJournal(path + ".missing").events.empty());
+}
+
+TEST(JournalTest, BugReportCodecRoundTripsEveryComparedField) {
+  BugReport report;
+  report.seed_id = 91'007;
+  report.kind = DiscrepancyKind::kCrash;
+  report.root_causes = {jaguar::BugId::kFoldShiftUnmasked, jaguar::BugId::kGvnBucketAssert};
+  report.crash_component = jaguar::VmComponent::kGvn;
+  report.crash_kind = "assert";
+  report.detail = "mutant 3: crash \"line\\with escapes\"";
+  report.duplicate = true;
+  report.triaged = true;
+  report.triage.reproduced = true;
+  report.triage.kind = DiscrepancyKind::kCrash;
+  report.triage.stage = "gvn";
+  report.triage.partner = "licm";
+  report.triage.invariant = "ssa-dominance";
+  report.triage.invariant_stage = "gvn";
+  report.triage.candidates = {"gvn", "licm"};
+  report.triage.detail = "bisection detail";
+  report.triage.runs = 17;
+
+  BugReport decoded;
+  ASSERT_TRUE(BugReportFromJson(BugReportToJson(report), &decoded));
+  EXPECT_TRUE(decoded == report);
+
+  // The codec must round-trip through an actual serialized line as well.
+  Json reparsed;
+  ASSERT_TRUE(Json::Parse(BugReportToJson(report).Dump(), &reparsed));
+  BugReport redecoded;
+  ASSERT_TRUE(BugReportFromJson(reparsed, &redecoded));
+  EXPECT_TRUE(redecoded == report);
+}
+
+// ---------------------------------------------------------------------------------------
+// Durable campaigns: checkpoint/resume.
+
+TEST(DurableCampaignTest, UninterruptedRunMatchesPlainCampaign) {
+  const jaguar::VmConfig vm = FastVendor();
+  const CampaignParams params = FastParams();
+  const CampaignStats reference = RunCampaign(vm, params);
+
+  DurableOptions options;
+  options.journal_path = FreshDir("durable_full") + "/campaign.jsonl";
+  const DurableResult result = RunDurableCampaign(vm, params, options);
+
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.replayed_seeds, 0);
+  EXPECT_EQ(result.executed_seeds, params.num_seeds);
+  EXPECT_TRUE(result.stats.SameOutcome(reference));
+  EXPECT_EQ(result.stats.OutcomeDigest(), reference.OutcomeDigest());
+  EXPECT_EQ(result.stats.journal_segments, 1);
+
+  // The journal ends with the completion event carrying the same digest.
+  const JournalContents contents = ReadJournal(options.journal_path);
+  ASSERT_FALSE(contents.events.empty());
+  const Json& last = contents.events.back();
+  EXPECT_EQ(last.Get("event").AsString(), "campaign_finished");
+  EXPECT_EQ(last.Get("digest").AsString(), reference.OutcomeDigest());
+}
+
+TEST(DurableCampaignTest, InterruptedThenResumedYieldsSameOutcome) {
+  const jaguar::VmConfig vm = FastVendor();
+  CampaignParams params = FastParams();
+  params.triage = true;  // exercise the triage codec through the interruption
+  const CampaignStats reference = RunCampaign(vm, params);
+
+  DurableOptions options;
+  options.journal_path = FreshDir("durable_resume") + "/campaign.jsonl";
+  options.stop_after_seeds = 2;  // deterministic stand-in for a SIGKILL after two seeds
+  CampaignParams partial_params = params;
+  partial_params.num_threads = 1;
+  const DurableResult partial = RunDurableCampaign(vm, partial_params, options);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.executed_seeds, 2);
+
+  // Resume at a different thread count: the fingerprint ignores num_threads by design.
+  options.stop_after_seeds = 0;
+  CampaignParams resumed_params = params;
+  resumed_params.num_threads = 3;
+  const DurableResult resumed = RunDurableCampaign(vm, resumed_params, options);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.replayed_seeds, 2);
+  EXPECT_EQ(resumed.executed_seeds, params.num_seeds - 2);
+  EXPECT_TRUE(resumed.stats.SameOutcome(reference));
+  EXPECT_EQ(resumed.stats.OutcomeDigest(), reference.OutcomeDigest());
+
+  // Accounting satellites: segments count incarnations; wall time accumulates across them
+  // instead of restarting, and the whole-campaign invocation count survives the resume.
+  EXPECT_EQ(resumed.stats.journal_segments, 2);
+  EXPECT_GE(resumed.stats.wall_seconds, partial.stats.wall_seconds);
+  EXPECT_EQ(resumed.stats.vm_invocations, reference.vm_invocations);
+}
+
+TEST(DurableCampaignTest, RejectsForeignJournalsAndHooks) {
+  const jaguar::VmConfig vm = FastVendor();
+  CampaignParams params = FastParams();
+  params.num_seeds = 2;
+
+  DurableOptions options;
+  options.journal_path = FreshDir("durable_reject") + "/campaign.jsonl";
+  (void)RunDurableCampaign(vm, params, options);
+
+  CampaignParams different = params;
+  different.num_seeds = 4;  // a different campaign → different fingerprint
+  EXPECT_THROW(RunDurableCampaign(vm, different, options), std::runtime_error);
+
+  CampaignParams hooked = params;
+  hooked.validator.on_mutant = [](const MutantVerdict&) {};
+  DurableOptions fresh;
+  fresh.journal_path = FreshDir("durable_hooked") + "/campaign.jsonl";
+  EXPECT_THROW(RunDurableCampaign(vm, hooked, fresh), std::runtime_error);
+}
+
+TEST(DurableCampaignTest, ResumeCampaignRebuildsEverythingFromTheHeader) {
+  // ResumeCampaign reconstructs vendor + params purely from the journal header, so it only
+  // works for registered vendor configs (not the synthetic FastVendor).
+  jaguar::VmConfig vm = jaguar::HotSniffConfig();
+  vm.verify_level = jaguar::VerifyLevel::kBoundary;
+  CampaignParams params;
+  params.num_seeds = 3;
+  params.base_seed = 92'000;
+  params.validator.max_iter = 3;
+  params.validator.jonm.synth.min_bound = 5'000;
+  params.validator.jonm.synth.max_bound = 10'000;
+  const CampaignStats reference = RunCampaign(vm, params);
+
+  DurableOptions options;
+  options.journal_path = FreshDir("durable_header") + "/campaign.jsonl";
+  options.stop_after_seeds = 1;
+  (void)RunDurableCampaign(vm, params, options);
+
+  const DurableResult resumed = ResumeCampaign(options.journal_path);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.replayed_seeds, 1);
+  EXPECT_TRUE(resumed.stats.SameOutcome(reference));
+  EXPECT_EQ(resumed.stats.vm_name, reference.vm_name);
+
+  EXPECT_THROW(ResumeCampaign(options.journal_path + ".missing"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------------------
+// Service loop: corpus evolution + metrics export + round-boundary resume.
+
+TEST(ServiceTest, RoundsEvolveTheCorpusAndExportMetrics) {
+  const std::string dir = FreshDir("service_run");
+  jaguar::VmConfig vm = FastVendor();
+
+  ServiceParams params;
+  params.campaign = FastParams();
+  params.corpus_dir = dir;
+  params.rounds = 2;
+  params.fresh_seeds_per_round = 2;
+  params.corpus_mutations_per_round = 3;
+
+  const ServiceStats stats = RunService(vm, params);
+  EXPECT_EQ(stats.rounds_completed, 2);
+  EXPECT_EQ(stats.trajectory.size(), 2u);
+  EXPECT_GT(stats.totals.seeds_run, 0);
+  EXPECT_GT(stats.totals.vm_invocations, 0u);
+  // The hot vendor explores new JIT-traces readily: the corpus must actually evolve.
+  EXPECT_GT(stats.corpus_admitted, 0);
+  EXPECT_GT(stats.trajectory.back().corpus_size, 0);
+
+  // BENCH_campaign.json is well-formed and carries the whole trajectory.
+  std::ifstream metrics_in(dir + "/BENCH_campaign.json");
+  ASSERT_TRUE(metrics_in.good());
+  std::stringstream buffer;
+  buffer << metrics_in.rdbuf();
+  Json metrics;
+  ASSERT_TRUE(Json::Parse(buffer.str(), &metrics));
+  EXPECT_EQ(metrics.Get("vm").AsString(), "FastSvc");
+  EXPECT_EQ(metrics.Get("rounds_completed").AsInt(), 2);
+  ASSERT_EQ(metrics.Get("trajectory").items().size(), 2u);
+  const Json& last = metrics.Get("trajectory").items().back();
+  EXPECT_EQ(last.Get("round").AsInt(), 2);
+  EXPECT_EQ(last.Get("vm_invocations").AsUint(), stats.totals.vm_invocations);
+
+  // Resume continues at the next round with totals, dedup state, and corpus intact.
+  ServiceParams more = params;
+  more.rounds = 1;
+  more.resume = true;
+  const ServiceStats resumed = RunService(vm, more);
+  EXPECT_EQ(resumed.rounds_completed, 3);
+  EXPECT_EQ(resumed.trajectory.size(), 3u);
+  EXPECT_GT(resumed.totals.seeds_run, stats.totals.seeds_run);
+  EXPECT_GE(resumed.totals.vm_invocations, stats.totals.vm_invocations);
+  EXPECT_GE(resumed.totals.Reported(), stats.totals.Reported());
+  EXPECT_EQ(resumed.totals.journal_segments, 2);
+  EXPECT_GE(resumed.totals.wall_seconds, stats.totals.wall_seconds);
+
+  // A different configuration must not silently reuse this journal.
+  ServiceParams foreign = more;
+  foreign.fresh_seeds_per_round = 7;
+  EXPECT_THROW(RunService(vm, foreign), std::runtime_error);
+}
+
+TEST(ServiceTest, BaselineArmKeepsCorpusFrozen) {
+  const std::string dir = FreshDir("service_baseline");
+  jaguar::VmConfig vm = FastVendor();
+
+  ServiceParams params;
+  params.campaign = FastParams();
+  params.corpus_dir = dir;
+  params.rounds = 2;
+  params.fresh_seeds_per_round = 2;
+  params.corpus_mutations_per_round = 3;
+  params.admission = false;  // the fixed-seed comparison arm
+
+  const ServiceStats stats = RunService(vm, params);
+  EXPECT_EQ(stats.rounds_completed, 2);
+  EXPECT_EQ(stats.corpus_admitted, 0);
+  EXPECT_EQ(stats.trajectory.back().corpus_size, 0);
+  // Every scheduled item was a fresh generator seed.
+  EXPECT_EQ(stats.fresh_seeds_used, 4u);
+}
+
+}  // namespace
+}  // namespace artemis
