@@ -9,7 +9,10 @@
 //     --mutations the corpus entries re-mutated per round; --no-admission freezes the corpus
 //     (the fixed-seed baseline arm of EXPERIMENTS.md). Metrics land in
 //     DIR/BENCH_campaign.json after every round; --resume continues a killed service from
-//     its last completed round.
+//     its last completed round. The Prometheus exposition the service rewrites every round
+//     defaults to DIR/metrics.prom; --metrics-out PATH redirects it. --trace[=LEVEL] turns
+//     on VM/JIT event tracing in the workers (per-run counters still flow into the
+//     registry either way).
 //
 //   ./artemis_service campaign --corpus-dir DIR [--vm NAME] [--seeds N] [--threads N]
 //                     [--verify[=LEVEL]] [--triage] [--resume] [--stop-after N]
@@ -37,7 +40,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: artemis_service [service] --corpus-dir DIR [--vm NAME] [--rounds N]\n"
                "           [--seeds N] [--mutations N] [--threads N] [--verify[=LEVEL]]\n"
-               "           [--triage] [--resume] [--no-admission]\n"
+               "           [--triage] [--resume] [--no-admission] [--trace[=LEVEL]]\n"
+               "           [--metrics-out PATH]\n"
                "       artemis_service campaign --corpus-dir DIR [--vm NAME] [--seeds N]\n"
                "           [--threads N] [--verify[=LEVEL]] [--triage] [--resume]\n"
                "           [--stop-after N]\n");
@@ -86,10 +90,12 @@ int RunServiceMode(const cli::CommonOptions& options, int mutations, bool admiss
   const std::string vm_name = options.vm.empty() ? "hotsniff" : options.vm;
   jaguar::VmConfig vm = cli::VendorByName(vm_name);
   vm.verify_level = options.verify;
+  vm.trace_level = options.trace;
 
   artemis::ServiceParams params;
   params.campaign = BaseParams(options, vm_name);
   params.corpus_dir = options.corpus_dir;
+  params.prom_path = options.metrics_out;  // "" → DIR/metrics.prom
   params.rounds = options.rounds >= 0 ? options.rounds : 4;
   if (options.seeds >= 0) {
     params.fresh_seeds_per_round = options.seeds;
@@ -107,7 +113,9 @@ int RunServiceMode(const cli::CommonOptions& options, int mutations, bool admiss
     std::printf("throughput: %.1f VM invocations/s; corpus %d entries (%.2f top-tier)\n",
                 last.invocations_per_second, last.corpus_size, last.corpus_frac_top_tier);
   }
-  std::printf("metrics: %s/BENCH_campaign.json\n", params.corpus_dir.c_str());
+  std::printf("metrics: %s/BENCH_campaign.json + %s\n", params.corpus_dir.c_str(),
+              params.prom_path.empty() ? (params.corpus_dir + "/metrics.prom").c_str()
+                                       : params.prom_path.c_str());
   return 0;
 }
 

@@ -12,6 +12,10 @@
 //   --corpus-dir PATH             on-disk corpus directory (service / durable drivers)
 //   --resume                      continue from an existing journal instead of starting fresh
 //   --rounds N                    service rounds to run in this invocation
+//   --trace[=off|boundary|full]   VM/JIT event tracing level (bare = full)
+//   --trace-out PATH              write the recorded trace as Chrome trace_event JSONL
+//   --metrics-out PATH            write the metrics registry as Prometheus text exposition
+//   --bench-out PATH              write a BENCH_*.json performance summary (fuzz_campaign)
 //
 // Anything unrecognized lands in `positional` for the driver's own grammar.
 
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "src/artemis/validate/validator.h"
+#include "src/jaguar/observe/events.h"
 #include "src/jaguar/vm/config.h"
 
 namespace cli {
@@ -39,6 +44,11 @@ struct CommonOptions {
   bool resume = false;
   bool triage = false;
   jaguar::VerifyLevel verify = jaguar::VerifyLevel::kOff;
+  jaguar::observe::TraceLevel trace = jaguar::observe::TraceLevel::kOff;
+  bool trace_given = false;   // --trace appeared (lets drivers infer full from --trace-out)
+  std::string trace_out;      // "" → no trace file
+  std::string metrics_out;    // "" → no Prometheus file
+  std::string bench_out;      // "" → no BENCH json
   std::vector<std::string> positional;
 };
 
@@ -146,6 +156,19 @@ inline CommonOptions ParseArgs(int argc, char** argv) {
       options.verify = jaguar::VerifyLevel::kEveryPass;
     } else if (std::strncmp(argv[i], "--verify=", 9) == 0) {
       options.verify = ParseVerifyLevel(argv[i] + 9);
+    } else if ((consumed = string_flag("--trace-out", i, &options.trace_out)) != 0 ||
+               (consumed = string_flag("--metrics-out", i, &options.metrics_out)) != 0 ||
+               (consumed = string_flag("--bench-out", i, &options.bench_out)) != 0) {
+      i += consumed - 1;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      options.trace = jaguar::observe::TraceLevel::kFull;
+      options.trace_given = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      if (!jaguar::observe::ParseTraceLevel(argv[i] + 8, &options.trace)) {
+        std::fprintf(stderr, "unknown trace level '%s' (off|boundary|full)\n", argv[i] + 8);
+        std::exit(2);
+      }
+      options.trace_given = true;
     } else if (std::strcmp(argv[i], "--triage") == 0) {
       options.triage = true;
     } else if (std::strcmp(argv[i], "--resume") == 0) {

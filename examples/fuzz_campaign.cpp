@@ -1,6 +1,8 @@
 // A miniature validation campaign from the command line.
 //
 //   ./fuzz_campaign [num_seeds] [vendor] [--threads N] [--verify[=LEVEL]] [--triage]
+//                   [--trace[=LEVEL]] [--trace-out PATH] [--metrics-out PATH]
+//                   [--bench-out PATH]
 //
 // vendor ∈ {hotsniff, openjade, artree} (default: all three; also accepted via --vm NAME and
 // --seeds N — the flag grammar is shared with the other drivers, see cli_common.h). Prints a
@@ -12,7 +14,15 @@
 // every-pass; bare --verify means every-pass), so invariant violations surface as crashes.
 // --triage pass-bisects every discrepancy and dedups reports on the attribution key; each
 // report then prints its "triage: <kind> -> <stage>" line.
+//
+// Observability (src/jaguar/observe/): --metrics-out dumps the campaign's Prometheus
+// registry, --trace-out the merged per-thread event rings as Chrome trace_event JSONL
+// (--trace-out implies --trace=full unless a level was given explicitly). --bench-out writes
+// BENCH_vm.json — the scripts/bench_check.sh performance summary: campaign throughput
+// (seeds/s, VM invocations/s, JIT compiles/s), per-pass compile-time distribution
+// (mean/p95 µs), and interpreter speed (MIPS) from a fixed hot-loop microbenchmark.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,6 +30,48 @@
 #include "examples/cli_common.h"
 #include "src/artemis/campaign/campaign.h"
 #include "src/artemis/campaign/worker_pool.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/observe/tracer.h"
+#include "src/jaguar/support/json.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace {
+
+// Fixed interpreter-only hot loop (~5M VM cost units). MIPS = steps / wall-seconds / 1e6,
+// using the deterministic step count as the instruction proxy so the metric only varies with
+// the machine, never with the workload.
+double InterpreterMips() {
+  const char* source = R"(
+    int main() {
+      long acc = 0L;
+      for (int i = 0; i < 2000; i++) {
+        for (int j = 0; j < 500; j++) {
+          acc += j - i;
+        }
+      }
+      print(acc);
+      return 0;
+    }
+  )";
+  jaguar::Program program = jaguar::ParseProgram(source);
+  jaguar::Check(program);
+  const jaguar::BcProgram bytecode = jaguar::CompileProgram(program);
+  const jaguar::VmConfig interp = jaguar::InterpreterOnlyConfig();
+  // Warm-up run (page/cache effects), then the timed run.
+  jaguar::RunProgram(bytecode, interp);
+  const auto start = std::chrono::steady_clock::now();
+  const jaguar::RunOutcome out = jaguar::RunProgram(bytecode, interp);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (out.status != jaguar::RunStatus::kOk || seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(out.steps) / seconds / 1e6;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   cli::CommonOptions options = cli::ParseArgs(argc, argv);
@@ -33,9 +85,31 @@ int main(int argc, char** argv) {
   }
   const int seeds = options.seeds >= 0 ? options.seeds : 20;
 
+  // Observability sinks, shared by every vendor campaign in this invocation. A bare
+  // --trace-out means the user wants events, so it implies --trace=full.
+  jaguar::observe::TraceLevel trace = options.trace;
+  if (!options.trace_out.empty() && !options.trace_given) {
+    trace = jaguar::observe::TraceLevel::kFull;
+  }
+  const bool observing = trace != jaguar::observe::TraceLevel::kOff ||
+                         !options.trace_out.empty() || !options.metrics_out.empty() ||
+                         !options.bench_out.empty();
+  jaguar::observe::MetricsRegistry registry;
+  jaguar::observe::TraceHub hub;
+  jaguar::observe::Observer observer;
+  if (observing) {
+    observer.metrics = &registry;
+    if (trace != jaguar::observe::TraceLevel::kOff) {
+      observer.hub = &hub;
+    }
+  }
+
   std::printf("campaign: %d seeds on %d worker thread(s)\n\n", seeds,
               options.threads > 0 ? options.threads : artemis::DefaultWorkerCount());
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  uint64_t total_seeds = 0;
+  uint64_t total_invocations = 0;
   bool ran_any = false;
   for (jaguar::VmConfig vm : jaguar::AllVendors()) {
     if (!options.vm.empty() && cli::ToLower(vm.name) != options.vm) {
@@ -43,6 +117,10 @@ int main(int argc, char** argv) {
     }
     ran_any = true;
     vm.verify_level = options.verify;
+    if (observing) {
+      vm.trace_level = trace;
+      vm.observer = &observer;
+    }
 
     artemis::CampaignParams params;
     params.num_seeds = seeds;
@@ -52,6 +130,8 @@ int main(int argc, char** argv) {
     cli::ApplyPaperSynthBounds(vm.name, &params.validator);
 
     const artemis::CampaignStats stats = artemis::RunCampaign(vm, params);
+    total_seeds += static_cast<uint64_t>(stats.seeds_run);
+    total_invocations += stats.vm_invocations;
     std::printf("%s\n", stats.ToString().c_str());
     for (const auto& report : stats.reports) {
       std::printf("  [%s]%s seed=%llu %s\n", DiscrepancyName(report.kind),
@@ -70,6 +150,57 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown vendor '%s' (expected hotsniff, openjade, or artree)\n",
                  options.vm.c_str());
     return 1;
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  if (!options.trace_out.empty()) {
+    // Campaigns run many distinct programs, so function indices carry no single name table;
+    // events render with the f<index> fallback.
+    if (!jaguar::observe::WriteTextFile(options.trace_out,
+                                        jaguar::observe::EventsToJsonl(hub.DrainAll(), {}))) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %s (%llu events kept, %llu dropped)\n",
+                 options.trace_out.c_str(),
+                 static_cast<unsigned long long>(hub.total_pushed() - hub.total_dropped()),
+                 static_cast<unsigned long long>(hub.total_dropped()));
+  }
+  if (!options.metrics_out.empty()) {
+    if (!jaguar::observe::WriteTextFile(options.metrics_out, registry.PrometheusText())) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics: %s\n", options.metrics_out.c_str());
+  }
+  if (!options.bench_out.empty()) {
+    const jaguar::observe::HistogramSnapshot passes =
+        registry.SumHistograms("jaguar_jit_pass_compile_us");
+    const uint64_t compiles =
+        registry.GetCounter("jaguar_jit_compilations_total", "JIT compilations (method + OSR)")
+            ->value();
+    jaguar::Json bench = jaguar::Json::Object();
+    bench.Set("bench", std::string("vm"));
+    bench.Set("schema", 1);
+    bench.Set("seeds", total_seeds);
+    bench.Set("vm_invocations", total_invocations);
+    bench.Set("wall_seconds", wall_seconds);
+    bench.Set("seeds_per_second",
+              wall_seconds > 0 ? static_cast<double>(total_seeds) / wall_seconds : 0.0);
+    bench.Set("invocations_per_second",
+              wall_seconds > 0 ? static_cast<double>(total_invocations) / wall_seconds : 0.0);
+    bench.Set("jit_compilations_per_second",
+              wall_seconds > 0 ? static_cast<double>(compiles) / wall_seconds : 0.0);
+    bench.Set("mean_pass_compile_us", passes.Mean());
+    bench.Set("p95_pass_compile_us", passes.Quantile(0.95));
+    bench.Set("interpreter_mips", InterpreterMips());
+    bench.Set("observe", registry.ToJson());
+    if (!jaguar::observe::WriteTextFile(options.bench_out, bench.Dump() + "\n")) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.bench_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench: %s\n", options.bench_out.c_str());
   }
   return 0;
 }

@@ -17,6 +17,10 @@
 //                                        the offending stage and invariant
 //   --triage                             (validate mode) pass-bisect each discrepancy and
 //                                        print the structured attribution
+//   --trace[=off|boundary|full]          record VM/JIT events during run/trace modes
+//   --trace-out PATH                     write the recorded events as Chrome trace_event
+//                                        JSONL (implies --trace=full if no level was given)
+//   --metrics-out PATH                   write the run's metrics registry as Prometheus text
 
 #include <cstdio>
 #include <cstring>
@@ -34,6 +38,7 @@
 #include "src/jaguar/lang/lexer.h"
 #include "src/jaguar/lang/parser.h"
 #include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/observe/tracer.h"
 #include "src/jaguar/vm/engine.h"
 
 namespace {
@@ -67,8 +72,41 @@ int Usage() {
   std::fprintf(stderr,
                "usage: jaguar_cli run|trace|disasm|validate <file.jag> [vendor]\n"
                "       jaguar_cli ir <file.jag> <function> <tier>\n"
-               "flags: --verify[=off|boundary|every-pass]  --triage (validate mode)\n");
+               "flags: --verify[=off|boundary|every-pass]  --triage (validate mode)\n"
+               "       --trace[=off|boundary|full]  --trace-out PATH  --metrics-out PATH\n");
   return 2;
+}
+
+// Writes the observability artifacts of a single-program run: the telemetry event window as
+// Chrome trace_event JSONL (function indices resolved against the compiled program's name
+// table) and the metrics registry as Prometheus text. Returns 0, or 1 on I/O failure.
+int WriteObservability(const cli::CommonOptions& options, const jaguar::BcProgram& bytecode,
+                       const jaguar::RunOutcome* out,
+                       const jaguar::observe::MetricsRegistry& registry) {
+  if (!options.trace_out.empty() && out != nullptr) {
+    std::vector<std::string> names;
+    names.reserve(bytecode.functions.size());
+    for (const auto& fn : bytecode.functions) {
+      names.push_back(fn.name);
+    }
+    static const std::vector<jaguar::observe::TraceEvent> kNoEvents;
+    const auto& events = out->telemetry != nullptr ? out->telemetry->events : kNoEvents;
+    if (!jaguar::observe::WriteTextFile(options.trace_out,
+                                        jaguar::observe::EventsToJsonl(events, names))) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "-- trace: %s (%zu events)\n", options.trace_out.c_str(),
+                 events.size());
+  }
+  if (!options.metrics_out.empty()) {
+    if (!jaguar::observe::WriteTextFile(options.metrics_out, registry.PrometheusText())) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "-- metrics: %s\n", options.metrics_out.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -121,9 +159,23 @@ int main(int argc, char** argv) {
     jaguar::VmConfig vendor = cli::VendorByName(vendor_name);
     vendor.verify_level = verify;
 
+    // Observability: --trace-out implies full event tracing unless a level was given;
+    // --metrics-out attaches a registry that every run (validate included) flushes into.
+    vendor.trace_level = options.trace;
+    if (!options.trace_out.empty() && !options.trace_given) {
+      vendor.trace_level = jaguar::observe::TraceLevel::kFull;
+    }
+    jaguar::observe::MetricsRegistry registry;
+    jaguar::observe::Observer observer;
+    if (!options.metrics_out.empty()) {
+      observer.metrics = &registry;
+      vendor.observer = &observer;
+    }
+
     if (mode == "run") {
-      PrintOutcome(jaguar::RunProgram(bytecode, vendor));
-      return 0;
+      const jaguar::RunOutcome out = jaguar::RunProgram(bytecode, vendor);
+      PrintOutcome(out);
+      return WriteObservability(options, bytecode, &out, registry);
     }
 
     if (mode == "trace") {
@@ -146,7 +198,7 @@ int main(int argc, char** argv) {
                        out.full_trace->vectors.size() - show);
         }
       }
-      return 0;
+      return WriteObservability(options, bytecode, &out, registry);
     }
 
     if (mode == "validate") {
@@ -182,6 +234,10 @@ int main(int argc, char** argv) {
               *verdict.mutant_program, vendor, artemis::TriageParams{});
           std::printf("  %s\n", t.ToString().c_str());
         }
+      }
+      // Single-run trace files make no sense over a whole validation; metrics still do.
+      if (WriteObservability(options, bytecode, nullptr, registry) != 0) {
+        return 1;
       }
       return report.FoundAny() ? 3 : 0;
     }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# VM/campaign performance baseline: runs a 500-seed HotSniff campaign with the metrics
+# registry attached and records BENCH_vm.json (fuzz_campaign --bench-out), then verifies the
+# summary is well-formed — all six headline metrics present and positive:
+#
+#   seeds_per_second, invocations_per_second, jit_compilations_per_second,
+#   mean_pass_compile_us, p95_pass_compile_us, interpreter_mips
+#
+# The numbers are machine-dependent; EXPERIMENTS.md records reference runs. This script only
+# gates on WELL-FORMEDNESS, so it is safe in CI on any hardware.
+#
+# Usage: scripts/bench_check.sh [build-dir] [out.json]   (default: build, BENCH_vm.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_vm.json}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_campaign >/dev/null
+
+"$BUILD_DIR"/examples/fuzz_campaign --seeds 500 --vm hotsniff --bench-out "$OUT" >/dev/null
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+
+required = [
+    "seeds_per_second",
+    "invocations_per_second",
+    "jit_compilations_per_second",
+    "mean_pass_compile_us",
+    "p95_pass_compile_us",
+    "interpreter_mips",
+]
+missing = [k for k in required if k not in bench]
+if missing:
+    sys.exit(f"BENCH_vm.json missing metrics: {missing}")
+bad = [k for k in required if not (isinstance(bench[k], (int, float)) and bench[k] > 0)]
+if bad:
+    sys.exit(f"BENCH_vm.json non-positive metrics: { {k: bench[k] for k in bad} }")
+if bench.get("seeds") != 500:
+    sys.exit(f"expected 500 seeds, got {bench.get('seeds')}")
+print("bench_check: BENCH_vm.json well-formed")
+for k in required:
+    print(f"  {k}: {bench[k]:.3f}")
+EOF

@@ -12,11 +12,15 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DARTEMIS_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target campaign_test campaign_determinism_test \
-  synth_property_test
+  synth_property_test observe_unit_test observe_determinism_test
 
 # halt_on_error: fail fast on the first reported race.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/campaign_test
 "$BUILD_DIR"/tests/campaign_determinism_test
 "$BUILD_DIR"/tests/synth_property_test --gtest_filter='GeneratorDeterminismTest.*'
+# The observe layer's own concurrency (per-thread hub rings, shared metrics registry) plus
+# the kFull campaign arm, where every worker records through the shared sinks.
+"$BUILD_DIR"/tests/observe_unit_test
+"$BUILD_DIR"/tests/observe_determinism_test --gtest_filter='AllVendors/*'
 echo "tsan_check: all campaign thread-safety tests passed clean"

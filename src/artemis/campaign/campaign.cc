@@ -7,6 +7,7 @@
 #include "src/artemis/campaign/reducer.h"
 #include "src/artemis/campaign/shard.h"
 #include "src/artemis/campaign/worker_pool.h"
+#include "src/jaguar/observe/tracer.h"
 #include "src/jaguar/support/check.h"
 #include "src/jaguar/support/json.h"
 
@@ -174,6 +175,34 @@ CampaignStats RunCampaign(const jaguar::VmConfig& vm_config, const CampaignParam
 
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  // Campaign-level metrics: the per-run VM/JIT series accumulated on the workers already
+  // (each Vm flushes into the shared registry); here we add the campaign aggregates.
+  if (vm_config.observer != nullptr && vm_config.observer->metrics != nullptr) {
+    jaguar::observe::MetricsRegistry* metrics = vm_config.observer->metrics;
+    const jaguar::observe::Labels vm_label = {{"vm", stats.vm_name}};
+    metrics->GetCounter("artemis_campaigns_total", "Completed campaigns", vm_label)->Inc();
+    metrics->GetCounter("artemis_campaign_seeds_total", "Seed programs run", vm_label)
+        ->Inc(static_cast<uint64_t>(stats.seeds_run));
+    metrics->GetCounter("artemis_campaign_mutants_total", "Mutants generated", vm_label)
+        ->Inc(static_cast<uint64_t>(stats.mutants_generated));
+    metrics->GetCounter("artemis_campaign_reports_total", "Discrepancy reports filed", vm_label)
+        ->Inc(static_cast<uint64_t>(stats.Reported()));
+    metrics
+        ->GetCounter("artemis_campaign_vm_invocations_total", "VM invocations consumed",
+                     vm_label)
+        ->Inc(stats.vm_invocations);
+    metrics
+        ->GetGauge("artemis_campaign_last_wall_seconds", "Wall-clock time of the last campaign",
+                   vm_label)
+        ->Set(stats.wall_seconds);
+    if (stats.wall_seconds > 0) {
+      metrics
+          ->GetGauge("artemis_campaign_seeds_per_second",
+                     "Seed throughput of the last campaign", vm_label)
+          ->Set(static_cast<double>(stats.seeds_run) / stats.wall_seconds);
+    }
+  }
   return stats;
 }
 

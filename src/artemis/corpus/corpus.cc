@@ -66,6 +66,7 @@ Json CorpusMeta::ToJson() const {
   j.Set("methods", methods);
   j.Set("frac_top_tier", frac_top_tier);
   j.Set("frac_deopted", frac_deopted);
+  j.Set("steps", steps);
   j.Set("discrepancies", discrepancies);
   j.Set("report_signatures", report_signatures);
   j.Set("times_scheduled", times_scheduled);
@@ -88,6 +89,7 @@ bool CorpusMeta::FromJson(const Json& json, CorpusMeta* out) {
   meta.methods = static_cast<int>(json.Get("methods").AsInt());
   meta.frac_top_tier = json.Get("frac_top_tier").AsDouble();
   meta.frac_deopted = json.Get("frac_deopted").AsDouble();
+  meta.steps = json.Get("steps").AsUint();  // 0 for pre-observability sidecars
   meta.discrepancies = static_cast<int>(json.Get("discrepancies").AsInt());
   meta.report_signatures = json.Get("report_signatures").AsString();
   meta.times_scheduled = static_cast<int>(json.Get("times_scheduled").AsInt());
@@ -162,6 +164,14 @@ double CorpusStore::PriorityOf(const CorpusMeta& meta) const {
     energy += 1.0;
   }
   energy += 0.5 * static_cast<double>(std::min(meta.children_admitted, 4));
+  // Coverage-per-cost (observability metric fed back into scheduling): among equally-covered
+  // entries, the one whose validation ran cheaper explores more space per step budget. The
+  // cost is the deterministic step count, so the bonus replays bit-identically; sidecars
+  // predating the field (steps == 0) take no bonus.
+  if (meta.steps > 0) {
+    // ~0.5 bonus at 10k steps, tapering to ~0.05 at 1M steps.
+    energy += 5'000.0 / (10'000.0 + static_cast<double>(meta.steps));
+  }
   return energy / (1.0 + static_cast<double>(meta.times_scheduled));
 }
 

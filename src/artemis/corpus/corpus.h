@@ -55,6 +55,11 @@ struct CorpusMeta {
   double frac_top_tier = 0.0;  // fraction of methods driven to the VM's top tier
   double frac_deopted = 0.0;   // fraction of methods that deoptimized at least once
 
+  // Deterministic execution cost of the admitting validation's seed run (VM cost units, from
+  // RunOutcome::steps — NOT wall-clock, so it replays bit-identically). 0 for sidecars that
+  // predate this field; the scheduler's coverage-per-cost term is gated on steps > 0.
+  uint64_t steps = 0;
+
   // Outcome: discrepancies this entry's validation revealed, and the dedup signature(s) of
   // the reports it contributed to (";"-joined, possibly empty).
   int discrepancies = 0;

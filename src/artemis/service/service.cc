@@ -17,6 +17,7 @@
 #include "src/artemis/service/journal.h"
 #include "src/jaguar/bytecode/compiler.h"
 #include "src/jaguar/lang/parser.h"
+#include "src/jaguar/observe/tracer.h"
 #include "src/jaguar/lang/printer.h"
 #include "src/jaguar/lang/typecheck.h"
 
@@ -172,6 +173,9 @@ struct ItemOutcome {
   int methods = 0;
   double frac_top_tier = 0.0;
   double frac_deopted = 0.0;
+  // Deterministic cost of the seed's JIT run (VM steps) — the scheduler's
+  // coverage-per-cost signal, copied before the shard is consumed by the reducer.
+  uint64_t seed_steps = 0;
 };
 
 ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& params,
@@ -215,6 +219,7 @@ ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& pa
   outcome.methods = static_cast<int>(bc.functions.size()) - (bc.ginit_index >= 0 ? 1 : 0);
   outcome.frac_top_tier = coverage.FractionAtLevel(bc, top_level);
   outcome.frac_deopted = coverage.FractionDeopted(bc);
+  outcome.seed_steps = outcome.shard.report.seed_jit.steps;
 
   if (admission) {
     for (const MutantVerdict& verdict : outcome.shard.report.mutants) {
@@ -275,6 +280,8 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
   const std::string metrics_path = params.metrics_path.empty()
                                        ? params.corpus_dir + "/BENCH_campaign.json"
                                        : params.metrics_path;
+  const std::string prom_path = params.prom_path.empty() ? params.corpus_dir + "/metrics.prom"
+                                                         : params.prom_path;
   const std::string fingerprint = ServiceFingerprint(vm_config, params);
 
   ServiceStats stats;
@@ -327,6 +334,25 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
 
   jaguar::VmConfig config = vm_config;
   config.step_budget = params.campaign.step_budget;
+
+  // Observability: every worker Vm aggregates into one shared registry. When the caller
+  // attached an Observer with a registry we use theirs; otherwise the service owns a local
+  // one. Either way metrics.prom is rewritten at every round boundary.
+  jaguar::observe::MetricsRegistry local_registry;
+  jaguar::observe::Observer local_observer;
+  jaguar::observe::MetricsRegistry* registry = nullptr;
+  if (config.observer != nullptr && config.observer->metrics != nullptr) {
+    registry = config.observer->metrics;
+  } else {
+    local_observer.metrics = &local_registry;
+    if (config.observer != nullptr) {
+      local_observer.hub = config.observer->hub;
+      local_observer.clock = config.observer->clock;
+    }
+    config.observer = &local_observer;
+    registry = &local_registry;
+  }
+
   const int threads =
       params.campaign.num_threads > 0 ? params.campaign.num_threads : DefaultWorkerCount();
 
@@ -397,6 +423,7 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
         meta.methods = outcome.methods;
         meta.frac_top_tier = outcome.frac_top_tier;
         meta.frac_deopted = outcome.frac_deopted;
+        meta.steps = outcome.seed_steps;
         meta.discrepancies = candidate.discrepant ? 1 : 0;
         if (!corpus.Admit(candidate.source, std::move(meta))) {
           continue;  // content already in the pool
@@ -456,8 +483,44 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
     journal.Flush();  // round boundary = service checkpoint
 
     // --- metrics export ---------------------------------------------------------------
+    // Service-level gauges/counters into the shared registry (worker Vms fed their per-run
+    // series during validation), then both exposition formats are rewritten atomically.
+    {
+      const jaguar::observe::Labels vm_label = {{"vm", vm_config.name}};
+      registry->GetCounter("artemis_service_rounds_total", "Completed service rounds", vm_label)
+          ->Inc();
+      registry
+          ->GetGauge("artemis_service_rounds_per_second",
+                     "Lifetime round throughput of the service", vm_label)
+          ->Set(snap.elapsed > 0 ? static_cast<double>(stats.rounds_completed) / snap.elapsed
+                                 : 0.0);
+      registry
+          ->GetGauge("artemis_service_invocations_per_second",
+                     "Lifetime VM-invocation throughput", vm_label)
+          ->Set(snap.invocations_per_second);
+      registry->GetGauge("artemis_corpus_size", "Corpus entries on disk", vm_label)
+          ->Set(static_cast<double>(snap.corpus_size));
+      registry
+          ->GetGauge("artemis_corpus_admission_rate",
+                     "Lifetime admissions per new-JIT-trace mutant", vm_label)
+          ->Set(stats.totals.mutants_new_trace > 0
+                    ? static_cast<double>(stats.corpus_admitted) /
+                          static_cast<double>(stats.totals.mutants_new_trace)
+                    : 0.0);
+      registry
+          ->GetGauge("artemis_corpus_frac_top_tier",
+                     "Mean admission-time top-tier coverage over corpus entries", vm_label)
+          ->Set(snap.corpus_frac_top_tier);
+      registry->GetGauge("artemis_service_reported", "Reports filed (lifetime)", vm_label)
+          ->Set(static_cast<double>(snap.reported));
+      registry->GetGauge("artemis_service_confirmed",
+                         "Distinct injected root causes found (lifetime)", vm_label)
+          ->Set(static_cast<double>(snap.confirmed));
+      WriteFileAtomicLocal(prom_path, registry->PrometheusText());
+    }
+
     Json metrics = Json::Object();
-    metrics.Set("schema", static_cast<int64_t>(1));
+    metrics.Set("schema", static_cast<int64_t>(2));
     metrics.Set("vm", vm_config.name);
     metrics.Set("admission", params.admission);
     metrics.Set("corpus_dir", params.corpus_dir);
@@ -467,6 +530,7 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
       trajectory.Append(point.ToJson());
     }
     metrics.Set("trajectory", std::move(trajectory));
+    metrics.Set("observe", registry->ToJson());
     WriteFileAtomicLocal(metrics_path, metrics.Dump() + "\n");
   }
 

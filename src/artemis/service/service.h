@@ -46,6 +46,7 @@ struct ServiceParams {
   std::string corpus_dir;     // required
   std::string journal_path;   // "" → <corpus_dir>/service_journal.jsonl
   std::string metrics_path;   // "" → <corpus_dir>/BENCH_campaign.json
+  std::string prom_path;      // "" → <corpus_dir>/metrics.prom (Prometheus text exposition)
 
   int rounds = 4;                      // rounds to run in this invocation (not lifetime)
   int fresh_seeds_per_round = 4;       // generator seeds entering each round

@@ -173,18 +173,31 @@ TriageReport TriageDiscrepancy(const jaguar::Program& program, const VmConfig& v
                                const TriageParams& params) {
   TriageReport report;
 
-  // Sanitize the vendor config: triage controls the verify/bisection knobs itself.
+  // Sanitize the vendor config: triage controls the verify/bisection/observability knobs
+  // itself, and must not write into a campaign's shared metrics/trace sinks.
   VmConfig base = vm;
   base.verify_level = jaguar::VerifyLevel::kOff;
   base.disabled_passes.clear();
+  base.observer = nullptr;
+  base.trace_level = jaguar::observe::TraceLevel::kOff;
 
   const BcProgram bc = jaguar::CompileProgram(program);
 
   jaguar::VmConfig interp = jaguar::InterpreterOnlyConfig();
   interp.step_budget = base.step_budget;
   const RunOutcome reference = jaguar::RunProgram(bc, interp);
-  const RunOutcome baseline = jaguar::RunProgram(bc, base);
+  // The baseline run doubles as the timeline capture: a kFull private-ring trace records
+  // every pass of every compilation the buggy run performed. Tracing never affects VM
+  // semantics (observe_determinism_test pins this), so the outcome stays authoritative.
+  const RunOutcome baseline = jaguar::RunProgram(bc, base.WithTrace(jaguar::observe::TraceLevel::kFull));
   report.runs = 2;
+  if (baseline.telemetry != nullptr) {
+    for (const jaguar::observe::TraceEvent& event : baseline.telemetry->events) {
+      if (event.kind == jaguar::observe::EventKind::kPass && event.name != nullptr) {
+        report.timeline.push_back({event.name, event.value, event.dur_us});
+      }
+    }
+  }
 
   // Re-classify against the interpreter reference. (The campaign's oracle is mutant-vs-seed
   // on the same VM; in isolation the reference is interpretation, which the neutrality

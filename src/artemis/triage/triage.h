@@ -65,6 +65,18 @@ struct TriageReport {
   // the campaign folds it into its throughput accounting.
   int runs = 0;
 
+  // The pass-timing timeline of the offending compilation(s): every optimization pass the
+  // baseline (buggy) run executed, in execution order, harvested from a TraceLevel::kFull
+  // re-observation of the baseline. `dur_us` is wall-clock and therefore nondeterministic —
+  // the timeline is deliberately EXCLUDED from operator==, DedupKey(), and the campaign's
+  // OutcomeDigest, which all must stay run-to-run stable.
+  struct PassSample {
+    std::string stage;     // pass name ("gvn", "lower", "ir-build", ...)
+    uint64_t ir_instrs = 0;  // IR/LIR size after the pass
+    uint64_t dur_us = 0;
+  };
+  std::vector<PassSample> timeline;
+
   bool attributed() const { return !stage.empty(); }
 
   // Campaign dedup key: symptom + attribution (+ invariant). Reports with equal keys are

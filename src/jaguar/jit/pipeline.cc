@@ -17,6 +17,16 @@
 namespace jaguar {
 namespace {
 
+// Rough artifact footprints for code-cache accounting: an HIR instruction "costs" 16 bytes,
+// a LIR instruction 8 (it is closer to machine code). Informational only.
+uint64_t IrInstrCount(const IrFunction& ir) {
+  uint64_t n = 0;
+  for (const auto& block : ir.blocks) {
+    n += block.instrs.size();
+  }
+  return n;
+}
+
 class IrCompiledMethod : public CompiledMethod {
  public:
   IrCompiledMethod(IrFunction ir, uint64_t guards)
@@ -29,6 +39,7 @@ class IrCompiledMethod : public CompiledMethod {
   int level() const override { return ir_.level; }
   int32_t osr_pc() const override { return ir_.osr_pc; }
   uint64_t speculative_guards() const override { return guards_; }
+  uint64_t code_size_estimate() const override { return 16 * IrInstrCount(ir_); }
 
   const IrFunction& ir() const { return ir_; }
 
@@ -48,6 +59,7 @@ class LirCompiledMethod : public CompiledMethod {
   int level() const override { return lir_.level; }
   int32_t osr_pc() const override { return lir_.osr_pc; }
   uint64_t speculative_guards() const override { return lir_.speculative_guards; }
+  uint64_t code_size_estimate() const override { return 8 * lir_.code.size(); }
 
  private:
   LirFunction lir_;
@@ -58,14 +70,20 @@ class TieredJitCompiler : public JitCompilerApi {
   std::shared_ptr<CompiledMethod> Compile(Vm& vm, int func, int level,
                                           int32_t osr_pc) override {
     uint64_t guards = 0;
+    observe::VmObserver* observer = vm.observer();
     IrFunction ir = CompileToIr(vm.program(), func, level, osr_pc, vm.config(), &vm.bugs(),
-                                &vm.runtime(func), &guards);
+                                &vm.runtime(func), &guards, observer);
     const TierSpec& tier = vm.config().tiers[static_cast<size_t>(level) - 1];
     if (tier.full_optimization && vm.config().lir_backend &&
         !vm.config().PassDisabled("lower")) {
       // The optimizing tier goes all the way down: lowering + register allocation + the
       // register-machine executor (hosts the codegen/regalloc defect classes).
+      const bool time_lower = observer != nullptr && observer->pass_timing_on();
+      const uint64_t lower_start = time_lower ? observer->Now() : 0;
       LirFunction lir = LowerToLir(ir, &vm.bugs(), &vm.config());
+      if (time_lower) {
+        observer->Pass(func, "lower", lower_start, lir.code.size());
+      }
       lir.speculative_guards = guards;
       return std::make_shared<LirCompiledMethod>(std::move(lir));
     }
@@ -82,7 +100,7 @@ class TieredJitCompiler : public JitCompilerApi {
 
 IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t osr_pc,
                        const VmConfig& config, BugRegistry* bugs, const MethodRuntime* runtime,
-                       uint64_t* guards_planted) {
+                       uint64_t* guards_planted, observe::VmObserver* observer) {
   JAG_CHECK(level >= 1 && static_cast<size_t>(level) <= config.tiers.size());
   const TierSpec& tier = config.tiers[static_cast<size_t>(level) - 1];
 
@@ -93,7 +111,12 @@ IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t os
   ctx.config = &config;
   ctx.tier = &tier;
 
+  const bool time_passes = observer != nullptr && observer->pass_timing_on();
+  const uint64_t build_start = time_passes ? observer->Now() : 0;
   IrFunction ir = BuildIr(program, func, level, osr_pc, bugs);
+  if (time_passes) {
+    observer->Pass(func, "ir-build", build_start, IrInstrCount(ir));
+  }
   ir.profile_backedges = tier.profiles;
   if (config.verify_level == VerifyLevel::kEveryPass) {
     const VerifyResult built = VerifyIr(ir, &program);
@@ -121,7 +144,11 @@ IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t os
     if (config.PassDisabled(pass_name)) {
       return;  // bisection knob: the triage layer re-compiles with stages switched off
     }
+    const uint64_t pass_start = time_passes ? observer->Now() : 0;
     pass(ir, ctx);
+    if (time_passes) {
+      observer->Pass(func, pass_name, pass_start, IrInstrCount(ir));
+    }
     if (validate_each) {
       try {
         ValidateIr(ir);

@@ -20,15 +20,20 @@
 
 namespace jaguar {
 
+namespace observe {
+class VmObserver;
+}  // namespace observe
+
 // Creates the production compiler used by the engine.
 std::unique_ptr<JitCompilerApi> MakeTieredJitCompiler();
 
 // Compilation front door, exposed for tests and offline inspection: builds and optimizes the
 // IR without wrapping it in a CompiledMethod. `guards_planted` (optional) receives the number
-// of speculative guards. Throws VmCrash for injected compile-time defects.
+// of speculative guards. `observer` (optional) receives per-pass timing events (kPass).
+// Throws VmCrash for injected compile-time defects.
 IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t osr_pc,
                        const VmConfig& config, BugRegistry* bugs, const MethodRuntime* runtime,
-                       uint64_t* guards_planted);
+                       uint64_t* guards_planted, observe::VmObserver* observer = nullptr);
 
 }  // namespace jaguar
 

@@ -1,0 +1,170 @@
+#include "src/jaguar/observe/events.h"
+
+#include "src/jaguar/support/json.h"
+
+namespace jaguar::observe {
+namespace {
+
+// Display category per kind, for trace viewers that group by "cat".
+const char* EventCategory(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTierTransition:
+    case EventKind::kOsrEntry:
+    case EventKind::kDeopt:
+      return "vm";
+    case EventKind::kCompileStart:
+    case EventKind::kCompileEnd:
+    case EventKind::kPass:
+      return "jit";
+    case EventKind::kGcCycle:
+    case EventKind::kHeapVerify:
+      return "gc";
+  }
+  return "vm";
+}
+
+bool IsSpan(EventKind kind) {
+  return kind == EventKind::kCompileEnd || kind == EventKind::kPass ||
+         kind == EventKind::kGcCycle;
+}
+
+std::string FuncName(int32_t func, const std::vector<std::string>& func_names) {
+  if (func >= 0 && static_cast<size_t>(func) < func_names.size()) {
+    return func_names[static_cast<size_t>(func)];
+  }
+  return "f" + std::to_string(func);
+}
+
+}  // namespace
+
+const char* TraceLevelName(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kBoundary: return "boundary";
+    case TraceLevel::kFull: return "full";
+  }
+  return "off";
+}
+
+bool ParseTraceLevel(const std::string& name, TraceLevel* out) {
+  if (name == "off") {
+    *out = TraceLevel::kOff;
+  } else if (name == "boundary") {
+    *out = TraceLevel::kBoundary;
+  } else if (name == "full") {
+    *out = TraceLevel::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTierTransition: return "tier-transition";
+    case EventKind::kCompileStart: return "compile-start";
+    case EventKind::kCompileEnd: return "compile";
+    case EventKind::kPass: return "pass";
+    case EventKind::kOsrEntry: return "osr-entry";
+    case EventKind::kDeopt: return "deopt";
+    case EventKind::kGcCycle: return "gc-cycle";
+    case EventKind::kHeapVerify: return "heap-verify";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string>& EventFieldNames(EventKind kind) {
+  static const std::vector<std::string> kTier = {"func", "from", "to"};
+  static const std::vector<std::string> kCompileStart = {"func", "level", "osr_pc"};
+  static const std::vector<std::string> kCompileEnd = {"func", "level", "osr_pc", "bytes"};
+  static const std::vector<std::string> kPass = {"func", "pass", "ir_instrs"};
+  static const std::vector<std::string> kOsr = {"func", "level", "pc"};
+  static const std::vector<std::string> kDeopt = {"func", "reason", "pc"};
+  static const std::vector<std::string> kGc = {"live"};
+  static const std::vector<std::string> kVerify = {"live"};
+  switch (kind) {
+    case EventKind::kTierTransition: return kTier;
+    case EventKind::kCompileStart: return kCompileStart;
+    case EventKind::kCompileEnd: return kCompileEnd;
+    case EventKind::kPass: return kPass;
+    case EventKind::kOsrEntry: return kOsr;
+    case EventKind::kDeopt: return kDeopt;
+    case EventKind::kGcCycle: return kGc;
+    case EventKind::kHeapVerify: return kVerify;
+  }
+  return kTier;
+}
+
+Json EventToJson(const TraceEvent& event, const std::vector<std::string>& func_names) {
+  Json j = Json::Object();
+  // Chrome trace_event envelope. Span events use phase "X" whose ts is the *start*; our
+  // events carry their end timestamp, so subtract the duration back out.
+  const bool span = IsSpan(event.kind);
+  j.Set("name", event.kind == EventKind::kPass && event.name != nullptr
+                    ? std::string(event.name)
+                    : std::string(EventKindName(event.kind)));
+  j.Set("cat", EventCategory(event.kind));
+  j.Set("ph", span ? "X" : "i");
+  // Only span timestamps are rewound: instant events carry their (single) timestamp as-is.
+  j.Set("ts", span && event.ts_us >= event.dur_us ? event.ts_us - event.dur_us : event.ts_us);
+  if (span) {
+    j.Set("dur", event.dur_us);
+  } else {
+    j.Set("s", "t");  // instant-event scope: thread
+  }
+  j.Set("pid", static_cast<int64_t>(0));
+  j.Set("tid", static_cast<int64_t>(0));
+
+  Json args = Json::Object();
+  switch (event.kind) {
+    case EventKind::kTierTransition:
+      args.Set("func", FuncName(event.func, func_names));
+      args.Set("from", static_cast<int64_t>(event.from_level));
+      args.Set("to", static_cast<int64_t>(event.level));
+      break;
+    case EventKind::kCompileStart:
+      args.Set("func", FuncName(event.func, func_names));
+      args.Set("level", static_cast<int64_t>(event.level));
+      args.Set("osr_pc", static_cast<int64_t>(event.pc));
+      break;
+    case EventKind::kCompileEnd:
+      args.Set("func", FuncName(event.func, func_names));
+      args.Set("level", static_cast<int64_t>(event.level));
+      args.Set("osr_pc", static_cast<int64_t>(event.pc));
+      args.Set("bytes", event.value);
+      break;
+    case EventKind::kPass:
+      args.Set("func", FuncName(event.func, func_names));
+      args.Set("pass", event.name != nullptr ? event.name : "");
+      args.Set("ir_instrs", event.value);
+      break;
+    case EventKind::kOsrEntry:
+      args.Set("func", FuncName(event.func, func_names));
+      args.Set("level", static_cast<int64_t>(event.level));
+      args.Set("pc", static_cast<int64_t>(event.pc));
+      break;
+    case EventKind::kDeopt:
+      args.Set("func", FuncName(event.func, func_names));
+      args.Set("reason", event.name != nullptr ? event.name : "");
+      args.Set("pc", static_cast<int64_t>(event.pc));
+      break;
+    case EventKind::kGcCycle:
+    case EventKind::kHeapVerify:
+      args.Set("live", event.value);
+      break;
+  }
+  j.Set("args", std::move(args));
+  return j;
+}
+
+std::string EventsToJsonl(const std::vector<TraceEvent>& events,
+                          const std::vector<std::string>& func_names) {
+  std::string out;
+  for (const TraceEvent& event : events) {
+    out += EventToJson(event, func_names).Dump();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace jaguar::observe

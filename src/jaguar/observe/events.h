@@ -1,0 +1,79 @@
+// Structured observability events for the VM/JIT — the event model of DESIGN.md §8.
+//
+// The paper's evaluation reasons about *what the JIT actually did* on each run: which tiers
+// fired, which passes ran, how often the VM deoptimized or entered compiled loops mid-method.
+// This module defines the fixed event vocabulary the engine, the JIT pipeline, and the
+// interpreter emit (behind VmConfig::trace_level), the POD payload the lock-free rings store,
+// and the Chrome trace_event-compatible JSON rendering the CLIs drain to `--trace-out`.
+//
+// Events are trivially copyable: every string is a static-storage interned name (pass names,
+// deopt reasons), so recording never allocates and a ring slot is a plain struct copy.
+
+#ifndef SRC_JAGUAR_OBSERVE_EVENTS_H_
+#define SRC_JAGUAR_OBSERVE_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jaguar {
+
+class Json;
+
+namespace observe {
+
+// How much the VM records. kOff must be zero-cost (a single null-pointer check per site);
+// kBoundary records tier/compile/deopt/OSR/GC milestones; kFull adds per-pass compile timing.
+enum class TraceLevel : uint8_t { kOff, kBoundary, kFull };
+
+const char* TraceLevelName(TraceLevel level);
+bool ParseTraceLevel(const std::string& name, TraceLevel* out);
+
+enum class EventKind : uint8_t {
+  kTierTransition,  // a method's entry execution tier changed (tier-up, or down after deopt)
+  kCompileStart,    // JIT compilation began (method entry or OSR)
+  kCompileEnd,      // ... and finished, with duration and estimated code size
+  kPass,            // one optimization pass inside a compilation (kFull only)
+  kOsrEntry,        // the interpreter transferred a live frame into compiled loop code
+  kDeopt,           // compiled code fell back to the interpreter, with reason
+  kGcCycle,         // a mark-sweep collection cycle ran
+  kHeapVerify,      // a full-heap verification walk completed
+};
+
+inline constexpr int kEventKindCount = 8;
+
+const char* EventKindName(EventKind kind);
+
+// One recorded event. `name` and the `value`/`pc`/`level` fields are kind-specific — see
+// EventFieldNames for the declared serialization schema of each kind.
+struct TraceEvent {
+  EventKind kind = EventKind::kTierTransition;
+  int32_t func = -1;           // function index (-1 = whole-VM events: GC, heap verify)
+  int32_t level = 0;           // tier involved (target tier, compile tier, OSR tier)
+  int32_t from_level = 0;      // kTierTransition: the previous tier
+  int32_t pc = -1;             // kOsrEntry: loop header pc; kDeopt: failed-guard/resume pc
+  const char* name = nullptr;  // kPass: pass name; kDeopt: reason (static storage only)
+  uint64_t ts_us = 0;          // timestamp, microseconds (clock supplied by the tracer)
+  uint64_t dur_us = 0;         // kCompileEnd / kPass / kGcCycle: duration
+  uint64_t value = 0;          // kCompileEnd: code bytes; kPass: IR instrs after the pass;
+                               // kGcCycle / kHeapVerify: live objects
+};
+
+// The declared `args` fields each kind serializes, in output order. The golden schema test
+// asserts EventToJson emits exactly these — adding an event field without declaring it here
+// (or vice versa) is a test failure, so readers of trace.jsonl can rely on the schema.
+const std::vector<std::string>& EventFieldNames(EventKind kind);
+
+// Renders one event as a Chrome trace_event object (the `chrome://tracing` / Perfetto JSON
+// line format): phase "X" (complete, with dur) for span events, "i" (instant) otherwise.
+// `func_names` maps function indices to names; out-of-range indices render as "f<index>".
+Json EventToJson(const TraceEvent& event, const std::vector<std::string>& func_names);
+
+// Serializes a whole event sequence as JSONL (one trace_event object per line).
+std::string EventsToJsonl(const std::vector<TraceEvent>& events,
+                          const std::vector<std::string>& func_names);
+
+}  // namespace observe
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_OBSERVE_EVENTS_H_

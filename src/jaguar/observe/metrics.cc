@@ -1,0 +1,313 @@
+#include "src/jaguar/observe/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/jaguar/support/check.h"
+#include "src/jaguar/support/json.h"
+
+namespace jaguar::observe {
+namespace {
+
+// Prometheus exposition renders integral values without a decimal point; %.17g keeps
+// non-integral doubles round-trippable and deterministic.
+std::string FormatValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && v >= -1e15 && v <= 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// `{k1="v1",k2="v2"}`, or "" for the empty label set. Labels is a std::map, so the rendering
+// is canonical and doubles as the series key.
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Label rendering with one extra `le` pair, for histogram bucket series.
+std::string RenderBucketLabels(const Labels& labels, const std::string& le) {
+  Labels with = labels;
+  with["le"] = le;
+  return RenderLabels(with);
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      if (i >= bounds.size()) {
+        // +Inf bucket: the best available estimate is the largest finite bound.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double upper = bounds[i];
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const uint64_t in_bucket = counts[i];
+      if (in_bucket == 0) {
+        return upper;
+      }
+      const double before = static_cast<double>(cumulative - in_bucket);
+      const double frac = (rank - before) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(std::max(frac, 0.0), 1.0);
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (counts.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.counts.empty()) {
+    return;
+  }
+  JAG_CHECK_MSG(bounds == other.bounds, "merging histograms with different bucket bounds");
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    JAG_CHECK_MSG(bounds_[i - 1] < bounds_[i], "histogram bounds must be ascending");
+  }
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value: Prometheus `le` semantics, so a value exactly on a bound belongs
+  // to that bound's bucket. Everything above the last finite bound goes to +Inf.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t index = static_cast<size_t>(it - bounds_.begin());
+  counts_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, int count) {
+  JAG_CHECK_MSG(start > 0 && factor > 1.0 && count > 0, "bad exponential bucket spec");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name,
+                                                    const std::string& help, Kind kind,
+                                                    const Labels& labels,
+                                                    const std::vector<double>* bounds) {
+  JAG_CHECK_MSG(ValidMetricName(name), "invalid metric name: " + name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [family_it, family_created] = families_.try_emplace(name);
+  Family& family = family_it->second;
+  if (family_created) {
+    family.kind = kind;
+    family.help = help;
+    if (bounds != nullptr) {
+      family.bounds = *bounds;
+    }
+  } else {
+    JAG_CHECK_MSG(family.kind == kind, "metric '" + name + "' re-registered as another kind");
+    JAG_CHECK_MSG(bounds == nullptr || family.bounds == *bounds,
+                  "histogram '" + name + "' re-registered with different bounds");
+  }
+  const std::string key = RenderLabels(labels);
+  auto [series_it, series_created] = family.series.try_emplace(key);
+  Series& series = series_it->second;
+  if (series_created) {
+    series.labels = labels;
+    switch (kind) {
+      case Kind::kCounter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        series.histogram = std::make_unique<Histogram>(family.bounds);
+        break;
+    }
+  }
+  return series;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string& help,
+                                     const Labels& labels) {
+  return GetSeries(name, help, Kind::kCounter, labels, nullptr).counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& help,
+                                 const Labels& labels) {
+  return GetSeries(name, help, Kind::kGauge, labels, nullptr).gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, const std::string& help,
+                                         std::vector<double> bounds, const Labels& labels) {
+  return GetSeries(name, help, Kind::kHistogram, labels, &bounds).histogram.get();
+}
+
+HistogramSnapshot MetricsRegistry::SumHistograms(const std::string& name) const {
+  HistogramSnapshot total;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::kHistogram) {
+    return total;
+  }
+  for (const auto& [key, series] : it->second.series) {
+    total.Merge(series.histogram->Snapshot());
+  }
+  return total;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    const char* type = family.kind == Kind::kCounter   ? "counter"
+                       : family.kind == Kind::kGauge   ? "gauge"
+                                                       : "histogram";
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+    for (const auto& [key, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += name + key + " " + std::to_string(series.counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += name + key + " " + FormatValue(series.gauge->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const HistogramSnapshot snap = series.histogram->Snapshot();
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < snap.bounds.size(); ++i) {
+            cumulative += snap.counts[i];
+            out += name + "_bucket" +
+                   RenderBucketLabels(series.labels, FormatValue(snap.bounds[i])) + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          out += name + "_bucket" + RenderBucketLabels(series.labels, "+Inf") + " " +
+                 std::to_string(snap.count) + "\n";
+          out += name + "_sum" + key + " " + FormatValue(snap.sum) + "\n";
+          out += name + "_count" + key + " " + std::to_string(snap.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Json MetricsRegistry::ToJson() const {
+  Json root = Json::Object();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, series] : family.series) {
+      const std::string series_name = name + key;
+      switch (family.kind) {
+        case Kind::kCounter:
+          root.Set(series_name, series.counter->value());
+          break;
+        case Kind::kGauge:
+          root.Set(series_name, series.gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const HistogramSnapshot snap = series.histogram->Snapshot();
+          Json h = Json::Object();
+          h.Set("count", snap.count);
+          h.Set("sum", snap.sum);
+          h.Set("mean", snap.Mean());
+          h.Set("p50", snap.Quantile(0.50));
+          h.Set("p95", snap.Quantile(0.95));
+          h.Set("p99", snap.Quantile(0.99));
+          root.Set(series_name, std::move(h));
+          break;
+        }
+      }
+    }
+  }
+  return root;
+}
+
+}  // namespace jaguar::observe

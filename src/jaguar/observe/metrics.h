@@ -1,0 +1,147 @@
+// Counters, gauges, and histograms with Prometheus text exposition.
+//
+// The registry is the process-wide (or campaign-wide) aggregation point for everything the
+// per-Vm tracer measures: compile time per pass, code-cache bytes, invocations per tier, and
+// the campaign/service-level rates (rounds/sec, corpus admission rate). Instruments are
+// created on first Get* and live as long as the registry; recording is atomic and lock-free,
+// so any number of campaign worker threads can share one registry. PrometheusText() writes
+// the standard text exposition format (HELP/TYPE headers, `{label="..."}` series, cumulative
+// `_bucket{le="..."}` histograms), which artemis_service persists as `metrics.prom` every
+// round and the example CLIs dump behind `--metrics-out`.
+//
+// Histogram bucket semantics follow Prometheus exactly: a bucket's bound is an *inclusive
+// upper* bound (`le`), a value equal to a bound lands in that bucket, values above the last
+// finite bound land in the implicit +Inf bucket, and exposition counts are cumulative.
+// observe_unit_test pins these boundary cases — they are the classic off-by-one trap.
+
+#ifndef SRC_JAGUAR_OBSERVE_METRICS_H_
+#define SRC_JAGUAR_OBSERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jaguar {
+
+class Json;
+
+namespace observe {
+
+using Labels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// A point-in-time copy of a histogram, with derived statistics. Also the unit of cross-series
+// aggregation: snapshots of same-bounds histograms (e.g. one per optimization pass) merge
+// into a family-wide distribution.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    // finite inclusive upper bounds, ascending
+  std::vector<uint64_t> counts;  // per-bucket counts; counts.size() == bounds.size() + 1 (+Inf)
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  // Quantile estimate by linear interpolation inside the owning bucket (the standard
+  // Prometheus histogram_quantile model). q in [0, 1].
+  double Quantile(double q) const;
+
+  // Adds another snapshot with identical bounds into this one.
+  void Merge(const HistogramSnapshot& other);
+};
+
+class Histogram {
+ public:
+  // `bounds` must be ascending; an implicit +Inf bucket is always appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  HistogramSnapshot Snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1 buckets
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// `count` bounds starting at `start`, each `factor` times the previous (factor > 1).
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Instrument lookup-or-create. `name` must be a valid Prometheus metric name
+  // ([a-zA-Z_:][a-zA-Z0-9_:]*); one (name, labels) pair is one series. The help string of
+  // the first registration wins. Re-registering a name as a different instrument kind, or a
+  // histogram with different bounds, throws InternalError — that is always a caller bug.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds, const Labels& labels = {});
+
+  // Merges every series of histogram family `name` (all label combinations) into one
+  // distribution. Returns an empty snapshot when the family does not exist.
+  HistogramSnapshot SumHistograms(const std::string& name) const;
+
+  // Prometheus text exposition format, deterministic order (families and series sorted).
+  std::string PrometheusText() const;
+
+  // Compact JSON rendering for BENCH_*.json enrichment: counters/gauges as values,
+  // histograms as {count, sum, mean, p50, p95, p99}.
+  Json ToJson() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::vector<double> bounds;          // histogram families
+    std::map<std::string, Series> series;  // keyed by rendered label string
+  };
+
+  Series& GetSeries(const std::string& name, const std::string& help, Kind kind,
+                    const Labels& labels, const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace observe
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_OBSERVE_METRICS_H_

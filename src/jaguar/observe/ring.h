@@ -1,0 +1,73 @@
+// A fixed-capacity, allocation-free ring buffer of trace events.
+//
+// Each ring has exactly ONE writer (a Vm runs single-threaded, and TraceHub hands every
+// campaign worker thread its own ring), so Push is wait-free: bump the head counter, copy the
+// event into its slot. When the ring is full the oldest events are overwritten — tracing is a
+// flight recorder, not a complete log, and the exact per-kind counts live in RunTelemetry
+// (tracer.h) which never drops. Drain() is for quiescent readers (after the run, or after the
+// campaign's worker pool joined); it returns the surviving window oldest-first.
+//
+// The head counter is atomic so a concurrent reader of pushed()/dropped() (e.g. a progress
+// printer) sees a consistent count, but slot contents are only defined once the writer is
+// quiescent — the single-writer contract is what keeps this lock-free rather than locked.
+
+#ifndef SRC_JAGUAR_OBSERVE_RING_H_
+#define SRC_JAGUAR_OBSERVE_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/jaguar/observe/events.h"
+
+namespace jaguar::observe {
+
+class EventRing {
+ public:
+  explicit EventRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+    slots_.resize(capacity_);
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  // Single-writer append; overwrites the oldest event once the ring is full.
+  void Push(const TraceEvent& event) {
+    const uint64_t index = head_.load(std::memory_order_relaxed);
+    slots_[static_cast<size_t>(index % capacity_)] = event;
+    head_.store(index + 1, std::memory_order_release);
+  }
+
+  // Events ever pushed (monotonic, including overwritten ones).
+  uint64_t pushed() const { return head_.load(std::memory_order_acquire); }
+
+  // Events lost to wrap-around: everything pushed beyond the last `capacity()` events.
+  uint64_t dropped() const {
+    const uint64_t n = pushed();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Snapshot of the surviving window, oldest first. Quiescent-reader only: the writer must
+  // not Push concurrently (slot copies are not synchronized).
+  std::vector<TraceEvent> Drain() const {
+    const uint64_t end = pushed();
+    const uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<size_t>(end - begin));
+    for (uint64_t i = begin; i < end; ++i) {
+      out.push_back(slots_[static_cast<size_t>(i % capacity_)]);
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> slots_;
+  std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace jaguar::observe
+
+#endif  // SRC_JAGUAR_OBSERVE_RING_H_

@@ -1,0 +1,306 @@
+#include "src/jaguar/observe/tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <unordered_map>
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar::observe {
+namespace {
+
+std::atomic<uint64_t> g_next_hub_id{1};
+
+RealClock* DefaultClock() {
+  static RealClock clock;
+  return &clock;
+}
+
+// Thread-local hub→ring cache. Keyed by the hub's process-unique id (not its address, which
+// could be reused after destruction); entries for dead hubs are ignored harmlessly because
+// dead ids are never handed out again.
+thread_local std::unordered_map<uint64_t, EventRing*> t_hub_rings;
+
+}  // namespace
+
+uint64_t RealClock::NowMicros() {
+  static const auto start = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+
+TraceHub::TraceHub(size_t per_thread_capacity)
+    : hub_id_(g_next_hub_id.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(per_thread_capacity) {}
+
+TraceHub::~TraceHub() = default;
+
+EventRing* TraceHub::LocalRing() {
+  auto it = t_hub_rings.find(hub_id_);
+  if (it != t_hub_rings.end()) {
+    return it->second;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<EventRing>(capacity_));
+  EventRing* ring = rings_.back().get();
+  t_hub_rings.emplace(hub_id_, ring);
+  return ring;
+}
+
+std::vector<TraceEvent> TraceHub::DrainAll() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      std::vector<TraceEvent> events = ring->Drain();
+      all.insert(all.end(), events.begin(), events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return all;
+}
+
+uint64_t TraceHub::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->pushed();
+  }
+  return total;
+}
+
+uint64_t TraceHub::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+size_t TraceHub::ring_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+VmObserver::VmObserver(TraceLevel level, Observer* shared, size_t num_functions,
+                       size_t num_tiers, size_t private_ring_capacity)
+    : level_(level),
+      metrics_(shared != nullptr ? shared->metrics : nullptr),
+      clock_(shared != nullptr && shared->clock != nullptr ? shared->clock : DefaultClock()),
+      ring_(nullptr),
+      entry_tier_(num_functions, -1),
+      invocations_by_tier_(num_tiers + 1, 0) {
+  if (level_ != TraceLevel::kOff) {
+    if (shared != nullptr && shared->hub != nullptr) {
+      ring_ = shared->hub->LocalRing();
+    } else {
+      private_ring_ = std::make_unique<EventRing>(private_ring_capacity);
+      ring_ = private_ring_.get();
+    }
+  }
+}
+
+void VmObserver::Emit(const TraceEvent& event) {
+  ++counts_[static_cast<size_t>(event.kind)];
+  if (ring_ != nullptr) {
+    ring_->Push(event);
+  }
+}
+
+void VmObserver::CallEntry(int func, int level) {
+  if (level >= 0 && static_cast<size_t>(level) < invocations_by_tier_.size()) {
+    ++invocations_by_tier_[static_cast<size_t>(level)];
+  }
+  int32_t& last = entry_tier_[static_cast<size_t>(func)];
+  if (last == level) {
+    return;
+  }
+  const int32_t from = last < 0 ? 0 : last;
+  last = level;
+  if (!events_on() || from == level) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kTierTransition;
+  event.func = func;
+  event.from_level = from;
+  event.level = level;
+  event.ts_us = Now();
+  Emit(event);
+}
+
+void VmObserver::CompileStart(int func, int level, int32_t osr_pc) {
+  if (!events_on()) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kCompileStart;
+  event.func = func;
+  event.level = level;
+  event.pc = osr_pc;
+  event.ts_us = Now();
+  Emit(event);
+}
+
+void VmObserver::CompileEnd(int func, int level, int32_t osr_pc, uint64_t start_us,
+                            uint64_t code_bytes) {
+  const uint64_t now = Now();
+  const uint64_t dur = now >= start_us ? now - start_us : 0;
+  ++compiles_;
+  code_bytes_ += code_bytes;
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("jaguar_jit_compile_us", "End-to-end JIT compilation time",
+                           ExponentialBuckets(1.0, 4.0, 12),
+                           {{"tier", std::to_string(level)}})
+        ->Observe(static_cast<double>(dur));
+  }
+  if (!events_on()) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kCompileEnd;
+  event.func = func;
+  event.level = level;
+  event.pc = osr_pc;
+  event.ts_us = now;
+  event.dur_us = dur;
+  event.value = code_bytes;
+  Emit(event);
+}
+
+void VmObserver::Pass(int func, const char* pass_name, uint64_t start_us, uint64_t ir_instrs) {
+  const uint64_t now = Now();
+  const uint64_t dur = now >= start_us ? now - start_us : 0;
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("jaguar_jit_pass_compile_us", "Per-pass JIT compilation time",
+                           ExponentialBuckets(1.0, 4.0, 10), {{"pass", pass_name}})
+        ->Observe(static_cast<double>(dur));
+  }
+  if (!full_on()) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kPass;
+  event.func = func;
+  event.name = pass_name;
+  event.ts_us = now;
+  event.dur_us = dur;
+  event.value = ir_instrs;
+  Emit(event);
+}
+
+void VmObserver::OsrEntry(int func, int level, int32_t header_pc) {
+  if (!events_on()) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kOsrEntry;
+  event.func = func;
+  event.level = level;
+  event.pc = header_pc;
+  event.ts_us = Now();
+  Emit(event);
+}
+
+void VmObserver::Deopt(int func, const char* reason, int32_t pc) {
+  if (!events_on()) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kDeopt;
+  event.func = func;
+  event.name = reason;
+  event.pc = pc;
+  event.ts_us = Now();
+  Emit(event);
+}
+
+void VmObserver::GcCycle(uint64_t start_us, uint64_t live_objects) {
+  if (!events_on()) {
+    return;
+  }
+  const uint64_t now = Now();
+  TraceEvent event;
+  event.kind = EventKind::kGcCycle;
+  event.ts_us = now;
+  event.dur_us = now >= start_us ? now - start_us : 0;
+  event.value = live_objects;
+  Emit(event);
+}
+
+void VmObserver::HeapVerify(uint64_t live_objects) {
+  if (!events_on()) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kHeapVerify;
+  event.ts_us = Now();
+  event.value = live_objects;
+  Emit(event);
+}
+
+std::shared_ptr<RunTelemetry> VmObserver::Finish(uint64_t steps) {
+  JAG_CHECK_MSG(!finished_, "VmObserver::Finish called twice");
+  finished_ = true;
+
+  if (metrics_ != nullptr) {
+    for (size_t tier = 0; tier < invocations_by_tier_.size(); ++tier) {
+      if (invocations_by_tier_[tier] > 0) {
+        metrics_->GetCounter("jaguar_vm_invocations_total",
+                             "Method invocations by entry tier (0 = interpreted)",
+                             {{"tier", std::to_string(tier)}})
+            ->Inc(invocations_by_tier_[tier]);
+      }
+    }
+    metrics_->GetCounter("jaguar_vm_steps_total", "Executed VM cost units")->Inc(steps);
+    metrics_->GetCounter("jaguar_vm_runs_total", "Completed VM runs")->Inc();
+    if (code_bytes_ > 0) {
+      metrics_->GetCounter("jaguar_jit_code_cache_bytes_total",
+                           "Estimated bytes of compiled code produced")
+          ->Inc(code_bytes_);
+    }
+    if (compiles_ > 0) {
+      metrics_->GetCounter("jaguar_jit_compilations_total", "JIT compilations (method + OSR)")
+          ->Inc(compiles_);
+    }
+    const uint64_t deopts = counts_[static_cast<size_t>(EventKind::kDeopt)];
+    if (deopts > 0) {
+      metrics_->GetCounter("jaguar_vm_deopts_total", "Deoptimizations")->Inc(deopts);
+    }
+    const uint64_t osr = counts_[static_cast<size_t>(EventKind::kOsrEntry)];
+    if (osr > 0) {
+      metrics_->GetCounter("jaguar_vm_osr_entries_total", "On-stack-replacement entries")
+          ->Inc(osr);
+    }
+    const uint64_t gc = counts_[static_cast<size_t>(EventKind::kGcCycle)];
+    if (gc > 0) {
+      metrics_->GetCounter("jaguar_gc_cycles_total", "Garbage-collection cycles")->Inc(gc);
+    }
+  }
+
+  auto telemetry = std::make_shared<RunTelemetry>();
+  telemetry->counts = counts_;
+  for (uint64_t count : counts_) {
+    telemetry->emitted += count;
+  }
+  if (private_ring_ != nullptr) {
+    telemetry->events = private_ring_->Drain();
+    telemetry->dropped = private_ring_->dropped();
+  }
+  return telemetry;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+}  // namespace jaguar::observe

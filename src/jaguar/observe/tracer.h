@@ -1,0 +1,157 @@
+// The tracing runtime: clocks, the per-thread ring hub, and the per-Vm emission facade.
+//
+// Layering (DESIGN.md §8):
+//   - TraceClock abstracts time so tests can substitute a LogicalClock (one tick per reading)
+//     and make whole trace files byte-deterministic (tests/golden/trace.jsonl);
+//   - TraceHub owns one EventRing per thread that ever records through it — writers stay
+//     lock-free after their first acquisition, and campaign workers never contend;
+//   - Observer is the shared sink bundle a campaign/service attaches to VmConfig: a metrics
+//     registry and/or a trace hub, both optional and thread-safe;
+//   - VmObserver is what one (single-threaded) Vm actually calls. It is created only when
+//     VmConfig::trace_level != kOff or a metrics registry is attached, so the disabled path
+//     costs exactly one null-pointer test per instrumentation site. It keeps exact per-kind
+//     event counts (the ring may wrap; the counts never do) and flushes its aggregate
+//     counters into the shared registry once, when the run finishes.
+//
+// Tracing must never perturb VM semantics: nothing in this module feeds back into execution,
+// and tests/observe_determinism_test.cc holds a 200-seed × 3-vendor campaign to bit-identical
+// OutcomeDigests between TraceLevel::kOff and kFull.
+
+#ifndef SRC_JAGUAR_OBSERVE_TRACER_H_
+#define SRC_JAGUAR_OBSERVE_TRACER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/observe/events.h"
+#include "src/jaguar/observe/metrics.h"
+#include "src/jaguar/observe/ring.h"
+
+namespace jaguar::observe {
+
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+  virtual uint64_t NowMicros() = 0;
+};
+
+// Monotonic microseconds since process start (steady_clock).
+class RealClock : public TraceClock {
+ public:
+  uint64_t NowMicros() override;
+};
+
+// Deterministic clock for golden tests: every reading is the previous one + 1.
+class LogicalClock : public TraceClock {
+ public:
+  uint64_t NowMicros() override { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> next_{0};
+};
+
+// One lock-free ring per recording thread. LocalRing() takes the registration mutex only the
+// first time a thread asks; afterwards the thread hits a thread-local cache.
+class TraceHub {
+ public:
+  explicit TraceHub(size_t per_thread_capacity = 1u << 14);
+  ~TraceHub();
+
+  TraceHub(const TraceHub&) = delete;
+  TraceHub& operator=(const TraceHub&) = delete;
+
+  EventRing* LocalRing();
+
+  // Quiescent-reader merge of every ring's surviving window, ordered by timestamp.
+  std::vector<TraceEvent> DrainAll() const;
+
+  uint64_t total_pushed() const;
+  uint64_t total_dropped() const;
+  size_t ring_count() const;
+
+ private:
+  const uint64_t hub_id_;  // process-unique, keys the thread-local ring cache
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<EventRing>> rings_;
+};
+
+// The shared sink bundle attached to VmConfig::observer. All members optional; everything is
+// thread-safe, so one Observer can serve every worker of a parallel campaign.
+struct Observer {
+  MetricsRegistry* metrics = nullptr;
+  TraceHub* hub = nullptr;
+  TraceClock* clock = nullptr;  // null → a process-wide RealClock
+};
+
+// What one run's tracing produced. Attached to RunOutcome when trace_level != kOff. The event
+// window comes from the run's ring and may have dropped its oldest entries (flight-recorder
+// semantics); `counts` is exact regardless.
+struct RunTelemetry {
+  std::vector<TraceEvent> events;                 // empty when events went to a shared hub
+  uint64_t emitted = 0;
+  uint64_t dropped = 0;
+  std::array<uint64_t, kEventKindCount> counts{};  // exact, indexed by EventKind
+
+  uint64_t Count(EventKind kind) const { return counts[static_cast<size_t>(kind)]; }
+};
+
+// Per-Vm emission facade. Single-threaded, like the Vm that owns it.
+class VmObserver {
+ public:
+  // `shared` may be null (standalone tracing: events drain into RunTelemetry). When `shared`
+  // has a hub, events go to the calling thread's hub ring instead of the private ring.
+  VmObserver(TraceLevel level, Observer* shared, size_t num_functions, size_t num_tiers,
+             size_t private_ring_capacity);
+
+  TraceLevel level() const { return level_; }
+  bool events_on() const { return level_ != TraceLevel::kOff; }
+  bool full_on() const { return level_ == TraceLevel::kFull; }
+  // Per-pass compile timing is measured for kFull traces and whenever a metrics registry
+  // wants the per-pass histograms, even at kBoundary.
+  bool pass_timing_on() const { return full_on() || metrics_ != nullptr; }
+
+  uint64_t Now() { return clock_->NowMicros(); }
+
+  // --- instrumentation sites (engine.cc / pipeline.cc / interpreter.cc) ------------------
+  void CallEntry(int func, int level);            // counts tiered invocations; emits
+                                                  // kTierTransition when the tier changed
+  void CompileStart(int func, int level, int32_t osr_pc);
+  void CompileEnd(int func, int level, int32_t osr_pc, uint64_t start_us, uint64_t code_bytes);
+  void Pass(int func, const char* pass_name, uint64_t start_us, uint64_t ir_instrs);
+  void OsrEntry(int func, int level, int32_t header_pc);
+  void Deopt(int func, const char* reason, int32_t pc);
+  void GcCycle(uint64_t start_us, uint64_t live_objects);
+  void HeapVerify(uint64_t live_objects);
+
+  // Flushes the aggregate counters into the shared metrics registry (if any) and packages
+  // the run's telemetry. Call exactly once, after execution finished.
+  std::shared_ptr<RunTelemetry> Finish(uint64_t steps);
+
+ private:
+  void Emit(const TraceEvent& event);
+
+  TraceLevel level_;
+  MetricsRegistry* metrics_;
+  TraceClock* clock_;
+  std::unique_ptr<EventRing> private_ring_;  // null when a hub is attached
+  EventRing* ring_;                          // where Emit writes (may be null at kOff)
+
+  std::array<uint64_t, kEventKindCount> counts_{};
+  std::vector<int32_t> entry_tier_;          // last entry tier per function (-1 = never called)
+  std::vector<uint64_t> invocations_by_tier_;  // [0] = interpreted
+  uint64_t code_bytes_ = 0;
+  uint64_t compiles_ = 0;
+  bool finished_ = false;
+};
+
+// Helper shared by the CLIs: writes `content` to `path`, returning false on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace jaguar::observe
+
+#endif  // SRC_JAGUAR_OBSERVE_TRACER_H_

@@ -59,6 +59,12 @@ VmConfig VmConfig::WithPassDisabled(const std::string& pass_name) const {
   return c;
 }
 
+VmConfig VmConfig::WithTrace(observe::TraceLevel level) const {
+  VmConfig c = *this;
+  c.trace_level = level;
+  return c;
+}
+
 VmConfig HotSniffConfig() {
   VmConfig c;
   c.name = "HotSniff";

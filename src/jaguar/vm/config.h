@@ -16,8 +16,13 @@
 #include <vector>
 
 #include "src/jaguar/jit/bug_ids.h"
+#include "src/jaguar/observe/events.h"
 
 namespace jaguar {
+
+namespace observe {
+struct Observer;
+}  // namespace observe
 
 // How much IR/LIR invariant checking the JIT performs (jit/verify/verifier.h). `kBoundary`
 // verifies the final pipeline output (plus the lowered LIR and its register allocation);
@@ -84,6 +89,16 @@ struct VmConfig {
   bool record_full_trace = false;
   size_t max_trace_vectors = 4096;
 
+  // Observability (src/jaguar/observe). `trace_level` selects how much the VM records:
+  // kOff is the zero-cost default; kBoundary records tier/compile/deopt/OSR/GC milestones;
+  // kFull adds per-pass compile timing. `observer` optionally attaches shared sinks (a
+  // metrics registry and/or a cross-thread trace hub) — it is a borrowed pointer that must
+  // outlive every Vm run with this config, and it never affects execution semantics.
+  // `trace_capacity` bounds the per-run flight-recorder ring when no hub is attached.
+  observe::TraceLevel trace_level = observe::TraceLevel::kOff;
+  observe::Observer* observer = nullptr;
+  size_t trace_capacity = 8192;
+
   // Returns {Z1, ..., ZN} for the temperature model.
   std::vector<uint64_t> InvokeThresholds() const;
 
@@ -92,6 +107,7 @@ struct VmConfig {
   VmConfig WithFullTrace() const;
   VmConfig WithVerify(VerifyLevel level) const;
   VmConfig WithPassDisabled(const std::string& pass_name) const;
+  VmConfig WithTrace(observe::TraceLevel level) const;
 };
 
 // The three simulated vendors, with their latent defect sets.

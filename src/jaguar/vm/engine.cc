@@ -70,6 +70,12 @@ Vm::Vm(const BcProgram& program, VmConfig config, std::unique_ptr<JitCompilerApi
       bugs_(config_.bugs) {
   JAG_CHECK_MSG(!config_.jit_enabled || jit_ != nullptr,
                 "JIT enabled but no compiler supplied");
+  if (config_.trace_level != observe::TraceLevel::kOff ||
+      (config_.observer != nullptr && config_.observer->metrics != nullptr)) {
+    observer_ = std::make_unique<observe::VmObserver>(
+        config_.trace_level, config_.observer, program.functions.size(), config_.tiers.size(),
+        config_.trace_capacity);
+  }
   for (auto& rt : runtimes_) {
     rt.by_level.resize(config_.tiers.size() + 1);
   }
@@ -109,6 +115,9 @@ RunOutcome Vm::Run() {
     // Shutdown heap verification: JIT-corrupted memory that no GC cycle happened to scan is
     // still discovered, like a crash during final collection.
     heap_.VerifyHeap();
+    if (observer_ != nullptr) {
+      observer_->HeapVerify(heap_.live_objects());
+    }
     out.status = RunStatus::kOk;
   } catch (const TrapException& trap) {
     out.status = RunStatus::kUncaughtTrap;
@@ -127,6 +136,9 @@ RunOutcome Vm::Run() {
   out.trace = recorder_->summary();
   if (config_.record_full_trace) {
     out.full_trace = std::make_shared<JitTrace>(recorder_->trace());
+  }
+  if (observer_ != nullptr) {
+    out.telemetry = observer_->Finish(steps_);
   }
   return out;
 }
@@ -158,6 +170,9 @@ int64_t Vm::InvokeFunction(int func, const std::vector<int64_t>& args) {
     compiled = EnsureCompiled(func, level, -1, token);
   }
   recorder_->CountCall(compiled != nullptr);
+  if (observer_ != nullptr) {
+    observer_->CallEntry(func, compiled != nullptr ? level : 0);
+  }
 
   if (compiled != nullptr) {
     // A normal compiled entry takes the call arguments; it zero-initializes the remaining
@@ -193,7 +208,15 @@ std::shared_ptr<CompiledMethod> Vm::EnsureCompiled(int func, int level, int32_t 
     auto& slot = rt.by_level[static_cast<size_t>(level)];
     if (slot == nullptr || !slot->entrant()) {
       AddSteps(jit_->CompileCostSteps(*this, func));
+      uint64_t obs_start = 0;
+      if (observer_ != nullptr) {
+        obs_start = observer_->Now();
+        observer_->CompileStart(func, level, -1);
+      }
       slot = jit_->Compile(*this, func, level, -1);
+      if (observer_ != nullptr) {
+        observer_->CompileEnd(func, level, -1, obs_start, slot->code_size_estimate());
+      }
       recorder_->CountJitCompilation();
       recorder_->CountSpeculativeGuards(slot->speculative_guards());
     }
@@ -206,7 +229,15 @@ std::shared_ptr<CompiledMethod> Vm::EnsureCompiled(int func, int level, int32_t 
     return it->second;
   }
   AddSteps(jit_->CompileCostSteps(*this, func));
+  uint64_t obs_start = 0;
+  if (observer_ != nullptr) {
+    obs_start = observer_->Now();
+    observer_->CompileStart(func, level, osr_pc);
+  }
   auto artifact = jit_->Compile(*this, func, level, osr_pc);
+  if (observer_ != nullptr) {
+    observer_->CompileEnd(func, level, osr_pc, obs_start, artifact->code_size_estimate());
+  }
   rt.osr_by_pc[osr_pc] = artifact;
   recorder_->CountOsrCompilation();
   recorder_->CountSpeculativeGuards(artifact->speculative_guards());
@@ -239,6 +270,13 @@ void Vm::NoteDeopt(int func, const DeoptState& state, CompiledMethod* artifact,
   ++rt.deopt_count;
   recorder_->CountDeopt();
   recorder_->AddTransition(trace_token, 0);
+  if (observer_ != nullptr) {
+    const char* reason = state.failed_guard_pc >= 0   ? "uncommon-trap"
+                         : !state.pending_trap.empty() ? "exception-unwind"
+                                                       : "trap";
+    observer_->Deopt(func, reason,
+                     state.failed_guard_pc >= 0 ? state.failed_guard_pc : state.resume_pc);
+  }
 
   if (state.failed_guard_pc < 0) {
     // Trap-induced deopt: the compiled code stays entrant (the trap is a genuine program
@@ -306,6 +344,16 @@ HeapRef Vm::AllocateArray(TypeKind elem, int64_t count) {
   }
   if (count > kMaxArrayLength) {
     throw TrapException("OutOfMemoryError: Requested array size exceeds VM limit");
+  }
+  if (observer_ != nullptr && observer_->events_on()) {
+    // GC runs inside Allocate when the period elapses; a cycle-count delta tells us one ran.
+    const uint64_t cycles_before = heap_.gc_cycles();
+    const uint64_t obs_start = observer_->Now();
+    HeapRef ref = heap_.Allocate(elem, count, GcRootFrames());
+    if (heap_.gc_cycles() != cycles_before) {
+      observer_->GcCycle(obs_start, heap_.live_objects());
+    }
+    return ref;
   }
   return heap_.Allocate(elem, count, GcRootFrames());
 }

@@ -23,6 +23,7 @@
 
 #include "src/jaguar/bytecode/module.h"
 #include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/observe/tracer.h"
 #include "src/jaguar/vm/config.h"
 #include "src/jaguar/vm/heap.h"
 #include "src/jaguar/vm/jit_api.h"
@@ -98,6 +99,9 @@ class Vm {
   MethodRuntime& runtime(int func) { return runtimes_[static_cast<size_t>(func)]; }
   BugRegistry& bugs() { return bugs_; }
   JitTraceRecorder& recorder() { return *recorder_; }
+  // The run's observability facade, or null when tracing and metrics are both off
+  // (the zero-cost default: every instrumentation site is a single null check).
+  observe::VmObserver* observer() { return observer_.get(); }
   uint64_t steps() const { return steps_; }
   int call_depth() const { return call_depth_; }
 
@@ -134,6 +138,7 @@ class Vm {
   std::unique_ptr<JitCompilerApi> jit_;
   std::unique_ptr<CompilationController> controller_;
   std::unique_ptr<JitTraceRecorder> recorder_;
+  std::unique_ptr<observe::VmObserver> observer_;
 
   ManagedHeap heap_;
   std::vector<int64_t> globals_;

@@ -128,6 +128,9 @@ int64_t Interpret(Vm& vm, int func, std::vector<int64_t>& locals, InterpretEntry
                   for (int64_t v : locals) fprintf(stderr, " %lld", (long long)v);
                   fprintf(stderr, "\n");
                 }
+                if (vm.observer() != nullptr) {
+                  vm.observer()->OsrEntry(func, osr->level(), target);
+                }
                 CompiledExecResult result = osr->Execute(vm, locals);
                 if (result.kind == CompiledExecResult::Kind::kReturn) {
                   return result.ret;
@@ -160,6 +163,9 @@ int64_t Interpret(Vm& vm, int func, std::vector<int64_t>& locals, InterpretEntry
             if (jump && instr.a <= pc) {
               auto osr = vm.OnBackEdge(func, instr.a, trace_token);
               if (osr != nullptr) {
+                if (vm.observer() != nullptr) {
+                  vm.observer()->OsrEntry(func, osr->level(), instr.a);
+                }
                 CompiledExecResult result = osr->Execute(vm, locals);
                 if (result.kind == CompiledExecResult::Kind::kReturn) {
                   return result.ret;

@@ -69,6 +69,10 @@ class CompiledMethod {
   virtual int32_t osr_pc() const = 0;  // -1 for normal entries
   virtual uint64_t speculative_guards() const = 0;
 
+  // Rough "machine code" footprint of the artifact, for the observability layer's code-cache
+  // accounting (observe/tracer.h). Purely informational — never affects execution.
+  virtual uint64_t code_size_estimate() const { return 0; }
+
   bool entrant() const { return entrant_; }
   void MakeNotEntrant() { entrant_ = false; }
 

@@ -26,6 +26,10 @@
 
 namespace jaguar {
 
+namespace observe {
+struct RunTelemetry;
+}  // namespace observe
+
 // JIT-compiler (and JIT-adjacent) components a simulated crash can be attributed to.
 // The set mirrors the component rows of the paper's Table 2.
 enum class VmComponent : uint8_t {
@@ -97,6 +101,11 @@ struct RunOutcome {
   // The full JIT-trace (sequence of temperature vectors), present only when the config
   // enables record_full_trace. Used by compilation-space coverage tracking.
   std::shared_ptr<const JitTrace> full_trace;
+
+  // Observability telemetry (observe/tracer.h), present when trace_level != kOff or a
+  // metrics registry is attached. Exact per-kind event counts plus the surviving event
+  // window of the run's private flight-recorder ring. Never part of outcome comparison.
+  std::shared_ptr<const observe::RunTelemetry> telemetry;
 
   // True if both runs printed the same output and ended the same way (for simulated VM
   // crashes: the same component and symptom — two identical crashes are one behaviour).

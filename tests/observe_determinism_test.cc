@@ -1,0 +1,133 @@
+// The observability layer's core contract: tracing must NEVER perturb VM semantics
+// (tracer.h file comment). Two suites hold that line:
+//
+//   1. A 200-seed × 3-vendor sweep of generated programs, each run twice — TraceLevel::kOff
+//      versus kFull with shared sinks attached — comparing the full observable surface
+//      (status, output, crash identity, steps, fired bugs, JIT-trace summary).
+//   2. Whole-campaign OutcomeDigest identity per vendor: the digest hashes every compared
+//      report field, so any trace-induced divergence anywhere in a campaign changes it.
+//
+// scripts/tsan_check.sh runs this binary under ThreadSanitizer as well: the kFull arm pushes
+// events from every campaign worker through the shared TraceHub, so a data race in the
+// observe layer surfaces here first.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/artemis/fuzzer/generator.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/observe/tracer.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+// Vendor thresholds scaled down 1000× so the generator's deliberately-cold seeds
+// (fuzzer/generator.h) still reach the JIT: the sweep has to cover compiled-code paths,
+// not just the interpreter.
+jaguar::VmConfig HotVendor(jaguar::VmConfig vm) {
+  for (jaguar::TierSpec& tier : vm.tiers) {
+    tier.invoke_threshold = tier.invoke_threshold / 1000 + 1;
+    tier.osr_threshold = tier.osr_threshold / 1000 + 1;
+  }
+  vm.gc_period = 32;
+  vm.step_budget = 20'000'000;
+  return vm;
+}
+
+void ExpectSameObservableSurface(const jaguar::RunOutcome& off, const jaguar::RunOutcome& full,
+                                 const std::string& label) {
+  EXPECT_TRUE(off.SameObservable(full)) << label;
+  EXPECT_EQ(off.status, full.status) << label;
+  EXPECT_EQ(off.output, full.output) << label;
+  EXPECT_EQ(off.steps, full.steps) << label;
+  EXPECT_EQ(off.fired_bugs, full.fired_bugs) << label;
+  EXPECT_EQ(off.trace.ToString(), full.trace.ToString()) << label;
+}
+
+TEST(ObserveDeterminismTest, TwoHundredSeedSweepIsTraceLevelInvariant) {
+  constexpr uint64_t kSeeds = 200;
+  const FuzzConfig fuzz;
+
+  jaguar::observe::MetricsRegistry registry;
+  jaguar::observe::TraceHub hub;
+  jaguar::observe::Observer observer;
+  observer.metrics = &registry;
+  observer.hub = &hub;
+
+  for (jaguar::VmConfig vendor : jaguar::AllVendors()) {
+    const jaguar::VmConfig base = HotVendor(vendor);
+    jaguar::VmConfig off = base;
+    off.trace_level = jaguar::observe::TraceLevel::kOff;
+    jaguar::VmConfig full = base;
+    full.trace_level = jaguar::observe::TraceLevel::kFull;
+    full.observer = &observer;
+
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      const jaguar::Program program = GenerateProgram(fuzz, 9'000'000 + seed);
+      const jaguar::BcProgram bytecode = jaguar::CompileProgram(program);
+      const jaguar::RunOutcome off_out = jaguar::RunProgram(bytecode, off);
+      const jaguar::RunOutcome full_out = jaguar::RunProgram(bytecode, full);
+      ExpectSameObservableSurface(off_out, full_out,
+                                  vendor.name + " seed " + std::to_string(seed));
+      if (off_out.status != full_out.status) {
+        break;  // one detailed failure per vendor is enough signal
+      }
+    }
+  }
+  // Sanity: the kFull arm actually observed something — a silently-disabled observer would
+  // make the whole sweep vacuous.
+  EXPECT_GT(registry.GetCounter("jaguar_vm_runs_total", "")->value(), 0u);
+  EXPECT_GT(hub.total_pushed(), 0u);
+}
+
+CampaignParams ParamsFor(const jaguar::VmConfig& vm) {
+  CampaignParams params;
+  params.num_seeds = 4;
+  params.base_seed = 81'000;
+  params.validator.max_iter = 4;
+  if (vm.name == "Artree") {
+    params.validator.jonm.synth.min_bound = 20'000;
+    params.validator.jonm.synth.max_bound = 50'000;
+  } else {
+    params.validator.jonm.synth.min_bound = 5'000;
+    params.validator.jonm.synth.max_bound = 10'000;
+  }
+  params.step_budget = 40'000'000;
+  params.num_threads = 2;
+  return params;
+}
+
+class VendorObserveDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(VendorObserveDeterminism, CampaignOutcomeDigestIsTraceLevelInvariant) {
+  const jaguar::VmConfig vm = jaguar::AllVendors()[static_cast<size_t>(GetParam())];
+  const CampaignParams params = ParamsFor(vm);
+
+  jaguar::VmConfig off = vm;
+  off.trace_level = jaguar::observe::TraceLevel::kOff;
+  const CampaignStats baseline = RunCampaign(off, params);
+
+  jaguar::observe::MetricsRegistry registry;
+  jaguar::observe::TraceHub hub;
+  jaguar::observe::Observer observer;
+  observer.metrics = &registry;
+  observer.hub = &hub;
+  jaguar::VmConfig full = vm;
+  full.trace_level = jaguar::observe::TraceLevel::kFull;
+  full.observer = &observer;
+  const CampaignStats traced = RunCampaign(full, params);
+
+  EXPECT_EQ(baseline.OutcomeDigest(), traced.OutcomeDigest()) << vm.name;
+  EXPECT_TRUE(baseline.SameOutcome(traced)) << vm.name;
+  EXPECT_GT(registry.GetCounter("jaguar_vm_runs_total", "")->value(), 0u) << vm.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVendors, VendorObserveDeterminism, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace artemis

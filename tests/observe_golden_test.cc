@@ -1,0 +1,212 @@
+// Golden-file regression tests for the observability layer: a fixed program, run under a
+// bug-free tiered config with a LogicalClock (tracer.h), must produce byte-identical
+// Chrome-trace JSONL and Prometheus exposition to the checked-in files under tests/golden/.
+// A diff means the event stream or metrics surface changed shape — either a regression, or
+// an intentional change to be blessed with:
+//
+//   ./tests/observe_golden_test --update-golden
+//
+// The schema tests additionally pin the per-kind `args` contract: every event kind must
+// serialize exactly the fields EventFieldNames() declares, so trace.jsonl consumers can rely
+// on the documented schema.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/observe/events.h"
+#include "src/jaguar/observe/metrics.h"
+#include "src/jaguar/observe/tracer.h"
+#include "src/jaguar/support/json.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace jaguar {
+namespace {
+
+bool g_update_golden = false;
+
+// The fixture exercises every event source: tier-up through both tiers, OSR in main's loop,
+// array allocation driving GC cycles, and the end-of-run heap verification. Thresholds are
+// the reference config's divided by 100 so the program stays small while still compiling.
+const char* kGoldenSource = R"(int work(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    acc += i;
+  }
+  return acc;
+}
+
+int main() {
+  long total = 0L;
+  for (int k = 0; k < 150; k++) {
+    int[] a = new int[4];
+    a[0] = k;
+    total += (long) work(20 + a[0] % 8);
+  }
+  print(total);
+  return 0;
+})";
+
+VmConfig GoldenConfig() {
+  VmConfig config = ReferenceJitConfig();
+  for (TierSpec& tier : config.tiers) {
+    tier.invoke_threshold /= 100;
+    tier.osr_threshold /= 100;
+  }
+  config.gc_period = 16;
+  return config;
+}
+
+struct GoldenRun {
+  std::string trace_jsonl;
+  std::string metrics_prom;
+};
+
+GoldenRun RunGoldenFixture() {
+  const BcProgram bytecode = CompileSource(kGoldenSource);
+  observe::MetricsRegistry registry;
+  observe::LogicalClock clock;  // every reading = previous + 1 → byte-deterministic output
+  observe::Observer observer;
+  observer.metrics = &registry;
+  observer.clock = &clock;
+
+  VmConfig config = GoldenConfig();
+  config.trace_level = observe::TraceLevel::kFull;
+  config.observer = &observer;
+  config.trace_capacity = 1u << 16;  // no flight-recorder drops in the fixture
+
+  const RunOutcome out = RunProgram(bytecode, config);
+  EXPECT_EQ(out.status, RunStatus::kOk);
+  EXPECT_NE(out.telemetry, nullptr);
+  EXPECT_EQ(out.telemetry->dropped, 0u);
+
+  std::vector<std::string> names;
+  names.reserve(bytecode.functions.size());
+  for (const auto& fn : bytecode.functions) {
+    names.push_back(fn.name);
+  }
+  GoldenRun run;
+  run.trace_jsonl = observe::EventsToJsonl(out.telemetry->events, names);
+  run.metrics_prom = registry.PrometheusText();
+  return run;
+}
+
+std::string GoldenPath(const std::string& file) {
+  return std::string(JAG_GOLDEN_DIR) + "/" + file;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return "";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void CompareOrUpdate(const std::string& actual, const std::string& file) {
+  const std::string path = GoldenPath(file);
+  if (g_update_golden) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    SUCCEED() << "updated " << path;
+    return;
+  }
+  const std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty())
+      << path << " is missing or empty; run with --update-golden to create it";
+  EXPECT_EQ(actual, expected) << "observability output drifted from " << path
+                              << "; if the change is intentional, re-bless with --update-golden";
+}
+
+TEST(ObserveGoldenTest, TraceJsonlMatchesGoldenFile) {
+  CompareOrUpdate(RunGoldenFixture().trace_jsonl, "trace.jsonl");
+}
+
+TEST(ObserveGoldenTest, MetricsPromMatchesGoldenFile) {
+  CompareOrUpdate(RunGoldenFixture().metrics_prom, "metrics.prom");
+}
+
+// Determinism guard: with a LogicalClock, two runs of the fixture must be byte-identical, or
+// golden comparisons (and every trace-diff debugging session) would be noise.
+TEST(ObserveGoldenTest, FixtureOutputIsDeterministic) {
+  const GoldenRun a = RunGoldenFixture();
+  const GoldenRun b = RunGoldenFixture();
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+  EXPECT_EQ(a.metrics_prom, b.metrics_prom);
+}
+
+// --- args schema --------------------------------------------------------------------------
+
+// One synthetic event per kind, every field populated, so a serializer that forgets (or
+// invents) a field is caught against the declared schema.
+observe::TraceEvent EventOfKind(observe::EventKind kind) {
+  observe::TraceEvent e;
+  e.kind = kind;
+  e.func = 1;
+  e.level = 2;
+  e.from_level = 1;
+  e.pc = 7;
+  e.name = "fixture";
+  e.ts_us = 100;
+  e.dur_us = 10;
+  e.value = 42;
+  return e;
+}
+
+TEST(ObserveSchemaTest, EveryEventKindSerializesExactlyItsDeclaredFields) {
+  for (size_t k = 0; k < observe::kEventKindCount; ++k) {
+    const auto kind = static_cast<observe::EventKind>(k);
+    const Json j = EventToJson(EventOfKind(kind), {"main", "work"});
+    ASSERT_TRUE(j.Has("args")) << EventKindName(kind);
+    std::vector<std::string> actual;
+    for (const auto& [key, value] : j.Get("args").fields()) {
+      actual.push_back(key);
+    }
+    std::vector<std::string> declared = EventFieldNames(kind);
+    std::sort(actual.begin(), actual.end());
+    std::sort(declared.begin(), declared.end());
+    EXPECT_EQ(actual, declared) << "args schema drift for kind " << EventKindName(kind);
+  }
+}
+
+TEST(ObserveSchemaTest, EnvelopeUsesSpanPhaseForDurationEvents) {
+  for (size_t k = 0; k < observe::kEventKindCount; ++k) {
+    const auto kind = static_cast<observe::EventKind>(k);
+    const Json j = EventToJson(EventOfKind(kind), {});
+    const bool span = kind == observe::EventKind::kCompileEnd ||
+                      kind == observe::EventKind::kPass ||
+                      kind == observe::EventKind::kGcCycle;
+    EXPECT_EQ(j.Get("ph").AsString(), span ? "X" : "i") << EventKindName(kind);
+    EXPECT_EQ(j.Has("dur"), span) << EventKindName(kind);
+    // Span timestamps are starts: end ts 100 with dur 10 renders as 90.
+    EXPECT_EQ(j.Get("ts").AsUint(), span ? 90u : 100u) << EventKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace jaguar
+
+int main(int argc, char** argv) {
+  // Strip our flag before gtest parses the command line (it rejects unknown flags).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      jaguar::g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

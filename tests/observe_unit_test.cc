@@ -1,0 +1,316 @@
+// Unit tests for the observe/ primitives: histogram bucket boundaries (the classic
+// off-by-one trap of `le` semantics), the flight-recorder ring's wrap behaviour exactly at
+// capacity, the per-thread TraceHub under concurrent writers, empty drains, and the
+// Prometheus text exposition format.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/jaguar/observe/events.h"
+#include "src/jaguar/observe/metrics.h"
+#include "src/jaguar/observe/ring.h"
+#include "src/jaguar/observe/tracer.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar::observe {
+namespace {
+
+TraceEvent EventWithTs(uint64_t ts) {
+  TraceEvent e;
+  e.kind = EventKind::kHeapVerify;
+  e.ts_us = ts;
+  e.value = ts;
+  return e;
+}
+
+// --- Histogram bucket boundaries ----------------------------------------------------------
+
+TEST(HistogramTest, ValueExactlyOnABoundLandsInThatBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.0);   // le=1 — on the bound, belongs to the bound's bucket
+  h.Observe(2.0);   // le=2
+  h.Observe(4.0);   // le=4
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 finite bounds + implicit +Inf
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 0u);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 7.0);
+}
+
+TEST(HistogramTest, ValueJustAboveABoundGoesToTheNextBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.0000001);
+  h.Observe(2.0000001);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.counts[0], 0u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 0u);
+}
+
+TEST(HistogramTest, ValueAboveTheLastFiniteBoundGoesToPlusInf) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(4.0000001);
+  h.Observe(1e12);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.counts[0], 0u);
+  EXPECT_EQ(snap.counts[1], 0u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 2u);
+  EXPECT_EQ(snap.count, 2u);
+}
+
+TEST(HistogramTest, ZeroAndNegativeValuesLandInTheFirstBucket) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.0);
+  h.Observe(-5.0);
+  EXPECT_EQ(h.Snapshot().counts[0], 2u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideTheOwningBucket) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(5.0);   // 10 observations in (0, 10]
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(15.0);  // 10 observations in (10, 20]
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  // p50: rank 10 is exactly the end of the first bucket → upper bound 10.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.50), 10.0);
+  // p75: rank 15, 5 into the second bucket of 10 → 10 + (20-10) * 5/10 = 15.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 10.0);
+}
+
+TEST(HistogramTest, EmptySnapshotYieldsZeroStatistics) {
+  Histogram h({1.0});
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.95), 0.0);
+}
+
+TEST(HistogramTest, ExponentialBucketsMultiplyByTheFactor) {
+  const std::vector<double> bounds = ExponentialBuckets(1.0, 4.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 16.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 64.0);
+}
+
+// --- MetricsRegistry ----------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameAndLabelsIsTheSameSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test_total", "help");
+  Counter* b = registry.GetCounter("test_total", "ignored later help");
+  EXPECT_EQ(a, b);
+  Counter* labeled = registry.GetCounter("test_total", "help", {{"vm", "x"}});
+  EXPECT_NE(a, labeled);
+  a->Inc(3);
+  labeled->Inc();
+  EXPECT_EQ(a->value(), 3u);
+  EXPECT_EQ(labeled->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchIsACallerBug) {
+  MetricsRegistry registry;
+  registry.GetCounter("mixed", "help");
+  EXPECT_THROW(registry.GetGauge("mixed", "help"), jaguar::InternalError);
+  registry.GetHistogram("h", "help", {1.0, 2.0});
+  EXPECT_THROW(registry.GetHistogram("h", "help", {1.0, 3.0}), jaguar::InternalError);
+}
+
+TEST(MetricsRegistryTest, SumHistogramsMergesEveryLabelCombination) {
+  MetricsRegistry registry;
+  registry.GetHistogram("pass_us", "help", {10.0, 100.0}, {{"pass", "gvn"}})->Observe(5.0);
+  registry.GetHistogram("pass_us", "help", {10.0, 100.0}, {{"pass", "licm"}})->Observe(50.0);
+  registry.GetHistogram("pass_us", "help", {10.0, 100.0}, {{"pass", "licm"}})->Observe(500.0);
+  const HistogramSnapshot total = registry.SumHistograms("pass_us");
+  EXPECT_EQ(total.count, 3u);
+  EXPECT_DOUBLE_EQ(total.sum, 555.0);
+  EXPECT_EQ(total.counts[0], 1u);
+  EXPECT_EQ(total.counts[1], 1u);
+  EXPECT_EQ(total.counts[2], 1u);
+  EXPECT_EQ(registry.SumHistograms("no_such_family").count, 0u);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextIsCumulativeAndCanonical) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz_total", "last family", {{"vm", "b"}})->Inc(2);
+  registry.GetCounter("zz_total", "last family", {{"vm", "a"}})->Inc(1);
+  Histogram* h = registry.GetHistogram("aa_us", "first family", {1.0, 2.0});
+  h->Observe(1.0);
+  h->Observe(1.5);
+  h->Observe(99.0);
+  const std::string text = registry.PrometheusText();
+
+  // Families render sorted by name; HELP/TYPE exactly once per family.
+  EXPECT_LT(text.find("# HELP aa_us first family\n"), text.find("# HELP zz_total"));
+  EXPECT_EQ(text.find("# TYPE aa_us histogram"), text.rfind("# TYPE aa_us histogram"));
+
+  // Bucket counts are cumulative, the +Inf bucket equals _count.
+  EXPECT_NE(text.find("aa_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("aa_us_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("aa_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("aa_us_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("aa_us_sum 101.5\n"), std::string::npos);
+
+  // Series within a family are sorted by their canonical label rendering.
+  EXPECT_LT(text.find("zz_total{vm=\"a\"} 1"), text.find("zz_total{vm=\"b\"} 2"));
+}
+
+// --- EventRing ----------------------------------------------------------------------------
+
+TEST(EventRingTest, FillingExactlyToCapacityDropsNothing) {
+  EventRing ring(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ring.Push(EventWithTs(i));
+  }
+  EXPECT_EQ(ring.pushed(), 4u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const std::vector<TraceEvent> events = ring.Drain();
+  ASSERT_EQ(events.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].ts_us, i) << "oldest-first order";
+  }
+}
+
+TEST(EventRingTest, OnePastCapacityDropsExactlyTheOldest) {
+  EventRing ring(4);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ring.Push(EventWithTs(i));
+  }
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.dropped(), 1u);
+  const std::vector<TraceEvent> events = ring.Drain();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().ts_us, 1u) << "event 0 was overwritten";
+  EXPECT_EQ(events.back().ts_us, 4u);
+}
+
+TEST(EventRingTest, EmptyRingDrainsEmpty) {
+  EventRing ring(8);
+  EXPECT_TRUE(ring.Drain().empty());
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(EventRingTest, ZeroCapacityClampsToOne) {
+  EventRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Push(EventWithTs(7));
+  ring.Push(EventWithTs(8));
+  const std::vector<TraceEvent> events = ring.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ts_us, 8u);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+// --- TraceHub -----------------------------------------------------------------------------
+
+TEST(TraceHubTest, EmptyHubDrainsEmpty) {
+  TraceHub hub;
+  EXPECT_TRUE(hub.DrainAll().empty());
+  EXPECT_EQ(hub.ring_count(), 0u);
+  EXPECT_EQ(hub.total_pushed(), 0u);
+}
+
+TEST(TraceHubTest, ConcurrentWritersEachGetTheirOwnRing) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 1000;
+  TraceHub hub;  // default capacity far above kPerThread — nothing drops
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hub, t] {
+      EventRing* ring = hub.LocalRing();
+      EventRing* again = hub.LocalRing();
+      ASSERT_EQ(ring, again) << "the thread-local cache must return a stable ring";
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        ring->Push(EventWithTs(static_cast<uint64_t>(t) * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(hub.ring_count(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(hub.total_pushed(), kThreads * kPerThread);
+  EXPECT_EQ(hub.total_dropped(), 0u);
+  const std::vector<TraceEvent> merged = hub.DrainAll();
+  ASSERT_EQ(merged.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    ASSERT_LE(merged[i - 1].ts_us, merged[i].ts_us) << "DrainAll must merge by timestamp";
+  }
+}
+
+TEST(TraceHubTest, TwoHubsOnOneThreadKeepSeparateRings) {
+  TraceHub a;
+  TraceHub b;
+  a.LocalRing()->Push(EventWithTs(1));
+  b.LocalRing()->Push(EventWithTs(2));
+  b.LocalRing()->Push(EventWithTs(3));
+  EXPECT_EQ(a.total_pushed(), 1u);
+  EXPECT_EQ(b.total_pushed(), 2u);
+}
+
+// --- VmObserver ---------------------------------------------------------------------------
+
+TEST(VmObserverTest, StandaloneTelemetryCountsAreExactEvenWhenTheRingWraps) {
+  LogicalClock clock;
+  Observer shared;
+  shared.clock = &clock;
+  VmObserver obs(TraceLevel::kFull, &shared, /*num_functions=*/2, /*num_tiers=*/2,
+                 /*private_ring_capacity=*/4);
+  obs.CallEntry(0, 0);  // first entry at tier 0: no transition event
+  obs.CallEntry(0, 1);  // 0 → 1: transition
+  obs.CallEntry(0, 1);  // unchanged: no event
+  obs.CallEntry(1, 2);  // 0 → 2 on first entry of f1: transition
+  for (int i = 0; i < 6; ++i) {
+    obs.Deopt(0, "test-reason", i);
+  }
+  const std::shared_ptr<RunTelemetry> telemetry = obs.Finish(123);
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_EQ(telemetry->Count(EventKind::kTierTransition), 2u);
+  EXPECT_EQ(telemetry->Count(EventKind::kDeopt), 6u);
+  EXPECT_EQ(telemetry->emitted, 8u);
+  // The 4-slot flight recorder kept only the newest window; the counts never dropped.
+  EXPECT_EQ(telemetry->dropped, 4u);
+  EXPECT_EQ(telemetry->events.size(), 4u);
+  for (const TraceEvent& event : telemetry->events) {
+    EXPECT_EQ(event.kind, EventKind::kDeopt);
+  }
+}
+
+TEST(VmObserverTest, MetricsOnlyModeFlushesAggregatesWithoutEvents) {
+  MetricsRegistry registry;
+  Observer shared;
+  shared.metrics = &registry;
+  VmObserver obs(TraceLevel::kOff, &shared, 2, 2, 64);
+  EXPECT_FALSE(obs.events_on());
+  EXPECT_TRUE(obs.pass_timing_on()) << "metrics want the per-pass histograms even at kOff";
+  obs.CallEntry(0, 0);
+  obs.CallEntry(0, 1);
+  const std::shared_ptr<RunTelemetry> telemetry = obs.Finish(321);
+  EXPECT_TRUE(telemetry->events.empty());
+  EXPECT_EQ(telemetry->emitted, 0u);
+  EXPECT_EQ(registry.GetCounter("jaguar_vm_runs_total", "")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("jaguar_vm_steps_total", "")->value(), 321u);
+  EXPECT_EQ(registry.GetCounter("jaguar_vm_invocations_total", "", {{"tier", "0"}})->value(),
+            1u);
+  EXPECT_EQ(registry.GetCounter("jaguar_vm_invocations_total", "", {{"tier", "1"}})->value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace jaguar::observe

@@ -1,0 +1,103 @@
+// Tier-transition regression tests: five pinned (generator seed, vendor) pairs with the
+// EXACT tier-transition / OSR-entry / deoptimization counts their runs produce. The counts
+// come straight from RunTelemetry (observe/tracer.h), whose per-kind counters are exact even
+// when the flight-recorder ring wraps — so this suite detects any change to tier-up
+// scheduling, OSR eligibility, or deopt behaviour, however small.
+//
+// UPDATE PROCEDURE — when a counter change is intentional (new threshold logic, a new deopt
+// source, a generator change that alters the fixture programs):
+//   1. Run `./tests/tier_events_test` and collect the "actual" values from the failure
+//      output (each EXPECT_EQ names its pair and counter).
+//   2. Update kPinnedCases below with the new numbers.
+//   3. In the PR description, explain WHY the counts moved (e.g. "OSR threshold check moved
+//      before the invocation bump, +1 osr_entries for hot loop seeds"). A count change with
+//      no such explanation is a regression, not an update.
+//
+// The vendors run with their thresholds scaled down 1000× (like observe_determinism_test) so
+// the generator's deliberately-cold seeds exercise compiled tiers; the scaling is part of the
+// pinned configuration and must not change silently either.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/artemis/fuzzer/generator.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/observe/tracer.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace jaguar {
+namespace {
+
+// Must stay in lockstep with observe_determinism_test's HotVendor: same scaling, same
+// gc_period, same step budget.
+VmConfig HotVendor(VmConfig vm) {
+  for (TierSpec& tier : vm.tiers) {
+    tier.invoke_threshold = tier.invoke_threshold / 1000 + 1;
+    tier.osr_threshold = tier.osr_threshold / 1000 + 1;
+  }
+  vm.gc_period = 32;
+  vm.step_budget = 20'000'000;
+  return vm;
+}
+
+struct PinnedCase {
+  const char* name;        // test display name
+  int vendor_index;        // index into jaguar::AllVendors()
+  uint64_t seed;           // fuzzer/generator.h seed
+  uint64_t tier_transitions;
+  uint64_t osr_entries;
+  uint64_t deopts;
+};
+
+const PinnedCase kPinnedCases[] = {
+    {"hotsniff_s101", 0, 101, 2, 1, 1},
+    {"openjade_s102", 1, 102, 6, 71, 65},
+    {"artree_s103", 2, 103, 1, 0, 0},
+    {"hotsniff_s104", 0, 104, 0, 1, 1},
+    {"openjade_s105", 1, 105, 2, 115, 113},
+};
+
+class TierEventsTest : public ::testing::TestWithParam<PinnedCase> {};
+
+TEST_P(TierEventsTest, PinnedEventCountsAreStable) {
+  const PinnedCase& c = GetParam();
+  const Program program = artemis::GenerateProgram(artemis::FuzzConfig{}, c.seed);
+  const BcProgram bytecode = CompileProgram(program);
+
+  VmConfig config = HotVendor(AllVendors()[static_cast<size_t>(c.vendor_index)]);
+  config.trace_level = observe::TraceLevel::kBoundary;  // events without per-pass spans
+
+  const RunOutcome out = RunProgram(bytecode, config);
+  ASSERT_NE(out.telemetry, nullptr) << c.name;
+  EXPECT_EQ(out.telemetry->Count(observe::EventKind::kTierTransition), c.tier_transitions)
+      << c.name << " tier_transitions";
+  EXPECT_EQ(out.telemetry->Count(observe::EventKind::kOsrEntry), c.osr_entries)
+      << c.name << " osr_entries";
+  EXPECT_EQ(out.telemetry->Count(observe::EventKind::kDeopt), c.deopts)
+      << c.name << " deopts";
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedPairs, TierEventsTest, ::testing::ValuesIn(kPinnedCases),
+                         [](const ::testing::TestParamInfo<PinnedCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// The pins above only bite if runs are repeatable; this guard fails louder and earlier than
+// a flaky pin would.
+TEST(TierEventsTest, CountsAreRunToRunDeterministic) {
+  const PinnedCase& c = kPinnedCases[0];
+  const Program program = artemis::GenerateProgram(artemis::FuzzConfig{}, c.seed);
+  const BcProgram bytecode = CompileProgram(program);
+  VmConfig config = HotVendor(AllVendors()[static_cast<size_t>(c.vendor_index)]);
+  config.trace_level = observe::TraceLevel::kBoundary;
+  const RunOutcome a = RunProgram(bytecode, config);
+  const RunOutcome b = RunProgram(bytecode, config);
+  ASSERT_NE(a.telemetry, nullptr);
+  ASSERT_NE(b.telemetry, nullptr);
+  EXPECT_EQ(a.telemetry->counts, b.telemetry->counts);
+}
+
+}  // namespace
+}  // namespace jaguar
