@@ -1,8 +1,8 @@
 // artemis_service — the durable campaign service from the command line.
 //
 //   ./artemis_service [service] --corpus-dir DIR [--vm NAME] [--rounds N] [--seeds N]
-//                     [--threads N] [--verify[=LEVEL]] [--triage] [--resume]
-//                     [--mutations N] [--no-admission]
+//                     [--threads N] [--verify[=LEVEL]] [--triage] [--stress-seeds K]
+//                     [--resume] [--mutations N] [--no-admission]
 //
 //     Runs rounds of generate → mutate → validate over the evolving on-disk corpus in DIR
 //     (src/artemis/service/service.h). --seeds sets the fresh generator seeds per round,
@@ -40,8 +40,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: artemis_service [service] --corpus-dir DIR [--vm NAME] [--rounds N]\n"
                "           [--seeds N] [--mutations N] [--threads N] [--verify[=LEVEL]]\n"
-               "           [--triage] [--resume] [--no-admission] [--trace[=LEVEL]]\n"
-               "           [--metrics-out PATH]\n"
+               "           [--triage] [--stress-seeds K] [--resume] [--no-admission]\n"
+               "           [--trace[=LEVEL]] [--metrics-out PATH]\n"
                "       artemis_service campaign --corpus-dir DIR [--vm NAME] [--seeds N]\n"
                "           [--threads N] [--verify[=LEVEL]] [--triage] [--resume]\n"
                "           [--stop-after N]\n");
@@ -54,6 +54,7 @@ artemis::CampaignParams BaseParams(const cli::CommonOptions& options,
   params.num_threads = options.threads;
   params.triage = options.triage;
   params.validator.max_iter = 8;
+  params.validator.stress_seeds = options.stress_seeds;
   cli::ApplyPaperSynthBounds(vm_name, &params.validator);
   return params;
 }

@@ -12,6 +12,7 @@
 //   --corpus-dir PATH             on-disk corpus directory (service / durable drivers)
 //   --resume                      continue from an existing journal instead of starting fresh
 //   --rounds N                    service rounds to run in this invocation
+//   --stress-seeds K              stress compilation-space points sampled per program (0 = off)
 //   --trace[=off|boundary|full]   VM/JIT event tracing level (bare = full)
 //   --trace-out PATH              write the recorded trace as Chrome trace_event JSONL
 //   --metrics-out PATH            write the metrics registry as Prometheus text exposition
@@ -43,6 +44,7 @@ struct CommonOptions {
   std::string corpus_dir;
   bool resume = false;
   bool triage = false;
+  int stress_seeds = 0;     // stress points sampled per validated program (0 = axis off)
   jaguar::VerifyLevel verify = jaguar::VerifyLevel::kOff;
   jaguar::observe::TraceLevel trace = jaguar::observe::TraceLevel::kOff;
   bool trace_given = false;   // --trace appeared (lets drivers infer full from --trace-out)
@@ -149,6 +151,7 @@ inline CommonOptions ParseArgs(int argc, char** argv) {
     if ((consumed = int_flag("--threads", i, &options.threads)) != 0 ||
         (consumed = int_flag("--seeds", i, &options.seeds)) != 0 ||
         (consumed = int_flag("--rounds", i, &options.rounds)) != 0 ||
+        (consumed = int_flag("--stress-seeds", i, &options.stress_seeds)) != 0 ||
         (consumed = string_flag("--vm", i, &options.vm)) != 0 ||
         (consumed = string_flag("--corpus-dir", i, &options.corpus_dir)) != 0) {
       i += consumed - 1;

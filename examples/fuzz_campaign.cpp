@@ -1,8 +1,8 @@
 // A miniature validation campaign from the command line.
 //
 //   ./fuzz_campaign [num_seeds] [vendor] [--threads N] [--verify[=LEVEL]] [--triage]
-//                   [--trace[=LEVEL]] [--trace-out PATH] [--metrics-out PATH]
-//                   [--bench-out PATH]
+//                   [--stress-seeds K] [--trace[=LEVEL]] [--trace-out PATH]
+//                   [--metrics-out PATH] [--bench-out PATH]
 //
 // vendor ∈ {hotsniff, openjade, artree} (default: all three; also accepted via --vm NAME and
 // --seeds N — the flag grammar is shared with the other drivers, see cli_common.h). Prints a
@@ -14,6 +14,9 @@
 // every-pass; bare --verify means every-pass), so invariant violations surface as crashes.
 // --triage pass-bisects every discrepancy and dedups reports on the attribution key; each
 // report then prints its "triage: <kind> -> <stage>" line.
+// --stress-seeds K additionally re-runs every seed at K seeded stress points (perturbed pass
+// sets/orders/thresholds/placements — the HotSpot StressGCM/StressLCM analogue), a second
+// compilation-space axis orthogonal to JoNM's program mutations.
 //
 // Observability (src/jaguar/observe/): --metrics-out dumps the campaign's Prometheus
 // registry, --trace-out the merged per-thread event rings as Chrome trace_event JSONL
@@ -127,6 +130,7 @@ int main(int argc, char** argv) {
     params.num_threads = options.threads;
     params.triage = options.triage;
     params.validator.max_iter = 8;
+    params.validator.stress_seeds = options.stress_seeds;
     cli::ApplyPaperSynthBounds(vm.name, &params.validator);
 
     const artemis::CampaignStats stats = artemis::RunCampaign(vm, params);
@@ -134,9 +138,11 @@ int main(int argc, char** argv) {
     total_invocations += stats.vm_invocations;
     std::printf("%s\n", stats.ToString().c_str());
     for (const auto& report : stats.reports) {
-      std::printf("  [%s]%s seed=%llu %s\n", DiscrepancyName(report.kind),
+      std::printf("  [%s]%s seed=%llu%s %s\n", DiscrepancyName(report.kind),
                   report.duplicate ? " (duplicate)" : "",
-                  static_cast<unsigned long long>(report.seed_id), report.detail.c_str());
+                  static_cast<unsigned long long>(report.seed_id),
+                  report.stress ? (" stress=" + jaguar::Hex64(report.stress_seed)).c_str() : "",
+                  report.detail.c_str());
       for (jaguar::BugId bug : report.root_causes) {
         std::printf("      cause: %s\n", jaguar::BugName(bug));
       }

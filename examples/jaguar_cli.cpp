@@ -17,6 +17,9 @@
 //                                        the offending stage and invariant
 //   --triage                             (validate mode) pass-bisect each discrepancy and
 //                                        print the structured attribution
+//   --stress-seeds K                     (validate mode) additionally re-run the seed at K
+//                                        seeded stress points (perturbed pass sets/orders/
+//                                        thresholds); each must stay interpreter-identical
 //   --trace[=off|boundary|full]          record VM/JIT events during run/trace modes
 //   --trace-out PATH                     write the recorded events as Chrome trace_event
 //                                        JSONL (implies --trace=full if no level was given)
@@ -39,6 +42,7 @@
 #include "src/jaguar/lang/parser.h"
 #include "src/jaguar/lang/typecheck.h"
 #include "src/jaguar/observe/tracer.h"
+#include "src/jaguar/support/json.h"
 #include "src/jaguar/vm/engine.h"
 
 namespace {
@@ -72,7 +76,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: jaguar_cli run|trace|disasm|validate <file.jag> [vendor]\n"
                "       jaguar_cli ir <file.jag> <function> <tier>\n"
-               "flags: --verify[=off|boundary|every-pass]  --triage (validate mode)\n"
+               "flags: --verify[=off|boundary|every-pass]  --triage --stress-seeds K (validate mode)\n"
                "       --trace[=off|boundary|full]  --trace-out PATH  --metrics-out PATH\n");
   return 2;
 }
@@ -204,6 +208,10 @@ int main(int argc, char** argv) {
     if (mode == "validate") {
       artemis::ValidatorParams params;
       params.max_iter = 8;
+      params.stress_seeds = options.stress_seeds;
+      // One fixed stream for the CLI (campaign drivers mix the seed id in instead): the same
+      // file + vendor + K always replays the same K compilation-space points.
+      params.stress_seed_base = jaguar::Fnv1a64(source);
       cli::ApplyPaperSynthBounds(vendor_name, &params);
       jaguar::Rng rng(20'26);
       const artemis::ValidationReport report =
@@ -212,8 +220,31 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "seed unusable: %s\n", report.seed_unusable_reason.c_str());
         return 1;
       }
-      std::printf("seed ok; %zu mutants, %d discrepancies\n", report.mutants.size(),
+      std::printf("seed ok; %zu mutants, %d discrepancies", report.mutants.size(),
                   report.Discrepancies());
+      if (!report.stress_points.empty()) {
+        std::printf("; %zu stress points, %d stress discrepancies",
+                    report.stress_points.size(), report.StressDiscrepancies());
+      }
+      std::printf("\n");
+      for (const artemis::StressVerdict& point : report.stress_points) {
+        if (point.kind == artemis::DiscrepancyKind::kNone) {
+          continue;
+        }
+        std::printf("stress %s: %s — %s\n", jaguar::Hex64(point.stress_seed).c_str(),
+                    DiscrepancyName(point.kind), point.detail.c_str());
+        for (jaguar::BugId bug : point.suspected_bugs) {
+          std::printf("  root cause: %s\n", jaguar::BugName(bug));
+        }
+        if (triage) {
+          artemis::TriageParams tparams;
+          tparams.stress = vendor.stress;
+          tparams.stress.enabled = true;
+          tparams.stress.seed = point.stress_seed;
+          const artemis::TriageReport t = artemis::TriageDiscrepancy(program, vendor, tparams);
+          std::printf("  %s\n", t.ToString().c_str());
+        }
+      }
       if (report.seed_self_discrepancy && triage) {
         const artemis::TriageReport t =
             artemis::TriageDiscrepancy(program, vendor, artemis::TriageParams{});

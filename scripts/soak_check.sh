@@ -13,11 +13,17 @@
 # Any divergence (lost reports, double-counted seeds, broken dedup order, torn journal
 # lines mishandled) changes the digest and fails the script.
 #
-# Usage: scripts/soak_check.sh [build-dir] [seeds] [vendor] [kill-after-seconds]
+# The campaign runs with the stress axis on (--stress-seeds, default 2): each seed samples
+# derived stress points, so the digest also covers stress verdict counters, stress-point
+# reports, and the journal's stress provenance — a resume that dropped or re-derived any of
+# them diverges. Pass 0 to soak the pre-stress configuration.
+#
+# Usage: scripts/soak_check.sh [build-dir] [seeds] [vendor] [kill-after-seconds] [stress-seeds]
 #   build-dir:           default build
 #   seeds:               campaign size, default 12
 #   vendor:              hotsniff | openjade | artree, default openjade
 #   kill-after-seconds:  how long each doomed segment runs before SIGKILL, default 3
+#   stress-seeds:        stress points sampled per seed, default 2 (0 = axis off)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +31,7 @@ BUILD_DIR="${1:-build}"
 SEEDS="${2:-12}"
 VENDOR="${3:-openjade}"
 KILL_AFTER="${4:-3}"
+STRESS="${5:-2}"
 BIN="$BUILD_DIR/examples/artemis_service"
 
 if [[ ! -x "$BIN" ]]; then
@@ -37,6 +44,7 @@ trap 'rm -rf "$WORK"' EXIT
 
 # --- 1. uninterrupted reference -------------------------------------------------------
 "$BIN" campaign --corpus-dir "$WORK/reference" --vm "$VENDOR" --seeds "$SEEDS" \
+  --stress-seeds "$STRESS" \
   > "$WORK/reference.out" 2> "$WORK/reference.err"
 REF_DIGEST="$(grep '^digest: ' "$WORK/reference.out" | cut -d' ' -f2)"
 if [[ -z "$REF_DIGEST" ]]; then
@@ -44,11 +52,12 @@ if [[ -z "$REF_DIGEST" ]]; then
   cat "$WORK/reference.err" >&2
   exit 1
 fi
-echo "soak_check: reference digest $REF_DIGEST ($SEEDS seeds, $VENDOR)"
+echo "soak_check: reference digest $REF_DIGEST ($SEEDS seeds, $VENDOR, $STRESS stress seed(s)/seed)"
 
 # --- 2. SIGKILL mid-run, then resume until complete -----------------------------------
 KILLS=0
 "$BIN" campaign --corpus-dir "$WORK/soak" --vm "$VENDOR" --seeds "$SEEDS" \
+  --stress-seeds "$STRESS" \
   > "$WORK/soak.out" 2> "$WORK/soak.err" &
 PID=$!
 MAX_ATTEMPTS=$((SEEDS * 4))

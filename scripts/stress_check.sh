@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Stress-axis CI configuration: the seeded stress-mode engine under sanitizers.
+#
+# Builds a dedicated -fsanitize=address,undefined tree and runs the `stress` ctest slice —
+# the metamorphic sweep (every (program, vendor, stress seed) triple must match pure
+# interpretation on a defect-free VM, and stay verifier-clean at kEveryPass) plus the
+# determinism/persistence suite (digest invariance, decision-log replay, journal and sidecar
+# round-trips, durable resume). A memory error anywhere in a perturbed pipeline — a pass
+# order the default schedule never runs, an early-OSR entry, a declined hoist — fails here
+# even when the run's observables stay correct.
+#
+# Usage: scripts/stress_check.sh [build-dir]   (default: build-asan)
+#   Shares build-asan with asan_check.sh by default, so running both costs one build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+cmake -B "$BUILD_DIR" -S . -DARTEMIS_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target stress_property_test stress_determinism_test
+
+export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -L stress
+echo "stress_check: stress-mode sweep passed clean under address+undefined sanitizers"

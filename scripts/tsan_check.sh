@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DARTEMIS_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target campaign_test campaign_determinism_test \
-  synth_property_test observe_unit_test observe_determinism_test
+  synth_property_test observe_unit_test observe_determinism_test stress_determinism_test
 
 # halt_on_error: fail fast on the first reported race.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -23,4 +23,8 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # the kFull campaign arm, where every worker records through the shared sinks.
 "$BUILD_DIR"/tests/observe_unit_test
 "$BUILD_DIR"/tests/observe_determinism_test --gtest_filter='AllVendors/*'
+# The stress axis under threads: stress-enabled campaigns sharded 1-vs-8 plus the durable
+# journal's writer thread, with every worker constructing StressPlans concurrently.
+"$BUILD_DIR"/tests/stress_determinism_test \
+  --gtest_filter='StressCampaignDeterminismTest.*:StressDurableTest.*'
 echo "tsan_check: all campaign thread-safety tests passed clean"

@@ -18,8 +18,8 @@ using jaguar::BugId;
 bool operator==(const BugReport& a, const BugReport& b) {
   return a.seed_id == b.seed_id && a.kind == b.kind && a.root_causes == b.root_causes &&
          a.crash_component == b.crash_component && a.crash_kind == b.crash_kind &&
-         a.detail == b.detail && a.duplicate == b.duplicate && a.triaged == b.triaged &&
-         a.triage == b.triage;
+         a.detail == b.detail && a.stress == b.stress && a.stress_seed == b.stress_seed &&
+         a.duplicate == b.duplicate && a.triaged == b.triaged && a.triage == b.triage;
 }
 
 bool CampaignStats::SameOutcome(const CampaignStats& other) const {
@@ -29,6 +29,8 @@ bool CampaignStats::SameOutcome(const CampaignStats& other) const {
          mutants_discarded == other.mutants_discarded &&
          mutants_non_neutral == other.mutants_non_neutral &&
          mutants_new_trace == other.mutants_new_trace &&
+         stress_points == other.stress_points &&
+         stress_discrepancies == other.stress_discrepancies &&
          seeds_with_discrepancy == other.seeds_with_discrepancy &&
          vm_invocations == other.vm_invocations && reports == other.reports;
 }
@@ -95,6 +97,8 @@ std::string CampaignStats::OutcomeDigest() const {
                       "|" + std::to_string(mutants_discarded) + "|" +
                       std::to_string(mutants_non_neutral) + "|" +
                       std::to_string(mutants_new_trace) + "|" +
+                      std::to_string(stress_points) + "|" +
+                      std::to_string(stress_discrepancies) + "|" +
                       std::to_string(seeds_with_discrepancy) + "|" +
                       std::to_string(vm_invocations) + "\n";
   for (const BugReport& r : reports) {
@@ -103,7 +107,8 @@ std::string CampaignStats::OutcomeDigest() const {
       canon += std::to_string(static_cast<int>(b)) + ",";
     }
     canon += "|" + std::to_string(static_cast<int>(r.crash_component)) + "|" + r.crash_kind +
-             "|" + r.detail + "|" + (r.duplicate ? "D" : "-") + "|" + (r.triaged ? "T" : "-");
+             "|" + r.detail + "|" + (r.stress ? "s" + std::to_string(r.stress_seed) : "-") +
+             "|" + (r.duplicate ? "D" : "-") + "|" + (r.triaged ? "T" : "-");
     if (r.triaged) {
       canon += "|" + std::string(r.triage.reproduced ? "r" : "-") +
                std::to_string(static_cast<int>(r.triage.kind)) + "|" + r.triage.stage + "|" +
@@ -126,6 +131,10 @@ std::string CampaignStats::ToString() const {
                     std::to_string(mutants_discarded) + ", non-neutral " +
                     std::to_string(mutants_non_neutral) + ", new-trace " +
                     std::to_string(mutants_new_trace) + ")\n";
+  if (stress_points > 0) {
+    out += "  stress-points=" + std::to_string(stress_points) +
+           " stress-discrepancies=" + std::to_string(stress_discrepancies) + "\n";
+  }
   out += "  reported=" + std::to_string(Reported()) +
          " duplicate=" + std::to_string(Duplicates()) +
          " confirmed=" + std::to_string(Confirmed()) +
@@ -201,6 +210,20 @@ CampaignStats RunCampaign(const jaguar::VmConfig& vm_config, const CampaignParam
           ->GetGauge("artemis_campaign_seeds_per_second",
                      "Seed throughput of the last campaign", vm_label)
           ->Set(static_cast<double>(stats.seeds_run) / stats.wall_seconds);
+    }
+    if (params.validator.stress_seeds > 0) {
+      metrics
+          ->GetCounter("artemis_stress_points_total",
+                       "Stress-seed runs of unmutated seeds", vm_label)
+          ->Inc(static_cast<uint64_t>(stats.stress_points));
+      metrics
+          ->GetCounter("artemis_stress_discrepancies_total",
+                       "Discrepancies revealed by the stress axis", vm_label)
+          ->Inc(static_cast<uint64_t>(stats.stress_discrepancies));
+      metrics
+          ->GetGauge("artemis_stress_seeds_per_entry",
+                     "Stress seeds sampled per corpus entry", vm_label)
+          ->Set(static_cast<double>(params.validator.stress_seeds));
     }
   }
   return stats;

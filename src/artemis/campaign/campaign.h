@@ -57,6 +57,11 @@ struct BugReport {
   jaguar::VmComponent crash_component = jaguar::VmComponent::kNone;
   std::string crash_kind;
   std::string detail;
+  // Stress-axis provenance: the discrepancy came from re-running the unmutated seed under
+  // this stress seed (jit/stress) rather than from a JoNM mutant. Replaying the seed program
+  // under vm.WithStressSeed(stress_seed) reproduces the exact compilation.
+  bool stress = false;
+  uint64_t stress_seed = 0;
   bool duplicate = false;  // a previous report already covered every root cause
   // Pass-bisection attribution (present when the campaign ran with params.triage). When
   // `triage.attributed()`, deduplication keys on triage.DedupKey() instead of the raw
@@ -78,6 +83,8 @@ struct CampaignStats {
   int mutants_discarded = 0;
   int mutants_non_neutral = 0;    // tool-defect guard firings (should be ~0)
   int mutants_new_trace = 0;      // mutants whose JIT-trace differed from the seed's
+  int stress_points = 0;          // stress-seed runs of unmutated seeds (the second axis)
+  int stress_discrepancies = 0;   // ... of which diverged from the default JIT-trace run
 
   int seeds_with_discrepancy = 0;
   std::vector<BugReport> reports;

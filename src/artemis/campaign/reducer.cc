@@ -115,6 +115,39 @@ void CampaignReducer::Reduce(SeedShardResult&& shard) {
     // count as duplicates (reported but recognized as the same underlying defect).
     File(std::move(bug));
   }
+
+  // Stress points: each is one JIT invocation of the already-run seed (no interpreter rerun —
+  // the seed's interpretation is the shared reference).
+  std::map<size_t, const TriageReport*> triage_by_stress;
+  for (const auto& triaged : shard.triaged_stress) {
+    triage_by_stress[triaged.stress_index] = &triaged.report;
+  }
+  for (size_t s = 0; s < report.stress_points.size(); ++s) {
+    const auto& point = report.stress_points[s];
+    ++stats.stress_points;
+    stats.vm_invocations += 1;
+    if (point.kind == DiscrepancyKind::kNone) {
+      continue;
+    }
+    ++stats.stress_discrepancies;
+    seed_found = true;
+
+    BugReport bug;
+    bug.seed_id = shard.seed_id;
+    bug.kind = point.kind;
+    bug.root_causes = point.suspected_bugs;
+    bug.crash_component = point.outcome.crash_component;
+    bug.crash_kind = point.outcome.crash_kind;
+    bug.detail = point.detail;
+    bug.stress = true;
+    bug.stress_seed = point.stress_seed;
+    if (const auto it = triage_by_stress.find(s); it != triage_by_stress.end()) {
+      bug.triaged = true;
+      bug.triage = *it->second;
+      stats.vm_invocations += static_cast<uint64_t>(bug.triage.runs);
+    }
+    File(std::move(bug));
+  }
   stats.seeds_with_discrepancy += seed_found ? 1 : 0;
 }
 

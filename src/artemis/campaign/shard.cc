@@ -12,7 +12,13 @@ SeedShardResult RunSeedShard(const jaguar::VmConfig& vm_config, const CampaignPa
   result.seed_id = params.base_seed + static_cast<uint64_t>(ordinal);
   jaguar::Rng rng = SeedRngFor(result.seed_id);
   const jaguar::Program seed = GenerateProgram(params.fuzz, result.seed_id);
-  result.report = Validate(seed, vm_config, params.validator, rng);
+  ValidatorParams vparams = params.validator;
+  if (vparams.stress_seeds > 0) {
+    // Each seed samples its own stress stream, derived from (campaign base, seed id) alone —
+    // shard ordering and thread placement cannot perturb it.
+    vparams.stress_seed_base = jaguar::StressMix(params.base_seed, result.seed_id);
+  }
+  result.report = Validate(seed, vm_config, vparams, rng);
 
   // Triage inside the shard: TriageDiscrepancy is a pure function of (program, config,
   // params), so attributions computed here are as deterministic as the validation itself
@@ -29,6 +35,19 @@ SeedShardResult RunSeedShard(const jaguar::VmConfig& vm_config, const CampaignPa
       }
       result.triaged_mutants.push_back(
           {i, TriageDiscrepancy(*verdict.mutant_program, vm_config, params.triage_params)});
+    }
+    for (size_t i = 0; i < result.report.stress_points.size(); ++i) {
+      const StressVerdict& point = result.report.stress_points[i];
+      if (point.kind == DiscrepancyKind::kNone) {
+        continue;
+      }
+      // Pin the point's stress seed so every triage re-run (baseline, bisection sweeps,
+      // verifier cross-reference) replays the exact perturbed compilation that diverged.
+      TriageParams stress_triage = params.triage_params;
+      stress_triage.stress = vm_config.stress;
+      stress_triage.stress.enabled = true;
+      stress_triage.stress.seed = point.stress_seed;
+      result.triaged_stress.push_back({i, TriageDiscrepancy(seed, vm_config, stress_triage)});
     }
   }
   return result;

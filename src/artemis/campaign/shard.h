@@ -35,6 +35,15 @@ struct SeedShardResult {
   std::vector<TriagedMutant> triaged_mutants;
   bool seed_triaged = false;
   TriageReport seed_triage;
+
+  // Stress-axis attributions: one entry per discrepant stress point, keyed by its index in
+  // report.stress_points. Triage re-runs the *seed* program with the point's stress seed
+  // pinned, so the bisection replays the exact perturbed compilation.
+  struct TriagedStress {
+    size_t stress_index = 0;
+    TriageReport report;
+  };
+  std::vector<TriagedStress> triaged_stress;
 };
 
 // Generates and validates the `ordinal`-th seed of a campaign. `vm_config` must already

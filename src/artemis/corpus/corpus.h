@@ -65,6 +65,12 @@ struct CorpusMeta {
   int discrepancies = 0;
   std::string report_signatures;
 
+  // Stress provenance: base of the stress-seed stream the admitting validation sampled for
+  // this entry (0 = validated without the stress axis). Replaying the entry with stress seeds
+  // DeriveStressSeed(stress_seed, 0, k) re-enters the exact compilation-space points the
+  // admitting sweep visited.
+  uint64_t stress_seed = 0;
+
   // Scheduler state (mutated in place by the store).
   int times_scheduled = 0;   // how often PickForMutation returned this entry
   int children_admitted = 0; // mutants of this entry that were themselves admitted

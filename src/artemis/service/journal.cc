@@ -55,6 +55,12 @@ Json TriageToJson(const TriageReport& report) {
   j.Set("candidates", StringsToJson(report.candidates));
   j.Set("detail", report.detail);
   j.Set("runs", static_cast<int64_t>(report.runs));
+  if (report.stress) {
+    // Written only for stress-replayed triages so pre-stress journals re-serialize (and
+    // fingerprint) byte-identically.
+    j.Set("stress", true);
+    j.Set("stress_seed", report.stress_seed);
+  }
   return j;
 }
 
@@ -72,6 +78,8 @@ bool TriageFromJson(const Json& json, TriageReport* out) {
   report.candidates = StringsFromJson(json.Get("candidates"));
   report.detail = json.Get("detail").AsString();
   report.runs = static_cast<int>(json.Get("runs").AsInt());
+  report.stress = json.Get("stress").AsBool(false);
+  report.stress_seed = json.Get("stress_seed").AsUint(0);
   *out = std::move(report);
   return true;
 }
@@ -85,6 +93,10 @@ Json BugReportToJson(const BugReport& report) {
   j.Set("crash_kind", report.crash_kind);
   j.Set("detail", report.detail);
   j.Set("duplicate", report.duplicate);
+  if (report.stress) {
+    j.Set("stress", true);
+    j.Set("stress_seed", report.stress_seed);
+  }
   if (report.triaged) {
     j.Set("triage", TriageToJson(report.triage));
   }
@@ -103,6 +115,8 @@ bool BugReportFromJson(const Json& json, BugReport* out) {
   report.crash_kind = json.Get("crash_kind").AsString();
   report.detail = json.Get("detail").AsString();
   report.duplicate = json.Get("duplicate").AsBool();
+  report.stress = json.Get("stress").AsBool(false);
+  report.stress_seed = json.Get("stress_seed").AsUint(0);
   if (json.Has("triage")) {
     report.triaged = true;
     if (!TriageFromJson(json.Get("triage"), &report.triage)) {
@@ -144,6 +158,25 @@ Json ShardToJson(const SeedShardResult& shard) {
   }
   j.Set("mutants", std::move(mutants));
 
+  // Stress points: written only when the shard sampled any, so stress-free journals keep
+  // their pre-stress byte shape.
+  if (!shard.report.stress_points.empty()) {
+    Json points = Json::Array();
+    for (const StressVerdict& point : shard.report.stress_points) {
+      Json p = Json::Object();
+      p.Set("stress_seed", point.stress_seed);
+      p.Set("kind", static_cast<int64_t>(static_cast<int>(point.kind)));
+      p.Set("discarded", point.discarded);
+      p.Set("detail", point.detail);
+      p.Set("suspected_bugs", BugIdsToJson(point.suspected_bugs));
+      p.Set("crash_component",
+            static_cast<int64_t>(static_cast<int>(point.outcome.crash_component)));
+      p.Set("crash_kind", point.outcome.crash_kind);
+      points.Append(std::move(p));
+    }
+    j.Set("stress_points", std::move(points));
+  }
+
   if (shard.seed_triaged) {
     j.Set("seed_triage", TriageToJson(shard.seed_triage));
   }
@@ -156,6 +189,16 @@ Json ShardToJson(const SeedShardResult& shard) {
       triaged.Append(std::move(t));
     }
     j.Set("triaged_mutants", std::move(triaged));
+  }
+  if (!shard.triaged_stress.empty()) {
+    Json triaged = Json::Array();
+    for (const auto& ts : shard.triaged_stress) {
+      Json t = Json::Object();
+      t.Set("stress_index", static_cast<int64_t>(ts.stress_index));
+      t.Set("report", TriageToJson(ts.report));
+      triaged.Append(std::move(t));
+    }
+    j.Set("triaged_stress", std::move(triaged));
   }
   return j;
 }
@@ -195,6 +238,19 @@ bool ShardFromJson(const Json& json, SeedShardResult* out) {
       return false;
     }
   }
+  for (const Json& p : json.Get("stress_points").items()) {
+    StressVerdict point;
+    point.stress_seed = p.Get("stress_seed").AsUint();
+    point.kind = static_cast<DiscrepancyKind>(p.Get("kind").AsInt());
+    point.discarded = p.Get("discarded").AsBool();
+    point.detail = p.Get("detail").AsString();
+    point.suspected_bugs = BugIdsFromJson(p.Get("suspected_bugs"));
+    point.outcome.crash_component =
+        static_cast<jaguar::VmComponent>(p.Get("crash_component").AsInt());
+    point.outcome.crash_kind = p.Get("crash_kind").AsString();
+    shard.report.stress_points.push_back(std::move(point));
+  }
+
   for (const Json& t : json.Get("triaged_mutants").items()) {
     SeedShardResult::TriagedMutant tm;
     tm.mutant_index = static_cast<size_t>(t.Get("mutant_index").AsInt());
@@ -202,6 +258,14 @@ bool ShardFromJson(const Json& json, SeedShardResult* out) {
       return false;
     }
     shard.triaged_mutants.push_back(std::move(tm));
+  }
+  for (const Json& t : json.Get("triaged_stress").items()) {
+    SeedShardResult::TriagedStress ts;
+    ts.stress_index = static_cast<size_t>(t.Get("stress_index").AsInt());
+    if (!TriageFromJson(t.Get("report"), &ts.report)) {
+      return false;
+    }
+    shard.triaged_stress.push_back(std::move(ts));
   }
   *out = std::move(shard);
   return true;
@@ -227,6 +291,11 @@ Json CampaignParamsToJson(const CampaignParams& params) {
   validator.Set("perf_ratio", params.validator.perf_ratio);
   validator.Set("perf_floor", params.validator.perf_floor);
   validator.Set("keep_new_trace_mutants", params.validator.keep_new_trace_mutants);
+  if (params.validator.stress_seeds > 0) {
+    // Written only when the stress axis is on: stress-free configs keep their historical
+    // serialization (and thus their CampaignFingerprint), so old journals still resume.
+    validator.Set("stress_seeds", static_cast<int64_t>(params.validator.stress_seeds));
+  }
   Json jonm = Json::Object();
   jonm.Set("select_numerator", static_cast<int64_t>(params.validator.jonm.select_numerator));
   jonm.Set("select_denominator",
@@ -286,6 +355,7 @@ bool CampaignParamsFromJson(const Json& json, CampaignParams* out) {
   params.validator.perf_floor = validator.Get("perf_floor").AsUint(2'000'000);
   params.validator.keep_new_trace_mutants =
       validator.Get("keep_new_trace_mutants").AsBool(false);
+  params.validator.stress_seeds = static_cast<int>(validator.Get("stress_seeds").AsInt(0));
   const Json& jonm = validator.Get("jonm");
   params.validator.jonm.select_numerator =
       static_cast<uint32_t>(jonm.Get("select_numerator").AsInt(1));
@@ -338,6 +408,11 @@ std::string CampaignFingerprint(const jaguar::VmConfig& vm, const CampaignParams
   identity.Set("num_threads", Json());
   identity.Set("vm", vm.name);
   identity.Set("verify", static_cast<int64_t>(static_cast<int>(vm.verify_level)));
+  if (vm.stress.enabled) {
+    // A stress-enabled vendor explores a different compilation space; only when enabled, so
+    // stress-free fingerprints match journals written before the stress axis existed.
+    identity.Set("stress", jaguar::StressConfigToJson(vm.stress));
+  }
   return jaguar::Hex64(jaguar::Fnv1a64(identity.Dump()));
 }
 

@@ -55,6 +55,11 @@ Json CountersToJson(const CampaignStats& stats) {
   j.Set("mutants_new_trace", static_cast<int64_t>(stats.mutants_new_trace));
   j.Set("seeds_with_discrepancy", static_cast<int64_t>(stats.seeds_with_discrepancy));
   j.Set("vm_invocations", stats.vm_invocations);
+  if (stats.stress_points > 0) {
+    // Only for stress-enabled services: stress-free journals keep their historical shape.
+    j.Set("stress_points", static_cast<int64_t>(stats.stress_points));
+    j.Set("stress_discrepancies", static_cast<int64_t>(stats.stress_discrepancies));
+  }
   return j;
 }
 
@@ -68,6 +73,8 @@ void CountersFromJson(const Json& json, CampaignStats* stats) {
   stats->seeds_with_discrepancy =
       static_cast<int>(json.Get("seeds_with_discrepancy").AsInt());
   stats->vm_invocations = json.Get("vm_invocations").AsUint();
+  stats->stress_points = static_cast<int>(json.Get("stress_points").AsInt(0));
+  stats->stress_discrepancies = static_cast<int>(json.Get("stress_discrepancies").AsInt(0));
 }
 
 // Service identity: the campaign fingerprint plus every service knob that shapes the
@@ -176,6 +183,9 @@ struct ItemOutcome {
   // Deterministic cost of the seed's JIT run (VM steps) — the scheduler's
   // coverage-per-cost signal, copied before the shard is consumed by the reducer.
   uint64_t seed_steps = 0;
+  // Base of the stress-seed stream this item's validation sampled (0 = stress axis off);
+  // recorded in admitted children's sidecars for exact replay.
+  uint64_t stress_seed_base = 0;
 };
 
 ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& params,
@@ -194,6 +204,12 @@ ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& pa
 
   ValidatorParams validator = params.validator;
   validator.keep_new_trace_mutants = admission;
+  if (validator.stress_seeds > 0) {
+    // Mirror of campaign/shard.cc: the stream depends only on (campaign base, item id), so a
+    // resumed service re-visits the same compilation-space points for the same item.
+    validator.stress_seed_base = jaguar::StressMix(params.base_seed, item.seed_id);
+    outcome.stress_seed_base = validator.stress_seed_base;
+  }
   SpaceCoverage coverage;
   outcome.shard.report = GuidedValidate(program, config, validator, rng, &coverage);
 
@@ -211,6 +227,18 @@ ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& pa
       }
       outcome.shard.triaged_mutants.push_back(
           {i, TriageDiscrepancy(*verdict.mutant_program, config, params.triage_params)});
+    }
+    for (size_t i = 0; i < outcome.shard.report.stress_points.size(); ++i) {
+      const StressVerdict& point = outcome.shard.report.stress_points[i];
+      if (point.kind == DiscrepancyKind::kNone) {
+        continue;
+      }
+      TriageParams stress_triage = params.triage_params;
+      stress_triage.stress = config.stress;
+      stress_triage.stress.enabled = true;
+      stress_triage.stress.seed = point.stress_seed;
+      outcome.shard.triaged_stress.push_back(
+          {i, TriageDiscrepancy(program, config, stress_triage)});
     }
   }
 
@@ -425,6 +453,7 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
         meta.frac_deopted = outcome.frac_deopted;
         meta.steps = outcome.seed_steps;
         meta.discrepancies = candidate.discrepant ? 1 : 0;
+        meta.stress_seed = outcome.stress_seed_base;
         if (!corpus.Admit(candidate.source, std::move(meta))) {
           continue;  // content already in the pool
         }
@@ -516,6 +545,20 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
       registry->GetGauge("artemis_service_confirmed",
                          "Distinct injected root causes found (lifetime)", vm_label)
           ->Set(static_cast<double>(snap.confirmed));
+      if (params.campaign.validator.stress_seeds > 0) {
+        registry
+            ->GetGauge("artemis_stress_points",
+                       "Stress compilation-space points explored (lifetime)", vm_label)
+            ->Set(static_cast<double>(stats.totals.stress_points));
+        registry
+            ->GetGauge("artemis_stress_discrepancies",
+                       "Stress points that diverged from the reference (lifetime)", vm_label)
+            ->Set(static_cast<double>(stats.totals.stress_discrepancies));
+        registry
+            ->GetGauge("artemis_stress_seeds_per_entry",
+                       "Stress seeds sampled per validated program", vm_label)
+            ->Set(static_cast<double>(params.campaign.validator.stress_seeds));
+      }
       WriteFileAtomicLocal(prom_path, registry->PrometheusText());
     }
 

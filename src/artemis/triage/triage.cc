@@ -5,6 +5,7 @@
 
 #include "src/jaguar/bytecode/compiler.h"
 #include "src/jaguar/jit/verify/verifier.h"
+#include "src/jaguar/support/json.h"
 #include "src/jaguar/vm/engine.h"
 #include "src/jaguar/vm/outcome.h"
 
@@ -134,6 +135,11 @@ std::string TriageReport::DedupKey() const {
   if (!invariant.empty()) {
     key += "!" + invariant;
   }
+  if (stress) {
+    // The compilation-space point is part of the identity: replaying this exact stress seed
+    // is what reproduces the defect.
+    key += "#s" + jaguar::Hex64(stress_seed);
+  }
   return key;
 }
 
@@ -156,6 +162,9 @@ std::string TriageReport::ToString() const {
     }
     out += "}";
   }
+  if (stress) {
+    out += " [stress seed " + jaguar::Hex64(stress_seed) + "]";
+  }
   if (!detail.empty()) {
     out += " — " + detail;
   }
@@ -166,7 +175,8 @@ bool operator==(const TriageReport& a, const TriageReport& b) {
   return a.reproduced == b.reproduced && a.kind == b.kind && a.stage == b.stage &&
          a.partner == b.partner && a.invariant == b.invariant &&
          a.invariant_stage == b.invariant_stage && a.candidates == b.candidates &&
-         a.detail == b.detail && a.runs == b.runs;
+         a.detail == b.detail && a.stress == b.stress && a.stress_seed == b.stress_seed &&
+         a.runs == b.runs;
 }
 
 TriageReport TriageDiscrepancy(const jaguar::Program& program, const VmConfig& vm,
@@ -180,6 +190,12 @@ TriageReport TriageDiscrepancy(const jaguar::Program& program, const VmConfig& v
   base.disabled_passes.clear();
   base.observer = nullptr;
   base.trace_level = jaguar::observe::TraceLevel::kOff;
+  // Stress replay: pin the recorded stress seed so every triage run re-enters the exact
+  // compilation-space point that surfaced the discrepancy. Stress decisions key on site
+  // names, not pass positions, so bisection's disabled stages never shift them.
+  base.stress = params.stress;
+  report.stress = params.stress.enabled;
+  report.stress_seed = params.stress.seed;
 
   const BcProgram bc = jaguar::CompileProgram(program);
 
@@ -311,6 +327,49 @@ TriageReport TriageDiscrepancy(const jaguar::Program& program, const VmConfig& v
       return report;
     }
   }
+
+  // Stress disambiguation: bisection exhausted every pass knob without restoring agreement.
+  // Re-run the baseline under a handful of pinned stress seeds, each a different compilation
+  // space point (different pass subsets, orders, thresholds, placements). A symptom that
+  // survives all of them cannot live in pass composition — the defect is in the non-pass
+  // machinery — and the baseline's own telemetry then separates the two remaining suspects:
+  // deopt events mean the deopt/recompile path executed (and is the prime suspect); their
+  // absence leaves IR building as the only machinery every compilation shares.
+  if (params.stress_probes > 0) {
+    int persisted = 0;
+    for (int k = 0; k < params.stress_probes; ++k) {
+      VmConfig probed = base;
+      probed.stress.enabled = true;
+      // Derived from the pinned seed (or a fixed constant when triage ran unstressed), so the
+      // probe set — and therefore the attribution — is a pure function of the inputs.
+      probed.stress.seed = jaguar::DeriveStressSeed(
+          params.stress.enabled ? params.stress.seed : 0x7219A6EDB15EC705ULL, 0, k);
+      const RunOutcome outcome = jaguar::RunProgram(bc, probed);
+      ++report.runs;
+      if (Fixed(report.kind, outcome, reference)) {
+        break;  // some compilation-space point hides it: the defect IS composition-sensitive
+      }
+      ++persisted;
+    }
+    if (persisted == params.stress_probes) {
+      bool saw_deopt = false;
+      if (baseline.telemetry != nullptr) {
+        for (const jaguar::observe::TraceEvent& event : baseline.telemetry->events) {
+          saw_deopt |= event.kind == jaguar::observe::EventKind::kDeopt;
+        }
+      }
+      report.stage = saw_deopt ? "deopt" : "ir-build";
+      report.detail = "symptom persists across " + std::to_string(persisted) +
+                      " stress probes: defect is independent of pass composition; " +
+                      (saw_deopt ? "baseline observed deoptimization events"
+                                 : "no deoptimization events in the baseline");
+      return report;
+    }
+    report.detail = "no stage attribution, and a stress probe hides the symptom: defect is "
+                    "composition-sensitive but not isolable to a stage";
+    return report;
+  }
+
   report.detail = "no stage attribution: defect is outside the bisectable pipeline";
   return report;
 }

@@ -35,6 +35,18 @@ struct TriageParams {
   bool use_verifier = true;
   // Upper bound on bisection VM runs (the pairwise sweep is quadratic in stages).
   int max_stage_runs = 160;
+
+  // Stress replay: when `stress.enabled`, every triage run (baseline, verifier, bisection)
+  // executes under this pinned stress seed, so a discrepancy the stress axis surfaced is
+  // re-triaged inside the exact perturbed compilation space that revealed it.
+  jaguar::StressConfig stress;
+
+  // Stress disambiguation: when bisection leaves a non-crash discrepancy unattributed, probe
+  // the baseline under this many pinned stress seeds. A symptom that persists across every
+  // probe is independent of pass composition/order/thresholds — the defect lives in the
+  // non-pass machinery — and the baseline's own telemetry (deopt events observed?) then picks
+  // between the deopt/recompile path and IR building. 0 disables the phase.
+  int stress_probes = 4;
 };
 
 // The structured attribution for one discrepancy.
@@ -60,6 +72,12 @@ struct TriageReport {
   std::vector<std::string> candidates;
 
   std::string detail;
+
+  // Stress provenance: set when the triage replayed a pinned stress seed (TriageParams::
+  // stress). The seed joins DedupKey() — two attributions are one report only when they also
+  // reproduce under the same compilation-space point.
+  bool stress = false;
+  uint64_t stress_seed = 0;
 
   // VM invocations this triage consumed (reference + baseline + verifier + bisection runs);
   // the campaign folds it into its throughput accounting.

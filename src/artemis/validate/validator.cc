@@ -47,6 +47,14 @@ int ValidationReport::Discrepancies() const {
   return n;
 }
 
+int ValidationReport::StressDiscrepancies() const {
+  int n = 0;
+  for (const auto& point : stress_points) {
+    n += point.kind != DiscrepancyKind::kNone ? 1 : 0;
+  }
+  return n;
+}
+
 ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config,
                           const ValidatorParams& params, jaguar::Rng& rng) {
   ValidationReport report;
@@ -65,6 +73,50 @@ ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config
   // fully-default run would also witness; Artemis still mutates it (the paper reports several
   // duplicates of user-visible bugs), but we record the fact for the comparative study.
   report.seed_self_discrepancy = !report.seed_jit.SameObservable(report.seed_interp);
+
+  // Stress-mode sweep (the second exploration axis): the same seed, the same VM, K perturbed
+  // compilation spaces. Verdict rules mirror the mutant loop's, with R (the seed's default
+  // JIT-trace run) as the metamorphic reference.
+  for (int k = 0; k < params.stress_seeds; ++k) {
+    StressVerdict point;
+    point.stress_seed = jaguar::DeriveStressSeed(params.stress_seed_base, 0, k);
+    point.outcome = jaguar::RunProgram(seed_bc, vm_config.WithStressSeed(point.stress_seed));
+    const RunOutcome& stressed = point.outcome;
+    point.suspected_bugs = NewlyFired(stressed, report.seed_jit);
+
+    if (stressed.status == RunStatus::kTimeout) {
+      if (report.seed_interp.status == RunStatus::kOk &&
+          report.seed_interp.steps * 4 < stressed.steps) {
+        point.kind = DiscrepancyKind::kPerformance;
+        point.detail = "stressed JIT execution exhausted the budget; interpretation finished in " +
+                       std::to_string(report.seed_interp.steps) + " steps";
+      } else {
+        point.discarded = true;
+        point.detail = "stress point exceeded the step budget";
+      }
+    } else if (!stressed.SameObservable(report.seed_jit)) {
+      if (stressed.status == RunStatus::kVmCrash ||
+          report.seed_jit.status == RunStatus::kVmCrash) {
+        point.kind = DiscrepancyKind::kCrash;
+        point.detail = std::string(jaguar::ComponentName(stressed.crash_component)) + " (" +
+                       stressed.crash_kind + "): " + stressed.crash_message;
+      } else {
+        point.kind = DiscrepancyKind::kMisCompilation;
+        point.detail = "output diverged from the seed's default JIT-trace run under stress";
+      }
+    } else if (params.perf_ratio > 0 && report.seed_interp.status == RunStatus::kOk &&
+               stressed.steps > params.perf_ratio * report.seed_interp.steps &&
+               stressed.steps > report.seed_interp.steps + params.perf_floor &&
+               !(report.seed_jit.steps > params.perf_ratio * report.seed_interp.steps &&
+                 report.seed_jit.steps > report.seed_interp.steps + params.perf_floor)) {
+      // Pathological only under stress — the default trace was within budget, so the stressed
+      // compilation choices themselves caused the slowdown.
+      point.kind = DiscrepancyKind::kPerformance;
+      point.detail = "stressed JIT used " + std::to_string(stressed.steps) + " steps vs " +
+                     std::to_string(report.seed_interp.steps) + " interpreted";
+    }
+    report.stress_points.push_back(std::move(point));
+  }
 
   JonmParams jonm = params.jonm;
   // Pushes the verdict and notifies the guidance hook immediately — coverage-guided

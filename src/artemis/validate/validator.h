@@ -50,6 +50,21 @@ struct MutantVerdict {
   std::shared_ptr<const jaguar::Program> mutant_program;
 };
 
+// One stress point: the *unmutated* seed re-run under a derived stress seed (jit/stress).
+// The oracle is again metamorphic — every stress perturbation is a legal compilation choice,
+// so a healthy JIT must reproduce the seed's default JIT-trace observables exactly. Each
+// (seed, vendor, stress seed) triple is one point of compilation space the default trace and
+// JoNM's mutants never visit.
+struct StressVerdict {
+  uint64_t stress_seed = 0;
+  DiscrepancyKind kind = DiscrepancyKind::kNone;
+  bool discarded = false;        // timed out under stress without performance evidence
+  std::string detail;
+  jaguar::RunOutcome outcome;    // the seed's run under the stressed VM
+  // Ground-truth root causes: defects that fired under stress but not in the default run.
+  std::vector<jaguar::BugId> suspected_bugs;
+};
+
 struct ValidationReport {
   bool seed_usable = true;       // seed compiled and ran (no timeout) under the VM
   std::string seed_unusable_reason;
@@ -59,9 +74,11 @@ struct ValidationReport {
   jaguar::RunOutcome seed_interp;
   jaguar::RunOutcome seed_jit;
   std::vector<MutantVerdict> mutants;
+  std::vector<StressVerdict> stress_points;  // one per sampled stress seed
 
   int Discrepancies() const;
-  bool FoundAny() const { return Discrepancies() > 0; }
+  int StressDiscrepancies() const;
+  bool FoundAny() const { return Discrepancies() + StressDiscrepancies() > 0; }
 };
 
 struct ValidatorParams {
@@ -83,6 +100,12 @@ struct ValidatorParams {
   // seed's, not just for discrepancies. The evolving-corpus service (src/artemis/corpus)
   // promotes exactly these mutants into the seed pool; memory stays bounded by max_iter.
   bool keep_new_trace_mutants = false;
+
+  // Stress-mode exploration: re-run the unmutated seed under this many derived stress seeds
+  // (0 = axis off). Campaign drivers mix the seed id into `stress_seed_base` so distinct
+  // seeds sample distinct stress streams; each stress run costs one VM invocation.
+  int stress_seeds = 0;
+  uint64_t stress_seed_base = 0;
 };
 
 // Runs Algorithm 1 for one seed program against one VM configuration.

@@ -246,9 +246,14 @@ class Lowerer {
       interval.end = std::max(interval.end, index);
     };
 
-    // Entry parameters are defined at function entry.
+    // Entry parameters are defined at index -1, strictly before instruction 0: the executor
+    // writes every entry location up front, so two parameters may never share a register via
+    // same-index expiry — the later write would clobber the earlier value before its first
+    // read. (Same-index sharing stays legal between instructions, where operands are read
+    // before destinations are written; OSR entries are the stress case, placing the whole
+    // local frame at once.)
     for (IrId p : ir_.blocks[0].params) {
-      touch(p, 0);
+      touch(p, kEntryIndex);
     }
     for (size_t i = 0; i < code_.size(); ++i) {
       const VInstr& v = code_[i];

@@ -12,6 +12,7 @@
 #include "src/jaguar/bytecode/module.h"
 #include "src/jaguar/jit/bugs.h"
 #include "src/jaguar/jit/ir.h"
+#include "src/jaguar/jit/stress/stress.h"
 #include "src/jaguar/vm/config.h"
 #include "src/jaguar/vm/profile.h"
 
@@ -23,6 +24,12 @@ struct PassContext {
   const MethodRuntime* runtime = nullptr; // branch profiles & failed speculations (may be null)
   const VmConfig* config = nullptr;
   const TierSpec* tier = nullptr;
+  // Per-compilation stress plan (jit/stress); null or disabled outside stress runs. Passes
+  // consult it for placement jitter: declining a legal hoist/sink/peel is itself legal, so
+  // these perturbations can never change observable behavior — only expose latent defects.
+  const StressPlan* stress = nullptr;
+
+  bool PlacementJitter() const { return stress != nullptr && stress->placement_jitter(); }
 
   bool BugOn(BugId id) const { return bugs != nullptr && bugs->Enabled(id); }
 

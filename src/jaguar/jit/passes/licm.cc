@@ -82,7 +82,10 @@ void LicmPass(IrFunction& f, const PassContext& ctx) {
 
           bool hoist = false;
           if (IsPure(instr) && instr.HasDest()) {
-            hoist = true;
+            // Stress placement jitter: leaving an invariant in place is one of the legal
+            // "slots" for it, so a stressed compilation declines a third of the hoists.
+            hoist = !(ctx.PlacementJitter() &&
+                      ctx.stress->Chance("licm-hoist", static_cast<uint64_t>(instr.dest), 1, 3));
           } else if (instr.op == IrOp::kGStore &&
                      ctx.BugOn(BugId::kLicmHoistStorePastGuard) && ctx.HasWarmProfile() &&
                      !cfg.Dominates(b, loop.latches[0])) {

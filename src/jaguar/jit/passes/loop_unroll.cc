@@ -211,6 +211,13 @@ void LoopPeelPass(IrFunction& f, const PassContext& ctx) {
   }
 
   for (const Candidate& c : candidates) {
+    // Stress placement jitter: peeling is optional per candidate, so a stressed compilation
+    // skips half of them — varying which loops get the specialized first iteration.
+    if (ctx.PlacementJitter() &&
+        ctx.stress->Chance("loop-peel", static_cast<uint64_t>(static_cast<uint32_t>(c.header)),
+                           1, 2)) {
+      continue;
+    }
     // Re-locate the preheader's edge into the header (indices are stable: we only append).
     IrBlock& pre = f.blocks[static_cast<size_t>(c.preheader)];
     SuccEdge* entry_edge = nullptr;

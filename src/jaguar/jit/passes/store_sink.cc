@@ -78,6 +78,15 @@ void StoreSinkPass(IrFunction& f, const PassContext& ctx) {
       if (!movable) {
         continue;
       }
+      // Stress placement jitter: both the original slot and the block end are legal homes
+      // for the store, so a stressed compilation keeps a third of them in place.
+      if (ctx.PlacementJitter() &&
+          ctx.stress->Chance("store-sink", (static_cast<uint64_t>(&block - f.blocks.data()) << 24) ^
+                                               (static_cast<uint64_t>(i) << 8) ^
+                                               static_cast<uint64_t>(static_cast<uint32_t>(g)),
+                             1, 3)) {
+        continue;
+      }
       IrInstr store = std::move(block.instrs[i]);
       block.instrs.erase(block.instrs.begin() + static_cast<ptrdiff_t>(i));
       block.instrs.push_back(std::move(store));

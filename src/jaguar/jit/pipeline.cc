@@ -1,6 +1,7 @@
 #include "src/jaguar/jit/pipeline.h"
 
 #include <utility>
+#include <vector>
 
 #include <cstdlib>
 
@@ -104,18 +105,47 @@ IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t os
   JAG_CHECK(level >= 1 && static_cast<size_t>(level) <= config.tiers.size());
   const TierSpec& tier = config.tiers[static_cast<size_t>(level) - 1];
 
+  // Stress modes (DESIGN.md §9): derive this compilation's decision plan and, when threshold
+  // jitter is on, compile under a jittered copy of the config. Both are pure functions of
+  // (stress seed, func, level, osr_pc), so replays are exact.
+  const StressPlan stress_plan(config.stress, func, level, osr_pc);
+  VmConfig jittered;
+  const VmConfig* effective = &config;
+  if (stress_plan.enabled() && config.stress.jitter_thresholds && tier.full_optimization) {
+    jittered = config;
+    // Inline budget in {0, ¼×, ½×, 1×, 2×} — 0 disables inlining outright, the legal extreme.
+    static const int kNum[] = {0, 1, 1, 1, 2};
+    static const int kDen[] = {1, 4, 2, 1, 1};
+    const uint64_t inline_k = stress_plan.Pick("inline-limit", 0, 5);
+    jittered.inline_size_limit = config.inline_size_limit * kNum[inline_k] / kDen[inline_k];
+    // Speculation profile floor in {½×, 1×, 2×, 4×} (never 0: speculation with no profile
+    // evidence at all would not be a choice the default heuristic could make).
+    static const uint64_t kSpecNum[] = {1, 1, 2, 4};
+    static const uint64_t kSpecDen[] = {2, 1, 1, 1};
+    const uint64_t spec_k = stress_plan.Pick("spec-threshold", 0, 4);
+    const uint64_t floor = config.min_profile_for_speculation * kSpecNum[spec_k] / kSpecDen[spec_k];
+    jittered.min_profile_for_speculation = floor > 0 ? floor : 1;
+    effective = &jittered;
+  }
+
   PassContext ctx;
   ctx.program = &program;
   ctx.bugs = bugs;
   ctx.runtime = runtime;
-  ctx.config = &config;
+  ctx.config = effective;
   ctx.tier = &tier;
+  ctx.stress = &stress_plan;
 
   const bool time_passes = observer != nullptr && observer->pass_timing_on();
   const uint64_t build_start = time_passes ? observer->Now() : 0;
   IrFunction ir = BuildIr(program, func, level, osr_pc, bugs);
   if (time_passes) {
     observer->Pass(func, "ir-build", build_start, IrInstrCount(ir));
+    if (stress_plan.enabled()) {
+      // Trace record of the stress decisions: the plan fingerprint identifies the exact
+      // perturbation set, and the subsequent kPass events are the executed decision log.
+      observer->Pass(func, "stress-plan", observer->Now(), stress_plan.fingerprint());
+    }
   }
   ir.profile_backedges = tier.profiles;
   if (config.verify_level == VerifyLevel::kEveryPass) {
@@ -168,22 +198,60 @@ IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t os
   run(DcePass, "dce");
 
   if (tier.full_optimization) {
-    run(InliningPass, "inlining");
-    run(CopyPropagationPass, "copy-propagation");
-    run(ConstantFoldingPass, "constant-folding");
-    run(GvnPass, "gvn");
-    run(DcePass, "dce");
-    run(LicmPass, "licm");
-    run(StrengthReductionPass, "strength-reduction");
-    run(RangeCheckElimPass, "range-check-elimination");
+    // The optimizing tier as an explicit stage list. `group` partitions the passes into
+    // legality groups (DESIGN.md §9): group 0 passes are pinned (fixed slot, never gated —
+    // inlining first, speculation after the scalar/loop groups, the cleanup tail last);
+    // passes sharing a positive group id may exchange slots freely, because every pass
+    // tolerates arbitrary valid IR (the bisection knob already proves any subset can be
+    // dropped, and each pass recomputes its own analyses).
+    struct Stage {
+      void (*pass)(IrFunction&, const PassContext&);
+      const char* name;
+      int group;
+    };
+    std::vector<Stage> stages = {
+        {InliningPass, "inlining", 0},
+        {CopyPropagationPass, "copy-propagation", 1},
+        {ConstantFoldingPass, "constant-folding", 1},
+        {GvnPass, "gvn", 1},
+        {DcePass, "dce", 1},
+        {LicmPass, "licm", 2},
+        {StrengthReductionPass, "strength-reduction", 2},
+        {RangeCheckElimPass, "range-check-elimination", 2},
+    };
     if (tier.speculate) {
-      run(SpeculationPass, "speculation");
+      stages.push_back({SpeculationPass, "speculation", 0});
     }
-    run(StoreSinkPass, "store-sink");
-    run(SimplifyCfgPass, "simplify-cfg");
-    run(LoopPeelPass, "loop-peel");
-    run(ConstantFoldingPass, "constant-folding");
-    run(DcePass, "dce");
+    stages.push_back({StoreSinkPass, "store-sink", 3});
+    stages.push_back({SimplifyCfgPass, "simplify-cfg", 0});
+    stages.push_back({LoopPeelPass, "loop-peel", 3});
+    stages.push_back({ConstantFoldingPass, "constant-folding", 0});
+    stages.push_back({DcePass, "dce", 0});
+
+    if (stress_plan.enabled() && config.stress.shuffle_passes) {
+      // Seeded Fisher-Yates over each legality group's slots; passes outside the group keep
+      // their positions, so group members may swap across pinned stages between them.
+      for (int group = 1; group <= 3; ++group) {
+        std::vector<size_t> slots;
+        for (size_t i = 0; i < stages.size(); ++i) {
+          if (stages[i].group == group) {
+            slots.push_back(i);
+          }
+        }
+        for (size_t i = slots.size(); i > 1; --i) {
+          const uint64_t j = stress_plan.Pick(
+              "shuffle", static_cast<uint64_t>(group) * 64 + (i - 1), i);
+          std::swap(stages[slots[i - 1]], stages[slots[static_cast<size_t>(j)]]);
+        }
+      }
+    }
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (stages[i].group != 0 && config.stress.gate_passes &&
+          stress_plan.Chance("gate", i, 1, 4)) {
+        continue;  // the stress analogue of a disabled_passes bisection toggle
+      }
+      run(stages[i].pass, stages[i].name);
+    }
   }
 
   run(SimplifyCfgPass, "simplify-cfg");

@@ -11,6 +11,12 @@
 
 namespace jaguar {
 
+// Linear index at which entry parameters are defined: strictly before instruction 0, since
+// the executor materializes every entry location before the first instruction runs. Giving
+// parameters a pre-entry definition point keeps live ones from sharing a register through
+// same-index expiry (the up-front entry writes are write-write, not read-then-write).
+inline constexpr int32_t kEntryIndex = -1;
+
 // One virtual register's live interval over linear instruction indices, inclusive.
 struct LiveInterval {
   int32_t vreg = -1;

@@ -1,0 +1,110 @@
+#include "src/jaguar/jit/stress/stress.h"
+
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+// splitmix64 finalizer (Steele et al.) — the same mixer Rng's seeding uses, applied here as a
+// stateless hash so stress decisions are order-independent.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over a site name; site names are short static strings, so this is cheap enough to
+// run per decision and keeps sites independent without a registry.
+uint64_t SiteHash(const char* site) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint64_t>(static_cast<unsigned char>(*p))) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool operator==(const StressConfig& a, const StressConfig& b) {
+  return a.enabled == b.enabled && a.seed == b.seed && a.gate_passes == b.gate_passes &&
+         a.shuffle_passes == b.shuffle_passes && a.jitter_thresholds == b.jitter_thresholds &&
+         a.jitter_placement == b.jitter_placement && a.force_osr == b.force_osr;
+}
+
+Json StressConfigToJson(const StressConfig& config) {
+  Json j = Json::Object();
+  j.Set("enabled", config.enabled);
+  j.Set("seed", config.seed);
+  j.Set("gate_passes", config.gate_passes);
+  j.Set("shuffle_passes", config.shuffle_passes);
+  j.Set("jitter_thresholds", config.jitter_thresholds);
+  j.Set("jitter_placement", config.jitter_placement);
+  j.Set("force_osr", config.force_osr);
+  return j;
+}
+
+StressConfig StressConfigFromJson(const Json& json) {
+  StressConfig config;
+  config.enabled = json.Get("enabled").AsBool(false);
+  config.seed = json.Get("seed").AsUint(0);
+  config.gate_passes = json.Get("gate_passes").AsBool(true);
+  config.shuffle_passes = json.Get("shuffle_passes").AsBool(true);
+  config.jitter_thresholds = json.Get("jitter_thresholds").AsBool(true);
+  config.jitter_placement = json.Get("jitter_placement").AsBool(true);
+  config.force_osr = json.Get("force_osr").AsBool(true);
+  return config;
+}
+
+uint64_t StressMix(uint64_t a, uint64_t b) {
+  return Mix64(a ^ Mix64(b));
+}
+
+uint64_t DeriveStressSeed(uint64_t base_seed, uint64_t seed_id, int k) {
+  return StressMix(StressMix(base_seed, seed_id), 0xA5A5A5A500000000ULL | static_cast<uint64_t>(k));
+}
+
+StressPlan::StressPlan(const StressConfig& config, int func, int level, int32_t osr_pc) {
+  if (!config.enabled) {
+    return;
+  }
+  enabled_ = true;
+  jitter_placement_ = config.jitter_placement;
+  // The compilation identity folds into one base word; decision sites mix on top of it.
+  uint64_t id = (static_cast<uint64_t>(static_cast<uint32_t>(func)) << 40) ^
+                (static_cast<uint64_t>(static_cast<uint32_t>(level)) << 32) ^
+                static_cast<uint64_t>(static_cast<uint32_t>(osr_pc + 1));
+  base_ = StressMix(config.seed, id);
+}
+
+bool StressPlan::Chance(const char* site, uint64_t salt, uint32_t num, uint32_t den) const {
+  if (!enabled_) {
+    return false;
+  }
+  JAG_CHECK(den > 0 && num <= den);
+  return Pick(site, salt, den) < num;
+}
+
+uint64_t StressPlan::Pick(const char* site, uint64_t salt, uint64_t bound) const {
+  JAG_CHECK(bound > 0);
+  if (!enabled_) {
+    return 0;
+  }
+  // Stateless per-site draw; the multiply-shift keeps low-entropy bounds unbiased enough for
+  // heuristic coins (exact uniformity is not load-bearing, determinism is).
+  const uint64_t word = StressMix(base_ ^ SiteHash(site), salt);
+  return word % bound;
+}
+
+uint64_t OsrStressDivisor(const StressConfig& config, int func, int32_t pc, int level) {
+  if (!config.enabled || !config.force_osr) {
+    return 1;
+  }
+  const uint64_t id = (static_cast<uint64_t>(static_cast<uint32_t>(func)) << 40) ^
+                      (static_cast<uint64_t>(static_cast<uint32_t>(level)) << 32) ^
+                      static_cast<uint64_t>(static_cast<uint32_t>(pc));
+  const uint64_t word = StressMix(config.seed ^ 0x0523CA5E0523CA5EULL, id);
+  return 1ULL << (word % 7);  // {1, 2, 4, ..., 64}
+}
+
+}  // namespace jaguar

@@ -1,0 +1,91 @@
+// Seeded JIT stress modes — the second axis of compilation-space exploration.
+//
+// JoNM explores the space of JIT *traces* by mutating the seed program; production JITs add a
+// per-program axis: seeded stress flags that randomize internal compiler decisions (HotSpot's
+// StressGCM / StressLCM / StressIGVN). This module is that axis for Jaguar. A StressConfig
+// carries a 64-bit seed and a set of decision classes to perturb; every perturbation is a
+// *legal* choice the compiler was free to make anyway (skip an optional pass, reorder passes
+// within a legality group, tighten or loosen a heuristic threshold, decline a hoist or sink,
+// enter OSR earlier), so with defects disabled every stress point must be observably identical
+// to the interpreter — the metamorphic differential oracle of DESIGN.md §9.
+//
+// Determinism contract: every decision is a pure function of (stress seed, function index,
+// tier level, OSR pc, decision-site name, site salt). No global state, no iteration-order or
+// thread-count dependence — identical (program, vendor, stress seed) triples replay the exact
+// same compilations, which is what lets triage reproduce a stress-found defect from the seed
+// recorded in its report.
+
+#ifndef SRC_JAGUAR_JIT_STRESS_STRESS_H_
+#define SRC_JAGUAR_JIT_STRESS_STRESS_H_
+
+#include <cstdint>
+
+#include "src/jaguar/support/json.h"
+
+namespace jaguar {
+
+// Which decision classes the stress engine perturbs. All classes default on: a StressConfig
+// with just `enabled` + `seed` set is the normal campaign configuration, and the per-class
+// switches exist so tests can isolate one axis.
+struct StressConfig {
+  bool enabled = false;
+  uint64_t seed = 0;
+
+  bool gate_passes = true;         // skip optional optimization passes at random
+  bool shuffle_passes = true;      // permute passes within legality groups
+  bool jitter_thresholds = true;   // randomize inlining / speculation heuristics
+  bool jitter_placement = true;    // randomize LICM hoists, GCM sinks, peel candidates
+  bool force_osr = true;           // lower OSR thresholds so loop compilations fire early
+};
+
+bool operator==(const StressConfig& a, const StressConfig& b);
+inline bool operator!=(const StressConfig& a, const StressConfig& b) { return !(a == b); }
+
+// Canonical JSON codec (keys sorted by Json's map backing, so Dump() round-trips
+// byte-identically). FromJson tolerates missing fields — old journals and sidecars written
+// before the stress axis decode to the default (disabled) config.
+Json StressConfigToJson(const StressConfig& config);
+StressConfig StressConfigFromJson(const Json& json);
+
+// splitmix64-finalizer mix of two words — the shared hash behind every stress decision.
+uint64_t StressMix(uint64_t a, uint64_t b);
+
+// Derives the k-th stress seed a campaign samples for one corpus entry / seed program.
+// Mixing the seed id in keeps distinct entries on distinct stress streams.
+uint64_t DeriveStressSeed(uint64_t base_seed, uint64_t seed_id, int k);
+
+// Per-compilation decision plan. Constructed at the top of CompileToIr from the VmConfig's
+// StressConfig and the compilation identity; passes reach it through PassContext::stress.
+// Decisions are stateless hashes, so the order (or number) of queries never matters.
+class StressPlan {
+ public:
+  StressPlan() = default;  // disabled plan: every query says "don't perturb"
+  StressPlan(const StressConfig& config, int func, int level, int32_t osr_pc);
+
+  bool enabled() const { return enabled_; }
+  bool placement_jitter() const { return enabled_ && jitter_placement_; }
+
+  // True with probability num/den at the decision site named `site`; `salt` distinguishes
+  // repeated sites (instruction ids, block indices, stage positions).
+  bool Chance(const char* site, uint64_t salt, uint32_t num, uint32_t den) const;
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t Pick(const char* site, uint64_t salt, uint64_t bound) const;
+
+  // Identifies the plan in trace events (the "stress-plan" pass event's value field).
+  uint64_t fingerprint() const { return base_; }
+
+ private:
+  bool enabled_ = false;
+  bool jitter_placement_ = false;
+  uint64_t base_ = 0;
+};
+
+// Divisor applied to a tier's OSR back-edge threshold under force_osr, for the loop header at
+// `pc` of function `func`: a power of two in [1, 64], so some loops compile at 1/64th of the
+// configured threshold while others keep the default — exploring early-OSR entry states.
+uint64_t OsrStressDivisor(const StressConfig& config, int func, int32_t pc, int level);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_STRESS_STRESS_H_

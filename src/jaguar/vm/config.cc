@@ -65,6 +65,19 @@ VmConfig VmConfig::WithTrace(observe::TraceLevel level) const {
   return c;
 }
 
+VmConfig VmConfig::WithStress(const StressConfig& stress_config) const {
+  VmConfig c = *this;
+  c.stress = stress_config;
+  return c;
+}
+
+VmConfig VmConfig::WithStressSeed(uint64_t seed) const {
+  StressConfig s;
+  s.enabled = true;
+  s.seed = seed;
+  return WithStress(s);
+}
+
 VmConfig HotSniffConfig() {
   VmConfig c;
   c.name = "HotSniff";

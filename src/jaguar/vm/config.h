@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/jaguar/jit/bug_ids.h"
+#include "src/jaguar/jit/stress/stress.h"
 #include "src/jaguar/observe/events.h"
 
 namespace jaguar {
@@ -85,6 +86,12 @@ struct VmConfig {
 
   bool PassDisabled(const std::string& pass_name) const;
 
+  // Seeded stress modes (jit/stress): when enabled, the pipeline gates/shuffles optional
+  // passes, jitters heuristic thresholds and placement choices, and the engine lowers OSR
+  // thresholds — all deterministically from `stress.seed`, so each (program, vendor, stress
+  // seed) triple is one reproducible point in compilation space.
+  StressConfig stress;
+
   // JIT-trace recording (full temperature vectors; the summary is always recorded).
   bool record_full_trace = false;
   size_t max_trace_vectors = 4096;
@@ -108,6 +115,9 @@ struct VmConfig {
   VmConfig WithVerify(VerifyLevel level) const;
   VmConfig WithPassDisabled(const std::string& pass_name) const;
   VmConfig WithTrace(observe::TraceLevel level) const;
+  VmConfig WithStress(const StressConfig& stress_config) const;
+  // Convenience: all stress classes on under `seed`.
+  VmConfig WithStressSeed(uint64_t seed) const;
 };
 
 // The three simulated vendors, with their latent defect sets.

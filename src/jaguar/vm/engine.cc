@@ -49,7 +49,19 @@ int DefaultController::PickOsrLevel(Vm& vm, int func, int32_t header_pc) {
   const uint64_t count = rt.backedge_counts[header_pc];
   int level = 0;
   for (size_t i = 0; i < cfg.tiers.size(); ++i) {
-    if (cfg.tiers[i].osr_threshold != 0 && count >= cfg.tiers[i].osr_threshold) {
+    uint64_t threshold = cfg.tiers[i].osr_threshold;
+    if (threshold != 0) {
+      // Forced-OSR stress: divide this loop's threshold by a seeded power of two, so some
+      // headers OSR-compile at 1/64th of their warm-up — exploring early loop-entry states
+      // the default policy never reaches (jit/stress, DESIGN.md §9).
+      const uint64_t divisor =
+          OsrStressDivisor(cfg.stress, func, header_pc, static_cast<int>(i) + 1);
+      threshold = threshold / divisor;
+      if (threshold == 0) {
+        threshold = 1;
+      }
+    }
+    if (threshold != 0 && count >= threshold) {
       level = static_cast<int>(i) + 1;
     }
   }

@@ -1,0 +1,376 @@
+// Determinism and persistence suite for the stress axis:
+//
+//   1. A (program, vendor, stress seed) triple is one reproducible compilation-space point:
+//      the same triple always executes the same pass decision log, and campaigns with the
+//      stress axis enabled produce one OutcomeDigest across repeat runs and thread counts.
+//   2. Stress provenance survives every persistence layer byte-identically: StressConfig
+//      JSON, corpus sidecars, the journal's triage/shard/params codecs, and a SIGKILLed
+//      durable campaign resumed from its journal.
+//   3. A TriageReport's recorded stress seed replays the exact triage (stress-point defects
+//      stay attributable after the fact, from the report alone).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/artemis/corpus/corpus.h"
+#include "src/artemis/service/durable.h"
+#include "src/artemis/service/journal.h"
+#include "src/artemis/triage/triage.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/stress/stress.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/observe/tracer.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+namespace fs = std::filesystem;
+using jaguar::BcProgram;
+using jaguar::Json;
+using jaguar::RunOutcome;
+using jaguar::StressConfig;
+using jaguar::VmConfig;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "jag_stress_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+jaguar::Program ParseAndCheck(const char* source) {
+  jaguar::Program program = jaguar::ParseProgram(source);
+  jaguar::Check(program);
+  return program;
+}
+
+VmConfig FastJit() {
+  VmConfig c;
+  c.name = "StressJit";
+  c.tiers = {
+      jaguar::TierSpec{20, 40, /*full_optimization=*/false, /*speculate=*/false,
+                       /*profiles=*/true},
+      jaguar::TierSpec{60, 120, /*full_optimization=*/true, /*speculate=*/true},
+  };
+  c.min_profile_for_speculation = 16;
+  c.step_budget = 60'000'000;
+  return c;
+}
+
+// --- StressConfig JSON ------------------------------------------------------------------------
+
+TEST(StressConfigJsonTest, RoundTripIsByteIdentical) {
+  StressConfig config;
+  config.enabled = true;
+  config.seed = 0x0123456789ABCDEFULL;
+  config.shuffle_passes = false;
+  config.force_osr = false;
+
+  const std::string dump = jaguar::StressConfigToJson(config).Dump();
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(dump, &parsed));
+  const StressConfig decoded = jaguar::StressConfigFromJson(parsed);
+  EXPECT_EQ(decoded, config);
+  EXPECT_EQ(jaguar::StressConfigToJson(decoded).Dump(), dump);
+}
+
+TEST(StressConfigJsonTest, MissingFieldsDecodeToDefaults) {
+  // Sidecars/journals written before the stress axis existed have no stress object at all;
+  // a lenient decode of an empty object must yield the disabled default.
+  const StressConfig decoded = jaguar::StressConfigFromJson(Json::Object());
+  EXPECT_EQ(decoded, StressConfig{});
+  EXPECT_FALSE(decoded.enabled);
+}
+
+// --- Stateless decisions ----------------------------------------------------------------------
+
+TEST(StressPlanTest, DecisionsDependOnlyOnIdentityAndSite) {
+  StressConfig config;
+  config.enabled = true;
+  config.seed = 99;
+  const jaguar::StressPlan a(config, /*func=*/3, /*level=*/2, /*osr_pc=*/-1);
+  const jaguar::StressPlan b(config, 3, 2, -1);
+  // Same compilation identity → identical decisions, in any query order.
+  EXPECT_EQ(a.Pick("shuffle", 7, 5), b.Pick("shuffle", 7, 5));
+  EXPECT_EQ(a.Chance("gate", 4, 1, 4), b.Chance("gate", 4, 1, 4));
+  EXPECT_EQ(a.Pick("shuffle", 7, 5), b.Pick("shuffle", 7, 5));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // A different stress seed is a different compilation-space point.
+  config.seed = 100;
+  const jaguar::StressPlan c(config, 3, 2, -1);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+
+  // ... and so is the same seed at a different compilation (another function or OSR entry).
+  const jaguar::StressPlan d(StressConfig{true, 99}, 4, 2, -1);
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+// --- Corpus sidecar ---------------------------------------------------------------------------
+
+TEST(CorpusStressTest, SidecarRoundTripsStressSeedByteIdentically) {
+  CorpusMeta meta;
+  meta.id = "00dead00beef0000";
+  meta.origin_seed = 41;
+  meta.methods = 3;
+  meta.steps = 12'345;
+  meta.stress_seed = 0xFEEDFACECAFEF00DULL;
+
+  const std::string dump = meta.ToJson().Dump();
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(dump, &parsed));
+  CorpusMeta decoded;
+  ASSERT_TRUE(CorpusMeta::FromJson(parsed, &decoded));
+  EXPECT_EQ(decoded.stress_seed, meta.stress_seed);
+  EXPECT_EQ(decoded.ToJson().Dump(), dump);
+}
+
+// --- Journal codecs ---------------------------------------------------------------------------
+
+TEST(JournalStressTest, TriageReportRoundTripsStressProvenance) {
+  TriageReport report;
+  report.reproduced = true;
+  report.kind = DiscrepancyKind::kMisCompilation;
+  report.stage = "licm";
+  report.candidates = {"licm"};
+  report.detail = "disabling licm restores agreement";
+  report.runs = 19;
+  report.stress = true;
+  report.stress_seed = 0xABCD;
+
+  const std::string dump = TriageToJson(report).Dump();
+  TriageReport decoded;
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(dump, &parsed));
+  ASSERT_TRUE(TriageFromJson(parsed, &decoded));
+  EXPECT_EQ(decoded, report);
+  EXPECT_EQ(TriageToJson(decoded).Dump(), dump);
+
+  // Stress-free reports keep their historical byte shape: no stress keys at all.
+  report.stress = false;
+  report.stress_seed = 0;
+  EXPECT_EQ(TriageToJson(report).Dump().find("stress"), std::string::npos);
+}
+
+TEST(JournalStressTest, ShardRoundTripsStressPointsAndTriages) {
+  SeedShardResult shard;
+  shard.seed_id = 77;
+  shard.report.seed_usable = true;
+
+  StressVerdict point;
+  point.stress_seed = 0x1111;
+  point.kind = DiscrepancyKind::kNone;
+  point.discarded = true;
+  point.detail = "stress point exceeded the step budget";
+  shard.report.stress_points.push_back(point);
+  point.stress_seed = 0x2222;
+  point.kind = DiscrepancyKind::kMisCompilation;
+  point.discarded = false;
+  point.detail = "output diverged from the seed's default JIT-trace run under stress";
+  point.suspected_bugs = {jaguar::BugId::kGvnLoadAcrossStore};
+  shard.report.stress_points.push_back(point);
+
+  TriageReport triage;
+  triage.reproduced = true;
+  triage.kind = DiscrepancyKind::kMisCompilation;
+  triage.stage = "gvn";
+  triage.stress = true;
+  triage.stress_seed = 0x2222;
+  triage.runs = 20;
+  shard.triaged_stress.push_back({1, triage});
+
+  SeedShardResult decoded;
+  ASSERT_TRUE(ShardFromJson(ShardToJson(shard), &decoded));
+  ASSERT_EQ(decoded.report.stress_points.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(decoded.report.stress_points[i].stress_seed,
+              shard.report.stress_points[i].stress_seed);
+    EXPECT_EQ(decoded.report.stress_points[i].kind, shard.report.stress_points[i].kind);
+    EXPECT_EQ(decoded.report.stress_points[i].discarded,
+              shard.report.stress_points[i].discarded);
+    EXPECT_EQ(decoded.report.stress_points[i].detail, shard.report.stress_points[i].detail);
+    EXPECT_EQ(decoded.report.stress_points[i].suspected_bugs,
+              shard.report.stress_points[i].suspected_bugs);
+  }
+  ASSERT_EQ(decoded.triaged_stress.size(), 1u);
+  EXPECT_EQ(decoded.triaged_stress[0].stress_index, 1u);
+  EXPECT_EQ(decoded.triaged_stress[0].report, triage);
+}
+
+TEST(JournalStressTest, CampaignParamsRoundTripStressSeeds) {
+  CampaignParams params;
+  params.num_seeds = 3;
+  params.validator.stress_seeds = 5;
+  CampaignParams decoded;
+  ASSERT_TRUE(CampaignParamsFromJson(CampaignParamsToJson(params), &decoded));
+  EXPECT_EQ(decoded.validator.stress_seeds, 5);
+  EXPECT_EQ(CampaignParamsToJson(decoded).Dump(), CampaignParamsToJson(params).Dump());
+
+  // Stress-free params serialize without the key, so pre-stress campaign fingerprints (and
+  // therefore journal resumability) are unchanged.
+  params.validator.stress_seeds = 0;
+  EXPECT_EQ(CampaignParamsToJson(params).Dump().find("stress_seeds"), std::string::npos);
+}
+
+// --- Campaign determinism ---------------------------------------------------------------------
+
+CampaignParams StressCampaignParams() {
+  CampaignParams params;
+  params.num_seeds = 4;
+  params.base_seed = 88'000;
+  params.validator.max_iter = 3;
+  params.validator.stress_seeds = 3;
+  params.validator.jonm.synth.min_bound = 5'000;
+  params.validator.jonm.synth.max_bound = 10'000;
+  params.step_budget = 40'000'000;
+  return params;
+}
+
+TEST(StressCampaignDeterminismTest, RepeatRunsAndThreadCountsShareOneDigest) {
+  const VmConfig vm = jaguar::AllVendors()[0];
+  CampaignParams params = StressCampaignParams();
+
+  params.num_threads = 1;
+  const CampaignStats sequential = RunCampaign(vm, params);
+  const CampaignStats again = RunCampaign(vm, params);
+  params.num_threads = 8;
+  const CampaignStats parallel = RunCampaign(vm, params);
+
+  EXPECT_EQ(sequential.OutcomeDigest(), again.OutcomeDigest());
+  EXPECT_EQ(sequential.OutcomeDigest(), parallel.OutcomeDigest());
+  EXPECT_TRUE(sequential.SameOutcome(parallel));
+
+  // Every usable seed sampled exactly stress_seeds points.
+  EXPECT_EQ(sequential.stress_points,
+            (sequential.seeds_run - sequential.seeds_discarded) * 3);
+}
+
+// --- Decision-log replay ----------------------------------------------------------------------
+
+// The executed kPass sequence of a kFull trace (pass name + recorded value, which for the
+// "stress-plan" event is the plan fingerprint) IS the compilation decision log.
+std::vector<std::pair<std::string, uint64_t>> DecisionLog(const BcProgram& bc,
+                                                          const VmConfig& vm) {
+  const RunOutcome out =
+      jaguar::RunProgram(bc, vm.WithTrace(jaguar::observe::TraceLevel::kFull));
+  std::vector<std::pair<std::string, uint64_t>> log;
+  if (out.telemetry != nullptr) {
+    for (const jaguar::observe::TraceEvent& event : out.telemetry->events) {
+      if (event.kind == jaguar::observe::EventKind::kPass && event.name != nullptr) {
+        log.emplace_back(event.name, event.value);
+      }
+    }
+  }
+  return log;
+}
+
+TEST(StressReplayTest, SameTripleExecutesTheSameDecisionLog) {
+  const jaguar::Program program = ParseAndCheck(R"(
+    int hot(int x) {
+      int acc = 0;
+      for (int i = 0; i < 8; i++) { acc += (x + i) * 3 - (acc >> 1); }
+      return acc;
+    }
+    int main() {
+      long total = 0L;
+      for (int r = 0; r < 400; r++) { total += hot(r); }
+      print(total);
+      return 0;
+    }
+  )");
+  const BcProgram bc = jaguar::CompileProgram(program);
+  const VmConfig vm = FastJit();
+
+  const auto log_a = DecisionLog(bc, vm.WithStressSeed(0xA11CE));
+  const auto log_b = DecisionLog(bc, vm.WithStressSeed(0xA11CE));
+  EXPECT_EQ(log_a, log_b) << "same stress seed must replay the same pass decisions";
+  ASSERT_FALSE(log_a.empty());
+
+  bool planned = false;
+  for (const auto& [name, value] : log_a) {
+    planned |= name == "stress-plan";
+  }
+  EXPECT_TRUE(planned) << "stressed full-tier compilations must journal their plan";
+
+  const auto log_c = DecisionLog(bc, vm.WithStressSeed(0xB0B));
+  EXPECT_NE(log_a, log_c) << "distinct stress seeds are distinct compilation-space points";
+}
+
+// --- Triage replay ----------------------------------------------------------------------------
+
+TEST(StressReplayTest, TriageReportStressSeedReplaysTheTriage) {
+  // RecompileCycling reproduces under pinned stress seed 0x1001 (triage_test pins the
+  // unstressed attribution); the report's recorded seed must replay the identical triage.
+  const jaguar::Program program = ParseAndCheck(R"(
+    boolean a = true;
+    boolean b = true;
+    boolean c = true;
+    int l = 0;
+    void o(int i) {
+      if (a) { l += 1; }
+      if (b) { l += 2; }
+      if (c) { l += 3; }
+    }
+    int main() {
+      for (int u = 0; u < 400; u++) { o(u); }
+      for (int round = 0; round < 2000; round++) {
+        a = !a;
+        b = !b;
+        c = !c;
+        for (int u = 0; u < 300; u++) { o(u); }
+      }
+      print(l);
+      return 0;
+    }
+  )");
+  VmConfig vm = FastJit();
+  vm.bugs = {jaguar::BugId::kRecompileCycling};
+  vm.step_budget = 30'000'000;
+
+  TriageParams params;
+  params.stress.enabled = true;
+  params.stress.seed = 0x1001;
+  const TriageReport first = TriageDiscrepancy(program, vm, params);
+  ASSERT_TRUE(first.stress);
+  EXPECT_EQ(first.stress_seed, 0x1001u);
+
+  // Replay purely from the report's provenance, the way a reader of a filed report would.
+  TriageParams replay;
+  replay.stress.enabled = first.stress;
+  replay.stress.seed = first.stress_seed;
+  const TriageReport second = TriageDiscrepancy(program, vm, replay);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(second.DedupKey(), first.DedupKey());
+}
+
+// --- Durable resume ---------------------------------------------------------------------------
+
+TEST(StressDurableTest, KilledAndResumedStressCampaignKeepsTheDigest) {
+  const VmConfig vm = jaguar::AllVendors()[0];
+  CampaignParams params = StressCampaignParams();
+  params.num_threads = 2;
+
+  const CampaignStats reference = RunCampaign(vm, params);
+
+  const std::string dir = FreshDir("durable");
+  DurableOptions durable;
+  durable.journal_path = dir + "/campaign_journal.jsonl";
+  durable.stop_after_seeds = 2;
+  const DurableResult partial = RunDurableCampaign(vm, params, durable);
+  ASSERT_FALSE(partial.complete);
+
+  const DurableResult resumed = ResumeCampaign(durable.journal_path);
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.replayed_seeds, 0);
+  EXPECT_EQ(resumed.stats.OutcomeDigest(), reference.OutcomeDigest());
+  EXPECT_EQ(resumed.stats.stress_points, reference.stress_points);
+}
+
+}  // namespace
+}  // namespace artemis

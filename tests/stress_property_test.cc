@@ -1,0 +1,114 @@
+// Metamorphic property sweep for the seeded stress-mode engine (jit/stress):
+//
+//   Every stress decision — gated passes, shuffled pass order within a legality group,
+//   jittered inlining/speculation thresholds, declined GCM/LICM placements, forced OSR —
+//   is a *legal* compilation choice. So on a defect-free VM, every (program, vendor,
+//   stress seed) triple must be observably identical to pure interpretation: same status,
+//   same output. That is the oracle that makes stress points usable as compilation-space
+//   exploration — any divergence a campaign sees under stress is the VM's fault, never the
+//   perturbation's.
+//
+//   The sweep drives 300 fuzzed programs through all three vendor shapes at 4 derived
+//   stress seeds each; a second pass re-runs a slice under the kEveryPass IR/LIR verifier,
+//   pinning that stressed pipelines still produce structurally valid code after every pass.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/artemis/fuzzer/generator.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/stress/stress.h"
+#include "src/jaguar/lang/printer.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+using jaguar::BcProgram;
+using jaguar::Program;
+using jaguar::RunOutcome;
+using jaguar::RunStatus;
+using jaguar::VmConfig;
+
+// The real vendor tier structure (tier count, speculation, gc cadence) with thresholds
+// scaled down so fuzzed programs heat through every tier quickly, and all injected defects
+// stripped: the metamorphic oracle needs a correct VM.
+VmConfig Scaled(VmConfig vm) {
+  for (jaguar::TierSpec& tier : vm.tiers) {
+    tier.invoke_threshold = std::max<uint64_t>(tier.invoke_threshold / 100, 15);
+    if (tier.osr_threshold > 0) {
+      tier.osr_threshold = std::max<uint64_t>(tier.osr_threshold / 100, 30);
+    }
+  }
+  vm.min_profile_for_speculation = 16;
+  vm.bugs.clear();
+  vm.step_budget = 60'000'000;
+  return vm;
+}
+
+constexpr int kStressSeedsPerVendor = 4;
+
+class StressMetamorphicSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressMetamorphicSweep, EveryStressPointMatchesInterpretation) {
+  FuzzConfig fuzz;
+  const Program program = GenerateProgram(fuzz, GetParam());
+  const BcProgram bc = jaguar::CompileProgram(program);
+  const RunOutcome interp = jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig());
+  if (interp.status == RunStatus::kTimeout || interp.steps > 10'000'000) {
+    GTEST_SKIP() << "seed too hot to leave stress runs budget headroom";
+  }
+
+  for (const VmConfig& vendor : jaguar::AllVendors()) {
+    const VmConfig scaled = Scaled(vendor);
+    for (int k = 0; k < kStressSeedsPerVendor; ++k) {
+      const uint64_t stress_seed = jaguar::DeriveStressSeed(GetParam(), 0, k);
+      const RunOutcome stressed = jaguar::RunProgram(bc, scaled.WithStressSeed(stress_seed));
+      ASSERT_TRUE(stressed.SameObservable(interp))
+          << "seed " << GetParam() << " diverged on " << vendor.name << " at stress seed "
+          << jaguar::Hex64(stress_seed) << ": " << RunStatusName(stressed.status) << " ("
+          << stressed.crash_message << ")\n"
+          << jaguar::PrintProgram(program);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressMetamorphicSweep,
+                         ::testing::Range<uint64_t>(7'000, 7'300));
+
+// A stressed pipeline reorders and drops passes, but whatever it runs must still emit
+// verifier-clean IR/LIR after every pass — shuffling inside a legality group may not break
+// a structural invariant.
+class StressVerifierSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressVerifierSweep, StressedPipelinesStayVerifierClean) {
+  FuzzConfig fuzz;
+  const Program program = GenerateProgram(fuzz, GetParam());
+  const BcProgram bc = jaguar::CompileProgram(program);
+  const RunOutcome interp = jaguar::RunProgram(bc, jaguar::InterpreterOnlyConfig());
+  if (interp.status == RunStatus::kTimeout || interp.steps > 10'000'000) {
+    GTEST_SKIP() << "seed too hot to leave stress runs budget headroom";
+  }
+
+  for (const VmConfig& vendor : jaguar::AllVendors()) {
+    const VmConfig scaled = Scaled(vendor);
+    for (int k = 0; k < 2; ++k) {
+      const uint64_t stress_seed = jaguar::DeriveStressSeed(GetParam(), 0, k);
+      const RunOutcome verified = jaguar::RunProgram(
+          bc, scaled.WithStressSeed(stress_seed).WithVerify(jaguar::VerifyLevel::kEveryPass));
+      ASSERT_NE(verified.status, RunStatus::kVmCrash)
+          << "seed " << GetParam() << " tripped the verifier on " << vendor.name
+          << " at stress seed " << jaguar::Hex64(stress_seed) << ": "
+          << verified.crash_message << "\n"
+          << jaguar::PrintProgram(program);
+      ASSERT_TRUE(verified.SameObservable(interp))
+          << "seed " << GetParam() << " diverged under verify on " << vendor.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressVerifierSweep, ::testing::Range<uint64_t>(7'000, 7'040));
+
+}  // namespace
+}  // namespace artemis

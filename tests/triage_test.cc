@@ -4,9 +4,10 @@
 // For each defect the matrix asserts that
 //   (a) the discrepancy is detected (the triage baseline reproduces it against the
 //       interpreter reference),
-//   (b) bisection + verifier cross-reference attribute it to the expected pipeline stage
-//       (cases where attribution is inherently ambiguous carry an empty expectation and are
-//       documented in EXPERIMENTS.md), and
+//   (b) bisection + verifier cross-reference + stress-probe disambiguation attribute it to
+//       the expected pipeline stage — every row now pins an exact stage; the two formerly
+//       ambiguous rows (DeoptResumeSkipsInstr, RecompileCycling) are resolved by the stress
+//       axis and documented in EXPERIMENTS.md — and
 //   (c) the kEveryPass verifier names the expected invariant — or the defect is semantically
 //       invisible to structural checking (invariant == nullptr), which is precisely why the
 //       bisection layer exists.
@@ -183,7 +184,10 @@ const TriageCase kCases[] = {
      )"},
     {"DeoptResumeSkipsInstr",
      BugId::kDeoptResumeSkipsInstr,
-     {},  // lives in the deopt resume machinery — no bisection knob reaches it
+     // No bisection knob reaches the deopt resume machinery, but the stress-probe phase
+     // pins it: the symptom persists across every perturbed compilation-space point (so it
+     // cannot live in pass composition) and the baseline telemetry shows deopt events.
+     {"deopt"},
      nullptr,
      R"(
        int g = 0;
@@ -419,7 +423,10 @@ const TriageCase kCases[] = {
      )"},
     {"RecompileCycling",
      BugId::kRecompileCycling,
-     {},  // recompile policy has no bisection knob; see EXPERIMENTS.md
+     // The cycling only happens when speculative compilations keep getting invalidated, so
+     // the speculation knob is the bisection fix — and under some stress seeds (jittered
+     // speculation thresholds) the pathology disappears entirely, confirming the attribution.
+     {"speculation"},
      nullptr,
      R"(
        boolean a = true;
@@ -540,6 +547,12 @@ TEST(TriageReportTest, DedupKeyShapes) {
   r.partner = "licm";
   r.invariant = "ssa.def-dominates-use";
   EXPECT_EQ(r.DedupKey(), "mis-compilation@gvn+licm!ssa.def-dominates-use");
+
+  // Stress provenance joins the key: the same attribution at two different compilation-space
+  // points is two distinct reports (each replays only under its own seed).
+  r.stress = true;
+  r.stress_seed = 0xBEEF;
+  EXPECT_EQ(r.DedupKey(), "mis-compilation@gvn+licm!ssa.def-dominates-use#s000000000000beef");
 }
 
 TEST(TriageReportTest, StagesFollowPipelineOrder) {
