@@ -2,6 +2,7 @@
 //
 //   ./artemis_service [service] --corpus-dir DIR [--vm NAME] [--rounds N] [--seeds N]
 //                     [--threads N] [--verify[=LEVEL]] [--triage] [--stress-seeds K]
+//                     [--compile-mode MODE] [--compile-threads N]
 //                     [--resume] [--mutations N] [--no-admission]
 //
 //     Runs rounds of generate → mutate → validate over the evolving on-disk corpus in DIR
@@ -12,7 +13,9 @@
 //     its last completed round. The Prometheus exposition the service rewrites every round
 //     defaults to DIR/metrics.prom; --metrics-out PATH redirects it. --trace[=LEVEL] turns
 //     on VM/JIT event tracing in the workers (per-run counters still flow into the
-//     registry either way).
+//     registry either way). --compile-mode scheduled moves JIT compilation onto background
+//     workers with one deterministic install schedule derived per work item (replayable,
+//     resumable); --compile-mode background free-runs the workers for throughput.
 //
 //   ./artemis_service campaign --corpus-dir DIR [--vm NAME] [--seeds N] [--threads N]
 //                     [--verify[=LEVEL]] [--triage] [--resume] [--stop-after N]
@@ -40,7 +43,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: artemis_service [service] --corpus-dir DIR [--vm NAME] [--rounds N]\n"
                "           [--seeds N] [--mutations N] [--threads N] [--verify[=LEVEL]]\n"
-               "           [--triage] [--stress-seeds K] [--resume] [--no-admission]\n"
+               "           [--triage] [--stress-seeds K] [--compile-mode MODE]\n"
+               "           [--compile-threads N] [--resume] [--no-admission]\n"
                "           [--trace[=LEVEL]] [--metrics-out PATH]\n"
                "       artemis_service campaign --corpus-dir DIR [--vm NAME] [--seeds N]\n"
                "           [--threads N] [--verify[=LEVEL]] [--triage] [--resume]\n"
@@ -55,6 +59,7 @@ artemis::CampaignParams BaseParams(const cli::CommonOptions& options,
   params.triage = options.triage;
   params.validator.max_iter = 8;
   params.validator.stress_seeds = options.stress_seeds;
+  params.validator.compile = cli::CompileOptionsOf(options);
   cli::ApplyPaperSynthBounds(vm_name, &params.validator);
   return params;
 }

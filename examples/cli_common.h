@@ -13,6 +13,9 @@
 //   --resume                      continue from an existing journal instead of starting fresh
 //   --rounds N                    service rounds to run in this invocation
 //   --stress-seeds K              stress compilation-space points sampled per program (0 = off)
+//   --compile-mode MODE           sync|background|scheduled: when JIT artifacts are installed
+//                                 (scheduled = deterministic per-seed install schedules)
+//   --compile-threads N           background compiler worker threads (background/scheduled)
 //   --trace[=off|boundary|full]   VM/JIT event tracing level (bare = full)
 //   --trace-out PATH              write the recorded trace as Chrome trace_event JSONL
 //   --metrics-out PATH            write the metrics registry as Prometheus text exposition
@@ -45,6 +48,8 @@ struct CommonOptions {
   bool resume = false;
   bool triage = false;
   int stress_seeds = 0;     // stress points sampled per validated program (0 = axis off)
+  jaguar::CompileMode compile_mode = jaguar::CompileMode::kSync;
+  int compile_threads = 0;  // 0 → CompileConfig default
   jaguar::VerifyLevel verify = jaguar::VerifyLevel::kOff;
   jaguar::observe::TraceLevel trace = jaguar::observe::TraceLevel::kOff;
   bool trace_given = false;   // --trace appeared (lets drivers infer full from --trace-out)
@@ -109,6 +114,18 @@ inline void ApplyPaperSynthBounds(const std::string& vm_name, artemis::Validator
   }
 }
 
+// Translates the --compile-mode/--compile-threads flags into a CompileConfig. The schedule
+// seed is NOT set here: campaigns derive one per corpus seed (DeriveScheduleSeed), and
+// single-program drivers default to 0.
+inline jaguar::CompileConfig CompileOptionsOf(const CommonOptions& options) {
+  jaguar::CompileConfig compile;
+  compile.mode = options.compile_mode;
+  if (options.compile_threads > 0) {
+    compile.threads = options.compile_threads;
+  }
+  return compile;
+}
+
 // Parses every common flag out of argv; unrecognized arguments are returned in
 // `positional`, in order. Exits with status 2 on a malformed common flag.
 inline CommonOptions ParseArgs(int argc, char** argv) {
@@ -146,14 +163,23 @@ inline CommonOptions ParseArgs(int argc, char** argv) {
     return 0;
   };
 
+  std::string compile_mode_name;
   for (int i = 1; i < argc; ++i) {
     int consumed = 0;
     if ((consumed = int_flag("--threads", i, &options.threads)) != 0 ||
         (consumed = int_flag("--seeds", i, &options.seeds)) != 0 ||
         (consumed = int_flag("--rounds", i, &options.rounds)) != 0 ||
         (consumed = int_flag("--stress-seeds", i, &options.stress_seeds)) != 0 ||
+        (consumed = int_flag("--compile-threads", i, &options.compile_threads)) != 0 ||
         (consumed = string_flag("--vm", i, &options.vm)) != 0 ||
         (consumed = string_flag("--corpus-dir", i, &options.corpus_dir)) != 0) {
+      i += consumed - 1;
+    } else if ((consumed = string_flag("--compile-mode", i, &compile_mode_name)) != 0) {
+      if (!jaguar::ParseCompileMode(compile_mode_name, &options.compile_mode)) {
+        std::fprintf(stderr, "unknown compile mode '%s' (sync|background|scheduled)\n",
+                     compile_mode_name.c_str());
+        std::exit(2);
+      }
       i += consumed - 1;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       options.verify = jaguar::VerifyLevel::kEveryPass;

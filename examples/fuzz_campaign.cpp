@@ -1,7 +1,8 @@
 // A miniature validation campaign from the command line.
 //
 //   ./fuzz_campaign [num_seeds] [vendor] [--threads N] [--verify[=LEVEL]] [--triage]
-//                   [--stress-seeds K] [--trace[=LEVEL]] [--trace-out PATH]
+//                   [--stress-seeds K] [--compile-mode MODE] [--compile-threads N]
+//                   [--trace[=LEVEL]] [--trace-out PATH]
 //                   [--metrics-out PATH] [--bench-out PATH]
 //
 // vendor ∈ {hotsniff, openjade, artree} (default: all three; also accepted via --vm NAME and
@@ -17,6 +18,11 @@
 // --stress-seeds K additionally re-runs every seed at K seeded stress points (perturbed pass
 // sets/orders/thresholds/placements — the HotSpot StressGCM/StressLCM analogue), a second
 // compilation-space axis orthogonal to JoNM's program mutations.
+// --compile-mode scheduled explores the third axis: JIT requests run on background workers
+// and installs land at deterministic per-seed points (one derived schedule seed per corpus
+// seed), so discrepancies stay replayable. --compile-mode background free-runs for raw
+// throughput; install timing then depends on the machine, so use it for benchmarking, not
+// for report provenance. --compile-threads sizes the worker pool.
 //
 // Observability (src/jaguar/observe/): --metrics-out dumps the campaign's Prometheus
 // registry, --trace-out the merged per-thread event rings as Chrome trace_event JSONL
@@ -131,6 +137,7 @@ int main(int argc, char** argv) {
     params.triage = options.triage;
     params.validator.max_iter = 8;
     params.validator.stress_seeds = options.stress_seeds;
+    params.validator.compile = cli::CompileOptionsOf(options);
     cli::ApplyPaperSynthBounds(vm.name, &params.validator);
 
     const artemis::CampaignStats stats = artemis::RunCampaign(vm, params);
@@ -138,10 +145,16 @@ int main(int argc, char** argv) {
     total_invocations += stats.vm_invocations;
     std::printf("%s\n", stats.ToString().c_str());
     for (const auto& report : stats.reports) {
+      std::string provenance;
+      if (report.stress) {
+        provenance += " stress=" + jaguar::Hex64(report.stress_seed);
+      }
+      if (report.compile_mode == jaguar::CompileMode::kScheduled) {
+        provenance += " schedule=" + jaguar::Hex64(report.schedule_seed);
+      }
       std::printf("  [%s]%s seed=%llu%s %s\n", DiscrepancyName(report.kind),
                   report.duplicate ? " (duplicate)" : "",
-                  static_cast<unsigned long long>(report.seed_id),
-                  report.stress ? (" stress=" + jaguar::Hex64(report.stress_seed)).c_str() : "",
+                  static_cast<unsigned long long>(report.seed_id), provenance.c_str(),
                   report.detail.c_str());
       for (jaguar::BugId bug : report.root_causes) {
         std::printf("      cause: %s\n", jaguar::BugName(bug));
@@ -189,6 +202,7 @@ int main(int argc, char** argv) {
     jaguar::Json bench = jaguar::Json::Object();
     bench.Set("bench", std::string("vm"));
     bench.Set("schema", 1);
+    bench.Set("compile_mode", std::string(jaguar::CompileModeName(options.compile_mode)));
     bench.Set("seeds", total_seeds);
     bench.Set("vm_invocations", total_invocations);
     bench.Set("wall_seconds", wall_seconds);

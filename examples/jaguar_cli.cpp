@@ -20,6 +20,13 @@
 //   --stress-seeds K                     (validate mode) additionally re-run the seed at K
 //                                        seeded stress points (perturbed pass sets/orders/
 //                                        thresholds); each must stay interpreter-identical
+//   --compile-mode sync|background|scheduled
+//                                        when JIT artifacts install: sync (on the request
+//                                        point), background (free-running workers), or
+//                                        scheduled (workers + deterministic install points;
+//                                        the schedule seed is the file's content hash, so
+//                                        the same file always replays the same timeline)
+//   --compile-threads N                  background compiler worker threads
 //   --trace[=off|boundary|full]          record VM/JIT events during run/trace modes
 //   --trace-out PATH                     write the recorded events as Chrome trace_event
 //                                        JSONL (implies --trace=full if no level was given)
@@ -77,6 +84,7 @@ int Usage() {
                "usage: jaguar_cli run|trace|disasm|validate <file.jag> [vendor]\n"
                "       jaguar_cli ir <file.jag> <function> <tier>\n"
                "flags: --verify[=off|boundary|every-pass]  --triage --stress-seeds K (validate mode)\n"
+               "       --compile-mode sync|background|scheduled  --compile-threads N\n"
                "       --trace[=off|boundary|full]  --trace-out PATH  --metrics-out PATH\n");
   return 2;
 }
@@ -162,6 +170,17 @@ int main(int argc, char** argv) {
         !options.vm.empty() ? options.vm : (args.size() > 2 ? args[2] : "reference");
     jaguar::VmConfig vendor = cli::VendorByName(vendor_name);
     vendor.verify_level = verify;
+    // Content-hash schedule seed: the same file + flags always replays the same install
+    // timeline (validate mode picks its stress base the same way). run/trace apply it to the
+    // vendor directly; validate threads it through ValidatorParams so only the JIT runs of
+    // Algorithm 1 move off the execution thread (the interpreter references stay sync).
+    jaguar::CompileConfig compile = cli::CompileOptionsOf(options);
+    if (compile.mode == jaguar::CompileMode::kScheduled) {
+      compile.schedule_seed = jaguar::Fnv1a64(source);
+    }
+    if (mode == "run" || mode == "trace") {
+      vendor.compile = compile;
+    }
 
     // Observability: --trace-out implies full event tracing unless a level was given;
     // --metrics-out attaches a registry that every run (validate included) flushes into.
@@ -212,6 +231,7 @@ int main(int argc, char** argv) {
       // One fixed stream for the CLI (campaign drivers mix the seed id in instead): the same
       // file + vendor + K always replays the same K compilation-space points.
       params.stress_seed_base = jaguar::Fnv1a64(source);
+      params.compile = compile;
       cli::ApplyPaperSynthBounds(vendor_name, &params);
       jaguar::Rng rng(20'26);
       const artemis::ValidationReport report =
@@ -241,13 +261,16 @@ int main(int argc, char** argv) {
           tparams.stress = vendor.stress;
           tparams.stress.enabled = true;
           tparams.stress.seed = point.stress_seed;
+          tparams.compile = compile;
           const artemis::TriageReport t = artemis::TriageDiscrepancy(program, vendor, tparams);
           std::printf("  %s\n", t.ToString().c_str());
         }
       }
+      artemis::TriageParams plain_triage;
+      plain_triage.compile = compile;
       if (report.seed_self_discrepancy && triage) {
         const artemis::TriageReport t =
-            artemis::TriageDiscrepancy(program, vendor, artemis::TriageParams{});
+            artemis::TriageDiscrepancy(program, vendor, plain_triage);
         std::printf("seed self-discrepancy %s\n", t.ToString().c_str());
       }
       for (size_t i = 0; i < report.mutants.size(); ++i) {
@@ -261,8 +284,8 @@ int main(int argc, char** argv) {
           std::printf("  root cause: %s\n", jaguar::BugName(bug));
         }
         if (triage && verdict.mutant_program != nullptr) {
-          const artemis::TriageReport t = artemis::TriageDiscrepancy(
-              *verdict.mutant_program, vendor, artemis::TriageParams{});
+          const artemis::TriageReport t =
+              artemis::TriageDiscrepancy(*verdict.mutant_program, vendor, plain_triage);
           std::printf("  %s\n", t.ToString().c_str());
         }
       }

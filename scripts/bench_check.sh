@@ -6,6 +6,10 @@
 #   seeds_per_second, invocations_per_second, jit_compilations_per_second,
 #   mean_pass_compile_us, p95_pass_compile_us, interpreter_mips
 #
+# A second arm repeats the campaign with --compile-mode background (free-running background
+# compilation). Its headline throughput, the sync-vs-background speedup, and the compile-queue
+# depth/latency histograms land under the "background" key of the same BENCH_vm.json.
+#
 # The numbers are machine-dependent; EXPERIMENTS.md records reference runs. This script only
 # gates on WELL-FORMEDNESS, so it is safe in CI on any hardware.
 #
@@ -15,17 +19,22 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_vm.json}"
+BG_OUT="${OUT%.json}.background.tmp.json"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_campaign >/dev/null
 
 "$BUILD_DIR"/examples/fuzz_campaign --seeds 500 --vm hotsniff --bench-out "$OUT" >/dev/null
+"$BUILD_DIR"/examples/fuzz_campaign --seeds 500 --vm hotsniff --compile-mode background \
+  --bench-out "$BG_OUT" >/dev/null
 
-python3 - "$OUT" <<'EOF'
+python3 - "$OUT" "$BG_OUT" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
     bench = json.load(f)
+with open(sys.argv[2]) as f:
+    bg = json.load(f)
 
 required = [
     "seeds_per_second",
@@ -43,7 +52,42 @@ if bad:
     sys.exit(f"BENCH_vm.json non-positive metrics: { {k: bench[k] for k in bad} }")
 if bench.get("seeds") != 500:
     sys.exit(f"expected 500 seeds, got {bench.get('seeds')}")
+if bench.get("compile_mode") != "sync":
+    sys.exit(f"baseline arm must be sync, got {bench.get('compile_mode')}")
+if bg.get("compile_mode") != "background":
+    sys.exit(f"background arm mislabeled: {bg.get('compile_mode')}")
+
+# Fold the background arm into the baseline summary: headline throughput, the speedup, and
+# the compile-queue depth/latency histograms (absent in sync mode by construction).
+observe = bg.get("observe", {})
+queue = {k: v for k, v in observe.items() if k.startswith("artemis_compilequeue_")}
+for hist in ("artemis_compilequeue_depth", "artemis_compilequeue_wait_us"):
+    if hist not in queue:
+        sys.exit(f"background arm missing {hist} histogram")
+    if queue[hist].get("count", 0) <= 0:
+        sys.exit(f"background arm recorded an empty {hist} histogram")
+bench["background"] = {
+    "seeds_per_second": bg["seeds_per_second"],
+    "invocations_per_second": bg["invocations_per_second"],
+    "jit_compilations_per_second": bg["jit_compilations_per_second"],
+    "wall_seconds": bg["wall_seconds"],
+    "speedup_seeds_per_second": (
+        bg["seeds_per_second"] / bench["seeds_per_second"]
+        if bench["seeds_per_second"] > 0 else 0.0
+    ),
+    "compile_queue": queue,
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(bench, f, indent=1)
+    f.write("\n")
+
 print("bench_check: BENCH_vm.json well-formed")
 for k in required:
     print(f"  {k}: {bench[k]:.3f}")
+b = bench["background"]
+print(f"  background seeds_per_second: {b['seeds_per_second']:.3f} "
+      f"(speedup {b['speedup_seeds_per_second']:.2f}x)")
+print(f"  compile queue depth p95: {queue['artemis_compilequeue_depth']['p95']:.1f}, "
+      f"wait p95: {queue['artemis_compilequeue_wait_us']['p95']:.0f}us")
 EOF
+rm -f "$BG_OUT"

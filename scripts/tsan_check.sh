@@ -12,7 +12,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DARTEMIS_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target campaign_test campaign_determinism_test \
-  synth_property_test observe_unit_test observe_determinism_test stress_determinism_test
+  synth_property_test observe_unit_test observe_determinism_test stress_determinism_test \
+  background_compile_test schedule_determinism_test
 
 # halt_on_error: fail fast on the first reported race.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -27,4 +28,13 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # journal's writer thread, with every worker constructing StressPlans concurrently.
 "$BUILD_DIR"/tests/stress_determinism_test \
   --gtest_filter='StressCampaignDeterminismTest.*:StressDurableTest.*'
+# The background compiler: bounded queue + worker pool + mailbox publication under real
+# concurrency — backpressure, install/invalidate under deopt pressure, shutdown and Vm
+# destruction with compiles in flight. The free-running engine tests are the ones a racy
+# code-cache publication or queue teardown would trip.
+"$BUILD_DIR"/tests/background_compile_test
+# Scheduled-mode determinism with 1-vs-8 worker threads: racy install points would break the
+# digest equalities, so this doubles as a semantic race detector on top of TSan's dynamic one.
+"$BUILD_DIR"/tests/schedule_determinism_test \
+  --gtest_filter='ScheduleReplayTest.*:ScheduledCampaignDeterminismTest.*'
 echo "tsan_check: all campaign thread-safety tests passed clean"

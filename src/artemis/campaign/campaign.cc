@@ -19,6 +19,7 @@ bool operator==(const BugReport& a, const BugReport& b) {
   return a.seed_id == b.seed_id && a.kind == b.kind && a.root_causes == b.root_causes &&
          a.crash_component == b.crash_component && a.crash_kind == b.crash_kind &&
          a.detail == b.detail && a.stress == b.stress && a.stress_seed == b.stress_seed &&
+         a.compile_mode == b.compile_mode && a.schedule_seed == b.schedule_seed &&
          a.duplicate == b.duplicate && a.triaged == b.triaged && a.triage == b.triage;
 }
 
@@ -108,6 +109,11 @@ std::string CampaignStats::OutcomeDigest() const {
     }
     canon += "|" + std::to_string(static_cast<int>(r.crash_component)) + "|" + r.crash_kind +
              "|" + r.detail + "|" + (r.stress ? "s" + std::to_string(r.stress_seed) : "-") +
+             "|" +
+             (r.compile_mode != jaguar::CompileMode::kSync
+                  ? std::string(jaguar::CompileModeName(r.compile_mode)) + ":" +
+                        std::to_string(r.schedule_seed)
+                  : "-") +
              "|" + (r.duplicate ? "D" : "-") + "|" + (r.triaged ? "T" : "-");
     if (r.triaged) {
       canon += "|" + std::string(r.triage.reproduced ? "r" : "-") +

@@ -62,6 +62,12 @@ struct BugReport {
   // under vm.WithStressSeed(stress_seed) reproduces the exact compilation.
   bool stress = false;
   uint64_t stress_seed = 0;
+  // Compile-axis provenance: the compile mode the revealing validation ran under, and (for
+  // kScheduled) the seed-derived install schedule. Replaying the offending program under
+  // vm.WithCompile({compile_mode, ..., schedule_seed}) re-enters the exact tier-switch
+  // timeline; kSync for reports from historical synchronous campaigns.
+  jaguar::CompileMode compile_mode = jaguar::CompileMode::kSync;
+  uint64_t schedule_seed = 0;
   bool duplicate = false;  // a previous report already covered every root cause
   // Pass-bisection attribution (present when the campaign ran with params.triage). When
   // `triage.attributed()`, deduplication keys on triage.DedupKey() instead of the raw

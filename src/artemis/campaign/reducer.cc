@@ -75,6 +75,8 @@ void CampaignReducer::Reduce(SeedShardResult&& shard) {
     bug.crash_component = report.seed_jit.crash_component;
     bug.crash_kind = report.seed_jit.crash_kind;
     bug.detail = "seed diverges between interpreter and default JIT-trace";
+    bug.compile_mode = shard.compile.mode;
+    bug.schedule_seed = shard.compile.schedule_seed;
     if (shard.seed_triaged) {
       bug.triaged = true;
       bug.triage = shard.seed_triage;
@@ -106,6 +108,8 @@ void CampaignReducer::Reduce(SeedShardResult&& shard) {
     bug.crash_component = verdict.outcome.crash_component;
     bug.crash_kind = verdict.outcome.crash_kind;
     bug.detail = verdict.detail;
+    bug.compile_mode = shard.compile.mode;
+    bug.schedule_seed = shard.compile.schedule_seed;
     if (const auto it = triage_by_mutant.find(m); it != triage_by_mutant.end()) {
       bug.triaged = true;
       bug.triage = *it->second;
@@ -141,6 +145,8 @@ void CampaignReducer::Reduce(SeedShardResult&& shard) {
     bug.detail = point.detail;
     bug.stress = true;
     bug.stress_seed = point.stress_seed;
+    bug.compile_mode = shard.compile.mode;
+    bug.schedule_seed = shard.compile.schedule_seed;
     if (const auto it = triage_by_stress.find(s); it != triage_by_stress.end()) {
       bug.triaged = true;
       bug.triage = *it->second;

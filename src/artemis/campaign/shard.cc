@@ -1,5 +1,7 @@
 #include "src/artemis/campaign/shard.h"
 
+#include "src/jaguar/jit/concurrent/install_schedule.h"
+
 namespace artemis {
 
 jaguar::Rng SeedRngFor(uint64_t seed_id) {
@@ -18,14 +20,25 @@ SeedShardResult RunSeedShard(const jaguar::VmConfig& vm_config, const CampaignPa
     // shard ordering and thread placement cannot perturb it.
     vparams.stress_seed_base = jaguar::StressMix(params.base_seed, result.seed_id);
   }
+  if (vparams.compile.mode == jaguar::CompileMode::kScheduled) {
+    // Same contract for the install schedule: each seed defers its tier switches at points
+    // derived from (campaign base, seed id) alone, so scheduled-mode campaigns are as
+    // thread-count-invariant as sync ones.
+    vparams.compile.schedule_seed = jaguar::DeriveScheduleSeed(params.base_seed, result.seed_id);
+  }
+  result.compile = vparams.compile;
   result.report = Validate(seed, vm_config, vparams, rng);
 
   // Triage inside the shard: TriageDiscrepancy is a pure function of (program, config,
   // params), so attributions computed here are as deterministic as the validation itself
   // and the reduce stays thread-count-invariant.
   if (params.triage && result.report.seed_usable) {
+    // Pin the validation's compile config (with its per-seed install schedule) into every
+    // triage, so bisection replays inside the compilation space that surfaced the symptom.
+    TriageParams triage_params = params.triage_params;
+    triage_params.compile = vparams.compile;
     if (result.report.seed_self_discrepancy) {
-      result.seed_triage = TriageDiscrepancy(seed, vm_config, params.triage_params);
+      result.seed_triage = TriageDiscrepancy(seed, vm_config, triage_params);
       result.seed_triaged = true;
     }
     for (size_t i = 0; i < result.report.mutants.size(); ++i) {
@@ -34,7 +47,7 @@ SeedShardResult RunSeedShard(const jaguar::VmConfig& vm_config, const CampaignPa
         continue;
       }
       result.triaged_mutants.push_back(
-          {i, TriageDiscrepancy(*verdict.mutant_program, vm_config, params.triage_params)});
+          {i, TriageDiscrepancy(*verdict.mutant_program, vm_config, triage_params)});
     }
     for (size_t i = 0; i < result.report.stress_points.size(); ++i) {
       const StressVerdict& point = result.report.stress_points[i];
@@ -43,7 +56,7 @@ SeedShardResult RunSeedShard(const jaguar::VmConfig& vm_config, const CampaignPa
       }
       // Pin the point's stress seed so every triage re-run (baseline, bisection sweeps,
       // verifier cross-reference) replays the exact perturbed compilation that diverged.
-      TriageParams stress_triage = params.triage_params;
+      TriageParams stress_triage = triage_params;
       stress_triage.stress = vm_config.stress;
       stress_triage.stress.enabled = true;
       stress_triage.stress.seed = point.stress_seed;

@@ -25,6 +25,10 @@ struct SeedShardResult {
   uint64_t seed_id = 0;
   ValidationReport report;
 
+  // The compile config the validation ran under (per-seed schedule_seed already derived);
+  // the reducer stamps it onto every report filed from this shard as replay provenance.
+  jaguar::CompileConfig compile;
+
   // Triage attributions (campaign params.triage only), produced inside the shard so the
   // parallel path stays deterministic: one entry per discrepant mutant, keyed by its index
   // in report.mutants, plus the seed's own self-discrepancy triage when applicable.

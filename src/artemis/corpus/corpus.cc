@@ -70,6 +70,7 @@ Json CorpusMeta::ToJson() const {
   j.Set("discrepancies", discrepancies);
   j.Set("report_signatures", report_signatures);
   j.Set("stress_seed", stress_seed);
+  j.Set("schedule_seed", schedule_seed);
   j.Set("times_scheduled", times_scheduled);
   j.Set("children_admitted", children_admitted);
   return j;
@@ -94,6 +95,7 @@ bool CorpusMeta::FromJson(const Json& json, CorpusMeta* out) {
   meta.discrepancies = static_cast<int>(json.Get("discrepancies").AsInt());
   meta.report_signatures = json.Get("report_signatures").AsString();
   meta.stress_seed = json.Get("stress_seed").AsUint();  // 0 for pre-stress sidecars
+  meta.schedule_seed = json.Get("schedule_seed").AsUint();  // 0 for pre-compile-axis sidecars
   meta.times_scheduled = static_cast<int>(json.Get("times_scheduled").AsInt());
   meta.children_admitted = static_cast<int>(json.Get("children_admitted").AsInt());
   *out = std::move(meta);

@@ -71,6 +71,11 @@ struct CorpusMeta {
   // admitting sweep visited.
   uint64_t stress_seed = 0;
 
+  // Compile-axis provenance: the install-schedule seed the admitting validation ran under
+  // (0 = validated with synchronous or free-running compilation). Replaying the entry with
+  // vm.WithScheduleSeed(schedule_seed) re-enters the exact tier-switch timeline.
+  uint64_t schedule_seed = 0;
+
   // Scheduler state (mutated in place by the store).
   int times_scheduled = 0;   // how often PickForMutation returned this entry
   int children_admitted = 0; // mutants of this entry that were themselves admitted

@@ -61,6 +61,11 @@ Json TriageToJson(const TriageReport& report) {
     j.Set("stress", true);
     j.Set("stress_seed", report.stress_seed);
   }
+  if (report.compile_mode != jaguar::CompileMode::kSync) {
+    // Same discipline for the compile axis: sync-mode triages keep their historical shape.
+    j.Set("compile_mode", std::string(jaguar::CompileModeName(report.compile_mode)));
+    j.Set("schedule_seed", report.schedule_seed);
+  }
   return j;
 }
 
@@ -80,6 +85,11 @@ bool TriageFromJson(const Json& json, TriageReport* out) {
   report.runs = static_cast<int>(json.Get("runs").AsInt());
   report.stress = json.Get("stress").AsBool(false);
   report.stress_seed = json.Get("stress_seed").AsUint(0);
+  const std::string& triage_mode = json.Get("compile_mode").AsString();
+  if (!triage_mode.empty()) {
+    jaguar::ParseCompileMode(triage_mode, &report.compile_mode);
+  }
+  report.schedule_seed = json.Get("schedule_seed").AsUint(0);
   *out = std::move(report);
   return true;
 }
@@ -96,6 +106,10 @@ Json BugReportToJson(const BugReport& report) {
   if (report.stress) {
     j.Set("stress", true);
     j.Set("stress_seed", report.stress_seed);
+  }
+  if (report.compile_mode != jaguar::CompileMode::kSync) {
+    j.Set("compile_mode", std::string(jaguar::CompileModeName(report.compile_mode)));
+    j.Set("schedule_seed", report.schedule_seed);
   }
   if (report.triaged) {
     j.Set("triage", TriageToJson(report.triage));
@@ -117,6 +131,11 @@ bool BugReportFromJson(const Json& json, BugReport* out) {
   report.duplicate = json.Get("duplicate").AsBool();
   report.stress = json.Get("stress").AsBool(false);
   report.stress_seed = json.Get("stress_seed").AsUint(0);
+  const std::string& report_mode = json.Get("compile_mode").AsString();
+  if (!report_mode.empty()) {
+    jaguar::ParseCompileMode(report_mode, &report.compile_mode);
+  }
+  report.schedule_seed = json.Get("schedule_seed").AsUint(0);
   if (json.Has("triage")) {
     report.triaged = true;
     if (!TriageFromJson(json.Get("triage"), &report.triage)) {
@@ -200,6 +219,12 @@ Json ShardToJson(const SeedShardResult& shard) {
     }
     j.Set("triaged_stress", std::move(triaged));
   }
+  if (shard.compile.mode != jaguar::CompileMode::kSync) {
+    // Compile-axis provenance, written only when the axis is on so sync journals keep their
+    // historical byte shape. Replayed shards must restore it: the reducer stamps it onto
+    // every report, and a resume that dropped it would change the campaign digest.
+    j.Set("compile", jaguar::CompileConfigToJson(shard.compile));
+  }
   return j;
 }
 
@@ -267,6 +292,9 @@ bool ShardFromJson(const Json& json, SeedShardResult* out) {
     }
     shard.triaged_stress.push_back(std::move(ts));
   }
+  if (json.Has("compile")) {
+    shard.compile = jaguar::CompileConfigFromJson(json.Get("compile"));
+  }
   *out = std::move(shard);
   return true;
 }
@@ -295,6 +323,11 @@ Json CampaignParamsToJson(const CampaignParams& params) {
     // Written only when the stress axis is on: stress-free configs keep their historical
     // serialization (and thus their CampaignFingerprint), so old journals still resume.
     validator.Set("stress_seeds", static_cast<int64_t>(params.validator.stress_seeds));
+  }
+  if (params.validator.compile.mode != jaguar::CompileMode::kSync) {
+    // Same rule for the compile axis: only non-sync campaigns carry it, and it joins the
+    // fingerprint — a journal written in scheduled mode must not resume as a sync campaign.
+    validator.Set("compile", jaguar::CompileConfigToJson(params.validator.compile));
   }
   Json jonm = Json::Object();
   jonm.Set("select_numerator", static_cast<int64_t>(params.validator.jonm.select_numerator));
@@ -356,6 +389,9 @@ bool CampaignParamsFromJson(const Json& json, CampaignParams* out) {
   params.validator.keep_new_trace_mutants =
       validator.Get("keep_new_trace_mutants").AsBool(false);
   params.validator.stress_seeds = static_cast<int>(validator.Get("stress_seeds").AsInt(0));
+  if (validator.Has("compile")) {
+    params.validator.compile = jaguar::CompileConfigFromJson(validator.Get("compile"));
+  }
   const Json& jonm = validator.Get("jonm");
   params.validator.jonm.select_numerator =
       static_cast<uint32_t>(jonm.Get("select_numerator").AsInt(1));
@@ -412,6 +448,11 @@ std::string CampaignFingerprint(const jaguar::VmConfig& vm, const CampaignParams
     // A stress-enabled vendor explores a different compilation space; only when enabled, so
     // stress-free fingerprints match journals written before the stress axis existed.
     identity.Set("stress", jaguar::StressConfigToJson(vm.stress));
+  }
+  if (vm.compile.mode != jaguar::CompileMode::kSync) {
+    // Likewise a vendor pinned to background/scheduled compilation (the campaign-level knob
+    // in validator params is already part of CampaignParamsToJson above).
+    identity.Set("vm_compile", jaguar::CompileConfigToJson(vm.compile));
   }
   return jaguar::Hex64(jaguar::Fnv1a64(identity.Dump()));
 }

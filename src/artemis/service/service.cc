@@ -16,6 +16,7 @@
 #include "src/artemis/fuzzer/generator.h"
 #include "src/artemis/service/journal.h"
 #include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/concurrent/install_schedule.h"
 #include "src/jaguar/lang/parser.h"
 #include "src/jaguar/observe/tracer.h"
 #include "src/jaguar/lang/printer.h"
@@ -186,6 +187,9 @@ struct ItemOutcome {
   // Base of the stress-seed stream this item's validation sampled (0 = stress axis off);
   // recorded in admitted children's sidecars for exact replay.
   uint64_t stress_seed_base = 0;
+  // Compile config the validation ran under (per-item schedule_seed already derived);
+  // admitted children record the schedule seed in their sidecars for exact replay.
+  jaguar::CompileConfig compile;
 };
 
 ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& params,
@@ -210,14 +214,26 @@ ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& pa
     validator.stress_seed_base = jaguar::StressMix(params.base_seed, item.seed_id);
     outcome.stress_seed_base = validator.stress_seed_base;
   }
+  if (validator.compile.mode == jaguar::CompileMode::kScheduled) {
+    // Same contract for the install schedule (campaign/shard.cc): derived from
+    // (campaign base, item id) alone, so corpus items keep one schedule across rounds,
+    // restarts, and worker counts.
+    validator.compile.schedule_seed =
+        jaguar::DeriveScheduleSeed(params.base_seed, item.seed_id);
+  }
+  outcome.compile = validator.compile;
+  outcome.shard.compile = validator.compile;
   SpaceCoverage coverage;
   outcome.shard.report = GuidedValidate(program, config, validator, rng, &coverage);
 
   // Triage mirrors campaign/shard.cc: attributions computed inside the parallel item keep
-  // the sequential fold deterministic.
+  // the sequential fold deterministic; the validation's compile config (with its per-item
+  // install schedule) is pinned into every re-run.
   if (params.triage && outcome.shard.report.seed_usable) {
+    TriageParams triage_params = params.triage_params;
+    triage_params.compile = validator.compile;
     if (outcome.shard.report.seed_self_discrepancy) {
-      outcome.shard.seed_triage = TriageDiscrepancy(program, config, params.triage_params);
+      outcome.shard.seed_triage = TriageDiscrepancy(program, config, triage_params);
       outcome.shard.seed_triaged = true;
     }
     for (size_t i = 0; i < outcome.shard.report.mutants.size(); ++i) {
@@ -226,14 +242,14 @@ ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& pa
         continue;
       }
       outcome.shard.triaged_mutants.push_back(
-          {i, TriageDiscrepancy(*verdict.mutant_program, config, params.triage_params)});
+          {i, TriageDiscrepancy(*verdict.mutant_program, config, triage_params)});
     }
     for (size_t i = 0; i < outcome.shard.report.stress_points.size(); ++i) {
       const StressVerdict& point = outcome.shard.report.stress_points[i];
       if (point.kind == DiscrepancyKind::kNone) {
         continue;
       }
-      TriageParams stress_triage = params.triage_params;
+      TriageParams stress_triage = triage_params;
       stress_triage.stress = config.stress;
       stress_triage.stress.enabled = true;
       stress_triage.stress.seed = point.stress_seed;
@@ -454,6 +470,9 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
         meta.steps = outcome.seed_steps;
         meta.discrepancies = candidate.discrepant ? 1 : 0;
         meta.stress_seed = outcome.stress_seed_base;
+        meta.schedule_seed = outcome.compile.mode == jaguar::CompileMode::kScheduled
+                                 ? outcome.compile.schedule_seed
+                                 : 0;
         if (!corpus.Admit(candidate.source, std::move(meta))) {
           continue;  // content already in the pool
         }

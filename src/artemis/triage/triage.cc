@@ -140,6 +140,14 @@ std::string TriageReport::DedupKey() const {
     // is what reproduces the defect.
     key += "#s" + jaguar::Hex64(stress_seed);
   }
+  if (compile_mode != jaguar::CompileMode::kSync) {
+    // Likewise for the tier-switch schedule: an install-timing-sensitive defect is identified
+    // by the schedule that exposed it.
+    key += "#c" + std::string(jaguar::CompileModeName(compile_mode));
+    if (compile_mode == jaguar::CompileMode::kScheduled) {
+      key += jaguar::Hex64(schedule_seed);
+    }
+  }
   return key;
 }
 
@@ -165,6 +173,11 @@ std::string TriageReport::ToString() const {
   if (stress) {
     out += " [stress seed " + jaguar::Hex64(stress_seed) + "]";
   }
+  if (compile_mode == jaguar::CompileMode::kScheduled) {
+    out += " [install schedule " + jaguar::Hex64(schedule_seed) + "]";
+  } else if (compile_mode == jaguar::CompileMode::kBackground) {
+    out += " [background compile]";
+  }
   if (!detail.empty()) {
     out += " — " + detail;
   }
@@ -176,6 +189,7 @@ bool operator==(const TriageReport& a, const TriageReport& b) {
          a.partner == b.partner && a.invariant == b.invariant &&
          a.invariant_stage == b.invariant_stage && a.candidates == b.candidates &&
          a.detail == b.detail && a.stress == b.stress && a.stress_seed == b.stress_seed &&
+         a.compile_mode == b.compile_mode && a.schedule_seed == b.schedule_seed &&
          a.runs == b.runs;
 }
 
@@ -196,6 +210,12 @@ TriageReport TriageDiscrepancy(const jaguar::Program& program, const VmConfig& v
   base.stress = params.stress;
   report.stress = params.stress.enabled;
   report.stress_seed = params.stress.seed;
+  // Compile-mode replay: the same pinning for the install schedule, so bisection explores
+  // pass compositions inside the deferred-tier-switch space that surfaced the symptom.
+  base.compile = params.compile;
+  report.compile_mode = params.compile.mode;
+  report.schedule_seed =
+      params.compile.mode == jaguar::CompileMode::kScheduled ? params.compile.schedule_seed : 0;
 
   const BcProgram bc = jaguar::CompileProgram(program);
 

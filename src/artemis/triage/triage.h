@@ -41,6 +41,11 @@ struct TriageParams {
   // re-triaged inside the exact perturbed compilation space that revealed it.
   jaguar::StressConfig stress;
 
+  // Compile-mode replay: every triage run executes under this compile config (kSync default).
+  // Campaigns that validate in kScheduled mode pin the seed's derived install schedule here,
+  // so a discrepancy only visible under deferred tier switches reproduces during bisection.
+  jaguar::CompileConfig compile;
+
   // Stress disambiguation: when bisection leaves a non-crash discrepancy unattributed, probe
   // the baseline under this many pinned stress seeds. A symptom that persists across every
   // probe is independent of pass composition/order/thresholds — the defect lives in the
@@ -78,6 +83,12 @@ struct TriageReport {
   // reproduce under the same compilation-space point.
   bool stress = false;
   uint64_t stress_seed = 0;
+
+  // Compile-mode provenance: the compile config the triage replayed under (TriageParams::
+  // compile). kSync for historical reports; in kScheduled mode the schedule seed joins
+  // DedupKey() the way the stress seed does.
+  jaguar::CompileMode compile_mode = jaguar::CompileMode::kSync;
+  uint64_t schedule_seed = 0;
 
   // VM invocations this triage consumed (reference + baseline + verifier + bisection runs);
   // the campaign folds it into its throughput accounting.

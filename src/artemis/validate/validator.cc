@@ -59,9 +59,15 @@ ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config
                           const ValidatorParams& params, jaguar::Rng& rng) {
   ValidationReport report;
 
+  // Interpreter references are untouched by the compile axis (no JIT → no compile queue);
+  // every JIT run of this validation executes under the configured compile mode.
+  const VmConfig jit_config = params.compile.mode == jaguar::CompileMode::kSync
+                                  ? vm_config
+                                  : vm_config.WithCompile(params.compile);
+
   const BcProgram seed_bc = jaguar::CompileProgram(seed);
   report.seed_interp = jaguar::RunProgram(seed_bc, jaguar::InterpreterOnlyConfig());
-  report.seed_jit = jaguar::RunProgram(seed_bc, vm_config);  // R ← LVM(P), default JIT-trace
+  report.seed_jit = jaguar::RunProgram(seed_bc, jit_config);  // R ← LVM(P), default JIT-trace
 
   if (report.seed_interp.status == RunStatus::kTimeout ||
       report.seed_jit.status == RunStatus::kTimeout) {
@@ -80,7 +86,7 @@ ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config
   for (int k = 0; k < params.stress_seeds; ++k) {
     StressVerdict point;
     point.stress_seed = jaguar::DeriveStressSeed(params.stress_seed_base, 0, k);
-    point.outcome = jaguar::RunProgram(seed_bc, vm_config.WithStressSeed(point.stress_seed));
+    point.outcome = jaguar::RunProgram(seed_bc, jit_config.WithStressSeed(point.stress_seed));
     const RunOutcome& stressed = point.outcome;
     point.suspected_bugs = NewlyFired(stressed, report.seed_jit);
 
@@ -156,7 +162,7 @@ ValidationReport Validate(const jaguar::Program& seed, const VmConfig& vm_config
       }
     }
 
-    verdict.outcome = jaguar::RunProgram(mutant_bc, vm_config);  // R′ ← LVM(P′)
+    verdict.outcome = jaguar::RunProgram(mutant_bc, jit_config);  // R′ ← LVM(P′)
     const RunOutcome& mutant_jit = verdict.outcome;
     verdict.explored_new_trace = !mutant_jit.trace.SameShape(report.seed_jit.trace);
     verdict.suspected_bugs = NewlyFired(mutant_jit, report.seed_jit);

@@ -106,6 +106,14 @@ struct ValidatorParams {
   // seeds sample distinct stress streams; each stress run costs one VM invocation.
   int stress_seeds = 0;
   uint64_t stress_seed_base = 0;
+
+  // Background-compilation axis (jit/concurrent): every JIT run of the validation (seed,
+  // stress points, mutants) executes under this compile config. kSync (the default) is the
+  // historical synchronous engine; kScheduled defers installs to seed-derived deterministic
+  // points (campaign drivers set `compile.schedule_seed` per seed via DeriveScheduleSeed), so
+  // validation observables — and therefore campaign digests — stay bit-identical to sync;
+  // kBackground free-runs for throughput and forfeits run-to-run determinism.
+  jaguar::CompileConfig compile;
 };
 
 // Runs Algorithm 1 for one seed program against one VM configuration.

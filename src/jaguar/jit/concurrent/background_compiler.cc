@@ -1,0 +1,201 @@
+#include "src/jaguar/jit/concurrent/background_compiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/jit/pipeline.h"
+#include "src/jaguar/support/check.h"
+
+namespace jaguar {
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+BackgroundCompiler::BackgroundCompiler(const BcProgram& program, const VmConfig& config,
+                                       int threads, size_t queue_capacity)
+    : program_(program), config_(config), capacity_(std::max<size_t>(1, queue_capacity)) {
+  const int count = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BackgroundCompiler::~BackgroundCompiler() {
+  Shutdown();
+}
+
+uint64_t BackgroundCompiler::Enqueue(CompileTask task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  space_ready_.wait(lock, [this] { return queue_.size() < capacity_ || stopping_; });
+  JAG_CHECK_MSG(!stopping_, "Enqueue after Shutdown");
+  QueuedTask queued;
+  queued.ticket = next_ticket_++;
+  queued.task = std::move(task);
+  queued.enqueue_us = NowMicros();
+  queue_.push_back(std::move(queued));
+  ++stats_.enqueued;
+  stats_.peak_depth = std::max(stats_.peak_depth, static_cast<uint64_t>(queue_.size()));
+  const uint64_t ticket = queue_.back().ticket;
+  lock.unlock();
+  work_ready_.notify_one();
+  return ticket;
+}
+
+std::optional<uint64_t> BackgroundCompiler::TryEnqueue(CompileTask task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_ || stopping_) {
+      return std::nullopt;
+    }
+  }
+  return Enqueue(std::move(task));
+}
+
+bool BackgroundCompiler::TryTake(uint64_t ticket, CompileOutput* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(ticket);
+  if (it == results_.end()) {
+    return false;
+  }
+  *out = std::move(it->second);
+  results_.erase(it);
+  ++stats_.taken;
+  return true;
+}
+
+CompileOutput BackgroundCompiler::WaitTake(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  result_ready_.wait(lock, [this, ticket] {
+    return results_.count(ticket) != 0 || (stopping_ && queue_.empty());
+  });
+  auto it = results_.find(ticket);
+  JAG_CHECK_MSG(it != results_.end(), "WaitTake on a ticket that will never complete");
+  CompileOutput out = std::move(it->second);
+  results_.erase(it);
+  ++stats_.taken;
+  return out;
+}
+
+void BackgroundCompiler::Discard(uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(ticket);
+  if (it != results_.end()) {
+    results_.erase(it);
+    ++stats_.discarded;
+    return;
+  }
+  // Still queued or in flight: drop the queue entry if the compile has not started, else
+  // remember to drop the result on arrival.
+  for (auto queued = queue_.begin(); queued != queue_.end(); ++queued) {
+    if (queued->ticket == ticket) {
+      queue_.erase(queued);
+      ++stats_.discarded;
+      space_ready_.notify_one();
+      return;
+    }
+  }
+  discarded_tickets_.push_back(ticket);
+}
+
+void BackgroundCompiler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+    stats_.discarded += queue_.size();  // queued-but-unstarted requests are dropped
+    queue_.clear();
+  }
+  work_ready_.notify_all();
+  space_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.discarded += results_.size();  // completed but never taken
+  results_.clear();
+  result_ready_.notify_all();
+}
+
+size_t BackgroundCompiler::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+BackgroundCompilerStats BackgroundCompiler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BackgroundCompiler::WorkerLoop() {
+  for (;;) {
+    QueuedTask queued;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (stopping_) {
+        return;  // queued tasks were already counted as discarded by Shutdown
+      }
+      queued = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_ready_.notify_one();
+
+    const uint64_t picked_up_us = NowMicros();
+    CompileOutput out = RunCompile(queued.task);
+    out.queue_wait_us = picked_up_us >= queued.enqueue_us ? picked_up_us - queued.enqueue_us : 0;
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.completed;
+      auto discarded = std::find(discarded_tickets_.begin(), discarded_tickets_.end(),
+                                 queued.ticket);
+      if (discarded != discarded_tickets_.end() || stopping_) {
+        if (discarded != discarded_tickets_.end()) {
+          discarded_tickets_.erase(discarded);
+        }
+        ++stats_.discarded;
+        continue;
+      }
+      results_.emplace(queued.ticket, std::move(out));
+    }
+    result_ready_.notify_all();
+  }
+}
+
+CompileOutput BackgroundCompiler::RunCompile(const CompileTask& task) const {
+  CompileOutput out;
+  // Private defect registry: the shared one is not thread-safe, and fired-bit set-union at
+  // take time is order-independent, so telemetry stays exact in deterministic mode.
+  BugRegistry bugs(config_.bugs);
+  const uint64_t start_us = NowMicros();
+  try {
+    out.artifact = CompileArtifact(program_, task.func, task.level, task.osr_pc, config_,
+                                   &bugs, &task.profile, /*observer=*/nullptr);
+  } catch (const VmCrash& crash) {
+    out.crashed = true;
+    out.crash_component = crash.component();
+    out.crash_kind = crash.kind();
+    out.crash_message = crash.what();
+  } catch (const std::exception& e) {
+    out.internal_error = true;
+    out.internal_message = e.what();
+  }
+  const uint64_t end_us = NowMicros();
+  out.compile_us = end_us >= start_us ? end_us - start_us : 0;
+  out.fired_bugs = bugs.FiredBugs();
+  return out;
+}
+
+}  // namespace jaguar

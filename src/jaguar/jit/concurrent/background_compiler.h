@@ -1,0 +1,150 @@
+// The background JIT compiler: a bounded work queue drained by N worker threads.
+//
+// Threading model (DESIGN.md §10). Exactly one thread — the Vm's execution thread — calls
+// every public method; the workers only ever touch the queue and the completion mailbox.
+// A compile request carries everything a compilation reads, *by value*: the function/tier/OSR
+// coordinates and a snapshot of the method's profile taken at the request point
+// (MethodRuntime::ProfileSnapshot). Workers therefore share no mutable state with the running
+// interpreter; the program is shared read-only (it is immutable for the life of the Vm), and
+// each worker compiles against its own BugRegistry copy whose fired bits travel back in the
+// result. The completion mailbox — a mutex-guarded map keyed by request ticket — is the
+// single atomic publication point: the execution thread either observes a finished artifact
+// in full or nothing at all.
+//
+// Compiling from the request-point snapshot also pins down semantics: the artifact produced
+// in the background is bit-identical to the one sync mode would have built at the request,
+// because the pipeline is a pure function of (program, config, profile, stress plan). The
+// only new degree of freedom background modes introduce is *when* that artifact is installed.
+//
+// Shutdown discards queued-but-unstarted requests, lets in-flight compilations finish, and
+// joins the workers; results that were never taken are counted as discarded. The Vm
+// destructor runs this unconditionally, so a run that throws mid-execution (trap, crash,
+// timeout) still tears the workers down cleanly with compiles in flight.
+
+#ifndef SRC_JAGUAR_JIT_CONCURRENT_BACKGROUND_COMPILER_H_
+#define SRC_JAGUAR_JIT_CONCURRENT_BACKGROUND_COMPILER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/jaguar/bytecode/module.h"
+#include "src/jaguar/jit/bug_ids.h"
+#include "src/jaguar/vm/config.h"
+#include "src/jaguar/vm/jit_api.h"
+#include "src/jaguar/vm/outcome.h"
+#include "src/jaguar/vm/profile.h"
+
+namespace jaguar {
+
+// One compile request, self-contained (see file comment: everything by value).
+struct CompileTask {
+  int func = 0;
+  int level = 1;
+  int32_t osr_pc = -1;
+  MethodRuntime profile;  // request-point snapshot; artifact slots empty
+};
+
+// One finished compilation, as delivered through the completion mailbox.
+struct CompileOutput {
+  std::shared_ptr<CompiledMethod> artifact;  // null when the compilation crashed
+
+  // A VmCrash thrown by an injected compile-time defect (or the IR verifier) on the worker.
+  // The engine rethrows it on the execution thread when it takes the result, so simulated
+  // compiler crashes keep flowing through the one catch site in Vm::Run.
+  bool crashed = false;
+  VmComponent crash_component = VmComponent::kNone;
+  std::string crash_kind;
+  std::string crash_message;
+
+  // InternalError (a bug in this repository) escaping the worker; rethrown on take.
+  bool internal_error = false;
+  std::string internal_message;
+
+  // Defects fired during the compilation, from the worker's private BugRegistry. Merged into
+  // the Vm's registry at take time — set-union semantics, so merge order never matters.
+  std::vector<BugId> fired_bugs;
+
+  uint64_t queue_wait_us = 0;  // enqueue → worker pickup
+  uint64_t compile_us = 0;     // worker compile duration
+};
+
+struct BackgroundCompilerStats {
+  uint64_t enqueued = 0;
+  uint64_t completed = 0;
+  uint64_t taken = 0;
+  uint64_t discarded = 0;   // results dropped: deopt-invalidated requests + shutdown leftovers
+  uint64_t peak_depth = 0;  // high-water mark of the work queue
+};
+
+class BackgroundCompiler {
+ public:
+  // `program` and `config` must outlive the compiler (the Vm owns both).
+  BackgroundCompiler(const BcProgram& program, const VmConfig& config, int threads,
+                     size_t queue_capacity);
+  ~BackgroundCompiler();
+
+  BackgroundCompiler(const BackgroundCompiler&) = delete;
+  BackgroundCompiler& operator=(const BackgroundCompiler&) = delete;
+
+  // Enqueues a request and returns its ticket, blocking while the queue is full
+  // (kScheduled: a full queue only delays wall-clock time, never the deterministic schedule).
+  uint64_t Enqueue(CompileTask task);
+
+  // Non-blocking enqueue for free-running mode: nullopt when the queue is full.
+  std::optional<uint64_t> TryEnqueue(CompileTask task);
+
+  // Non-blocking completion check; moves the result out on success.
+  bool TryTake(uint64_t ticket, CompileOutput* out);
+
+  // Blocks until the ticket's compilation finishes (kScheduled's install point).
+  CompileOutput WaitTake(uint64_t ticket);
+
+  // Abandons a request whose result is no longer wanted (deopt invalidated the site). The
+  // compilation may still run; its result is dropped on arrival.
+  void Discard(uint64_t ticket);
+
+  // Stops accepting work, drops queued-but-unstarted tasks, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t depth() const;
+  BackgroundCompilerStats stats() const;
+
+ private:
+  struct QueuedTask {
+    uint64_t ticket = 0;
+    CompileTask task;
+    uint64_t enqueue_us = 0;
+  };
+
+  void WorkerLoop();
+  CompileOutput RunCompile(const CompileTask& task) const;
+
+  const BcProgram& program_;
+  const VmConfig& config_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;    // workers wait: queue non-empty or stopping
+  std::condition_variable space_ready_;   // producer waits: queue below capacity
+  std::condition_variable result_ready_;  // producer waits: a ticket completed
+  std::deque<QueuedTask> queue_;
+  std::map<uint64_t, CompileOutput> results_;
+  std::vector<uint64_t> discarded_tickets_;  // tickets whose results are dropped on arrival
+  uint64_t next_ticket_ = 1;
+  bool stopping_ = false;
+  BackgroundCompilerStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_CONCURRENT_BACKGROUND_COMPILER_H_

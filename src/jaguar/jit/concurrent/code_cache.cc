@@ -1,0 +1,36 @@
+#include "src/jaguar/jit/concurrent/code_cache.h"
+
+#include <utility>
+
+namespace jaguar {
+
+void CodeCache::Install(const CompileSiteKey& key, std::shared_ptr<CompiledMethod> artifact,
+                        uint64_t stress_fingerprint, uint64_t installed_at) {
+  Entry& entry = entries_[key];
+  if (entry.artifact != nullptr) {
+    stats_.code_bytes -= entry.artifact->code_size_estimate();
+  }
+  stats_.code_bytes += artifact->code_size_estimate();
+  ++stats_.installs;
+  entry.artifact = std::move(artifact);
+  entry.stress_fingerprint = stress_fingerprint;
+  entry.installed_at = installed_at;
+}
+
+bool CodeCache::Invalidate(const CompileSiteKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  stats_.code_bytes -= it->second.artifact->code_size_estimate();
+  ++stats_.invalidations;
+  entries_.erase(it);
+  return true;
+}
+
+const CodeCache::Entry* CodeCache::Lookup(const CompileSiteKey& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+}  // namespace jaguar

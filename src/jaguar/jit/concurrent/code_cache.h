@@ -1,0 +1,78 @@
+// The published-code cache for background compilation.
+//
+// In sync mode, compiled artifacts hang directly off MethodRuntime (vm/profile.h) and are
+// visible the instant Compile returns. Background modes split that into two steps: workers
+// produce artifacts into the BackgroundCompiler's completion mailbox (the atomic publication
+// point — a mutex-guarded slot the execution thread takes exactly once), and the execution
+// thread then *installs* the artifact here and into the MethodRuntime slots. The cache is
+// therefore single-threaded by construction — only the execution thread reads or writes it —
+// which is what lets installation stay an ordinary pointer store while the cross-thread
+// handoff happens in one well-audited place (background_compiler.h).
+//
+// Entries are keyed by compile site (function, tier, OSR pc) and carry the stress-plan
+// fingerprint of the compilation that produced them (jit/stress), so a cache dump attributes
+// every published artifact to the exact perturbation point that built it. Deoptimization
+// invalidates the site's entry (deopt-driven invalidation); the next request recompiles from
+// the then-current profile, exactly like the sync path.
+
+#ifndef SRC_JAGUAR_JIT_CONCURRENT_CODE_CACHE_H_
+#define SRC_JAGUAR_JIT_CONCURRENT_CODE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "src/jaguar/vm/jit_api.h"
+
+namespace jaguar {
+
+// One compile site: a method entry (osr_pc == -1) or an OSR loop header.
+struct CompileSiteKey {
+  int func = 0;
+  int level = 0;
+  int32_t osr_pc = -1;
+
+  bool operator<(const CompileSiteKey& other) const {
+    return std::tie(func, level, osr_pc) < std::tie(other.func, other.level, other.osr_pc);
+  }
+  bool operator==(const CompileSiteKey& other) const {
+    return func == other.func && level == other.level && osr_pc == other.osr_pc;
+  }
+};
+
+struct CodeCacheStats {
+  uint64_t installs = 0;
+  uint64_t invalidations = 0;
+  uint64_t code_bytes = 0;  // estimated footprint of currently-published artifacts
+};
+
+class CodeCache {
+ public:
+  struct Entry {
+    std::shared_ptr<CompiledMethod> artifact;
+    uint64_t stress_fingerprint = 0;  // StressPlan fingerprint of the producing compilation
+    uint64_t installed_at = 0;        // site-counter value at publication
+  };
+
+  // Publishes `artifact` for `key`, replacing any previous entry.
+  void Install(const CompileSiteKey& key, std::shared_ptr<CompiledMethod> artifact,
+               uint64_t stress_fingerprint, uint64_t installed_at);
+
+  // Removes the site's entry (deopt-driven). Returns true if an entry was present.
+  bool Invalidate(const CompileSiteKey& key);
+
+  // Published artifact for `key`, or null.
+  const Entry* Lookup(const CompileSiteKey& key) const;
+
+  const CodeCacheStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<CompileSiteKey, Entry> entries_;
+  CodeCacheStats stats_;
+};
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_CONCURRENT_CODE_CACHE_H_

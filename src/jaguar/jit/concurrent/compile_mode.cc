@@ -1,0 +1,53 @@
+#include "src/jaguar/jit/concurrent/compile_mode.h"
+
+namespace jaguar {
+
+const char* CompileModeName(CompileMode mode) {
+  switch (mode) {
+    case CompileMode::kSync: return "sync";
+    case CompileMode::kBackground: return "background";
+    case CompileMode::kScheduled: return "scheduled";
+  }
+  return "sync";
+}
+
+bool ParseCompileMode(const std::string& name, CompileMode* out) {
+  if (name == "sync") {
+    *out = CompileMode::kSync;
+  } else if (name == "background") {
+    *out = CompileMode::kBackground;
+  } else if (name == "scheduled") {
+    *out = CompileMode::kScheduled;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool operator==(const CompileConfig& a, const CompileConfig& b) {
+  return a.mode == b.mode && a.threads == b.threads && a.queue_capacity == b.queue_capacity &&
+         a.schedule_seed == b.schedule_seed;
+}
+
+Json CompileConfigToJson(const CompileConfig& config) {
+  Json j = Json::Object();
+  j.Set("mode", std::string(CompileModeName(config.mode)));
+  j.Set("threads", static_cast<uint64_t>(config.threads));
+  j.Set("queue_capacity", static_cast<uint64_t>(config.queue_capacity));
+  j.Set("schedule_seed", config.schedule_seed);
+  return j;
+}
+
+CompileConfig CompileConfigFromJson(const Json& json) {
+  CompileConfig config;
+  const std::string& mode_name = json.Get("mode").AsString();
+  if (!mode_name.empty()) {
+    ParseCompileMode(mode_name, &config.mode);
+  }
+  config.threads = static_cast<int>(json.Get("threads").AsUint(2));
+  config.queue_capacity = static_cast<size_t>(json.Get("queue_capacity").AsUint(64));
+  config.schedule_seed = json.Get("schedule_seed").AsUint(0);
+  return config;
+}
+
+}  // namespace jaguar

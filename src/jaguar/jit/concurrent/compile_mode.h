@@ -1,0 +1,66 @@
+// Compilation-mode configuration — the third axis of compilation-space exploration.
+//
+// Production JVMs compile in the background: the executing thread keeps interpreting while a
+// compiler thread produces the artifact, and *when* the compiled code is installed depends on
+// queue depth and compiler latency. That install timing is itself a scheduling dimension of
+// the compilation space (DESIGN.md §10). Jaguar models it with three modes:
+//
+//   kSync       — compile on the execution thread at the request point (the paper's §4.1
+//                 evaluation setting, and the historical default of this repo);
+//   kBackground — free-running: requests are enqueued to worker threads and the artifact is
+//                 installed whenever the execution thread next observes it finished. Fastest
+//                 (compile latency overlaps interpretation) but the install point depends on
+//                 real thread timing, so runs are not bit-reproducible;
+//   kScheduled  — deterministic background compilation: requests still run on workers, but
+//                 publication is deferred to a per-site invocation/back-edge count derived
+//                 from `schedule_seed` (install_schedule.h). The execution thread blocks on
+//                 the compile result only if the worker has not finished by the scheduled
+//                 install point, so the observable execution is a pure function of
+//                 (program, config, seed) regardless of worker count or machine load.
+//
+// Determinism contract for kScheduled: every install point is a pure function of
+// (schedule seed, function, tier, OSR pc) plus the deterministic site counters the engine
+// already maintains. No wall-clock reads feed back into execution.
+
+#ifndef SRC_JAGUAR_JIT_CONCURRENT_COMPILE_MODE_H_
+#define SRC_JAGUAR_JIT_CONCURRENT_COMPILE_MODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/jaguar/support/json.h"
+
+namespace jaguar {
+
+enum class CompileMode : uint8_t { kSync, kBackground, kScheduled };
+
+const char* CompileModeName(CompileMode mode);
+bool ParseCompileMode(const std::string& name, CompileMode* out);
+
+struct CompileConfig {
+  CompileMode mode = CompileMode::kSync;
+
+  // Background worker threads (kBackground / kScheduled; kSync ignores it).
+  int threads = 2;
+
+  // Bounded work-queue capacity. kScheduled blocks the execution thread on a full queue (a
+  // timing-only effect, invisible to the deterministic schedule); kBackground drops the
+  // request instead — the site's counters keep rising, so the request re-arises naturally.
+  size_t queue_capacity = 64;
+
+  // kScheduled: seed of the install-delay derivation. Campaigns derive one per corpus seed
+  // (like the stress-seed axis) so distinct seeds explore distinct install schedules.
+  uint64_t schedule_seed = 0;
+};
+
+bool operator==(const CompileConfig& a, const CompileConfig& b);
+inline bool operator!=(const CompileConfig& a, const CompileConfig& b) { return !(a == b); }
+
+// Canonical JSON codec. FromJson tolerates missing fields — journals and sidecars written
+// before the compile-mode axis decode to the default (sync) config.
+Json CompileConfigToJson(const CompileConfig& config);
+CompileConfig CompileConfigFromJson(const Json& json);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_CONCURRENT_COMPILE_MODE_H_

@@ -1,0 +1,21 @@
+#include "src/jaguar/jit/concurrent/install_schedule.h"
+
+#include "src/jaguar/jit/stress/stress.h"
+
+namespace jaguar {
+
+uint64_t InstallDelay(uint64_t schedule_seed, int func, int level, int32_t osr_pc) {
+  // Same site-identity packing as StressPlan: the three coordinates fold into one word and
+  // mix with the seed, so every site draws an independent delay.
+  const uint64_t id = (static_cast<uint64_t>(static_cast<uint32_t>(func)) << 40) ^
+                      (static_cast<uint64_t>(static_cast<uint32_t>(level)) << 32) ^
+                      static_cast<uint64_t>(static_cast<uint32_t>(osr_pc + 1));
+  const uint64_t h = StressMix(schedule_seed, id ^ 0xC0117EDC0117EDULL);
+  return osr_pc < 0 ? 1 + (h % 8) : 1 + (h % 256);
+}
+
+uint64_t DeriveScheduleSeed(uint64_t base_seed, uint64_t seed_id) {
+  return StressMix(StressMix(base_seed, seed_id), 0x5C4ED01E5EEDULL);
+}
+
+}  // namespace jaguar

@@ -1,0 +1,31 @@
+// Deterministic install schedules for background compilation (CompileMode::kScheduled).
+//
+// A background compile decouples *requesting* code from *publishing* it, and the gap between
+// the two is a real scheduling freedom of production VMs: on a loaded machine the compiler
+// thread may lag thousands of invocations behind the request. kScheduled turns that freedom
+// into a seeded, replayable decision: each compile site (function, tier, OSR header) draws a
+// publication delay — measured in the site's own deterministic counter (invocations for
+// method entries, back-edge ticks for OSR loops) — as a pure hash of the schedule seed, the
+// same construction the stress axis uses for its compiler decisions (jit/stress). The engine
+// defers installation until the site counter reaches request + delay, blocking on the worker
+// only at that point, so the executed schedule is independent of worker count and host load.
+
+#ifndef SRC_JAGUAR_JIT_CONCURRENT_INSTALL_SCHEDULE_H_
+#define SRC_JAGUAR_JIT_CONCURRENT_INSTALL_SCHEDULE_H_
+
+#include <cstdint>
+
+namespace jaguar {
+
+// Publication delay for one compile site, in site-counter ticks. Method entries draw from
+// [1, 8] invocations; OSR sites draw from [1, 256] back-edges (back-edge counters tick far
+// faster than invocation counters, so the ranges explore comparable real deferral windows).
+uint64_t InstallDelay(uint64_t schedule_seed, int func, int level, int32_t osr_pc);
+
+// Derives the per-corpus-seed schedule seed a campaign uses, mirroring DeriveStressSeed:
+// distinct corpus entries explore distinct install schedules from one campaign base seed.
+uint64_t DeriveScheduleSeed(uint64_t base_seed, uint64_t seed_id);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_JIT_CONCURRENT_INSTALL_SCHEDULE_H_

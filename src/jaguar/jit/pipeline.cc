@@ -70,25 +70,8 @@ class TieredJitCompiler : public JitCompilerApi {
  public:
   std::shared_ptr<CompiledMethod> Compile(Vm& vm, int func, int level,
                                           int32_t osr_pc) override {
-    uint64_t guards = 0;
-    observe::VmObserver* observer = vm.observer();
-    IrFunction ir = CompileToIr(vm.program(), func, level, osr_pc, vm.config(), &vm.bugs(),
-                                &vm.runtime(func), &guards, observer);
-    const TierSpec& tier = vm.config().tiers[static_cast<size_t>(level) - 1];
-    if (tier.full_optimization && vm.config().lir_backend &&
-        !vm.config().PassDisabled("lower")) {
-      // The optimizing tier goes all the way down: lowering + register allocation + the
-      // register-machine executor (hosts the codegen/regalloc defect classes).
-      const bool time_lower = observer != nullptr && observer->pass_timing_on();
-      const uint64_t lower_start = time_lower ? observer->Now() : 0;
-      LirFunction lir = LowerToLir(ir, &vm.bugs(), &vm.config());
-      if (time_lower) {
-        observer->Pass(func, "lower", lower_start, lir.code.size());
-      }
-      lir.speculative_guards = guards;
-      return std::make_shared<LirCompiledMethod>(std::move(lir));
-    }
-    return std::make_shared<IrCompiledMethod>(std::move(ir), guards);
+    return CompileArtifact(vm.program(), func, level, osr_pc, vm.config(), &vm.bugs(),
+                           &vm.runtime(func), vm.observer());
   }
 
   uint64_t CompileCostSteps(const Vm& vm, int func) const override {
@@ -98,6 +81,29 @@ class TieredJitCompiler : public JitCompilerApi {
 };
 
 }  // namespace
+
+std::shared_ptr<CompiledMethod> CompileArtifact(const BcProgram& program, int func, int level,
+                                                int32_t osr_pc, const VmConfig& config,
+                                                BugRegistry* bugs, const MethodRuntime* runtime,
+                                                observe::VmObserver* observer) {
+  uint64_t guards = 0;
+  IrFunction ir = CompileToIr(program, func, level, osr_pc, config, bugs, runtime, &guards,
+                              observer);
+  const TierSpec& tier = config.tiers[static_cast<size_t>(level) - 1];
+  if (tier.full_optimization && config.lir_backend && !config.PassDisabled("lower")) {
+    // The optimizing tier goes all the way down: lowering + register allocation + the
+    // register-machine executor (hosts the codegen/regalloc defect classes).
+    const bool time_lower = observer != nullptr && observer->pass_timing_on();
+    const uint64_t lower_start = time_lower ? observer->Now() : 0;
+    LirFunction lir = LowerToLir(ir, bugs, &config);
+    if (time_lower) {
+      observer->Pass(func, "lower", lower_start, lir.code.size());
+    }
+    lir.speculative_guards = guards;
+    return std::make_shared<LirCompiledMethod>(std::move(lir));
+  }
+  return std::make_shared<IrCompiledMethod>(std::move(ir), guards);
+}
 
 IrFunction CompileToIr(const BcProgram& program, int func, int level, int32_t osr_pc,
                        const VmConfig& config, BugRegistry* bugs, const MethodRuntime* runtime,

@@ -27,6 +27,18 @@ class VmObserver;
 // Creates the production compiler used by the engine.
 std::unique_ptr<JitCompilerApi> MakeTieredJitCompiler();
 
+// Compiles one function to a finished, executable artifact without touching a Vm: the whole
+// compilation is a pure function of (program, config, profile snapshot, defect registry).
+// This is both the body of the engine's synchronous compile path and the worker-side entry
+// of the background compiler (jit/concurrent), which calls it from compiler threads with a
+// request-point MethodRuntime snapshot, a private BugRegistry, and a null observer — so the
+// produced artifact is bit-identical to what a synchronous compile at the request would have
+// built. Throws VmCrash for injected compile-time defects.
+std::shared_ptr<CompiledMethod> CompileArtifact(const BcProgram& program, int func, int level,
+                                                int32_t osr_pc, const VmConfig& config,
+                                                BugRegistry* bugs, const MethodRuntime* runtime,
+                                                observe::VmObserver* observer = nullptr);
+
 // Compilation front door, exposed for tests and offline inspection: builds and optimizes the
 // IR without wrapping it in a CompiledMethod. `guards_planted` (optional) receives the number
 // of speculative guards. `observer` (optional) receives per-pass timing events (kPass).

@@ -15,6 +15,8 @@ const char* EventCategory(EventKind kind) {
     case EventKind::kCompileStart:
     case EventKind::kCompileEnd:
     case EventKind::kPass:
+    case EventKind::kCompileInstall:
+    case EventKind::kCompileInvalidate:
       return "jit";
     case EventKind::kGcCycle:
     case EventKind::kHeapVerify:
@@ -69,6 +71,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kDeopt: return "deopt";
     case EventKind::kGcCycle: return "gc-cycle";
     case EventKind::kHeapVerify: return "heap-verify";
+    case EventKind::kCompileInstall: return "compile-install";
+    case EventKind::kCompileInvalidate: return "compile-invalidate";
   }
   return "unknown";
 }
@@ -82,6 +86,8 @@ const std::vector<std::string>& EventFieldNames(EventKind kind) {
   static const std::vector<std::string> kDeopt = {"func", "reason", "pc"};
   static const std::vector<std::string> kGc = {"live"};
   static const std::vector<std::string> kVerify = {"live"};
+  static const std::vector<std::string> kInstall = {"func", "level", "osr_pc", "at"};
+  static const std::vector<std::string> kInvalidate = {"func", "level", "osr_pc", "reason"};
   switch (kind) {
     case EventKind::kTierTransition: return kTier;
     case EventKind::kCompileStart: return kCompileStart;
@@ -91,6 +97,8 @@ const std::vector<std::string>& EventFieldNames(EventKind kind) {
     case EventKind::kDeopt: return kDeopt;
     case EventKind::kGcCycle: return kGc;
     case EventKind::kHeapVerify: return kVerify;
+    case EventKind::kCompileInstall: return kInstall;
+    case EventKind::kCompileInvalidate: return kInvalidate;
   }
   return kTier;
 }
@@ -151,6 +159,18 @@ Json EventToJson(const TraceEvent& event, const std::vector<std::string>& func_n
     case EventKind::kGcCycle:
     case EventKind::kHeapVerify:
       args.Set("live", event.value);
+      break;
+    case EventKind::kCompileInstall:
+      args.Set("func", FuncName(event.func, func_names));
+      args.Set("level", static_cast<int64_t>(event.level));
+      args.Set("osr_pc", static_cast<int64_t>(event.pc));
+      args.Set("at", event.value);
+      break;
+    case EventKind::kCompileInvalidate:
+      args.Set("func", FuncName(event.func, func_names));
+      args.Set("level", static_cast<int64_t>(event.level));
+      args.Set("osr_pc", static_cast<int64_t>(event.pc));
+      args.Set("reason", event.name != nullptr ? event.name : "");
       break;
   }
   j.Set("args", std::move(args));

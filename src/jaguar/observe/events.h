@@ -38,9 +38,11 @@ enum class EventKind : uint8_t {
   kDeopt,           // compiled code fell back to the interpreter, with reason
   kGcCycle,         // a mark-sweep collection cycle ran
   kHeapVerify,      // a full-heap verification walk completed
+  kCompileInstall,     // a background-compiled artifact was published to the code cache
+  kCompileInvalidate,  // a published artifact was invalidated (deopt-driven)
 };
 
-inline constexpr int kEventKindCount = 8;
+inline constexpr int kEventKindCount = 10;
 
 const char* EventKindName(EventKind kind);
 
@@ -56,7 +58,8 @@ struct TraceEvent {
   uint64_t ts_us = 0;          // timestamp, microseconds (clock supplied by the tracer)
   uint64_t dur_us = 0;         // kCompileEnd / kPass / kGcCycle: duration
   uint64_t value = 0;          // kCompileEnd: code bytes; kPass: IR instrs after the pass;
-                               // kGcCycle / kHeapVerify: live objects
+                               // kGcCycle / kHeapVerify: live objects; kCompileInstall: the
+                               // site counter (invocations / back-edges) at publication
 };
 
 // The declared `args` fields each kind serializes, in output order. The golden schema test

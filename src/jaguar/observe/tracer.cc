@@ -243,6 +243,60 @@ void VmObserver::HeapVerify(uint64_t live_objects) {
   Emit(event);
 }
 
+void VmObserver::CompileInstall(int func, int level, int32_t osr_pc, uint64_t site_counter,
+                                uint64_t queue_wait_us) {
+  ++queue_installed_;
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("artemis_compilequeue_wait_us",
+                           "Compile-request latency from enqueue to worker pickup",
+                           ExponentialBuckets(1.0, 4.0, 12))
+        ->Observe(static_cast<double>(queue_wait_us));
+  }
+  if (!events_on()) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kCompileInstall;
+  event.func = func;
+  event.level = level;
+  event.pc = osr_pc;
+  event.value = site_counter;
+  event.ts_us = Now();
+  Emit(event);
+}
+
+void VmObserver::CompileInvalidate(int func, int level, int32_t osr_pc, const char* reason) {
+  ++queue_invalidated_;
+  if (!events_on()) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kCompileInvalidate;
+  event.func = func;
+  event.level = level;
+  event.pc = osr_pc;
+  event.name = reason;
+  event.ts_us = Now();
+  Emit(event);
+}
+
+void VmObserver::CompileQueueDepth(uint64_t depth) {
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("artemis_compilequeue_depth",
+                           "Work-queue depth sampled at each compile-request enqueue",
+                           ExponentialBuckets(1.0, 2.0, 8))
+        ->Observe(static_cast<double>(depth));
+  }
+}
+
+void VmObserver::CompileQueueFinal(uint64_t enqueued, uint64_t completed, uint64_t discarded,
+                                   uint64_t dropped) {
+  queue_enqueued_ += enqueued;
+  queue_completed_ += completed;
+  queue_discarded_ += discarded;
+  queue_dropped_ += dropped;
+}
+
 std::shared_ptr<RunTelemetry> VmObserver::Finish(uint64_t steps) {
   JAG_CHECK_MSG(!finished_, "VmObserver::Finish called twice");
   finished_ = true;
@@ -279,6 +333,34 @@ std::shared_ptr<RunTelemetry> VmObserver::Finish(uint64_t steps) {
     const uint64_t gc = counts_[static_cast<size_t>(EventKind::kGcCycle)];
     if (gc > 0) {
       metrics_->GetCounter("jaguar_gc_cycles_total", "Garbage-collection cycles")->Inc(gc);
+    }
+    if (queue_enqueued_ > 0) {
+      metrics_->GetCounter("artemis_compilequeue_enqueued_total",
+                           "Compile requests enqueued to the background compiler")
+          ->Inc(queue_enqueued_);
+      metrics_->GetCounter("artemis_compilequeue_completed_total",
+                           "Background compilations finished by workers")
+          ->Inc(queue_completed_);
+    }
+    if (queue_installed_ > 0) {
+      metrics_->GetCounter("artemis_compilequeue_installed_total",
+                           "Background-compiled artifacts published to the code cache")
+          ->Inc(queue_installed_);
+    }
+    if (queue_invalidated_ > 0) {
+      metrics_->GetCounter("artemis_compilequeue_invalidated_total",
+                           "Published artifacts invalidated (deopts and stale profiles)")
+          ->Inc(queue_invalidated_);
+    }
+    if (queue_discarded_ > 0) {
+      metrics_->GetCounter("artemis_compilequeue_discarded_total",
+                           "Background compile results dropped without installation")
+          ->Inc(queue_discarded_);
+    }
+    if (queue_dropped_ > 0) {
+      metrics_->GetCounter("artemis_compilequeue_dropped_total",
+                           "Compile requests rejected because the work queue was full")
+          ->Inc(queue_dropped_);
     }
   }
 

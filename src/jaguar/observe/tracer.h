@@ -128,6 +128,19 @@ class VmObserver {
   void GcCycle(uint64_t start_us, uint64_t live_objects);
   void HeapVerify(uint64_t live_objects);
 
+  // --- background-compilation sites (engine.cc async paths; jit/concurrent) --------------
+  // Publication of a background-compiled artifact. `site_counter` is the invocation /
+  // back-edge count at install (the deterministic install point in scheduled mode);
+  // `queue_wait_us` feeds the artemis_compilequeue_wait_us histogram.
+  void CompileInstall(int func, int level, int32_t osr_pc, uint64_t site_counter,
+                      uint64_t queue_wait_us);
+  void CompileInvalidate(int func, int level, int32_t osr_pc, const char* reason);
+  // Queue depth sampled at each enqueue (artemis_compilequeue_depth histogram).
+  void CompileQueueDepth(uint64_t depth);
+  // End-of-run queue totals, flushed as artemis_compilequeue_* counters by Finish.
+  void CompileQueueFinal(uint64_t enqueued, uint64_t completed, uint64_t discarded,
+                         uint64_t dropped);
+
   // Flushes the aggregate counters into the shared metrics registry (if any) and packages
   // the run's telemetry. Call exactly once, after execution finished.
   std::shared_ptr<RunTelemetry> Finish(uint64_t steps);
@@ -146,6 +159,12 @@ class VmObserver {
   std::vector<uint64_t> invocations_by_tier_;  // [0] = interpreted
   uint64_t code_bytes_ = 0;
   uint64_t compiles_ = 0;
+  uint64_t queue_enqueued_ = 0;
+  uint64_t queue_completed_ = 0;
+  uint64_t queue_discarded_ = 0;
+  uint64_t queue_dropped_ = 0;
+  uint64_t queue_installed_ = 0;
+  uint64_t queue_invalidated_ = 0;
   bool finished_ = false;
 };
 

@@ -78,6 +78,25 @@ VmConfig VmConfig::WithStressSeed(uint64_t seed) const {
   return WithStress(s);
 }
 
+VmConfig VmConfig::WithCompile(const CompileConfig& compile_config) const {
+  VmConfig c = *this;
+  c.compile = compile_config;
+  return c;
+}
+
+VmConfig VmConfig::WithCompileMode(CompileMode mode) const {
+  VmConfig c = *this;
+  c.compile.mode = mode;
+  return c;
+}
+
+VmConfig VmConfig::WithScheduleSeed(uint64_t seed) const {
+  VmConfig c = *this;
+  c.compile.mode = CompileMode::kScheduled;
+  c.compile.schedule_seed = seed;
+  return c;
+}
+
 VmConfig HotSniffConfig() {
   VmConfig c;
   c.name = "HotSniff";

@@ -4,9 +4,11 @@
 // mechanisms but differ in thresholds, tier structure, and (crucially) in which latent bugs
 // they carry. We model each vendor as a VmConfig: same Jaguar VM code, different thresholds
 // and injected-defect sets (DESIGN.md §1). Evaluation parameters follow the paper's §4.1:
-// background compilation is implicitly disabled (the engine compiles synchronously), and the
-// default compilation thresholds are 5,000/10,000 for the HotSpot- and OpenJ9-like configs and
-// 20,000/50,000 for the ART-like one.
+// background compilation defaults to off (CompileMode::kSync — the engine compiles
+// synchronously, as the paper's evaluation does), and the default compilation thresholds are
+// 5,000/10,000 for the HotSpot- and OpenJ9-like configs and 20,000/50,000 for the ART-like
+// one. The `compile` field opts a run into background compilation: free-running (fast,
+// timing-dependent) or scheduled (deterministic install points; DESIGN.md §10).
 
 #ifndef SRC_JAGUAR_VM_CONFIG_H_
 #define SRC_JAGUAR_VM_CONFIG_H_
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "src/jaguar/jit/bug_ids.h"
+#include "src/jaguar/jit/concurrent/compile_mode.h"
 #include "src/jaguar/jit/stress/stress.h"
 #include "src/jaguar/observe/events.h"
 
@@ -92,6 +95,12 @@ struct VmConfig {
   // seed) triple is one reproducible point in compilation space.
   StressConfig stress;
 
+  // Background compilation (jit/concurrent): kSync compiles on the execution thread at the
+  // request point; kBackground enqueues to worker threads and installs whenever the result is
+  // next observed (fast, timing-dependent); kScheduled defers installation to a deterministic
+  // per-site counter derived from `compile.schedule_seed` — the third seeded exploration axis.
+  CompileConfig compile;
+
   // JIT-trace recording (full temperature vectors; the summary is always recorded).
   bool record_full_trace = false;
   size_t max_trace_vectors = 4096;
@@ -118,6 +127,11 @@ struct VmConfig {
   VmConfig WithStress(const StressConfig& stress_config) const;
   // Convenience: all stress classes on under `seed`.
   VmConfig WithStressSeed(uint64_t seed) const;
+  VmConfig WithCompile(const CompileConfig& compile_config) const;
+  // Convenience: switch the compile mode, keeping the other compile knobs.
+  VmConfig WithCompileMode(CompileMode mode) const;
+  // Convenience: kScheduled under `seed` (the per-corpus-seed derivation campaigns use).
+  VmConfig WithScheduleSeed(uint64_t seed) const;
 };
 
 // The three simulated vendors, with their latent defect sets.

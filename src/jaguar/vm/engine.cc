@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/concurrent/install_schedule.h"
 #include "src/jaguar/jit/pipeline.h"
 #include "src/jaguar/support/check.h"
 #include "src/jaguar/vm/interpreter.h"
@@ -91,8 +92,16 @@ Vm::Vm(const BcProgram& program, VmConfig config, std::unique_ptr<JitCompilerApi
   for (auto& rt : runtimes_) {
     rt.by_level.resize(config_.tiers.size() + 1);
   }
+  if (config_.jit_enabled && config_.compile.mode != CompileMode::kSync) {
+    background_ = std::make_unique<BackgroundCompiler>(program_, config_,
+                                                       config_.compile.threads,
+                                                       config_.compile.queue_capacity);
+    code_cache_ = std::make_unique<CodeCache>();
+  }
 }
 
+// The BackgroundCompiler member joins its workers on destruction, so a Vm destroyed with
+// compiles in flight (including after a throwing run) tears down cleanly.
 Vm::~Vm() = default;
 
 Vm::FrameGuard::FrameGuard(Vm& vm, const std::vector<int64_t>* a, const std::vector<int64_t>* b)
@@ -142,6 +151,16 @@ RunOutcome Vm::Run() {
   } catch (const TimeoutAbort&) {
     out.status = RunStatus::kTimeout;
   }
+  if (background_ != nullptr) {
+    // Stop the workers before packaging the outcome: in-flight compilations finish (their
+    // results are counted as discarded), so the queue totals below are final.
+    background_->Shutdown();
+    if (observer_ != nullptr) {
+      const BackgroundCompilerStats queue_stats = background_->stats();
+      observer_->CompileQueueFinal(queue_stats.enqueued, queue_stats.completed,
+                                   queue_stats.discarded, dropped_requests_);
+    }
+  }
   out.output = output_;
   out.steps = steps_;
   out.fired_bugs = bugs_.FiredBugs();
@@ -176,14 +195,27 @@ int64_t Vm::InvokeFunction(int func, const std::vector<int64_t>& args) {
     level = std::min(level, static_cast<int>(config_.tiers.size()));
   }
 
-  const int token = recorder_->BeginCall(func, rt.invocation_count, level > 0 ? level : 0);
+  int token;
   std::shared_ptr<CompiledMethod> compiled;
-  if (level > 0) {
-    compiled = EnsureCompiled(func, level, -1, token);
+  if (background_ == nullptr) {
+    token = recorder_->BeginCall(func, rt.invocation_count, level > 0 ? level : 0);
+    if (level > 0) {
+      compiled = EnsureCompiled(func, level, -1, token);
+    }
+  } else {
+    // Async modes: the artifact that actually runs may be a lower entrant tier (the requested
+    // tier is still compiling), so the trace vector's entry temperature is only known after
+    // the compile/install bookkeeping. AddTransition inside EnsureCompiled is skipped (-1)
+    // and the entry temperature comes from the artifact itself.
+    if (level > 0) {
+      compiled = EnsureCompiled(func, level, -1, -1);
+    }
+    token = recorder_->BeginCall(func, rt.invocation_count,
+                                 compiled != nullptr ? compiled->level() : 0);
   }
   recorder_->CountCall(compiled != nullptr);
   if (observer_ != nullptr) {
-    observer_->CallEntry(func, compiled != nullptr ? level : 0);
+    observer_->CallEntry(func, compiled != nullptr ? compiled->level() : 0);
   }
 
   if (compiled != nullptr) {
@@ -215,6 +247,9 @@ std::shared_ptr<CompiledMethod> Vm::EnsureCompiled(int func, int level, int32_t 
                                                    int trace_token) {
   JAG_CHECK(jit_ != nullptr && level >= 1 &&
             level <= static_cast<int>(config_.tiers.size()));
+  if (background_ != nullptr) {
+    return EnsureCompiledAsync(func, level, osr_pc, trace_token);
+  }
   MethodRuntime& rt = runtime(func);
   if (osr_pc < 0) {
     auto& slot = rt.by_level[static_cast<size_t>(level)];
@@ -255,6 +290,144 @@ std::shared_ptr<CompiledMethod> Vm::EnsureCompiled(int func, int level, int32_t 
   recorder_->CountSpeculativeGuards(artifact->speculative_guards());
   recorder_->AddTransition(trace_token, level);
   return artifact;
+}
+
+std::shared_ptr<CompiledMethod> Vm::EnsureCompiledAsync(int func, int level, int32_t osr_pc,
+                                                        int trace_token) {
+  MethodRuntime& rt = runtime(func);
+
+  // Serve already-published code first (the common case once the method is warm).
+  if (osr_pc < 0) {
+    auto& slot = rt.by_level[static_cast<size_t>(level)];
+    if (slot != nullptr && slot->entrant()) {
+      recorder_->AddTransition(trace_token, level);
+      return slot;
+    }
+  } else {
+    auto it = rt.osr_by_pc.find(osr_pc);
+    if (it != rt.osr_by_pc.end() && it->second->entrant() && it->second->level() >= level) {
+      recorder_->AddTransition(trace_token, it->second->level());
+      return it->second;
+    }
+  }
+
+  const CompileSiteKey key{func, level, osr_pc};
+  // The site's deterministic clock: invocations for method entries, this loop's back-edge
+  // count for OSR sites. Both are pure functions of the executed program, never of time.
+  const uint64_t counter = osr_pc < 0 ? rt.invocation_count : rt.backedge_counts[osr_pc];
+
+  auto pending_it = pending_.find(key);
+  if (pending_it == pending_.end()) {
+    // New request: snapshot the profile *now* so the worker builds exactly the artifact a
+    // synchronous compile at this point would have built, charge the same compile cost as
+    // the sync path (step-budget parity), and keep executing at the best entrant tier.
+    CompileTask task;
+    task.func = func;
+    task.level = level;
+    task.osr_pc = osr_pc;
+    task.profile = rt.ProfileSnapshot();
+    uint64_t ticket = 0;
+    if (config_.compile.mode == CompileMode::kScheduled) {
+      // A full queue blocks here — pure wall-clock delay, invisible to the schedule.
+      ticket = background_->Enqueue(std::move(task));
+    } else {
+      std::optional<uint64_t> tried = background_->TryEnqueue(std::move(task));
+      if (!tried.has_value()) {
+        // Free-running backpressure: drop the request. The site's counters keep rising, so
+        // it simply re-arises at the next invocation/back-edge with a fresher profile.
+        ++dropped_requests_;
+        return AsyncEntryFallback(rt, level, osr_pc, trace_token);
+      }
+      ticket = *tried;
+    }
+    AddSteps(jit_->CompileCostSteps(*this, func));
+    PendingCompile pending;
+    pending.ticket = ticket;
+    pending.request_counter = counter;
+    pending.install_at = config_.compile.mode == CompileMode::kScheduled
+                             ? counter + InstallDelay(config_.compile.schedule_seed, func,
+                                                      level, osr_pc)
+                             : counter;
+    if (observer_ != nullptr) {
+      pending.obs_start_us = observer_->Now();
+      observer_->CompileStart(func, level, osr_pc);
+      observer_->CompileQueueDepth(background_->depth());
+    }
+    pending_.emplace(key, pending);
+    return AsyncEntryFallback(rt, level, osr_pc, trace_token);
+  }
+
+  // Request in flight: publish at the install point (kScheduled blocks on the worker there,
+  // making the installed schedule machine-independent), or at the first poll that finds the
+  // result ready (kBackground).
+  PendingCompile pending = pending_it->second;
+  CompileOutput out;
+  if (config_.compile.mode == CompileMode::kScheduled) {
+    if (counter < pending.install_at) {
+      return AsyncEntryFallback(rt, level, osr_pc, trace_token);
+    }
+    out = background_->WaitTake(pending.ticket);
+  } else if (!background_->TryTake(pending.ticket, &out)) {
+    return AsyncEntryFallback(rt, level, osr_pc, trace_token);
+  }
+  pending_.erase(pending_it);
+  return InstallCompiled(key, pending, std::move(out), trace_token);
+}
+
+std::shared_ptr<CompiledMethod> Vm::InstallCompiled(const CompileSiteKey& key,
+                                                    const PendingCompile& pending,
+                                                    CompileOutput out, int trace_token) {
+  // Fired-defect merge is a set union, so the merge point (install, not compile-finish)
+  // never reorders telemetry relative to the deterministic schedule.
+  for (BugId bug : out.fired_bugs) {
+    bugs_.Fire(bug);
+  }
+  if (out.internal_error) {
+    throw InternalError("background compile: " + out.internal_message);
+  }
+  if (out.crashed) {
+    // A compile-time crash surfaces where the result is taken — the deterministic install
+    // point in scheduled mode — flowing through the one catch site in Run like sync crashes.
+    throw VmCrash(out.crash_component, out.crash_kind, out.crash_message);
+  }
+
+  MethodRuntime& rt = runtime(key.func);
+  std::shared_ptr<CompiledMethod> artifact = std::move(out.artifact);
+  const uint64_t counter =
+      key.osr_pc < 0 ? rt.invocation_count : rt.backedge_counts[key.osr_pc];
+  if (key.osr_pc < 0) {
+    rt.by_level[static_cast<size_t>(key.level)] = artifact;
+    recorder_->CountJitCompilation();
+  } else {
+    rt.osr_by_pc[key.osr_pc] = artifact;
+    recorder_->CountOsrCompilation();
+  }
+  recorder_->CountSpeculativeGuards(artifact->speculative_guards());
+  recorder_->AddTransition(trace_token, key.level);
+  code_cache_->Install(key, artifact,
+                       StressPlan(config_.stress, key.func, key.level, key.osr_pc).fingerprint(),
+                       counter);
+  if (observer_ != nullptr) {
+    observer_->CompileEnd(key.func, key.level, key.osr_pc, pending.obs_start_us,
+                          artifact->code_size_estimate());
+    observer_->CompileInstall(key.func, key.level, key.osr_pc, counter, out.queue_wait_us);
+  }
+  return artifact;
+}
+
+std::shared_ptr<CompiledMethod> Vm::AsyncEntryFallback(MethodRuntime& rt, int level,
+                                                       int32_t osr_pc, int trace_token) {
+  if (osr_pc >= 0) {
+    return nullptr;  // OSR sites have no lower-tier artifact to enter; keep interpreting
+  }
+  for (int lower = level - 1; lower >= 1; --lower) {
+    auto& slot = rt.by_level[static_cast<size_t>(lower)];
+    if (slot != nullptr && slot->entrant()) {
+      recorder_->AddTransition(trace_token, lower);
+      return slot;
+    }
+  }
+  return nullptr;
 }
 
 std::shared_ptr<CompiledMethod> Vm::OnBackEdge(int func, int32_t header_pc, int trace_token) {
@@ -302,6 +475,28 @@ void Vm::NoteDeopt(int func, const DeoptState& state, CompiledMethod* artifact,
   }
 
   rt.failed_speculations[state.failed_guard_pc] = state.failed_guard_expectation;
+
+  if (background_ != nullptr) {
+    // Deopt-driven invalidation: retire the published artifact and abandon every in-flight
+    // request for this method — their profile snapshots predate the failed speculation and
+    // would re-speculate the same guard; the next request re-snapshots the updated profile.
+    const CompileSiteKey key{func, artifact->level(), artifact->osr_pc()};
+    if (code_cache_->Invalidate(key) && observer_ != nullptr) {
+      observer_->CompileInvalidate(func, key.level, key.osr_pc, "deopt");
+    }
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->first.func == func) {
+        background_->Discard(it->second.ticket);
+        if (observer_ != nullptr) {
+          observer_->CompileInvalidate(func, it->first.level, it->first.osr_pc,
+                                       "stale-profile");
+        }
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 
   // The kRecompileCycling defect: the recompilation policy keeps re-speculating failed
   // guards from a stale profile view (see SpeculationPass) and never applies the

@@ -17,12 +17,15 @@
 #ifndef SRC_JAGUAR_VM_ENGINE_H_
 #define SRC_JAGUAR_VM_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/jaguar/bytecode/module.h"
 #include "src/jaguar/jit/bugs.h"
+#include "src/jaguar/jit/concurrent/background_compiler.h"
+#include "src/jaguar/jit/concurrent/code_cache.h"
 #include "src/jaguar/observe/tracer.h"
 #include "src/jaguar/vm/config.h"
 #include "src/jaguar/vm/heap.h"
@@ -102,6 +105,9 @@ class Vm {
   // The run's observability facade, or null when tracing and metrics are both off
   // (the zero-cost default: every instrumentation site is a single null check).
   observe::VmObserver* observer() { return observer_.get(); }
+  // Background-compilation machinery, null in sync mode (tests inspect queue/cache stats).
+  const BackgroundCompiler* background_compiler() const { return background_.get(); }
+  const CodeCache* code_cache() const { return code_cache_.get(); }
   uint64_t steps() const { return steps_; }
   int call_depth() const { return call_depth_; }
 
@@ -133,6 +139,35 @@ class Vm {
   int64_t RunCompiledToCompletion(int func, std::shared_ptr<CompiledMethod> compiled,
                                   std::vector<int64_t> locals, int trace_token);
 
+  // --- background-compilation paths (config.compile.mode != kSync; DESIGN.md §10) ----------
+
+  // One in-flight compile request, keyed by its site in pending_. `install_at` is the site
+  // counter (invocations / back-edges) at which kScheduled publishes; kBackground leaves it
+  // at the request counter and publishes at the first poll that finds the result ready.
+  struct PendingCompile {
+    uint64_t ticket = 0;
+    uint64_t request_counter = 0;
+    uint64_t install_at = 0;
+    uint64_t obs_start_us = 0;  // observer clock at request, for install-latency spans
+  };
+
+  // Async analogue of the synchronous EnsureCompiled body: serves published artifacts,
+  // enqueues new requests, and installs finished compilations at their (scheduled or
+  // free-running) install points. Returns the best entrant artifact to run now, or null to
+  // keep interpreting.
+  std::shared_ptr<CompiledMethod> EnsureCompiledAsync(int func, int level, int32_t osr_pc,
+                                                      int trace_token);
+  // Publishes a finished background compilation: merges fired defects, rethrows captured
+  // compile-time crashes on this (the execution) thread, fills the MethodRuntime slots and
+  // the code cache, and emits install events/metrics.
+  std::shared_ptr<CompiledMethod> InstallCompiled(const CompileSiteKey& key,
+                                                  const PendingCompile& pending,
+                                                  CompileOutput out, int trace_token);
+  // Best already-entrant artifact below `level` for a method entry while the requested tier
+  // is still compiling (null for OSR sites and when nothing lower is entrant).
+  std::shared_ptr<CompiledMethod> AsyncEntryFallback(MethodRuntime& rt, int level,
+                                                     int32_t osr_pc, int trace_token);
+
   const BcProgram& program_;
   VmConfig config_;
   std::unique_ptr<JitCompilerApi> jit_;
@@ -144,6 +179,13 @@ class Vm {
   std::vector<int64_t> globals_;
   std::vector<MethodRuntime> runtimes_;
   BugRegistry bugs_;
+
+  // Background compilation (null in sync mode). pending_ and the code cache live on the
+  // execution thread; only the BackgroundCompiler's queue/mailbox cross threads.
+  std::unique_ptr<BackgroundCompiler> background_;
+  std::unique_ptr<CodeCache> code_cache_;
+  std::map<CompileSiteKey, PendingCompile> pending_;
+  uint64_t dropped_requests_ = 0;  // kBackground: enqueues rejected on a full queue
 
   std::string output_;
   int mute_depth_ = 0;

@@ -28,4 +28,15 @@ int MethodRuntime::EntrantLevel() const {
   return 0;
 }
 
+MethodRuntime MethodRuntime::ProfileSnapshot() const {
+  MethodRuntime snapshot;
+  snapshot.invocation_count = invocation_count;
+  snapshot.backedge_counts = backedge_counts;
+  snapshot.branch_profiles = branch_profiles;
+  snapshot.failed_speculations = failed_speculations;
+  snapshot.deopt_count = deopt_count;
+  snapshot.compilation_disabled = compilation_disabled;
+  return snapshot;
+}
+
 }  // namespace jaguar

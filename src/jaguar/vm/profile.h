@@ -60,6 +60,12 @@ struct MethodRuntime {
 
   // Highest level with an entrant compiled artifact (0 = none).
   int EntrantLevel() const;
+
+  // Value copy of the profiling state (counters, branch profiles, failed speculations) with
+  // the artifact slots left empty — what a background compile request carries to a worker
+  // thread (jit/concurrent). Everything the pipeline reads is in the snapshot; the artifact
+  // maps stay owned by the execution thread.
+  MethodRuntime ProfileSnapshot() const;
 };
 
 }  // namespace jaguar

@@ -1,0 +1,419 @@
+// Determinism suite for the compile axis (jit/concurrent):
+//
+//   1. kScheduled mode is observably bit-identical to kSync on defect-free VMs: a 200-seed ×
+//      3-vendor sweep compares output digests, and the install decision log (kCompileInstall
+//      trace events) is invariant across worker counts — the schedule is a pure function of
+//      (seed, site), never of thread timing.
+//   2. Compile-axis provenance survives every persistence layer: CompileConfig JSON, corpus
+//      sidecars, the journal's triage/report/shard/params codecs, and a killed-and-resumed
+//      durable campaign in scheduled mode replays to the reference OutcomeDigest.
+//   3. Campaigns and the durable service stay thread-count-invariant with the axis on, and
+//      corpus admission ordering is deterministic when multiple workers report new-trace
+//      mutants in the same round.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/artemis/corpus/corpus.h"
+#include "src/artemis/fuzzer/generator.h"
+#include "src/artemis/service/durable.h"
+#include "src/artemis/service/journal.h"
+#include "src/artemis/service/service.h"
+#include "src/artemis/triage/triage.h"
+#include "src/jaguar/bytecode/compiler.h"
+#include "src/jaguar/jit/concurrent/compile_mode.h"
+#include "src/jaguar/jit/concurrent/install_schedule.h"
+#include "src/jaguar/lang/parser.h"
+#include "src/jaguar/lang/typecheck.h"
+#include "src/jaguar/observe/tracer.h"
+#include "src/jaguar/support/json.h"
+#include "src/jaguar/vm/engine.h"
+
+namespace artemis {
+namespace {
+
+namespace fs = std::filesystem;
+using jaguar::BcProgram;
+using jaguar::CompileConfig;
+using jaguar::CompileMode;
+using jaguar::Json;
+using jaguar::RunOutcome;
+using jaguar::VmConfig;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "jag_sched_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+VmConfig HotVendor(VmConfig vm) {
+  for (jaguar::TierSpec& tier : vm.tiers) {
+    tier.invoke_threshold = tier.invoke_threshold / 1000 + 1;
+    tier.osr_threshold = tier.osr_threshold / 1000 + 1;
+  }
+  vm.gc_period = 32;
+  vm.step_budget = 50'000'000;
+  return vm;
+}
+
+// Observable digest of one run: everything SameObservable compares, folded to 16 hex chars.
+std::string ObservableDigest(const RunOutcome& out) {
+  std::string canon = std::to_string(static_cast<int>(out.status)) + "|" + out.output;
+  if (out.status == jaguar::RunStatus::kVmCrash) {
+    canon += "|" + std::to_string(static_cast<int>(out.crash_component)) + "|" + out.crash_kind;
+  }
+  return jaguar::Hex64(jaguar::Fnv1a64(canon));
+}
+
+// --- CompileConfig JSON -----------------------------------------------------------------------
+
+TEST(CompileConfigJsonTest, RoundTripIsByteIdentical) {
+  CompileConfig config;
+  config.mode = CompileMode::kScheduled;
+  config.threads = 5;
+  config.queue_capacity = 17;
+  config.schedule_seed = 0x0123456789ABCDEFULL;
+
+  const std::string dump = jaguar::CompileConfigToJson(config).Dump();
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(dump, &parsed));
+  const CompileConfig decoded = jaguar::CompileConfigFromJson(parsed);
+  EXPECT_EQ(decoded, config);
+  EXPECT_EQ(jaguar::CompileConfigToJson(decoded).Dump(), dump);
+}
+
+TEST(CompileConfigJsonTest, MissingFieldsDecodeToSyncDefault) {
+  // Journals and sidecars written before the compile axis existed have no compile object at
+  // all; a lenient decode of an empty object must yield the synchronous default.
+  const CompileConfig decoded = jaguar::CompileConfigFromJson(Json::Object());
+  EXPECT_EQ(decoded, CompileConfig{});
+  EXPECT_EQ(decoded.mode, CompileMode::kSync);
+}
+
+// --- The 200×3 sweep: scheduled ≡ sync --------------------------------------------------------
+
+// The tentpole contract: on a defect-free VM, deferring installs to seeded per-site points is
+// a legal scheduling of the same compilation space, so every (seed, vendor) pair must produce
+// a bit-identical observable digest in kScheduled mode and in kSync mode. Deopt/transition
+// *counts* may legitimately differ (a guard can fail during the deferral window); observables
+// may not.
+TEST(ScheduleEquivalenceTest, TwoHundredSeedsThreeVendorsShareDigests) {
+  int compared = 0;
+  for (uint64_t seed = 9'000; seed < 9'200; ++seed) {
+    const BcProgram program =
+        jaguar::CompileProgram(GenerateProgram(FuzzConfig{}, seed));
+    for (const VmConfig& vendor : jaguar::AllVendors()) {
+      const VmConfig base = HotVendor(vendor.WithoutBugs());
+      const RunOutcome sync = jaguar::RunProgram(program, base);
+      const RunOutcome scheduled =
+          jaguar::RunProgram(program, base.WithScheduleSeed(jaguar::DeriveScheduleSeed(
+                                          0xA5C3EDULL, seed)));
+      ASSERT_EQ(ObservableDigest(sync), ObservableDigest(scheduled))
+          << vendor.name << " seed " << seed << "\nsync:      " << sync.output
+          << "\nscheduled: " << scheduled.output;
+      ASSERT_TRUE(sync.SameObservable(scheduled));
+      ++compared;
+    }
+  }
+  EXPECT_EQ(compared, 600);
+}
+
+// --- Install decision-log replay --------------------------------------------------------------
+
+// The kCompileInstall event stream (func, level, osr_pc, install counter) IS the tier-switch
+// decision log of a scheduled run.
+std::vector<std::vector<int64_t>> InstallLog(const BcProgram& bc, const VmConfig& vm) {
+  const RunOutcome out =
+      jaguar::RunProgram(bc, vm.WithTrace(jaguar::observe::TraceLevel::kBoundary));
+  std::vector<std::vector<int64_t>> log;
+  if (out.telemetry != nullptr) {
+    for (const jaguar::observe::TraceEvent& event : out.telemetry->events) {
+      if (event.kind == jaguar::observe::EventKind::kCompileInstall) {
+        log.push_back({event.func, event.level, event.pc,
+                       static_cast<int64_t>(event.value)});
+      }
+    }
+  }
+  return log;
+}
+
+TEST(ScheduleReplayTest, InstallLogIsInvariantAcrossWorkerCounts) {
+  const BcProgram program = jaguar::CompileProgram(GenerateProgram(FuzzConfig{}, 101));
+  VmConfig vm = HotVendor(jaguar::OpenJadeConfig().WithoutBugs());
+  vm = vm.WithScheduleSeed(0xD06F00D);
+
+  vm.compile.threads = 1;
+  const auto one_worker = InstallLog(program, vm);
+  vm.compile.threads = 8;
+  const auto eight_workers = InstallLog(program, vm);
+
+  ASSERT_FALSE(one_worker.empty()) << "scheduled run must install compiled code";
+  EXPECT_EQ(one_worker, eight_workers)
+      << "install points are a pure function of (seed, site), never of worker timing";
+
+  // A different schedule seed is a different compilation-space point: some install point
+  // (event value = the site counter at publication) must move.
+  const auto other_schedule = InstallLog(program, vm.WithScheduleSeed(0xBEEF));
+  EXPECT_NE(one_worker, other_schedule);
+
+  // Replay of the recorded log: re-running the same seed reproduces it event-for-event.
+  EXPECT_EQ(InstallLog(program, vm), eight_workers);
+}
+
+// --- Campaign determinism ---------------------------------------------------------------------
+
+CampaignParams ScheduledCampaignParams() {
+  CampaignParams params;
+  params.num_seeds = 4;
+  params.base_seed = 77'000;
+  params.validator.max_iter = 3;
+  params.validator.jonm.synth.min_bound = 5'000;
+  params.validator.jonm.synth.max_bound = 10'000;
+  params.validator.compile.mode = CompileMode::kScheduled;
+  params.validator.compile.threads = 2;
+  params.step_budget = 40'000'000;
+  return params;
+}
+
+TEST(ScheduledCampaignDeterminismTest, RepeatRunsAndThreadCountsShareOneDigest) {
+  const VmConfig vm = jaguar::AllVendors()[0];
+  CampaignParams params = ScheduledCampaignParams();
+
+  params.num_threads = 1;
+  const CampaignStats sequential = RunCampaign(vm, params);
+  const CampaignStats again = RunCampaign(vm, params);
+  params.num_threads = 8;
+  const CampaignStats parallel = RunCampaign(vm, params);
+
+  EXPECT_EQ(sequential.OutcomeDigest(), again.OutcomeDigest());
+  EXPECT_EQ(sequential.OutcomeDigest(), parallel.OutcomeDigest());
+  EXPECT_TRUE(sequential.SameOutcome(parallel));
+}
+
+TEST(ScheduledCampaignDeterminismTest, ScheduledMatchesSyncCampaignObservables) {
+  // With defects disabled the whole campaign must agree with its sync twin on everything
+  // except the compile-mode provenance stamped into reports (none here: no defects → no
+  // reports). Vendor defects stay enabled in the other tests; here we isolate the axis.
+  const VmConfig vm = jaguar::AllVendors()[0].WithoutBugs();
+  CampaignParams params = ScheduledCampaignParams();
+  params.num_threads = 4;
+  const CampaignStats scheduled = RunCampaign(vm, params);
+  params.validator.compile = CompileConfig{};
+  const CampaignStats sync = RunCampaign(vm, params);
+  EXPECT_EQ(scheduled.OutcomeDigest(), sync.OutcomeDigest());
+  EXPECT_TRUE(scheduled.SameOutcome(sync));
+}
+
+// --- Provenance codecs ------------------------------------------------------------------------
+
+TEST(JournalCompileTest, TriageReportRoundTripsCompileProvenance) {
+  TriageReport report;
+  report.reproduced = true;
+  report.kind = DiscrepancyKind::kMisCompilation;
+  report.stage = "gvn";
+  report.candidates = {"gvn"};
+  report.runs = 12;
+  report.compile_mode = CompileMode::kScheduled;
+  report.schedule_seed = 0xFACE;
+
+  const std::string dump = TriageToJson(report).Dump();
+  TriageReport decoded;
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(dump, &parsed));
+  ASSERT_TRUE(TriageFromJson(parsed, &decoded));
+  EXPECT_EQ(decoded, report);
+  EXPECT_EQ(TriageToJson(decoded).Dump(), dump);
+  EXPECT_NE(report.DedupKey().find("#cscheduled"), std::string::npos);
+
+  // Sync-mode triages keep their historical byte shape: no compile keys at all.
+  report.compile_mode = CompileMode::kSync;
+  report.schedule_seed = 0;
+  EXPECT_EQ(TriageToJson(report).Dump().find("compile"), std::string::npos);
+}
+
+TEST(JournalCompileTest, BugReportRoundTripsCompileProvenance) {
+  BugReport report;
+  report.seed_id = 31;
+  report.kind = DiscrepancyKind::kCrash;
+  report.crash_kind = "segfault";
+  report.detail = "jitted code crashed after deferred install";
+  report.compile_mode = CompileMode::kScheduled;
+  report.schedule_seed = 0xC0FFEE;
+
+  BugReport decoded;
+  ASSERT_TRUE(BugReportFromJson(BugReportToJson(report), &decoded));
+  EXPECT_EQ(decoded, report);
+  EXPECT_EQ(BugReportToJson(decoded).Dump(), BugReportToJson(report).Dump());
+
+  report.compile_mode = CompileMode::kSync;
+  report.schedule_seed = 0;
+  EXPECT_EQ(BugReportToJson(report).Dump().find("compile"), std::string::npos);
+}
+
+TEST(JournalCompileTest, ShardRoundTripsCompileConfig) {
+  SeedShardResult shard;
+  shard.seed_id = 5;
+  shard.report.seed_usable = true;
+  shard.compile.mode = CompileMode::kScheduled;
+  shard.compile.threads = 3;
+  shard.compile.schedule_seed = 0xABCDEF;
+
+  SeedShardResult decoded;
+  ASSERT_TRUE(ShardFromJson(ShardToJson(shard), &decoded));
+  EXPECT_EQ(decoded.compile, shard.compile);
+
+  // Sync shards keep the historical shape.
+  shard.compile = CompileConfig{};
+  EXPECT_EQ(ShardToJson(shard).Dump().find("compile"), std::string::npos);
+}
+
+TEST(JournalCompileTest, CampaignParamsRoundTripCompileConfig) {
+  CampaignParams params = ScheduledCampaignParams();
+  CampaignParams decoded;
+  ASSERT_TRUE(CampaignParamsFromJson(CampaignParamsToJson(params), &decoded));
+  EXPECT_EQ(decoded.validator.compile, params.validator.compile);
+  EXPECT_EQ(CampaignParamsToJson(decoded).Dump(), CampaignParamsToJson(params).Dump());
+
+  // Sync params serialize without the key, so pre-compile-axis campaign fingerprints (and
+  // therefore journal resumability) are unchanged.
+  params.validator.compile = CompileConfig{};
+  EXPECT_EQ(CampaignParamsToJson(params).Dump().find("\"compile\""), std::string::npos);
+}
+
+TEST(CorpusCompileTest, SidecarRoundTripsScheduleSeedByteIdentically) {
+  CorpusMeta meta;
+  meta.id = "00dead00beef0000";
+  meta.origin_seed = 13;
+  meta.schedule_seed = 0x5EEDBA5EDULL;
+
+  const std::string dump = meta.ToJson().Dump();
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(dump, &parsed));
+  CorpusMeta decoded;
+  ASSERT_TRUE(CorpusMeta::FromJson(parsed, &decoded));
+  EXPECT_EQ(decoded.schedule_seed, meta.schedule_seed);
+  EXPECT_EQ(decoded.ToJson().Dump(), dump);
+}
+
+// --- Triage replay ----------------------------------------------------------------------------
+
+TEST(ScheduleTriageTest, PinnedScheduleReplaysTheTriage) {
+  // A triage run in scheduled mode records its schedule; replaying purely from the report's
+  // provenance must reproduce the identical attribution (the reader-of-a-filed-report flow).
+  const jaguar::Program program = [] {
+    jaguar::Program p = jaguar::ParseProgram(R"(
+      int hot(int x) {
+        int acc = 0;
+        for (int i = 0; i < 8; i++) { acc += (x + i) * 3 - (acc >> 1); }
+        return acc;
+      }
+      int main() {
+        long total = 0L;
+        for (int r = 0; r < 400; r++) { total += hot(r); }
+        print(total);
+        return 0;
+      }
+    )");
+    jaguar::Check(p);
+    return p;
+  }();
+  VmConfig vm = HotVendor(jaguar::HotSniffConfig());
+  vm.bugs = {jaguar::BugId::kGvnLoadAcrossStore};
+
+  TriageParams params;
+  params.compile.mode = CompileMode::kScheduled;
+  params.compile.schedule_seed = 0x7E57;
+  const TriageReport first = TriageDiscrepancy(program, vm, params);
+  EXPECT_EQ(first.compile_mode, CompileMode::kScheduled);
+  EXPECT_EQ(first.schedule_seed, 0x7E57u);
+
+  TriageParams replay;
+  replay.compile.mode = first.compile_mode;
+  replay.compile.schedule_seed = first.schedule_seed;
+  const TriageReport second = TriageDiscrepancy(program, vm, replay);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(second.DedupKey(), first.DedupKey());
+}
+
+// --- Durable resume ---------------------------------------------------------------------------
+
+TEST(ScheduleDurableTest, KilledAndResumedScheduledCampaignKeepsTheDigest) {
+  const VmConfig vm = jaguar::AllVendors()[0];
+  CampaignParams params = ScheduledCampaignParams();
+  params.num_threads = 2;
+
+  const CampaignStats reference = RunCampaign(vm, params);
+
+  const std::string dir = FreshDir("durable");
+  DurableOptions durable;
+  durable.journal_path = dir + "/campaign_journal.jsonl";
+  durable.stop_after_seeds = 2;
+  const DurableResult partial = RunDurableCampaign(vm, params, durable);
+  ASSERT_FALSE(partial.complete);
+
+  // The resume re-derives every remaining seed's install schedule from the journaled params;
+  // a schedule lost or re-derived differently would change the digest.
+  const DurableResult resumed = ResumeCampaign(durable.journal_path);
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.replayed_seeds, 0);
+  EXPECT_EQ(resumed.stats.OutcomeDigest(), reference.OutcomeDigest());
+}
+
+// --- Service: concurrent admission ordering ---------------------------------------------------
+
+ServiceParams ScheduledServiceParams(const std::string& dir) {
+  ServiceParams params;
+  params.corpus_dir = dir;
+  params.rounds = 2;
+  params.fresh_seeds_per_round = 4;
+  params.admission = true;
+  params.campaign.base_seed = 51'000;
+  params.campaign.validator.max_iter = 3;
+  params.campaign.validator.jonm.synth.min_bound = 5'000;
+  params.campaign.validator.jonm.synth.max_bound = 10'000;
+  params.campaign.validator.compile.mode = CompileMode::kScheduled;
+  params.campaign.validator.compile.threads = 2;
+  params.campaign.step_budget = 40'000'000;
+  return params;
+}
+
+// Admission order is the determinism-sensitive part of corpus evolution: entries are admitted
+// in schedule order during the sequential fold, so any number of workers — each reporting
+// new-trace mutants concurrently — must evolve byte-identical corpora.
+TEST(ScheduledServiceTest, AdmissionOrderingIsWorkerCountInvariant) {
+  auto corpus_listing = [](const std::string& dir) {
+    CorpusStore store(dir);
+    store.Load();
+    std::vector<std::string> listing;
+    for (const auto& [id, meta] : store.entries()) {
+      listing.push_back(id + "@" + std::to_string(meta.round_admitted) + "<" + meta.parent_id +
+                        ":" + std::to_string(meta.schedule_seed));
+    }
+    return listing;
+  };
+
+  const std::string dir_one = FreshDir("svc_one");
+  ServiceParams one = ScheduledServiceParams(dir_one);
+  one.campaign.num_threads = 1;
+  const ServiceStats stats_one = RunService(jaguar::AllVendors()[0], one);
+
+  const std::string dir_many = FreshDir("svc_many");
+  ServiceParams many = ScheduledServiceParams(dir_many);
+  many.campaign.num_threads = 8;
+  const ServiceStats stats_many = RunService(jaguar::AllVendors()[0], many);
+
+  EXPECT_EQ(stats_one.totals.OutcomeDigest(), stats_many.totals.OutcomeDigest());
+  EXPECT_EQ(stats_one.corpus_admitted, stats_many.corpus_admitted);
+  const auto listing_one = corpus_listing(dir_one);
+  EXPECT_FALSE(listing_one.empty()) << "service must admit new-trace mutants";
+  EXPECT_EQ(listing_one, corpus_listing(dir_many));
+}
+
+}  // namespace
+}  // namespace artemis

@@ -12,6 +12,12 @@
 //   3. In the PR description, explain WHY the counts moved (e.g. "OSR threshold check moved
 //      before the invocation bump, +1 osr_entries for hot loop seeds"). A count change with
 //      no such explanation is a regression, not an update.
+//   4. The pins are a *synchronous-compilation* contract. Never re-collect them from a run
+//      with compile.mode != kSync: background/scheduled runs publish through the code cache,
+//      emit kCompileInstall/kCompileInvalidate events, and legitimately defer tier switches
+//      (fewer transitions, different deopt counts). SyncPinsSeeNoInstallEvents below guards
+//      the boundary — if it starts failing, the sync path has begun routing through the
+//      background publisher and every pin needs re-deriving, not patching.
 //
 // The vendors run with their thresholds scaled down 1000× (like observe_determinism_test) so
 // the generator's deliberately-cold seeds exercise compiled tiers; the scaling is part of the
@@ -97,6 +103,43 @@ TEST(TierEventsTest, CountsAreRunToRunDeterministic) {
   ASSERT_NE(a.telemetry, nullptr);
   ASSERT_NE(b.telemetry, nullptr);
   EXPECT_EQ(a.telemetry->counts, b.telemetry->counts);
+}
+
+// Boundary guard for the compile axis: the pinned cases run with synchronous compilation,
+// which must emit zero install/invalidate events — install-event counts are a property of
+// the background publisher only. If this fails, the pins above are no longer measuring the
+// sync tier-switch policy (see UPDATE PROCEDURE step 4).
+TEST(TierEventsTest, SyncPinsSeeNoInstallEvents) {
+  for (const PinnedCase& c : kPinnedCases) {
+    const Program program = artemis::GenerateProgram(artemis::FuzzConfig{}, c.seed);
+    const BcProgram bytecode = CompileProgram(program);
+    VmConfig config = HotVendor(AllVendors()[static_cast<size_t>(c.vendor_index)]);
+    config.trace_level = observe::TraceLevel::kBoundary;
+    const RunOutcome out = RunProgram(bytecode, config);
+    ASSERT_NE(out.telemetry, nullptr) << c.name;
+    EXPECT_EQ(out.telemetry->Count(observe::EventKind::kCompileInstall), 0u) << c.name;
+    EXPECT_EQ(out.telemetry->Count(observe::EventKind::kCompileInvalidate), 0u) << c.name;
+  }
+}
+
+// A scheduled-mode run of a pinned fixture is just as repeatable as the sync runs — installs
+// included — so a scheduled variant of a pin would be stable. (The counts themselves are not
+// pinned here: they are a different contract, owned by schedule_determinism_test.)
+TEST(TierEventsTest, ScheduledCountsAreRunToRunDeterministic) {
+  const PinnedCase& c = kPinnedCases[1];  // openjade_s102: the deopt-heavy fixture
+  const Program program = artemis::GenerateProgram(artemis::FuzzConfig{}, c.seed);
+  const BcProgram bytecode = CompileProgram(program);
+  VmConfig config = HotVendor(AllVendors()[static_cast<size_t>(c.vendor_index)]);
+  config.trace_level = observe::TraceLevel::kBoundary;
+  config.compile.mode = CompileMode::kScheduled;
+  config.compile.threads = 2;
+  config.compile.schedule_seed = 0x7E57;
+  const RunOutcome a = RunProgram(bytecode, config);
+  const RunOutcome b = RunProgram(bytecode, config);
+  ASSERT_NE(a.telemetry, nullptr);
+  ASSERT_NE(b.telemetry, nullptr);
+  EXPECT_EQ(a.telemetry->counts, b.telemetry->counts);
+  EXPECT_GT(a.telemetry->Count(observe::EventKind::kCompileInstall), 0u);
 }
 
 }  // namespace
