@@ -27,9 +27,18 @@
 //     exactly the SameOutcome-compared fields — which scripts/soak_check.sh compares between
 //     a SIGKILLed-and-resumed campaign and an uninterrupted reference run. --stop-after N
 //     executes at most N fresh seeds then exits 75 (deterministic partial segment).
+//
+//   Both modes handle SIGTERM/SIGINT gracefully: in-flight work finishes, the journal and
+//   metrics files are flushed, and the process exits 0 (service: after the current round)
+//   or 75 (campaign: resumable partial segment). --isolation sandbox forks each seed into
+//   a rlimit-capped child so harness crashes/hangs quarantine the seed instead of killing
+//   the campaign; --chaos-pct N injects real faults into N% of sandboxed seeds (see
+//   scripts/chaos_check.sh).
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <atomic>
 #include <exception>
 #include <string>
 
@@ -39,16 +48,38 @@
 
 namespace {
 
+// Graceful-shutdown flag (satellite of the sandbox work): SIGTERM/SIGINT flip it, the
+// campaign/service loops observe it at their checkpoint boundaries (per-seed for durable
+// campaigns, per-round for the service), finish in-flight work, flush the journal and
+// metrics files, and the process exits normally — 0 for a completed run, 75 for a
+// resumable partial one.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void HandleShutdownSignal(int) {
+  g_cancel.store(true, std::memory_order_relaxed);  // async-signal-safe: lock-free store
+}
+
+void InstallShutdownHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads so shutdown is prompt
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: artemis_service [service] --corpus-dir DIR [--vm NAME] [--rounds N]\n"
                "           [--seeds N] [--mutations N] [--threads N] [--verify[=LEVEL]]\n"
                "           [--triage] [--stress-seeds K] [--compile-mode MODE]\n"
                "           [--compile-threads N] [--resume] [--no-admission]\n"
+               "           [--isolation MODE] [--exec-timeout-ms N] [--exec-rss-mb N]\n"
+               "           [--chaos-pct N] [--chaos-seed S] [--chaos-dry-run]\n"
                "           [--trace[=LEVEL]] [--metrics-out PATH]\n"
                "       artemis_service campaign --corpus-dir DIR [--vm NAME] [--seeds N]\n"
                "           [--threads N] [--verify[=LEVEL]] [--triage] [--resume]\n"
-               "           [--stop-after N]\n");
+               "           [--isolation MODE] [--chaos-pct N] [--stop-after N]\n");
   return 2;
 }
 
@@ -61,24 +92,36 @@ artemis::CampaignParams BaseParams(const cli::CommonOptions& options,
   params.validator.stress_seeds = options.stress_seeds;
   params.validator.compile = cli::CompileOptionsOf(options);
   cli::ApplyPaperSynthBounds(vm_name, &params.validator);
+  cli::ApplySandboxOptions(options, &params);
   return params;
+}
+
+// The chaos_check.sh contract lines (campaign mode, chaos arm or dry-run arm only).
+void PrintChaosSummary(const artemis::CampaignStats& stats) {
+  std::printf("clean-digest: %s\n", stats.CleanDigest().c_str());
+  std::printf("quarantined: %d\n", stats.seeds_quarantined);
+  std::printf("chaos-excluded: %d\n", stats.seeds_run - stats.clean_seeds);
 }
 
 int RunCampaignMode(const cli::CommonOptions& options, int stop_after) {
   const std::string journal = options.corpus_dir + "/campaign_journal.jsonl";
   artemis::DurableResult result;
+  bool chaos_active = false;
   if (options.resume) {
     // Vendor, verify level, and params all come from the journal header.
-    result = artemis::ResumeCampaign(journal);
+    result = artemis::ResumeCampaign(journal, &g_cancel);
+    chaos_active = result.stats.clean_seeds > 0 || result.stats.seeds_quarantined > 0;
   } else {
     const std::string vm_name = options.vm.empty() ? "hotsniff" : options.vm;
     jaguar::VmConfig vm = cli::VendorByName(vm_name);
     vm.verify_level = options.verify;
     artemis::CampaignParams params = BaseParams(options, vm_name);
     params.num_seeds = options.seeds >= 0 ? options.seeds : 20;
+    chaos_active = params.chaos.rate_pct > 0;
     artemis::DurableOptions durable;
     durable.journal_path = journal;
     durable.stop_after_seeds = stop_after;
+    durable.cancel = &g_cancel;
     result = artemis::RunDurableCampaign(vm, params, durable);
   }
   std::fprintf(stderr, "%s\n(replayed %d seeds, executed %d)\n",
@@ -89,6 +132,9 @@ int RunCampaignMode(const cli::CommonOptions& options, int stop_after) {
     return 75;  // EX_TEMPFAIL: resume to finish
   }
   std::printf("digest: %s\n", result.stats.OutcomeDigest().c_str());
+  if (chaos_active) {
+    PrintChaosSummary(result.stats);
+  }
   return 0;
 }
 
@@ -111,6 +157,7 @@ int RunServiceMode(const cli::CommonOptions& options, int mutations, bool admiss
   }
   params.admission = admission;
   params.resume = options.resume;
+  params.cancel = &g_cancel;
 
   const artemis::ServiceStats stats = artemis::RunService(vm, params);
   std::printf("%s\n", stats.ToString().c_str());
@@ -128,6 +175,7 @@ int RunServiceMode(const cli::CommonOptions& options, int mutations, bool admiss
 }  // namespace
 
 int main(int argc, char** argv) {
+  InstallShutdownHandlers();
   cli::CommonOptions options = cli::ParseArgs(argc, argv);
 
   // Driver-local options ride in positional.

@@ -16,6 +16,14 @@
 //   --compile-mode MODE           sync|background|scheduled: when JIT artifacts are installed
 //                                 (scheduled = deterministic per-seed install schedules)
 //   --compile-threads N           background compiler worker threads (background/scheduled)
+//   --isolation MODE              in_process|sandbox: where each seed shard executes
+//                                 (sandbox = fork-per-seed with quarantine on crash/hang)
+//   --exec-timeout-ms N           sandbox wall-clock watchdog per child (default 10000)
+//   --exec-rss-mb N               sandbox RLIMIT_AS cap per child in MiB (0 = uncapped)
+//   --chaos-pct N                 percent of seeds that inject a real fault (0 = off)
+//   --chaos-seed S                chaos selection/fault-kind seed (default base campaign seed)
+//   --chaos-dry-run               select the same chaos seeds but inject nothing (the
+//                                 fault-free reference arm of scripts/chaos_check.sh)
 //   --trace[=off|boundary|full]   VM/JIT event tracing level (bare = full)
 //   --trace-out PATH              write the recorded trace as Chrome trace_event JSONL
 //   --metrics-out PATH            write the metrics registry as Prometheus text exposition
@@ -33,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "src/artemis/campaign/campaign.h"
+#include "src/artemis/sandbox/sandbox.h"
 #include "src/artemis/validate/validator.h"
 #include "src/jaguar/observe/events.h"
 #include "src/jaguar/vm/config.h"
@@ -50,6 +60,12 @@ struct CommonOptions {
   int stress_seeds = 0;     // stress points sampled per validated program (0 = axis off)
   jaguar::CompileMode compile_mode = jaguar::CompileMode::kSync;
   int compile_threads = 0;  // 0 → CompileConfig default
+  artemis::IsolationMode isolation = artemis::IsolationMode::kInProcess;
+  int exec_timeout_ms = -1;  // -1 → SandboxLimits default
+  int exec_rss_mb = -1;      // -1 → SandboxLimits default (uncapped)
+  int chaos_pct = 0;         // percent of seeds that arm a chaos fault (0 = off)
+  uint64_t chaos_seed = 0;   // 0 → driver defaults to its base campaign seed
+  bool chaos_dry_run = false;
   jaguar::VerifyLevel verify = jaguar::VerifyLevel::kOff;
   jaguar::observe::TraceLevel trace = jaguar::observe::TraceLevel::kOff;
   bool trace_given = false;   // --trace appeared (lets drivers infer full from --trace-out)
@@ -126,6 +142,25 @@ inline jaguar::CompileConfig CompileOptionsOf(const CommonOptions& options) {
   return compile;
 }
 
+// Applies the isolation/sandbox/chaos flags to a campaign. Negative timeout/RSS values keep
+// the SandboxLimits defaults. When --chaos-seed was not given, the chaos selection seed
+// defaults to the campaign's base_seed — so the sandbox chaos arm and the in-process
+// --chaos-dry-run reference arm of scripts/chaos_check.sh agree on the seed set by default.
+inline void ApplySandboxOptions(const CommonOptions& options, artemis::CampaignParams* params) {
+  params->isolation = options.isolation;
+  if (options.exec_timeout_ms >= 0) {
+    params->sandbox.exec_timeout_ms = options.exec_timeout_ms;
+  }
+  if (options.exec_rss_mb >= 0) {
+    params->sandbox.exec_rss_mb = options.exec_rss_mb;
+  }
+  params->chaos.rate_pct = options.chaos_pct;
+  params->chaos.dry_run = options.chaos_dry_run;
+  if (options.chaos_pct > 0) {
+    params->chaos.seed = options.chaos_seed != 0 ? options.chaos_seed : params->base_seed;
+  }
+}
+
 // Parses every common flag out of argv; unrecognized arguments are returned in
 // `positional`, in order. Exits with status 2 on a malformed common flag.
 inline CommonOptions ParseArgs(int argc, char** argv) {
@@ -164,6 +199,8 @@ inline CommonOptions ParseArgs(int argc, char** argv) {
   };
 
   std::string compile_mode_name;
+  std::string isolation_name;
+  std::string chaos_seed_text;
   for (int i = 1; i < argc; ++i) {
     int consumed = 0;
     if ((consumed = int_flag("--threads", i, &options.threads)) != 0 ||
@@ -171,9 +208,24 @@ inline CommonOptions ParseArgs(int argc, char** argv) {
         (consumed = int_flag("--rounds", i, &options.rounds)) != 0 ||
         (consumed = int_flag("--stress-seeds", i, &options.stress_seeds)) != 0 ||
         (consumed = int_flag("--compile-threads", i, &options.compile_threads)) != 0 ||
+        (consumed = int_flag("--exec-timeout-ms", i, &options.exec_timeout_ms)) != 0 ||
+        (consumed = int_flag("--exec-rss-mb", i, &options.exec_rss_mb)) != 0 ||
+        (consumed = int_flag("--chaos-pct", i, &options.chaos_pct)) != 0 ||
         (consumed = string_flag("--vm", i, &options.vm)) != 0 ||
         (consumed = string_flag("--corpus-dir", i, &options.corpus_dir)) != 0) {
       i += consumed - 1;
+    } else if ((consumed = string_flag("--isolation", i, &isolation_name)) != 0) {
+      if (!artemis::ParseIsolationMode(isolation_name, &options.isolation)) {
+        std::fprintf(stderr, "unknown isolation mode '%s' (in_process|sandbox)\n",
+                     isolation_name.c_str());
+        std::exit(2);
+      }
+      i += consumed - 1;
+    } else if ((consumed = string_flag("--chaos-seed", i, &chaos_seed_text)) != 0) {
+      options.chaos_seed = std::strtoull(chaos_seed_text.c_str(), nullptr, 0);
+      i += consumed - 1;
+    } else if (std::strcmp(argv[i], "--chaos-dry-run") == 0) {
+      options.chaos_dry_run = true;
     } else if ((consumed = string_flag("--compile-mode", i, &compile_mode_name)) != 0) {
       if (!jaguar::ParseCompileMode(compile_mode_name, &options.compile_mode)) {
         std::fprintf(stderr, "unknown compile mode '%s' (sync|background|scheduled)\n",

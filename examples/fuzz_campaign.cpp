@@ -139,6 +139,7 @@ int main(int argc, char** argv) {
     params.validator.stress_seeds = options.stress_seeds;
     params.validator.compile = cli::CompileOptionsOf(options);
     cli::ApplyPaperSynthBounds(vm.name, &params.validator);
+    cli::ApplySandboxOptions(options, &params);
 
     const artemis::CampaignStats stats = artemis::RunCampaign(vm, params);
     total_seeds += static_cast<uint64_t>(stats.seeds_run);
@@ -152,6 +153,9 @@ int main(int argc, char** argv) {
       if (report.compile_mode == jaguar::CompileMode::kScheduled) {
         provenance += " schedule=" + jaguar::Hex64(report.schedule_seed);
       }
+      if (report.chaos) {
+        provenance += " chaos=" + jaguar::Hex64(report.chaos_seed);
+      }
       std::printf("  [%s]%s seed=%llu%s %s\n", DiscrepancyName(report.kind),
                   report.duplicate ? " (duplicate)" : "",
                   static_cast<unsigned long long>(report.seed_id), provenance.c_str(),
@@ -162,6 +166,12 @@ int main(int argc, char** argv) {
       if (report.triaged) {
         std::printf("      %s\n", report.triage.ToString().c_str());
       }
+    }
+    if (params.chaos.rate_pct > 0) {
+      // The chaos_check.sh contract: both arms print these, and the clean digests must match.
+      std::printf("  clean-digest: %s\n", stats.CleanDigest().c_str());
+      std::printf("  quarantined: %d\n", stats.seeds_quarantined);
+      std::printf("  chaos-excluded: %d\n", stats.seeds_run - stats.clean_seeds);
     }
     std::printf("\n");
   }
@@ -203,6 +213,7 @@ int main(int argc, char** argv) {
     bench.Set("bench", std::string("vm"));
     bench.Set("schema", 1);
     bench.Set("compile_mode", std::string(jaguar::CompileModeName(options.compile_mode)));
+    bench.Set("isolation", std::string(artemis::IsolationModeName(options.isolation)));
     bench.Set("seeds", total_seeds);
     bench.Set("vm_invocations", total_invocations);
     bench.Set("wall_seconds", wall_seconds);

@@ -10,6 +10,10 @@
 # compilation). Its headline throughput, the sync-vs-background speedup, and the compile-queue
 # depth/latency histograms land under the "background" key of the same BENCH_vm.json.
 #
+# A third arm repeats it with --isolation sandbox (fork-per-seed process isolation, smaller
+# seed count — every seed pays a fork+pipe round trip). Its throughput and the relative
+# sandbox overhead land under the "sandbox" key.
+#
 # The numbers are machine-dependent; EXPERIMENTS.md records reference runs. This script only
 # gates on WELL-FORMEDNESS, so it is safe in CI on any hardware.
 #
@@ -20,6 +24,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_vm.json}"
 BG_OUT="${OUT%.json}.background.tmp.json"
+SBX_OUT="${OUT%.json}.sandbox.tmp.json"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_campaign >/dev/null
@@ -27,14 +32,18 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_campaign >/dev/null
 "$BUILD_DIR"/examples/fuzz_campaign --seeds 500 --vm hotsniff --bench-out "$OUT" >/dev/null
 "$BUILD_DIR"/examples/fuzz_campaign --seeds 500 --vm hotsniff --compile-mode background \
   --bench-out "$BG_OUT" >/dev/null
+"$BUILD_DIR"/examples/fuzz_campaign --seeds 100 --vm hotsniff --isolation sandbox \
+  --bench-out "$SBX_OUT" >/dev/null
 
-python3 - "$OUT" "$BG_OUT" <<'EOF'
+python3 - "$OUT" "$BG_OUT" "$SBX_OUT" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
     bench = json.load(f)
 with open(sys.argv[2]) as f:
     bg = json.load(f)
+with open(sys.argv[3]) as f:
+    sbx = json.load(f)
 
 required = [
     "seeds_per_second",
@@ -77,6 +86,23 @@ bench["background"] = {
     ),
     "compile_queue": queue,
 }
+
+# Fold the sandbox arm in: fork-per-seed throughput and the overhead ratio against the
+# in-process baseline. Fewer seeds, so compare seeds_per_second, not wall time.
+if sbx.get("isolation") != "sandbox":
+    sys.exit(f"sandbox arm mislabeled: {sbx.get('isolation')}")
+if not (isinstance(sbx.get("seeds_per_second"), (int, float)) and sbx["seeds_per_second"] > 0):
+    sys.exit("sandbox arm recorded non-positive throughput")
+bench["sandbox"] = {
+    "seeds": sbx["seeds"],
+    "seeds_per_second": sbx["seeds_per_second"],
+    "invocations_per_second": sbx["invocations_per_second"],
+    "wall_seconds": sbx["wall_seconds"],
+    "overhead_vs_in_process": (
+        bench["seeds_per_second"] / sbx["seeds_per_second"]
+        if sbx["seeds_per_second"] > 0 else 0.0
+    ),
+}
 with open(sys.argv[1], "w") as f:
     json.dump(bench, f, indent=1)
     f.write("\n")
@@ -89,5 +115,8 @@ print(f"  background seeds_per_second: {b['seeds_per_second']:.3f} "
       f"(speedup {b['speedup_seeds_per_second']:.2f}x)")
 print(f"  compile queue depth p95: {queue['artemis_compilequeue_depth']['p95']:.1f}, "
       f"wait p95: {queue['artemis_compilequeue_wait_us']['p95']:.0f}us")
+s = bench["sandbox"]
+print(f"  sandbox seeds_per_second: {s['seeds_per_second']:.3f} "
+      f"(overhead {s['overhead_vs_in_process']:.2f}x over in-process)")
 EOF
-rm -f "$BG_OUT"
+rm -f "$BG_OUT" "$SBX_OUT"

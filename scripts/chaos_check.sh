@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Chaos-survival check for the process-isolation sandbox (src/artemis/sandbox).
+#
+# Runs the same campaign twice with the same chaos selection seed:
+#
+#   1. the fault-free reference arm: in-process, --chaos-dry-run — the ChaosFires(seed, id,
+#      pct) selection marks its seeds for clean-digest exclusion but injects nothing;
+#   2. the chaos arm: --isolation sandbox, live injection — every selected seed raises a
+#      genuine SIGSEGV/SIGABRT/busy-hang/alloc-bomb inside its forked child.
+#
+# The contract, asserted below:
+#   - the chaos campaign COMPLETES (exit 0) despite real crashes/hangs in its children;
+#   - it quarantines exactly the ChaosFires seed set (quarantined == chaos-excluded,
+#     identical count in both arms);
+#   - the clean digest — a chained hash over the canonical shard JSON of every non-chaos
+#     seed — is bit-identical across the arms, proving the injected faults perturbed
+#     nothing outside their own seeds;
+#   - no child process outlives the campaign (pgrep leak check).
+#
+# Usage: scripts/chaos_check.sh [build-dir] [seeds] [vendor] [chaos-pct]
+#   build-dir:  default build
+#   seeds:      campaign size, default 500 (use ~40 for a quick local run)
+#   vendor:     hotsniff | openjade | artree, default hotsniff
+#   chaos-pct:  percent of seeds armed with a fault, default 5
+#
+# CHAOS_TIMEOUT_MS / CHAOS_RSS_MB override the per-child watchdog deadline and RLIMIT_AS
+# cap. The defaults leave generous headroom over the slowest clean shard (a few seconds on
+# a loaded single-core machine) — a too-tight deadline quarantines clean seeds and fails
+# the selection-equality assertion below, which is exactly the mistake it is guarding.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SEEDS="${2:-500}"
+VENDOR="${3:-hotsniff}"
+PCT="${4:-5}"
+CHAOS_SEED=20260808
+TIMEOUT_MS="${CHAOS_TIMEOUT_MS:-30000}"
+RSS_MB="${CHAOS_RSS_MB:-2048}"
+BIN="$BUILD_DIR/examples/fuzz_campaign"
+
+if [[ ! -x "$BIN" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_campaign
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/jag_chaos.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+field() { # field <file> <label>  — value of an "  <label>: <value>" campaign output line
+  grep "^  $2: " "$1" | head -1 | awk '{print $2}'
+}
+
+# --- 1. fault-free reference arm ------------------------------------------------------
+"$BIN" --seeds "$SEEDS" --vm "$VENDOR" --chaos-pct "$PCT" --chaos-seed "$CHAOS_SEED" \
+  --chaos-dry-run > "$WORK/dry.out" 2> "$WORK/dry.err"
+DRY_DIGEST="$(field "$WORK/dry.out" clean-digest)"
+DRY_EXCLUDED="$(field "$WORK/dry.out" chaos-excluded)"
+DRY_QUARANTINED="$(field "$WORK/dry.out" quarantined)"
+if [[ -z "$DRY_DIGEST" ]]; then
+  echo "chaos_check: dry-run arm produced no clean digest" >&2
+  cat "$WORK/dry.err" >&2
+  exit 1
+fi
+if [[ "$DRY_QUARANTINED" != "0" ]]; then
+  echo "chaos_check: FAIL — dry run quarantined $DRY_QUARANTINED seed(s); it must inject nothing" >&2
+  exit 1
+fi
+echo "chaos_check: reference clean digest $DRY_DIGEST ($SEEDS seeds, $VENDOR," \
+     "$DRY_EXCLUDED chaos-selected)"
+
+# --- 2. live chaos arm under the sandbox ----------------------------------------------
+if ! "$BIN" --seeds "$SEEDS" --vm "$VENDOR" --isolation sandbox \
+    --chaos-pct "$PCT" --chaos-seed "$CHAOS_SEED" \
+    --exec-timeout-ms "$TIMEOUT_MS" --exec-rss-mb "$RSS_MB" \
+    > "$WORK/chaos.out" 2> "$WORK/chaos.err"; then
+  echo "chaos_check: FAIL — chaos campaign did not survive its injected faults" >&2
+  tail -20 "$WORK/chaos.err" >&2
+  exit 1
+fi
+CHAOS_DIGEST="$(field "$WORK/chaos.out" clean-digest)"
+CHAOS_EXCLUDED="$(field "$WORK/chaos.out" chaos-excluded)"
+QUARANTINED="$(field "$WORK/chaos.out" quarantined)"
+echo "chaos_check: chaos arm clean digest $CHAOS_DIGEST" \
+     "($QUARANTINED quarantined / $CHAOS_EXCLUDED chaos-selected)"
+
+# --- 3. the contract ------------------------------------------------------------------
+if [[ "$QUARANTINED" != "$CHAOS_EXCLUDED" || "$CHAOS_EXCLUDED" != "$DRY_EXCLUDED" ]]; then
+  echo "chaos_check: FAIL — quarantine set != ChaosFires selection" \
+       "(quarantined $QUARANTINED, chaos arm selected $CHAOS_EXCLUDED," \
+       "dry arm selected $DRY_EXCLUDED)" >&2
+  exit 1
+fi
+if [[ "$CHAOS_DIGEST" != "$DRY_DIGEST" ]]; then
+  echo "chaos_check: FAIL — clean digest $CHAOS_DIGEST != fault-free reference $DRY_DIGEST;" \
+       "an injected fault leaked into a clean seed's outcome" >&2
+  exit 1
+fi
+if pgrep -f "$BIN" >/dev/null 2>&1; then
+  echo "chaos_check: FAIL — leaked child processes:" >&2
+  pgrep -af "$BIN" >&2
+  exit 1
+fi
+if [[ "$QUARANTINED" == "0" ]]; then
+  echo "chaos_check: WARNING — no seed fired at $PCT%; raise seeds or chaos-pct for a" \
+       "meaningful run" >&2
+fi
+echo "chaos_check: PASS — campaign survived $QUARANTINED injected fault(s) with a" \
+     "bit-identical clean digest and no leaked children"

@@ -13,7 +13,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DARTEMIS_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target campaign_test campaign_determinism_test \
   synth_property_test observe_unit_test observe_determinism_test stress_determinism_test \
-  background_compile_test schedule_determinism_test
+  background_compile_test schedule_determinism_test sandbox_determinism_test
 
 # halt_on_error: fail fast on the first reported race.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -37,4 +37,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # digest equalities, so this doubles as a semantic race detector on top of TSan's dynamic one.
 "$BUILD_DIR"/tests/schedule_determinism_test \
   --gtest_filter='ScheduleReplayTest.*:ScheduledCampaignDeterminismTest.*'
+# The sandbox executor: watchdog + reaper threads against concurrent worker Run() calls,
+# plus the campaign arm where workers fork children while the watchdog scans the shared
+# in-flight table. die_after_fork=0: TSan objects to fork-from-multithreaded by default,
+# but every sandbox child only runs the work closure and _exits — the exact discipline the
+# executor enforces — so the check is noise here.
+TSAN_OPTIONS="die_after_fork=0 $TSAN_OPTIONS" "$BUILD_DIR"/tests/sandbox_determinism_test \
+  --gtest_filter='SandboxExecutorTest.*:SandboxCampaignTest.SandboxedCampaignMatchesInProcessOutcomeExactly'
 echo "tsan_check: all campaign thread-safety tests passed clean"

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "src/artemis/campaign/reducer.h"
 #include "src/artemis/campaign/shard.h"
 #include "src/artemis/campaign/worker_pool.h"
+#include "src/artemis/sandbox/isolated.h"
 #include "src/jaguar/observe/tracer.h"
 #include "src/jaguar/support/check.h"
 #include "src/jaguar/support/json.h"
@@ -20,6 +23,7 @@ bool operator==(const BugReport& a, const BugReport& b) {
          a.crash_component == b.crash_component && a.crash_kind == b.crash_kind &&
          a.detail == b.detail && a.stress == b.stress && a.stress_seed == b.stress_seed &&
          a.compile_mode == b.compile_mode && a.schedule_seed == b.schedule_seed &&
+         a.chaos == b.chaos && a.chaos_seed == b.chaos_seed &&
          a.duplicate == b.duplicate && a.triaged == b.triaged && a.triage == b.triage;
 }
 
@@ -33,6 +37,7 @@ bool CampaignStats::SameOutcome(const CampaignStats& other) const {
          stress_points == other.stress_points &&
          stress_discrepancies == other.stress_discrepancies &&
          seeds_with_discrepancy == other.seeds_with_discrepancy &&
+         seeds_quarantined == other.seeds_quarantined &&
          vm_invocations == other.vm_invocations && reports == other.reports;
 }
 
@@ -115,6 +120,10 @@ std::string CampaignStats::OutcomeDigest() const {
                         std::to_string(r.schedule_seed)
                   : "-") +
              "|" + (r.duplicate ? "D" : "-") + "|" + (r.triaged ? "T" : "-");
+    if (r.chaos) {
+      // Conditional (appended only for chaos reports) so historical digests are unchanged.
+      canon += "|c" + std::to_string(r.chaos_seed);
+    }
     if (r.triaged) {
       canon += "|" + std::string(r.triage.reproduced ? "r" : "-") +
                std::to_string(static_cast<int>(r.triage.kind)) + "|" + r.triage.stage + "|" +
@@ -127,7 +136,17 @@ std::string CampaignStats::OutcomeDigest() const {
     }
     canon += "\n";
   }
+  if (seeds_quarantined > 0) {
+    // Conditional trailing segment: non-sandbox campaigns (and sandbox runs with no
+    // quarantines) keep their historical digests bit-identical.
+    canon += "q" + std::to_string(seeds_quarantined) + "\n";
+  }
   return jaguar::Hex64(jaguar::Fnv1a64(canon));
+}
+
+std::string CampaignStats::CleanDigest() const {
+  return jaguar::Hex64(
+      jaguar::Fnv1a64(std::to_string(clean_seeds) + "|" + jaguar::Hex64(clean_fnv)));
 }
 
 std::string CampaignStats::ToString() const {
@@ -140,6 +159,9 @@ std::string CampaignStats::ToString() const {
   if (stress_points > 0) {
     out += "  stress-points=" + std::to_string(stress_points) +
            " stress-discrepancies=" + std::to_string(stress_discrepancies) + "\n";
+  }
+  if (seeds_quarantined > 0) {
+    out += "  quarantined=" + std::to_string(seeds_quarantined) + "\n";
   }
   out += "  reported=" + std::to_string(Reported()) +
          " duplicate=" + std::to_string(Duplicates()) +
@@ -168,6 +190,12 @@ CampaignStats RunCampaign(const jaguar::VmConfig& vm_config, const CampaignParam
   jaguar::VmConfig config = vm_config;
   config.step_budget = params.step_budget;
 
+  if (params.chaos.rate_pct > 0 && !params.chaos.dry_run &&
+      params.isolation != IsolationMode::kSandbox) {
+    // Injected faults are real SIGSEGV/abort/hangs; in-process they would kill the campaign.
+    throw std::runtime_error("chaos injection requires --isolation sandbox (or --chaos-dry-run)");
+  }
+
   // Guidance hooks are stateful observers across a seed's mutants and (for campaign-level
   // guidance) across seeds; running them from several workers would race. Degrade to one.
   const bool has_hooks = params.validator.tune_iteration || params.validator.on_mutant;
@@ -176,14 +204,25 @@ CampaignStats RunCampaign(const jaguar::VmConfig& vm_config, const CampaignParam
 
   const auto start = std::chrono::steady_clock::now();
 
+  // One executor (and one watchdog thread) serves every worker; nullptr keeps the historical
+  // in-process path byte-for-byte.
+  std::unique_ptr<SandboxExecutor> executor;
+  if (params.isolation == IsolationMode::kSandbox) {
+    executor = std::make_unique<SandboxExecutor>(params.sandbox, vm_config.observer);
+  }
+
   // Map: every seed is processed independently into its own slot (shard.h's determinism
   // contract), on however many workers are available.
   std::vector<SeedShardResult> slots(static_cast<size_t>(std::max(params.num_seeds, 0)));
-  ParallelFor(params.num_seeds, threads,
-              [&](int s) { slots[static_cast<size_t>(s)] = RunSeedShard(config, params, s); });
+  ParallelFor(params.num_seeds, threads, [&](int s) {
+    slots[static_cast<size_t>(s)] = RunSeedShardIsolated(config, params, s, executor.get());
+  });
 
   // Reduce: dedup bookkeeping is order-sensitive, so fold slots back in seed order.
   CampaignReducer reducer{&stats};
+  if (params.chaos.rate_pct > 0) {
+    reducer.TrackCleanDigest();
+  }
   for (auto& slot : slots) {
     reducer.Reduce(std::move(slot));
   }

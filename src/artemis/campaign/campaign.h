@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/artemis/fuzzer/generator.h"
+#include "src/artemis/sandbox/sandbox.h"
 #include "src/artemis/triage/triage.h"
 #include "src/artemis/validate/validator.h"
 #include "src/jaguar/vm/config.h"
@@ -47,6 +48,16 @@ struct CampaignParams {
   // deduplication keys on the resulting attribution instead of raw output signatures.
   bool triage = false;
   TriageParams triage_params;
+  // Process isolation (src/artemis/sandbox): kSandbox forks one child per seed shard, so a
+  // genuine harness crash/hang quarantines that seed (retry-once-then-quarantine) instead of
+  // killing the campaign. Sandboxed shards serialize over the journal codec, so outcomes are
+  // bit-identical to in-process runs on clean seeds.
+  IsolationMode isolation = IsolationMode::kInProcess;
+  SandboxLimits sandbox;
+  // Seeded chaos injection (vm/chaos.h): rate_pct percent of seeds arm a real fault in the
+  // child. Requires kSandbox unless dry_run (the fault-free reference arm, which only
+  // excludes the chaos seed set from CleanDigest()).
+  ChaosParams chaos;
 };
 
 // One would-be bug report: a discrepancy with its ground-truth root causes.
@@ -68,6 +79,11 @@ struct BugReport {
   // timeline; kSync for reports from historical synchronous campaigns.
   jaguar::CompileMode compile_mode = jaguar::CompileMode::kSync;
   uint64_t schedule_seed = 0;
+  // Chaos provenance (sandbox campaigns with chaos injection): the report was filed for a
+  // quarantined shard whose seed armed vm/chaos.h with this derived chaos seed. Replaying the
+  // seed under vm.WithChaosSeed(chaos_seed) in a sandboxed shard reproduces the exact fault.
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
   bool duplicate = false;  // a previous report already covered every root cause
   // Pass-bisection attribution (present when the campaign ran with params.triage). When
   // `triage.attributed()`, deduplication keys on triage.DedupKey() instead of the raw
@@ -93,6 +109,9 @@ struct CampaignStats {
   int stress_discrepancies = 0;   // ... of which diverged from the default JIT-trace run
 
   int seeds_with_discrepancy = 0;
+  // Sandbox campaigns: seeds whose child process died (or hung) on every attempt and were
+  // quarantined. Each quarantined seed files exactly one harness-crash/hang report.
+  int seeds_quarantined = 0;
   std::vector<BugReport> reports;
 
   // Table 1 rows.
@@ -130,6 +149,16 @@ struct CampaignStats {
   // cross-process form of the contract, which scripts/soak_check.sh compares between a
   // SIGKILLed-and-resumed campaign and an uninterrupted reference run.
   std::string OutcomeDigest() const;
+
+  // Chaos-arm bookkeeping (campaigns with params.chaos.rate_pct > 0 only): a chained FNV over
+  // the canonical shard JSON of every *non-chaos* seed, accumulated in reduce order. Both the
+  // sandbox chaos arm and the in-process dry-run arm exclude the identical seed set (the
+  // ChaosFires selection is pure in (chaos seed, seed id)), so equal CleanDigest() values
+  // prove the injected faults perturbed nothing outside their own seeds. Excluded from
+  // SameOutcome/OutcomeDigest: derived bookkeeping, not a campaign outcome.
+  uint64_t clean_fnv = 0;
+  int clean_seeds = 0;
+  std::string CleanDigest() const;
 
   std::string ToString() const;
 };

@@ -5,11 +5,21 @@
 #include <utility>
 #include <vector>
 
+#include "src/artemis/sandbox/sandbox.h"
+#include "src/artemis/service/journal.h"
+#include "src/jaguar/support/json.h"
+
 namespace artemis {
 
 using jaguar::BugId;
 
 std::string ReportSignature(const BugReport& report) {
+  // Harness deaths dedup on the death shape alone (signal name or watchdog-timeout): two
+  // seeds segfaulting the harness are one underlying defect, a segfault and an abort are two.
+  if (report.kind == DiscrepancyKind::kHarnessCrash ||
+      report.kind == DiscrepancyKind::kHarnessHang) {
+    return std::to_string(static_cast<int>(report.kind)) + "/harness:" + report.crash_kind;
+  }
   // Triaged campaigns dedup on the bisection attribution: two discrepancies blamed on the
   // same stage (with the same invariant, if any) are one report even when their raw symptoms
   // differ, and vice versa — the paper's "same root cause" judgement, automated.
@@ -52,6 +62,45 @@ bool CampaignReducer::File(BugReport bug) {
 
 void CampaignReducer::Reduce(SeedShardResult&& shard) {
   CampaignStats& stats = *stats_;
+
+  if (shard.quarantined) {
+    // The child died (or hung) on every attempt; no validation results exist. File the death
+    // itself as a first-class harness report so campaigns survive — and account — real
+    // SIGSEGV/SIGABRT/OOM/hangs instead of dying with them.
+    ++stats.seeds_run;
+    ++stats.seeds_quarantined;
+    // Each attempt at least started the seed's interpreter + JIT pair before dying.
+    stats.vm_invocations += 2 * static_cast<uint64_t>(1 + shard.quarantine_retries);
+    BugReport bug;
+    bug.seed_id = shard.seed_id;
+    bug.kind = shard.quarantine_hang ? DiscrepancyKind::kHarnessHang
+                                     : DiscrepancyKind::kHarnessCrash;
+    bug.crash_kind = shard.quarantine_hang ? "watchdog-timeout"
+                                           : SignalName(shard.quarantine_signal);
+    bug.detail = "harness child " +
+                 std::string(shard.quarantine_hang ? "hung" : "died") + " (" + bug.crash_kind +
+                 ") after " + std::to_string(1 + shard.quarantine_retries) + " attempt(s)";
+    if (!shard.quarantine_breadcrumb.empty()) {
+      bug.detail += "; last phases: " + shard.quarantine_breadcrumb;
+    }
+    bug.compile_mode = shard.compile.mode;
+    bug.schedule_seed = shard.compile.schedule_seed;
+    if (shard.chaos_fired) {
+      bug.chaos = true;
+      bug.chaos_seed = shard.chaos_seed;
+    }
+    File(std::move(bug));
+    return;
+  }
+  if (track_clean_ && !shard.chaos_fired) {
+    // Chained FNV over the canonical journal rendering — any behavioural difference in any
+    // non-chaos shard (results, order, or count) changes CleanDigest().
+    const std::string canon = ShardToJson(shard).Dump();
+    stats.clean_fnv =
+        jaguar::Fnv1a64(jaguar::Hex64(stats.clean_fnv) + "|" + canon);
+    ++stats.clean_seeds;
+  }
+
   const ValidationReport& report = shard.report;
   ++stats.seeds_run;
   // Every mutant costs one interpreter + one JIT invocation; the seed costs two more.

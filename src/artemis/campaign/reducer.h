@@ -39,6 +39,11 @@ class CampaignReducer {
   // Files `bug` unless its signature was already filed; returns whether it was filed.
   bool File(BugReport bug);
 
+  // Chaos campaigns: accumulate stats->clean_fnv/clean_seeds over every non-chaos shard's
+  // canonical journal JSON (in reduce order). Both the sandbox chaos arm and the in-process
+  // dry-run arm then expose a comparable CampaignStats::CleanDigest().
+  void TrackCleanDigest() { track_clean_ = true; }
+
   // Folds one seed's validation outcome into the stats (counters + report filing).
   void Reduce(SeedShardResult&& shard);
 
@@ -46,6 +51,7 @@ class CampaignReducer {
   CampaignStats* stats_;
   std::set<std::string> seen_signatures_;
   std::set<jaguar::BugId> seen_causes_;
+  bool track_clean_ = false;
 };
 
 }  // namespace artemis

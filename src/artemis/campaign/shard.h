@@ -48,6 +48,22 @@ struct SeedShardResult {
     TriageReport report;
   };
   std::vector<TriagedStress> triaged_stress;
+
+  // Process-isolation outcome (sandbox campaigns only; src/artemis/sandbox). A quarantined
+  // shard carries no validation results: its child crashed or hung on every attempt, and the
+  // reducer files a harness-crash/hang report from these fields instead. They ride the
+  // journal so kill/resume replays the quarantine deterministically.
+  bool quarantined = false;
+  bool quarantine_hang = false;      // watchdog/RLIMIT_CPU hang (vs. a signal crash)
+  int quarantine_signal = 0;         // terminating signal of the final attempt (crash only)
+  int quarantine_retries = 0;        // attempts beyond the first (the retry-once policy: 1)
+  std::string quarantine_breadcrumb; // the child's last flight-recorder phases
+
+  // Chaos provenance: this seed fired ChaosFires. In the sandbox arm the injected fault
+  // quarantines the shard; in the dry-run arm the shard runs normally but is excluded from
+  // CampaignStats' clean digest, so both arms hash the identical seed set.
+  bool chaos_fired = false;
+  uint64_t chaos_seed = 0;
 };
 
 // Generates and validates the `ordinal`-th seed of a campaign. `vm_config` must already

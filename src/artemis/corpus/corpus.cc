@@ -1,6 +1,10 @@
 #include "src/artemis/corpus/corpus.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -26,23 +30,46 @@ std::string ReadWholeFile(const std::string& path) {
   return buffer.str();
 }
 
-// Write-then-rename: a SIGKILL mid-write leaves at most a stale .tmp file, never a
-// half-written entry (Load() only looks at final names).
+// Write-fsync-rename-fsync: a SIGKILL (or power cut) mid-write leaves at most a stale .tmp
+// file, never a half-written or empty entry under the final name. The file is fsynced
+// before the rename (so the durable rename can never expose un-durable content) and the
+// directory is fsynced after it (so the rename itself is durable).
 bool WriteFileAtomic(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return false;
-    }
-    out << content;
-    if (!out.good()) {
-      return false;
-    }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  return !ec;
+  size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  const std::string parent = fs::path(path).parent_path().string();
+  const int dirfd = ::open(parent.empty() ? "." : parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);  // best-effort: the rename is already atomic, this makes it durable
+    ::close(dirfd);
+  }
+  return true;
 }
 
 // One uniform double in [0, 1), consuming exactly one rng draw (53 mantissa bits).
@@ -71,6 +98,10 @@ Json CorpusMeta::ToJson() const {
   j.Set("report_signatures", report_signatures);
   j.Set("stress_seed", stress_seed);
   j.Set("schedule_seed", schedule_seed);
+  if (quarantine) {
+    // Written only when set, so pre-sandbox sidecars keep their byte shape.
+    j.Set("quarantine", true);
+  }
   j.Set("times_scheduled", times_scheduled);
   j.Set("children_admitted", children_admitted);
   return j;
@@ -96,6 +127,7 @@ bool CorpusMeta::FromJson(const Json& json, CorpusMeta* out) {
   meta.report_signatures = json.Get("report_signatures").AsString();
   meta.stress_seed = json.Get("stress_seed").AsUint();  // 0 for pre-stress sidecars
   meta.schedule_seed = json.Get("schedule_seed").AsUint();  // 0 for pre-compile-axis sidecars
+  meta.quarantine = json.Get("quarantine").AsBool(false);
   meta.times_scheduled = static_cast<int>(json.Get("times_scheduled").AsInt());
   meta.children_admitted = static_cast<int>(json.Get("children_admitted").AsInt());
   *out = std::move(meta);
@@ -159,6 +191,11 @@ void CorpusStore::WriteSidecar(const CorpusMeta& meta) const {
 }
 
 double CorpusStore::PriorityOf(const CorpusMeta& meta) const {
+  if (meta.quarantine) {
+    // Known harness-killer: stays positive (PickForMutation's invariant) but is starved so
+    // no round re-executes it unless the whole pool is quarantined.
+    return 1e-9;
+  }
   // Uncovered compilation space dominates: an entry whose methods have not all reached the
   // top tier still has JIT behaviours left to explore (the §4.5 guidance signal). Proven
   // bug-finders and productive lineages get a bonus; repeated scheduling decays energy so
@@ -213,6 +250,15 @@ void CorpusStore::NoteChildAdmitted(const std::string& id) {
   WriteSidecar(it->second);
 }
 
+void CorpusStore::MarkQuarantined(const std::string& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.quarantine) {
+    return;
+  }
+  it->second.quarantine = true;
+  WriteSidecar(it->second);
+}
+
 void CorpusStore::NoteDiscrepancy(const std::string& id, const std::string& signature) {
   auto it = entries_.find(id);
   if (it == entries_.end()) {
@@ -237,6 +283,7 @@ std::vector<std::string> CorpusStore::EvictToCapacity() {
   // fully-covered, many-times-rescheduled entries have yielded what they will.
   auto retention = [&](const CorpusMeta& meta) {
     return 4.0 * (meta.discrepancies > 0 ? 1.0 : 0.0) +
+           3.0 * (meta.quarantine ? 1.0 : 0.0) +  // harness-killers are evidence: keep them
            2.0 * static_cast<double>(meta.children_admitted) + (1.0 - meta.frac_top_tier) -
            0.1 * static_cast<double>(meta.times_scheduled);
   };

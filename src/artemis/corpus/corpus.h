@@ -76,6 +76,12 @@ struct CorpusMeta {
   // vm.WithScheduleSeed(schedule_seed) re-enters the exact tier-switch timeline.
   uint64_t schedule_seed = 0;
 
+  // Quarantine flag (sandbox campaigns): executing this entry crashed or hung the harness
+  // child on every attempt. Quarantined entries stay in the corpus as evidence (retention
+  // favours them, and kill/resume replays the quarantine from the sidecar) but the scheduler
+  // starves them so no round re-executes a known harness-killer.
+  bool quarantine = false;
+
   // Scheduler state (mutated in place by the store).
   int times_scheduled = 0;   // how often PickForMutation returned this entry
   int children_admitted = 0; // mutants of this entry that were themselves admitted
@@ -121,6 +127,10 @@ class CorpusStore {
   void NoteScheduled(const std::string& id);
   void NoteChildAdmitted(const std::string& id);
   void NoteDiscrepancy(const std::string& id, const std::string& signature);
+
+  // Flags the entry as a harness-killer (sandbox campaigns); rewrites the sidecar so the
+  // quarantine survives restarts and the scheduler stops drawing the entry.
+  void MarkQuarantined(const std::string& id);
 
   // Deletes lowest-retention-score entries until size() <= max_entries(); returns the
   // evicted ids in eviction order (deterministic).

@@ -1,0 +1,112 @@
+#include "src/artemis/sandbox/isolated.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/artemis/service/journal.h"
+#include "src/jaguar/jit/concurrent/install_schedule.h"
+#include "src/jaguar/vm/chaos.h"
+
+namespace artemis {
+namespace {
+
+// Replay provenance for shards that never ran (quarantined before any result came back):
+// the same per-seed compile derivation shard.cc performs, so harness reports carry the
+// schedule the crashed child was executing under.
+jaguar::CompileConfig CompileProvenanceFor(const CampaignParams& params, uint64_t seed_id) {
+  jaguar::CompileConfig compile = params.validator.compile;
+  if (compile.mode == jaguar::CompileMode::kScheduled) {
+    compile.schedule_seed = jaguar::DeriveScheduleSeed(params.base_seed, seed_id);
+  }
+  return compile;
+}
+
+}  // namespace
+
+SeedShardResult RunSeedShardIsolated(const jaguar::VmConfig& vm_config,
+                                     const CampaignParams& params, int ordinal,
+                                     SandboxExecutor* executor) {
+  const uint64_t seed_id = params.base_seed + static_cast<uint64_t>(ordinal);
+  const bool chaos_fires =
+      params.chaos.rate_pct > 0 &&
+      jaguar::ChaosFires(params.chaos.seed, seed_id, params.chaos.rate_pct);
+  const uint64_t derived_chaos_seed =
+      chaos_fires ? jaguar::DeriveChaosSeed(params.chaos.seed, seed_id) : 0;
+
+  if (executor == nullptr) {
+    // In-process (the historical path). RunCampaign guards that chaos injection never gets
+    // here without dry_run, so a firing seed only gets its clean-digest-exclusion mark.
+    SeedShardResult shard = RunSeedShard(vm_config, params, ordinal);
+    if (chaos_fires) {
+      shard.chaos_fired = true;
+      shard.chaos_seed = derived_chaos_seed;
+    }
+    return shard;
+  }
+
+  // Child config: the observer's registries live in the parent and must not be touched from
+  // a forked copy (their mutexes may be mid-flight in other parent threads); chaos arms only
+  // in the child, so the fault can never take the campaign down.
+  jaguar::VmConfig child_config = vm_config;
+  child_config.observer = nullptr;
+  if (chaos_fires && !params.chaos.dry_run) {
+    child_config = child_config.WithChaosSeed(derived_chaos_seed);
+  }
+
+  const auto work = [&child_config, &params, ordinal]() {
+    SandboxPhase("shard");
+    SeedShardResult shard = RunSeedShard(child_config, params, ordinal);
+    SandboxPhase("serialize");
+    return ShardToJson(shard).Dump();
+  };
+
+  const int attempts = 1 + std::max(0, executor->limits().max_retries);
+  SandboxRun run;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      executor->NoteRetry();
+      // Bounded exponential backoff before respawning: a transient parent-side condition
+      // (fork pressure, fd exhaustion) gets room to clear; a deterministic fault does not
+      // stop being deterministic, so the retry budget stays small.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20 << (attempt - 1)));
+    }
+    run = executor->Run(work);
+    if (run.status == SandboxRun::Status::kOk) {
+      SeedShardResult shard;
+      jaguar::Json payload;
+      if (jaguar::Json::Parse(run.payload, &payload) && ShardFromJson(payload, &shard)) {
+        if (chaos_fires) {
+          shard.chaos_fired = true;
+          shard.chaos_seed = derived_chaos_seed;
+        }
+        return shard;
+      }
+      // A complete exit-0 payload that fails to parse is a protocol defect — treat it like
+      // a crash (retry, then quarantine) rather than poisoning the reduce.
+      run.status = SandboxRun::Status::kChildError;
+      run.error = "payload parse failure";
+    }
+  }
+
+  // Every attempt died: synthesize the quarantined shard the reducer turns into a
+  // harness-crash/hang report. This shard rides the journal, so kill/resume replays the
+  // quarantine instead of re-running (and re-crashing on) the seed.
+  executor->NoteQuarantine();
+  SeedShardResult shard;
+  shard.seed_id = seed_id;
+  shard.compile = CompileProvenanceFor(params, seed_id);
+  shard.quarantined = true;
+  shard.quarantine_hang = run.status == SandboxRun::Status::kHang;
+  shard.quarantine_signal = run.signal;
+  shard.quarantine_retries = attempts - 1;
+  shard.quarantine_breadcrumb = run.breadcrumb;
+  if (chaos_fires) {
+    shard.chaos_fired = true;
+    shard.chaos_seed = derived_chaos_seed;
+  }
+  return shard;
+}
+
+}  // namespace artemis

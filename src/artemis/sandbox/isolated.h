@@ -1,0 +1,36 @@
+// The campaign-facing isolation policy: one seed shard per sandbox child, with the
+// retry-once-then-quarantine state machine ISSUE/DESIGN.md §11 specify.
+//
+// RunSeedShardIsolated is the single dispatch point both campaign drivers (campaign.cc's
+// RunCampaign and service/durable.cc's workers) route every shard through:
+//   - executor == nullptr → the historical in-process path (plus chaos-dry-run marking);
+//   - executor != nullptr → fork the shard into a child, serialize the result over the
+//     journal codec (ShardToJson/ShardFromJson), and on crash/hang retry up to
+//     limits().max_retries times before synthesizing a quarantined shard the reducer files
+//     as a harness-crash/hang report.
+//
+// Chaos arming happens here (not in shard.cc): the set of firing seeds is the pure hash
+// ChaosFires(params.chaos.seed, seed_id, rate_pct), so the sandbox arm (which injects and
+// quarantines) and the dry-run arm (which only marks chaos_fired for clean-digest exclusion)
+// select bit-identical seed sets.
+
+#ifndef SRC_ARTEMIS_SANDBOX_ISOLATED_H_
+#define SRC_ARTEMIS_SANDBOX_ISOLATED_H_
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/artemis/campaign/shard.h"
+#include "src/artemis/sandbox/sandbox.h"
+
+namespace artemis {
+
+// Runs the `ordinal`-th seed shard under the campaign's isolation policy. Deterministic in
+// (vm_config, params, ordinal) — the executor only decides *where* the work runs, and the
+// quarantine outcome of a chaos seed is itself deterministic (the injected fault always
+// fires). Safe to call concurrently from campaign workers sharing one executor.
+SeedShardResult RunSeedShardIsolated(const jaguar::VmConfig& vm_config,
+                                     const CampaignParams& params, int ordinal,
+                                     SandboxExecutor* executor);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_SANDBOX_ISOLATED_H_

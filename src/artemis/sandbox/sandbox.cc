@@ -1,0 +1,449 @@
+#include "src/artemis/sandbox/sandbox.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+#include <algorithm>
+#include <cstdio>
+#include <new>
+
+#include "src/jaguar/observe/metrics.h"
+#include "src/jaguar/observe/tracer.h"
+
+namespace artemis {
+namespace {
+
+// Flight-recorder page, mmapped MAP_SHARED before the fork so the parent can read the
+// child's last phase markers post-mortem. One page; a small ring of fixed-width slots. The
+// child is single-threaded when it writes, and the parent only reads after reaping, so the
+// atomic counter is for cross-process visibility, not for locking.
+constexpr int kFlightSlots = 8;
+constexpr int kFlightSlotLen = 88;
+
+struct FlightPage {
+  std::atomic<uint32_t> count;
+  char slots[kFlightSlots][kFlightSlotLen];
+};
+static_assert(sizeof(FlightPage) <= 4096, "flight recorder must fit one page");
+
+// Set in the child (between fork and _exit) so SandboxPhase has somewhere to write; null in
+// the parent and in non-sandbox processes, making SandboxPhase a no-op there.
+FlightPage* g_flight_page = nullptr;
+
+std::string FormatBreadcrumb(const FlightPage* page) {
+  if (page == nullptr) {
+    return "";
+  }
+  const uint32_t count = page->count.load(std::memory_order_acquire);
+  if (count == 0) {
+    return "";
+  }
+  const uint32_t begin = count > kFlightSlots ? count - kFlightSlots : 0;
+  std::string out;
+  for (uint32_t i = begin; i < count; ++i) {
+    char slot[kFlightSlotLen];
+    memcpy(slot, page->slots[i % kFlightSlots], kFlightSlotLen);
+    slot[kFlightSlotLen - 1] = '\0';
+    if (!out.empty()) {
+      out += ">";
+    }
+    out += slot;
+  }
+  return out;
+}
+
+void ApplyChildLimits(const SandboxLimits& limits) {
+  // Never dump core: chaos children die of SIGSEGV/SIGABRT by design, and a core per fault
+  // would fill the disk.
+  struct rlimit no_core = {0, 0};
+  setrlimit(RLIMIT_CORE, &no_core);
+  if (limits.exec_timeout_ms > 0) {
+    // CPU backstop behind the wall-clock watchdog: a spinning child that somehow outlives
+    // the watchdog (parent death mid-campaign) still dies of SIGXCPU.
+    const rlim_t cpu_s = static_cast<rlim_t>(limits.exec_timeout_ms / 1000 + 2);
+    struct rlimit cpu = {cpu_s, cpu_s + 2};
+    setrlimit(RLIMIT_CPU, &cpu);
+  }
+  if (limits.exec_rss_mb > 0) {
+    // RLIMIT_RSS is a no-op on Linux; cap the address space instead, which turns allocation
+    // bombs into bad_alloc → abort inside the child.
+    const rlim_t bytes = static_cast<rlim_t>(limits.exec_rss_mb) << 20;
+    struct rlimit as = {bytes, bytes};
+    setrlimit(RLIMIT_AS, &as);
+  }
+}
+
+// Writes the whole buffer, retrying on EINTR / short writes. Child-side only.
+bool WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+[[noreturn]] void ChildMain(int write_fd, FlightPage* page, const SandboxLimits& limits,
+                            const std::function<std::string()>& work) {
+#if defined(__linux__)
+  // Die with the parent: even a SIGKILLed campaign leaves no orphan children behind.
+  prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  g_flight_page = page;
+  ApplyChildLimits(limits);
+  SandboxPhase("start");
+  char tag = 0;
+  std::string payload;
+  try {
+    payload = work();
+  } catch (const std::exception& e) {
+    tag = 2;
+    payload = e.what();
+  } catch (...) {
+    tag = 2;
+    payload = "unknown exception";
+  }
+  SandboxPhase("write");
+  WriteAll(write_fd, &tag, 1);
+  WriteAll(write_fd, payload.data(), payload.size());
+  // _exit, not exit: the parent's atexit handlers and stdio buffers are not ours to run or
+  // flush (this address space was forked from a multi-threaded process).
+  _exit(tag == 0 ? 0 : 2);
+}
+
+}  // namespace
+
+const char* IsolationModeName(IsolationMode mode) {
+  switch (mode) {
+    case IsolationMode::kInProcess:
+      return "in_process";
+    case IsolationMode::kSandbox:
+      return "sandbox";
+  }
+  return "in_process";
+}
+
+bool ParseIsolationMode(const std::string& name, IsolationMode* out) {
+  if (name == "in_process" || name == "in-process") {
+    *out = IsolationMode::kInProcess;
+  } else if (name == "sandbox") {
+    *out = IsolationMode::kSandbox;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* SandboxStatusName(SandboxRun::Status status) {
+  switch (status) {
+    case SandboxRun::Status::kOk:
+      return "ok";
+    case SandboxRun::Status::kCrash:
+      return "crash";
+    case SandboxRun::Status::kHang:
+      return "hang";
+    case SandboxRun::Status::kChildError:
+      return "child-error";
+    case SandboxRun::Status::kSpawnError:
+      return "spawn-error";
+  }
+  return "unknown";
+}
+
+const char* SignalName(int signal) {
+  switch (signal) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGILL:
+      return "SIGILL";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGKILL:
+      return "SIGKILL";
+    case SIGTERM:
+      return "SIGTERM";
+    case SIGXCPU:
+      return "SIGXCPU";
+    default: {
+      // Uncommon signals render as sig<N>; thread-local storage keeps the return stable.
+      thread_local char buf[16];
+      snprintf(buf, sizeof(buf), "sig%d", signal);
+      return buf;
+    }
+  }
+}
+
+void SandboxPhase(const char* phase) {
+  FlightPage* page = g_flight_page;
+  if (page == nullptr || phase == nullptr) {
+    return;
+  }
+  const uint32_t index = page->count.load(std::memory_order_relaxed);
+  char* slot = page->slots[index % kFlightSlots];
+  strncpy(slot, phase, kFlightSlotLen - 1);
+  slot[kFlightSlotLen - 1] = '\0';
+  page->count.store(index + 1, std::memory_order_release);
+}
+
+SandboxExecutor::SandboxExecutor(const SandboxLimits& limits,
+                                 jaguar::observe::Observer* observer)
+    : limits_(limits), observer_(observer) {
+  if (observer_ != nullptr && observer_->metrics != nullptr) {
+    jaguar::observe::MetricsRegistry* m = observer_->metrics;
+    spawns_counter_ = m->GetCounter("artemis_sandbox_spawns_total", "Sandbox children forked");
+    kills_counter_ =
+        m->GetCounter("artemis_sandbox_kills_total", "Sandbox children SIGKILLed by watchdog");
+    timeouts_counter_ =
+        m->GetCounter("artemis_sandbox_timeouts_total", "Sandbox watchdog deadline expiries");
+    retries_counter_ =
+        m->GetCounter("artemis_sandbox_retries_total", "Sandbox tasks retried after a failure");
+    quarantined_counter_ =
+        m->GetCounter("artemis_sandbox_quarantined_total", "Sandbox tasks quarantined");
+  }
+  watchdog_ = std::thread([this] { WatchdogMain(); });
+}
+
+SandboxExecutor::~SandboxExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  watchdog_.join();
+}
+
+void SandboxExecutor::NoteRetry() {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  if (retries_counter_ != nullptr) {
+    retries_counter_->Inc();
+  }
+}
+
+void SandboxExecutor::NoteQuarantine() {
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  if (quarantined_counter_ != nullptr) {
+    quarantined_counter_->Inc();
+  }
+}
+
+void SandboxExecutor::EmitKill(const char* reason, int signal) {
+  if (observer_ == nullptr || observer_->hub == nullptr) {
+    return;
+  }
+  jaguar::observe::TraceEvent event;
+  event.kind = jaguar::observe::EventKind::kSandboxKill;
+  event.name = reason;  // static storage, per the TraceEvent contract
+  event.value = static_cast<uint64_t>(signal);
+  if (observer_->clock != nullptr) {
+    event.ts_us = observer_->clock->NowMicros();
+  }
+  observer_->hub->LocalRing()->Push(event);
+}
+
+void SandboxExecutor::Register(pid_t pid) {
+  if (limits_.exec_timeout_ms <= 0) {
+    return;  // watchdog disabled
+  }
+  Watch watch;
+  watch.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(limits_.exec_timeout_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_[pid] = watch;
+  }
+  cv_.notify_all();
+}
+
+bool SandboxExecutor::Deregister(pid_t pid) {
+  if (limits_.exec_timeout_ms <= 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(pid);
+  const bool timed_out = it != inflight_.end() && it->second.timed_out;
+  if (it != inflight_.end()) {
+    inflight_.erase(it);
+  }
+  return timed_out;
+}
+
+void SandboxExecutor::WatchdogMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    const auto now = std::chrono::steady_clock::now();
+    auto wake = now + std::chrono::hours(24);
+    for (auto& [pid, watch] : inflight_) {
+      if (!watch.term_sent && now >= watch.deadline) {
+        watch.term_sent = true;
+        watch.timed_out = true;
+        watch.kill_deadline = now + std::chrono::milliseconds(std::max(limits_.grace_ms, 1));
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        if (timeouts_counter_ != nullptr) {
+          timeouts_counter_->Inc();
+        }
+        kill(pid, SIGTERM);
+        EmitKill("watchdog-timeout", SIGTERM);
+      } else if (watch.term_sent && !watch.kill_sent && now >= watch.kill_deadline) {
+        // The grace window elapsed and the worker still has not reaped it: escalate.
+        watch.kill_sent = true;
+        kills_.fetch_add(1, std::memory_order_relaxed);
+        if (kills_counter_ != nullptr) {
+          kills_counter_->Inc();
+        }
+        kill(pid, SIGKILL);
+        EmitKill("watchdog-escalation", SIGKILL);
+      }
+      if (!watch.term_sent) {
+        wake = std::min(wake, watch.deadline);
+      } else if (!watch.kill_sent) {
+        wake = std::min(wake, watch.kill_deadline);
+      }
+    }
+    if (inflight_.empty()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, wake);
+    }
+  }
+}
+
+SandboxRun SandboxExecutor::Run(const std::function<std::string()>& work) {
+  SandboxRun run;
+
+  // The flight page outlives the child and is read post-mortem by the parent.
+  void* page_mem = mmap(nullptr, sizeof(FlightPage), PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  FlightPage* page = page_mem == MAP_FAILED ? nullptr : new (page_mem) FlightPage();
+
+  int fds[2];
+  if (pipe2(fds, O_CLOEXEC) != 0) {
+    run.status = SandboxRun::Status::kSpawnError;
+    run.error = std::string("pipe2: ") + strerror(errno);
+    if (page != nullptr) {
+      munmap(page, sizeof(FlightPage));
+    }
+    return run;
+  }
+
+  // Transient fork failures (EAGAIN under pid pressure) respawn with bounded exponential
+  // backoff before giving up.
+  pid_t pid = -1;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    pid = fork();
+    if (pid >= 0 || (errno != EAGAIN && errno != ENOMEM)) {
+      break;
+    }
+    usleep(10'000u << attempt);
+  }
+  if (pid < 0) {
+    run.status = SandboxRun::Status::kSpawnError;
+    run.error = std::string("fork: ") + strerror(errno);
+    close(fds[0]);
+    close(fds[1]);
+    if (page != nullptr) {
+      munmap(page, sizeof(FlightPage));
+    }
+    return run;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    ChildMain(fds[1], page, limits_, work);  // never returns
+  }
+
+  // Parent.
+  spawns_.fetch_add(1, std::memory_order_relaxed);
+  if (spawns_counter_ != nullptr) {
+    spawns_counter_->Inc();
+  }
+  close(fds[1]);
+  Register(pid);
+
+  // Blocking read until EOF: the child's _exit (or its death by signal — including the
+  // watchdog's) closes the last write end.
+  std::string wire;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fds[0], buf, sizeof(buf));
+    if (n > 0) {
+      wire.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    break;
+  }
+  close(fds[0]);
+
+  // Deregister BEFORE reaping: once wait4 returns, the pid is free for reuse, and a stale
+  // watch entry could make the watchdog kill an unrelated new child. EOF already implies the
+  // child is past the point where the watchdog matters (its write end is closed), and a
+  // deadline that fired set timed_out before the child died.
+  run.timed_out = Deregister(pid);
+
+  int status = 0;
+  struct rusage usage;
+  memset(&usage, 0, sizeof(usage));
+  pid_t reaped;
+  do {
+    reaped = wait4(pid, &status, 0, &usage);
+  } while (reaped < 0 && errno == EINTR);
+
+  run.max_rss_kb = usage.ru_maxrss;
+  run.cpu_seconds = static_cast<double>(usage.ru_utime.tv_sec + usage.ru_stime.tv_sec) +
+                    static_cast<double>(usage.ru_utime.tv_usec + usage.ru_stime.tv_usec) / 1e6;
+  run.breadcrumb = FormatBreadcrumb(page);
+  if (page != nullptr) {
+    munmap(page, sizeof(FlightPage));
+  }
+
+  if (reaped < 0) {
+    run.status = SandboxRun::Status::kSpawnError;
+    run.error = std::string("wait4: ") + strerror(errno);
+    return run;
+  }
+  if (WIFSIGNALED(status)) {
+    run.signal = WTERMSIG(status);
+    // A watchdog kill or a CPU-rlimit expiry is a hang; anything else is a genuine crash.
+    run.status = run.timed_out || run.signal == SIGXCPU ? SandboxRun::Status::kHang
+                                                        : SandboxRun::Status::kCrash;
+    return run;
+  }
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  if (run.exit_code == 0 && !wire.empty() && wire[0] == 0) {
+    run.status = SandboxRun::Status::kOk;
+    run.payload = wire.substr(1);
+    return run;
+  }
+  if (run.exit_code == 2 && !wire.empty() && wire[0] == 2) {
+    run.status = SandboxRun::Status::kChildError;
+    run.error = wire.substr(1);
+    return run;
+  }
+  run.status = SandboxRun::Status::kChildError;
+  run.error = "protocol error: exit " + std::to_string(run.exit_code) + ", " +
+              std::to_string(wire.size()) + " payload bytes";
+  return run;
+}
+
+}  // namespace artemis

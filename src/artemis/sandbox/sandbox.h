@@ -1,0 +1,173 @@
+// Process-isolation sandbox executor — the campaign's crash/hang containment layer.
+//
+// The paper's harness validates real JVMs, which segfault, OOM, and hang; Artemis survives
+// them by running each execution in a subprocess under a wall-clock timeout. This module is
+// that mechanism for our campaigns: SandboxExecutor forks one child per unit of work (one
+// seed shard, or one service work item), applies rlimit CPU/RSS caps, and reads the child's
+// serialized result back over a pipe. A parent-side watchdog thread tracks every in-flight
+// child's wall-clock deadline and escalates SIGTERM → (grace) → SIGKILL, so a genuine
+// SIGSEGV/SIGABRT/OOM/hang in the VM becomes a classified SandboxRun outcome — with the
+// terminating signal, rusage, and the child's last flight-recorder breadcrumbs from a
+// pre-mmapped shared page — instead of campaign death.
+//
+// Protocol (DESIGN.md §11): the child runs the work closure, writes one tag byte (0 = ok,
+// 2 = caught exception) followed by the payload string to the pipe, and _exit()s. The parent
+// blocks reading until EOF (the watchdog guarantees EOF by killing overdue children), then
+// reaps with wait4 and classifies from the exit status. Payloads are the same canonical JSON
+// the journal uses (ShardToJson), so a sandboxed campaign reduces bit-identically to an
+// in-process one.
+//
+// Fork discipline: the parent is multi-threaded (campaign workers), so the child must treat
+// the address space as crashed-lock territory. Work closures run with VmConfig::observer
+// stripped and never touch the journal, metrics registry, or corpus; glibc's atfork handlers
+// make malloc safe, which is all the validator needs. Children die with their parent
+// (PR_SET_PDEATHSIG), so no campaign outcome can leak orphan processes.
+
+#ifndef SRC_ARTEMIS_SANDBOX_SANDBOX_H_
+#define SRC_ARTEMIS_SANDBOX_SANDBOX_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace jaguar::observe {
+struct Observer;
+class Counter;
+}  // namespace jaguar::observe
+
+namespace artemis {
+
+// Where a campaign executes its per-seed work. kInProcess is the historical mode (fast, but
+// one harness defect kills the campaign); kSandbox forks one child per seed.
+enum class IsolationMode : uint8_t { kInProcess, kSandbox };
+
+const char* IsolationModeName(IsolationMode mode);
+bool ParseIsolationMode(const std::string& name, IsolationMode* out);
+
+// Campaign-level chaos injection knobs (vm/chaos.h holds the per-run fault switch). At
+// `rate_pct` percent of seeds — chosen by the pure hash ChaosFires(seed, seed_id, rate_pct),
+// so the set is independent of isolation mode and thread count — the campaign arms a real
+// fault in the child. `dry_run` selects the same seeds but injects nothing: the fault-free
+// reference arm, which excludes the identical seed set from the clean digest.
+struct ChaosParams {
+  int rate_pct = 0;
+  uint64_t seed = 0;
+  bool dry_run = false;
+};
+
+// Resource caps and watchdog policy for sandboxed children.
+struct SandboxLimits {
+  int exec_timeout_ms = 10'000;  // wall-clock watchdog deadline (<= 0 disables the watchdog)
+  int exec_rss_mb = 0;           // RLIMIT_AS cap in MiB (0 = uncapped)
+  int grace_ms = 200;            // SIGTERM → SIGKILL escalation window
+  int max_retries = 1;           // attempts after the first failure, before quarantine
+};
+
+// One reaped child, classified.
+struct SandboxRun {
+  enum class Status : uint8_t {
+    kOk,          // exited 0 with a complete payload
+    kCrash,       // died of a signal (SIGSEGV, SIGABRT, ...)
+    kHang,        // watchdog deadline or RLIMIT_CPU expiry killed it
+    kChildError,  // the work closure threw; `error` carries the child-reported message
+    kSpawnError,  // fork failed even after backoff; `error` carries errno text
+  };
+  Status status = Status::kOk;
+  int signal = 0;             // terminating signal (kCrash / kHang)
+  int exit_code = 0;          // exit status when the child exited normally
+  bool timed_out = false;     // the watchdog fired for this child
+  long max_rss_kb = 0;        // wait4 rusage: peak resident set
+  double cpu_seconds = 0.0;   // wait4 rusage: user + system time
+  std::string payload;        // the child's serialized result (kOk)
+  std::string breadcrumb;     // last flight-recorder markers, oldest>...>newest
+  std::string error;          // detail for kChildError / kSpawnError
+};
+
+const char* SandboxStatusName(SandboxRun::Status status);
+
+// Maps a signal number to its stable name ("SIGSEGV", ..., "sig<N>") — used in quarantine
+// provenance, so it must never depend on locale or strsignal().
+const char* SignalName(int signal);
+
+// Forks and supervises children. Thread-safe: campaign workers call Run concurrently; one
+// shared watchdog thread supervises every in-flight child. When an observer is attached, the
+// executor keeps the artemis_sandbox_{spawns,kills,timeouts,retries,quarantined} counters
+// live and emits a kSandboxKill trace event for every watchdog intervention.
+class SandboxExecutor {
+ public:
+  explicit SandboxExecutor(const SandboxLimits& limits,
+                           jaguar::observe::Observer* observer = nullptr);
+  ~SandboxExecutor();
+
+  SandboxExecutor(const SandboxExecutor&) = delete;
+  SandboxExecutor& operator=(const SandboxExecutor&) = delete;
+
+  // Runs `work` in a forked child and blocks until it is reaped. The closure's return value
+  // comes back as `payload`. Transient fork failures retry with bounded exponential backoff
+  // before reporting kSpawnError.
+  SandboxRun Run(const std::function<std::string()>& work);
+
+  // Policy-layer bookkeeping (retry-once-then-quarantine lives in isolated.cc; the executor
+  // owns the counters so metrics land in one place).
+  void NoteRetry();
+  void NoteQuarantine();
+
+  const SandboxLimits& limits() const { return limits_; }
+  uint64_t spawns() const { return spawns_.load(std::memory_order_relaxed); }
+  uint64_t kills() const { return kills_.load(std::memory_order_relaxed); }
+  uint64_t timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t quarantined() const { return quarantined_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Watch {
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point kill_deadline;
+    bool term_sent = false;
+    bool kill_sent = false;
+    bool timed_out = false;
+  };
+
+  void WatchdogMain();
+  void Register(pid_t pid);
+  // Removes the child from the watch table and reports whether the watchdog fired on it.
+  bool Deregister(pid_t pid);
+  void EmitKill(const char* reason, int signal);
+
+  SandboxLimits limits_;
+  jaguar::observe::Observer* observer_ = nullptr;
+  jaguar::observe::Counter* spawns_counter_ = nullptr;
+  jaguar::observe::Counter* kills_counter_ = nullptr;
+  jaguar::observe::Counter* timeouts_counter_ = nullptr;
+  jaguar::observe::Counter* retries_counter_ = nullptr;
+  jaguar::observe::Counter* quarantined_counter_ = nullptr;
+
+  std::atomic<uint64_t> spawns_{0};
+  std::atomic<uint64_t> kills_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> quarantined_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<pid_t, Watch> inflight_;
+  bool stop_ = false;
+  std::thread watchdog_;
+};
+
+// Child-side breadcrumb marker for the flight-recorder page: cheap, bounded, and a no-op
+// when the caller is not a sandbox child. Work closures mark coarse phases ("validate",
+// "triage", ...) so a post-mortem names where the child died.
+void SandboxPhase(const char* phase);
+
+}  // namespace artemis
+
+#endif  // SRC_ARTEMIS_SANDBOX_SANDBOX_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "src/artemis/campaign/reducer.h"
 #include "src/artemis/campaign/shard.h"
 #include "src/artemis/campaign/worker_pool.h"
+#include "src/artemis/sandbox/isolated.h"
 #include "src/artemis/service/journal.h"
 
 namespace artemis {
@@ -59,6 +61,10 @@ DurableResult RunDurableCampaign(const jaguar::VmConfig& vm_config,
   if (params.validator.tune_iteration || params.validator.on_mutant) {
     throw std::runtime_error(
         "durable campaigns cannot journal validator guidance hooks; unset them");
+  }
+  if (params.chaos.rate_pct > 0 && !params.chaos.dry_run &&
+      params.isolation != IsolationMode::kSandbox) {
+    throw std::runtime_error("chaos injection requires --isolation sandbox (or --chaos-dry-run)");
   }
   const std::string fingerprint = CampaignFingerprint(vm_config, params);
   JournalState prior = ScanJournal(options.journal_path);
@@ -110,12 +116,27 @@ DurableResult RunDurableCampaign(const jaguar::VmConfig& vm_config,
     missing.resize(static_cast<size_t>(options.stop_after_seeds));
   }
 
+  // Sandboxed segments share one executor (and one watchdog thread) across workers, exactly
+  // like RunCampaign.
+  std::unique_ptr<SandboxExecutor> executor;
+  if (params.isolation == IsolationMode::kSandbox) {
+    executor = std::make_unique<SandboxExecutor>(params.sandbox, vm_config.observer);
+  }
+
   // Map phase: identical per-seed work as RunCampaign, but each finished shard is journaled
-  // immediately — the checkpoint granularity is one seed.
+  // immediately — the checkpoint granularity is one seed. A graceful-shutdown cancel stops
+  // workers from claiming further seeds; in-flight shards finish and journal normally, so
+  // the journal is left in the same resumable state a SIGKILL would leave, minus any torn
+  // tail.
   std::vector<SeedShardResult> fresh(missing.size());
+  std::vector<char> executed(missing.size(), 0);
   ParallelFor(static_cast<int>(missing.size()), threads, [&](int i) {
+    if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
+      return;
+    }
     const int ordinal = missing[static_cast<size_t>(i)];
-    fresh[static_cast<size_t>(i)] = RunSeedShard(config, params, ordinal);
+    fresh[static_cast<size_t>(i)] = RunSeedShardIsolated(config, params, ordinal, executor.get());
+    executed[static_cast<size_t>(i)] = 1;
     Json event = Json::Object();
     event.Set("event", "seed_finished");
     event.Set("ordinal", static_cast<int64_t>(ordinal));
@@ -124,19 +145,30 @@ DurableResult RunDurableCampaign(const jaguar::VmConfig& vm_config,
     journal.Append(event);
   });
 
+  int executed_count = 0;
+  for (char e : executed) {
+    executed_count += e != 0 ? 1 : 0;
+  }
+  const bool cancelled = executed_count < static_cast<int>(missing.size());
+
   DurableResult result;
-  result.complete = !truncated;
+  result.complete = !truncated && !cancelled;
   result.replayed_seeds = static_cast<int>(prior.completed.size());
-  result.executed_seeds = static_cast<int>(missing.size());
+  result.executed_seeds = executed_count;
 
   // Reduce phase: fold every available shard in ordinal order — journal-replayed and
   // freshly-executed shards interleave exactly as the uninterrupted run's reduce would.
   CampaignStats& stats = result.stats;
   stats.vm_name = vm_config.name;
   CampaignReducer reducer(&stats);
+  if (params.chaos.rate_pct > 0) {
+    reducer.TrackCleanDigest();
+  }
   std::map<int, SeedShardResult*> fresh_by_ordinal;
   for (size_t i = 0; i < missing.size(); ++i) {
-    fresh_by_ordinal[missing[i]] = &fresh[i];
+    if (executed[i] != 0) {  // cancelled holes re-run next segment, like truncation holes
+      fresh_by_ordinal[missing[i]] = &fresh[i];
+    }
   }
   for (int s = 0; s < params.num_seeds; ++s) {
     if (auto it = prior.completed.find(s); it != prior.completed.end()) {
@@ -161,7 +193,8 @@ DurableResult RunDurableCampaign(const jaguar::VmConfig& vm_config,
   return result;
 }
 
-DurableResult ResumeCampaign(const std::string& journal_path) {
+DurableResult ResumeCampaign(const std::string& journal_path,
+                             const std::atomic<bool>* cancel) {
   JournalState prior = ScanJournal(journal_path);
   if (prior.segments == 0) {
     throw std::runtime_error("journal '" + journal_path + "' has no campaign_started header");
@@ -190,6 +223,7 @@ DurableResult ResumeCampaign(const std::string& journal_path) {
   vm.verify_level = static_cast<jaguar::VerifyLevel>(prior.verify_level);
   DurableOptions options;
   options.journal_path = journal_path;
+  options.cancel = cancel;
   return RunDurableCampaign(vm, params, options);
 }
 

@@ -27,6 +27,7 @@
 #ifndef SRC_ARTEMIS_SERVICE_DURABLE_H_
 #define SRC_ARTEMIS_SERVICE_DURABLE_H_
 
+#include <atomic>
 #include <string>
 
 #include "src/artemis/campaign/campaign.h"
@@ -41,6 +42,12 @@ struct DurableOptions {
   // exactly as a SIGKILL at that point would (modulo the truncated final line, which the
   // reader tolerates anyway). 0 = run to completion.
   int stop_after_seeds = 0;
+
+  // Graceful-shutdown hook (artemis_service's SIGTERM/SIGINT handler sets it): once true,
+  // workers finish their in-flight shard, claim no further seeds, and the segment returns
+  // complete=false with every finished shard journaled — the same resumable state a
+  // stop_after_seeds truncation leaves, but reachable at any moment from a signal.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct DurableResult {
@@ -59,9 +66,11 @@ DurableResult RunDurableCampaign(const jaguar::VmConfig& vm_config,
 
 // Resumes a campaign purely from its journal: vendor, verify level, and parameters are
 // reconstructed from the journal's campaign_started header, then RunDurableCampaign
-// continues from the first unfinished seed. Throws std::runtime_error when the journal is
+// continues from the first unfinished seed. `cancel` is forwarded as the graceful-shutdown
+// hook (see DurableOptions::cancel). Throws std::runtime_error when the journal is
 // missing/headerless or names an unknown vendor.
-DurableResult ResumeCampaign(const std::string& journal_path);
+DurableResult ResumeCampaign(const std::string& journal_path,
+                             const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace artemis
 

@@ -1,5 +1,7 @@
 #include "src/artemis/service/journal.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -111,6 +113,12 @@ Json BugReportToJson(const BugReport& report) {
     j.Set("compile_mode", std::string(jaguar::CompileModeName(report.compile_mode)));
     j.Set("schedule_seed", report.schedule_seed);
   }
+  if (report.chaos) {
+    // Chaos provenance: written only for harness reports from chaos-armed seeds, so every
+    // pre-chaos journal re-serializes byte-identically.
+    j.Set("chaos", true);
+    j.Set("chaos_seed", report.chaos_seed);
+  }
   if (report.triaged) {
     j.Set("triage", TriageToJson(report.triage));
   }
@@ -136,6 +144,8 @@ bool BugReportFromJson(const Json& json, BugReport* out) {
     jaguar::ParseCompileMode(report_mode, &report.compile_mode);
   }
   report.schedule_seed = json.Get("schedule_seed").AsUint(0);
+  report.chaos = json.Get("chaos").AsBool(false);
+  report.chaos_seed = json.Get("chaos_seed").AsUint(0);
   if (json.Has("triage")) {
     report.triaged = true;
     if (!TriageFromJson(json.Get("triage"), &report.triage)) {
@@ -225,6 +235,22 @@ Json ShardToJson(const SeedShardResult& shard) {
     // every report, and a resume that dropped it would change the campaign digest.
     j.Set("compile", jaguar::CompileConfigToJson(shard.compile));
   }
+  if (shard.chaos_fired) {
+    // Chaos provenance rides the journal like compile/stress axes: only when the seed fired.
+    Json chaos = Json::Object();
+    chaos.Set("seed", shard.chaos_seed);
+    j.Set("chaos", std::move(chaos));
+  }
+  if (shard.quarantined) {
+    // Quarantine outcome: a resume replays the harness death instead of re-running (and
+    // possibly re-crashing on) the seed.
+    Json q = Json::Object();
+    q.Set("hang", shard.quarantine_hang);
+    q.Set("signal", static_cast<int64_t>(shard.quarantine_signal));
+    q.Set("retries", static_cast<int64_t>(shard.quarantine_retries));
+    q.Set("breadcrumb", shard.quarantine_breadcrumb);
+    j.Set("quarantine", std::move(q));
+  }
   return j;
 }
 
@@ -295,6 +321,18 @@ bool ShardFromJson(const Json& json, SeedShardResult* out) {
   if (json.Has("compile")) {
     shard.compile = jaguar::CompileConfigFromJson(json.Get("compile"));
   }
+  if (json.Has("chaos")) {
+    shard.chaos_fired = true;
+    shard.chaos_seed = json.Get("chaos").Get("seed").AsUint();
+  }
+  if (json.Has("quarantine")) {
+    const Json& q = json.Get("quarantine");
+    shard.quarantined = true;
+    shard.quarantine_hang = q.Get("hang").AsBool();
+    shard.quarantine_signal = static_cast<int>(q.Get("signal").AsInt());
+    shard.quarantine_retries = static_cast<int>(q.Get("retries").AsInt());
+    shard.quarantine_breadcrumb = q.Get("breadcrumb").AsString();
+  }
   *out = std::move(shard);
   return true;
 }
@@ -306,6 +344,26 @@ Json CampaignParamsToJson(const CampaignParams& params) {
   j.Set("step_budget", params.step_budget);
   j.Set("num_threads", static_cast<int64_t>(params.num_threads));
   j.Set("triage", params.triage);
+  if (params.isolation != IsolationMode::kInProcess) {
+    // Isolation is an execution strategy (like num_threads): journaled for resume fidelity,
+    // but written only when on so historical journals keep their byte shape, and reset by
+    // CampaignFingerprint so a sandboxed journal may resume in-process and vice versa.
+    j.Set("isolation", std::string(IsolationModeName(params.isolation)));
+    Json sandbox = Json::Object();
+    sandbox.Set("exec_timeout_ms", static_cast<int64_t>(params.sandbox.exec_timeout_ms));
+    sandbox.Set("exec_rss_mb", static_cast<int64_t>(params.sandbox.exec_rss_mb));
+    sandbox.Set("grace_ms", static_cast<int64_t>(params.sandbox.grace_ms));
+    sandbox.Set("max_retries", static_cast<int64_t>(params.sandbox.max_retries));
+    j.Set("sandbox", std::move(sandbox));
+  }
+  if (params.chaos.rate_pct > 0) {
+    // Chaos changes outcomes (quarantined seeds) and therefore joins the fingerprint.
+    Json chaos = Json::Object();
+    chaos.Set("rate_pct", static_cast<int64_t>(params.chaos.rate_pct));
+    chaos.Set("seed", params.chaos.seed);
+    chaos.Set("dry_run", params.chaos.dry_run);
+    j.Set("chaos", std::move(chaos));
+  }
 
   Json triage = Json::Object();
   triage.Set("pairwise", params.triage_params.pairwise);
@@ -375,6 +433,26 @@ bool CampaignParamsFromJson(const Json& json, CampaignParams* out) {
   params.step_budget = json.Get("step_budget").AsUint();
   params.num_threads = static_cast<int>(json.Get("num_threads").AsInt());
   params.triage = json.Get("triage").AsBool();
+  const std::string& isolation = json.Get("isolation").AsString();
+  if (!isolation.empty()) {
+    ParseIsolationMode(isolation, &params.isolation);
+    const Json& sandbox = json.Get("sandbox");
+    SandboxLimits defaults_limits;
+    params.sandbox.exec_timeout_ms =
+        static_cast<int>(sandbox.Get("exec_timeout_ms").AsInt(defaults_limits.exec_timeout_ms));
+    params.sandbox.exec_rss_mb =
+        static_cast<int>(sandbox.Get("exec_rss_mb").AsInt(defaults_limits.exec_rss_mb));
+    params.sandbox.grace_ms =
+        static_cast<int>(sandbox.Get("grace_ms").AsInt(defaults_limits.grace_ms));
+    params.sandbox.max_retries =
+        static_cast<int>(sandbox.Get("max_retries").AsInt(defaults_limits.max_retries));
+  }
+  if (json.Has("chaos")) {
+    const Json& chaos = json.Get("chaos");
+    params.chaos.rate_pct = static_cast<int>(chaos.Get("rate_pct").AsInt(0));
+    params.chaos.seed = chaos.Get("seed").AsUint(0);
+    params.chaos.dry_run = chaos.Get("dry_run").AsBool(false);
+  }
 
   const Json& triage = json.Get("triage_params");
   params.triage_params.pairwise = triage.Get("pairwise").AsBool(true);
@@ -438,7 +516,14 @@ bool CampaignParamsFromJson(const Json& json, CampaignParams* out) {
 }
 
 std::string CampaignFingerprint(const jaguar::VmConfig& vm, const CampaignParams& params) {
-  Json identity = CampaignParamsToJson(params);
+  // Isolation (and its limits) is an execution strategy like the thread count: sandboxed
+  // shards serialize through the same codec and reduce identically, so a journal written
+  // under --isolation sandbox may resume in-process and vice versa. Chaos stays in the
+  // fingerprint (via CampaignParamsToJson above): it changes which seeds quarantine.
+  CampaignParams durable = params;
+  durable.isolation = IsolationMode::kInProcess;
+  durable.sandbox = SandboxLimits{};
+  Json identity = CampaignParamsToJson(durable);
   // Thread count changes wall time, never outcomes (the shard/reduce contract) — a journal
   // written on 16 workers may be resumed on 1.
   identity.Set("num_threads", Json());
@@ -457,11 +542,50 @@ std::string CampaignFingerprint(const jaguar::VmConfig& vm, const CampaignParams
   return jaguar::Hex64(jaguar::Fnv1a64(identity.Dump()));
 }
 
+namespace {
+
+// A SIGKILL can leave the journal's final line half-written (no trailing newline). Appending
+// to that file would merge the next event into the partial line, corrupting *two* events
+// instead of zero. Truncate back to the last newline before reopening for append.
+void TruncatePartialTail(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) {
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return;
+  }
+  // Scan backwards in one bounded read: a journal line is a JSON document, far under 1 MiB.
+  const std::uintmax_t window = std::min<std::uintmax_t>(size, 1 << 20);
+  in.seekg(static_cast<std::streamoff>(size - window));
+  std::string tail(static_cast<size_t>(window), '\0');
+  in.read(tail.data(), static_cast<std::streamsize>(window));
+  in.close();
+  if (!tail.empty() && tail.back() == '\n') {
+    return;  // cleanly terminated
+  }
+  const size_t last_newline = tail.rfind('\n');
+  const std::uintmax_t keep =
+      last_newline == std::string::npos ? size - window : size - window + last_newline + 1;
+  std::fprintf(stderr,
+               "journal: truncating partial tail of %s (%llu -> %llu bytes)\n", path.c_str(),
+               static_cast<unsigned long long>(size), static_cast<unsigned long long>(keep));
+  std::filesystem::resize_file(path, keep, ec);  // best-effort; the reader skips bad lines
+}
+
+}  // namespace
+
 CampaignJournal::CampaignJournal(const std::string& path) : path_(path) {
   const std::filesystem::path parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(parent, ec);  // fopen below reports any failure
+  }
+  std::error_code exists_ec;
+  if (std::filesystem::exists(path, exists_ec)) {
+    TruncatePartialTail(path);
   }
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ != nullptr) {

@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "src/artemis/campaign/reducer.h"
@@ -14,7 +16,9 @@
 #include "src/artemis/corpus/corpus.h"
 #include "src/artemis/coverage/coverage.h"
 #include "src/artemis/fuzzer/generator.h"
+#include "src/artemis/sandbox/sandbox.h"
 #include "src/artemis/service/journal.h"
+#include "src/jaguar/vm/chaos.h"
 #include "src/jaguar/bytecode/compiler.h"
 #include "src/jaguar/jit/concurrent/install_schedule.h"
 #include "src/jaguar/lang/parser.h"
@@ -61,6 +65,10 @@ Json CountersToJson(const CampaignStats& stats) {
     j.Set("stress_points", static_cast<int64_t>(stats.stress_points));
     j.Set("stress_discrepancies", static_cast<int64_t>(stats.stress_discrepancies));
   }
+  if (stats.seeds_quarantined > 0) {
+    // Only for sandbox services that actually quarantined (same byte-shape discipline).
+    j.Set("seeds_quarantined", static_cast<int64_t>(stats.seeds_quarantined));
+  }
   return j;
 }
 
@@ -76,6 +84,7 @@ void CountersFromJson(const Json& json, CampaignStats* stats) {
   stats->vm_invocations = json.Get("vm_invocations").AsUint();
   stats->stress_points = static_cast<int>(json.Get("stress_points").AsInt(0));
   stats->stress_discrepancies = static_cast<int>(json.Get("stress_discrepancies").AsInt(0));
+  stats->seeds_quarantined = static_cast<int>(json.Get("seeds_quarantined").AsInt(0));
 }
 
 // Service identity: the campaign fingerprint plus every service knob that shapes the
@@ -283,6 +292,138 @@ ItemOutcome RunWorkItem(const jaguar::VmConfig& config, const CampaignParams& pa
   return outcome;
 }
 
+// Wire codec for sandboxed work items: everything the evolve/observe fold consumes. Not
+// journaled (the journal records shards and reports separately), so double round-tripping
+// through JSON is acceptable here.
+Json ItemOutcomeToJson(const ItemOutcome& outcome) {
+  Json j = Json::Object();
+  j.Set("shard", ShardToJson(outcome.shard));
+  Json candidates = Json::Array();
+  for (const ItemOutcome::Candidate& c : outcome.candidates) {
+    Json cj = Json::Object();
+    cj.Set("source", c.source);
+    Json lineage = Json::Array();
+    for (const std::string& step : c.lineage) {
+      lineage.Append(step);
+    }
+    cj.Set("lineage", std::move(lineage));
+    cj.Set("discrepant", c.discrepant);
+    candidates.Append(std::move(cj));
+  }
+  j.Set("candidates", std::move(candidates));
+  j.Set("methods", static_cast<int64_t>(outcome.methods));
+  j.Set("frac_top_tier", outcome.frac_top_tier);
+  j.Set("frac_deopted", outcome.frac_deopted);
+  j.Set("seed_steps", outcome.seed_steps);
+  j.Set("stress_seed_base", outcome.stress_seed_base);
+  j.Set("compile", jaguar::CompileConfigToJson(outcome.compile));
+  return j;
+}
+
+bool ItemOutcomeFromJson(const Json& json, ItemOutcome* out) {
+  if (!json.is_object() || !json.Has("shard")) {
+    return false;
+  }
+  ItemOutcome outcome;
+  if (!ShardFromJson(json.Get("shard"), &outcome.shard)) {
+    return false;
+  }
+  for (const Json& cj : json.Get("candidates").items()) {
+    ItemOutcome::Candidate candidate;
+    candidate.source = cj.Get("source").AsString();
+    for (const Json& step : cj.Get("lineage").items()) {
+      candidate.lineage.push_back(step.AsString());
+    }
+    candidate.discrepant = cj.Get("discrepant").AsBool();
+    outcome.candidates.push_back(std::move(candidate));
+  }
+  outcome.methods = static_cast<int>(json.Get("methods").AsInt());
+  outcome.frac_top_tier = json.Get("frac_top_tier").AsDouble();
+  outcome.frac_deopted = json.Get("frac_deopted").AsDouble();
+  outcome.seed_steps = json.Get("seed_steps").AsUint();
+  outcome.stress_seed_base = json.Get("stress_seed_base").AsUint();
+  outcome.compile = jaguar::CompileConfigFromJson(json.Get("compile"));
+  *out = std::move(outcome);
+  return true;
+}
+
+// Sandbox dispatch for one work item: same retry-once-then-quarantine state machine as
+// campaign shards (sandbox/isolated.cc), over the ItemOutcome wire codec. nullptr executor
+// is the historical in-process path (plus chaos dry-run marking).
+ItemOutcome RunWorkItemIsolated(const jaguar::VmConfig& config, const CampaignParams& params,
+                                const WorkItem& item, bool admission,
+                                SandboxExecutor* executor) {
+  const bool chaos_fires =
+      params.chaos.rate_pct > 0 &&
+      jaguar::ChaosFires(params.chaos.seed, item.seed_id, params.chaos.rate_pct);
+  const uint64_t derived_chaos_seed =
+      chaos_fires ? jaguar::DeriveChaosSeed(params.chaos.seed, item.seed_id) : 0;
+
+  if (executor == nullptr) {
+    ItemOutcome outcome = RunWorkItem(config, params, item, admission);
+    if (chaos_fires) {
+      outcome.shard.chaos_fired = true;
+      outcome.shard.chaos_seed = derived_chaos_seed;
+    }
+    return outcome;
+  }
+
+  jaguar::VmConfig child_config = config;
+  child_config.observer = nullptr;  // parent-owned registries stay parent-only across fork
+  if (chaos_fires && !params.chaos.dry_run) {
+    child_config = child_config.WithChaosSeed(derived_chaos_seed);
+  }
+  const auto work = [&child_config, &params, &item, admission]() {
+    SandboxPhase("item");
+    ItemOutcome outcome = RunWorkItem(child_config, params, item, admission);
+    SandboxPhase("serialize");
+    return ItemOutcomeToJson(outcome).Dump();
+  };
+
+  const int attempts = 1 + std::max(0, executor->limits().max_retries);
+  SandboxRun run;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      executor->NoteRetry();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20 << (attempt - 1)));
+    }
+    run = executor->Run(work);
+    if (run.status == SandboxRun::Status::kOk) {
+      ItemOutcome outcome;
+      Json payload;
+      if (Json::Parse(run.payload, &payload) && ItemOutcomeFromJson(payload, &outcome)) {
+        if (chaos_fires) {
+          outcome.shard.chaos_fired = true;
+          outcome.shard.chaos_seed = derived_chaos_seed;
+        }
+        return outcome;
+      }
+      run.status = SandboxRun::Status::kChildError;
+      run.error = "payload parse failure";
+    }
+  }
+
+  executor->NoteQuarantine();
+  ItemOutcome outcome;
+  SeedShardResult& shard = outcome.shard;
+  shard.seed_id = item.seed_id;
+  shard.compile = params.validator.compile;
+  if (shard.compile.mode == jaguar::CompileMode::kScheduled) {
+    shard.compile.schedule_seed = jaguar::DeriveScheduleSeed(params.base_seed, item.seed_id);
+  }
+  outcome.compile = shard.compile;
+  shard.quarantined = true;
+  shard.quarantine_hang = run.status == SandboxRun::Status::kHang;
+  shard.quarantine_signal = run.signal;
+  shard.quarantine_retries = attempts - 1;
+  shard.quarantine_breadcrumb = run.breadcrumb;
+  if (chaos_fires) {
+    shard.chaos_fired = true;
+    shard.chaos_seed = derived_chaos_seed;
+  }
+  return outcome;
+}
+
 }  // namespace
 
 Json ServiceSnapshot::ToJson() const {
@@ -317,6 +458,10 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
   }
   if (params.campaign.validator.tune_iteration || params.campaign.validator.on_mutant) {
     throw std::runtime_error("service campaigns install their own guidance hooks; unset yours");
+  }
+  if (params.campaign.chaos.rate_pct > 0 && !params.campaign.chaos.dry_run &&
+      params.campaign.isolation != IsolationMode::kSandbox) {
+    throw std::runtime_error("chaos injection requires --isolation sandbox (or --chaos-dry-run)");
   }
   const std::string journal_path = params.journal_path.empty()
                                        ? params.corpus_dir + "/service_journal.jsonl"
@@ -400,12 +545,26 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
   const int threads =
       params.campaign.num_threads > 0 ? params.campaign.num_threads : DefaultWorkerCount();
 
+  // Sandboxed services fork each work item; the executor's watchdog thread spans rounds.
+  std::unique_ptr<SandboxExecutor> executor;
+  if (params.campaign.isolation == IsolationMode::kSandbox) {
+    executor = std::make_unique<SandboxExecutor>(params.campaign.sandbox, config.observer);
+  }
+
   CampaignReducer reducer(&stats.totals);
   reducer.SeedFromExistingReports();
+  if (params.campaign.chaos.rate_pct > 0) {
+    reducer.TrackCleanDigest();
+  }
 
   const int first_round = stats.rounds_completed + 1;
   const int last_round = stats.rounds_completed + std::max(params.rounds, 0);
   for (int round = first_round; round <= last_round; ++round) {
+    if (params.cancel != nullptr && params.cancel->load(std::memory_order_relaxed)) {
+      // Graceful shutdown: the last finished round was journaled and exported; resume
+      // continues from exactly there.
+      break;
+    }
     // --- 1. schedule -------------------------------------------------------------------
     std::vector<WorkItem> items;
     if (params.admission && corpus.size() > 0) {
@@ -436,14 +595,34 @@ ServiceStats RunService(const jaguar::VmConfig& vm_config, const ServiceParams& 
     std::vector<ItemOutcome> outcomes(items.size());
     ParallelFor(static_cast<int>(items.size()), threads, [&](int i) {
       outcomes[static_cast<size_t>(i)] =
-          RunWorkItem(config, params.campaign, items[static_cast<size_t>(i)],
-                      params.admission);
+          RunWorkItemIsolated(config, params.campaign, items[static_cast<size_t>(i)],
+                              params.admission, executor.get());
     });
 
     // --- 3+4. evolve & observe (sequential, in schedule order) --------------------------
     for (size_t i = 0; i < items.size(); ++i) {
       const WorkItem& item = items[i];
       ItemOutcome& outcome = outcomes[i];
+      const bool quarantined = outcome.shard.quarantined;
+      if (quarantined) {
+        // Quarantined work lands in the corpus with a `quarantine` sidecar field: corpus
+        // items are flagged in place (the scheduler then starves them); fresh generator
+        // seeds are admitted as quarantined evidence entries. Either way the reducer files
+        // the harness-crash/hang report below.
+        if (item.from_corpus) {
+          corpus.MarkQuarantined(item.corpus_id);
+        } else if (params.admission) {
+          CorpusMeta meta;
+          meta.origin_seed = item.origin_seed;
+          meta.round_admitted = round;
+          meta.quarantine = true;
+          const std::string source =
+              jaguar::PrintProgram(GenerateProgram(params.campaign.fuzz, item.seed_id));
+          if (corpus.Admit(source, std::move(meta))) {
+            ++stats.corpus_admitted;
+          }
+        }
+      }
       const size_t reports_before = stats.totals.reports.size();
       reducer.Reduce(std::move(outcome.shard));
       for (size_t r = reports_before; r < stats.totals.reports.size(); ++r) {

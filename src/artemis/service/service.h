@@ -28,6 +28,7 @@
 #ifndef SRC_ARTEMIS_SERVICE_SERVICE_H_
 #define SRC_ARTEMIS_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,12 @@ struct ServiceParams {
 
   // Continue from an existing corpus + journal instead of requiring a fresh directory.
   bool resume = false;
+
+  // Graceful-shutdown hook (artemis_service's SIGTERM/SIGINT handler sets it): checked at
+  // round boundaries. Once true, the in-flight round finishes — its journal events, sidecar
+  // writes, metrics.prom, and BENCH_campaign.json all land as usual — and RunService returns
+  // normally instead of starting the next round, so `resume = true` continues exactly there.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // One point of the exported metrics trajectory.

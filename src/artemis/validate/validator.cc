@@ -35,6 +35,8 @@ const char* DiscrepancyName(DiscrepancyKind kind) {
     case DiscrepancyKind::kMisCompilation: return "mis-compilation";
     case DiscrepancyKind::kCrash: return "crash";
     case DiscrepancyKind::kPerformance: return "performance";
+    case DiscrepancyKind::kHarnessCrash: return "harness-crash";
+    case DiscrepancyKind::kHarnessHang: return "harness-hang";
   }
   return "?";
 }

@@ -31,7 +31,17 @@
 
 namespace artemis {
 
-enum class DiscrepancyKind : uint8_t { kNone, kMisCompilation, kCrash, kPerformance };
+// kHarnessCrash/kHarnessHang are not validator verdicts: they classify a *harness* death —
+// the whole child process segfaulted, aborted, OOMed, or hung under the campaign sandbox
+// (src/artemis/sandbox) — and are filed by the reducer when a shard is quarantined.
+enum class DiscrepancyKind : uint8_t {
+  kNone,
+  kMisCompilation,
+  kCrash,
+  kPerformance,
+  kHarnessCrash,
+  kHarnessHang,
+};
 
 const char* DiscrepancyName(DiscrepancyKind kind);
 

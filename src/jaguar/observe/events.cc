@@ -21,6 +21,8 @@ const char* EventCategory(EventKind kind) {
     case EventKind::kGcCycle:
     case EventKind::kHeapVerify:
       return "gc";
+    case EventKind::kSandboxKill:
+      return "sandbox";
   }
   return "vm";
 }
@@ -73,6 +75,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kHeapVerify: return "heap-verify";
     case EventKind::kCompileInstall: return "compile-install";
     case EventKind::kCompileInvalidate: return "compile-invalidate";
+    case EventKind::kSandboxKill: return "sandbox-kill";
   }
   return "unknown";
 }
@@ -88,6 +91,7 @@ const std::vector<std::string>& EventFieldNames(EventKind kind) {
   static const std::vector<std::string> kVerify = {"live"};
   static const std::vector<std::string> kInstall = {"func", "level", "osr_pc", "at"};
   static const std::vector<std::string> kInvalidate = {"func", "level", "osr_pc", "reason"};
+  static const std::vector<std::string> kSandbox = {"reason", "signal"};
   switch (kind) {
     case EventKind::kTierTransition: return kTier;
     case EventKind::kCompileStart: return kCompileStart;
@@ -99,6 +103,7 @@ const std::vector<std::string>& EventFieldNames(EventKind kind) {
     case EventKind::kHeapVerify: return kVerify;
     case EventKind::kCompileInstall: return kInstall;
     case EventKind::kCompileInvalidate: return kInvalidate;
+    case EventKind::kSandboxKill: return kSandbox;
   }
   return kTier;
 }
@@ -171,6 +176,10 @@ Json EventToJson(const TraceEvent& event, const std::vector<std::string>& func_n
       args.Set("level", static_cast<int64_t>(event.level));
       args.Set("osr_pc", static_cast<int64_t>(event.pc));
       args.Set("reason", event.name != nullptr ? event.name : "");
+      break;
+    case EventKind::kSandboxKill:
+      args.Set("reason", event.name != nullptr ? event.name : "");
+      args.Set("signal", event.value);
       break;
   }
   j.Set("args", std::move(args));

@@ -40,9 +40,10 @@ enum class EventKind : uint8_t {
   kHeapVerify,      // a full-heap verification walk completed
   kCompileInstall,     // a background-compiled artifact was published to the code cache
   kCompileInvalidate,  // a published artifact was invalidated (deopt-driven)
+  kSandboxKill,        // the campaign sandbox's watchdog killed a child process (parent-side)
 };
 
-inline constexpr int kEventKindCount = 10;
+inline constexpr int kEventKindCount = 11;
 
 const char* EventKindName(EventKind kind);
 

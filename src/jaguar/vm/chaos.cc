@@ -1,0 +1,110 @@
+#include "src/jaguar/vm/chaos.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <vector>
+
+#include "src/jaguar/jit/stress/stress.h"
+
+namespace jaguar {
+namespace {
+
+// Distinct salts keep the fire/derive/kind streams independent of each other and of every
+// stress/schedule derivation (which use their own constants).
+constexpr uint64_t kChaosFireSalt = 0xC4A05F17E0000001ULL;
+constexpr uint64_t kChaosSeedSalt = 0xC4A05EEDC4A05EEDULL;
+constexpr uint64_t kChaosKindSalt = 0xC4A0C1A550000002ULL;
+
+}  // namespace
+
+const char* ChaosFaultName(ChaosFaultKind kind) {
+  switch (kind) {
+    case ChaosFaultKind::kSegv:
+      return "segv";
+    case ChaosFaultKind::kAbort:
+      return "abort";
+    case ChaosFaultKind::kHang:
+      return "hang";
+    case ChaosFaultKind::kAllocBomb:
+      return "alloc-bomb";
+  }
+  return "unknown";
+}
+
+bool operator==(const ChaosConfig& a, const ChaosConfig& b) {
+  return a.enabled == b.enabled && a.seed == b.seed;
+}
+
+Json ChaosConfigToJson(const ChaosConfig& config) {
+  Json j = Json::Object();
+  j.Set("enabled", config.enabled);
+  j.Set("seed", config.seed);
+  return j;
+}
+
+ChaosConfig ChaosConfigFromJson(const Json& json) {
+  ChaosConfig config;
+  config.enabled = json.Get("enabled").AsBool(false);
+  config.seed = json.Get("seed").AsUint(0);
+  return config;
+}
+
+bool ChaosFires(uint64_t chaos_seed, uint64_t seed_id, int rate_pct) {
+  if (rate_pct <= 0) {
+    return false;
+  }
+  if (rate_pct >= 100) {
+    return true;
+  }
+  return StressMix(chaos_seed ^ kChaosFireSalt, seed_id) % 100 <
+         static_cast<uint64_t>(rate_pct);
+}
+
+uint64_t DeriveChaosSeed(uint64_t chaos_seed, uint64_t seed_id) {
+  return StressMix(StressMix(chaos_seed, seed_id), kChaosSeedSalt);
+}
+
+ChaosFaultKind ChaosFaultFor(uint64_t derived_seed) {
+  return static_cast<ChaosFaultKind>(StressMix(derived_seed, kChaosKindSalt) % 4);
+}
+
+void InjectChaosFault(const ChaosConfig& config) {
+  if (!config.enabled) {
+    return;
+  }
+  switch (ChaosFaultFor(config.seed)) {
+    case ChaosFaultKind::kSegv:
+      raise(SIGSEGV);
+      // If SIGSEGV is somehow blocked, force a real wild write.
+      *reinterpret_cast<volatile int*>(1) = 0;
+      break;
+    case ChaosFaultKind::kAbort:
+      std::abort();
+    case ChaosFaultKind::kHang: {
+      // A genuine busy loop: no step counter sees it, only a wall-clock watchdog (or
+      // RLIMIT_CPU) ends it.
+      volatile uint64_t spin = 0;
+      for (;;) {
+        ++spin;
+      }
+    }
+    case ChaosFaultKind::kAllocBomb: {
+      // Allocate and touch pages until the sandbox's RLIMIT_AS turns `new` into bad_alloc
+      // (uncaught → std::terminate → SIGABRT). Bounded at 4 GiB as a safety net so a
+      // misconfigured run without an rlimit cannot eat the machine.
+      std::vector<char*> blocks;
+      constexpr size_t kBlock = 16u << 20;
+      for (uint64_t total = 0; total < (4ULL << 30); total += kBlock) {
+        char* block = new char[kBlock];
+        for (size_t i = 0; i < kBlock; i += 4096) {
+          block[i] = static_cast<char>(i);
+        }
+        blocks.push_back(block);
+      }
+      std::abort();
+    }
+  }
+  std::abort();  // Unreachable: every fault above ends the process.
+}
+
+}  // namespace jaguar

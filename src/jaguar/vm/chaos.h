@@ -1,0 +1,62 @@
+// Seeded harness-fault injection ("chaos") — the proof engine for the sandbox executor.
+//
+// The campaign's sandbox (src/artemis/sandbox) exists so a *real* harness defect — a wild
+// pointer, an unbounded loop the step counter misses, an allocator blowup — kills one child
+// process instead of the whole campaign. Chaos mode keeps that property continuously tested:
+// a ChaosConfig makes Vm::Run genuinely crash the hosting process (raise(SIGSEGV), abort(),
+// a true infinite loop, an allocation bomb) at a deterministic, seed-derived point. These are
+// not simulated VmCrash exceptions — they take the process down for real, which is why a
+// chaos campaign is only runnable under process isolation.
+//
+// Determinism contract: whether a campaign seed fires chaos (ChaosFires) and which fault it
+// gets (ChaosFaultFor of its derived chaos seed) are pure functions of the campaign's chaos
+// seed and the corpus seed id — independent of isolation mode, thread count, and retries. A
+// fault-free reference run can therefore exclude exactly the same seeds (dry-run mode) and
+// compare digests over the clean remainder bit-for-bit.
+
+#ifndef SRC_JAGUAR_VM_CHAOS_H_
+#define SRC_JAGUAR_VM_CHAOS_H_
+
+#include <cstdint>
+
+#include "src/jaguar/support/json.h"
+
+namespace jaguar {
+
+// The four genuine fault classes, mirroring what real JVM harnesses die of in the paper's
+// deployment: segfault, abort (assertion/allocator failure), wall-clock hang, OOM.
+enum class ChaosFaultKind : uint8_t { kSegv = 0, kAbort = 1, kHang = 2, kAllocBomb = 3 };
+
+const char* ChaosFaultName(ChaosFaultKind kind);
+
+// Per-run fault switch, carried by VmConfig::chaos. `seed` selects the fault kind; the
+// campaign derives it per corpus seed (DeriveChaosSeed) the same way stress and schedule
+// seeds are derived, so it rides journals/sidecars/provenance identically.
+struct ChaosConfig {
+  bool enabled = false;
+  uint64_t seed = 0;
+};
+
+bool operator==(const ChaosConfig& a, const ChaosConfig& b);
+inline bool operator!=(const ChaosConfig& a, const ChaosConfig& b) { return !(a == b); }
+
+// Canonical JSON codec; FromJson tolerates missing fields so journals written before the
+// chaos axis decode to the default (disabled) config.
+Json ChaosConfigToJson(const ChaosConfig& config);
+ChaosConfig ChaosConfigFromJson(const Json& json);
+
+// Campaign-side pure decisions. ChaosFires says whether the campaign injects a fault into
+// `seed_id` at an expected rate of `rate_pct` percent; DeriveChaosSeed yields the per-seed
+// chaos seed recorded in provenance; ChaosFaultFor maps that seed to its fault kind.
+bool ChaosFires(uint64_t chaos_seed, uint64_t seed_id, int rate_pct);
+uint64_t DeriveChaosSeed(uint64_t chaos_seed, uint64_t seed_id);
+ChaosFaultKind ChaosFaultFor(uint64_t derived_seed);
+
+// Executes the configured fault. When `config.enabled` this never returns normally: the
+// process dies of SIGSEGV/SIGABRT, spins forever (until a watchdog or RLIMIT_CPU kills it),
+// or allocates until the address-space rlimit aborts it. No-op when disabled.
+void InjectChaosFault(const ChaosConfig& config);
+
+}  // namespace jaguar
+
+#endif  // SRC_JAGUAR_VM_CHAOS_H_

@@ -97,6 +97,13 @@ VmConfig VmConfig::WithScheduleSeed(uint64_t seed) const {
   return c;
 }
 
+VmConfig VmConfig::WithChaosSeed(uint64_t seed) const {
+  VmConfig c = *this;
+  c.chaos.enabled = true;
+  c.chaos.seed = seed;
+  return c;
+}
+
 VmConfig HotSniffConfig() {
   VmConfig c;
   c.name = "HotSniff";

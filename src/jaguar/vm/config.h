@@ -21,6 +21,7 @@
 #include "src/jaguar/jit/concurrent/compile_mode.h"
 #include "src/jaguar/jit/stress/stress.h"
 #include "src/jaguar/observe/events.h"
+#include "src/jaguar/vm/chaos.h"
 
 namespace jaguar {
 
@@ -101,6 +102,12 @@ struct VmConfig {
   // per-site counter derived from `compile.schedule_seed` — the third seeded exploration axis.
   CompileConfig compile;
 
+  // Seeded harness-fault injection (vm/chaos): when enabled, Vm::Run dies for REAL — a
+  // raise(SIGSEGV), abort(), true infinite loop, or allocation bomb selected by `chaos.seed`
+  // — before touching the program. Only meaningful under the campaign sandbox
+  // (src/artemis/sandbox), which turns the death into a first-class harness-crash outcome.
+  ChaosConfig chaos;
+
   // JIT-trace recording (full temperature vectors; the summary is always recorded).
   bool record_full_trace = false;
   size_t max_trace_vectors = 4096;
@@ -132,6 +139,8 @@ struct VmConfig {
   VmConfig WithCompileMode(CompileMode mode) const;
   // Convenience: kScheduled under `seed` (the per-corpus-seed derivation campaigns use).
   VmConfig WithScheduleSeed(uint64_t seed) const;
+  // Convenience: chaos fault injection armed under `seed` (sandbox campaigns only).
+  VmConfig WithChaosSeed(uint64_t seed) const;
 };
 
 // The three simulated vendors, with their latent defect sets.

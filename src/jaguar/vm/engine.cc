@@ -7,6 +7,7 @@
 #include "src/jaguar/jit/concurrent/install_schedule.h"
 #include "src/jaguar/jit/pipeline.h"
 #include "src/jaguar/support/check.h"
+#include "src/jaguar/vm/chaos.h"
 #include "src/jaguar/vm/interpreter.h"
 #include "src/jaguar/vm/value.h"
 
@@ -127,6 +128,9 @@ std::vector<const std::vector<int64_t>*> Vm::GcRootFrames() const {
 }
 
 RunOutcome Vm::Run() {
+  // Armed chaos kills the process for real (vm/chaos.h) — reached only inside a sandbox
+  // child, where the parent turns the death into a harness-crash outcome.
+  InjectChaosFault(config_.chaos);
   RunOutcome out;
   try {
     if (program_.ginit_index >= 0) {

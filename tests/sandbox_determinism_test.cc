@@ -1,0 +1,325 @@
+// Sandbox suite: the fork-per-seed executor (crash/hang/exception classification,
+// watchdog, flight-recorder breadcrumbs), the in-process-vs-sandbox bit-identical-outcome
+// contract on clean seeds, seeded chaos injection with retry-once-then-quarantine, and the
+// kill/resume quarantine replay through the durable journal.
+//
+// Runtime note: every sandboxed seed is a real fork + full shard run, so the campaigns here
+// use the same fast synthetic vendor as service_test.cc. The full-scale version of these
+// checks (hundreds of seeds, real vendors) lives in scripts/chaos_check.sh.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/artemis/campaign/campaign.h"
+#include "src/artemis/campaign/shard.h"
+#include "src/artemis/sandbox/isolated.h"
+#include "src/artemis/sandbox/sandbox.h"
+#include "src/artemis/service/durable.h"
+#include "src/jaguar/vm/chaos.h"
+#include "src/jaguar/vm/config.h"
+
+namespace artemis {
+namespace {
+
+// Same fast two-tier buggy vendor as service_test.cc: quick shards, real reports.
+jaguar::VmConfig FastVendor() {
+  jaguar::VmConfig c;
+  c.name = "FastSbx";
+  c.tiers = {
+      jaguar::TierSpec{25, 60, false, false, /*profiles=*/true},
+      jaguar::TierSpec{80, 150, true, true},
+  };
+  c.min_profile_for_speculation = 16;
+  c.bugs = {jaguar::BugId::kFoldShiftUnmasked, jaguar::BugId::kLicmDeepNestAssert,
+            jaguar::BugId::kGvnBucketAssert};
+  return c;
+}
+
+CampaignParams FastParams() {
+  CampaignParams params;
+  params.num_seeds = 5;
+  params.base_seed = 93'000;
+  params.validator.max_iter = 4;
+  params.validator.jonm.synth.min_bound = 150;
+  params.validator.jonm.synth.max_bound = 400;
+  params.step_budget = 40'000'000;
+  return params;
+}
+
+// Deterministically picks a chaos selection seed whose fired set is non-trivial (at least
+// one seed fires, at least one does not) and whose faults are all fast process-killers
+// (segv/abort) — hang faults cost a full watchdog timeout per attempt, which belongs in the
+// executor unit tests and chaos_check.sh, not in every campaign test run.
+uint64_t PickChaosSeed(const CampaignParams& params) {
+  for (uint64_t cs = 1; cs < 4'096; ++cs) {
+    int fired = 0;
+    bool fast = true;
+    for (int s = 0; s < params.num_seeds; ++s) {
+      const uint64_t id = params.base_seed + static_cast<uint64_t>(s);
+      if (!jaguar::ChaosFires(cs, id, params.chaos.rate_pct)) {
+        continue;
+      }
+      ++fired;
+      const jaguar::ChaosFaultKind kind =
+          jaguar::ChaosFaultFor(jaguar::DeriveChaosSeed(cs, id));
+      fast &= kind == jaguar::ChaosFaultKind::kSegv || kind == jaguar::ChaosFaultKind::kAbort;
+    }
+    if (fired >= 1 && fired < params.num_seeds && fast) {
+      return cs;
+    }
+  }
+  ADD_FAILURE() << "no suitable chaos seed below 4096 — ChaosFires distribution broke";
+  return 0;
+}
+
+int ExpectedQuarantines(const CampaignParams& params) {
+  int fired = 0;
+  for (int s = 0; s < params.num_seeds; ++s) {
+    fired += jaguar::ChaosFires(params.chaos.seed,
+                                params.base_seed + static_cast<uint64_t>(s),
+                                params.chaos.rate_pct)
+                 ? 1
+                 : 0;
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------------------
+// Executor unit tests: one fork each, classified.
+
+TEST(SandboxExecutorTest, OkChildRoundTripsItsPayload) {
+  SandboxExecutor executor(SandboxLimits{});
+  const SandboxRun run = executor.Run([] { return std::string("payload-bytes\n\x01ok"); });
+  EXPECT_EQ(run.status, SandboxRun::Status::kOk);
+  EXPECT_EQ(run.payload, "payload-bytes\n\x01ok");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_FALSE(run.timed_out);
+  EXPECT_EQ(executor.spawns(), 1u);
+  EXPECT_EQ(executor.kills(), 0u);
+}
+
+TEST(SandboxExecutorTest, ChildExceptionComesBackAsChildError) {
+  SandboxExecutor executor(SandboxLimits{});
+  const SandboxRun run = executor.Run(
+      []() -> std::string { throw std::runtime_error("deliberate child failure"); });
+  EXPECT_EQ(run.status, SandboxRun::Status::kChildError);
+  EXPECT_NE(run.error.find("deliberate child failure"), std::string::npos) << run.error;
+}
+
+TEST(SandboxExecutorTest, CrashIsClassifiedWithSignalAndBreadcrumbs) {
+  SandboxExecutor executor(SandboxLimits{});
+  const SandboxRun run = executor.Run([]() -> std::string {
+    SandboxPhase("setup");
+    SandboxPhase("about-to-crash");
+    raise(SIGSEGV);
+    return "unreachable";
+  });
+  EXPECT_EQ(run.status, SandboxRun::Status::kCrash);
+  EXPECT_EQ(run.signal, SIGSEGV);
+  EXPECT_FALSE(run.timed_out);
+  // The flight-recorder page survives the crash: the parent reads the markers back in order.
+  EXPECT_NE(run.breadcrumb.find("setup"), std::string::npos) << run.breadcrumb;
+  EXPECT_NE(run.breadcrumb.find("about-to-crash"), std::string::npos) << run.breadcrumb;
+}
+
+TEST(SandboxExecutorTest, WatchdogKillsAHungChild) {
+  SandboxLimits limits;
+  limits.exec_timeout_ms = 200;
+  limits.grace_ms = 100;
+  SandboxExecutor executor(limits);
+  const SandboxRun run = executor.Run([]() -> std::string {
+    volatile uint64_t spin = 0;
+    for (;;) {
+      ++spin;
+    }
+  });
+  // The default SIGTERM disposition ends the spin loop at the first watchdog intervention;
+  // no SIGKILL escalation is needed (kills() counts only escalations).
+  EXPECT_EQ(run.status, SandboxRun::Status::kHang);
+  EXPECT_TRUE(run.timed_out);
+  EXPECT_GE(executor.timeouts(), 1u);
+  EXPECT_EQ(executor.kills(), 0u);
+}
+
+TEST(SandboxExecutorTest, WatchdogEscalatesToSigkillWhenSigtermIsIgnored) {
+  SandboxLimits limits;
+  limits.exec_timeout_ms = 200;
+  limits.grace_ms = 100;
+  SandboxExecutor executor(limits);
+  const SandboxRun run = executor.Run([]() -> std::string {
+    signal(SIGTERM, SIG_IGN);  // a wedged child that shrugs off the polite kill
+    volatile uint64_t spin = 0;
+    for (;;) {
+      ++spin;
+    }
+  });
+  EXPECT_EQ(run.status, SandboxRun::Status::kHang);
+  EXPECT_TRUE(run.timed_out);
+  EXPECT_EQ(run.signal, SIGKILL);
+  EXPECT_GE(executor.timeouts(), 1u);
+  EXPECT_GE(executor.kills(), 1u);
+}
+
+TEST(SandboxExecutorTest, NamesAreStable) {
+  EXPECT_STREQ(SignalName(SIGSEGV), "SIGSEGV");
+  EXPECT_STREQ(SignalName(SIGABRT), "SIGABRT");
+  EXPECT_STREQ(IsolationModeName(IsolationMode::kInProcess), "in_process");
+  EXPECT_STREQ(IsolationModeName(IsolationMode::kSandbox), "sandbox");
+  IsolationMode mode = IsolationMode::kInProcess;
+  EXPECT_TRUE(ParseIsolationMode("sandbox", &mode));
+  EXPECT_EQ(mode, IsolationMode::kSandbox);
+  EXPECT_TRUE(ParseIsolationMode("in_process", &mode));
+  EXPECT_EQ(mode, IsolationMode::kInProcess);
+  EXPECT_FALSE(ParseIsolationMode("container", &mode));
+}
+
+// ---------------------------------------------------------------------------------------
+// Campaign-level contract: sandbox == in-process on clean seeds, bit for bit.
+
+TEST(SandboxCampaignTest, SandboxedCampaignMatchesInProcessOutcomeExactly) {
+  const jaguar::VmConfig vm = FastVendor();
+  CampaignParams params = FastParams();
+
+  const CampaignStats in_process = RunCampaign(vm, params);
+
+  params.isolation = IsolationMode::kSandbox;
+  const CampaignStats sandboxed = RunCampaign(vm, params);
+
+  EXPECT_TRUE(sandboxed.SameOutcome(in_process));
+  EXPECT_EQ(sandboxed.OutcomeDigest(), in_process.OutcomeDigest());
+  EXPECT_EQ(sandboxed.seeds_quarantined, 0);
+  EXPECT_EQ(sandboxed.vm_invocations, in_process.vm_invocations);
+
+  // And the sandboxed outcome is itself thread-count invariant (the shard → ordered-reduce
+  // contract holds across fork boundaries).
+  params.num_threads = 3;
+  const CampaignStats parallel = RunCampaign(vm, params);
+  EXPECT_EQ(parallel.OutcomeDigest(), in_process.OutcomeDigest());
+}
+
+TEST(SandboxCampaignTest, ChaosRequiresTheSandboxUnlessDryRun) {
+  const jaguar::VmConfig vm = FastVendor();
+  CampaignParams params = FastParams();
+  params.chaos.rate_pct = 40;
+  params.chaos.seed = 7;
+  EXPECT_THROW(RunCampaign(vm, params), std::runtime_error);  // in-process + live chaos
+  params.chaos.dry_run = true;
+  EXPECT_NO_THROW(RunCampaign(vm, params));  // dry-run selects, never injects
+}
+
+TEST(SandboxCampaignTest, ChaosQuarantinesExactlyTheFiringSeeds) {
+  const jaguar::VmConfig vm = FastVendor();
+  CampaignParams params = FastParams();
+  params.chaos.rate_pct = 40;
+  params.chaos.seed = PickChaosSeed(params);
+  ASSERT_NE(params.chaos.seed, 0u);
+  const int expected = ExpectedQuarantines(params);
+  ASSERT_GE(expected, 1);
+  ASSERT_LT(expected, params.num_seeds);
+
+  params.isolation = IsolationMode::kSandbox;
+  params.sandbox.exec_rss_mb = 512;  // bounds the alloc-bomb fault, harmless otherwise
+  const CampaignStats chaos = RunCampaign(vm, params);
+
+  // The campaign survived, and quarantined exactly the ChaosFires selection.
+  EXPECT_EQ(chaos.seeds_run, params.num_seeds);
+  EXPECT_EQ(chaos.seeds_quarantined, expected);
+  int harness_reports = 0;
+  for (const BugReport& report : chaos.reports) {
+    if (report.kind != DiscrepancyKind::kHarnessCrash &&
+        report.kind != DiscrepancyKind::kHarnessHang) {
+      continue;
+    }
+    ++harness_reports;
+    EXPECT_TRUE(report.chaos);
+    EXPECT_EQ(report.chaos_seed,
+              jaguar::DeriveChaosSeed(params.chaos.seed, report.seed_id));
+    EXPECT_TRUE(jaguar::ChaosFires(params.chaos.seed, report.seed_id, params.chaos.rate_pct));
+  }
+  EXPECT_EQ(harness_reports, expected);
+
+  // The fault-free reference arm: in-process dry-run with the same chaos seed excludes the
+  // identical seed set, so the clean digests agree — the injected faults perturbed nothing
+  // outside their own seeds.
+  CampaignParams dry = params;
+  dry.isolation = IsolationMode::kInProcess;
+  dry.chaos.dry_run = true;
+  const CampaignStats reference = RunCampaign(vm, dry);
+  EXPECT_EQ(reference.seeds_quarantined, 0);
+  EXPECT_EQ(chaos.clean_seeds, params.num_seeds - expected);
+  EXPECT_EQ(reference.clean_seeds, chaos.clean_seeds);
+  EXPECT_EQ(chaos.CleanDigest(), reference.CleanDigest());
+
+  // Chaos outcomes are themselves deterministic: same params → same digest, every field.
+  const CampaignStats again = RunCampaign(vm, params);
+  EXPECT_TRUE(again.SameOutcome(chaos));
+  EXPECT_EQ(again.OutcomeDigest(), chaos.OutcomeDigest());
+  EXPECT_EQ(again.CleanDigest(), chaos.CleanDigest());
+}
+
+// ---------------------------------------------------------------------------------------
+// Durability: a killed chaos campaign resumes with quarantines replayed, not re-executed.
+
+TEST(SandboxDurableTest, KillResumeReplaysQuarantinesAndMatchesUninterrupted) {
+  const jaguar::VmConfig vm = FastVendor();
+  CampaignParams params = FastParams();
+  params.isolation = IsolationMode::kSandbox;
+  params.sandbox.exec_rss_mb = 512;
+  params.chaos.rate_pct = 40;
+  params.chaos.seed = PickChaosSeed(params);
+  ASSERT_NE(params.chaos.seed, 0u);
+
+  const CampaignStats reference = RunCampaign(vm, params);
+  ASSERT_GE(reference.seeds_quarantined, 1);
+
+  const std::string dir = testing::TempDir() + "jag_sandbox_durable";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  DurableOptions options;
+  options.journal_path = dir + "/campaign.jsonl";
+  options.stop_after_seeds = 2;  // deterministic SIGKILL stand-in mid-campaign
+  const DurableResult partial = RunDurableCampaign(vm, params, options);
+  EXPECT_FALSE(partial.complete);
+
+  options.stop_after_seeds = 0;
+  const DurableResult resumed = RunDurableCampaign(vm, params, options);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.replayed_seeds, 2);  // including any quarantined shard — no re-crash
+  EXPECT_TRUE(resumed.stats.SameOutcome(reference));
+  EXPECT_EQ(resumed.stats.OutcomeDigest(), reference.OutcomeDigest());
+  EXPECT_EQ(resumed.stats.CleanDigest(), reference.CleanDigest());
+  EXPECT_EQ(resumed.stats.seeds_quarantined, reference.seeds_quarantined);
+}
+
+// ---------------------------------------------------------------------------------------
+// Shard-policy unit: the isolated runner's dry-run marking is pure bookkeeping.
+
+TEST(SandboxShardTest, DryRunMarksChaosSeedsWithoutChangingTheShard) {
+  const jaguar::VmConfig vm = FastVendor();
+  CampaignParams params = FastParams();
+  jaguar::VmConfig config = vm;
+  config.step_budget = params.step_budget;
+
+  const SeedShardResult plain = RunSeedShard(config, params, 1);
+
+  params.chaos.rate_pct = 100;  // every seed fires
+  params.chaos.seed = 11;
+  params.chaos.dry_run = true;
+  const SeedShardResult marked = RunSeedShardIsolated(config, params, 1, nullptr);
+
+  EXPECT_TRUE(marked.chaos_fired);
+  EXPECT_EQ(marked.chaos_seed,
+            jaguar::DeriveChaosSeed(params.chaos.seed, params.base_seed + 1));
+  EXPECT_FALSE(marked.quarantined);
+  EXPECT_EQ(marked.seed_id, plain.seed_id);
+  EXPECT_EQ(marked.report.seed_usable, plain.report.seed_usable);
+  EXPECT_EQ(marked.report.mutants.size(), plain.report.mutants.size());
+}
+
+}  // namespace
+}  // namespace artemis

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -97,6 +98,44 @@ TEST(JsonTest, ParseRejectsGarbage) {
 
 // ---------------------------------------------------------------------------------------
 // Journal writer/reader.
+
+TEST(JournalTest, ReopenTruncatesTheTornTailSoAppendsNeverMergeLines) {
+  // A SIGKILL can leave the final line half-written. Without truncation, the next append
+  // would merge into the partial line and corrupt TWO events; the writer's constructor
+  // truncates back to the last newline before reopening for append.
+  const std::string path = FreshDir("journal_tail") + "/j.jsonl";
+  {
+    CampaignJournal journal(path);
+    ASSERT_TRUE(journal.ok());
+    Json event = Json::Object();
+    event.Set("event", "tick");
+    event.Set("i", static_cast<int64_t>(1));
+    journal.Append(event);
+    journal.Flush();
+  }
+  std::ofstream(path, std::ios::app) << "{\"event\":\"torn";
+  {
+    CampaignJournal journal(path);  // log-and-truncate happens here
+    ASSERT_TRUE(journal.ok());
+    Json event = Json::Object();
+    event.Set("event", "tick");
+    event.Set("i", static_cast<int64_t>(2));
+    journal.Append(event);
+    journal.Flush();
+  }
+  const JournalContents contents = ReadJournal(path);
+  EXPECT_EQ(contents.skipped_lines, 0u);  // the torn bytes are gone, not merged
+  ASSERT_EQ(contents.events.size(), 2u);
+  EXPECT_EQ(contents.events[0].Get("i").AsInt(), 1);
+  EXPECT_EQ(contents.events[1].Get("i").AsInt(), 2);
+
+  // Degenerate case: a journal that is ONE torn line truncates to empty and stays usable.
+  const std::string all_torn = FreshDir("journal_all_torn") + "/j.jsonl";
+  std::ofstream(all_torn) << "{\"event\":\"torn";
+  CampaignJournal journal(all_torn);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ(fs::file_size(all_torn), 0u);
+}
 
 TEST(JournalTest, WriterRoundTripsAndReaderToleratesTruncation) {
   const std::string path = FreshDir("journal") + "/j.jsonl";
@@ -317,6 +356,56 @@ TEST(ServiceTest, RoundsEvolveTheCorpusAndExportMetrics) {
   ServiceParams foreign = more;
   foreign.fresh_seeds_per_round = 7;
   EXPECT_THROW(RunService(vm, foreign), std::runtime_error);
+}
+
+TEST(DurableCampaignTest, CancelStopsClaimingSeedsAndResumeFinishesTheCampaign) {
+  // The SIGTERM/SIGINT graceful-shutdown hook: a pre-set cancel flag means workers claim
+  // nothing — the segment returns a resumable partial result, exactly like a stop_after
+  // truncation — and a later cancel-free segment completes with the reference outcome.
+  const jaguar::VmConfig vm = FastVendor();
+  const CampaignParams params = FastParams();
+  const CampaignStats reference = RunCampaign(vm, params);
+
+  DurableOptions options;
+  options.journal_path = FreshDir("durable_cancel") + "/campaign.jsonl";
+  std::atomic<bool> cancel{true};
+  options.cancel = &cancel;
+  const DurableResult cancelled = RunDurableCampaign(vm, params, options);
+  EXPECT_FALSE(cancelled.complete);
+  EXPECT_EQ(cancelled.executed_seeds, 0);
+
+  cancel.store(false);
+  const DurableResult resumed = RunDurableCampaign(vm, params, options);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.executed_seeds, params.num_seeds);
+  EXPECT_TRUE(resumed.stats.SameOutcome(reference));
+  EXPECT_EQ(resumed.stats.OutcomeDigest(), reference.OutcomeDigest());
+}
+
+TEST(ServiceTest, CancelStopsAtTheRoundBoundaryAndResumeContinues) {
+  const std::string dir = FreshDir("service_cancel");
+  jaguar::VmConfig vm = FastVendor();
+
+  ServiceParams params;
+  params.campaign = FastParams();
+  params.corpus_dir = dir;
+  params.rounds = 2;
+  params.fresh_seeds_per_round = 2;
+  params.corpus_mutations_per_round = 2;
+  std::atomic<bool> cancel{true};
+  params.cancel = &cancel;
+
+  // Pre-set cancel: the loop exits before round 1; nothing partial is left behind.
+  const ServiceStats stopped = RunService(vm, params);
+  EXPECT_EQ(stopped.rounds_completed, 0);
+  EXPECT_TRUE(stopped.trajectory.empty());
+
+  cancel.store(false);
+  ServiceParams again = params;
+  again.resume = true;
+  const ServiceStats resumed = RunService(vm, again);
+  EXPECT_EQ(resumed.rounds_completed, 2);
+  EXPECT_EQ(resumed.trajectory.size(), 2u);
 }
 
 TEST(ServiceTest, BaselineArmKeepsCorpusFrozen) {
